@@ -1,0 +1,133 @@
+package df3_test
+
+import (
+	"testing"
+
+	"df3/internal/experiments"
+)
+
+// The benchmarks below regenerate each experiment of DESIGN.md's
+// per-experiment index. They run the quick-mode configurations so that
+// `go test -bench=. -benchmem` finishes in minutes; the df3bench command
+// runs the full-fidelity versions. Headline findings are attached as
+// custom benchmark metrics so regressions in *results* (not just runtime)
+// show up in benchmark diffs.
+
+func benchExperiment(b *testing.B, run func(experiments.Options) *experiments.Result, metrics []string) {
+	b.Helper()
+	opts := experiments.Options{Seed: 1, Quick: true}
+	var last *experiments.Result
+	for i := 0; i < b.N; i++ {
+		last = run(opts)
+	}
+	for _, m := range metrics {
+		if v, ok := last.Findings[m]; ok {
+			b.ReportMetric(v, m)
+		}
+	}
+}
+
+func BenchmarkE1_Fig4Comfort(b *testing.B) {
+	benchExperiment(b, experiments.E1Fig4Comfort,
+		[]string{"min_month_mean", "max_month_mean", "in_band_fraction"})
+}
+
+func BenchmarkE2_PUE(b *testing.B) {
+	benchExperiment(b, experiments.E2PUE, []string{"df_pue", "dc_pue"})
+}
+
+func BenchmarkE3_ThreeFlows(b *testing.B) {
+	benchExperiment(b, experiments.E3ThreeFlows,
+		[]string{"in_band", "edge_p99_ms", "edge_miss_rate", "dcc_stretch"})
+}
+
+func BenchmarkE4_ArchClasses(b *testing.B) {
+	benchExperiment(b, experiments.E4ArchClasses, nil)
+}
+
+func BenchmarkE5_PeakPolicies(b *testing.B) {
+	benchExperiment(b, experiments.E5PeakPolicies,
+		[]string{"miss_reject", "miss_preempt", "miss_smart"})
+}
+
+func BenchmarkE6_Seasonality(b *testing.B) {
+	benchExperiment(b, experiments.E6Seasonality,
+		[]string{"heater_winter", "heater_summer"})
+}
+
+func BenchmarkE7_Forecast(b *testing.B) {
+	benchExperiment(b, experiments.E7Forecast,
+		[]string{"ts_wape", "hw_wape", "naive_wape"})
+}
+
+func BenchmarkE8_EdgeLatency(b *testing.B) {
+	benchExperiment(b, experiments.E8EdgeLatency,
+		[]string{"direct_median_ms", "indirect_median_ms", "cloud_median_ms"})
+}
+
+func BenchmarkE9_RenderCampaign(b *testing.B) {
+	benchExperiment(b, experiments.E9RenderCampaign,
+		[]string{"frames", "wall_days"})
+}
+
+func BenchmarkE10_WasteHeat(b *testing.B) {
+	benchExperiment(b, experiments.E10WasteHeat, nil)
+}
+
+func BenchmarkE11_Pricing(b *testing.B) {
+	benchExperiment(b, experiments.E11Pricing,
+		[]string{"winter_price", "summer_price"})
+}
+
+func BenchmarkE12_DesktopGrid(b *testing.B) {
+	benchExperiment(b, experiments.E12DesktopGrid,
+		[]string{"df_miss", "grid_miss"})
+}
+
+func BenchmarkE13_CapacityPlanning(b *testing.B) {
+	benchExperiment(b, experiments.E13CapacityPlanning,
+		[]string{"prudent_penalties", "aggressive_penalties"})
+}
+
+func BenchmarkE14_Economics(b *testing.B) {
+	benchExperiment(b, experiments.E14Economics,
+		[]string{"df_net_per_ch", "dc_net_per_ch"})
+}
+
+func BenchmarkE15_DemandResponse(b *testing.B) {
+	benchExperiment(b, experiments.E15DemandResponse,
+		[]string{"shed_fraction", "min_temp_dr"})
+}
+
+func BenchmarkE16_ContentDelivery(b *testing.B) {
+	benchExperiment(b, experiments.E16ContentDelivery,
+		[]string{"hit_big", "median_0", "median_big"})
+}
+
+func BenchmarkE17_MarketSizing(b *testing.B) {
+	benchExperiment(b, experiments.E17MarketSizing,
+		[]string{"winter_cores", "amazon_x"})
+}
+
+func BenchmarkAblationRegulator(b *testing.B) {
+	benchExperiment(b, experiments.AblationRegulator,
+		[]string{"hyst_switches", "prop_switches"})
+}
+
+func BenchmarkAblationClustering(b *testing.B) {
+	benchExperiment(b, experiments.AblationClustering, nil)
+}
+
+func BenchmarkAblationEDF(b *testing.B) {
+	benchExperiment(b, experiments.AblationEDF,
+		[]string{"fcfs_miss", "edf_miss"})
+}
+
+func BenchmarkAblationBoilerBuffer(b *testing.B) {
+	benchExperiment(b, experiments.AblationBoilerBuffer, nil)
+}
+
+func BenchmarkAblationClimate(b *testing.B) {
+	benchExperiment(b, experiments.AblationClimate,
+		[]string{"cap_stockholm", "cap_paris", "cap_seville"})
+}

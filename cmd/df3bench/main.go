@@ -1,0 +1,101 @@
+// Command df3bench regenerates the paper's figures and quantified claims.
+// Every experiment in DESIGN.md's per-experiment index (E1–E12) and every
+// ablation (A1–A4) is runnable by ID:
+//
+//	df3bench                 # run everything at full fidelity
+//	df3bench -quick          # CI-speed versions (same shapes)
+//	df3bench -run E1,E8      # a subset
+//	df3bench -list           # show the index
+//	df3bench -seed 7         # different random universe
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"df3/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced-size experiments (same shapes, minutes faster)")
+	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	seed := flag.Uint64("seed", 1, "random seed for every stochastic component")
+	csvDir := flag.String("csv", "", "also write every table as CSV into this directory")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+
+	var selected []experiments.Experiment
+	if *run == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			id = strings.TrimSpace(id)
+			e := experiments.ByID(id)
+			if e == nil {
+				fmt.Fprintf(os.Stderr, "df3bench: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, *e)
+		}
+	}
+
+	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	mode := "full"
+	if *quick {
+		mode = "quick"
+	}
+	fmt.Printf("df3bench: %d experiments, %s mode, seed %d\n", len(selected), mode, *seed)
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "df3bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		res := e.Run(opts)
+		if err := res.Write(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "df3bench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *csvDir != "" {
+			if err := writeCSVs(*csvDir, e.ID, res); err != nil {
+				fmt.Fprintf(os.Stderr, "df3bench: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("[%s finished in %.1fs]\n", e.ID, time.Since(start).Seconds())
+	}
+}
+
+// writeCSVs stores every table of a result as <dir>/<ID>_<n>.csv.
+func writeCSVs(dir, id string, res *experiments.Result) error {
+	for i, t := range res.Tables {
+		path := filepath.Join(dir, fmt.Sprintf("%s_%d.csv", id, i))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		err = t.CSV(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+// Command df3d serves a DF3 city scenario over the resource-oriented HTTP
+// interface of §IV (see internal/api). The simulation is deterministic and
+// advances only when a client POSTs /v1/step, so the daemon doubles as an
+// interactive laboratory:
+//
+//	df3d -addr :8080 -buildings 4 -rooms 6 &
+//	curl localhost:8080/v1/resources | jq .
+//	curl -X POST localhost:8080/v1/rooms/0/0/setpoint -d '{"setpoint_c":23}'
+//	curl -X POST localhost:8080/v1/step -d '{"seconds":3600}'
+//	curl localhost:8080/v1/metrics | jq .
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"df3/internal/api"
+	"df3/internal/city"
+	"df3/internal/sim"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		buildings = flag.Int("buildings", 4, "number of buildings")
+		rooms     = flag.Int("rooms", 6, "rooms per building")
+		boilers   = flag.Int("boilers", 0, "boiler-plant buildings")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		mtbf      = flag.Float64("mtbf", 0, "mean days between machine failures (0 disables)")
+	)
+	flag.Parse()
+
+	cfg := city.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Buildings = *buildings
+	cfg.RoomsPerBuilding = *rooms
+	cfg.BoilerBuildings = *boilers
+	if *mtbf > 0 {
+		cfg.MTBF = sim.Time(*mtbf) * sim.Day
+	}
+
+	c := city.Build(cfg)
+	fmt.Printf("df3d: %d buildings × %d rooms (%d boiler plants), %d DF machines, listening on %s\n",
+		*buildings, *rooms, *boilers, len(c.Fleet.Machines), *addr)
+	fmt.Println("advance time with: curl -X POST localhost" + *addr + "/v1/step -d '{\"seconds\":3600}'")
+	log.Fatal(http.ListenAndServe(*addr, api.NewServer(c)))
+}

@@ -1,0 +1,201 @@
+// Command df3sim runs one DF3 city scenario and prints a full platform
+// report: comfort, energy, PUE, per-flow service metrics and the seasonal
+// capacity trace.
+//
+//	df3sim -buildings 6 -rooms 8 -days 7 -edge 1 -dcc 1.5
+//	df3sim -boilers 2 -days 30 -climate stockholm -start jan
+//	df3sim -arch dedicated -offload preempt -csv capacity.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"df3/internal/city"
+	"df3/internal/core"
+	"df3/internal/offload"
+	"df3/internal/report"
+	"df3/internal/sim"
+	"df3/internal/trace"
+	"df3/internal/weather"
+)
+
+func main() {
+	var (
+		buildings = flag.Int("buildings", 6, "number of buildings (one cluster each)")
+		rooms     = flag.Int("rooms", 8, "rooms per building")
+		boilers   = flag.Int("boilers", 0, "buildings heated by a digital boiler instead of Q.rads")
+		days      = flag.Float64("days", 7, "simulated days")
+		edgeRate  = flag.Float64("edge", 1, "edge workload scale (0 disables)")
+		dccRate   = flag.Float64("dcc", 1.5, "DCC jobs per hour (0 disables)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		climate   = flag.String("climate", "paris", "climate: paris | stockholm | seville")
+		start     = flag.String("start", "nov", "calendar start: jan | nov | jul")
+		arch      = flag.String("arch", "shared", "architecture: shared | dedicated")
+		policy    = flag.String("offload", "smart", "offload policy: smart|reject|delay|preempt|vertical|horizontal")
+		offices   = flag.Bool("offices", false, "office schedules instead of homes")
+		csvPath   = flag.String("csv", "", "write the capacity series to this CSV file")
+		mtbf      = flag.Float64("mtbf", 0, "mean days between machine failures (0 disables fault injection)")
+		tracePath = flag.String("trace", "", "write per-request trace events to this CSV file")
+	)
+	flag.Parse()
+
+	cfg := city.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Buildings = *buildings
+	cfg.RoomsPerBuilding = *rooms
+	cfg.BoilerBuildings = *boilers
+	cfg.Offices = *offices
+
+	switch *climate {
+	case "paris":
+		cfg.Climate = weather.Paris
+	case "stockholm":
+		cfg.Climate = weather.Stockholm
+	case "seville":
+		cfg.Climate = weather.Seville
+	default:
+		fatal("unknown climate %q", *climate)
+	}
+	switch *start {
+	case "jan":
+		cfg.Calendar = sim.JanuaryStart
+	case "nov":
+		cfg.Calendar = sim.NovemberStart
+	case "jul":
+		cfg.Calendar = sim.Calendar{StartDayOfYear: 6 * 365.0 / 12}
+	default:
+		fatal("unknown start %q", *start)
+	}
+	switch *arch {
+	case "shared":
+		cfg.Middleware.Arch = core.Shared
+	case "dedicated":
+		cfg.Middleware.Arch = core.Dedicated
+		cfg.Middleware.DedicatedEdgeWorkers = 1
+	default:
+		fatal("unknown arch %q", *arch)
+	}
+	policies := map[string]offload.Policy{
+		"smart":      offload.Smart{},
+		"reject":     offload.RejectPolicy{},
+		"delay":      offload.DelayPolicy{},
+		"preempt":    offload.PreemptPolicy{},
+		"vertical":   offload.VerticalPolicy{},
+		"horizontal": offload.HorizontalPolicy{},
+	}
+	p, ok := policies[*policy]
+	if !ok {
+		fatal("unknown offload policy %q", *policy)
+	}
+	cfg.Middleware.Offload = p
+
+	if *mtbf > 0 {
+		cfg.MTBF = sim.Time(*mtbf) * sim.Day
+	}
+
+	horizon := sim.Time(*days) * sim.Day
+	c := city.Build(cfg)
+	var rec *trace.Recorder
+	if *tracePath != "" {
+		rec = &trace.Recorder{}
+		c.MW.Tracer = rec
+	}
+	if *edgeRate > 0 {
+		c.StartEdgeTraffic(horizon, *edgeRate)
+	}
+	if *dccRate > 0 {
+		c.StartDCCTraffic(horizon, *dccRate)
+	}
+	fmt.Printf("df3sim: %d buildings × %d rooms (%d boiler plants), %s/%s, %s arch, %s offload, %.0f days\n",
+		*buildings, *rooms, *boilers, *climate, *start, *arch, *policy, *days)
+	c.Run(horizon + 6*sim.Hour)
+
+	printReport(c)
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal("csv: %v", err)
+		}
+		defer f.Close()
+		t := report.NewTable("", "t_seconds", "capacity_cores")
+		for _, pt := range c.CapacitySeries.Points() {
+			t.Row(pt.T, pt.V)
+		}
+		if err := t.CSV(f); err != nil {
+			fatal("csv: %v", err)
+		}
+		fmt.Printf("capacity series written to %s\n", *csvPath)
+	}
+	if rec != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal("trace: %v", err)
+		}
+		defer f.Close()
+		if err := rec.WriteCSV(f); err != nil {
+			fatal("trace: %v", err)
+		}
+		fmt.Printf("%d trace events written to %s\n", rec.Len(), *tracePath)
+	}
+}
+
+func printReport(c *city.City) {
+	now := c.Engine.Now()
+
+	comfort := report.NewTable("heating flow", "metric", "value")
+	inBand, n := 0.0, 0
+	for _, r := range c.Rooms() {
+		inBand += r.Comfort.InBandFraction()
+		n++
+	}
+	comfort.Row("rooms", n)
+	comfort.Row("occupied in-band fraction", inBand/float64(n))
+	months, means := c.MonthlyComfort()
+	for i, m := range months {
+		comfort.Row(fmt.Sprintf("month %d mean °C", m), means[i])
+	}
+	comfort.Row("backup resistor kWh", c.ResistorEnergy().KWh())
+	comfort.Row("boiler waste kWh", c.WastedBoilerHeat().KWh())
+	comfort.Write(os.Stdout)
+
+	energy := report.NewTable("fleet energy", "metric", "value")
+	it, fac, heat := c.Fleet.Energy(now)
+	energy.Row("IT energy kWh", it.KWh())
+	energy.Row("facility energy kWh", fac.KWh())
+	energy.Row("useful heat kWh", heat.KWh())
+	if it > 0 {
+		energy.Row("PUE", float64(fac)/float64(it))
+	}
+	energy.Row("mean capacity (cores)", c.CapacitySeries.Mean())
+	energy.Row("max capacity (cores)", c.Fleet.MaxCapacity())
+	energy.Write(os.Stdout)
+
+	edge := report.NewTable("edge flow", "metric", "value")
+	e := &c.MW.Edge
+	edge.Row("arrived", e.Arrived())
+	edge.Row("served", e.Served.Value())
+	edge.Row("miss rate", e.MissRate())
+	edge.Row("mean latency ms", e.Latency.Mean()*1000)
+	edge.Row("p99 latency ms", e.Latency.P99()*1000)
+	edge.Row("preemptions", e.Preemptions.Value())
+	edge.Row("horizontal offloads", e.Horizontal.Value())
+	edge.Row("vertical offloads", e.Vertical.Value())
+	edge.Write(os.Stdout)
+
+	dcc := report.NewTable("dcc flow", "metric", "value")
+	d := &c.MW.DCC
+	dcc.Row("jobs done", d.JobsDone.Value())
+	dcc.Row("tasks done", d.TasksDone.Value())
+	dcc.Row("core-hours", d.WorkDone/3600)
+	dcc.Row("mean job stretch", d.JobStretch.Mean())
+	dcc.Row("throughput core-s/s", d.Throughput(now))
+	dcc.Write(os.Stdout)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "df3sim: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,51 @@
+// Command df3trace summarises a request trace written by df3sim -trace (or
+// any trace.Recorder CSV/JSONL): per-event-kind counts, rates and value
+// distributions.
+//
+//	df3sim -days 2 -trace run.csv
+//	df3trace run.csv
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"df3/internal/report"
+	"df3/internal/trace"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: df3trace <trace.csv|trace.jsonl>")
+		os.Exit(2)
+	}
+	path := os.Args[1]
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "df3trace: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	var events []trace.Event
+	if strings.HasSuffix(path, ".jsonl") {
+		events, err = trace.ReadJSONL(f)
+	} else {
+		events, err = trace.ReadCSV(f)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "df3trace: %v\n", err)
+		os.Exit(1)
+	}
+
+	t := report.NewTable(fmt.Sprintf("%s: %d events", path, len(events)),
+		"kind", "count", "rate /s", "mean", "median", "p99", "max")
+	for _, s := range trace.Summarize(events) {
+		t.Row(s.Kind, s.Count, s.Rate(), s.Mean, s.Median, s.P99, s.Max)
+	}
+	if err := t.Write(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "df3trace: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,47 @@
+// Quickstart: the smallest complete DF3 scenario — one building whose
+// rooms are heated by Q.rads, serving all three flows for one simulated
+// day. Run it with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"df3/internal/city"
+	"df3/internal/sim"
+)
+
+func main() {
+	cfg := city.DefaultConfig()
+	cfg.Buildings = 1
+	cfg.RoomsPerBuilding = 4
+
+	c := city.Build(cfg)
+
+	// Flow 1 (heating) runs by itself: every room has a thermostat loop.
+	// Flow 2 (Internet/DCC): a render-farm style job stream.
+	c.StartDCCTraffic(sim.Day, 1.0)
+	// Flow 3 (local edge): alarm-detection inference requests.
+	c.StartEdgeTraffic(sim.Day, 1.0)
+
+	c.Run(sim.Day + sim.Hour)
+
+	fmt.Println("=== quickstart: one building, one day, three flows ===")
+	for _, r := range c.Rooms() {
+		fmt.Printf("room %d: %.1f°C, comfortable %.0f%% of occupied time\n",
+			r.Index, float64(r.Zone.Temp), 100*r.Comfort.InBandFraction())
+	}
+
+	e := &c.MW.Edge
+	fmt.Printf("edge: served %d requests, median %.0f ms, p99 %.0f ms, miss rate %.1f%%\n",
+		e.Served.Value(), e.Latency.Median()*1000, e.Latency.P99()*1000, 100*e.MissRate())
+
+	d := &c.MW.DCC
+	fmt.Printf("dcc: %d jobs (%d tasks, %.0f core-hours) at mean stretch %.1f\n",
+		d.JobsDone.Value(), d.TasksDone.Value(), d.WorkDone/3600, d.JobStretch.Mean())
+
+	it, _, heat := c.Fleet.Energy(c.Engine.Now())
+	fmt.Printf("energy: %.1f kWh consumed, %.1f kWh delivered as room heat (PUE %.3f)\n",
+		it.KWh(), heat.KWh(), c.Fleet.PUE(c.Engine.Now()))
+}

@@ -1,0 +1,73 @@
+// Smartbuilding: the audio alarm-detection scenario of the paper's
+// reference [11] — an office building whose Q.rads run near-real-time
+// sound-classification inferences from in-room sensors, alongside periodic
+// sense-compute-actuate loops, while the same machines render for cloud
+// customers. Compares the direct (in-room) and indirect (gateway) request
+// paths and shows the preemption machinery protecting deadlines.
+//
+//	go run ./examples/smartbuilding
+package main
+
+import (
+	"fmt"
+
+	"df3/internal/city"
+	"df3/internal/offload"
+	"df3/internal/sim"
+)
+
+func main() {
+	cfg := city.DefaultConfig()
+	cfg.Buildings = 2
+	cfg.RoomsPerBuilding = 10
+	cfg.Offices = true
+	cfg.ComfortSetpoint = 20
+	cfg.Middleware.Offload = offload.PreemptPolicy{}
+
+	horizon := 3 * sim.Day
+
+	fmt.Println("=== smart office building: alarm detection on DF heaters ===")
+
+	run := func(direct bool) {
+		c := city.Build(cfg)
+		// Keep the fleet busy with cloud rendering: edge requests must
+		// carve their slots out of a loaded platform.
+		stop := c.SaturateDCC(1800, 64)
+		defer stop()
+		if direct {
+			c.StartDirectEdgeTraffic(horizon, 1.5)
+		} else {
+			c.StartEdgeTraffic(horizon, 1.5)
+		}
+		c.Run(horizon + sim.Hour)
+		e := &c.MW.Edge
+		mode := "indirect (via edge gateway)"
+		if direct {
+			mode = "direct (in-room server)  "
+		}
+		fmt.Printf("%s: %6d served, median %5.1f ms, p99 %5.1f ms, miss %.2f%%, %d preemptions, %d fallbacks\n",
+			mode, e.Served.Value(), e.Latency.Median()*1000, e.Latency.P99()*1000,
+			100*e.MissRate(), e.Preemptions.Value(), e.DirectFallbacks.Value())
+	}
+	run(false)
+	run(true)
+
+	// A separate sense-compute-actuate pass: HVAC-style 10 ms inferences
+	// every 30 s from every room (§III-B's sense-compute-actuate loops).
+	{
+		c := city.Build(cfg)
+		stop := c.SaturateDCC(1800, 64)
+		defer stop()
+		c.StartSenseLoops(sim.Day, 30)
+		c.Run(sim.Day + sim.Hour)
+		e := &c.MW.Edge
+		fmt.Printf("sense-compute-actuate loops : %6d served, median %5.1f ms, miss %.2f%%\n",
+			e.Served.Value(), e.Latency.Median()*1000, 100*e.MissRate())
+	}
+
+	fmt.Println("\nboth alarm paths meet the 500 ms deadline. On this saturated fleet")
+	fmt.Println("nearly every direct request finds its in-room server full and falls")
+	fmt.Println("back to the gateway, which preempts cloud work for it — the §II-C")
+	fmt.Println("direct-path latency win only exists on an unloaded platform (see E8);")
+	fmt.Println("what the middleware actually buys you is the preemption machinery.")
+}

@@ -1,0 +1,3 @@
+module df3
+
+go 1.22

@@ -1,0 +1,115 @@
+package df3_test
+
+import (
+	"math"
+	"testing"
+
+	"df3/internal/city"
+	"df3/internal/sim"
+)
+
+// TestSystemEndToEnd drives the whole stack — weather, thermal zones, DVFS
+// regulation, the middleware's three flows, fault injection, boilers and
+// the datacenter — in one scenario, and checks the cross-cutting
+// invariants that no single package test can see.
+func TestSystemEndToEnd(t *testing.T) {
+	cfg := city.DefaultConfig()
+	cfg.Buildings = 3
+	cfg.RoomsPerBuilding = 4
+	cfg.BoilerBuildings = 1
+	cfg.MTBF = 2 * sim.Day
+	c := city.Build(cfg)
+
+	horizon := 4 * sim.Day
+	c.StartEdgeTraffic(horizon, 1)
+	c.StartDCCTraffic(horizon, 1)
+	c.StartSenseLoops(horizon, 120)
+	fin := c.StartFinanceTraffic(horizon)
+	c.Run(horizon + 12*sim.Hour)
+
+	// 1. Energy conservation across the fleet: facility ≥ IT ≥ heat.
+	it, fac, heat := c.Fleet.Energy(c.Engine.Now())
+	if !(fac >= it && it >= heat && heat > 0) {
+		t.Errorf("energy ordering broken: fac=%v it=%v heat=%v", fac, it, heat)
+	}
+	// 2. PUE within DF bounds.
+	if pue := c.Fleet.PUE(c.Engine.Now()); pue < 1.0 || pue > 1.05 {
+		t.Errorf("fleet PUE = %v", pue)
+	}
+	// 3. Edge conservation: served + rejected = arrived, queues drained.
+	e := &c.MW.Edge
+	if e.Arrived() == 0 {
+		t.Fatal("no edge traffic")
+	}
+	for _, b := range c.Buildings {
+		if b.Cluster.EdgeQueueLen() != 0 {
+			t.Errorf("building %d edge queue not drained", b.Index)
+		}
+	}
+	// 4. Comfort held despite failures (backup resistor).
+	for _, r := range c.Rooms() {
+		if r.Comfort.InBandFraction() < 0.6 {
+			t.Errorf("room b%d-r%d comfort %.2f", r.Building, r.Index, r.Comfort.InBandFraction())
+		}
+	}
+	// 5. All flows made progress.
+	if c.MW.DCC.JobsDone.Value() == 0 {
+		t.Error("no DCC jobs completed")
+	}
+	if fin.Submitted == 0 || fin.OnTime+fin.Late != fin.Submitted {
+		t.Errorf("finance accounting: %+v", fin)
+	}
+	// 6. Failures actually happened and healed.
+	if c.Outages.Value() == 0 {
+		t.Error("no outages with a 2-day MTBF over 4 days")
+	}
+}
+
+// TestSystemDeterminism runs the full stack twice and requires exact
+// metric equality — the repository's central reproducibility guarantee.
+func TestSystemDeterminism(t *testing.T) {
+	run := func() [6]float64 {
+		cfg := city.DefaultConfig()
+		cfg.Buildings = 2
+		cfg.RoomsPerBuilding = 3
+		cfg.BoilerBuildings = 1
+		cfg.MTBF = sim.Day
+		c := city.Build(cfg)
+		c.StartEdgeTraffic(2*sim.Day, 1)
+		c.StartDCCTraffic(2*sim.Day, 1)
+		c.Run(3 * sim.Day)
+		it, _, heat := c.Fleet.Energy(c.Engine.Now())
+		return [6]float64{
+			float64(c.MW.Edge.Served.Value()),
+			c.MW.Edge.Latency.Mean(),
+			float64(c.MW.DCC.TasksDone.Value()),
+			float64(it),
+			float64(heat),
+			float64(c.Outages.Value()),
+		}
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("metric %d diverged: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSeedsProduceDifferentRuns guards against accidentally ignoring the
+// seed somewhere in the stack.
+func TestSeedsProduceDifferentRuns(t *testing.T) {
+	run := func(seed uint64) float64 {
+		cfg := city.DefaultConfig()
+		cfg.Seed = seed
+		cfg.Buildings = 2
+		cfg.RoomsPerBuilding = 3
+		c := city.Build(cfg)
+		c.StartEdgeTraffic(sim.Day, 1)
+		c.Run(sim.Day)
+		return c.MW.Edge.Latency.Mean() * float64(c.MW.Edge.Served.Value())
+	}
+	if a, b := run(1), run(2); math.Abs(a-b) < 1e-12 {
+		t.Error("different seeds produced identical runs")
+	}
+}

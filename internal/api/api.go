@@ -1,0 +1,416 @@
+// Package api exposes a DF3 city as a resource-oriented HTTP interface —
+// the §IV vision: "RESTful APIs were introduced for defining uniform
+// resource interfaces ... in order to transform the design of distributed
+// middlewares into the problem of automatically composing resource
+// functions" [19][20]. Every physical resource (machine, room, cluster)
+// is addressable; its functions (heat, compute, forward) are verbs on it.
+//
+// The server drives a deterministic simulation, so time is a resource
+// too: clients advance it explicitly with POST /v1/step. All handlers
+// serialise on one mutex — the engine is single-threaded by design.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"df3/internal/city"
+	"df3/internal/regulator"
+	"df3/internal/server"
+	"df3/internal/sim"
+	"df3/internal/units"
+	"df3/internal/workload"
+)
+
+// Server is the ROC control plane over one city scenario.
+type Server struct {
+	mu   sync.Mutex
+	city *city.City
+	mux  *http.ServeMux
+}
+
+// NewServer wraps a built city.
+func NewServer(c *city.City) *Server {
+	s := &Server{city: c, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /v1/resources", s.listResources)
+	s.mux.HandleFunc("GET /v1/resources/{name}", s.getResource)
+	s.mux.HandleFunc("GET /v1/rooms", s.listRooms)
+	s.mux.HandleFunc("POST /v1/rooms/{building}/{room}/setpoint", s.setSetpoint)
+	s.mux.HandleFunc("GET /v1/clusters", s.listClusters)
+	s.mux.HandleFunc("GET /v1/metrics", s.getMetrics)
+	s.mux.HandleFunc("POST /v1/jobs", s.postJob)
+	s.mux.HandleFunc("POST /v1/edge", s.postEdge)
+	s.mux.HandleFunc("POST /v1/content", s.postContent)
+	s.mux.HandleFunc("POST /v1/step", s.postStep)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// writeJSON emits v with status 200 (or the given code).
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// Resource is the uniform view of one machine.
+type Resource struct {
+	Name     string  `json:"name"`
+	Class    string  `json:"class"` // heater | boiler | datacenter
+	Cores    int     `json:"cores"`
+	Capacity float64 `json:"capacity"`
+	BudgetW  float64 `json:"budget_w"`
+	DrawW    float64 `json:"draw_w"`
+	HeatW    float64 `json:"heat_w"`
+	Offline  bool    `json:"offline"`
+	Tasks    int     `json:"tasks"`
+}
+
+// resources builds the full resource list.
+func (s *Server) resources() []Resource {
+	var out []Resource
+	for _, m := range s.city.HeaterFleet.Machines {
+		out = append(out, machineResource("heater", m))
+	}
+	for _, m := range s.city.BoilerFleet.Machines {
+		out = append(out, machineResource("boiler", m))
+	}
+	for _, m := range s.city.DCFleet.Machines {
+		out = append(out, machineResource("datacenter", m))
+	}
+	return out
+}
+
+func (s *Server) listResources(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	writeJSON(w, http.StatusOK, s.resources())
+}
+
+func (s *Server) getResource(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	name := r.PathValue("name")
+	for _, res := range s.resources() {
+		if res.Name == name {
+			writeJSON(w, http.StatusOK, res)
+			return
+		}
+	}
+	httpError(w, http.StatusNotFound, "no resource %q", name)
+}
+
+// RoomView is the uniform view of one heated space.
+type RoomView struct {
+	Building  int     `json:"building"`
+	Room      int     `json:"room"`
+	TempC     float64 `json:"temp_c"`
+	SetpointC float64 `json:"setpoint_c"`
+	Occupied  bool    `json:"occupied"`
+	InBand    float64 `json:"comfort_in_band"`
+	HasHeater bool    `json:"has_heater"`
+}
+
+func (s *Server) listRooms(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.city.Engine.Now()
+	var out []RoomView
+	for _, room := range s.city.Rooms() {
+		sp, occ := room.Schedule.At(now)
+		out = append(out, RoomView{
+			Building:  room.Building,
+			Room:      room.Index,
+			TempC:     float64(room.Zone.Temp),
+			SetpointC: float64(sp),
+			Occupied:  occ,
+			InBand:    room.Comfort.InBandFraction(),
+			HasHeater: room.Worker != nil,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// setSetpoint is the heating-request flow (§II-C, individual request): it
+// pins the room's schedule to a constant target.
+func (s *Server) setSetpoint(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var body struct {
+		SetpointC float64 `json:"setpoint_c"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		httpError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	if body.SetpointC < 5 || body.SetpointC > 30 {
+		httpError(w, http.StatusBadRequest, "setpoint %v out of range [5,30]", body.SetpointC)
+		return
+	}
+	room, ok := s.room(r.PathValue("building"), r.PathValue("room"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such room")
+		return
+	}
+	sched := regulator.ConstantSchedule(units.Celsius(body.SetpointC))
+	room.Schedule = sched
+	if room.Loop != nil {
+		room.Loop.Schedule = sched
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "setpoint_c": body.SetpointC})
+}
+
+// room resolves path indices.
+func (s *Server) room(b, r string) (*city.Room, bool) {
+	var bi, ri int
+	if _, err := fmt.Sscanf(b, "%d", &bi); err != nil {
+		return nil, false
+	}
+	if _, err := fmt.Sscanf(r, "%d", &ri); err != nil {
+		return nil, false
+	}
+	if bi < 0 || bi >= len(s.city.Buildings) {
+		return nil, false
+	}
+	rooms := s.city.Buildings[bi].Rooms
+	if ri < 0 || ri >= len(rooms) {
+		return nil, false
+	}
+	return rooms[ri], true
+}
+
+// ClusterView summarises one Fig. 5 cluster.
+type ClusterView struct {
+	ID           int     `json:"id"`
+	Workers      int     `json:"workers"`
+	FreeSlots    int     `json:"free_slots"`
+	EdgeQueue    int     `json:"edge_queue"`
+	DCCQueue     int     `json:"dcc_queue"`
+	CoopDebt     int64   `json:"coop_debt"`
+	ForwardedIn  int64   `json:"forwarded_in"`
+	ForwardedOut int64   `json:"forwarded_out"`
+	Capacity     float64 `json:"capacity"`
+}
+
+func (s *Server) listClusters(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []ClusterView
+	for _, c := range s.city.MW.Clusters() {
+		free, capacity := 0, 0.0
+		for _, wk := range c.Workers() {
+			free += wk.FreeSlots()
+			capacity += wk.M.Capacity()
+		}
+		out = append(out, ClusterView{
+			ID: c.ID, Workers: len(c.Workers()), FreeSlots: free,
+			EdgeQueue: c.EdgeQueueLen(), DCCQueue: c.DCCQueueLen(),
+			CoopDebt: c.CoopDebt(), ForwardedIn: c.ForwardedIn(),
+			ForwardedOut: c.ForwardedOut(), Capacity: capacity,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// Metrics is the platform-wide flow snapshot.
+type Metrics struct {
+	SimTime       float64 `json:"sim_time_s"`
+	EdgeServed    int64   `json:"edge_served"`
+	EdgeRejected  int64   `json:"edge_rejected"`
+	EdgeMissRate  float64 `json:"edge_miss_rate"`
+	EdgeP99Ms     float64 `json:"edge_p99_ms"`
+	DCCJobsDone   int64   `json:"dcc_jobs_done"`
+	DCCCoreHours  float64 `json:"dcc_core_hours"`
+	FleetCapacity float64 `json:"fleet_capacity"`
+	FleetPUE      float64 `json:"fleet_pue"`
+	Outages       int64   `json:"outages"`
+	// Content-delivery flow (zero unless a cache is enabled).
+	ContentServed  int64   `json:"content_served"`
+	ContentHitRate float64 `json:"content_hit_rate"`
+	OriginBytes    float64 `json:"content_origin_bytes"`
+}
+
+func (s *Server) getMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.city
+	writeJSON(w, http.StatusOK, Metrics{
+		SimTime:        c.Engine.Now(),
+		EdgeServed:     c.MW.Edge.Served.Value(),
+		EdgeRejected:   c.MW.Edge.Rejected.Value(),
+		EdgeMissRate:   c.MW.Edge.MissRate(),
+		EdgeP99Ms:      c.MW.Edge.Latency.P99() * 1000,
+		DCCJobsDone:    c.MW.DCC.JobsDone.Value(),
+		DCCCoreHours:   c.MW.DCC.WorkDone / 3600,
+		FleetCapacity:  c.Fleet.Capacity(),
+		FleetPUE:       c.Fleet.PUE(c.Engine.Now()),
+		Outages:        c.Outages.Value(),
+		ContentServed:  c.MW.Content.Served.Value(),
+		ContentHitRate: c.MW.Content.HitRate(),
+		OriginBytes:    c.MW.Content.OriginBytes,
+	})
+}
+
+// postContent requests a content object (§II-A map serving). The gateway
+// cache must have been enabled when the daemon scenario was built; the
+// handler enables a 64 MB default lazily on first use otherwise.
+func (s *Server) postContent(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var body struct {
+		Building int     `json:"building"`
+		Device   int     `json:"device"`
+		ID       uint64  `json:"id"`
+		Bytes    float64 `json:"bytes"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		httpError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	if body.Building < 0 || body.Building >= len(s.city.Buildings) {
+		httpError(w, http.StatusNotFound, "no building %d", body.Building)
+		return
+	}
+	b := s.city.Buildings[body.Building]
+	if body.Device < 0 || body.Device >= len(b.Rooms) {
+		httpError(w, http.StatusNotFound, "no device %d", body.Device)
+		return
+	}
+	if body.Bytes <= 0 {
+		httpError(w, http.StatusBadRequest, "bytes must be positive")
+		return
+	}
+	if b.Cluster.ContentCacheOf() == nil {
+		s.city.MW.EnableContentCache(64*units.MB, s.city.DCNode)
+	}
+	s.city.MW.SubmitContent(b.Cluster, b.Rooms[body.Device].Node, body.ID, units.Byte(body.Bytes))
+	writeJSON(w, http.StatusAccepted, map[string]any{"ok": true})
+}
+
+// postJob submits a DCC job (the Internet-computing flow).
+func (s *Server) postJob(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var body struct {
+		Cluster   int       `json:"cluster"`
+		FrameWork []float64 `json:"frame_work_s"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		httpError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	if body.Cluster < 0 || body.Cluster >= len(s.city.Buildings) {
+		httpError(w, http.StatusNotFound, "no cluster %d", body.Cluster)
+		return
+	}
+	if len(body.FrameWork) == 0 {
+		httpError(w, http.StatusBadRequest, "job needs at least one frame")
+		return
+	}
+	for _, f := range body.FrameWork {
+		if f <= 0 {
+			httpError(w, http.StatusBadRequest, "frame work must be positive")
+			return
+		}
+	}
+	b := s.city.Buildings[body.Cluster]
+	job := workload.BatchJob{
+		ID:       uint64(s.city.MW.DCC.JobsDone.Value()) + 1_000_000,
+		TaskWork: body.FrameWork,
+		Input:    5e6, Output: 2e6,
+	}
+	s.city.MW.SubmitDCC(b.Cluster, s.city.Operator, job)
+	writeJSON(w, http.StatusAccepted, map[string]any{"ok": true, "frames": len(body.FrameWork)})
+}
+
+// postEdge injects a local edge request (the third flow).
+func (s *Server) postEdge(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var body struct {
+		Building   int     `json:"building"`
+		Device     int     `json:"device"`
+		WorkS      float64 `json:"work_s"`
+		DeadlineS  float64 `json:"deadline_s"`
+		Direct     bool    `json:"direct"`
+		InputBytes float64 `json:"input_bytes"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		httpError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	if body.Building < 0 || body.Building >= len(s.city.Buildings) {
+		httpError(w, http.StatusNotFound, "no building %d", body.Building)
+		return
+	}
+	b := s.city.Buildings[body.Building]
+	if body.Device < 0 || body.Device >= len(b.Rooms) {
+		httpError(w, http.StatusNotFound, "no device %d", body.Device)
+		return
+	}
+	if body.WorkS <= 0 {
+		httpError(w, http.StatusBadRequest, "work must be positive")
+		return
+	}
+	if body.InputBytes <= 0 {
+		body.InputBytes = 16e3
+	}
+	room := b.Rooms[body.Device]
+	req := workload.EdgeRequest{
+		Work:     body.WorkS,
+		Deadline: body.DeadlineS,
+		Input:    units.Byte(body.InputBytes),
+		Output:   200,
+		Device:   body.Device,
+	}
+	if body.Direct && room.Worker != nil {
+		s.city.MW.SubmitEdgeDirect(b.Cluster, room.Node, room.Worker, req)
+	} else {
+		s.city.MW.SubmitEdge(b.Cluster, room.Node, req)
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"ok": true})
+}
+
+// postStep advances simulated time.
+func (s *Server) postStep(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var body struct {
+		Seconds float64 `json:"seconds"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		httpError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	if body.Seconds <= 0 || body.Seconds > 366*24*3600 {
+		httpError(w, http.StatusBadRequest, "seconds must be in (0, 1 year]")
+		return
+	}
+	s.city.Engine.Run(s.city.Engine.Now() + sim.Time(body.Seconds))
+	writeJSON(w, http.StatusOK, map[string]any{"sim_time_s": s.city.Engine.Now()})
+}
+
+// machineResource adapts a machine to the uniform Resource view.
+func machineResource(class string, m *server.Machine) Resource {
+	return Resource{
+		Name:     m.Name,
+		Class:    class,
+		Cores:    m.Cores,
+		Capacity: m.Capacity(),
+		BudgetW:  float64(m.Budget()),
+		DrawW:    float64(m.Draw()),
+		HeatW:    float64(m.HeatOutput()),
+		Offline:  m.Offline(),
+		Tasks:    m.AssignedTasks(),
+	}
+}

@@ -1,0 +1,307 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"df3/internal/city"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server, *city.City) {
+	t.Helper()
+	cfg := city.DefaultConfig()
+	cfg.Buildings = 2
+	cfg.RoomsPerBuilding = 3
+	cfg.DatacenterNodes = 2
+	c := city.Build(cfg)
+	s := NewServer(c)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts, c
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func postJSON(t *testing.T, url string, body any, out any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestListResources(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	var res []Resource
+	resp := getJSON(t, ts.URL+"/v1/resources", &res)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	// 6 heaters + 2 datacenter nodes.
+	if len(res) != 8 {
+		t.Fatalf("%d resources", len(res))
+	}
+	classes := map[string]int{}
+	for _, r := range res {
+		classes[r.Class]++
+		if r.Name == "" || r.Cores == 0 {
+			t.Errorf("malformed resource %+v", r)
+		}
+	}
+	if classes["heater"] != 6 || classes["datacenter"] != 2 {
+		t.Errorf("class split %v", classes)
+	}
+}
+
+func TestGetResource(t *testing.T) {
+	_, ts, c := newTestServer(t)
+	name := c.HeaterFleet.Machines[0].Name
+	var r Resource
+	resp := getJSON(t, ts.URL+"/v1/resources/"+name, &r)
+	if resp.StatusCode != 200 || r.Name != name {
+		t.Fatalf("status %d, name %q", resp.StatusCode, r.Name)
+	}
+	resp = getJSON(t, ts.URL+"/v1/resources/nope", nil)
+	if resp.StatusCode != 404 {
+		t.Errorf("missing resource -> %d", resp.StatusCode)
+	}
+}
+
+func TestRoomsAndSetpoint(t *testing.T) {
+	_, ts, c := newTestServer(t)
+	var rooms []RoomView
+	getJSON(t, ts.URL+"/v1/rooms", &rooms)
+	if len(rooms) != 6 {
+		t.Fatalf("%d rooms", len(rooms))
+	}
+
+	// Heating request: pin room 0/0 to 24 °C, advance 12 h, check it warmed.
+	resp := postJSON(t, ts.URL+"/v1/rooms/0/0/setpoint",
+		map[string]float64{"setpoint_c": 24}, nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("setpoint status %d", resp.StatusCode)
+	}
+	postJSON(t, ts.URL+"/v1/step", map[string]float64{"seconds": 12 * 3600}, nil)
+	room := c.Buildings[0].Rooms[0]
+	if float64(room.Zone.Temp) < 21.5 {
+		t.Errorf("room did not warm toward 24°C: %v", room.Zone.Temp)
+	}
+
+	// Validation.
+	resp = postJSON(t, ts.URL+"/v1/rooms/0/0/setpoint", map[string]float64{"setpoint_c": 50}, nil)
+	if resp.StatusCode != 400 {
+		t.Errorf("out-of-range setpoint -> %d", resp.StatusCode)
+	}
+	resp = postJSON(t, ts.URL+"/v1/rooms/9/9/setpoint", map[string]float64{"setpoint_c": 21}, nil)
+	if resp.StatusCode != 404 {
+		t.Errorf("missing room -> %d", resp.StatusCode)
+	}
+}
+
+func TestJobsAndMetrics(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/v1/jobs",
+		map[string]any{"cluster": 0, "frame_work_s": []float64{60, 60, 120}}, nil)
+	if resp.StatusCode != 202 {
+		t.Fatalf("job status %d", resp.StatusCode)
+	}
+	postJSON(t, ts.URL+"/v1/step", map[string]float64{"seconds": 3600}, nil)
+	var m Metrics
+	getJSON(t, ts.URL+"/v1/metrics", &m)
+	if m.DCCJobsDone != 1 {
+		t.Errorf("jobs done = %d", m.DCCJobsDone)
+	}
+	if m.DCCCoreHours <= 0 {
+		t.Errorf("core hours = %v", m.DCCCoreHours)
+	}
+	if m.SimTime < 3600 {
+		t.Errorf("sim time = %v", m.SimTime)
+	}
+	if m.FleetPUE < 1 {
+		t.Errorf("PUE = %v", m.FleetPUE)
+	}
+}
+
+func TestJobValidation(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	cases := []map[string]any{
+		{"cluster": 99, "frame_work_s": []float64{1}},
+		{"cluster": 0, "frame_work_s": []float64{}},
+		{"cluster": 0, "frame_work_s": []float64{-5}},
+	}
+	for i, body := range cases {
+		resp := postJSON(t, ts.URL+"/v1/jobs", body, nil)
+		if resp.StatusCode == 202 {
+			t.Errorf("case %d accepted invalid job", i)
+		}
+	}
+}
+
+func TestEdgeInjection(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	for _, direct := range []bool{false, true} {
+		resp := postJSON(t, ts.URL+"/v1/edge", map[string]any{
+			"building": 0, "device": 1, "work_s": 0.05, "deadline_s": 0.5,
+			"direct": direct,
+		}, nil)
+		if resp.StatusCode != 202 {
+			t.Fatalf("edge status %d", resp.StatusCode)
+		}
+	}
+	postJSON(t, ts.URL+"/v1/step", map[string]float64{"seconds": 10}, nil)
+	var m Metrics
+	getJSON(t, ts.URL+"/v1/metrics", &m)
+	if m.EdgeServed != 2 {
+		t.Errorf("edge served = %d", m.EdgeServed)
+	}
+	if m.EdgeMissRate != 0 {
+		t.Errorf("miss rate = %v", m.EdgeMissRate)
+	}
+}
+
+func TestClustersView(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	var cs []ClusterView
+	getJSON(t, ts.URL+"/v1/clusters", &cs)
+	if len(cs) != 2 {
+		t.Fatalf("%d clusters", len(cs))
+	}
+	for _, c := range cs {
+		if c.Workers != 3 || c.FreeSlots == 0 {
+			t.Errorf("cluster view %+v", c)
+		}
+	}
+}
+
+func TestStepValidation(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	for _, secs := range []float64{0, -5, 400 * 24 * 3600} {
+		resp := postJSON(t, ts.URL+"/v1/step", map[string]float64{"seconds": secs}, nil)
+		if resp.StatusCode != 400 {
+			t.Errorf("step %v accepted with %d", secs, resp.StatusCode)
+		}
+	}
+}
+
+func TestStepAdvancesHeatingAutonomously(t *testing.T) {
+	// The ROC promise of §IV: "basic services delivered by the resources
+	// (heat for instance) will continue to be delivered even if there are
+	// problems in the central point" — heating progresses with no job or
+	// request traffic at all.
+	_, ts, c := newTestServer(t)
+	before := c.Engine.Fired()
+	postJSON(t, ts.URL+"/v1/step", map[string]float64{"seconds": 6 * 3600}, nil)
+	if c.Engine.Fired() == before {
+		t.Error("no events fired: heating loops not running")
+	}
+	var rooms []RoomView
+	getJSON(t, ts.URL+"/v1/rooms", &rooms)
+	for _, r := range rooms {
+		if r.TempC < 15 || r.TempC > 28 {
+			t.Errorf("room b%d-r%d at %v°C after autonomous run", r.Building, r.Room, r.TempC)
+		}
+	}
+}
+
+func TestConcurrentReadsAreSafe(t *testing.T) {
+	// The mutex must serialise concurrent HTTP clients (the engine is
+	// single-threaded); hammer reads and steps concurrently.
+	_, ts, _ := newTestServer(t)
+	done := make(chan error, 20)
+	for i := 0; i < 10; i++ {
+		go func() {
+			_, err := http.Get(ts.URL + "/v1/metrics")
+			done <- err
+		}()
+		go func() {
+			buf := bytes.NewReader([]byte(`{"seconds": 60}`))
+			_, err := http.Post(ts.URL+"/v1/step", "application/json", buf)
+			done <- err
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func ExampleServer() {
+	cfg := city.DefaultConfig()
+	cfg.Buildings = 1
+	cfg.RoomsPerBuilding = 2
+	s := NewServer(city.Build(cfg))
+	req := httptest.NewRequest("GET", "/v1/clusters", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var cs []ClusterView
+	_ = json.NewDecoder(rec.Body).Decode(&cs)
+	fmt.Println(len(cs), "cluster with", cs[0].Workers, "workers")
+	// Output: 1 cluster with 2 workers
+}
+
+func TestContentEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	// Two requests for the same object: the second hits the lazy cache.
+	for i := 0; i < 2; i++ {
+		resp := postJSON(t, ts.URL+"/v1/content",
+			map[string]any{"building": 0, "device": 0, "id": 7, "bytes": 20000}, nil)
+		if resp.StatusCode != 202 {
+			t.Fatalf("content status %d", resp.StatusCode)
+		}
+		postJSON(t, ts.URL+"/v1/step", map[string]float64{"seconds": 5}, nil)
+	}
+	var m Metrics
+	getJSON(t, ts.URL+"/v1/metrics", &m)
+	if m.ContentServed != 2 {
+		t.Errorf("content served = %d", m.ContentServed)
+	}
+	if m.ContentHitRate != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", m.ContentHitRate)
+	}
+	if m.OriginBytes != 20000 {
+		t.Errorf("origin bytes = %v, want one fetch", m.OriginBytes)
+	}
+}
+
+func TestContentEndpointValidation(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	cases := []map[string]any{
+		{"building": 9, "device": 0, "id": 1, "bytes": 100},
+		{"building": 0, "device": 9, "id": 1, "bytes": 100},
+		{"building": 0, "device": 0, "id": 1, "bytes": 0},
+	}
+	for i, body := range cases {
+		if resp := postJSON(t, ts.URL+"/v1/content", body, nil); resp.StatusCode == 202 {
+			t.Errorf("case %d accepted invalid content request", i)
+		}
+	}
+}

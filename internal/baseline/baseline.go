@@ -1,0 +1,25 @@
+// Package baseline implements the two comparator platforms the paper
+// argues against (§I, §V):
+//
+//   - CloudOnly: every request crosses the Internet to a classical
+//     datacenter — the latency and PUE foil for DF3.
+//   - DesktopGrid: a BOINC-style opportunistic volunteer grid where work
+//     only progresses while the PC's owner is away, the paper's argument
+//     for why desktop grids cannot host real-time edge workloads.
+package baseline
+
+import (
+	"df3/internal/offload"
+)
+
+// AlwaysVertical is an offload policy that sends every request to the
+// datacenter. Wiring it into the DF3 middleware with worker-less clusters
+// yields the cloud-only baseline on identical network and workload code
+// paths.
+type AlwaysVertical struct{}
+
+// Decide implements offload.Policy.
+func (AlwaysVertical) Decide(offload.Context) offload.Action { return offload.Vertical }
+
+// Name implements offload.Policy.
+func (AlwaysVertical) Name() string { return "cloud-only" }

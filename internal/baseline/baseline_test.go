@@ -1,0 +1,87 @@
+package baseline
+
+import (
+	"testing"
+
+	"df3/internal/offload"
+	"df3/internal/sim"
+	"df3/internal/workload"
+)
+
+func TestAlwaysVertical(t *testing.T) {
+	p := AlwaysVertical{}
+	if p.Decide(offload.Context{FreeSlots: 100}) != offload.Vertical {
+		t.Error("cloud-only policy must always go vertical")
+	}
+	if p.Name() != "cloud-only" {
+		t.Errorf("name = %q", p.Name())
+	}
+}
+
+func TestGridServesWhenOwnersAway(t *testing.T) {
+	e := sim.New()
+	g := NewDesktopGrid(e, 4, 1)
+	for i := 0; i < 20; i++ {
+		i := i
+		e.At(sim.Time(i)*10, func() {
+			g.Submit(workload.EdgeRequest{Work: 0.05, Deadline: 0.5})
+		})
+	}
+	e.Run(sim.Hour)
+	if g.Served.Value() == 0 {
+		t.Fatal("grid served nothing with owners initially away")
+	}
+}
+
+func TestGridSuspendsOnOwnerReturn(t *testing.T) {
+	e := sim.New()
+	g := NewDesktopGrid(e, 1, 2)
+	pc := g.PCs()[0]
+	// Long task; force the owner home mid-flight by direct toggle: use a
+	// short MeanAway so a return happens quickly.
+	g.Submit(workload.EdgeRequest{Work: 1e5, Deadline: 0})
+	e.Run(sim.Day)
+	if pc.Interruptions == 0 {
+		t.Error("owner never interrupted a running task over a day")
+	}
+}
+
+func TestGridMissesTightDeadlines(t *testing.T) {
+	// With owners present half the time, sub-second deadlines are missed
+	// whenever the submission lands during a presence window.
+	e := sim.New()
+	g := NewDesktopGrid(e, 2, 3)
+	g.MeanPresent = 600
+	g.MeanAway = 600
+	n := 500
+	for i := 0; i < n; i++ {
+		i := i
+		e.At(sim.Time(i)*30, func() {
+			g.Submit(workload.EdgeRequest{Work: 0.05, Deadline: 0.5})
+		})
+	}
+	e.Run(5 * sim.Hour)
+	missed := g.Missed.Value()
+	pending := int64(g.QueueLen())
+	if missed+pending == 0 {
+		t.Error("grid missed nothing despite 50% owner presence")
+	}
+}
+
+func TestGridDeterministic(t *testing.T) {
+	run := func() int64 {
+		e := sim.New()
+		g := NewDesktopGrid(e, 3, 7)
+		for i := 0; i < 50; i++ {
+			i := i
+			e.At(sim.Time(i)*20, func() {
+				g.Submit(workload.EdgeRequest{Work: 0.1, Deadline: 1})
+			})
+		}
+		e.Run(sim.Hour)
+		return g.Served.Value()*1000 + g.Missed.Value()
+	}
+	if run() != run() {
+		t.Error("desktop grid not deterministic")
+	}
+}

@@ -1,0 +1,105 @@
+// Package cache implements the byte-budgeted LRU cache that DF3 edge
+// gateways use for the §II-A "low-bandwidth neighborhood applications":
+// map tiles, TV segments and other content that a neighbourhood requests
+// over and over. Serving the popular head from the gateway keeps the
+// response on the building LAN and takes the traffic off the Internet
+// backhaul — the content-delivery half of the edge argument (the paper's
+// §V nod to CDN infrastructure).
+package cache
+
+import (
+	"container/list"
+
+	"df3/internal/units"
+)
+
+// LRU is a size-bounded least-recently-used cache keyed by uint64 (tile
+// or segment ids). The zero value is unusable; use New.
+type LRU struct {
+	capacity units.Byte
+	used     units.Byte
+	order    *list.List // front = most recent
+	items    map[uint64]*list.Element
+
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type entry struct {
+	key  uint64
+	size units.Byte
+}
+
+// New returns an empty cache with the given byte capacity. Zero capacity
+// is legal and caches nothing (the E16 baseline arm).
+func New(capacity units.Byte) *LRU {
+	return &LRU{
+		capacity: capacity,
+		order:    list.New(),
+		items:    map[uint64]*list.Element{},
+	}
+}
+
+// Get looks the key up, promoting it on hit. It returns the stored size.
+func (c *LRU) Get(key uint64) (units.Byte, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return 0, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*entry).size, true
+}
+
+// Put inserts (or refreshes) the key with the given size, evicting the
+// least-recently-used entries as needed. Objects larger than the whole
+// capacity are not cached.
+func (c *LRU) Put(key uint64, size units.Byte) {
+	if size <= 0 || size > c.capacity {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		c.used += size - el.Value.(*entry).size
+		el.Value.(*entry).size = size
+		c.order.MoveToFront(el)
+	} else {
+		c.items[key] = c.order.PushFront(&entry{key: key, size: size})
+		c.used += size
+	}
+	for c.used > c.capacity {
+		tail := c.order.Back()
+		if tail == nil {
+			break
+		}
+		ev := tail.Value.(*entry)
+		c.order.Remove(tail)
+		delete(c.items, ev.key)
+		c.used -= ev.size
+		c.evictions++
+	}
+}
+
+// Len returns the number of cached objects.
+func (c *LRU) Len() int { return len(c.items) }
+
+// Used returns the bytes currently held.
+func (c *LRU) Used() units.Byte { return c.used }
+
+// Capacity returns the byte budget.
+func (c *LRU) Capacity() units.Byte { return c.capacity }
+
+// Hits, Misses and Evictions expose the counters.
+func (c *LRU) Hits() int64      { return c.hits }
+func (c *LRU) Misses() int64    { return c.misses }
+func (c *LRU) Evictions() int64 { return c.evictions }
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (c *LRU) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}

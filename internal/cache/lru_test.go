@@ -1,0 +1,137 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"df3/internal/rng"
+	"df3/internal/units"
+)
+
+func TestHitAndMiss(t *testing.T) {
+	c := New(100)
+	if _, ok := c.Get(1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(1, 40)
+	if sz, ok := c.Get(1); !ok || sz != 40 {
+		t.Fatalf("get after put: %v %v", sz, ok)
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Errorf("counters hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+	if c.HitRate() != 0.5 {
+		t.Errorf("hit rate = %v", c.HitRate())
+	}
+}
+
+func TestEvictsLRU(t *testing.T) {
+	c := New(100)
+	c.Put(1, 40)
+	c.Put(2, 40)
+	c.Get(1)     // 1 is now most recent
+	c.Put(3, 40) // must evict 2
+	if _, ok := c.Get(2); ok {
+		t.Error("LRU entry survived eviction")
+	}
+	if _, ok := c.Get(1); !ok {
+		t.Error("recently-used entry was evicted")
+	}
+	if _, ok := c.Get(3); !ok {
+		t.Error("new entry missing")
+	}
+	if c.Evictions() != 1 {
+		t.Errorf("evictions = %d", c.Evictions())
+	}
+}
+
+func TestOversizedObjectNotCached(t *testing.T) {
+	c := New(100)
+	c.Put(1, 200)
+	if c.Len() != 0 || c.Used() != 0 {
+		t.Error("oversized object was cached")
+	}
+	c.Put(2, 0)
+	if c.Len() != 0 {
+		t.Error("zero-size object was cached")
+	}
+}
+
+func TestRefreshChangesSize(t *testing.T) {
+	c := New(100)
+	c.Put(1, 30)
+	c.Put(1, 60)
+	if c.Used() != 60 || c.Len() != 1 {
+		t.Errorf("used=%v len=%d after refresh", c.Used(), c.Len())
+	}
+}
+
+func TestZeroCapacity(t *testing.T) {
+	c := New(0)
+	c.Put(1, 10)
+	if c.Len() != 0 {
+		t.Error("zero-capacity cache stored an object")
+	}
+	if _, ok := c.Get(1); ok {
+		t.Error("zero-capacity cache hit")
+	}
+}
+
+// Property: the cache never exceeds its capacity and its accounting (Used
+// = Σ sizes of items) stays exact under arbitrary operation sequences.
+func TestCapacityInvariantProperty(t *testing.T) {
+	f := func(seed uint64, ops uint16) bool {
+		s := rng.New(seed)
+		c := New(units.Byte(1000))
+		for i := 0; i < int(ops); i++ {
+			key := uint64(s.Intn(50))
+			if s.Bool(0.5) {
+				c.Put(key, units.Byte(s.Intn(400)+1))
+			} else {
+				c.Get(key)
+			}
+			if c.Used() > c.Capacity() {
+				return false
+			}
+			var sum units.Byte
+			for _, el := range c.items {
+				sum += el.Value.(*entry).size
+			}
+			if sum != c.Used() {
+				return false
+			}
+			if c.order.Len() != len(c.items) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: on a Zipf stream, a cache big enough for the k most popular
+// items achieves at least (roughly) the head mass of those k items.
+func TestZipfHitRateMatchesHeadMass(t *testing.T) {
+	s := rng.New(9)
+	z := rng.NewZipf(s, 1000, 1.0)
+	const objSize = 10
+	const k = 100
+	c := New(units.Byte(k * objSize))
+	for i := 0; i < 200000; i++ {
+		id := uint64(z.Draw())
+		if _, ok := c.Get(id); !ok {
+			c.Put(id, objSize)
+		}
+	}
+	// LRU is not the clairvoyant most-popular cache: tail requests churn
+	// it, so allow a realistic gap below the ideal head mass.
+	want := z.HeadMass(k)
+	if got := c.HitRate(); got < want-0.15 {
+		t.Errorf("hit rate %v well below head mass %v", got, want)
+	}
+	if got := c.HitRate(); got > want+0.02 {
+		t.Errorf("hit rate %v above the ideal bound %v — accounting bug", got, want)
+	}
+}

@@ -1,0 +1,111 @@
+package city
+
+import (
+	"fmt"
+
+	"df3/internal/core"
+	"df3/internal/network"
+	"df3/internal/regulator"
+	"df3/internal/sim"
+	"df3/internal/thermal"
+	"df3/internal/units"
+)
+
+// RadiatorMaxW is the hydronic radiator power of a boiler-heated room.
+const RadiatorMaxW units.Watt = 800
+
+// minLoopTemp is the loop temperature below which radiators deliver
+// nothing useful.
+const minLoopTemp units.Celsius = 35
+
+// DHWPerRoomW is the year-round domestic hot-water draw per room: unlike
+// space heating, hot water is consumed in summer too, which is what keeps
+// digital boilers computing off-season (§II-B2).
+const DHWPerRoomW units.Watt = 150
+
+// BoilerPlant is a digital boiler heating a whole building through a water
+// loop (§II-B2): rooms draw thermostatically from the loop, the boiler's
+// compute budget is regulated on loop temperature. Because the loop
+// buffers heat, the boiler keeps computing through demand troughs — and
+// wastes heat when it computes with no draw, the §III-C concern.
+type BoilerPlant struct {
+	Building int
+	Worker   *core.Worker
+	Loop     *thermal.WaterLoop
+	Reg      *regulator.BoilerLoop
+
+	city        *City
+	rooms       []*Room
+	thermostats []regulator.Thermostat
+	lastDraw    units.Watt
+}
+
+// newBoilerPlant creates the plant's machine and water loop on the
+// building's gateway node (the boiler lives in the basement, wired
+// straight into the building switch).
+func newBoilerPlant(c *City, b int, gw network.NodeID) *BoilerPlant {
+	m := c.Cfg.BoilerSpec.Build(c.Engine, fmt.Sprintf("boiler-b%d", b))
+	c.Fleet.Add(m)
+	c.BoilerFleet.Add(m)
+	node := c.Net.AddNode(fmt.Sprintf("b%d-boiler", b))
+	c.Net.Connect(node, gw, network.BoilerNet)
+	p := &BoilerPlant{
+		Building: b,
+		Worker:   &core.Worker{M: m, Node: node},
+		Loop:     thermal.NewWaterLoop(1500),
+		city:     c,
+	}
+	p.Reg = &regulator.BoilerLoop{
+		Loop:     p.Loop,
+		Machine:  m,
+		Target:   55,
+		Band:     6,
+		Draw:     func(sim.Time) units.Watt { return p.lastDraw },
+		AlwaysOn: c.Cfg.AlwaysOnBoilers,
+		Derate:   c.Cfg.Derate,
+	}
+	return p
+}
+
+// attach registers a room as heated by this plant.
+func (p *BoilerPlant) attach(r *Room) {
+	p.rooms = append(p.rooms, r)
+	p.thermostats = append(p.thermostats, p.city.thermostat())
+}
+
+// start begins the building tick (rooms) and the boiler regulator. The
+// building ticker is created first so each control round steps rooms, then
+// the boiler — deterministic because same-time events fire in insertion
+// order.
+func (p *BoilerPlant) start() {
+	period := p.city.Cfg.ControlPeriod
+	sim.Every(p.city.Engine, period, func(now sim.Time) { p.tick(now, period) })
+	p.Reg.Start(p.city.Engine, period)
+}
+
+// tick steps every room: its radiator draws from the loop per the room
+// thermostat (when the loop is hot enough), and the zone integrates.
+func (p *BoilerPlant) tick(now sim.Time, dt sim.Time) {
+	outdoor := p.city.Weather.OutdoorTemp(now)
+	total := units.Watt(0)
+	for i, r := range p.rooms {
+		setpoint, occupied := r.Schedule.At(now)
+		frac := 0.0
+		if setpoint > 0 {
+			frac = p.thermostats[i].Fraction(r.Zone.Temp, setpoint)
+		}
+		delivered := units.Watt(0)
+		if p.Loop.Temp > minLoopTemp {
+			delivered = units.Watt(frac * float64(RadiatorMaxW))
+		}
+		gains := p.city.gains(r.Schedule)(now)
+		vent := thermal.VentLoss(r.Zone.Temp, regulator.VentCeiling(setpoint), outdoor, regulator.VentCoeffWPerK)
+		r.Zone.Step(dt, delivered, gains-vent, outdoor)
+		r.Comfort.Observe(now, dt, r.Zone.Temp, setpoint, occupied && setpoint > 0)
+		total += delivered
+	}
+	if p.Loop.Temp > minLoopTemp {
+		total += DHWPerRoomW * units.Watt(len(p.rooms))
+	}
+	p.lastDraw = total
+}

@@ -1,0 +1,25 @@
+package city
+
+import (
+	"fmt"
+	"testing"
+
+	"df3/internal/sim"
+)
+
+func TestDebugFaultComfort(t *testing.T) {
+	cfg := smallCfg()
+	cfg.MTBF = sim.Day
+	cfg.MTTR = 4 * sim.Hour
+	c := Build(cfg)
+	stop := c.SaturateDCC(600, 32)
+	defer stop()
+	for d := 0; d < 16; d++ {
+		c.Run(sim.Time(d) * 6 * sim.Hour)
+		r := c.Buildings[1].Rooms[0]
+		w := r.Worker
+		fmt.Printf("t=%5.1fh temp=%5.2f offline=%v budget=%v resistorE=%v outages=%d\n",
+			c.Engine.Now()/3600, float64(r.Zone.Temp), w.M.Offline(), w.M.Budget(),
+			r.Loop.ResistorEnergy(), c.Outages.Value())
+	}
+}

@@ -1,0 +1,90 @@
+package city
+
+import (
+	"testing"
+
+	"df3/internal/sim"
+	"df3/internal/workload"
+)
+
+func TestFaultInjectionWorkConserved(t *testing.T) {
+	cfg := smallCfg()
+	cfg.MTBF = 12 * sim.Hour // aggressive: several outages over the run
+	cfg.MTTR = sim.Hour
+	c := Build(cfg)
+	c.StartDCCTraffic(sim.Day, 1)
+	c.Run(4 * sim.Day)
+	if c.Outages.Value() == 0 {
+		t.Fatal("no outages injected with a 12h MTBF")
+	}
+	if c.MW.DCC.JobsDone.Value() == 0 {
+		t.Fatal("no jobs completed under failures")
+	}
+	// Work conservation: everything submitted eventually completes once
+	// machines come back; nothing may be stuck assigned or queued.
+	assigned := 0
+	queued := 0
+	for _, b := range c.Buildings {
+		queued += b.Cluster.DCCQueueLen()
+		for _, w := range b.Cluster.Workers() {
+			assigned += w.M.AssignedTasks()
+		}
+	}
+	if assigned != 0 || queued != 0 {
+		t.Errorf("work stuck after drain: assigned=%d queued=%d", assigned, queued)
+	}
+}
+
+func TestFaultInjectionComfortSurvives(t *testing.T) {
+	// The backup resistor covers failed machines: hosts stay warm even
+	// when their server is out for repair.
+	cfg := smallCfg()
+	cfg.MTBF = sim.Day
+	cfg.MTTR = 4 * sim.Hour
+	c := Build(cfg)
+	stop := c.SaturateDCC(600, 32)
+	defer stop()
+	c.Run(4 * sim.Day)
+	if c.Outages.Value() == 0 {
+		t.Skip("no outage drawn in this seed universe")
+	}
+	for _, r := range c.Rooms() {
+		if r.Comfort.InBandFraction() < 0.7 {
+			t.Errorf("room b%d-r%d comfort %v despite backup",
+				r.Building, r.Index, r.Comfort.InBandFraction())
+		}
+	}
+	if c.ResistorEnergy() <= 0 {
+		t.Error("resistor never engaged during outages")
+	}
+}
+
+func TestNoFaultsByDefault(t *testing.T) {
+	c := Build(smallCfg())
+	c.Run(2 * sim.Day)
+	if c.Outages.Value() != 0 {
+		t.Error("outages injected with MTBF disabled")
+	}
+}
+
+func TestFaultsDeterministic(t *testing.T) {
+	run := func() int64 {
+		cfg := smallCfg()
+		cfg.MTBF = 12 * sim.Hour
+		c := Build(cfg)
+		c.Run(5 * sim.Day)
+		return c.Outages.Value()
+	}
+	if run() != run() {
+		t.Error("fault injection not deterministic")
+	}
+}
+
+// workloadJob builds a small uniform batch job for tests.
+func workloadJob(n int) workload.BatchJob {
+	works := make([]float64, n)
+	for i := range works {
+		works[i] = 60
+	}
+	return workload.BatchJob{ID: 7, TaskWork: works, Input: 1e6, Output: 1e6}
+}

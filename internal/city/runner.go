@@ -1,0 +1,214 @@
+package city
+
+import (
+	"df3/internal/rng"
+	"df3/internal/sim"
+	"df3/internal/units"
+	"df3/internal/workload"
+)
+
+// StartEdgeTraffic launches one alarm-detection generator per building,
+// submitting indirect requests from random room devices until `until`.
+// rateScale multiplies both MMPP state rates (1 = the reference workload).
+func (c *City) StartEdgeTraffic(until sim.Time, rateScale float64) {
+	for bi, b := range c.Buildings {
+		gen := workload.DefaultEdgeGen(c.stream.Fork(uint64(1000+bi)), len(b.Rooms))
+		gen.CalmRate *= rateScale
+		gen.BurstRate *= rateScale
+		b := b
+		gen.Start(c.Engine, until, func(r workload.EdgeRequest) {
+			device := b.Rooms[r.Device].Node
+			c.MW.SubmitEdge(b.Cluster, device, r)
+		})
+	}
+}
+
+// StartDirectEdgeTraffic is StartEdgeTraffic with direct requests pinned
+// to the device's own room server (falls back to indirect in boiler
+// buildings, which have no per-room worker).
+func (c *City) StartDirectEdgeTraffic(until sim.Time, rateScale float64) {
+	for bi, b := range c.Buildings {
+		gen := workload.DefaultEdgeGen(c.stream.Fork(uint64(2000+bi)), len(b.Rooms))
+		gen.CalmRate *= rateScale
+		gen.BurstRate *= rateScale
+		b := b
+		gen.Start(c.Engine, until, func(r workload.EdgeRequest) {
+			room := b.Rooms[r.Device]
+			if room.Worker != nil {
+				c.MW.SubmitEdgeDirect(b.Cluster, room.Node, room.Worker, r)
+			} else {
+				c.MW.SubmitEdge(b.Cluster, room.Node, r)
+			}
+		})
+	}
+}
+
+// StartSenseLoops launches one sense-compute-actuate loop per room.
+func (c *City) StartSenseLoops(until sim.Time, period sim.Time) {
+	for _, b := range c.Buildings {
+		for _, r := range b.Rooms {
+			loop := &workload.SenseLoop{
+				Period: period,
+				Work:   0.01,
+				Input:  512,
+				Output: 64,
+				Device: r.Index,
+			}
+			b, r := b, r
+			loop.Start(c.Engine, until, func(req workload.EdgeRequest) {
+				c.MW.SubmitEdge(b.Cluster, r.Node, req)
+			})
+		}
+	}
+}
+
+// StartDCCTraffic launches the operator's batch stream, spreading jobs
+// round-robin over clusters. jobsPerHour sets the mean arrival rate.
+func (c *City) StartDCCTraffic(until sim.Time, jobsPerHour float64) {
+	gen := workload.DefaultDCCGen(c.stream.Fork(3000), c.Cfg.Calendar, jobsPerHour/3600)
+	i := 0
+	gen.Start(c.Engine, until, func(j workload.BatchJob) {
+		b := c.Buildings[i%len(c.Buildings)]
+		i++
+		c.MW.SubmitDCC(b.Cluster, c.Operator, j)
+	})
+}
+
+// StartMapTraffic launches the §II-A "location-based services" workload:
+// devices request map tiles whose popularity follows a Zipf law, served
+// from the gateway content caches (enable them first with
+// MW.EnableContentCache). tiles is the catalogue size; reqPerSec the
+// city-wide request rate.
+func (c *City) StartMapTraffic(until sim.Time, tiles int, reqPerSec float64) {
+	arr := c.stream.Fork(5000)
+	zipf := rng.NewZipf(c.stream.Fork(5001), tiles, 1.0)
+	pick := c.stream.Fork(5002)
+	var schedule func()
+	schedule = func() {
+		at := c.Engine.Now() + arr.Exp(reqPerSec)
+		if at > until {
+			return
+		}
+		c.Engine.At(at, func() {
+			b := c.Buildings[pick.Intn(len(c.Buildings))]
+			room := b.Rooms[pick.Intn(len(b.Rooms))]
+			id := uint64(zipf.Draw())
+			// Tile sizes: 15–40 kB, deterministic per tile id.
+			size := units.Byte(15e3 + float64(id%26)*1e3)
+			c.MW.SubmitContent(b.Cluster, room.Node, id, size)
+			schedule()
+		})
+	}
+	schedule()
+}
+
+// FinanceOutcome tallies overnight risk batches against their business
+// deadline.
+type FinanceOutcome struct {
+	Submitted int
+	OnTime    int
+	Late      int
+}
+
+// StartFinanceTraffic runs the nightly finance batches (§II-A's bank
+// customers) against the city, spreading each batch's scenarios across
+// clusters, and reports per-batch deadline outcomes into the returned
+// tally (final counts valid once the run drains past the last deadline).
+func (c *City) StartFinanceTraffic(until sim.Time) *FinanceOutcome {
+	out := &FinanceOutcome{}
+	gen := workload.DefaultFinanceGen(c.stream.Fork(4000), c.Cfg.Calendar)
+	gen.Start(c.Engine, until, func(b workload.Batch) {
+		out.Submitted++
+		// Shard scenarios across clusters like the campaign path.
+		n := len(c.Buildings)
+		shards := make([]workload.BatchJob, n)
+		for i := range shards {
+			shards[i] = workload.BatchJob{
+				ID:    b.Job.ID*100 + uint64(i),
+				Input: b.Job.Input, Output: b.Job.Output,
+			}
+		}
+		for i, w := range b.Job.TaskWork {
+			s := &shards[i%n]
+			s.TaskWork = append(s.TaskWork, w)
+		}
+		pending := 0
+		late := false
+		due := b.Due
+		for i, s := range shards {
+			if len(s.TaskWork) == 0 {
+				continue
+			}
+			pending++
+			c.MW.SubmitDCCNotify(c.Buildings[i].Cluster, c.Operator, s, func(at sim.Time) {
+				if at > due {
+					late = true
+				}
+				pending--
+				if pending == 0 {
+					if late {
+						out.Late++
+					} else {
+						out.OnTime++
+					}
+				}
+			})
+		}
+	})
+	return out
+}
+
+// SubmitCampaign splits a fixed batch job into per-cluster shards and
+// submits them all at t=0 — the render-campaign replay of E9.
+func (c *City) SubmitCampaign(job workload.BatchJob) {
+	n := len(c.Buildings)
+	shards := make([]workload.BatchJob, n)
+	for i := range shards {
+		shards[i] = workload.BatchJob{ID: job.ID*100 + uint64(i), Input: job.Input, Output: job.Output}
+	}
+	for i, w := range job.TaskWork {
+		s := &shards[i%n]
+		s.TaskWork = append(s.TaskWork, w)
+	}
+	for i, s := range shards {
+		if len(s.TaskWork) > 0 {
+			c.MW.SubmitDCC(c.Buildings[i].Cluster, c.Operator, s)
+		}
+	}
+}
+
+// SaturateDCC keeps every cluster's batch queue topped up with uniform
+// tasks so heaters always have work to convert demand into heat. Returns a
+// stop function.
+func (c *City) SaturateDCC(taskWork float64, batch int) func() {
+	tick := sim.Every(c.Engine, 10*sim.Minute, func(now sim.Time) {
+		for _, b := range c.Buildings {
+			if b.Cluster.DCCQueueLen() < batch {
+				works := make([]float64, batch)
+				for i := range works {
+					works[i] = taskWork
+				}
+				c.MW.SubmitDCC(b.Cluster, c.Operator, workload.BatchJob{
+					ID:       uint64(now) + uint64(b.Index),
+					TaskWork: works,
+					Input:    1e6,
+					Output:   1e6,
+				})
+			}
+		}
+	})
+	// Prime immediately as well.
+	for _, b := range c.Buildings {
+		works := make([]float64, batch)
+		for i := range works {
+			works[i] = taskWork
+		}
+		c.MW.SubmitDCC(b.Cluster, c.Operator, workload.BatchJob{
+			ID:       uint64(90000 + b.Index),
+			TaskWork: works,
+			Input:    1e6,
+			Output:   1e6,
+		})
+	}
+	return tick.Stop
+}

@@ -1,0 +1,227 @@
+// Package cluster forms clusters of DF servers for the DF3 gateways.
+//
+// §III-B of the paper: "To decide on the components of clusters, we can
+// either use clustering techniques developed in wireless sensor networks or
+// define clusters as the set of DF servers of a physical building or
+// district." This package implements both: the trivial per-building
+// grouping, a geographic grid (districts), and Lloyd's k-means on server
+// coordinates as the WSN-style technique.
+package cluster
+
+import (
+	"math"
+	"sort"
+
+	"df3/internal/rng"
+)
+
+// Point is a position in the city plane, in meters.
+type Point struct{ X, Y float64 }
+
+// Dist returns the Euclidean distance between two points.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Site is one DF server location.
+type Site struct {
+	// ID indexes the site in the scenario's server list.
+	ID int
+	// Pos is the site position.
+	Pos Point
+	// Building identifies the building hosting the site.
+	Building int
+}
+
+// Assignment maps each cluster to the IDs of its member sites. Clusters
+// and members are emitted in deterministic (sorted) order.
+type Assignment [][]int
+
+// Sizes returns the member count of each cluster.
+func (a Assignment) Sizes() []int {
+	s := make([]int, len(a))
+	for i, c := range a {
+		s[i] = len(c)
+	}
+	return s
+}
+
+// PerBuilding groups sites by their building — the paper's simplest option.
+func PerBuilding(sites []Site) Assignment {
+	byB := map[int][]int{}
+	for _, s := range sites {
+		byB[s.Building] = append(byB[s.Building], s.ID)
+	}
+	keys := make([]int, 0, len(byB))
+	for k := range byB {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make(Assignment, 0, len(keys))
+	for _, k := range keys {
+		members := byB[k]
+		sort.Ints(members)
+		out = append(out, members)
+	}
+	return out
+}
+
+// Grid groups sites into square districts of the given cell size.
+func Grid(sites []Site, cell float64) Assignment {
+	if cell <= 0 {
+		panic("cluster: non-positive grid cell")
+	}
+	type key struct{ cx, cy int }
+	byCell := map[key][]int{}
+	for _, s := range sites {
+		k := key{int(math.Floor(s.Pos.X / cell)), int(math.Floor(s.Pos.Y / cell))}
+		byCell[k] = append(byCell[k], s.ID)
+	}
+	keys := make([]key, 0, len(byCell))
+	for k := range byCell {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].cx != keys[j].cx {
+			return keys[i].cx < keys[j].cx
+		}
+		return keys[i].cy < keys[j].cy
+	})
+	out := make(Assignment, 0, len(keys))
+	for _, k := range keys {
+		members := byCell[k]
+		sort.Ints(members)
+		out = append(out, members)
+	}
+	return out
+}
+
+// KMeans clusters sites into k groups with Lloyd's algorithm, seeded by
+// k-means++ style farthest-point initialisation on the given stream. Empty
+// clusters are dropped from the result.
+func KMeans(sites []Site, k int, stream *rng.Stream, iters int) Assignment {
+	if k <= 0 {
+		panic("cluster: k must be positive")
+	}
+	if len(sites) == 0 {
+		return nil
+	}
+	if k > len(sites) {
+		k = len(sites)
+	}
+	// Farthest-point init: pick a random first centre, then repeatedly the
+	// site farthest from every chosen centre.
+	centres := make([]Point, 0, k)
+	centres = append(centres, sites[stream.Intn(len(sites))].Pos)
+	for len(centres) < k {
+		bestD, bestI := -1.0, 0
+		for i, s := range sites {
+			d := math.Inf(1)
+			for _, c := range centres {
+				if dd := s.Pos.Dist(c); dd < d {
+					d = dd
+				}
+			}
+			if d > bestD {
+				bestD, bestI = d, i
+			}
+		}
+		centres = append(centres, sites[bestI].Pos)
+	}
+
+	assign := make([]int, len(sites))
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, s := range sites {
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centres {
+				if d := s.Pos.Dist(ctr); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Recompute centres.
+		var sx, sy = make([]float64, k), make([]float64, k)
+		var n = make([]int, k)
+		for i, s := range sites {
+			c := assign[i]
+			sx[c] += s.Pos.X
+			sy[c] += s.Pos.Y
+			n[c]++
+		}
+		for c := 0; c < k; c++ {
+			if n[c] > 0 {
+				centres[c] = Point{sx[c] / float64(n[c]), sy[c] / float64(n[c])}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	groups := make(Assignment, k)
+	for i, s := range sites {
+		groups[assign[i]] = append(groups[assign[i]], s.ID)
+	}
+	out := make(Assignment, 0, k)
+	for _, g := range groups {
+		if len(g) > 0 {
+			sort.Ints(g)
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// MeanIntraDistance returns the average distance from each site to the
+// centroid of its cluster — lower is tighter clustering, which translates
+// into shorter gateway-to-worker network paths.
+func MeanIntraDistance(sites []Site, a Assignment) float64 {
+	pos := map[int]Point{}
+	for _, s := range sites {
+		pos[s.ID] = s.Pos
+	}
+	total, n := 0.0, 0
+	for _, members := range a {
+		if len(members) == 0 {
+			continue
+		}
+		var cx, cy float64
+		for _, id := range members {
+			cx += pos[id].X
+			cy += pos[id].Y
+		}
+		c := Point{cx / float64(len(members)), cy / float64(len(members))}
+		for _, id := range members {
+			total += pos[id].Dist(c)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// SizeImbalance returns max/mean cluster size — 1 is perfectly balanced.
+func SizeImbalance(a Assignment) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	maxS, sum := 0, 0
+	for _, c := range a {
+		if len(c) > maxS {
+			maxS = len(c)
+		}
+		sum += len(c)
+	}
+	mean := float64(sum) / float64(len(a))
+	if mean == 0 {
+		return 0
+	}
+	return float64(maxS) / mean
+}

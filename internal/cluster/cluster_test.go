@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"df3/internal/rng"
+)
+
+func square(n int, spread float64, stream *rng.Stream) []Site {
+	sites := make([]Site, n)
+	for i := range sites {
+		sites[i] = Site{
+			ID:       i,
+			Pos:      Point{stream.Float64() * spread, stream.Float64() * spread},
+			Building: i / 4,
+		}
+	}
+	return sites
+}
+
+func covers(t *testing.T, a Assignment, n int) {
+	t.Helper()
+	seen := map[int]bool{}
+	for _, c := range a {
+		for _, id := range c {
+			if seen[id] {
+				t.Fatalf("site %d in two clusters", id)
+			}
+			seen[id] = true
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("assignment covers %d of %d sites", len(seen), n)
+	}
+}
+
+func TestPerBuilding(t *testing.T) {
+	sites := square(20, 100, rng.New(1))
+	a := PerBuilding(sites)
+	covers(t, a, 20)
+	if len(a) != 5 {
+		t.Errorf("%d clusters, want 5 buildings", len(a))
+	}
+	for _, c := range a {
+		if len(c) != 4 {
+			t.Errorf("building cluster size %d, want 4", len(c))
+		}
+		b := sites[c[0]].Building
+		for _, id := range c {
+			if sites[id].Building != b {
+				t.Error("cluster mixes buildings")
+			}
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	sites := []Site{
+		{ID: 0, Pos: Point{10, 10}},
+		{ID: 1, Pos: Point{20, 20}},
+		{ID: 2, Pos: Point{110, 10}},
+		{ID: 3, Pos: Point{110, 120}},
+	}
+	a := Grid(sites, 100)
+	covers(t, a, 4)
+	if len(a) != 3 {
+		t.Errorf("%d grid cells, want 3", len(a))
+	}
+}
+
+func TestGridPanicsOnBadCell(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for zero cell")
+		}
+	}()
+	Grid(nil, 0)
+}
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	s := rng.New(3)
+	var sites []Site
+	for i := 0; i < 30; i++ { // blob A around (0,0)
+		sites = append(sites, Site{ID: i, Pos: Point{s.Normal(0, 5), s.Normal(0, 5)}})
+	}
+	for i := 30; i < 60; i++ { // blob B around (1000,1000)
+		sites = append(sites, Site{ID: i, Pos: Point{s.Normal(1000, 5), s.Normal(1000, 5)}})
+	}
+	a := KMeans(sites, 2, rng.New(4), 50)
+	covers(t, a, 60)
+	if len(a) != 2 {
+		t.Fatalf("%d clusters, want 2", len(a))
+	}
+	// Each cluster must be pure: all members from one blob.
+	for _, c := range a {
+		blob := c[0] < 30
+		for _, id := range c {
+			if (id < 30) != blob {
+				t.Error("k-means mixed the blobs")
+			}
+		}
+	}
+}
+
+func TestKMeansKLargerThanSites(t *testing.T) {
+	sites := square(3, 100, rng.New(5))
+	a := KMeans(sites, 10, rng.New(6), 10)
+	covers(t, a, 3)
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	sites := square(40, 500, rng.New(7))
+	a := KMeans(sites, 4, rng.New(8), 30)
+	b := KMeans(sites, 4, rng.New(8), 30)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic cluster count")
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatal("nondeterministic cluster sizes")
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("nondeterministic membership")
+			}
+		}
+	}
+}
+
+func TestKMeansTighterThanGridOnBlobs(t *testing.T) {
+	// Geographic blobs that straddle grid-cell boundaries: k-means should
+	// produce tighter clusters.
+	s := rng.New(9)
+	var sites []Site
+	centres := []Point{{95, 95}, {205, 95}, {95, 205}, {205, 205}}
+	id := 0
+	for _, c := range centres {
+		for i := 0; i < 15; i++ {
+			sites = append(sites, Site{ID: id, Pos: Point{s.Normal(c.X, 8), s.Normal(c.Y, 8)}})
+			id++
+		}
+	}
+	km := KMeans(sites, 4, rng.New(10), 50)
+	gr := Grid(sites, 100)
+	if MeanIntraDistance(sites, km) >= MeanIntraDistance(sites, gr) {
+		t.Errorf("k-means (%v) not tighter than grid (%v)",
+			MeanIntraDistance(sites, km), MeanIntraDistance(sites, gr))
+	}
+}
+
+func TestMetricsEdgeCases(t *testing.T) {
+	if MeanIntraDistance(nil, nil) != 0 {
+		t.Error("empty intra distance should be 0")
+	}
+	if SizeImbalance(nil) != 0 {
+		t.Error("empty imbalance should be 0")
+	}
+	if got := SizeImbalance(Assignment{{1, 2}, {3, 4}}); got != 1 {
+		t.Errorf("balanced imbalance = %v", got)
+	}
+	if got := SizeImbalance(Assignment{{1, 2, 3}, {4}}); got != 1.5 {
+		t.Errorf("imbalance = %v, want 1.5", got)
+	}
+}
+
+// Property: every clustering covers all sites exactly once, for arbitrary
+// site layouts.
+func TestCoverageProperty(t *testing.T) {
+	f := func(seed uint64, n8, k8 uint8) bool {
+		n := int(n8%60) + 1
+		k := int(k8%10) + 1
+		s := rng.New(seed)
+		sites := square(n, 1000, s)
+		check := func(a Assignment) bool {
+			seen := map[int]bool{}
+			for _, c := range a {
+				for _, id := range c {
+					if seen[id] {
+						return false
+					}
+					seen[id] = true
+				}
+			}
+			return len(seen) == n
+		}
+		return check(PerBuilding(sites)) &&
+			check(Grid(sites, 250)) &&
+			check(KMeans(sites, k, s.Fork(1), 20))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

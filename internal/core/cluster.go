@@ -1,0 +1,232 @@
+package core
+
+import (
+	"df3/internal/cache"
+	"df3/internal/network"
+	"df3/internal/offload"
+	"df3/internal/sched"
+	"df3/internal/server"
+	"df3/internal/sim"
+)
+
+// Cluster is one Fig. 5 cluster: workers plus an edge gateway and a DCC
+// gateway on the building (or district) network.
+type Cluster struct {
+	ID int
+	// EdgeGW and DCCGW are the gateways' network endpoints.
+	EdgeGW, DCCGW network.NodeID
+	workers       []*Worker
+	edgeQ         *sched.Queue
+	dccQ          *sched.Queue
+	neighbors     []*Cluster
+	mw            *Middleware
+	// fwdIn and fwdOut count horizontal requests received from and sent
+	// to other clusters — the bookkeeping behind the fairness-of-
+	// cooperation question the paper raises via [16].
+	fwdIn, fwdOut int64
+	// content is the gateway's LRU content cache (nil unless
+	// EnableContentCache was called).
+	content *cache.LRU
+}
+
+// ForwardedIn returns the number of horizontal requests this cluster
+// accepted from neighbours.
+func (c *Cluster) ForwardedIn() int64 { return c.fwdIn }
+
+// ForwardedOut returns the number of horizontal requests this cluster sent
+// to neighbours.
+func (c *Cluster) ForwardedOut() int64 { return c.fwdOut }
+
+// CoopDebt returns accepted-minus-sent: positive means this cluster works
+// for others more than they work for it.
+func (c *Cluster) CoopDebt() int64 { return c.fwdIn - c.fwdOut }
+
+// Workers returns the cluster's workers.
+func (c *Cluster) Workers() []*Worker { return c.workers }
+
+// Neighbors returns the clusters reachable for horizontal offloading.
+func (c *Cluster) Neighbors() []*Cluster { return c.neighbors }
+
+// EdgeQueueLen returns the current edge queue length.
+func (c *Cluster) EdgeQueueLen() int { return c.edgeQ.Len() }
+
+// DCCQueueLen returns the current DCC queue length.
+func (c *Cluster) DCCQueueLen() int { return c.dccQ.Len() }
+
+// edgeWorkers yields workers eligible for edge tasks under the arch class.
+func (c *Cluster) edgeWorkers() []*Worker {
+	if c.mw.cfg.Arch == Shared {
+		return c.workers
+	}
+	out := make([]*Worker, 0, len(c.workers))
+	for _, w := range c.workers {
+		if w.EdgeOnly {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// dccWorkers yields workers eligible for DCC tasks under the arch class.
+func (c *Cluster) dccWorkers() []*Worker {
+	if c.mw.cfg.Arch == Shared {
+		return c.workers
+	}
+	out := make([]*Worker, 0, len(c.workers))
+	for _, w := range c.workers {
+		if !w.EdgeOnly {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// freeEdgeSlots counts slots able to run an edge task now, net of inputs
+// already in flight toward workers.
+func (c *Cluster) freeEdgeSlots() int {
+	n := 0
+	for _, w := range c.edgeWorkers() {
+		n += w.FreeSlots()
+	}
+	return n
+}
+
+// pickEdgeWorker returns the eligible worker with the highest current
+// speed among those with a free slot (FastestFirst: edge requests are
+// latency-bound), or nil.
+func (c *Cluster) pickEdgeWorker() *Worker {
+	var best *Worker
+	for _, w := range c.edgeWorkers() {
+		if w.FreeSlots() == 0 {
+			continue
+		}
+		if best == nil || w.M.Speed() > best.M.Speed() {
+			best = w
+		}
+	}
+	return best
+}
+
+// pickDCCWorker returns the least-loaded eligible worker with a free slot
+// (LeastLoaded spreads heat across hosts), or nil.
+func (c *Cluster) pickDCCWorker() *Worker {
+	var best *Worker
+	for _, w := range c.dccWorkers() {
+		if w.FreeSlots() == 0 {
+			continue
+		}
+		if best == nil || w.FreeSlots() > best.FreeSlots() {
+			best = w
+		}
+	}
+	return best
+}
+
+// victim returns a worker hosting a preemptible DCC task, preferring the
+// youngest victim (least banked work lost), or nil.
+func (c *Cluster) victim() (*Worker, *server.Task) {
+	var bw *Worker
+	var bt *server.Task
+	for _, w := range c.edgeWorkers() {
+		t := w.M.Victim(classDCC)
+		if t == nil {
+			continue
+		}
+		// Each machine offers its youngest DCC task; across machines we
+		// take the one with the most remaining work, which loses the
+		// least banked progress to the eviction.
+		if bt == nil || t.Remaining() > bt.Remaining() {
+			bw, bt = w, t
+		}
+	}
+	return bw, bt
+}
+
+// dispatch drains queues onto free slots: edge first (priority), then DCC.
+func (c *Cluster) dispatch() {
+	now := c.mw.Engine.Now()
+	for c.edgeQ.Len() > 0 && c.freeEdgeSlots() > 0 {
+		if c.mw.cfg.DropExpired {
+			// Discard queued requests that can no longer make it.
+			head := c.edgeQ.Peek()
+			if head.Deadline != 0 && head.Deadline < now {
+				c.edgeQ.Pop()
+				c.mw.rejectEdge(head.Ctx.(*edgeReq))
+				continue
+			}
+		}
+		w := c.pickEdgeWorker()
+		if w == nil {
+			break
+		}
+		it := c.edgeQ.Pop()
+		c.mw.runEdgeOn(c, w, it.Ctx.(*edgeReq))
+	}
+	for c.dccQ.Len() > 0 {
+		w := c.pickDCCWorker()
+		if w == nil {
+			break
+		}
+		it := c.dccQ.Pop()
+		if !w.M.Start(it.Task) {
+			panic("core: dcc placement picked a full machine")
+		}
+	}
+}
+
+// offloadContext snapshots the cluster state for the decision policy.
+func (c *Cluster) offloadContext(req *edgeReq) offload.Context {
+	now := c.mw.Engine.Now()
+	slack := sim.Time(0)
+	if req.deadline != 0 {
+		slack = req.deadline - now - sim.Time(req.work) // expected exec at full speed
+	}
+	var bestNeighbor int
+	var hRTT sim.Time
+	for _, n := range c.neighbors {
+		if free := n.freeEdgeSlots(); free > bestNeighbor {
+			bestNeighbor = free
+			hRTT = 2 * c.mw.gwLatency(c, n)
+		}
+	}
+	return offload.Context{
+		FreeSlots:     c.freeEdgeSlots(),
+		QueueLen:      c.edgeQ.Len(),
+		QueueCap:      c.mw.cfg.EdgeQueueCap,
+		Slack:         slack,
+		CanPreempt:    c.canPreempt(),
+		NeighborFree:  bestNeighbor,
+		HorizontalRTT: hRTT,
+		VerticalRTT:   2 * c.mw.dcLatency(c),
+		Forwarded:     req.fwd,
+	}
+}
+
+// canPreempt reports whether a DCC victim exists on an edge-eligible worker.
+func (c *Cluster) canPreempt() bool {
+	_, t := c.victim()
+	return t != nil
+}
+
+// FailWorker takes a worker out of service: its tasks are evacuated, DCC
+// tasks re-queue locally with their remaining work, and edge tasks are
+// lost (the device's connection died with the machine) and counted as
+// rejected. Pair with RestoreWorker when the machine is repaired.
+func (c *Cluster) FailWorker(w *Worker) {
+	evacuated := w.M.Evacuate()
+	w.M.SetOffline(true)
+	for _, t := range evacuated {
+		if t.Class == classDCC {
+			c.dccQ.Push(&sched.Item{Task: t, Enqueued: c.mw.Engine.Now()})
+		} else {
+			c.mw.Edge.Rejected.Inc()
+		}
+	}
+	c.dispatch()
+}
+
+// RestoreWorker returns a failed worker to service and dispatches backlog.
+func (c *Cluster) RestoreWorker(w *Worker) {
+	w.M.SetOffline(false)
+	c.dispatch()
+}

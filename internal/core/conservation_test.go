@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"df3/internal/offload"
+	"df3/internal/rng"
+	"df3/internal/sim"
+	"df3/internal/workload"
+)
+
+// TestEdgeConservationProperty: under every offload policy and a random
+// mix of load, every submitted edge request ends in exactly one terminal
+// state — served or rejected — once the platform drains. Nothing is lost
+// in flight, duplicated by re-decides, or stuck in a queue forever.
+func TestEdgeConservationProperty(t *testing.T) {
+	policies := []offload.Policy{
+		offload.RejectPolicy{},
+		offload.DelayPolicy{},
+		offload.PreemptPolicy{},
+		offload.VerticalPolicy{},
+		offload.HorizontalPolicy{},
+		offload.Smart{},
+	}
+	f := func(seed uint64, pIdx uint8, burst uint8) bool {
+		cfg := DefaultConfig()
+		cfg.Offload = policies[int(pIdx)%len(policies)]
+		r := newRig(t, cfg, 2, 1)
+		s := rng.New(seed)
+		// Random DCC backlog to create contention.
+		works := make([]float64, int(burst%48)+8)
+		for i := range works {
+			works[i] = 30 + s.Float64()*300
+		}
+		r.mw.SubmitDCC(r.mw.Clusters()[0], r.op, workload.BatchJob{
+			ID: 1, TaskWork: works, Input: 1e6, Output: 1e6,
+		})
+		const n = 60
+		for i := 0; i < n; i++ {
+			i := i
+			at := sim.Time(i) * s.Float64() * 3
+			cl := r.mw.Clusters()[i%2]
+			dev := r.devices[i%2]
+			r.e.At(at, func() {
+				r.mw.SubmitEdge(cl, dev, edgeReqOf(0.01+s.Float64()*0.2, 0.5))
+			})
+		}
+		r.e.Run(6 * sim.Hour)
+		total := r.mw.Edge.Served.Value() + r.mw.Edge.Rejected.Value()
+		if total != n {
+			t.Logf("policy %s: served %d + rejected %d != %d",
+				cfg.Offload.Name(), r.mw.Edge.Served.Value(), r.mw.Edge.Rejected.Value(), n)
+			return false
+		}
+		// Queues must be empty after the drain.
+		for _, c := range r.mw.Clusters() {
+			if c.EdgeQueueLen() != 0 {
+				t.Logf("policy %s: %d requests stuck in edge queue", cfg.Offload.Name(), c.EdgeQueueLen())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEdgeConservationUnderFailures extends conservation to machine
+// failures: requests lost to a dying worker surface as rejections, never
+// as silence.
+func TestEdgeConservationUnderFailures(t *testing.T) {
+	cfg := DefaultConfig()
+	r := newRig(t, cfg, 1, 2)
+	c := r.mw.Clusters()[0]
+	const n = 40
+	for i := 0; i < n; i++ {
+		i := i
+		r.e.At(sim.Time(i)*0.2, func() {
+			r.mw.SubmitEdge(c, r.devices[0], edgeReqOf(1.0, 10)) // long tasks
+		})
+	}
+	// Fail worker 0 mid-stream, restore later.
+	r.e.At(2, func() { c.FailWorker(c.Workers()[0]) })
+	r.e.At(30, func() { c.RestoreWorker(c.Workers()[0]) })
+	r.e.Run(sim.Hour)
+	total := r.mw.Edge.Served.Value() + r.mw.Edge.Rejected.Value()
+	if total != n {
+		t.Errorf("served %d + rejected %d != %d under failures",
+			r.mw.Edge.Served.Value(), r.mw.Edge.Rejected.Value(), n)
+	}
+}

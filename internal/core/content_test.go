@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"df3/internal/units"
+)
+
+func TestContentHitServedLocally(t *testing.T) {
+	r := newRig(t, DefaultConfig(), 1, 1)
+	c := r.mw.Clusters()[0]
+	r.mw.EnableContentCache(10*units.MB, r.mw.dcNode)
+
+	// First request: miss, fetched from origin across the Internet.
+	r.mw.SubmitContent(c, r.devices[0], 42, 20*units.KB)
+	r.e.Run(5)
+	if r.mw.Content.CacheMisses.Value() != 1 || r.mw.Content.CacheHits.Value() != 0 {
+		t.Fatalf("first request: hits=%d misses=%d",
+			r.mw.Content.CacheHits.Value(), r.mw.Content.CacheMisses.Value())
+	}
+	missLatency := r.mw.Content.Latency.Max()
+
+	// Second request for the same object: hit, served over the LAN.
+	r.mw.SubmitContent(c, r.devices[0], 42, 20*units.KB)
+	r.e.Run(10)
+	if r.mw.Content.CacheHits.Value() != 1 {
+		t.Fatalf("second request did not hit")
+	}
+	hitLatency := r.mw.Content.Latency.Min()
+	if hitLatency >= missLatency {
+		t.Errorf("hit latency %v not below miss latency %v", hitLatency, missLatency)
+	}
+	// The miss pays two Internet legs (~70 ms); the hit only LAN.
+	if missLatency < 0.06 {
+		t.Errorf("miss latency %v suspiciously low", missLatency)
+	}
+	if hitLatency > 0.02 {
+		t.Errorf("hit latency %v suspiciously high", hitLatency)
+	}
+	if r.mw.Content.OriginBytes != 20e3 {
+		t.Errorf("origin bytes = %v, want one object", r.mw.Content.OriginBytes)
+	}
+}
+
+func TestContentWithoutCacheFails(t *testing.T) {
+	r := newRig(t, DefaultConfig(), 1, 1)
+	c := r.mw.Clusters()[0]
+	r.mw.SubmitContent(c, r.devices[0], 1, 1000)
+	r.e.Run(1)
+	if r.mw.Content.Failed.Value() != 1 {
+		t.Error("content request without cache configured should fail")
+	}
+}
+
+func TestContentZeroCapacityIsPassThrough(t *testing.T) {
+	r := newRig(t, DefaultConfig(), 1, 1)
+	c := r.mw.Clusters()[0]
+	r.mw.EnableContentCache(0, r.mw.dcNode)
+	for i := 0; i < 3; i++ {
+		r.mw.SubmitContent(c, r.devices[0], 7, 20*units.KB)
+		r.e.Run(r.e.Now() + 5)
+	}
+	if r.mw.Content.CacheHits.Value() != 0 {
+		t.Error("zero-capacity cache produced hits")
+	}
+	if r.mw.Content.Served.Value() != 3 {
+		t.Errorf("served = %d, want all pass-through", r.mw.Content.Served.Value())
+	}
+	if r.mw.Content.OriginBytes != 60e3 {
+		t.Errorf("origin bytes = %v, want every object fetched", r.mw.Content.OriginBytes)
+	}
+}

@@ -1,0 +1,213 @@
+// Package core implements the DF3 middleware — the paper's contribution:
+// one platform serving the three flows of §II-C (heating requests, Internet
+// distributed-cloud-computing requests, and local edge requests, direct or
+// indirect) on the same fleet of data-furnace servers.
+//
+// The component architecture follows Fig. 5: clusters of worker machines
+// fronted by an edge gateway and a DCC gateway, a regulation system
+// (package regulator) throttling each worker to its host's heat demand, a
+// remote datacenter for vertical offloading, and metro links between
+// clusters for horizontal offloading. Both §III-B architecture classes are
+// implemented: class 1 shares every worker between edge and DCC; class 2
+// dedicates a worker subset to edge traffic.
+package core
+
+import (
+	"df3/internal/metrics"
+	"df3/internal/network"
+	"df3/internal/offload"
+	"df3/internal/sched"
+	"df3/internal/server"
+	"df3/internal/sim"
+	"df3/internal/units"
+)
+
+// Flow labels the three request flows of the DF3 model.
+type Flow int
+
+const (
+	// FlowHeating is a comfort request (setpoint change).
+	FlowHeating Flow = iota
+	// FlowDCC is an Internet distributed-cloud-computing request.
+	FlowDCC
+	// FlowEdgeIndirect is a local request routed through the edge gateway.
+	FlowEdgeIndirect
+	// FlowEdgeDirect is a local request sent straight to a worker.
+	FlowEdgeDirect
+)
+
+func (f Flow) String() string {
+	switch f {
+	case FlowHeating:
+		return "heating"
+	case FlowDCC:
+		return "dcc"
+	case FlowEdgeIndirect:
+		return "edge-indirect"
+	default:
+		return "edge-direct"
+	}
+}
+
+// Task classes, used for preemption victim selection on shared workers.
+const (
+	classEdge = 1
+	classDCC  = 2
+)
+
+// ArchClass selects the §III-B architecture.
+type ArchClass int
+
+const (
+	// Shared lets every worker serve both edge and DCC (class 1).
+	Shared ArchClass = iota
+	// Dedicated reserves a fixed subset of workers for edge (class 2).
+	Dedicated
+)
+
+func (a ArchClass) String() string {
+	if a == Dedicated {
+		return "dedicated"
+	}
+	return "shared"
+}
+
+// Config parameterises the middleware.
+type Config struct {
+	// Arch selects shared or dedicated workers.
+	Arch ArchClass
+	// DedicatedEdgeWorkers is the per-cluster count of workers reserved
+	// for edge when Arch == Dedicated.
+	DedicatedEdgeWorkers int
+	// Offload is the peak-management policy.
+	Offload offload.Policy
+	// EdgeQueueCap bounds each cluster's edge queue (0 = unbounded).
+	EdgeQueueCap int
+	// EdgePolicy is the edge queue discipline (EDF by default).
+	EdgePolicy sched.Policy
+	// DCCPolicy is the batch queue discipline (FCFS by default).
+	DCCPolicy sched.Policy
+	// DropExpired discards queued edge requests whose deadline already
+	// passed instead of wasting a worker slot on them.
+	DropExpired bool
+	// GatewayOverhead is the middleware processing delay added when a
+	// request traverses a gateway (decision, container routing). Direct
+	// requests skip it — the latency side of the §II-C direct/indirect
+	// trade-off.
+	GatewayOverhead sim.Time
+	// CoopDebtLimit caps a neighbour's cooperation debt (accepted minus
+	// sent horizontal requests): a cluster that is already this many
+	// requests in surplus refuses further forwards, the fairness control
+	// of [16]. Zero means unlimited cooperation.
+	CoopDebtLimit int64
+}
+
+// DefaultConfig is the reference configuration: shared workers, smart
+// offloading, EDF edge queueing with a cap of 64, expired requests dropped.
+func DefaultConfig() Config {
+	return Config{
+		Arch:            Shared,
+		Offload:         offload.Smart{},
+		EdgeQueueCap:    64,
+		EdgePolicy:      sched.EDF,
+		DCCPolicy:       sched.FCFS,
+		DropExpired:     true,
+		GatewayOverhead: 0.003,
+	}
+}
+
+// Worker binds a machine to its network attachment point.
+type Worker struct {
+	M *server.Machine
+	// Node is the worker's network endpoint (its room on the building LAN).
+	Node network.NodeID
+	// EdgeOnly marks workers reserved for edge traffic under Dedicated.
+	EdgeOnly bool
+	// reserved counts slots promised to edge inputs still on the wire, so
+	// the dispatcher does not hand the same slot to DCC work meanwhile.
+	reserved int
+}
+
+// FreeSlots returns the worker's startable slots net of reservations.
+func (w *Worker) FreeSlots() int {
+	n := w.M.FreeSlots() - w.reserved
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// EdgeStats aggregates the edge flow's outcome metrics.
+type EdgeStats struct {
+	// Latency samples end-to-end response times of served requests.
+	Latency metrics.Sample
+	// Served counts requests completed (regardless of deadline).
+	Served metrics.Counter
+	// Missed counts served requests that finished past their deadline.
+	Missed metrics.Counter
+	// Rejected counts requests dropped by policy or expiry.
+	Rejected metrics.Counter
+	// Preemptions, Horizontal, Vertical count offload actions taken.
+	Preemptions, Horizontal, Vertical metrics.Counter
+	// DirectFallbacks counts direct requests that fell back to the
+	// gateway because the pinned worker was unavailable.
+	DirectFallbacks metrics.Counter
+}
+
+// Arrived returns the total number of edge requests seen.
+func (s *EdgeStats) Arrived() int64 {
+	return s.Served.Value() + s.Rejected.Value()
+}
+
+// MissRate returns (missed + rejected) / arrived — the deadline-failure
+// probability an application would observe.
+func (s *EdgeStats) MissRate() float64 {
+	return metrics.Rate(s.Missed.Value()+s.Rejected.Value(), s.Arrived())
+}
+
+// DCCStats aggregates the batch flow's outcome metrics.
+type DCCStats struct {
+	// JobFlowTime samples per-job flow times (completion − arrival).
+	JobFlowTime metrics.Sample
+	// JobStretch samples flow time / ideal time, where ideal is the
+	// job's critical path (its largest task) at full speed.
+	JobStretch metrics.Sample
+	// TasksDone counts completed tasks.
+	TasksDone metrics.Counter
+	// JobsDone counts completed jobs.
+	JobsDone metrics.Counter
+	// WorkDone accumulates completed core-seconds.
+	WorkDone float64
+}
+
+// Throughput returns completed core-seconds per second of simulated time.
+func (s *DCCStats) Throughput(elapsed sim.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return s.WorkDone / elapsed
+}
+
+// edgeReq is the in-flight state of one edge request.
+type edgeReq struct {
+	id       uint64
+	flow     Flow
+	origin   network.NodeID // where the response must return to
+	work     float64
+	deadline sim.Time // absolute; 0 = none
+	input    units.Byte
+	output   units.Byte
+	arrival  sim.Time // first arrival at the platform edge
+	fwd      bool     // already took a horizontal hop
+	home     *Cluster // cluster that first received it (stats owner)
+}
+
+// dccJob is the in-flight state of one batch job.
+type dccJob struct {
+	id      uint64
+	arrival sim.Time
+	ideal   float64 // critical path in core-seconds at full speed
+	pending int
+	cluster *Cluster
+	onDone  func(at sim.Time)
+}

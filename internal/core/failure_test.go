@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+
+	"df3/internal/offload"
+	"df3/internal/sched"
+	"df3/internal/server"
+	"df3/internal/sim"
+	"df3/internal/workload"
+)
+
+func TestFailWorkerRequeuesDCC(t *testing.T) {
+	r := newRig(t, DefaultConfig(), 1, 2)
+	c := r.mw.Clusters()[0]
+	works := make([]float64, 20)
+	for i := range works {
+		works[i] = 600
+	}
+	r.mw.SubmitDCC(c, r.op, workload.BatchJob{ID: 1, TaskWork: works, Input: 1e6, Output: 1e6})
+	r.e.Run(60)
+	w0 := c.Workers()[0]
+	before := w0.M.AssignedTasks()
+	if before == 0 {
+		t.Fatal("worker 0 idle before failure")
+	}
+	c.FailWorker(w0)
+	if !w0.M.Offline() {
+		t.Fatal("worker not offline after FailWorker")
+	}
+	if w0.M.AssignedTasks() != 0 {
+		t.Error("failed worker still holds tasks")
+	}
+	// The whole job must still finish on the surviving worker.
+	r.e.Run(3 * sim.Hour)
+	if r.mw.DCC.TasksDone.Value() != 20 {
+		t.Errorf("tasks done = %d, want 20 despite failure", r.mw.DCC.TasksDone.Value())
+	}
+}
+
+func TestFailWorkerDropsEdgeTasks(t *testing.T) {
+	r := newRig(t, DefaultConfig(), 1, 1)
+	c := r.mw.Clusters()[0]
+	w := c.Workers()[0]
+	// Edge-class tasks run directly on the worker.
+	for i := 0; i < 3; i++ {
+		w.M.Start(&server.Task{Work: 1e6, Class: classEdge})
+	}
+	c.FailWorker(w)
+	if got := r.mw.Edge.Rejected.Value(); got != 3 {
+		t.Errorf("rejected = %d, want 3 lost edge tasks", got)
+	}
+	if c.DCCQueueLen() != 0 {
+		t.Error("edge tasks leaked into the DCC queue")
+	}
+}
+
+func TestRestoreWorkerResumesService(t *testing.T) {
+	r := newRig(t, DefaultConfig(), 1, 1)
+	c := r.mw.Clusters()[0]
+	w := c.Workers()[0]
+	c.FailWorker(w)
+	done := false
+	tk := &server.Task{Work: 10, Class: classDCC, OnDone: func(sim.Time) { done = true }}
+	c.dccQ.Push(&sched.Item{Task: tk, Enqueued: r.e.Now()})
+	c.dispatch()
+	r.e.Run(100)
+	if done {
+		t.Fatal("task ran on a failed worker")
+	}
+	c.RestoreWorker(w)
+	r.e.Run(200)
+	if !done {
+		t.Error("task did not run after restore")
+	}
+}
+
+func TestCoopDebtAccounting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Offload = horizontalOnly{}
+	r := newRig(t, cfg, 2, 1)
+	c0, c1 := r.mw.Clusters()[0], r.mw.Clusters()[1]
+	// Fill c0 so everything forwards to c1.
+	for i := 0; i < 16; i++ {
+		c0.Workers()[0].M.Start(&server.Task{Work: 1e6, Class: classEdge})
+	}
+	for i := 0; i < 5; i++ {
+		i := i
+		r.e.At(sim.Time(i), func() {
+			r.mw.SubmitEdge(c0, r.devices[0], edgeReqOf(0.05, 5))
+		})
+	}
+	r.e.Run(60)
+	if c0.ForwardedOut() != 5 || c1.ForwardedIn() != 5 {
+		t.Errorf("forward counts: out=%d in=%d", c0.ForwardedOut(), c1.ForwardedIn())
+	}
+	if c1.CoopDebt() != 5 || c0.CoopDebt() != -5 {
+		t.Errorf("debts: c0=%d c1=%d", c0.CoopDebt(), c1.CoopDebt())
+	}
+}
+
+func TestCoopDebtLimitRefuses(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Offload = horizontalOnly{}
+	cfg.CoopDebtLimit = 3
+	r := newRig(t, cfg, 2, 1)
+	c0, c1 := r.mw.Clusters()[0], r.mw.Clusters()[1]
+	for i := 0; i < 16; i++ {
+		c0.Workers()[0].M.Start(&server.Task{Work: 1e6, Class: classEdge})
+	}
+	for i := 0; i < 10; i++ {
+		i := i
+		r.e.At(sim.Time(i), func() {
+			r.mw.SubmitEdge(c0, r.devices[0], edgeReqOf(0.05, 5))
+		})
+	}
+	r.e.Run(60)
+	if c1.ForwardedIn() != 3 {
+		t.Errorf("neighbour accepted %d, want exactly the debt limit 3", c1.ForwardedIn())
+	}
+	// The rest queued at home rather than overloading the neighbour.
+	if got := r.mw.Edge.Horizontal.Value(); got != 3 {
+		t.Errorf("horizontal offloads = %d, want 3", got)
+	}
+}
+
+// horizontalOnly always forwards when the local cluster is full, without
+// the neighbour-free-slot precondition of the production policy, so the
+// fairness mechanics can be observed in isolation.
+type horizontalOnly struct{}
+
+func (horizontalOnly) Name() string { return "horizontal-only" }
+
+func (horizontalOnly) Decide(ctx offload.Context) offload.Action {
+	if ctx.FreeSlots > 0 {
+		return offload.Run
+	}
+	if !ctx.Forwarded {
+		return offload.Horizontal
+	}
+	return offload.Queue
+}

@@ -1,0 +1,472 @@
+package core
+
+import (
+	"fmt"
+
+	"df3/internal/network"
+	"df3/internal/offload"
+	"df3/internal/sched"
+	"df3/internal/server"
+	"df3/internal/sim"
+	"df3/internal/trace"
+	"df3/internal/units"
+	"df3/internal/workload"
+)
+
+// Middleware is the DF3 control plane: it owns the clusters, the remote
+// datacenter pool and the platform-wide flow statistics.
+type Middleware struct {
+	Engine *sim.Engine
+	Net    *network.Fabric
+
+	cfg      Config
+	clusters []*Cluster
+
+	// Datacenter state for vertical offloading and the DCC baseline.
+	dcPool *sched.Pool
+	dcNode network.NodeID
+
+	// Edge and DCC are the platform-wide flow ledgers.
+	Edge EdgeStats
+	DCC  DCCStats
+
+	// Tracer, when set, records per-request events (edge_served,
+	// edge_rejected, dcc_job) for offline analysis and replay.
+	Tracer *trace.Recorder
+
+	// Content is the content-delivery flow ledger (see content.go).
+	Content       ContentStats
+	contentOrigin network.NodeID
+
+	nextReqID uint64
+	nextJobID uint64
+}
+
+// completeEdge finalises a served request: stats, deadline check, trace.
+func (mw *Middleware) completeEdge(req *edgeReq) {
+	latency := mw.Engine.Now() - req.arrival
+	mw.Edge.Latency.Observe(latency)
+	mw.Edge.Served.Inc()
+	if req.deadline != 0 && mw.Engine.Now() > req.deadline {
+		mw.Edge.Missed.Inc()
+	}
+	if mw.Tracer != nil {
+		mw.Tracer.Record(trace.Event{
+			T: mw.Engine.Now(), Kind: "edge_served", ID: req.id,
+			Value: latency, Detail: req.flow.String(),
+		})
+	}
+}
+
+// rejectEdge finalises a dropped request.
+func (mw *Middleware) rejectEdge(req *edgeReq) {
+	mw.Edge.Rejected.Inc()
+	if mw.Tracer != nil {
+		mw.Tracer.Add(mw.Engine.Now(), "edge_rejected", req.id, 0)
+	}
+}
+
+// New builds a middleware with the given configuration. Defaults are
+// applied for zero-valued policy fields.
+func New(e *sim.Engine, net *network.Fabric, cfg Config) *Middleware {
+	if cfg.Offload == nil {
+		cfg.Offload = offload.Smart{}
+	}
+	return &Middleware{Engine: e, Net: net, cfg: cfg}
+}
+
+// Config returns the middleware configuration.
+func (mw *Middleware) Config() Config { return mw.cfg }
+
+// Clusters returns the registered clusters.
+func (mw *Middleware) Clusters() []*Cluster { return mw.clusters }
+
+// AddCluster registers a cluster of workers fronted by the two gateways.
+// Under the Dedicated architecture the first Config.DedicatedEdgeWorkers
+// workers are reserved for edge traffic.
+func (mw *Middleware) AddCluster(edgeGW, dccGW network.NodeID, workers []*Worker) *Cluster {
+	c := &Cluster{
+		ID:     len(mw.clusters),
+		EdgeGW: edgeGW,
+		DCCGW:  dccGW,
+		edgeQ:  sched.NewQueue(mw.cfg.EdgePolicy),
+		dccQ:   sched.NewQueue(mw.cfg.DCCPolicy),
+		mw:     mw,
+	}
+	for i, w := range workers {
+		if mw.cfg.Arch == Dedicated && i < mw.cfg.DedicatedEdgeWorkers {
+			w.EdgeOnly = true
+		}
+		c.workers = append(c.workers, w)
+		w.M.OnCapacity(c.dispatch)
+	}
+	mw.clusters = append(mw.clusters, c)
+	return c
+}
+
+// Peer links clusters for horizontal offloading (one direction; call twice
+// or use PeerAll for symmetry).
+func (mw *Middleware) Peer(a, b *Cluster) { a.neighbors = append(a.neighbors, b) }
+
+// PeerAll makes every pair of clusters mutual neighbours.
+func (mw *Middleware) PeerAll() {
+	for _, a := range mw.clusters {
+		for _, b := range mw.clusters {
+			if a != b {
+				a.neighbors = append(a.neighbors, b)
+			}
+		}
+	}
+}
+
+// SetDatacenter installs the remote datacenter: a pool of machines behind
+// the given network node, targets of vertical offloading.
+func (mw *Middleware) SetDatacenter(node network.NodeID, machines []*server.Machine) {
+	mw.dcNode = node
+	mw.dcPool = sched.NewPool(mw.Engine, sched.EDF, machines)
+	mw.dcPool.Placement = sched.FastestFirst
+}
+
+// DatacenterPool returns the datacenter pool (nil when not configured).
+func (mw *Middleware) DatacenterPool() *sched.Pool { return mw.dcPool }
+
+// gwLatency returns the one-way gateway-to-gateway latency between two
+// clusters.
+func (mw *Middleware) gwLatency(a, b *Cluster) sim.Time {
+	l := mw.Net.PathLatency(a.EdgeGW, b.EdgeGW)
+	if l < 0 {
+		return 1e9 // unreachable: make any slack comparison fail
+	}
+	return l
+}
+
+// dcLatency returns the one-way latency from a cluster to the datacenter.
+func (mw *Middleware) dcLatency(c *Cluster) sim.Time {
+	if mw.dcPool == nil {
+		return 1e9
+	}
+	l := mw.Net.PathLatency(c.EdgeGW, mw.dcNode)
+	if l < 0 {
+		return 1e9
+	}
+	return l
+}
+
+// ---------------------------------------------------------------------------
+// Edge flow
+// ---------------------------------------------------------------------------
+
+// SubmitEdge injects an indirect local request: the device at `device`
+// sends it to the cluster's edge gateway, which decides per the offload
+// policy. This is the paper's recommended (more secure) path.
+func (mw *Middleware) SubmitEdge(c *Cluster, device network.NodeID, r workload.EdgeRequest) {
+	mw.nextReqID++
+	req := &edgeReq{
+		id:      mw.nextReqID,
+		flow:    FlowEdgeIndirect,
+		origin:  device,
+		work:    r.Work,
+		input:   r.Input,
+		output:  r.Output,
+		arrival: mw.Engine.Now(),
+		home:    c,
+	}
+	if r.Deadline > 0 {
+		req.deadline = mw.Engine.Now() + r.Deadline
+	}
+	// Device → gateway transfer, then the gateway's processing delay,
+	// then decide.
+	ok := mw.Net.Send(device, c.EdgeGW, r.Input, func(sim.Time) {
+		mw.Engine.After(mw.cfg.GatewayOverhead, func() { mw.decide(c, req) })
+	})
+	if !ok {
+		mw.Edge.Rejected.Inc()
+	}
+}
+
+// SubmitEdgeDirect injects a direct local request to a pinned worker (the
+// DF server in the device's own room). If the worker cannot run it, the
+// request falls back to the indirect path and the fallback is counted —
+// the security/latency trade-off of §II-C in measurable form.
+func (mw *Middleware) SubmitEdgeDirect(c *Cluster, device network.NodeID, w *Worker, r workload.EdgeRequest) {
+	mw.nextReqID++
+	req := &edgeReq{
+		id:      mw.nextReqID,
+		flow:    FlowEdgeDirect,
+		origin:  device,
+		work:    r.Work,
+		input:   r.Input,
+		output:  r.Output,
+		arrival: mw.Engine.Now(),
+		home:    c,
+	}
+	if r.Deadline > 0 {
+		req.deadline = mw.Engine.Now() + r.Deadline
+	}
+	ok := mw.Net.Send(device, w.Node, r.Input, func(sim.Time) {
+		if w.FreeSlots() > 0 {
+			mw.execute(c, w, req, w.Node) // respond straight to the device
+			return
+		}
+		mw.Edge.DirectFallbacks.Inc()
+		req.flow = FlowEdgeIndirect
+		// Forward from the worker to the gateway and decide there.
+		ok := mw.Net.Send(w.Node, c.EdgeGW, r.Input, func(sim.Time) {
+			mw.Engine.After(mw.cfg.GatewayOverhead, func() { mw.decide(c, req) })
+		})
+		if !ok {
+			mw.Edge.Rejected.Inc()
+		}
+	})
+	if !ok {
+		mw.Edge.Rejected.Inc()
+	}
+}
+
+// decide applies the offload policy to a request sitting at c's gateway.
+func (mw *Middleware) decide(c *Cluster, req *edgeReq) {
+	ctx := c.offloadContext(req)
+	switch mw.cfg.Offload.Decide(ctx) {
+	case offload.Run:
+		w := c.pickEdgeWorker()
+		if w == nil {
+			// Raced with another arrival; queue instead.
+			mw.enqueueEdge(c, req)
+			return
+		}
+		mw.runEdgeOn(c, w, req)
+	case offload.Queue:
+		mw.enqueueEdge(c, req)
+	case offload.Preempt:
+		mw.preemptFor(c, req)
+	case offload.Horizontal:
+		mw.forwardHorizontal(c, req)
+	case offload.Vertical:
+		mw.forwardVertical(c, req)
+	default: // Reject
+		mw.rejectEdge(req)
+	}
+}
+
+// enqueueEdge pushes the request into c's edge queue.
+func (mw *Middleware) enqueueEdge(c *Cluster, req *edgeReq) {
+	// The queue discipline needs a task handle for SJF sizing.
+	t := &server.Task{ID: req.id, Work: req.work, Class: classEdge}
+	c.edgeQ.Push(&sched.Item{Task: t, Enqueued: mw.Engine.Now(), Deadline: req.deadline, Ctx: req})
+}
+
+// runEdgeOn reserves a slot on w and ships the input (indirect route).
+func (mw *Middleware) runEdgeOn(c *Cluster, w *Worker, req *edgeReq) {
+	w.reserved++
+	mw.shipEdge(c, w, req)
+}
+
+// shipEdge transfers the input to a worker whose slot is already reserved,
+// then executes. The reservation is released when the input lands.
+func (mw *Middleware) shipEdge(c *Cluster, w *Worker, req *edgeReq) {
+	ok := mw.Net.Send(c.EdgeGW, w.Node, req.input, func(sim.Time) {
+		w.reserved--
+		if w.M.FreeSlots() > 0 {
+			mw.execute(c, w, req, c.EdgeGW)
+			return
+		}
+		// The slot vanished while the input was in flight; re-decide.
+		mw.decide(c, req)
+	})
+	if !ok {
+		w.reserved--
+		mw.Edge.Rejected.Inc()
+	}
+}
+
+// execute runs the request on the worker and routes the response back to
+// the origin via `via` (gateway for indirect, worker-direct otherwise).
+func (mw *Middleware) execute(c *Cluster, w *Worker, req *edgeReq, via network.NodeID) {
+	task := &server.Task{ID: req.id, Work: req.work, Class: classEdge}
+	task.OnDone = func(at sim.Time) {
+		respond := func(sim.Time) { mw.completeEdge(req) }
+		if via == w.Node {
+			// Direct: worker answers the device itself.
+			if !mw.Net.Send(w.Node, req.origin, req.output, respond) {
+				mw.rejectEdge(req)
+			}
+			return
+		}
+		// Indirect: worker → gateway → device.
+		ok := mw.Net.Send(w.Node, via, req.output, func(sim.Time) {
+			if !mw.Net.Send(via, req.origin, req.output, respond) {
+				mw.rejectEdge(req)
+			}
+		})
+		if !ok {
+			mw.rejectEdge(req)
+		}
+	}
+	if !w.M.Start(task) {
+		panic(fmt.Sprintf("core: execute on full worker %s", w.M.Name))
+	}
+}
+
+// preemptFor evicts a DCC task and runs the request in its place; the
+// victim returns to the DCC queue with its remaining work.
+func (mw *Middleware) preemptFor(c *Cluster, req *edgeReq) {
+	w, victim := c.victim()
+	if victim == nil {
+		mw.enqueueEdge(c, req)
+		return
+	}
+	// Reserve the slot before evicting: Preempt fires the machine's
+	// capacity callback synchronously, and dispatch must not hand the
+	// freed slot to queued DCC work meant to be displaced.
+	w.reserved++
+	w.M.Preempt(victim)
+	mw.Edge.Preemptions.Inc()
+	c.dccQ.Push(&sched.Item{Task: victim, Enqueued: mw.Engine.Now(), Ctx: nil})
+	mw.shipEdge(c, w, req)
+	// A DCC worker elsewhere in the cluster may be free for the victim.
+	c.dispatch()
+}
+
+// forwardHorizontal ships the request to the best neighbour's gateway:
+// most free slots, debt cap respected, ties broken toward the neighbour
+// owing the most cooperation.
+func (mw *Middleware) forwardHorizontal(c *Cluster, req *edgeReq) {
+	var best *Cluster
+	for _, n := range c.neighbors {
+		if mw.cfg.CoopDebtLimit > 0 && n.CoopDebt() >= mw.cfg.CoopDebtLimit {
+			continue // n already works enough for others ([16])
+		}
+		if best == nil ||
+			n.freeEdgeSlots() > best.freeEdgeSlots() ||
+			(n.freeEdgeSlots() == best.freeEdgeSlots() && n.CoopDebt() < best.CoopDebt()) {
+			best = n
+		}
+	}
+	if best == nil {
+		mw.enqueueEdge(c, req)
+		return
+	}
+	mw.Edge.Horizontal.Inc()
+	c.fwdOut++
+	best.fwdIn++
+	req.fwd = true
+	target := best
+	ok := mw.Net.Send(c.EdgeGW, target.EdgeGW, req.input, func(sim.Time) {
+		// Responses will flow back through the remote gateway; the origin
+		// stays the device, so the path is worker → remote GW → device.
+		mw.Engine.After(mw.cfg.GatewayOverhead, func() { mw.decide(target, req) })
+	})
+	if !ok {
+		mw.Edge.Rejected.Inc()
+	}
+}
+
+// forwardVertical ships the request to the datacenter.
+func (mw *Middleware) forwardVertical(c *Cluster, req *edgeReq) {
+	if mw.dcPool == nil {
+		mw.enqueueEdge(c, req)
+		return
+	}
+	mw.Edge.Vertical.Inc()
+	ok := mw.Net.Send(c.EdgeGW, mw.dcNode, req.input, func(sim.Time) {
+		task := &server.Task{ID: req.id, Work: req.work, Class: classEdge}
+		task.OnDone = func(at sim.Time) {
+			// Response: datacenter → gateway → device.
+			ok := mw.Net.Send(mw.dcNode, c.EdgeGW, req.output, func(sim.Time) {
+				ok := mw.Net.Send(c.EdgeGW, req.origin, req.output, func(sim.Time) {
+					mw.completeEdge(req)
+				})
+				if !ok {
+					mw.rejectEdge(req)
+				}
+			})
+			if !ok {
+				mw.rejectEdge(req)
+			}
+		}
+		mw.dcPool.Submit(task, req.deadline, nil)
+	})
+	if !ok {
+		mw.Edge.Rejected.Inc()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// DCC flow
+// ---------------------------------------------------------------------------
+
+// SubmitDCC injects an Internet batch job at a cluster's DCC gateway from
+// the operator node. Tasks queue FCFS behind the cluster's batch queue and
+// the job completes when its last task does.
+func (mw *Middleware) SubmitDCC(c *Cluster, operator network.NodeID, job workload.BatchJob) {
+	mw.SubmitDCCNotify(c, operator, job, nil)
+}
+
+// SubmitDCCNotify is SubmitDCC with a completion callback, for workloads
+// with job-level deadlines (e.g. the overnight finance batches).
+func (mw *Middleware) SubmitDCCNotify(c *Cluster, operator network.NodeID, job workload.BatchJob, onDone func(at sim.Time)) {
+	mw.nextJobID++
+	j := &dccJob{
+		id:      mw.nextJobID,
+		arrival: mw.Engine.Now(),
+		pending: len(job.TaskWork),
+		cluster: c,
+		onDone:  onDone,
+	}
+	for _, w := range job.TaskWork {
+		if w > j.ideal {
+			j.ideal = w
+		}
+	}
+	if j.pending == 0 {
+		return
+	}
+	// One input transfer operator → gateway for the job payload, then
+	// tasks enter the queue.
+	size := job.Input * units.Byte(len(job.TaskWork))
+	ok := mw.Net.Send(operator, c.DCCGW, size, func(sim.Time) {
+		for i, w := range job.TaskWork {
+			work := w // original size; Task.Work mutates on preemption
+			t := &server.Task{ID: job.ID*1_000_000 + uint64(i), Work: w, Class: classDCC}
+			t.OnDone = func(at sim.Time) { mw.dccTaskDone(j, work) }
+			c.dccQ.Push(&sched.Item{Task: t, Enqueued: mw.Engine.Now(), Ctx: j})
+		}
+		c.dispatch()
+	})
+	if !ok {
+		// Unreachable gateway: the job is lost; account it as zero-size.
+		j.pending = 0
+	}
+}
+
+// dccTaskDone advances the owning job; completed work is credited even for
+// tasks that were preempted and resumed elsewhere.
+func (mw *Middleware) dccTaskDone(j *dccJob, work float64) {
+	mw.DCC.TasksDone.Inc()
+	mw.DCC.WorkDone += work
+	j.pending--
+	if j.pending == 0 {
+		flow := mw.Engine.Now() - j.arrival
+		mw.DCC.JobFlowTime.Observe(flow)
+		ideal := j.ideal
+		if ideal < 1 {
+			ideal = 1
+		}
+		mw.DCC.JobStretch.Observe(flow / ideal)
+		mw.DCC.JobsDone.Inc()
+		if mw.Tracer != nil {
+			mw.Tracer.Add(mw.Engine.Now(), "dcc_job", j.id, flow)
+		}
+		if j.onDone != nil {
+			j.onDone(mw.Engine.Now())
+		}
+	}
+}
+
+// Dispatch forces a dispatch pass on every cluster (used after bulk
+// submissions in tests and scenario setup).
+func (mw *Middleware) Dispatch() {
+	for _, c := range mw.clusters {
+		c.dispatch()
+	}
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"df3/internal/offload"
+	"df3/internal/server"
+	"df3/internal/sim"
+	"df3/internal/trace"
+	"df3/internal/workload"
+)
+
+func TestTracerRecordsEdgeLifecycle(t *testing.T) {
+	r := newRig(t, DefaultConfig(), 1, 2)
+	rec := &trace.Recorder{}
+	r.mw.Tracer = rec
+	c := r.mw.Clusters()[0]
+	r.mw.SubmitEdge(c, r.devices[0], edgeReqOf(0.05, 0.5))
+	r.e.Run(10)
+	served := rec.Filter("edge_served")
+	if len(served) != 1 {
+		t.Fatalf("edge_served events = %d", len(served))
+	}
+	if served[0].Value <= 0 {
+		t.Error("traced latency not positive")
+	}
+	if served[0].Detail != "edge-indirect" {
+		t.Errorf("traced flow = %q", served[0].Detail)
+	}
+}
+
+func TestTracerRecordsRejections(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Offload = rejectAll{}
+	r := newRig(t, cfg, 1, 1)
+	rec := &trace.Recorder{}
+	r.mw.Tracer = rec
+	c := r.mw.Clusters()[0]
+	for i := 0; i < 16; i++ {
+		c.Workers()[0].M.Start(&server.Task{Work: 1e6, Class: classEdge})
+	}
+	r.mw.SubmitEdge(c, r.devices[0], edgeReqOf(0.05, 0.5))
+	r.e.Run(10)
+	if len(rec.Filter("edge_rejected")) != 1 {
+		t.Errorf("edge_rejected events = %d", len(rec.Filter("edge_rejected")))
+	}
+}
+
+func TestTracerRecordsDCCJobs(t *testing.T) {
+	r := newRig(t, DefaultConfig(), 1, 2)
+	rec := &trace.Recorder{}
+	r.mw.Tracer = rec
+	c := r.mw.Clusters()[0]
+	r.mw.SubmitDCC(c, r.op, workload.BatchJob{ID: 1, TaskWork: []float64{60, 60}, Input: 1e6, Output: 1e6})
+	r.e.Run(sim.Hour)
+	jobs := rec.Filter("dcc_job")
+	if len(jobs) != 1 {
+		t.Fatalf("dcc_job events = %d", len(jobs))
+	}
+	if jobs[0].Value < 60 {
+		t.Errorf("traced flow time %v below task duration", jobs[0].Value)
+	}
+}
+
+// rejectAll is offload.RejectPolicy under a test-local name.
+type rejectAll = offload.RejectPolicy

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"df3/internal/city"
+	"df3/internal/pricing"
+	"df3/internal/report"
+	"df3/internal/sim"
+	"df3/internal/thermal"
+)
+
+// E11Pricing derives the §IV seasonal spot-price series from the fleet's
+// monthly availability and bills a constant-demand customer on it: winter
+// capacity surplus produces a winter discount, summer scarcity a premium.
+func E11Pricing(o Options) *Result {
+	res := newResult("E11 seasonal spot pricing")
+	horizon := sim.Year
+	cfg := city.DefaultConfig()
+	cfg.Seed = o.Seed
+	cfg.Calendar = sim.JanuaryStart
+	cfg.Buildings = 2
+	cfg.RoomsPerBuilding = 5
+	cfg.ControlPeriod = 300
+	cfg.HeatingSeasonFirst = 10
+	cfg.HeatingSeasonLast = 4
+	cfg.RoomSpec = thermal.OldBuilding // demand-matched rooms, as in E6
+	if o.Quick {
+		horizon = 150 * sim.Day
+	}
+	c := city.Build(cfg)
+	stop := c.SaturateDCC(1800, 128)
+	defer stop()
+	c.Run(horizon)
+
+	months, means := c.CapacitySeries.Bucket(func(t float64) int {
+		return cfg.Calendar.MonthOfYear(t)
+	})
+	curve := pricing.DefaultSpotCurve()
+	ledger := pricing.NewLedger(curve, pricing.DefaultSLAs())
+	max := c.Fleet.MaxCapacity()
+
+	t := report.NewTable("monthly availability and spot price",
+		"month", "availability", "spot €/core-h", "assured €/core-h")
+	var winterP, summerP []float64
+	slas := pricing.DefaultSLAs()
+	for i, m := range months {
+		avail := means[i] / max
+		p := curve.Price(avail)
+		t.Row(m, avail, p, p*slas[pricing.Assured].PriceMultiplier)
+		// Bill a constant 100-core customer for the month at this price.
+		if _, err := ledger.Bill(pricing.Spot, 100*730, avail); err != nil {
+			panic(err)
+		}
+		switch {
+		case m == 12 || m <= 2:
+			winterP = append(winterP, p)
+		case m >= 6 && m <= 8:
+			summerP = append(summerP, p)
+		}
+	}
+	res.Tables = append(res.Tables, t)
+
+	mean := func(xs []float64) float64 {
+		if len(xs) == 0 {
+			return 0
+		}
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	res.Findings["winter_price"] = mean(winterP)
+	res.Findings["summer_price"] = mean(summerP)
+	res.Findings["revenue"] = ledger.Revenue()
+	if mean(winterP) > 0 && len(summerP) > 0 {
+		res.Findings["seasonal_spread"] = mean(summerP) / mean(winterP)
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"winter spot %.4f €/core-h vs summer %.4f (spread %.2fx); year revenue for a 100-core spot customer: €%.0f",
+			mean(winterP), mean(summerP), mean(summerP)/mean(winterP), ledger.Revenue()))
+	} else {
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"winter spot %.4f €/core-h (quick run has no summer months); revenue €%.0f",
+			mean(winterP), ledger.Revenue()))
+	}
+	return res
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+
+	"df3/internal/city"
+	"df3/internal/forecast"
+	"df3/internal/pricing"
+	"df3/internal/report"
+	"df3/internal/sim"
+	"df3/internal/thermal"
+)
+
+// E13CapacityPlanning closes the §III-C → §IV loop: fit the
+// thermosensitivity model on one year of a city's heat demand, use it with
+// next year's weather to *predict* monthly compute capacity, sell assured
+// SLA promises against the prediction, and settle against what the fleet
+// actually delivers. A prudent margin should collect assured revenue with
+// few penalties; an aggressive one oversells the shoulder seasons.
+func E13CapacityPlanning(o Options) *Result {
+	res := newResult("E13 forecast-driven SLA capacity planning")
+	horizonYears := 2
+	cfg := city.DefaultConfig()
+	cfg.Seed = o.Seed
+	cfg.Calendar = sim.JanuaryStart
+	cfg.Buildings = 2
+	cfg.RoomsPerBuilding = 5
+	cfg.ControlPeriod = 300
+	cfg.HeatingSeasonFirst = 10
+	cfg.HeatingSeasonLast = 4
+	cfg.RoomSpec = thermal.OldBuilding
+	if o.Quick {
+		cfg.RoomsPerBuilding = 3
+	}
+
+	// One two-year run: year 1 trains, year 2 is planned and settled.
+	c := city.Build(cfg)
+	stop := c.SaturateDCC(1800, 128)
+	defer stop()
+	c.Run(sim.Time(horizonYears) * sim.Year)
+
+	// Split the capacity and weather series into the two years.
+	var trainTemp, trainCap []float64
+	monthCapY2 := map[int][]float64{}
+	monthTempY2 := map[int][]float64{}
+	capPts := c.CapacitySeries.Points()
+	outPts := c.OutdoorSeries.Points()
+	max := c.Fleet.MaxCapacity()
+	for i, p := range capPts {
+		temp := outPts[i].V
+		if p.T < sim.Year {
+			trainTemp = append(trainTemp, temp)
+			trainCap = append(trainCap, p.V/max)
+		} else {
+			m := cfg.Calendar.MonthOfYear(p.T)
+			monthCapY2[m] = append(monthCapY2[m], p.V/max)
+			monthTempY2[m] = append(monthTempY2[m], temp)
+		}
+	}
+
+	// Fit capacity-vs-weather on year 1. Capacity rises when it gets
+	// colder — the same rectified-linear shape as heat demand.
+	model, err := forecast.FitThermosensitivity(trainTemp, trainCap)
+	if err != nil {
+		panic("experiments: capacity fit failed: " + err.Error())
+	}
+
+	mean := func(xs []float64) float64 {
+		if len(xs) == 0 {
+			return 0
+		}
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+
+	settleWith := func(margin float64) (*pricing.Ledger, []pricing.Settlement) {
+		ledger := pricing.NewLedger(pricing.DefaultSpotCurve(), pricing.DefaultSLAs())
+		planner := pricing.Planner{Margin: margin}
+		var outs []pricing.Settlement
+		for m := 1; m <= 12; m++ {
+			if len(monthCapY2[m]) == 0 {
+				continue
+			}
+			// Predict month-m availability from month-m weather (the
+			// operator has the seasonal forecast).
+			pred := model.Predict(mean(monthTempY2[m]))
+			promise := planner.Plan([]float64{pred}, max, 730)[0]
+			promise.Period = m
+			realised := mean(monthCapY2[m])
+			s, err := ledger.Settle(promise, realised*max*730, realised)
+			if err != nil {
+				panic(err)
+			}
+			outs = append(outs, s)
+		}
+		return ledger, outs
+	}
+
+	prudent, prudentRows := settleWith(0.7)
+	aggressive, _ := settleWith(1.1)
+
+	t := report.NewTable("prudent planner (margin 0.7), year-2 settlements",
+		"month", "promised core-h", "delivered core-h", "revenue €", "penalty €")
+	for _, s := range prudentRows {
+		t.Row(s.Period, s.Promised, s.Delivered, s.Revenue, s.Penalty)
+	}
+	res.Tables = append(res.Tables, t)
+
+	t2 := report.NewTable("operator comparison over year 2",
+		"margin", "revenue €", "penalties €", "net €", "shortfall core-h")
+	t2.Row("0.7 (prudent)", prudent.Revenue(), prudent.Penalties(), prudent.Net(), prudent.ShortfallHours())
+	t2.Row("1.1 (aggressive)", aggressive.Revenue(), aggressive.Penalties(), aggressive.Net(), aggressive.ShortfallHours())
+	res.Tables = append(res.Tables, t2)
+
+	res.Findings["prudent_penalties"] = prudent.Penalties()
+	res.Findings["aggressive_penalties"] = aggressive.Penalties()
+	res.Findings["prudent_net"] = prudent.Net()
+	res.Findings["aggressive_net"] = aggressive.Net()
+	res.Findings["model_slope"] = model.Slope
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"weather-fitted capacity model (slope %.4f/K) lets a prudent operator collect €%.0f with €%.0f penalties; the aggressive operator pays €%.0f in penalties on %.0f undelivered core-hours",
+		model.Slope, prudent.Revenue(), prudent.Penalties(),
+		aggressive.Penalties(), aggressive.ShortfallHours()))
+	return res
+}

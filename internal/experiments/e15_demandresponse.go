@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"df3/internal/city"
+	"df3/internal/report"
+	"df3/internal/sim"
+	"df3/internal/thermal"
+)
+
+// E15DemandResponse exercises the §III-A smart-grid negotiation: during
+// the evening electricity peak the grid operator asks the fleet to shed
+// load. The derate hook cuts every machine's budget to 20% for two hours;
+// the rooms' thermal inertia rides through with a sub-kelvin sag, and the
+// displaced compute resumes afterwards — "the manager must negotiate with
+// external systems (e.g. energy operators) to calibrate its energy
+// consumption", demonstrated.
+func E15DemandResponse(o Options) *Result {
+	res := newResult("E15 smart-grid demand response")
+	days := 5 * sim.Day
+	if o.Quick {
+		days = 3 * sim.Day
+	}
+	// DR window: 18:00–20:00 every day.
+	inDR := func(t sim.Time) bool {
+		h := sim.NovemberStart.HourOfDay(t)
+		return h >= 18 && h < 20
+	}
+
+	run := func(withDR bool) (drawDR, drawRef float64, minTemp float64, coreH float64, inBand float64) {
+		cfg := city.DefaultConfig()
+		cfg.Seed = o.Seed
+		cfg.Buildings = 2
+		cfg.RoomsPerBuilding = 5
+		cfg.RoomSpec = thermal.OldBuilding
+		if withDR {
+			cfg.Derate = func(t sim.Time) float64 {
+				if inDR(t) {
+					return 0.2
+				}
+				return 1
+			}
+		}
+		c := city.Build(cfg)
+		stop := c.SaturateDCC(1800, 96)
+		defer stop()
+
+		// Sample fleet draw inside and outside DR windows, and track the
+		// lowest room temperature seen during DR.
+		var sumDR, nDR, sumRef, nRef float64
+		minT := 100.0
+		sim.Every(c.Engine, 300, func(now sim.Time) {
+			draw := 0.0
+			for _, m := range c.Fleet.Machines {
+				draw += float64(m.Draw())
+			}
+			if inDR(now) {
+				sumDR += draw
+				nDR++
+				for _, r := range c.Rooms() {
+					if float64(r.Zone.Temp) < minT {
+						minT = float64(r.Zone.Temp)
+					}
+				}
+			} else {
+				sumRef += draw
+				nRef++
+			}
+		})
+		c.Run(days)
+		band := 0.0
+		for _, r := range c.Rooms() {
+			band += r.Comfort.InBandFraction()
+		}
+		band /= float64(len(c.Rooms()))
+		return sumDR / nDR, sumRef / nRef, minT, c.MW.DCC.WorkDone / 3600, band
+	}
+
+	drDraw, refDraw, minT, coreH, band := run(true)
+	base, baseRef, baseMin, baseCoreH, baseBand := run(false)
+
+	t := report.NewTable("2h evening demand-response window (budget ×0.2)",
+		"arm", "mean draw in DR W", "mean draw outside W", "min room °C in DR", "dcc core-h", "comfort in-band")
+	t.Row("with DR", drDraw, refDraw, minT, coreH, band)
+	t.Row("without DR", base, baseRef, baseMin, baseCoreH, baseBand)
+	res.Tables = append(res.Tables, t)
+
+	shed := 1 - drDraw/base
+	res.Findings["shed_fraction"] = shed
+	res.Findings["min_temp_dr"] = minT
+	res.Findings["core_h_with_dr"] = coreH
+	res.Findings["core_h_without_dr"] = baseCoreH
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"the fleet sheds %.0f%% of its in-window draw on command; rooms never fall below %.1f °C (thermal inertia), and the week's compute output drops only %.1f%%",
+		shed*100, minT, 100*(1-coreH/baseCoreH)))
+	return res
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"df3/internal/city"
+	"df3/internal/core"
+	"df3/internal/offload"
+	"df3/internal/report"
+	"df3/internal/sim"
+)
+
+// E4ArchClasses compares the two §III-B architectures across DCC load:
+// class 1 (every worker shared) vs class 2 (a dedicated edge worker per
+// cluster). Expected shape: at low load the shared class wins DCC
+// throughput with equal edge latency; as DCC load saturates the cluster,
+// the dedicated class holds edge p99 flat while shared-class edge latency
+// degrades (or leans on preemption).
+func E4ArchClasses(o Options) *Result {
+	res := newResult("E4 architecture class 1 (shared) vs class 2 (dedicated)")
+	loads := []float64{0.5, 3, 8, 16}
+	horizon := 2 * sim.Day
+	buildings, rooms := 3, 6
+	if o.Quick {
+		loads = []float64{1, 6}
+		horizon = sim.Day
+		buildings, rooms = 2, 4
+	}
+
+	run := func(arch core.ArchClass, jobsPerHour float64) (p99ms, miss, coreHours float64) {
+		cfg := city.DefaultConfig()
+		cfg.Seed = o.Seed
+		cfg.Buildings = buildings
+		cfg.RoomsPerBuilding = rooms
+		cfg.Middleware.Arch = arch
+		cfg.Middleware.DedicatedEdgeWorkers = 1
+		// Delay-only offloading isolates the architectural question: with
+		// preemption enabled, class 1 can always carve out slots and the
+		// two classes converge (E5 covers the policies).
+		cfg.Middleware.Offload = offload.DelayPolicy{}
+		c := city.Build(cfg)
+		c.StartEdgeTraffic(horizon, 1)
+		c.StartDCCTraffic(horizon, jobsPerHour)
+		c.Run(horizon + 6*sim.Hour)
+		return c.MW.Edge.Latency.P99() * 1000, c.MW.Edge.MissRate(), c.MW.DCC.WorkDone / 3600
+	}
+
+	archs := []core.ArchClass{core.Shared, core.Dedicated}
+	type arm struct{ p99, miss, ch float64 }
+	arms := make([]arm, len(loads)*len(archs))
+	fanout(len(arms), func(i int) {
+		load := loads[i/len(archs)]
+		arch := archs[i%len(archs)]
+		p99, miss, ch := run(arch, load)
+		arms[i] = arm{p99, miss, ch}
+	})
+
+	t := report.NewTable("edge p99 and DCC throughput vs DCC load",
+		"dcc jobs/h", "arch", "edge p99 ms", "edge miss rate", "dcc core-hours")
+	for i, a := range arms {
+		load := loads[i/len(archs)]
+		arch := archs[i%len(archs)]
+		t.Row(load, arch.String(), a.p99, a.miss, a.ch)
+		key := fmt.Sprintf("%s_%g", arch, load)
+		res.Findings["p99_"+key] = a.p99
+		res.Findings["miss_"+key] = a.miss
+		res.Findings["ch_"+key] = a.ch
+	}
+	res.Tables = append(res.Tables, t)
+
+	hi := loads[len(loads)-1]
+	lo := loads[0]
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"at load %g jobs/h: shared dcc %.0f core-h vs dedicated %.0f; at load %g: shared edge p99 %.1f ms vs dedicated %.1f ms",
+		lo, res.Findings[fmt.Sprintf("ch_shared_%g", lo)], res.Findings[fmt.Sprintf("ch_dedicated_%g", lo)],
+		hi, res.Findings[fmt.Sprintf("p99_shared_%g", hi)], res.Findings[fmt.Sprintf("p99_dedicated_%g", hi)]))
+	return res
+}

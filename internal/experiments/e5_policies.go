@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"df3/internal/city"
+	"df3/internal/offload"
+	"df3/internal/report"
+	"df3/internal/sim"
+)
+
+// E5PeakPolicies stresses a saturated cluster with bursty edge arrivals
+// under each §III-B peak-management policy. Expected shape: reject sheds
+// everything it cannot place; delay converts rejections into deadline
+// misses; preemption serves the edge at the cost of DCC stretch;
+// horizontal spreads to neighbours at metro cost; smart combines them.
+func E5PeakPolicies(o Options) *Result {
+	res := newResult("E5 peak-management policies under burst load")
+	horizon := sim.Day
+	buildings, rooms := 3, 4
+	rate := 4.0
+	if o.Quick {
+		horizon = 8 * sim.Hour
+		rate = 3
+	}
+	policies := []offload.Policy{
+		offload.RejectPolicy{},
+		offload.DelayPolicy{},
+		offload.PreemptPolicy{},
+		offload.VerticalPolicy{},
+		offload.HorizontalPolicy{},
+		offload.Smart{},
+	}
+
+	type arm struct {
+		miss, p99, stretch, coreH      float64
+		preempts, horizontal, vertical int64
+	}
+	arms := make([]arm, len(policies))
+	fanout(len(policies), func(i int) {
+		p := policies[i]
+		cfg := city.DefaultConfig()
+		cfg.Seed = o.Seed
+		cfg.Buildings = buildings
+		cfg.RoomsPerBuilding = rooms
+		cfg.Middleware.Offload = p
+		c := city.Build(cfg)
+		// Saturate every cluster with long batch work so edge arrivals
+		// always find the cluster full.
+		stop := c.SaturateDCC(3600, buildings*rooms*20)
+		c.StartEdgeTraffic(horizon, rate)
+		c.Run(horizon + 2*sim.Hour)
+		stop()
+		e := &c.MW.Edge
+		arms[i] = arm{
+			miss: e.MissRate(), p99: e.Latency.P99() * 1000,
+			stretch: c.MW.DCC.JobStretch.Mean(), coreH: c.MW.DCC.WorkDone / 3600,
+			preempts: e.Preemptions.Value(), horizontal: e.Horizontal.Value(),
+			vertical: e.Vertical.Value(),
+		}
+	})
+
+	t := report.NewTable("policy outcomes on a saturated cluster",
+		"policy", "miss rate", "p99 ms", "preempts", "horiz", "vert", "dcc stretch", "dcc core-h")
+	for i, p := range policies {
+		a := arms[i]
+		t.Row(p.Name(), a.miss, a.p99, a.preempts, a.horizontal, a.vertical, a.stretch, a.coreH)
+		res.Findings["miss_"+p.Name()] = a.miss
+		res.Findings["p99_"+p.Name()] = a.p99
+		res.Findings["stretch_"+p.Name()] = a.stretch
+	}
+	res.Tables = append(res.Tables, t)
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"miss rates — reject %.3f, delay %.3f, preempt %.3f, vertical %.3f, horizontal %.3f, smart %.3f",
+		res.Findings["miss_reject"], res.Findings["miss_delay"], res.Findings["miss_preempt"],
+		res.Findings["miss_vertical"], res.Findings["miss_horizontal"], res.Findings["miss_smart"]))
+	return res
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"df3/internal/city"
+	"df3/internal/report"
+	"df3/internal/sim"
+	"df3/internal/thermal"
+)
+
+// E6Seasonality runs a full year and reports monthly available compute
+// capacity for a heater fleet and for a boiler fleet — the §III-C
+// observation that "the computing power of DF servers depends on the heat
+// demand", with boilers flattening the curve thanks to their buffer (hot
+// water is drawn year-round in our model at a reduced summer level via the
+// heating-season schedule for radiators, while the buffer lets the machine
+// run whenever the loop has headroom).
+func E6Seasonality(o Options) *Result {
+	res := newResult("E6 seasonal available capacity: heaters vs boilers")
+	horizon := sim.Year
+	cfgBase := func() city.Config {
+		cfg := city.DefaultConfig()
+		cfg.Seed = o.Seed
+		cfg.Calendar = sim.JanuaryStart
+		cfg.Buildings = 3
+		cfg.RoomsPerBuilding = 6
+		cfg.ControlPeriod = 300
+		cfg.HeatingSeasonFirst = 10
+		cfg.HeatingSeasonLast = 4
+		// Demand-matched deployment: DF operators install where winter
+		// heat demand approaches the server's output (here renovated
+		// pre-war rooms at ~440 W design loss for a 500 W Q.rad), which
+		// is what makes the winter/summer capacity swing pronounced.
+		cfg.RoomSpec = thermal.OldBuilding
+		return cfg
+	}
+	if o.Quick {
+		horizon = 240 * sim.Day // January–August: includes real summer
+	}
+
+	run := func(boilers int) (months []int, frac []float64) {
+		cfg := cfgBase()
+		cfg.BoilerBuildings = boilers
+		if o.Quick {
+			cfg.Buildings = 2
+			cfg.RoomsPerBuilding = 4
+			if boilers > 0 {
+				cfg.BoilerBuildings = 2
+			}
+		}
+		c := city.Build(cfg)
+		stop := c.SaturateDCC(1800, 128)
+		defer stop()
+		c.Run(horizon)
+		max := c.Fleet.MaxCapacity()
+		ms, means := c.CapacitySeries.Bucket(func(t float64) int {
+			return cfg.Calendar.MonthOfYear(t)
+		})
+		fr := make([]float64, len(means))
+		for i := range means {
+			fr[i] = means[i] / max
+		}
+		return ms, fr
+	}
+
+	hm, hf := run(0)
+	bm, bf := run(3)
+
+	t := report.NewTable("available capacity (fraction of fleet max) by month",
+		"month", "heaters", "boilers")
+	bIdx := map[int]float64{}
+	for i, m := range bm {
+		bIdx[m] = bf[i]
+	}
+	var winterH, summerH, winterB, summerB []float64
+	for i, m := range hm {
+		t.Row(m, hf[i], bIdx[m])
+		switch {
+		case m == 12 || m <= 2:
+			winterH = append(winterH, hf[i])
+			winterB = append(winterB, bIdx[m])
+		case m >= 6 && m <= 8:
+			summerH = append(summerH, hf[i])
+			summerB = append(summerB, bIdx[m])
+		}
+	}
+	res.Tables = append(res.Tables, t)
+
+	mean := func(xs []float64) float64 {
+		if len(xs) == 0 {
+			return 0
+		}
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	res.Findings["heater_winter"] = mean(winterH)
+	res.Findings["heater_summer"] = mean(summerH)
+	res.Findings["boiler_winter"] = mean(winterB)
+	res.Findings["boiler_summer"] = mean(summerB)
+	if mean(summerH) > 0 {
+		res.Findings["heater_ratio"] = mean(winterH) / mean(summerH)
+	}
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"heater fleet: winter %.2f vs summer %.2f of max capacity; boiler fleet: %.2f vs %.2f",
+		mean(winterH), mean(summerH), mean(winterB), mean(summerB)))
+	return res
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+
+	"df3/internal/forecast"
+	"df3/internal/regulator"
+	"df3/internal/report"
+	"df3/internal/sim"
+	"df3/internal/thermal"
+	"df3/internal/units"
+	"df3/internal/weather"
+)
+
+// E7Forecast evaluates the §III-C predictive platform: fit the
+// thermosensitivity model and a Holt-Winters smoother on the first part of
+// a year of hourly heat demand, score them on the held-out tail, and
+// compare against a repeat-last-day naive.
+//
+// The demand series is generated from the same physical models the
+// simulator uses (steady-state zone demand under the schedule mix and the
+// synthetic weather), hourly over one year.
+func E7Forecast(o Options) *Result {
+	res := newResult("E7 heat-demand forecasting")
+	rooms := 60
+	hours := 365 * 24
+	if o.Quick {
+		rooms = 20 // the horizon stays a full year: scoring needs winter
+	}
+	cal := sim.JanuaryStart
+	gen := weather.New(weather.Paris, cal, o.Seed)
+
+	// Build the room population: a mix of homes and offices.
+	zones := make([]*thermal.Zone, rooms)
+	scheds := make([]regulator.Schedule, rooms)
+	for i := range zones {
+		if i%3 == 2 {
+			zones[i] = thermal.NewZone(thermal.Office)
+			scheds[i] = regulator.SeasonalOff{
+				Inner:      regulator.OfficeSchedule{Calendar: cal, Comfort: 20, Setback: 16},
+				Calendar:   cal,
+				FirstMonth: 10, LastMonth: 4,
+			}
+		} else {
+			zones[i] = thermal.NewZone(thermal.Apartment)
+			scheds[i] = regulator.SeasonalOff{
+				Inner:      regulator.HomeSchedule{Calendar: cal, Comfort: 21, Setback: 17},
+				Calendar:   cal,
+				FirstMonth: 10, LastMonth: 4,
+			}
+		}
+	}
+
+	temps := make([]float64, hours)
+	demand := make([]float64, hours)
+	for h := 0; h < hours; h++ {
+		t := sim.Time(h) * sim.Hour
+		out := gen.OutdoorTemp(t)
+		temps[h] = float64(out)
+		total := 0.0
+		for i, z := range zones {
+			sp, _ := scheds[i].At(t)
+			if sp <= 0 {
+				continue
+			}
+			total += float64(z.SteadyStatePower(sp, out, units.Watt(100)))
+		}
+		demand[h] = total
+	}
+
+	split := hours / 2
+	// The operator knows the heating-season calendar (it configures it);
+	// weather models predict the in-season demand and emit zero outside.
+	season := regulator.SeasonalOff{Calendar: cal, FirstMonth: 10, LastMonth: 4}
+	inSeason := func(h int) bool { return season.InSeason(sim.Time(h) * sim.Hour) }
+
+	// Thermosensitivity regression on the training window's in-season
+	// hours.
+	var trTemps, trDemand []float64
+	for h := 0; h < split; h++ {
+		if inSeason(h) {
+			trTemps = append(trTemps, temps[h])
+			trDemand = append(trDemand, demand[h])
+		}
+	}
+	ts, err := forecast.FitThermosensitivity(trTemps, trDemand)
+	if err != nil {
+		panic("experiments: thermosensitivity fit failed: " + err.Error())
+	}
+	var tsAcc forecast.Accuracy
+	for h := split; h < hours; h++ {
+		p := 0.0
+		if inSeason(h) {
+			p = ts.Predict(temps[h])
+		}
+		tsAcc.Observe(p, demand[h])
+	}
+
+	// Holt-Winters with a weekly season (captures both the diurnal and the
+	// weekday/weekend structure), one-step-ahead.
+	hw := forecast.NewHoltWinters(0.35, 0.01, 0.25, 168)
+	var hwAcc forecast.Accuracy
+	for h := 0; h < hours; h++ {
+		if h >= split {
+			hwAcc.Observe(hw.Forecast(1), demand[h])
+		}
+		hw.Observe(demand[h])
+	}
+
+	// Naive: repeat the value 24 h ago.
+	var naiveAcc forecast.Accuracy
+	for h := split; h < hours; h++ {
+		naiveAcc.Observe(demand[h-24], demand[h])
+	}
+
+	t := report.NewTable("held-out forecast accuracy (hourly heat demand)",
+		"model", "WAPE", "RMSE W", "params")
+	t.Row("thermosensitivity", tsAcc.WAPE(), tsAcc.RMSE(),
+		fmt.Sprintf("slope %.0f W/K, threshold %.1f °C", ts.Slope, ts.Threshold))
+	t.Row("holt-winters(168h)", hwAcc.WAPE(), hwAcc.RMSE(), "α=0.35 β=0.01 γ=0.25")
+	t.Row("naive(t-24h)", naiveAcc.WAPE(), naiveAcc.RMSE(), "")
+	res.Tables = append(res.Tables, t)
+
+	res.Findings["ts_wape"] = tsAcc.WAPE()
+	res.Findings["hw_wape"] = hwAcc.WAPE()
+	res.Findings["naive_wape"] = naiveAcc.WAPE()
+	res.Findings["ts_slope"] = ts.Slope
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"thermosensitivity WAPE %.3f (slope %.0f W/K), Holt-Winters %.3f, naive %.3f — weather-driven model confirms §III-C's correlation claim",
+		tsAcc.WAPE(), ts.Slope, hwAcc.WAPE(), naiveAcc.WAPE()))
+	return res
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"df3/internal/baseline"
+	"df3/internal/city"
+	"df3/internal/report"
+	"df3/internal/sim"
+)
+
+// E8EdgeLatency measures the latency distribution of the three §II-C
+// service paths on identical workloads: direct local requests (device and
+// DF server share a room), indirect requests through the edge gateway, and
+// the cloud-only path across the Internet. Expected shape: direct <
+// indirect ≪ cloud, with the cloud penalty set by Internet RTT.
+func E8EdgeLatency(o Options) *Result {
+	res := newResult("E8 edge latency: direct vs indirect vs cloud")
+	horizon := 2 * sim.Day
+	if o.Quick {
+		horizon = 12 * sim.Hour
+	}
+
+	build := func() city.Config {
+		cfg := city.DefaultConfig()
+		cfg.Seed = o.Seed
+		cfg.Buildings = 3
+		cfg.RoomsPerBuilding = 5
+		return cfg
+	}
+
+	type row struct {
+		name              string
+		mean, median, p99 float64
+		served            int64
+		miss              float64
+		note              string
+	}
+	var rows []row
+
+	{ // direct
+		c := city.Build(build())
+		c.StartDirectEdgeTraffic(horizon, 1)
+		c.Run(horizon + sim.Hour)
+		e := &c.MW.Edge
+		rows = append(rows, row{"direct", e.Latency.Mean() * 1000, e.Latency.Median() * 1000,
+			e.Latency.P99() * 1000, e.Served.Value(), e.MissRate(),
+			fmt.Sprintf("%d fallbacks", e.DirectFallbacks.Value())})
+		res.Findings["direct_median_ms"] = e.Latency.Median() * 1000
+	}
+	{ // indirect
+		c := city.Build(build())
+		c.StartEdgeTraffic(horizon, 1)
+		c.Run(horizon + sim.Hour)
+		e := &c.MW.Edge
+		rows = append(rows, row{"indirect", e.Latency.Mean() * 1000, e.Latency.Median() * 1000,
+			e.Latency.P99() * 1000, e.Served.Value(), e.MissRate(), ""})
+		res.Findings["indirect_median_ms"] = e.Latency.Median() * 1000
+	}
+	{ // cloud-only: same city, every request forced vertical
+		cfg := build()
+		cfg.Middleware.Offload = baseline.AlwaysVertical{}
+		c := city.Build(cfg)
+		c.StartEdgeTraffic(horizon, 1)
+		c.Run(horizon + sim.Hour)
+		e := &c.MW.Edge
+		rows = append(rows, row{"cloud-only", e.Latency.Mean() * 1000, e.Latency.Median() * 1000,
+			e.Latency.P99() * 1000, e.Served.Value(), e.MissRate(), "via Internet to DC"})
+		res.Findings["cloud_median_ms"] = e.Latency.Median() * 1000
+	}
+
+	t := report.NewTable("edge service paths on the alarm-detection workload",
+		"path", "mean ms", "median ms", "p99 ms", "served", "miss rate", "note")
+	for _, r := range rows {
+		t.Row(r.name, r.mean, r.median, r.p99, r.served, r.miss, r.note)
+	}
+	res.Tables = append(res.Tables, t)
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"median latency: direct %.1f ms < indirect %.1f ms < cloud %.1f ms",
+		res.Findings["direct_median_ms"], res.Findings["indirect_median_ms"], res.Findings["cloud_median_ms"]))
+	return res
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"df3/internal/city"
+	"df3/internal/report"
+	"df3/internal/rng"
+	"df3/internal/sim"
+	"df3/internal/workload"
+)
+
+// E9RenderCampaign replays the paper's 2016 headline figures — 600 000
+// rendered images for 11 000 000 CPU-hours — scaled down, on a winter city
+// whose heaters are free to run at full demand. The check is throughput
+// accounting: the fleet absorbs the campaign's core-hours at its capacity,
+// and per-frame stretch stays moderate.
+func E9RenderCampaign(o Options) *Result {
+	res := newResult("E9 render-campaign replay (scaled 2016 campaign)")
+	scale := 2000 // 300 frames, ~5500 CPU-hours
+	cfg := city.DefaultConfig()
+	cfg.Seed = o.Seed
+	cfg.Buildings = 6
+	cfg.RoomsPerBuilding = 8
+	cfg.ControlPeriod = 300
+	if o.Quick {
+		scale = 20000 // 30 frames
+		cfg.Buildings = 3
+		cfg.RoomsPerBuilding = 5
+	}
+	c := city.Build(cfg)
+	job := workload.RenderCampaign(rng.New(o.Seed), scale)
+	frames := len(job.TaskWork)
+	cpuHours := job.TotalWork() / 3600
+	c.SubmitCampaign(job)
+	// Run until every shard completes (or 90 days cap).
+	deadline := 90 * sim.Day
+	for c.Engine.Now() < deadline && c.MW.DCC.TasksDone.Value() < int64(frames) {
+		c.Run(c.Engine.Now() + sim.Day)
+	}
+	days := c.Engine.Now() / sim.Day
+	it, _, heat := c.Fleet.Energy(c.Engine.Now())
+
+	t := report.NewTable("campaign accounting",
+		"metric", "value")
+	t.Row("frames completed", c.MW.DCC.TasksDone.Value())
+	t.Row("campaign CPU-hours", cpuHours)
+	t.Row("wall days", days)
+	t.Row("fleet max capacity (cores)", c.Fleet.MaxCapacity())
+	t.Row("mean stretch", c.MW.DCC.JobStretch.Mean())
+	t.Row("fleet IT energy (kWh)", it.KWh())
+	t.Row("useful heat delivered (kWh)", heat.KWh())
+	res.Tables = append(res.Tables, t)
+
+	res.Findings["frames"] = float64(c.MW.DCC.TasksDone.Value())
+	res.Findings["cpu_hours"] = cpuHours
+	res.Findings["wall_days"] = days
+	res.Findings["heat_kwh"] = heat.KWh()
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"%d frames (%0.f CPU-hours, 1/%d of the 2016 campaign) absorbed in %.1f days on %0.f cores; %.0f kWh delivered as building heat",
+		frames, cpuHours, scale, days, c.Fleet.MaxCapacity(), heat.KWh()))
+	return res
+}

@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func quick() Options { return Options{Seed: 1, Quick: true} }
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 22 {
+		t.Fatalf("%d experiments registered", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.Run == nil || e.ID == "" || e.Desc == "" {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if ByID("E1") == nil || ByID("A4") == nil {
+		t.Error("ByID lookup failed")
+	}
+	if ByID("nope") != nil {
+		t.Error("ByID returned phantom experiment")
+	}
+}
+
+func TestE1ShapeQuick(t *testing.T) {
+	r := E1Fig4Comfort(quick())
+	if r.Findings["min_month_mean"] < 17 || r.Findings["max_month_mean"] > 26 {
+		t.Errorf("monthly means out of band: %v..%v",
+			r.Findings["min_month_mean"], r.Findings["max_month_mean"])
+	}
+	if r.Findings["in_band_fraction"] < 0.7 {
+		t.Errorf("in-band fraction %v", r.Findings["in_band_fraction"])
+	}
+}
+
+func TestE2ShapeQuick(t *testing.T) {
+	r := E2PUE(quick())
+	if r.Findings["df_pue"] > 1.05 {
+		t.Errorf("DF PUE = %v, want ~1.0", r.Findings["df_pue"])
+	}
+	if r.Findings["dc_pue"] < 1.4 {
+		t.Errorf("DC PUE = %v, want ~1.5", r.Findings["dc_pue"])
+	}
+	if r.Findings["df_heat_fraction"] < 0.9 {
+		t.Errorf("DF heat fraction = %v", r.Findings["df_heat_fraction"])
+	}
+}
+
+func TestE3ShapeQuick(t *testing.T) {
+	r := E3ThreeFlows(quick())
+	if r.Findings["in_band"] < 0.7 {
+		t.Errorf("comfort collapsed: %v", r.Findings["in_band"])
+	}
+	if r.Findings["edge_miss_rate"] > 0.1 {
+		t.Errorf("edge miss rate %v", r.Findings["edge_miss_rate"])
+	}
+	if r.Findings["dcc_jobs"] == 0 {
+		t.Error("no DCC jobs completed")
+	}
+}
+
+func TestE5ShapeQuick(t *testing.T) {
+	r := E5PeakPolicies(quick())
+	// Reject must be the worst; smart must beat reject clearly.
+	if r.Findings["miss_smart"] >= r.Findings["miss_reject"] {
+		t.Errorf("smart (%v) not better than reject (%v)",
+			r.Findings["miss_smart"], r.Findings["miss_reject"])
+	}
+	if r.Findings["miss_preempt"] >= r.Findings["miss_reject"] {
+		t.Errorf("preempt (%v) not better than reject (%v)",
+			r.Findings["miss_preempt"], r.Findings["miss_reject"])
+	}
+}
+
+func TestE4ShapeQuick(t *testing.T) {
+	r := E4ArchClasses(quick())
+	// At the highest load the dedicated edge workers must hold p99 below
+	// the shared class (which queues behind batch work under delay-only
+	// offloading).
+	if r.Findings["p99_dedicated_6"] >= r.Findings["p99_shared_6"] {
+		t.Errorf("dedicated p99 (%v) not below shared (%v) at high load",
+			r.Findings["p99_dedicated_6"], r.Findings["p99_shared_6"])
+	}
+	if r.Findings["miss_dedicated_6"] > r.Findings["miss_shared_6"] {
+		t.Errorf("dedicated misses (%v) above shared (%v) at high load",
+			r.Findings["miss_dedicated_6"], r.Findings["miss_shared_6"])
+	}
+}
+
+func TestE6ShapeQuick(t *testing.T) {
+	r := E6Seasonality(quick())
+	hw, hs := r.Findings["heater_winter"], r.Findings["heater_summer"]
+	bw, bs := r.Findings["boiler_winter"], r.Findings["boiler_summer"]
+	if hs <= 0 || hw/hs < 3 {
+		t.Errorf("heater winter/summer ratio %v/%v too flat", hw, hs)
+	}
+	if bs <= 0 || bw/bs >= hw/hs {
+		t.Errorf("boilers (%v/%v) not flatter than heaters (%v/%v)", bw, bs, hw, hs)
+	}
+}
+
+func TestA1ShapeQuick(t *testing.T) {
+	r := AblationRegulator(quick())
+	if r.Findings["prop_switches"] >= r.Findings["hyst_switches"] {
+		t.Errorf("proportional swings (%v) not below hysteresis (%v)",
+			r.Findings["prop_switches"], r.Findings["hyst_switches"])
+	}
+}
+
+func TestA3ShapeQuick(t *testing.T) {
+	r := AblationEDF(quick())
+	if r.Findings["edf_miss"] > r.Findings["fcfs_miss"] {
+		t.Errorf("EDF miss (%v) above FCFS (%v)",
+			r.Findings["edf_miss"], r.Findings["fcfs_miss"])
+	}
+}
+
+func TestE7ShapeQuick(t *testing.T) {
+	r := E7Forecast(quick())
+	if r.Findings["ts_wape"] > 0.35 {
+		t.Errorf("thermosensitivity WAPE %v too high", r.Findings["ts_wape"])
+	}
+	if r.Findings["hw_wape"] > 1.0 {
+		t.Errorf("Holt-Winters WAPE %v too high", r.Findings["hw_wape"])
+	}
+	// The §III-C claim: the weather-driven model beats the pure
+	// time-series approaches.
+	if r.Findings["ts_wape"] >= r.Findings["naive_wape"] {
+		t.Errorf("weather model (%v) not better than naive (%v)",
+			r.Findings["ts_wape"], r.Findings["naive_wape"])
+	}
+	if r.Findings["ts_wape"] >= r.Findings["hw_wape"] {
+		t.Errorf("weather model (%v) not better than Holt-Winters (%v)",
+			r.Findings["ts_wape"], r.Findings["hw_wape"])
+	}
+}
+
+func TestE8ShapeQuick(t *testing.T) {
+	r := E8EdgeLatency(quick())
+	d, i, c := r.Findings["direct_median_ms"], r.Findings["indirect_median_ms"], r.Findings["cloud_median_ms"]
+	if !(d < i && i < c) {
+		t.Errorf("latency ordering broken: direct %v, indirect %v, cloud %v", d, i, c)
+	}
+	if c < i+50 {
+		t.Errorf("cloud penalty too small: %v vs %v (Internet RTT should dominate)", c, i)
+	}
+}
+
+func TestE12ShapeQuick(t *testing.T) {
+	r := E12DesktopGrid(quick())
+	if r.Findings["df_miss"] >= r.Findings["grid_miss"] {
+		t.Errorf("DF3 miss (%v) not below grid miss (%v)",
+			r.Findings["df_miss"], r.Findings["grid_miss"])
+	}
+	if r.Findings["grid_miss"] < 0.2 {
+		t.Errorf("grid miss rate %v suspiciously low", r.Findings["grid_miss"])
+	}
+}
+
+func TestE13ShapeQuick(t *testing.T) {
+	r := E13CapacityPlanning(quick())
+	if r.Findings["prudent_penalties"] >= r.Findings["aggressive_penalties"] {
+		t.Errorf("prudent penalties (%v) not below aggressive (%v)",
+			r.Findings["prudent_penalties"], r.Findings["aggressive_penalties"])
+	}
+	if r.Findings["prudent_net"] <= 0 {
+		t.Errorf("prudent net = %v, want positive", r.Findings["prudent_net"])
+	}
+	if r.Findings["model_slope"] <= 0 {
+		t.Errorf("capacity model slope = %v, want positive", r.Findings["model_slope"])
+	}
+}
+
+func TestE14ShapeQuick(t *testing.T) {
+	r := E14Economics(quick())
+	if r.Findings["df_net_per_ch"] <= r.Findings["dc_net_per_ch"] {
+		t.Errorf("DF net €/core-h (%v) not above datacenter (%v)",
+			r.Findings["df_net_per_ch"], r.Findings["dc_net_per_ch"])
+	}
+	if r.Findings["df_heat_credit"] <= 0 {
+		t.Errorf("heat credit = %v", r.Findings["df_heat_credit"])
+	}
+}
+
+func TestE15ShapeQuick(t *testing.T) {
+	r := E15DemandResponse(quick())
+	if r.Findings["shed_fraction"] < 0.3 {
+		t.Errorf("shed fraction = %v, want substantial load shedding", r.Findings["shed_fraction"])
+	}
+	if r.Findings["min_temp_dr"] < 17 {
+		t.Errorf("rooms fell to %v °C during DR; inertia should carry them", r.Findings["min_temp_dr"])
+	}
+	drop := 1 - r.Findings["core_h_with_dr"]/r.Findings["core_h_without_dr"]
+	if drop > 0.15 {
+		t.Errorf("weekly compute output dropped %v; DR windows are only 2h/day", drop)
+	}
+}
+
+func TestE16ShapeQuick(t *testing.T) {
+	r := E16ContentDelivery(quick())
+	if r.Findings["hit_big"] < 0.5 {
+		t.Errorf("big-cache hit rate = %v", r.Findings["hit_big"])
+	}
+	if r.Findings["hit_0"] != 0 {
+		t.Errorf("pass-through arm produced hits: %v", r.Findings["hit_0"])
+	}
+	if r.Findings["median_big"] >= r.Findings["median_0"] {
+		t.Errorf("cache did not cut median latency: %v vs %v",
+			r.Findings["median_big"], r.Findings["median_0"])
+	}
+	if r.Findings["origin_big"] >= r.Findings["origin_0"]*0.6 {
+		t.Errorf("cache did not cut backhaul: %v vs %v",
+			r.Findings["origin_big"], r.Findings["origin_0"])
+	}
+}
+
+func TestA5ShapeQuick(t *testing.T) {
+	r := AblationClimate(quick())
+	st, pa, se := r.Findings["cap_stockholm"], r.Findings["cap_paris"], r.Findings["cap_seville"]
+	if !(st > pa && pa > se) {
+		t.Errorf("capacity ordering broken: stockholm %v, paris %v, seville %v", st, pa, se)
+	}
+	for _, city := range []string{"stockholm", "paris", "seville"} {
+		if r.Findings["inband_"+city] < 0.7 {
+			t.Errorf("%s comfort = %v; heating must work everywhere", city, r.Findings["inband_"+city])
+		}
+	}
+}
+
+func TestE17Shape(t *testing.T) {
+	r := E17MarketSizing(quick())
+	// 9M × 3 × 16 = 432M installed cores; winter monetisation 0.47.
+	if r.Findings["installed_cores"] != 432e6 {
+		t.Errorf("installed cores = %v", r.Findings["installed_cores"])
+	}
+	// The paper's claim direction: the electric stock beats Amazon's fleet
+	// in winter even after monetisation discounting.
+	if r.Findings["amazon_x"] < 1 {
+		t.Errorf("winter fleet only %vx Amazon", r.Findings["amazon_x"])
+	}
+	if r.Findings["summer_cores"] >= r.Findings["winter_cores"]/3 {
+		t.Errorf("summer fleet %v not far below winter %v",
+			r.Findings["summer_cores"], r.Findings["winter_cores"])
+	}
+}
+
+func TestResultWrite(t *testing.T) {
+	r := E2PUE(quick())
+	var b strings.Builder
+	if err := r.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "E2") || !strings.Contains(out, "PUE") {
+		t.Errorf("result output incomplete:\n%s", out)
+	}
+}
+
+// TestAllQuick executes every registered experiment in quick mode to catch
+// panics and empty outputs; detailed shape assertions live in the
+// dedicated tests above and in the full-fidelity bench harness.
+func TestAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment sweep skipped in -short")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			r := e.Run(quick())
+			if len(r.Tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tab := range r.Tables {
+				if tab.Len() == 0 {
+					t.Errorf("%s produced an empty table", e.ID)
+				}
+				if err := tab.Write(io.Discard); err != nil {
+					t.Errorf("%s table write failed: %v", e.ID, err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// fanout runs n independent jobs concurrently, bounded by the machine's
+// parallelism. Experiment arms are separate simulator instances with their
+// own seeds, so cross-run parallelism is free determinism-wise: each job
+// writes only to its own result slot and the table is assembled afterwards
+// in arm order.
+func fanout(n int, job func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				job(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,39 @@
+package forecast_test
+
+import (
+	"fmt"
+
+	"df3/internal/forecast"
+)
+
+// ExampleFitThermosensitivity shows the §III-C workflow: fit heat demand
+// against outdoor temperature, then predict a cold day.
+func ExampleFitThermosensitivity() {
+	truth := forecast.Thermosensitivity{Base: 100, Slope: 400, Threshold: 15}
+	var temps, demand []float64
+	for t := -5.0; t <= 30; t += 0.5 {
+		temps = append(temps, t)
+		demand = append(demand, truth.Predict(t))
+	}
+	model, err := forecast.FitThermosensitivity(temps, demand)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("slope %.0f W/K, threshold %.1f °C\n", model.Slope, model.Threshold)
+	fmt.Printf("demand at -3 °C: %.0f W\n", model.Predict(-3))
+	// Output:
+	// slope 400 W/K, threshold 15.0 °C
+	// demand at -3 °C: 7300 W
+}
+
+// ExampleHoltWinters forecasts one step of a perfectly periodic signal.
+func ExampleHoltWinters() {
+	hw := forecast.NewHoltWinters(0.5, 0.05, 0.5, 4)
+	pattern := []float64{10, 20, 30, 20}
+	for i := 0; i < 40; i++ {
+		hw.Observe(pattern[i%4])
+	}
+	fmt.Printf("next: %.0f\n", hw.Forecast(1))
+	// Output:
+	// next: 10
+}

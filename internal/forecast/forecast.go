@@ -1,0 +1,201 @@
+// Package forecast implements the predictive platform of §III-C: "a model
+// to predict the heat demand and the thermosensitivity in houses equipped
+// with DF servers. Several studies reveal that the thermosensitivity is in
+// general correlated to the external weather."
+//
+// Two predictors are provided: a thermosensitivity regression (piecewise
+// linear heat demand vs outdoor temperature, the model French grid
+// operators use for electric heating) and a Holt-Winters seasonal smoother
+// for purely autoregressive forecasting. Accuracy is reported as MAPE and
+// RMSE so the operator can size how much DCC capacity it may promise.
+package forecast
+
+import (
+	"fmt"
+	"math"
+)
+
+// Thermosensitivity is the piecewise-linear demand model
+//
+//	demand(T) = Base + Slope·max(0, Threshold − T)
+//
+// fitted by least squares on (outdoor temperature, demand) pairs. Slope is
+// the thermosensitivity in W/K; Threshold is the heating threshold
+// temperature (demand is flat above it).
+type Thermosensitivity struct {
+	Base      float64
+	Slope     float64
+	Threshold float64
+}
+
+// FitThermosensitivity fits the model on observations. The threshold is
+// chosen by scanning candidate values and keeping the least-squares best;
+// the fit for a fixed threshold is ordinary linear regression on the
+// rectified regressor max(0, θ−T).
+func FitThermosensitivity(temps, demands []float64) (Thermosensitivity, error) {
+	if len(temps) != len(demands) {
+		return Thermosensitivity{}, fmt.Errorf("forecast: %d temps vs %d demands", len(temps), len(demands))
+	}
+	if len(temps) < 3 {
+		return Thermosensitivity{}, fmt.Errorf("forecast: need at least 3 observations, have %d", len(temps))
+	}
+	best := Thermosensitivity{}
+	bestSSE := math.Inf(1)
+	for theta := 8.0; theta <= 20.0; theta += 0.5 {
+		base, slope, sse, ok := fitFixedThreshold(temps, demands, theta)
+		if ok && sse < bestSSE {
+			bestSSE = sse
+			best = Thermosensitivity{Base: base, Slope: slope, Threshold: theta}
+		}
+	}
+	if math.IsInf(bestSSE, 1) {
+		return Thermosensitivity{}, fmt.Errorf("forecast: degenerate data, no threshold fits")
+	}
+	return best, nil
+}
+
+// fitFixedThreshold regresses demand on max(0, θ−T).
+func fitFixedThreshold(temps, demands []float64, theta float64) (base, slope, sse float64, ok bool) {
+	n := float64(len(temps))
+	var sx, sy, sxx, sxy float64
+	for i := range temps {
+		x := math.Max(0, theta-temps[i])
+		y := demands[i]
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, 0, false
+	}
+	slope = (n*sxy - sx*sy) / den
+	base = (sy - slope*sx) / n
+	if slope < 0 {
+		// Heating demand cannot fall when it gets colder; reject.
+		return 0, 0, 0, false
+	}
+	for i := range temps {
+		x := math.Max(0, theta-temps[i])
+		r := demands[i] - (base + slope*x)
+		sse += r * r
+	}
+	return base, slope, sse, true
+}
+
+// Predict returns the modelled demand at outdoor temperature t.
+func (m Thermosensitivity) Predict(t float64) float64 {
+	return m.Base + m.Slope*math.Max(0, m.Threshold-t)
+}
+
+// HoltWinters is additive triple exponential smoothing with a fixed
+// seasonal period, for demand series with daily or yearly cycles.
+type HoltWinters struct {
+	// Alpha, Beta and Gamma are the level, trend and seasonal gains.
+	Alpha, Beta, Gamma float64
+	// Period is the season length in samples.
+	Period int
+
+	level, trend float64
+	season       []float64
+	n            int
+}
+
+// NewHoltWinters returns a smoother with the given gains and period.
+func NewHoltWinters(alpha, beta, gamma float64, period int) *HoltWinters {
+	if period <= 0 {
+		panic("forecast: non-positive period")
+	}
+	return &HoltWinters{Alpha: alpha, Beta: beta, Gamma: gamma, Period: period,
+		season: make([]float64, period)}
+}
+
+// Observe feeds the next sample.
+func (h *HoltWinters) Observe(v float64) {
+	i := h.n % h.Period
+	if h.n == 0 {
+		h.level = v
+	}
+	if h.n < h.Period {
+		// Bootstrap: accumulate the first season relative to the initial
+		// level, track the level as a plain mean.
+		h.season[i] = v - h.level
+		h.level += (v - h.level) / float64(h.n+1)
+		h.n++
+		return
+	}
+	prevLevel := h.level
+	h.level = h.Alpha*(v-h.season[i]) + (1-h.Alpha)*(h.level+h.trend)
+	h.trend = h.Beta*(h.level-prevLevel) + (1-h.Beta)*h.trend
+	h.season[i] = h.Gamma*(v-h.level) + (1-h.Gamma)*h.season[i]
+	h.n++
+}
+
+// Forecast predicts k samples ahead (k >= 1).
+func (h *HoltWinters) Forecast(k int) float64 {
+	if k < 1 {
+		k = 1
+	}
+	i := (h.n + k - 1) % h.Period
+	return h.level + float64(k)*h.trend + h.season[i]
+}
+
+// Ready reports whether at least one full season has been observed.
+func (h *HoltWinters) Ready() bool { return h.n >= h.Period }
+
+// Accuracy scores predictions against actuals.
+type Accuracy struct {
+	n            int
+	sumAbsPct    float64
+	sumSq        float64
+	sumAbsErr    float64
+	sumAbsActual float64
+	skippedZeros int
+}
+
+// Observe records one (predicted, actual) pair. Zero actuals are skipped
+// for MAPE (undefined) but still count toward RMSE and WAPE.
+func (a *Accuracy) Observe(predicted, actual float64) {
+	err := predicted - actual
+	a.sumSq += err * err
+	a.sumAbsErr += math.Abs(err)
+	a.sumAbsActual += math.Abs(actual)
+	a.n++
+	if actual != 0 {
+		a.sumAbsPct += math.Abs(err / actual)
+	} else {
+		a.skippedZeros++
+	}
+}
+
+// MAPE returns the mean absolute percentage error in [0,∞), or 0 with no
+// usable observations.
+func (a *Accuracy) MAPE() float64 {
+	usable := a.n - a.skippedZeros
+	if usable <= 0 {
+		return 0
+	}
+	return a.sumAbsPct / float64(usable)
+}
+
+// WAPE returns Σ|error| / Σ|actual| — the volume-weighted relative error,
+// robust to near-zero actuals (which make MAPE explode on off-season
+// hours). Returns 0 when no actual volume was observed.
+func (a *Accuracy) WAPE() float64 {
+	if a.sumAbsActual == 0 {
+		return 0
+	}
+	return a.sumAbsErr / a.sumAbsActual
+}
+
+// RMSE returns the root mean squared error.
+func (a *Accuracy) RMSE() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return math.Sqrt(a.sumSq / float64(a.n))
+}
+
+// Count returns the number of scored pairs.
+func (a *Accuracy) Count() int { return a.n }

@@ -1,0 +1,190 @@
+package forecast
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"df3/internal/rng"
+)
+
+func TestThermosensitivityRecovery(t *testing.T) {
+	// Synthesise demand from a known model and check the fit recovers it.
+	truth := Thermosensitivity{Base: 200, Slope: 450, Threshold: 15}
+	s := rng.New(1)
+	var temps, demands []float64
+	for i := 0; i < 2000; i++ {
+		temp := s.Uniform(-5, 30)
+		temps = append(temps, temp)
+		demands = append(demands, truth.Predict(temp)+s.Normal(0, 50))
+	}
+	fit, err := FitThermosensitivity(temps, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-450) > 25 {
+		t.Errorf("slope = %v, want ~450", fit.Slope)
+	}
+	if math.Abs(fit.Threshold-15) > 1.01 {
+		t.Errorf("threshold = %v, want ~15", fit.Threshold)
+	}
+	if math.Abs(fit.Base-200) > 60 {
+		t.Errorf("base = %v, want ~200", fit.Base)
+	}
+}
+
+func TestThermosensitivityPredictShape(t *testing.T) {
+	m := Thermosensitivity{Base: 100, Slope: 300, Threshold: 15}
+	if got := m.Predict(20); got != 100 {
+		t.Errorf("warm prediction = %v, want flat base", got)
+	}
+	if got := m.Predict(5); got != 100+300*10 {
+		t.Errorf("cold prediction = %v", got)
+	}
+	if m.Predict(0) <= m.Predict(10) {
+		t.Error("demand not increasing as it gets colder")
+	}
+}
+
+func TestFitRejectsBadInput(t *testing.T) {
+	if _, err := FitThermosensitivity([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := FitThermosensitivity([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("too few observations accepted")
+	}
+	// Constant temperature above every threshold candidate: degenerate.
+	if _, err := FitThermosensitivity(
+		[]float64{25, 25, 25, 25},
+		[]float64{1, 2, 3, 4},
+	); err == nil {
+		t.Error("degenerate data accepted")
+	}
+}
+
+func TestHoltWintersTracksSeasonalSignal(t *testing.T) {
+	h := NewHoltWinters(0.3, 0.05, 0.3, 24)
+	signal := func(i int) float64 {
+		return 1000 + 400*math.Sin(2*math.Pi*float64(i%24)/24)
+	}
+	// Train on 20 days.
+	for i := 0; i < 480; i++ {
+		h.Observe(signal(i))
+	}
+	if !h.Ready() {
+		t.Fatal("not ready after 20 seasons")
+	}
+	// Score one-step-ahead forecasts over 2 more days.
+	var acc Accuracy
+	for i := 480; i < 528; i++ {
+		acc.Observe(h.Forecast(1), signal(i))
+		h.Observe(signal(i))
+	}
+	if acc.MAPE() > 0.05 {
+		t.Errorf("MAPE on clean seasonal signal = %v, want < 5%%", acc.MAPE())
+	}
+}
+
+func TestHoltWintersBeatsNaiveOnTrend(t *testing.T) {
+	// Rising trend + season: HW must beat the "repeat last value" naive.
+	h := NewHoltWinters(0.4, 0.1, 0.3, 12)
+	signal := func(i int) float64 {
+		return 100 + 2*float64(i) + 50*math.Sin(2*math.Pi*float64(i%12)/12)
+	}
+	for i := 0; i < 120; i++ {
+		h.Observe(signal(i))
+	}
+	var hw, naive Accuracy
+	last := signal(119)
+	for i := 120; i < 160; i++ {
+		hw.Observe(h.Forecast(1), signal(i))
+		naive.Observe(last, signal(i))
+		last = signal(i)
+		h.Observe(signal(i))
+	}
+	if hw.RMSE() >= naive.RMSE() {
+		t.Errorf("HW RMSE %v not below naive %v", hw.RMSE(), naive.RMSE())
+	}
+}
+
+func TestHoltWintersPanicsOnBadPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on zero period")
+		}
+	}()
+	NewHoltWinters(0.1, 0.1, 0.1, 0)
+}
+
+func TestAccuracyBasics(t *testing.T) {
+	var a Accuracy
+	a.Observe(110, 100) // 10% off
+	a.Observe(90, 100)  // 10% off
+	if math.Abs(a.MAPE()-0.1) > 1e-12 {
+		t.Errorf("MAPE = %v", a.MAPE())
+	}
+	if math.Abs(a.RMSE()-10) > 1e-9 {
+		t.Errorf("RMSE = %v", a.RMSE())
+	}
+	if a.Count() != 2 {
+		t.Errorf("count = %d", a.Count())
+	}
+}
+
+func TestAccuracyZeroActual(t *testing.T) {
+	var a Accuracy
+	a.Observe(5, 0)
+	if a.MAPE() != 0 {
+		t.Error("MAPE with only zero actuals should be 0")
+	}
+	if a.RMSE() != 5 {
+		t.Errorf("RMSE = %v", a.RMSE())
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	var a Accuracy
+	if a.MAPE() != 0 || a.RMSE() != 0 {
+		t.Error("empty accuracy should report zeros")
+	}
+}
+
+// Property: the fitted model never predicts negative demand when fitted on
+// non-negative demand data, and predictions are monotone non-increasing in
+// temperature.
+func TestFitMonotoneProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := rng.New(seed)
+		truth := Thermosensitivity{
+			Base:      s.Uniform(0, 500),
+			Slope:     s.Uniform(50, 600),
+			Threshold: s.Uniform(10, 18),
+		}
+		var temps, demands []float64
+		for i := 0; i < 300; i++ {
+			temp := s.Uniform(-10, 30)
+			temps = append(temps, temp)
+			d := truth.Predict(temp) + s.Normal(0, 30)
+			if d < 0 {
+				d = 0
+			}
+			demands = append(demands, d)
+		}
+		fit, err := FitThermosensitivity(temps, demands)
+		if err != nil {
+			return false
+		}
+		prev := math.Inf(1)
+		for temp := -15.0; temp <= 35; temp += 1 {
+			p := fit.Predict(temp)
+			if p > prev+1e-9 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

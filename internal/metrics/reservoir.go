@@ -1,0 +1,48 @@
+package metrics
+
+import "df3/internal/rng"
+
+// Reservoir keeps a uniform random sample of bounded size over an unbounded
+// observation stream (Vitter's algorithm R). City-year runs observe millions
+// of request latencies; the reservoir bounds memory while preserving
+// quantile fidelity.
+type Reservoir struct {
+	Stats
+	cap    int
+	stream *rng.Stream
+	values []float64
+	seen   int64
+}
+
+// NewReservoir returns a reservoir retaining at most capacity observations.
+func NewReservoir(capacity int, stream *rng.Stream) *Reservoir {
+	if capacity <= 0 {
+		panic("metrics: reservoir with non-positive capacity")
+	}
+	return &Reservoir{cap: capacity, stream: stream}
+}
+
+// Observe adds one observation.
+func (r *Reservoir) Observe(v float64) {
+	r.Stats.Observe(v)
+	r.seen++
+	if len(r.values) < r.cap {
+		r.values = append(r.values, v)
+		return
+	}
+	// Replace a random retained element with probability cap/seen.
+	j := r.stream.Uint64() % uint64(r.seen)
+	if j < uint64(r.cap) {
+		r.values[j] = v
+	}
+}
+
+// Quantile returns an estimate of the q-quantile from the retained sample.
+func (r *Reservoir) Quantile(q float64) float64 {
+	s := Sample{values: append([]float64(nil), r.values...)}
+	s.n = len(r.values)
+	return s.Quantile(q)
+}
+
+// Retained returns the number of retained observations.
+func (r *Reservoir) Retained() int { return len(r.values) }

@@ -1,0 +1,132 @@
+package metrics
+
+import "sort"
+
+// Point is one time-stamped observation in a Series.
+type Point struct {
+	T float64 // simulated time, seconds
+	V float64
+}
+
+// Series records a time series of observations, e.g. room temperature or
+// available fleet capacity. It supports bucketed aggregation, which is how
+// the Fig. 4 style "monthly average" outputs are produced.
+type Series struct {
+	points []Point
+}
+
+// Add appends an observation at time t. Times are expected to be
+// non-decreasing (the simulator only moves forward).
+func (s *Series) Add(t, v float64) { s.points = append(s.points, Point{t, v}) }
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.points) }
+
+// Points returns the underlying points. Callers must not mutate.
+func (s *Series) Points() []Point { return s.points }
+
+// Last returns the most recent point, or a zero Point when empty.
+func (s *Series) Last() Point {
+	if len(s.points) == 0 {
+		return Point{}
+	}
+	return s.points[len(s.points)-1]
+}
+
+// Mean returns the unweighted mean of all values, or 0 when empty.
+func (s *Series) Mean() float64 {
+	if len(s.points) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range s.points {
+		sum += p.V
+	}
+	return sum / float64(len(s.points))
+}
+
+// Bucket groups points by key(t) and returns the per-bucket mean, with
+// bucket keys sorted ascending. Used to fold a temperature trace into
+// monthly averages.
+func (s *Series) Bucket(key func(t float64) int) (keys []int, means []float64) {
+	sums := map[int]float64{}
+	counts := map[int]int{}
+	for _, p := range s.points {
+		k := key(p.T)
+		sums[k] += p.V
+		counts[k]++
+	}
+	for k := range sums {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	means = make([]float64, len(keys))
+	for i, k := range keys {
+		means[i] = sums[k] / float64(counts[k])
+	}
+	return keys, means
+}
+
+// TimeWeighted tracks the time-weighted average of a piecewise-constant
+// signal, e.g. the number of busy cores. Call Set on every change and
+// Average(now) to read.
+type TimeWeighted struct {
+	t0       float64 // time of the first Set
+	lastT    float64
+	lastV    float64
+	area     float64
+	started  bool
+	maxValue float64
+}
+
+// Set records that the signal takes value v from time t onward.
+func (w *TimeWeighted) Set(t, v float64) {
+	if w.started {
+		w.area += w.lastV * (t - w.lastT)
+	} else {
+		w.started = true
+		w.t0 = t
+	}
+	w.lastT, w.lastV = t, v
+	if v > w.maxValue {
+		w.maxValue = v
+	}
+}
+
+// Add shifts the current value by dv at time t.
+func (w *TimeWeighted) Add(t, dv float64) { w.Set(t, w.lastV+dv) }
+
+// Value returns the current value of the signal.
+func (w *TimeWeighted) Value() float64 { return w.lastV }
+
+// Max returns the largest value the signal has taken.
+func (w *TimeWeighted) Max() float64 { return w.maxValue }
+
+// Average returns the time-weighted average over [firstSet, now].
+func (w *TimeWeighted) Average(now float64) float64 {
+	if !w.started || now <= w.t0 {
+		return w.lastV
+	}
+	area := w.area + w.lastV*(now-w.lastT)
+	return area / (now - w.t0)
+}
+
+// Counter counts discrete occurrences, e.g. deadline misses.
+type Counter struct{ n int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Addn adds k.
+func (c *Counter) Addn(k int64) { c.n += k }
+
+// Value returns the count.
+func (c *Counter) Value() int64 { return c.n }
+
+// Rate returns count divided by total, or 0 when total is 0.
+func Rate(count, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(count) / float64(total)
+}

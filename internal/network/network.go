@@ -1,0 +1,239 @@
+// Package network models the communication fabric between IoT devices, DF
+// servers, gateways and the remote datacenter.
+//
+// Links carry (latency, bandwidth) and serialise transfers FIFO: a message
+// occupies the link for size/bandwidth seconds after waiting for earlier
+// messages, then arrives latency later (store-and-forward per link). Routes
+// are static paths configured by the scenario builder; the fabric delivers
+// a message by walking its path hop by hop on the simulation engine.
+//
+// Link classes follow the technologies the paper names (§III-B): building
+// Ethernet LAN, fibre to the Qarnot middleware, metro WAN between city
+// clusters, Internet to a remote datacenter, and the low-power IoT
+// protocols (LoRa, Zigbee) for sensors.
+package network
+
+import (
+	"fmt"
+
+	"df3/internal/sim"
+	"df3/internal/units"
+)
+
+// NodeID identifies a network endpoint.
+type NodeID int
+
+// Link is a unidirectional channel between two nodes.
+type Link struct {
+	From, To NodeID
+	// Latency is the propagation + protocol delay per message.
+	Latency sim.Time
+	// Bandwidth is bytes per second; <= 0 means infinite (no serialisation).
+	Bandwidth float64
+
+	busyUntil sim.Time
+	bytes     float64
+	messages  int64
+}
+
+// transferTime returns when a message of size bytes injected at now departs
+// the link (serialisation) and when it arrives at the far end.
+func (l *Link) transferTime(now sim.Time, size units.Byte) (depart, arrive sim.Time) {
+	start := now
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	ser := sim.Time(0)
+	if l.Bandwidth > 0 {
+		ser = sim.Time(float64(size) / l.Bandwidth)
+	}
+	depart = start + ser
+	l.busyUntil = depart
+	l.bytes += float64(size)
+	l.messages++
+	return depart, depart + l.Latency
+}
+
+// BytesCarried returns the cumulative traffic on the link.
+func (l *Link) BytesCarried() float64 { return l.bytes }
+
+// Messages returns the number of messages carried.
+func (l *Link) Messages() int64 { return l.messages }
+
+// Class is a reusable (latency, bandwidth) pair for building links.
+type Class struct {
+	Name      string
+	Latency   sim.Time
+	Bandwidth float64 // bytes/s
+}
+
+// Technology classes with representative figures.
+var (
+	// LAN is building-internal gigabit Ethernet.
+	LAN = Class{Name: "lan", Latency: 0.0005, Bandwidth: 125e6}
+	// Fibre is the optic-fibre uplink of a Q.rad to the operator (§II-B1).
+	Fibre = Class{Name: "fibre", Latency: 0.002, Bandwidth: 125e6}
+	// Metro is a city-internal WAN hop between buildings/clusters.
+	Metro = Class{Name: "metro", Latency: 0.005, Bandwidth: 60e6}
+	// Internet is the path to a remote datacenter.
+	Internet = Class{Name: "internet", Latency: 0.035, Bandwidth: 12e6}
+	// Zigbee is a low-power mesh hop for in-building sensors.
+	Zigbee = Class{Name: "zigbee", Latency: 0.015, Bandwidth: 31e3}
+	// LoRa is a long-range low-power hop: tiny bandwidth, high latency.
+	LoRa = Class{Name: "lora", Latency: 0.4, Bandwidth: 3.4e3}
+	// BoilerNet is the 10 Gbps fabric inside an Asperitas boiler (§II-B2).
+	BoilerNet = Class{Name: "boilernet", Latency: 0.0001, Bandwidth: 1.25e9}
+)
+
+// Fabric is a static-routing network on a simulation engine.
+type Fabric struct {
+	engine *sim.Engine
+	links  map[[2]NodeID]*Link
+	adj    map[NodeID][]NodeID    // neighbours in Connect order (determinism)
+	routes map[[2]NodeID][]NodeID // precomputed paths, endpoints included
+	names  map[NodeID]string
+	nextID NodeID
+}
+
+// NewFabric returns an empty fabric.
+func NewFabric(e *sim.Engine) *Fabric {
+	return &Fabric{
+		engine: e,
+		links:  map[[2]NodeID]*Link{},
+		adj:    map[NodeID][]NodeID{},
+		routes: map[[2]NodeID][]NodeID{},
+		names:  map[NodeID]string{},
+	}
+}
+
+// AddNode registers a named endpoint and returns its id.
+func (f *Fabric) AddNode(name string) NodeID {
+	id := f.nextID
+	f.nextID++
+	f.names[id] = name
+	return id
+}
+
+// NodeName returns the registered name of a node.
+func (f *Fabric) NodeName(id NodeID) string { return f.names[id] }
+
+// Connect adds a bidirectional link of the given class between a and b.
+// Reconnecting an existing pair replaces the links' parameters.
+func (f *Fabric) Connect(a, b NodeID, c Class) {
+	if f.links[[2]NodeID{a, b}] == nil {
+		f.adj[a] = append(f.adj[a], b)
+		f.adj[b] = append(f.adj[b], a)
+	}
+	f.links[[2]NodeID{a, b}] = &Link{From: a, To: b, Latency: c.Latency, Bandwidth: c.Bandwidth}
+	f.links[[2]NodeID{b, a}] = &Link{From: b, To: a, Latency: c.Latency, Bandwidth: c.Bandwidth}
+	f.routes = map[[2]NodeID][]NodeID{} // topology changed; recompute lazily
+}
+
+// Link returns the directed link a→b, or nil.
+func (f *Fabric) Link(a, b NodeID) *Link { return f.links[[2]NodeID{a, b}] }
+
+// Route computes (and caches) the minimum-hop path from a to b with BFS.
+// It returns nil when b is unreachable.
+func (f *Fabric) Route(a, b NodeID) []NodeID {
+	if a == b {
+		return []NodeID{a}
+	}
+	if r, ok := f.routes[[2]NodeID{a, b}]; ok {
+		return r
+	}
+	// BFS over the link set.
+	prev := map[NodeID]NodeID{a: a}
+	frontier := []NodeID{a}
+	for len(frontier) > 0 {
+		if _, seen := prev[b]; seen {
+			break
+		}
+		var next []NodeID
+		for _, n := range frontier {
+			for _, nb := range f.adj[n] {
+				if _, seen := prev[nb]; seen {
+					continue
+				}
+				prev[nb] = n
+				next = append(next, nb)
+			}
+		}
+		frontier = next
+	}
+	if _, seen := prev[b]; !seen {
+		f.routes[[2]NodeID{a, b}] = nil
+		return nil
+	}
+	var rev []NodeID
+	for n := b; ; n = prev[n] {
+		rev = append(rev, n)
+		if n == a {
+			break
+		}
+	}
+	path := make([]NodeID, len(rev))
+	for i := range rev {
+		path[i] = rev[len(rev)-1-i]
+	}
+	f.routes[[2]NodeID{a, b}] = path
+	return path
+}
+
+// SetRoute overrides the path between two endpoints (must start at a and
+// end at b over existing links).
+func (f *Fabric) SetRoute(a, b NodeID, path []NodeID) error {
+	if len(path) < 1 || path[0] != a || path[len(path)-1] != b {
+		return fmt.Errorf("network: path endpoints do not match %d..%d", a, b)
+	}
+	for i := 0; i+1 < len(path); i++ {
+		if f.Link(path[i], path[i+1]) == nil {
+			return fmt.Errorf("network: no link %d->%d on path", path[i], path[i+1])
+		}
+	}
+	f.routes[[2]NodeID{a, b}] = path
+	return nil
+}
+
+// PathLatency returns the summed link latency a→b ignoring serialisation,
+// or -1 when unreachable. Useful for admission decisions.
+func (f *Fabric) PathLatency(a, b NodeID) sim.Time {
+	path := f.Route(a, b)
+	if path == nil {
+		return -1
+	}
+	var total sim.Time
+	for i := 0; i+1 < len(path); i++ {
+		total += f.Link(path[i], path[i+1]).Latency
+	}
+	return total
+}
+
+// Send delivers a message of the given size from a to b, invoking deliver
+// with the arrival time. It walks the path hop by hop, modelling per-link
+// FIFO serialisation. Returns false (and does not schedule anything) when
+// b is unreachable.
+func (f *Fabric) Send(a, b NodeID, size units.Byte, deliver func(at sim.Time)) bool {
+	path := f.Route(a, b)
+	if path == nil {
+		return false
+	}
+	if len(path) == 1 { // local delivery
+		f.engine.After(0, func() { deliver(f.engine.Now()) })
+		return true
+	}
+	f.hop(path, 0, size, deliver)
+	return true
+}
+
+// hop forwards the message across path[i]→path[i+1] and recurses.
+func (f *Fabric) hop(path []NodeID, i int, size units.Byte, deliver func(at sim.Time)) {
+	l := f.Link(path[i], path[i+1])
+	_, arrive := l.transferTime(f.engine.Now(), size)
+	f.engine.At(arrive, func() {
+		if i+2 >= len(path) {
+			deliver(f.engine.Now())
+			return
+		}
+		f.hop(path, i+1, size, deliver)
+	})
+}

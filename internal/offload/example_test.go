@@ -1,0 +1,39 @@
+package offload_test
+
+import (
+	"fmt"
+
+	"df3/internal/offload"
+)
+
+// ExampleSmart walks the decision ladder of the paper's §III-B automated
+// system on a saturated cluster.
+func ExampleSmart() {
+	s := offload.Smart{}
+	base := offload.Context{
+		FreeSlots:     0,
+		Slack:         0.4,
+		HorizontalRTT: 0.01,
+		VerticalRTT:   0.07,
+		QueueCap:      8,
+	}
+
+	withVictim := base
+	withVictim.CanPreempt = true
+	fmt.Println("victim available:", s.Decide(withVictim))
+
+	withNeighbor := base
+	withNeighbor.NeighborFree = 4
+	fmt.Println("neighbour free:", s.Decide(withNeighbor))
+
+	fmt.Println("only the datacenter left:", s.Decide(base))
+
+	tight := base
+	tight.Slack = 0.01
+	fmt.Println("no slack for the WAN:", s.Decide(tight))
+	// Output:
+	// victim available: preempt
+	// neighbour free: horizontal
+	// only the datacenter left: vertical
+	// no slack for the WAN: queue
+}

@@ -1,0 +1,211 @@
+// Package offload implements the peak-management decision policies of
+// §III-B: when an edge request arrives and "the cluster is full", the
+// gateway can reject it, delay it, preempt DCC work [14], offload
+// vertically to the datacenter, or offload horizontally to a neighbouring
+// cluster [15][16]. The paper recommends "to modelize the computational
+// problem as a decision problem that can be solved by an automated
+// system" — Smart is that automated decision system; the pure policies
+// exist as experiment arms and ablations.
+//
+// Policies are pure decision functions over a Context snapshot, so they are
+// trivially unit-testable and the middleware stays free of policy logic.
+package offload
+
+import "df3/internal/sim"
+
+// Action is the gateway's decision for one edge request.
+type Action int
+
+const (
+	// Run places the request on a local worker immediately.
+	Run Action = iota
+	// Queue delays the request in the local edge queue.
+	Queue
+	// Preempt evicts a DCC task from a local worker and runs there.
+	Preempt
+	// Horizontal forwards to a neighbouring cluster's edge gateway.
+	Horizontal
+	// Vertical forwards to the remote datacenter.
+	Vertical
+	// Reject drops the request.
+	Reject
+)
+
+func (a Action) String() string {
+	switch a {
+	case Run:
+		return "run"
+	case Queue:
+		return "queue"
+	case Preempt:
+		return "preempt"
+	case Horizontal:
+		return "horizontal"
+	case Vertical:
+		return "vertical"
+	default:
+		return "reject"
+	}
+}
+
+// Context is the gateway's view when deciding.
+type Context struct {
+	// FreeSlots is the number of local worker slots able to run now.
+	FreeSlots int
+	// QueueLen and QueueCap describe the local edge queue (cap 0 =
+	// unbounded).
+	QueueLen, QueueCap int
+	// Slack is the request's remaining latency budget after subtracting
+	// its expected local execution time.
+	Slack sim.Time
+	// CanPreempt reports whether a DCC victim exists on a local worker.
+	CanPreempt bool
+	// NeighborFree is the best neighbour cluster's free slot count.
+	NeighborFree int
+	// HorizontalRTT is the round-trip to that neighbour.
+	HorizontalRTT sim.Time
+	// VerticalRTT is the round-trip to the datacenter.
+	VerticalRTT sim.Time
+	// Forwarded marks requests that already took a horizontal hop; they
+	// must not be forwarded again (hop limit 1, which keeps the
+	// cooperation model of [16] analysable).
+	Forwarded bool
+}
+
+// queueHasRoom reports whether the local queue can absorb the request.
+func (c Context) queueHasRoom() bool {
+	return c.QueueCap == 0 || c.QueueLen < c.QueueCap
+}
+
+// Policy decides the action for one request.
+type Policy interface {
+	Decide(c Context) Action
+	Name() string
+}
+
+// RejectPolicy drops anything that cannot run immediately.
+type RejectPolicy struct{}
+
+// Decide implements Policy.
+func (RejectPolicy) Decide(c Context) Action {
+	if c.FreeSlots > 0 {
+		return Run
+	}
+	return Reject
+}
+
+// Name implements Policy.
+func (RejectPolicy) Name() string { return "reject" }
+
+// DelayPolicy queues and waits — "decide not to scale but to delay the
+// processing" (§III-B).
+type DelayPolicy struct{}
+
+// Decide implements Policy.
+func (DelayPolicy) Decide(c Context) Action {
+	if c.FreeSlots > 0 {
+		return Run
+	}
+	if c.queueHasRoom() {
+		return Queue
+	}
+	return Reject
+}
+
+// Name implements Policy.
+func (DelayPolicy) Name() string { return "delay" }
+
+// PreemptPolicy evicts DCC work to make room, queueing when no victim
+// exists.
+type PreemptPolicy struct{}
+
+// Decide implements Policy.
+func (PreemptPolicy) Decide(c Context) Action {
+	if c.FreeSlots > 0 {
+		return Run
+	}
+	if c.CanPreempt {
+		return Preempt
+	}
+	if c.queueHasRoom() {
+		return Queue
+	}
+	return Reject
+}
+
+// Name implements Policy.
+func (PreemptPolicy) Name() string { return "preempt" }
+
+// VerticalPolicy sends overflow to the datacenter when the latency budget
+// allows, queueing otherwise.
+type VerticalPolicy struct{}
+
+// Decide implements Policy.
+func (VerticalPolicy) Decide(c Context) Action {
+	if c.FreeSlots > 0 {
+		return Run
+	}
+	if c.Slack > c.VerticalRTT {
+		return Vertical
+	}
+	if c.queueHasRoom() {
+		return Queue
+	}
+	return Reject
+}
+
+// Name implements Policy.
+func (VerticalPolicy) Name() string { return "vertical" }
+
+// HorizontalPolicy sends overflow to the best neighbour cluster when it has
+// room and the budget allows, queueing otherwise.
+type HorizontalPolicy struct{}
+
+// Decide implements Policy.
+func (HorizontalPolicy) Decide(c Context) Action {
+	if c.FreeSlots > 0 {
+		return Run
+	}
+	if !c.Forwarded && c.NeighborFree > 0 && c.Slack > c.HorizontalRTT {
+		return Horizontal
+	}
+	if c.queueHasRoom() {
+		return Queue
+	}
+	return Reject
+}
+
+// Name implements Policy.
+func (HorizontalPolicy) Name() string { return "horizontal" }
+
+// Smart is the paper's recommended automated decision system: run locally
+// when possible; otherwise prefer the cheapest action that can still meet
+// the deadline — preempt (no network cost), then horizontal (metro RTT),
+// then vertical (Internet RTT), then queue, then reject.
+type Smart struct{}
+
+// Decide implements Policy.
+func (Smart) Decide(c Context) Action {
+	if c.FreeSlots > 0 {
+		return Run
+	}
+	if c.CanPreempt {
+		return Preempt
+	}
+	if !c.Forwarded && c.NeighborFree > 0 && c.Slack > c.HorizontalRTT {
+		return Horizontal
+	}
+	if c.Slack > c.VerticalRTT {
+		return Vertical
+	}
+	if c.queueHasRoom() && c.Slack > 0 {
+		return Queue
+	}
+	if c.queueHasRoom() {
+		return Queue
+	}
+	return Reject
+}
+
+// Name implements Policy.
+func (Smart) Name() string { return "smart" }

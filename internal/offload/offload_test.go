@@ -1,0 +1,141 @@
+package offload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+var all = []Policy{RejectPolicy{}, DelayPolicy{}, PreemptPolicy{},
+	VerticalPolicy{}, HorizontalPolicy{}, Smart{}}
+
+func TestEveryPolicyRunsWhenFree(t *testing.T) {
+	c := Context{FreeSlots: 3}
+	for _, p := range all {
+		if got := p.Decide(c); got != Run {
+			t.Errorf("%s with free slots decided %v", p.Name(), got)
+		}
+	}
+}
+
+func TestRejectPolicy(t *testing.T) {
+	if got := (RejectPolicy{}).Decide(Context{}); got != Reject {
+		t.Errorf("full cluster -> %v", got)
+	}
+}
+
+func TestDelayPolicy(t *testing.T) {
+	p := DelayPolicy{}
+	if got := p.Decide(Context{QueueCap: 2, QueueLen: 1}); got != Queue {
+		t.Errorf("room in queue -> %v", got)
+	}
+	if got := p.Decide(Context{QueueCap: 2, QueueLen: 2}); got != Reject {
+		t.Errorf("full queue -> %v", got)
+	}
+	if got := p.Decide(Context{}); got != Queue {
+		t.Errorf("unbounded queue -> %v", got)
+	}
+}
+
+func TestPreemptPolicy(t *testing.T) {
+	p := PreemptPolicy{}
+	if got := p.Decide(Context{CanPreempt: true}); got != Preempt {
+		t.Errorf("victim available -> %v", got)
+	}
+	if got := p.Decide(Context{CanPreempt: false}); got != Queue {
+		t.Errorf("no victim -> %v", got)
+	}
+}
+
+func TestVerticalPolicy(t *testing.T) {
+	p := VerticalPolicy{}
+	if got := p.Decide(Context{Slack: 0.5, VerticalRTT: 0.07}); got != Vertical {
+		t.Errorf("enough slack -> %v", got)
+	}
+	if got := p.Decide(Context{Slack: 0.05, VerticalRTT: 0.07}); got != Queue {
+		t.Errorf("too little slack -> %v", got)
+	}
+}
+
+func TestHorizontalPolicy(t *testing.T) {
+	p := HorizontalPolicy{}
+	base := Context{NeighborFree: 2, Slack: 0.5, HorizontalRTT: 0.01}
+	if got := p.Decide(base); got != Horizontal {
+		t.Errorf("neighbour free -> %v", got)
+	}
+	c := base
+	c.Forwarded = true
+	if got := p.Decide(c); got != Queue {
+		t.Errorf("already forwarded -> %v (must not ping-pong)", got)
+	}
+	c = base
+	c.NeighborFree = 0
+	if got := p.Decide(c); got != Queue {
+		t.Errorf("neighbour full -> %v", got)
+	}
+}
+
+func TestSmartPreference(t *testing.T) {
+	s := Smart{}
+	// Preempt beats horizontal beats vertical.
+	c := Context{CanPreempt: true, NeighborFree: 5, Slack: 1, HorizontalRTT: 0.01, VerticalRTT: 0.07}
+	if got := s.Decide(c); got != Preempt {
+		t.Errorf("smart with victim -> %v", got)
+	}
+	c.CanPreempt = false
+	if got := s.Decide(c); got != Horizontal {
+		t.Errorf("smart without victim -> %v", got)
+	}
+	c.NeighborFree = 0
+	if got := s.Decide(c); got != Vertical {
+		t.Errorf("smart without neighbour -> %v", got)
+	}
+	c.Slack = 0.01 // below both RTTs: nothing remote can help
+	if got := s.Decide(c); got != Queue {
+		t.Errorf("smart with no slack -> %v", got)
+	}
+	c.QueueCap = 1
+	c.QueueLen = 1
+	if got := s.Decide(c); got != Reject {
+		t.Errorf("smart with full queue -> %v", got)
+	}
+}
+
+func TestNamesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range all {
+		if seen[p.Name()] {
+			t.Errorf("duplicate policy name %q", p.Name())
+		}
+		seen[p.Name()] = true
+	}
+}
+
+// Property: no policy ever forwards a request that was already forwarded
+// (hop limit), and every decision is a valid Action.
+func TestNoPingPongProperty(t *testing.T) {
+	f := func(free, qlen uint8, slack float64, canPreempt bool, nfree uint8) bool {
+		c := Context{
+			FreeSlots:     int(free % 4),
+			QueueLen:      int(qlen),
+			Slack:         slack,
+			CanPreempt:    canPreempt,
+			NeighborFree:  int(nfree % 4),
+			HorizontalRTT: 0.01,
+			VerticalRTT:   0.07,
+			Forwarded:     true,
+		}
+		for _, p := range all {
+			a := p.Decide(c)
+			if a == Horizontal {
+				return false
+			}
+			if a < Run || a > Reject {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

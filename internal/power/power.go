@@ -1,0 +1,168 @@
+// Package power models processor power draw under dynamic voltage and
+// frequency scaling (DVFS) and accounts fleet energy and PUE.
+//
+// The paper's heat regulator (§III-B) "implements a DVFS based technique to
+// guarantee that the energy consumed corresponds to the heat demand" [17].
+// We model a machine's CPUs as sharing one DVFS operating point; dynamic
+// power follows the classic P ∝ f·V² ≈ f³ law on top of a static floor.
+package power
+
+import (
+	"fmt"
+	"sort"
+
+	"df3/internal/units"
+)
+
+// Level is one DVFS operating point.
+type Level struct {
+	// Freq is the clock frequency.
+	Freq units.Hz
+	// Speed is the relative compute speed in (0,1], 1 at the top level.
+	Speed float64
+	// PowerFrac is the fraction of the machine's dynamic power range drawn
+	// when fully loaded at this level, in (0,1].
+	PowerFrac float64
+}
+
+// Table is an ordered set of DVFS levels, ascending by speed.
+type Table []Level
+
+// DefaultLevels models a 1.2–3.2 GHz mobile-class part with the cubic
+// frequency-power law the DVFS literature reports for this range [17].
+func DefaultLevels() Table {
+	freqs := []float64{1.2e9, 1.6e9, 2.0e9, 2.4e9, 2.8e9, 3.2e9}
+	t := make(Table, len(freqs))
+	fmax := freqs[len(freqs)-1]
+	for i, f := range freqs {
+		r := f / fmax
+		t[i] = Level{Freq: units.Hz(f), Speed: r, PowerFrac: r * r * r}
+	}
+	return t
+}
+
+// Validate checks the table is non-empty, ascending and normalised.
+func (t Table) Validate() error {
+	if len(t) == 0 {
+		return fmt.Errorf("power: empty DVFS table")
+	}
+	for i, l := range t {
+		if l.Speed <= 0 || l.Speed > 1 || l.PowerFrac <= 0 || l.PowerFrac > 1 {
+			return fmt.Errorf("power: level %d out of range: %+v", i, l)
+		}
+		if i > 0 && t[i-1].Speed >= l.Speed {
+			return fmt.Errorf("power: levels not ascending at %d", i)
+		}
+	}
+	if t[len(t)-1].Speed != 1 {
+		return fmt.Errorf("power: top level speed must be 1")
+	}
+	return nil
+}
+
+// Top returns the highest level.
+func (t Table) Top() Level { return t[len(t)-1] }
+
+// Bottom returns the lowest level.
+func (t Table) Bottom() Level { return t[0] }
+
+// ForBudget returns the highest level whose fully-loaded dynamic power
+// fraction does not exceed frac, and true; if even the bottom level exceeds
+// frac it returns the bottom level and false (caller should gate cores or
+// power off instead).
+func (t Table) ForBudget(frac float64) (Level, bool) {
+	i := sort.Search(len(t), func(i int) bool { return t[i].PowerFrac > frac })
+	if i == 0 {
+		return t[0], false
+	}
+	return t[i-1], true
+}
+
+// Model is the electrical model of one machine.
+type Model struct {
+	// IdleW is drawn whenever the machine is powered on, at any level.
+	IdleW units.Watt
+	// DynamicW is the additional draw at full load on the top level; at
+	// level l with utilisation u the machine draws
+	// IdleW + DynamicW·l.PowerFrac·u.
+	DynamicW units.Watt
+	// Levels is the DVFS table.
+	Levels Table
+	// HeatFraction is the share of electrical power delivered as useful
+	// heat to the host environment (≈0.95 for a free-cooled Q.rad; ~0 for
+	// a datacenter node whose heat is rejected by chillers).
+	HeatFraction float64
+	// CoolingOverhead is extra facility power per compute watt (chillers,
+	// fans): 0 for DF servers, ≈0.5 for a classical datacenter. This is
+	// what drives PUE.
+	CoolingOverhead float64
+}
+
+// Draw returns electrical power drawn by the machine proper at level l with
+// core utilisation u in [0,1], excluding facility overhead.
+func (m Model) Draw(l Level, u float64) units.Watt {
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	return m.IdleW + units.Watt(float64(m.DynamicW)*l.PowerFrac*u)
+}
+
+// FacilityDraw returns total power including cooling overhead.
+func (m Model) FacilityDraw(l Level, u float64) units.Watt {
+	return units.Watt(float64(m.Draw(l, u)) * (1 + m.CoolingOverhead))
+}
+
+// MaxDraw returns the machine's peak draw (top level, fully loaded).
+func (m Model) MaxDraw() units.Watt { return m.IdleW + m.DynamicW }
+
+// Meter integrates energy for one machine or one fleet. It assumes
+// piecewise-constant power between Update calls (which the event-driven
+// simulator guarantees: power only changes at events).
+type Meter struct {
+	lastT     float64
+	lastIT    units.Watt // IT (server) power
+	lastFac   units.Watt // facility power incl. cooling
+	lastHeat  units.Watt // useful heat delivered
+	itEnergy  units.Joule
+	facEnergy units.Joule
+	heat      units.Joule
+	started   bool
+}
+
+// Update records that from time t onward the machine draws it/fac watts and
+// delivers heat watts of useful heat. Energy is integrated since the
+// previous Update.
+func (e *Meter) Update(t float64, it, fac, heat units.Watt) {
+	if e.started {
+		dt := t - e.lastT
+		e.itEnergy += units.Joule(float64(e.lastIT) * dt)
+		e.facEnergy += units.Joule(float64(e.lastFac) * dt)
+		e.heat += units.Joule(float64(e.lastHeat) * dt)
+	}
+	e.started = true
+	e.lastT, e.lastIT, e.lastFac, e.lastHeat = t, it, fac, heat
+}
+
+// Flush integrates up to time t without changing the power state.
+func (e *Meter) Flush(t float64) { e.Update(t, e.lastIT, e.lastFac, e.lastHeat) }
+
+// ITEnergy returns cumulative server energy.
+func (e *Meter) ITEnergy() units.Joule { return e.itEnergy }
+
+// FacilityEnergy returns cumulative total energy including overheads.
+func (e *Meter) FacilityEnergy() units.Joule { return e.facEnergy }
+
+// UsefulHeat returns cumulative heat delivered to hosts.
+func (e *Meter) UsefulHeat() units.Joule { return e.heat }
+
+// PUE returns facility energy over IT energy — the metric behind the
+// paper's "PUE of 1.026" claim (§II-A). Returns 0 before any energy flows.
+func (e *Meter) PUE() float64 {
+	if e.itEnergy == 0 {
+		return 0
+	}
+	return float64(e.facEnergy) / float64(e.itEnergy)
+}

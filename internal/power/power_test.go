@@ -1,0 +1,201 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"df3/internal/units"
+)
+
+func TestDefaultLevelsValid(t *testing.T) {
+	tab := DefaultLevels()
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Top().Speed != 1 || tab.Top().PowerFrac != 1 {
+		t.Errorf("top level = %+v", tab.Top())
+	}
+	if tab.Bottom().Speed >= tab.Top().Speed {
+		t.Error("bottom not slower than top")
+	}
+}
+
+func TestValidateRejectsBadTables(t *testing.T) {
+	bad := []Table{
+		{},
+		{{Speed: 0, PowerFrac: 0.5}},
+		{{Speed: 0.5, PowerFrac: 0.5}, {Speed: 0.4, PowerFrac: 0.8}},
+		{{Speed: 0.5, PowerFrac: 0.5}}, // top speed != 1
+	}
+	for i, tab := range bad {
+		if err := tab.Validate(); err == nil {
+			t.Errorf("table %d validated but is invalid", i)
+		}
+	}
+}
+
+func TestForBudget(t *testing.T) {
+	tab := DefaultLevels()
+	// Full budget picks the top level.
+	l, ok := tab.ForBudget(1.0)
+	if !ok || l.Speed != 1 {
+		t.Errorf("budget 1.0 -> %+v ok=%v", l, ok)
+	}
+	// Tiny budget cannot even run the bottom level.
+	l, ok = tab.ForBudget(0.001)
+	if ok {
+		t.Errorf("budget 0.001 should not be satisfiable, got %+v", l)
+	}
+	if l.Speed != tab.Bottom().Speed {
+		t.Error("unsatisfiable budget should return bottom level")
+	}
+	// Mid budget picks a mid level whose PowerFrac <= budget.
+	l, ok = tab.ForBudget(0.5)
+	if !ok || l.PowerFrac > 0.5 {
+		t.Errorf("budget 0.5 -> %+v ok=%v", l, ok)
+	}
+}
+
+// Property: ForBudget is monotone — a larger budget never yields a slower
+// level — and the returned level respects the budget whenever ok.
+func TestForBudgetMonotoneProperty(t *testing.T) {
+	tab := DefaultLevels()
+	f := func(a, b float64) bool {
+		fa, fb := math.Abs(a), math.Abs(b)
+		fa -= math.Floor(fa)
+		fb -= math.Floor(fb)
+		if fa > fb {
+			fa, fb = fb, fa
+		}
+		la, oka := tab.ForBudget(fa)
+		lb, okb := tab.ForBudget(fb)
+		if oka && la.PowerFrac > fa {
+			return false
+		}
+		if okb && lb.PowerFrac > fb {
+			return false
+		}
+		return lb.Speed >= la.Speed || !oka
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func qradModel() Model {
+	return Model{
+		IdleW:        30,
+		DynamicW:     470,
+		Levels:       DefaultLevels(),
+		HeatFraction: 0.95,
+	}
+}
+
+func TestDrawBounds(t *testing.T) {
+	m := qradModel()
+	top := m.Levels.Top()
+	if got := m.Draw(top, 0); got != 30 {
+		t.Errorf("idle draw = %v", got)
+	}
+	if got := m.Draw(top, 1); got != 500 {
+		t.Errorf("full draw = %v", got)
+	}
+	if got := m.Draw(top, 2); got != 500 { // clamped
+		t.Errorf("over-utilisation draw = %v", got)
+	}
+	if got := m.Draw(top, -1); got != 30 { // clamped
+		t.Errorf("negative-utilisation draw = %v", got)
+	}
+	if m.MaxDraw() != 500 {
+		t.Errorf("max draw = %v", m.MaxDraw())
+	}
+}
+
+func TestLowerLevelDrawsLess(t *testing.T) {
+	m := qradModel()
+	lo := m.Draw(m.Levels.Bottom(), 1)
+	hi := m.Draw(m.Levels.Top(), 1)
+	if lo >= hi {
+		t.Errorf("bottom level draw %v not below top %v", lo, hi)
+	}
+	// Cubic law: half frequency ≈ 1/8 dynamic power.
+	half, _ := m.Levels.ForBudget(0.2)
+	frac := half.PowerFrac / math.Pow(half.Speed, 3)
+	if math.Abs(frac-1) > 1e-9 {
+		t.Errorf("power law not cubic: %v", frac)
+	}
+}
+
+func TestFacilityDraw(t *testing.T) {
+	dc := Model{IdleW: 100, DynamicW: 200, Levels: DefaultLevels(), CoolingOverhead: 0.5}
+	top := dc.Levels.Top()
+	if got := dc.FacilityDraw(top, 1); got != 450 {
+		t.Errorf("facility draw = %v, want 450", got)
+	}
+	df := qradModel()
+	if got := df.FacilityDraw(top, 1); got != df.Draw(top, 1) {
+		t.Error("DF server should have no facility overhead")
+	}
+}
+
+func TestMeterIntegration(t *testing.T) {
+	var m Meter
+	m.Update(0, 100, 150, 95)
+	m.Update(10, 200, 300, 190) // first 10 s at 100/150/95 W
+	m.Flush(20)                 // next 10 s at 200/300/190 W
+	if got := m.ITEnergy(); got != 3000 {
+		t.Errorf("IT energy = %v, want 3000 J", got)
+	}
+	if got := m.FacilityEnergy(); got != 4500 {
+		t.Errorf("facility energy = %v, want 4500 J", got)
+	}
+	if got := m.UsefulHeat(); got != 2850 {
+		t.Errorf("heat = %v, want 2850 J", got)
+	}
+	if got := m.PUE(); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("PUE = %v, want 1.5", got)
+	}
+}
+
+func TestMeterPUEUndefinedAtStart(t *testing.T) {
+	var m Meter
+	if m.PUE() != 0 {
+		t.Error("PUE before any energy should be 0")
+	}
+}
+
+func TestMeterFlushIdempotent(t *testing.T) {
+	var m Meter
+	m.Update(0, 100, 100, 0)
+	m.Flush(10)
+	e := m.ITEnergy()
+	m.Flush(10)
+	if m.ITEnergy() != e {
+		t.Error("flushing twice at the same time changed energy")
+	}
+}
+
+// Property: meter energy is additive and non-decreasing under arbitrary
+// positive power schedules.
+func TestMeterMonotoneProperty(t *testing.T) {
+	f := func(powers []uint16) bool {
+		var m Meter
+		t0 := 0.0
+		prev := units.Joule(0)
+		for _, p := range powers {
+			w := units.Watt(p % 1000)
+			m.Update(t0, w, w, w)
+			t0 += 1
+			m.Flush(t0)
+			if m.ITEnergy() < prev {
+				return false
+			}
+			prev = m.ITEnergy()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

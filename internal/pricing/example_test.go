@@ -1,0 +1,38 @@
+package pricing_test
+
+import (
+	"fmt"
+
+	"df3/internal/pricing"
+)
+
+// ExampleSpotCurve shows the §IV seasonality: scarce summer capacity
+// prices above abundant winter capacity.
+func ExampleSpotCurve() {
+	curve := pricing.DefaultSpotCurve()
+	fmt.Printf("winter (60%% available): %.4f €/core-h\n", curve.Price(0.6))
+	fmt.Printf("summer (10%% available): %.4f €/core-h\n", curve.Price(0.1))
+	// Output:
+	// winter (60% available): 0.0200 €/core-h
+	// summer (10% available): 0.0490 €/core-h
+}
+
+// ExamplePlanner sells assured capacity against a forecast and settles.
+func ExamplePlanner() {
+	ledger := pricing.NewLedger(pricing.DefaultSpotCurve(), pricing.DefaultSLAs())
+	planner := pricing.Planner{Margin: 0.8}
+	promise := planner.Plan([]float64{0.5}, 100, 730)[0]
+	s, _ := ledger.Settle(promise, 0.45*100*730, 0.45)
+	fmt.Printf("promised %.0f, delivered %.0f, penalty %.2f €\n",
+		s.Promised, s.Delivered, s.Penalty)
+	// Output:
+	// promised 29200, delivered 32850, penalty 0.00 €
+}
+
+// ExampleMarket reproduces the conclusion's arithmetic.
+func ExampleMarket() {
+	m := pricing.FranceMarket()
+	fmt.Printf("%.1fx Amazon in winter\n", m.AmazonEquivalents(2e6, 16))
+	// Output:
+	// 6.3x Amazon in winter
+}

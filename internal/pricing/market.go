@@ -1,0 +1,67 @@
+package pricing
+
+import "fmt"
+
+// Market sizes a national DF fleet from the heating stock — the
+// arithmetic behind the paper's conclusion: "only in France, in 2010,
+// there were more than 9 millions of households that used electric
+// heater. Even if this is more than the 2 millions of servers used by
+// Amazon ... there is a growing opposition against electric heating."
+type Market struct {
+	// ElectricHouseholds is the number of electrically heated households.
+	ElectricHouseholds float64
+	// HeatersPerHousehold is how many DF heaters an average household
+	// would host (one per main room).
+	HeatersPerHousehold float64
+	// CoresPerHeater matches the server model (a Q.rad carries 16).
+	CoresPerHeater float64
+	// Penetration is the fraction of the electric stock converted to DF.
+	Penetration float64
+	// WinterMonetisation and SummerMonetisation are the capacity
+	// fractions the climate lets the operator sell (A5/E6 outputs).
+	WinterMonetisation, SummerMonetisation float64
+}
+
+// FranceMarket is the paper's own figures: 9 M electric households, with
+// the monetisation fractions measured by E6 on demand-matched rooms.
+func FranceMarket() Market {
+	return Market{
+		ElectricHouseholds:  9e6,
+		HeatersPerHousehold: 3,
+		CoresPerHeater:      16,
+		Penetration:         1.0,
+		WinterMonetisation:  0.47,
+		SummerMonetisation:  0.06,
+	}
+}
+
+// PotentialCores returns the installed core count at the configured
+// penetration.
+func (m Market) PotentialCores() float64 {
+	return m.ElectricHouseholds * m.HeatersPerHousehold * m.CoresPerHeater * m.Penetration
+}
+
+// SellableCores returns the monetisable core-equivalents in each season.
+func (m Market) SellableCores() (winter, summer float64) {
+	p := m.PotentialCores()
+	return p * m.WinterMonetisation, p * m.SummerMonetisation
+}
+
+// AmazonEquivalents compares the winter sellable fleet against a
+// hyperscaler fleet of the given server count and cores per server —
+// the paper uses Amazon ≈ 2 M servers.
+func (m Market) AmazonEquivalents(servers, coresPerServer float64) float64 {
+	winter, _ := m.SellableCores()
+	if servers <= 0 || coresPerServer <= 0 {
+		return 0
+	}
+	return winter / (servers * coresPerServer)
+}
+
+// String summarises the sizing.
+func (m Market) String() string {
+	w, s := m.SellableCores()
+	return fmt.Sprintf("%.1fM households × %.0f heaters × %.0f cores @ %.0f%% penetration → %.0fM cores installed, %.0fM sellable in winter / %.1fM in summer",
+		m.ElectricHouseholds/1e6, m.HeatersPerHousehold, m.CoresPerHeater,
+		m.Penetration*100, m.PotentialCores()/1e6, w/1e6, s/1e6)
+}

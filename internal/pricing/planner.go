@@ -1,0 +1,75 @@
+package pricing
+
+import "fmt"
+
+// Planner turns a capacity forecast into assured-tier promises — the
+// §III-C/§IV loop: the operator predicts how much compute the heat demand
+// will sustain next period and sells only a prudent fraction of it as
+// Assured capacity, keeping the rest for Spot. Overselling is punished by
+// the SLA penalty at settlement.
+type Planner struct {
+	// Margin is the fraction of predicted capacity the planner dares to
+	// promise (e.g. 0.8). Values above 1 model an aggressive operator.
+	Margin float64
+}
+
+// Promise is one period's assured commitment.
+type Promise struct {
+	Period int
+	// CoreHours promised for the period.
+	CoreHours float64
+}
+
+// Plan converts per-period predicted capacity fractions into promises.
+// fleetCores is the fleet maximum; hoursPerPeriod the period length.
+func (p Planner) Plan(predicted []float64, fleetCores, hoursPerPeriod float64) []Promise {
+	out := make([]Promise, len(predicted))
+	for i, frac := range predicted {
+		if frac < 0 {
+			frac = 0
+		}
+		out[i] = Promise{Period: i, CoreHours: frac * fleetCores * hoursPerPeriod * p.Margin}
+	}
+	return out
+}
+
+// Settlement is the outcome of one period.
+type Settlement struct {
+	Period    int
+	Promised  float64
+	Delivered float64
+	Revenue   float64
+	Penalty   float64
+}
+
+// Settle bills one period of an assured promise against what the fleet
+// actually delivered (deliveredCoreHours available for assured customers,
+// at realised availability `avail` for pricing) and accrues any shortfall
+// penalty into the ledger.
+func (l *Ledger) Settle(pr Promise, deliveredCoreHours, avail float64) (Settlement, error) {
+	sold := pr.CoreHours
+	if deliveredCoreHours < sold {
+		if err := l.Shortfall(Assured, sold-deliveredCoreHours); err != nil {
+			return Settlement{}, err
+		}
+		sold = deliveredCoreHours
+	}
+	rev, err := l.Bill(Assured, sold, avail)
+	if err != nil {
+		return Settlement{}, err
+	}
+	sla := l.slas[Assured]
+	return Settlement{
+		Period:    pr.Period,
+		Promised:  pr.CoreHours,
+		Delivered: deliveredCoreHours,
+		Revenue:   rev,
+		Penalty:   (pr.CoreHours - sold) * sla.PenaltyPerCoreHour,
+	}, nil
+}
+
+// String renders a settlement for reports.
+func (s Settlement) String() string {
+	return fmt.Sprintf("period %d: promised %.0f core-h, delivered %.0f, revenue %.2f, penalty %.2f",
+		s.Period, s.Promised, s.Delivered, s.Revenue, s.Penalty)
+}

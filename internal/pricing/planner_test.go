@@ -1,0 +1,87 @@
+package pricing
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPlannerPlan(t *testing.T) {
+	p := Planner{Margin: 0.8}
+	promises := p.Plan([]float64{0.5, 0.1, -0.2}, 100, 730)
+	if len(promises) != 3 {
+		t.Fatalf("%d promises", len(promises))
+	}
+	if math.Abs(promises[0].CoreHours-0.5*100*730*0.8) > 1e-9 {
+		t.Errorf("promise 0 = %v", promises[0].CoreHours)
+	}
+	if promises[2].CoreHours != 0 {
+		t.Errorf("negative prediction should promise 0, got %v", promises[2].CoreHours)
+	}
+}
+
+func TestSettleFullDelivery(t *testing.T) {
+	l := NewLedger(DefaultSpotCurve(), DefaultSLAs())
+	s, err := l.Settle(Promise{Period: 1, CoreHours: 1000}, 1200, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Penalty != 0 {
+		t.Errorf("penalty on full delivery = %v", s.Penalty)
+	}
+	if s.Revenue <= 0 {
+		t.Errorf("revenue = %v", s.Revenue)
+	}
+	if l.ShortfallHours() != 0 {
+		t.Error("shortfall recorded despite full delivery")
+	}
+}
+
+func TestSettleShortfall(t *testing.T) {
+	l := NewLedger(DefaultSpotCurve(), DefaultSLAs())
+	s, err := l.Settle(Promise{Period: 2, CoreHours: 1000}, 600, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Penalty-400*0.05) > 1e-9 {
+		t.Errorf("penalty = %v, want 20", s.Penalty)
+	}
+	if l.ShortfallHours() != 400 {
+		t.Errorf("ledger shortfall = %v", l.ShortfallHours())
+	}
+	if !strings.Contains(s.String(), "period 2") {
+		t.Errorf("settlement string = %q", s.String())
+	}
+}
+
+// TestPrudentVsAggressive shows the planner's point: with the same
+// realised capacity, a prudent margin never pays penalties while an
+// aggressive one does — and the prudent operator can still net more.
+func TestPrudentVsAggressive(t *testing.T) {
+	predicted := []float64{0.5, 0.4, 0.1} // forecast availability
+	realised := []float64{0.45, 0.42, 0.08}
+	const fleet, hours = 100, 730.0
+
+	run := func(margin float64) *Ledger {
+		l := NewLedger(DefaultSpotCurve(), DefaultSLAs())
+		p := Planner{Margin: margin}
+		for i, pr := range p.Plan(predicted, fleet, hours) {
+			delivered := realised[i] * fleet * hours
+			if _, err := l.Settle(pr, delivered, realised[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return l
+	}
+	prudent := run(0.7)
+	aggressive := run(1.2)
+	if prudent.Penalties() != 0 {
+		t.Errorf("prudent operator paid penalties: %v", prudent.Penalties())
+	}
+	if aggressive.Penalties() == 0 {
+		t.Error("aggressive operator paid no penalties despite overselling")
+	}
+	if aggressive.ShortfallHours() <= 0 {
+		t.Error("aggressive shortfall not recorded")
+	}
+}

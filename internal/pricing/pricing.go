@@ -1,0 +1,154 @@
+// Package pricing implements the seasonal pricing and SLA models sketched
+// in §IV of the paper: "data furnace introduces another dimension to
+// classical cloud pricing models: the seasonality ... in winter, the heat
+// demand increases the computing power that is then reduced in the summer."
+//
+// The spot price follows an inverse-supply curve over the fleet's available
+// capacity; SLA classes buy different guarantees against the capacity
+// forecast, and penalties accrue when delivered capacity falls short.
+package pricing
+
+import (
+	"fmt"
+	"math"
+)
+
+// SpotCurve maps available capacity (fraction of fleet maximum, in [0,1])
+// to a unit price. Price is Base at reference availability and rises as
+// supply tightens:
+//
+//	price(a) = Base · (Ref/a)^Elasticity   (clamped to [Floor, Cap])
+type SpotCurve struct {
+	// Base is the price at the reference availability, per core-hour.
+	Base float64
+	// Ref is the reference availability fraction (e.g. 0.6).
+	Ref float64
+	// Elasticity controls how sharply price reacts to scarcity.
+	Elasticity float64
+	// Floor and Cap bound the price.
+	Floor, Cap float64
+}
+
+// DefaultSpotCurve is a reasonable curve: 0.02 €/core-hour at 60%
+// availability, doubling when availability quarters.
+func DefaultSpotCurve() SpotCurve {
+	return SpotCurve{Base: 0.02, Ref: 0.6, Elasticity: 0.5, Floor: 0.005, Cap: 0.2}
+}
+
+// Price returns the spot price at availability a (fraction of fleet max).
+func (c SpotCurve) Price(a float64) float64 {
+	if a <= 0 {
+		return c.Cap
+	}
+	p := c.Base * math.Pow(c.Ref/a, c.Elasticity)
+	if p < c.Floor {
+		p = c.Floor
+	}
+	if p > c.Cap {
+		p = c.Cap
+	}
+	return p
+}
+
+// Class is an SLA tier.
+type Class int
+
+const (
+	// Spot capacity can vanish with the heat demand; cheapest.
+	Spot Class = iota
+	// Assured capacity is backed by the operator's seasonal forecast; the
+	// operator pays a penalty when it under-delivers.
+	Assured
+	// Premium is assured capacity plus priority scheduling; most
+	// expensive, highest penalty.
+	Premium
+)
+
+func (c Class) String() string {
+	switch c {
+	case Assured:
+		return "assured"
+	case Premium:
+		return "premium"
+	default:
+		return "spot"
+	}
+}
+
+// SLA describes one tier's economics.
+type SLA struct {
+	Class Class
+	// PriceMultiplier scales the spot price.
+	PriceMultiplier float64
+	// PenaltyPerCoreHour is refunded per core-hour the operator promised
+	// but failed to deliver.
+	PenaltyPerCoreHour float64
+}
+
+// DefaultSLAs returns the three reference tiers.
+func DefaultSLAs() map[Class]SLA {
+	return map[Class]SLA{
+		Spot:    {Class: Spot, PriceMultiplier: 1.0, PenaltyPerCoreHour: 0},
+		Assured: {Class: Assured, PriceMultiplier: 1.8, PenaltyPerCoreHour: 0.05},
+		Premium: {Class: Premium, PriceMultiplier: 3.0, PenaltyPerCoreHour: 0.15},
+	}
+}
+
+// Ledger accrues revenue and penalties for an operator over a run.
+type Ledger struct {
+	curve SpotCurve
+	slas  map[Class]SLA
+
+	revenue   float64
+	penalties float64
+	coreHours float64
+	shortfall float64 // promised-but-undelivered core-hours
+}
+
+// NewLedger returns a ledger on the given curve and tiers.
+func NewLedger(curve SpotCurve, slas map[Class]SLA) *Ledger {
+	return &Ledger{curve: curve, slas: slas}
+}
+
+// Bill records the delivery of coreHours of class work while fleet
+// availability was `avail` (fraction). It returns the amount billed.
+func (l *Ledger) Bill(class Class, coreHours, avail float64) (float64, error) {
+	sla, ok := l.slas[class]
+	if !ok {
+		return 0, fmt.Errorf("pricing: unknown SLA class %d", class)
+	}
+	if coreHours < 0 {
+		return 0, fmt.Errorf("pricing: negative core-hours %v", coreHours)
+	}
+	amt := coreHours * l.curve.Price(avail) * sla.PriceMultiplier
+	l.revenue += amt
+	l.coreHours += coreHours
+	return amt, nil
+}
+
+// Shortfall records promised-but-undelivered core-hours for a class,
+// accruing the penalty.
+func (l *Ledger) Shortfall(class Class, coreHours float64) error {
+	sla, ok := l.slas[class]
+	if !ok {
+		return fmt.Errorf("pricing: unknown SLA class %d", class)
+	}
+	l.shortfall += coreHours
+	l.penalties += coreHours * sla.PenaltyPerCoreHour
+	return nil
+}
+
+// Revenue returns gross billed revenue.
+func (l *Ledger) Revenue() float64 { return l.revenue }
+
+// Penalties returns accrued penalties.
+func (l *Ledger) Penalties() float64 { return l.penalties }
+
+// Net returns revenue minus penalties.
+func (l *Ledger) Net() float64 { return l.revenue - l.penalties }
+
+// CoreHours returns total delivered core-hours.
+func (l *Ledger) CoreHours() float64 { return l.coreHours }
+
+// ShortfallHours returns total undelivered core-hours.
+func (l *Ledger) ShortfallHours() float64 { return l.shortfall }

@@ -1,0 +1,145 @@
+package pricing
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpotCurveShape(t *testing.T) {
+	c := DefaultSpotCurve()
+	if got := c.Price(c.Ref); math.Abs(got-c.Base) > 1e-12 {
+		t.Errorf("price at reference = %v, want %v", got, c.Base)
+	}
+	if c.Price(0.1) <= c.Price(0.9) {
+		t.Error("scarcity did not raise the price")
+	}
+	if c.Price(0) != c.Cap {
+		t.Error("zero availability should hit the cap")
+	}
+	if c.Price(1e9) < c.Floor {
+		t.Error("price fell below the floor")
+	}
+}
+
+// Property: price is monotone non-increasing in availability and always
+// within [Floor, Cap].
+func TestSpotCurveProperty(t *testing.T) {
+	c := DefaultSpotCurve()
+	f := func(a, b float64) bool {
+		x := math.Abs(a)
+		y := math.Abs(b)
+		x -= math.Floor(x)
+		y -= math.Floor(y)
+		if x > y {
+			x, y = y, x
+		}
+		px, py := c.Price(x), c.Price(y)
+		if px < c.Floor-1e-12 || px > c.Cap+1e-12 {
+			return false
+		}
+		return px >= py-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSLAOrdering(t *testing.T) {
+	slas := DefaultSLAs()
+	if !(slas[Spot].PriceMultiplier < slas[Assured].PriceMultiplier &&
+		slas[Assured].PriceMultiplier < slas[Premium].PriceMultiplier) {
+		t.Error("price multipliers not ordered spot < assured < premium")
+	}
+	if slas[Spot].PenaltyPerCoreHour != 0 {
+		t.Error("spot must carry no penalty")
+	}
+	if slas[Premium].PenaltyPerCoreHour <= slas[Assured].PenaltyPerCoreHour {
+		t.Error("premium penalty should exceed assured")
+	}
+}
+
+func TestLedgerBilling(t *testing.T) {
+	l := NewLedger(DefaultSpotCurve(), DefaultSLAs())
+	amt, err := l.Bill(Spot, 100, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(amt-100*0.02) > 1e-12 {
+		t.Errorf("billed %v, want 2.0", amt)
+	}
+	amt2, _ := l.Bill(Premium, 100, 0.6)
+	if amt2 <= amt {
+		t.Error("premium billed no more than spot")
+	}
+	if l.CoreHours() != 200 {
+		t.Errorf("core hours = %v", l.CoreHours())
+	}
+	if l.Revenue() != amt+amt2 {
+		t.Error("revenue does not sum bills")
+	}
+}
+
+func TestLedgerErrors(t *testing.T) {
+	l := NewLedger(DefaultSpotCurve(), DefaultSLAs())
+	if _, err := l.Bill(Class(99), 1, 0.5); err == nil {
+		t.Error("unknown class billed")
+	}
+	if _, err := l.Bill(Spot, -1, 0.5); err == nil {
+		t.Error("negative core-hours billed")
+	}
+	if err := l.Shortfall(Class(99), 1); err == nil {
+		t.Error("unknown class shortfall accepted")
+	}
+}
+
+func TestLedgerPenalties(t *testing.T) {
+	l := NewLedger(DefaultSpotCurve(), DefaultSLAs())
+	if err := l.Shortfall(Assured, 100); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.Penalties()-5) > 1e-12 {
+		t.Errorf("penalties = %v, want 5", l.Penalties())
+	}
+	l.Bill(Assured, 100, 0.5)
+	if l.Net() >= l.Revenue() {
+		t.Error("net did not subtract penalties")
+	}
+	if l.ShortfallHours() != 100 {
+		t.Errorf("shortfall hours = %v", l.ShortfallHours())
+	}
+}
+
+func TestWinterCheaperThanSummer(t *testing.T) {
+	// The paper's §IV point: winter heat demand raises capacity, so winter
+	// prices drop. Model winter as 80% availability, summer as 15%.
+	c := DefaultSpotCurve()
+	winter, summer := c.Price(0.8), c.Price(0.15)
+	if winter >= summer {
+		t.Errorf("winter price %v not below summer %v", winter, summer)
+	}
+	if summer/winter < 1.5 {
+		t.Errorf("seasonal spread %v too small", summer/winter)
+	}
+}
+
+func TestMarketSizing(t *testing.T) {
+	m := FranceMarket()
+	if got := m.PotentialCores(); got != 9e6*3*16 {
+		t.Errorf("potential cores = %v", got)
+	}
+	w, s := m.SellableCores()
+	if w <= s {
+		t.Error("winter sellable must exceed summer")
+	}
+	if x := m.AmazonEquivalents(2e6, 16); x <= 0 {
+		t.Errorf("amazon equivalents = %v", x)
+	}
+	if m.AmazonEquivalents(0, 16) != 0 {
+		t.Error("degenerate comparison should be 0")
+	}
+	if s := m.String(); !strings.Contains(s, "households") {
+		t.Errorf("summary = %q", s)
+	}
+}

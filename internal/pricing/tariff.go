@@ -1,0 +1,99 @@
+package pricing
+
+import (
+	"df3/internal/sim"
+	"df3/internal/units"
+)
+
+// Tariff is a time-of-use electricity price, €/kWh. The §II-A economics
+// (and the Liu et al. analysis the paper defers to [6]) hinge on who pays
+// for electricity at which rate: the DF operator pays residential rates at
+// its hosts but displaces their heating; a datacenter pays industrial
+// rates plus cooling overhead.
+type Tariff struct {
+	Calendar sim.Calendar
+	// OffPeak and Peak are €/kWh.
+	OffPeak, Peak float64
+	// PeakStart/PeakEnd bound the weekday peak window, hours of day.
+	PeakStart, PeakEnd float64
+}
+
+// ResidentialTariff is a French-style dual-rate household contract.
+func ResidentialTariff(cal sim.Calendar) Tariff {
+	return Tariff{Calendar: cal, OffPeak: 0.16, Peak: 0.22, PeakStart: 7, PeakEnd: 23}
+}
+
+// IndustrialTariff is a datacenter supply contract: cheaper energy, same
+// peak structure.
+func IndustrialTariff(cal sim.Calendar) Tariff {
+	return Tariff{Calendar: cal, OffPeak: 0.09, Peak: 0.13, PeakStart: 7, PeakEnd: 23}
+}
+
+// Rate returns the €/kWh price at time t.
+func (tf Tariff) Rate(t sim.Time) float64 {
+	h := tf.Calendar.HourOfDay(t)
+	if !tf.Calendar.IsWeekend(t) && h >= tf.PeakStart && h < tf.PeakEnd {
+		return tf.Peak
+	}
+	return tf.OffPeak
+}
+
+// CostMeter integrates electricity cost for a piecewise-constant power
+// draw under a time-of-use tariff, stepping at hour boundaries so rate
+// changes inside an interval are priced exactly.
+type CostMeter struct {
+	Tariff Tariff
+	lastT  sim.Time
+	lastW  units.Watt
+	cost   float64
+	armed  bool
+}
+
+// Update records that from t onward the metered equipment draws w.
+func (m *CostMeter) Update(t sim.Time, w units.Watt) {
+	if m.armed {
+		m.integrate(m.lastT, t, m.lastW)
+	}
+	m.armed = true
+	m.lastT, m.lastW = t, w
+}
+
+// Flush integrates up to t without changing the draw.
+func (m *CostMeter) Flush(t sim.Time) { m.Update(t, m.lastW) }
+
+// integrate walks hour boundaries between t0 and t1.
+func (m *CostMeter) integrate(t0, t1 sim.Time, w units.Watt) {
+	for t0 < t1 {
+		next := (float64(int(t0/sim.Hour)) + 1) * sim.Hour
+		if next > t1 {
+			next = t1
+		}
+		kwh := float64(w) * (next - t0) / 3600 / 1000
+		m.cost += kwh * m.Tariff.Rate(t0)
+		t0 = next
+	}
+}
+
+// Cost returns the accumulated electricity cost in €.
+func (m *CostMeter) Cost() float64 { return m.cost }
+
+// PnL is an operator's profit-and-loss summary for one run.
+type PnL struct {
+	ComputeRevenue  float64 // € billed for core-hours
+	HeatCredit      float64 // € of host heating displaced by server heat
+	ElectricityCost float64
+	Penalties       float64
+}
+
+// Net returns revenue + credits − costs − penalties.
+func (p PnL) Net() float64 {
+	return p.ComputeRevenue + p.HeatCredit - p.ElectricityCost - p.Penalties
+}
+
+// HeatCreditValue prices delivered useful heat at what the host would have
+// paid to produce it with a plain resistive heater on the given tariff's
+// mean rate — the "hosts of DF servers do not pay electricity" deal of
+// §III-C, seen from the operator's side.
+func HeatCreditValue(heat units.Joule, meanRate float64) float64 {
+	return heat.KWh() * meanRate
+}

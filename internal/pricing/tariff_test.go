@@ -1,0 +1,83 @@
+package pricing
+
+import (
+	"math"
+	"testing"
+
+	"df3/internal/sim"
+)
+
+func TestTariffRates(t *testing.T) {
+	tf := ResidentialTariff(sim.JanuaryStart)
+	// Monday 12:00 = peak; Monday 03:00 = off-peak; Saturday 12:00 = off-peak.
+	if got := tf.Rate(12 * sim.Hour); got != tf.Peak {
+		t.Errorf("weekday noon rate = %v", got)
+	}
+	if got := tf.Rate(3 * sim.Hour); got != tf.OffPeak {
+		t.Errorf("night rate = %v", got)
+	}
+	if got := tf.Rate(5*sim.Day + 12*sim.Hour); got != tf.OffPeak {
+		t.Errorf("weekend rate = %v", got)
+	}
+}
+
+func TestTariffOrdering(t *testing.T) {
+	cal := sim.JanuaryStart
+	res, ind := ResidentialTariff(cal), IndustrialTariff(cal)
+	if ind.Peak >= res.Peak || ind.OffPeak >= res.OffPeak {
+		t.Error("industrial tariff should undercut residential")
+	}
+}
+
+func TestCostMeterFlatDraw(t *testing.T) {
+	tf := ResidentialTariff(sim.JanuaryStart)
+	var m CostMeter
+	m.Tariff = tf
+	// 1 kW from 02:00 to 04:00 Monday: 2 kWh at off-peak.
+	m.Update(2*sim.Hour, 1000)
+	m.Flush(4 * sim.Hour)
+	want := 2 * tf.OffPeak
+	if math.Abs(m.Cost()-want) > 1e-9 {
+		t.Errorf("cost = %v, want %v", m.Cost(), want)
+	}
+}
+
+func TestCostMeterCrossesPeakBoundary(t *testing.T) {
+	tf := ResidentialTariff(sim.JanuaryStart)
+	var m CostMeter
+	m.Tariff = tf
+	// 1 kW from 06:00 to 08:00 Monday: one off-peak and one peak hour.
+	m.Update(6*sim.Hour, 1000)
+	m.Flush(8 * sim.Hour)
+	want := tf.OffPeak + tf.Peak
+	if math.Abs(m.Cost()-want) > 1e-9 {
+		t.Errorf("cost = %v, want %v", m.Cost(), want)
+	}
+}
+
+func TestCostMeterVaryingDraw(t *testing.T) {
+	tf := ResidentialTariff(sim.JanuaryStart)
+	var m CostMeter
+	m.Tariff = tf
+	m.Update(0, 500)         // 0.5 kW for 1 h off-peak
+	m.Update(sim.Hour, 2000) // 2 kW for 1 h off-peak
+	m.Flush(2 * sim.Hour)    //
+	want := (0.5 + 2) * tf.OffPeak
+	if math.Abs(m.Cost()-want) > 1e-9 {
+		t.Errorf("cost = %v, want %v", m.Cost(), want)
+	}
+}
+
+func TestPnL(t *testing.T) {
+	p := PnL{ComputeRevenue: 100, HeatCredit: 40, ElectricityCost: 60, Penalties: 10}
+	if p.Net() != 70 {
+		t.Errorf("net = %v", p.Net())
+	}
+}
+
+func TestHeatCreditValue(t *testing.T) {
+	// 3.6 MJ = 1 kWh at 0.2 €/kWh = 0.20 €.
+	if got := HeatCreditValue(3.6e6, 0.2); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("credit = %v", got)
+	}
+}

@@ -1,0 +1,65 @@
+package regulator
+
+import (
+	"df3/internal/thermal"
+	"df3/internal/units"
+)
+
+// Collaborative implements the §II-C collaborative heating request: "set
+// the mean temperature in rooms of an apartment to a certain value". The
+// coordinator owns the zones of one dwelling and hands each room a derived
+// schedule whose setpoint is biased by the dwelling-mean error, so warm
+// rooms back off while cold rooms push, and the *mean* converges to the
+// target even when individual rooms differ in insulation or heater size.
+type Collaborative struct {
+	// Target is the requested mean temperature.
+	Target units.Celsius
+	// MaxBias bounds how far an individual room's setpoint may be pushed
+	// away from the target (default 2 K via NewCollaborative).
+	MaxBias float64
+
+	zones []*thermal.Zone
+}
+
+// NewCollaborative returns a coordinator for the given zones.
+func NewCollaborative(target units.Celsius, zones ...*thermal.Zone) *Collaborative {
+	return &Collaborative{Target: target, MaxBias: 2, zones: zones}
+}
+
+// Attach adds a zone to the dwelling and returns its index for ScheduleFor.
+func (c *Collaborative) Attach(z *thermal.Zone) int {
+	c.zones = append(c.zones, z)
+	return len(c.zones) - 1
+}
+
+// Mean returns the current mean temperature across the dwelling.
+func (c *Collaborative) Mean() units.Celsius {
+	if len(c.zones) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, z := range c.zones {
+		sum += float64(z.Temp)
+	}
+	return units.Celsius(sum / float64(len(c.zones)))
+}
+
+// ScheduleFor returns the derived schedule for zone i. Always occupied:
+// collaborative requests are explicit comfort demands.
+func (c *Collaborative) ScheduleFor(i int) Schedule {
+	return collaborativeSchedule{coord: c, index: i}
+}
+
+type collaborativeSchedule struct {
+	coord *Collaborative
+	index int
+}
+
+// At implements Schedule: each room aims for the target plus the mean
+// error (clamped), so the population steers its average onto the target.
+func (s collaborativeSchedule) At(t float64) (units.Celsius, bool) {
+	c := s.coord
+	bias := units.Clamp(float64(c.Target)-float64(c.Mean()), -c.MaxBias, c.MaxBias)
+	return units.Celsius(units.Clamp(float64(c.Target)+bias,
+		float64(c.Target)-c.MaxBias, float64(c.Target)+c.MaxBias)), true
+}

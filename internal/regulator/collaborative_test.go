@@ -1,0 +1,89 @@
+package regulator
+
+import (
+	"math"
+	"testing"
+
+	"df3/internal/server"
+	"df3/internal/sim"
+	"df3/internal/thermal"
+	"df3/internal/weather"
+)
+
+func TestCollaborativeMean(t *testing.T) {
+	z1 := thermal.NewZone(thermal.Apartment)
+	z2 := thermal.NewZone(thermal.Apartment)
+	z1.Temp, z2.Temp = 18, 22
+	c := NewCollaborative(21, z1, z2)
+	if got := c.Mean(); got != 20 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestCollaborativeEmptyMean(t *testing.T) {
+	c := NewCollaborative(21)
+	if c.Mean() != 0 {
+		t.Error("empty coordinator mean should be 0")
+	}
+}
+
+func TestCollaborativeBiasDirection(t *testing.T) {
+	z := thermal.NewZone(thermal.Apartment)
+	z.Temp = 18 // dwelling cold: setpoints must push above target
+	c := NewCollaborative(21, z)
+	sp, occ := c.ScheduleFor(0).At(0)
+	if !occ {
+		t.Error("collaborative schedule must report occupied")
+	}
+	if float64(sp) <= 21 {
+		t.Errorf("cold dwelling setpoint = %v, want > target", sp)
+	}
+	z.Temp = 24 // dwelling warm: setpoints back off
+	sp, _ = c.ScheduleFor(0).At(0)
+	if float64(sp) >= 21 {
+		t.Errorf("warm dwelling setpoint = %v, want < target", sp)
+	}
+}
+
+func TestCollaborativeBiasClamped(t *testing.T) {
+	z := thermal.NewZone(thermal.Apartment)
+	z.Temp = 5 // extremely cold: bias must clamp at MaxBias
+	c := NewCollaborative(21, z)
+	sp, _ := c.ScheduleFor(0).At(0)
+	if float64(sp) > 23 {
+		t.Errorf("setpoint %v exceeds target+MaxBias", sp)
+	}
+}
+
+// TestCollaborativeConvergesMean drives an apartment of unequal rooms (one
+// leaky, one tight) and checks the *mean* lands on target even though the
+// leaky room alone would undershoot.
+func TestCollaborativeConvergesMean(t *testing.T) {
+	e := sim.New()
+	leaky := thermal.NewZone(thermal.OldBuilding)
+	tight := thermal.NewZone(thermal.Apartment)
+	leaky.Temp, tight.Temp = 19, 19
+	coord := NewCollaborative(21, leaky, tight)
+
+	for i, z := range []*thermal.Zone{leaky, tight} {
+		m := server.QradSpec().Build(e, "m")
+		loop := &HeaterLoop{
+			Zone: z, Machine: m,
+			Thermostat: Proportional{Band: 0.8},
+			Schedule:   coord.ScheduleFor(i),
+			Weather:    weather.Constant(0),
+			Backup:     true,
+		}
+		loop.Start(e, 60)
+	}
+	e.Run(72 * sim.Hour)
+	if got := float64(coord.Mean()); math.Abs(got-21) > 0.8 {
+		t.Errorf("dwelling mean = %v, want ~21", got)
+	}
+	// The tight room should run warmer than the leaky one can manage,
+	// compensating for it.
+	if float64(tight.Temp) < float64(leaky.Temp) {
+		t.Errorf("tight room (%v) not compensating for leaky room (%v)",
+			tight.Temp, leaky.Temp)
+	}
+}

@@ -1,0 +1,96 @@
+package regulator
+
+import (
+	"df3/internal/sim"
+	"df3/internal/units"
+)
+
+// Schedule yields the active heating setpoint and whether the zone is
+// occupied at a simulated time. Heating requests in the paper's first flow
+// (§II-C) are exactly these setpoints.
+type Schedule interface {
+	At(t sim.Time) (setpoint units.Celsius, occupied bool)
+}
+
+// ConstantSchedule pins a single setpoint, always occupied. Useful in tests
+// and for the always-on Fig. 4 runs.
+type ConstantSchedule units.Celsius
+
+// At implements Schedule.
+func (c ConstantSchedule) At(sim.Time) (units.Celsius, bool) {
+	return units.Celsius(c), true
+}
+
+// HomeSchedule models a residence: comfort temperature in the morning and
+// evening, setback at night and while the household is away at work, full
+// presence on weekends.
+type HomeSchedule struct {
+	Calendar sim.Calendar
+	// Comfort is the occupied setpoint (e.g. 21 °C).
+	Comfort units.Celsius
+	// Setback is the night/away setpoint (e.g. 17 °C).
+	Setback units.Celsius
+}
+
+// At implements Schedule.
+func (h HomeSchedule) At(t sim.Time) (units.Celsius, bool) {
+	hour := h.Calendar.HourOfDay(t)
+	weekend := h.Calendar.IsWeekend(t)
+	switch {
+	case hour < 6:
+		return h.Setback, true // asleep: present but setback
+	case hour < 8.5:
+		return h.Comfort, true // morning
+	case hour < 17.5 && !weekend:
+		return h.Setback, false // at work
+	case hour < 23:
+		return h.Comfort, true // evening / weekend day
+	default:
+		return h.Setback, true
+	}
+}
+
+// OfficeSchedule models an office: comfort during business hours on
+// weekdays, deep setback otherwise.
+type OfficeSchedule struct {
+	Calendar sim.Calendar
+	Comfort  units.Celsius
+	Setback  units.Celsius
+}
+
+// At implements Schedule.
+func (o OfficeSchedule) At(t sim.Time) (units.Celsius, bool) {
+	hour := o.Calendar.HourOfDay(t)
+	if o.Calendar.IsWeekend(t) || hour < 7.5 || hour >= 19 {
+		return o.Setback, false
+	}
+	return o.Comfort, true
+}
+
+// SeasonalOff wraps a schedule and disables heating (setpoint 0, treated as
+// no demand) outside the heating season — the paper's §III-C point that
+// summer heat demand collapses and takes DF compute capacity with it.
+type SeasonalOff struct {
+	Inner    Schedule
+	Calendar sim.Calendar
+	// FirstMonth and LastMonth bound the heating season inclusive,
+	// wrapping over new year (e.g. 10..4 for October to April).
+	FirstMonth, LastMonth int
+}
+
+// InSeason reports whether t falls inside the heating season.
+func (s SeasonalOff) InSeason(t sim.Time) bool {
+	m := s.Calendar.MonthOfYear(t)
+	if s.FirstMonth <= s.LastMonth {
+		return m >= s.FirstMonth && m <= s.LastMonth
+	}
+	return m >= s.FirstMonth || m <= s.LastMonth
+}
+
+// At implements Schedule.
+func (s SeasonalOff) At(t sim.Time) (units.Celsius, bool) {
+	if !s.InSeason(t) {
+		return 0, false
+	}
+	return s.Inner.At(t)
+}

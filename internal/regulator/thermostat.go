@@ -1,0 +1,84 @@
+// Package regulator implements the paper's heat regulator (§III-B): the
+// control loop that turns a host's comfort demand into a power budget for
+// the DF server, "a DVFS based technique to guarantee that the energy
+// consumed corresponds to the heat demand".
+//
+// Two controller families are provided — bang-bang hysteresis and a
+// proportional band — plus the loops that bind a thermal zone, a weather
+// generator and a machine together on the simulation engine. A boiler
+// variant regulates on water-loop temperature instead of room temperature.
+package regulator
+
+import (
+	"df3/internal/units"
+)
+
+// Thermostat converts (room temperature, setpoint) into the fraction of
+// maximum heater power requested, in [0,1].
+type Thermostat interface {
+	Fraction(temp, setpoint units.Celsius) float64
+}
+
+// Hysteresis is a bang-bang controller with a symmetric deadband: full
+// power below setpoint−Band, off above setpoint+Band, holding its previous
+// state in between. This is the classic electric-heater thermostat and the
+// ablation baseline.
+type Hysteresis struct {
+	Band float64
+	on   bool
+}
+
+// Fraction implements Thermostat.
+func (h *Hysteresis) Fraction(temp, setpoint units.Celsius) float64 {
+	switch {
+	case float64(temp) < float64(setpoint)-h.Band:
+		h.on = true
+	case float64(temp) > float64(setpoint)+h.Band:
+		h.on = false
+	}
+	if h.on {
+		return 1
+	}
+	return 0
+}
+
+// Proportional requests power linearly within a band around the setpoint:
+// full power at setpoint−Band, zero at setpoint+Band. Combined with the
+// machine's DVFS quantisation this is the paper's regulator: heat output
+// tracks demand smoothly instead of slamming between 0 and 100%.
+type Proportional struct {
+	Band float64
+}
+
+// Fraction implements Thermostat.
+func (p Proportional) Fraction(temp, setpoint units.Celsius) float64 {
+	if p.Band <= 0 {
+		if float64(temp) < float64(setpoint) {
+			return 1
+		}
+		return 0
+	}
+	return units.Clamp((float64(setpoint)+p.Band-float64(temp))/(2*p.Band), 0, 1)
+}
+
+// PI adds an integral term to the proportional band, removing the steady
+// state offset a pure P controller leaves under constant losses.
+type PI struct {
+	Band float64
+	// Ki is the integral gain per control tick.
+	Ki float64
+	// IMax caps the integral contribution (anti-windup).
+	IMax    float64
+	integ   float64
+	primedP Proportional
+}
+
+// Fraction implements Thermostat.
+func (c *PI) Fraction(temp, setpoint units.Celsius) float64 {
+	c.primedP.Band = c.Band
+	p := c.primedP.Fraction(temp, setpoint)
+	err := float64(setpoint) - float64(temp)
+	c.integ += c.Ki * err
+	c.integ = units.Clamp(c.integ, -c.IMax, c.IMax)
+	return units.Clamp(p+c.integ, 0, 1)
+}

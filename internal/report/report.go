@@ -1,0 +1,106 @@
+// Package report renders the experiment outputs: fixed-width tables for
+// terminals and CSV for post-processing. Every experiment in the bench
+// harness prints through this package so EXPERIMENTS.md rows and
+// bench_output.txt stay structurally identical.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is a simple column-oriented table.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// Row appends a row; values are formatted with %v, floats with %.4g.
+func (t *Table) Row(values ...any) *Table {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", x)
+		case float32:
+			row[i] = fmt.Sprintf("%.4g", x)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+// Len returns the number of data rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Write renders the table to w with aligned columns.
+func (t *Table) Write(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "\n== %s ==\n", t.Title); err != nil {
+			return err
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Columns, "\t"))
+	underline := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		underline[i] = strings.Repeat("-", len(c))
+	}
+	fmt.Fprintln(tw, strings.Join(underline, "\t"))
+	for _, r := range t.rows {
+		fmt.Fprintln(tw, strings.Join(r, "\t"))
+	}
+	return tw.Flush()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (quotes only where needed).
+func (t *Table) CSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		for i, c := range cells {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			if _, err := io.WriteString(w, c); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if err := writeRow(t.Columns); err != nil {
+		return err
+	}
+	for _, r := range t.rows {
+		if err := writeRow(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series prints a labelled (x, y) series, one row per point — the harness
+// output for figure-like results.
+func Series(w io.Writer, title, xlabel, ylabel string, xs []int, ys []float64) error {
+	t := NewTable(title, xlabel, ylabel)
+	for i := range xs {
+		if i < len(ys) {
+			t.Row(xs[i], ys[i])
+		}
+	}
+	return t.Write(w)
+}

@@ -1,0 +1,86 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableWrite(t *testing.T) {
+	var b strings.Builder
+	tab := NewTable("demo", "name", "value")
+	tab.Row("alpha", 1.5).Row("beta", 2)
+	if err := tab.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"== demo ==", "name", "value", "alpha", "1.5", "beta"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if tab.Len() != 2 {
+		t.Errorf("len = %d", tab.Len())
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	var b strings.Builder
+	if err := NewTable("", "x").Row(1).Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "==") {
+		t.Error("untitled table printed a title banner")
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	var b strings.Builder
+	tab := NewTable("t", "a", "b")
+	tab.Row(`has,comma`, `has"quote`)
+	if err := tab.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"has,comma"`) {
+		t.Errorf("comma not quoted: %s", out)
+	}
+	if !strings.Contains(out, `"has""quote"`) {
+		t.Errorf("quote not doubled: %s", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("header wrong: %s", out)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	var b strings.Builder
+	NewTable("", "v").Row(0.123456789).Write(&b)
+	if !strings.Contains(b.String(), "0.1235") {
+		t.Errorf("float not formatted to 4 significant digits: %s", b.String())
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var b strings.Builder
+	err := Series(&b, "months", "month", "temp", []int{11, 12}, []float64{20.5, 21.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"months", "month", "temp", "11", "20.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("series output missing %q", want)
+		}
+	}
+}
+
+func TestSeriesLengthMismatch(t *testing.T) {
+	var b strings.Builder
+	// Extra xs are silently skipped rather than panicking.
+	if err := Series(&b, "t", "x", "y", []int{1, 2, 3}, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(b.String(), "\n") < 3 {
+		t.Error("series with mismatched lengths printed nothing")
+	}
+}

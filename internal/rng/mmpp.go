@@ -1,0 +1,66 @@
+package rng
+
+// MMPP is a two-state Markov-modulated Poisson process used for bursty
+// request arrivals (the paper's "peak of requests", §III-B). The process
+// alternates between a calm state and a burst state, each holding for an
+// exponential sojourn, and emits arrivals at the state's rate.
+type MMPP struct {
+	stream *Stream
+
+	// Rates of the two states (arrivals per second).
+	CalmRate  float64
+	BurstRate float64
+	// Mean sojourn times of the two states (seconds).
+	CalmHold  float64
+	BurstHold float64
+
+	inBurst   bool
+	stateEnds float64 // absolute time at which the current state ends
+	now       float64
+}
+
+// NewMMPP constructs a two-state MMPP starting in the calm state at time 0.
+func NewMMPP(stream *Stream, calmRate, burstRate, calmHold, burstHold float64) *MMPP {
+	m := &MMPP{
+		stream:    stream,
+		CalmRate:  calmRate,
+		BurstRate: burstRate,
+		CalmHold:  calmHold,
+		BurstHold: burstHold,
+	}
+	m.stateEnds = stream.Exp(1 / calmHold)
+	return m
+}
+
+// rate returns the arrival rate of the current state.
+func (m *MMPP) rate() float64 {
+	if m.inBurst {
+		return m.BurstRate
+	}
+	return m.CalmRate
+}
+
+// Next returns the absolute time of the next arrival after the previous one.
+// Successive calls walk forward through the process.
+func (m *MMPP) Next() float64 {
+	for {
+		gap := m.stream.Exp(m.rate())
+		if m.now+gap <= m.stateEnds {
+			m.now += gap
+			return m.now
+		}
+		// The candidate arrival falls past the state boundary: advance to
+		// the boundary and re-draw in the next state (memorylessness makes
+		// this exact).
+		m.now = m.stateEnds
+		m.inBurst = !m.inBurst
+		hold := m.CalmHold
+		if m.inBurst {
+			hold = m.BurstHold
+		}
+		m.stateEnds = m.now + m.stream.Exp(1/hold)
+	}
+}
+
+// InBurst reports whether the process is currently in its burst state.
+func (m *MMPP) InBurst() bool { return m.inBurst }

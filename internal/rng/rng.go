@@ -1,0 +1,142 @@
+// Package rng provides deterministic random number streams and the
+// distributions used by the df3 workload and climate generators.
+//
+// Every stochastic component of the simulator owns a Stream derived from an
+// explicit seed, so that a scenario is fully reproducible from its seed and
+// independent components do not perturb each other's draws when one of them
+// is reconfigured. The generator is SplitMix64, which is tiny, fast, passes
+// BigCrush for the use we make of it, and — unlike math/rand's global
+// source — trivially forkable.
+package rng
+
+import "math"
+
+// Stream is a deterministic pseudo-random stream. The zero value is a valid
+// stream seeded with 0; prefer New with a scenario seed.
+type Stream struct {
+	state uint64
+}
+
+// New returns a stream seeded with seed.
+func New(seed uint64) *Stream { return &Stream{state: seed} }
+
+// Fork derives an independent child stream. The label decorrelates children
+// forked from the same parent state.
+func (s *Stream) Fork(label uint64) *Stream {
+	// Mix the label through one splitmix round so Fork(1) and Fork(2)
+	// diverge immediately.
+	z := s.Uint64() + 0x9e3779b97f4a7c15*label
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	return &Stream{state: z}
+}
+
+// Uint64 returns the next 64 pseudo-random bits (SplitMix64).
+func (s *Stream) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform draw in [0,1).
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform draw in [0,n). It panics if n <= 0.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Uniform returns a uniform draw in [lo,hi).
+func (s *Stream) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.Float64()
+}
+
+// Bool returns true with probability p.
+func (s *Stream) Bool(p float64) bool { return s.Float64() < p }
+
+// Exp returns an exponential draw with the given rate (mean 1/rate).
+func (s *Stream) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exp with non-positive rate")
+	}
+	u := s.Float64()
+	// 1-u is in (0,1]; Log of it is finite.
+	return -math.Log(1-u) / rate
+}
+
+// Normal returns a normal draw with the given mean and standard deviation,
+// via the Marsaglia polar method.
+func (s *Stream) Normal(mean, stddev float64) float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q == 0 || q >= 1 {
+			continue
+		}
+		return mean + stddev*u*math.Sqrt(-2*math.Log(q)/q)
+	}
+}
+
+// LogNormal returns a log-normal draw where the underlying normal has the
+// given mu and sigma.
+func (s *Stream) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(s.Normal(mu, sigma))
+}
+
+// Pareto returns a Pareto draw with minimum xm and shape alpha. Heavy-tailed
+// job sizes in the DCC workload use this.
+func (s *Stream) Pareto(xm, alpha float64) float64 {
+	if xm <= 0 || alpha <= 0 {
+		panic("rng: Pareto with non-positive parameter")
+	}
+	u := s.Float64()
+	return xm / math.Pow(1-u, 1/alpha)
+}
+
+// Poisson returns a Poisson draw with the given mean (Knuth for small means,
+// normal approximation above 64 to stay O(1)).
+func (s *Stream) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 64 {
+		n := int(math.Round(s.Normal(mean, math.Sqrt(mean))))
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= s.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Shuffle permutes the first n elements using swap, Fisher–Yates style.
+func (s *Stream) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, s.Intn(i+1))
+	}
+}
+
+// Perm returns a random permutation of [0,n).
+func (s *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	s.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}

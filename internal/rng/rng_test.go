@@ -1,0 +1,308 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("streams with different seeds collided %d/100 times", same)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Fork(1)
+	c2 := parent.Fork(2)
+	if c1.Uint64() == c2.Uint64() {
+		t.Error("forked children with different labels produced equal first draw")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(4)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := s.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("Intn(7) only produced %d distinct values in 1000 draws", len(seen))
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(6)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := s.Exp(2.0)
+		if v < 0 {
+			t.Fatalf("Exp produced negative %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Exp(2) mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(8)
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Normal(10, 3)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("Normal mean = %v, want ~10", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-3) > 0.05 {
+		t.Errorf("Normal stddev = %v, want ~3", math.Sqrt(variance))
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	s := New(9)
+	for i := 0; i < 10000; i++ {
+		if v := s.LogNormal(0, 1); v <= 0 {
+			t.Fatalf("LogNormal produced non-positive %v", v)
+		}
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	s := New(10)
+	for i := 0; i < 10000; i++ {
+		if v := s.Pareto(2, 1.5); v < 2 {
+			t.Fatalf("Pareto(2,1.5) produced %v below xm", v)
+		}
+	}
+}
+
+func TestParetoMean(t *testing.T) {
+	// Mean of Pareto(xm, a) with a>1 is a*xm/(a-1). Use a=3 so the
+	// variance is finite and the estimate converges.
+	s := New(11)
+	const n = 400000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Pareto(1, 3)
+	}
+	mean := sum / n
+	if math.Abs(mean-1.5) > 0.02 {
+		t.Errorf("Pareto(1,3) mean = %v, want ~1.5", mean)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	s := New(12)
+	for _, mean := range []float64{0.5, 4, 30, 200} {
+		const n = 50000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += s.Poisson(mean)
+		}
+		got := float64(sum) / n
+		if math.Abs(got-mean) > mean*0.03+0.05 {
+			t.Errorf("Poisson(%v) mean = %v", mean, got)
+		}
+	}
+}
+
+func TestPoissonZeroMean(t *testing.T) {
+	if got := New(1).Poisson(0); got != 0 {
+		t.Errorf("Poisson(0) = %d", got)
+	}
+	if got := New(1).Poisson(-3); got != 0 {
+		t.Errorf("Poisson(-3) = %d", got)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(13)
+	p := s.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm(50) invalid: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+// Property: Uniform(lo,hi) with lo<hi stays inside [lo,hi).
+func TestUniformProperty(t *testing.T) {
+	s := New(14)
+	f := func(a, b float64) bool {
+		if a != a || b != b || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		lo, hi := a, b
+		if lo == hi {
+			return true
+		}
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if math.IsInf(hi-lo, 0) { // spread overflows float64; undefined
+			return true
+		}
+		v := s.Uniform(lo, hi)
+		return v >= lo && v <= hi // rounding may land exactly on hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Exp draws are non-negative for any positive rate.
+func TestExpNonNegativeProperty(t *testing.T) {
+	s := New(15)
+	f := func(r float64) bool {
+		rate := math.Abs(r)
+		if rate == 0 || math.IsInf(rate, 0) || rate != rate {
+			return true
+		}
+		return s.Exp(rate) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMMPPMonotone(t *testing.T) {
+	m := NewMMPP(New(16), 1, 20, 100, 10)
+	prev := 0.0
+	for i := 0; i < 10000; i++ {
+		next := m.Next()
+		if next <= prev {
+			t.Fatalf("MMPP arrivals not strictly increasing: %v after %v", next, prev)
+		}
+		prev = next
+	}
+}
+
+func TestMMPPBurstiness(t *testing.T) {
+	// With a 20x burst rate, mean inter-arrival across a long horizon must
+	// sit strictly between the two pure-Poisson means.
+	m := NewMMPP(New(17), 1, 20, 50, 50)
+	const n = 100000
+	prev, sum := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		next := m.Next()
+		sum += next - prev
+		prev = next
+	}
+	mean := sum / n
+	if mean <= 1.0/20 || mean >= 1.0 {
+		t.Errorf("MMPP mean inter-arrival = %v, want in (0.05, 1)", mean)
+	}
+}
+
+func TestZipfBounds(t *testing.T) {
+	z := NewZipf(New(20), 100, 1.0)
+	for i := 0; i < 10000; i++ {
+		v := z.Draw()
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf draw out of range: %d", v)
+		}
+	}
+	if z.N() != 100 {
+		t.Errorf("N = %d", z.N())
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(New(21), 1000, 1.0)
+	counts := map[int]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Draw()]++
+	}
+	// Rank 0 should dominate rank 99 by roughly 100:1 under s=1.
+	if counts[0] < counts[99]*20 {
+		t.Errorf("rank0=%d rank99=%d: not Zipf-skewed", counts[0], counts[99])
+	}
+	// Head mass sanity: the top 100 of 1000 items carry >60% of traffic.
+	if hm := z.HeadMass(100); hm < 0.6 {
+		t.Errorf("head mass of top 10%% = %v", hm)
+	}
+	if z.HeadMass(0) != 0 || z.HeadMass(5000) != 1 {
+		t.Error("head mass bounds wrong")
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewZipf(New(1), 0, 1) },
+		func() { NewZipf(New(1), 10, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid Zipf accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}

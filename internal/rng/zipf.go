@@ -1,0 +1,63 @@
+package rng
+
+import "math"
+
+// Zipf draws from a bounded Zipf distribution over {0, …, N−1} with
+// exponent s — the classic popularity law of content requests (map tiles,
+// video segments): rank-k items are requested with probability ∝ 1/k^s.
+// Sampling is by binary search on a precomputed CDF, O(log N) per draw.
+type Zipf struct {
+	stream *Stream
+	cdf    []float64
+}
+
+// NewZipf builds a sampler over n items with exponent s (s > 0; s ≈ 0.8–1.2
+// matches measured web/content workloads).
+func NewZipf(stream *Stream, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("rng: Zipf needs at least one item")
+	}
+	if s <= 0 {
+		panic("rng: Zipf exponent must be positive")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += 1 / math.Pow(float64(k+1), s)
+		cdf[k] = sum
+	}
+	for k := range cdf {
+		cdf[k] /= sum
+	}
+	return &Zipf{stream: stream, cdf: cdf}
+}
+
+// N returns the item count.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Draw returns the next item index (0 is the most popular).
+func (z *Zipf) Draw() int {
+	u := z.stream.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// HeadMass returns the probability mass of the first k items — the best
+// possible hit rate of a cache holding exactly the k most popular items.
+func (z *Zipf) HeadMass(k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if k >= len(z.cdf) {
+		return 1
+	}
+	return z.cdf[k-1]
+}

@@ -1,0 +1,145 @@
+package sched
+
+import (
+	"df3/internal/metrics"
+	"df3/internal/server"
+	"df3/internal/sim"
+)
+
+// Placement selects which machine receives the next task.
+type Placement int
+
+const (
+	// LeastLoaded places on the machine with the most free slots —
+	// spreads heat production evenly across hosts.
+	LeastLoaded Placement = iota
+	// FirstFit places on the first machine with a free slot — packs work
+	// onto few machines, concentrating heat.
+	FirstFit
+	// FastestFirst places on the machine with the highest current per-core
+	// speed — best for latency-bound edge requests when DVFS levels
+	// diverge across the cluster.
+	FastestFirst
+)
+
+func (p Placement) String() string {
+	switch p {
+	case FirstFit:
+		return "first-fit"
+	case FastestFirst:
+		return "fastest-first"
+	default:
+		return "least-loaded"
+	}
+}
+
+// Pool dispatches a queue onto a set of machines. It re-dispatches
+// whenever a machine reports new capacity (task finished, budget grew).
+type Pool struct {
+	Queue     *Queue
+	Placement Placement
+
+	engine   *sim.Engine
+	machines []*server.Machine
+	wait     metrics.Stats
+	// OnOverflow, when set, is offered each item that cannot be placed
+	// immediately; returning true consumes the item (e.g. offloaded),
+	// false re-queues it. Used by the offloading policies of §III-B.
+	OnOverflow func(it *Item) bool
+	// QueueCap bounds the queue length; beyond it, items overflow
+	// unconditionally (and are dropped if OnOverflow refuses them).
+	// Zero means unbounded.
+	QueueCap int
+	dropped  metrics.Counter
+}
+
+// NewPool builds a pool over the machines, hooking their capacity events.
+func NewPool(e *sim.Engine, policy Policy, machines []*server.Machine) *Pool {
+	p := &Pool{Queue: NewQueue(policy), engine: e, machines: machines}
+	for _, m := range machines {
+		m.OnCapacity(p.Dispatch)
+	}
+	return p
+}
+
+// Machines returns the pool's machines.
+func (p *Pool) Machines() []*server.Machine { return p.machines }
+
+// Submit enqueues a task and attempts dispatch. Deadline is absolute (0 =
+// none); ctx rides along on the item.
+func (p *Pool) Submit(task *server.Task, deadline sim.Time, ctx any) {
+	it := &Item{Task: task, Enqueued: p.engine.Now(), Deadline: deadline, Ctx: ctx}
+	if p.QueueCap > 0 && p.Queue.Len() >= p.QueueCap && p.FreeSlots() == 0 {
+		if p.OnOverflow == nil || !p.OnOverflow(it) {
+			p.dropped.Inc()
+		}
+		return
+	}
+	p.Queue.Push(it)
+	p.Dispatch()
+}
+
+// FreeSlots sums free slots across the pool.
+func (p *Pool) FreeSlots() int {
+	n := 0
+	for _, m := range p.machines {
+		n += m.FreeSlots()
+	}
+	return n
+}
+
+// Capacity sums current compute capacity across the pool.
+func (p *Pool) Capacity() float64 {
+	c := 0.0
+	for _, m := range p.machines {
+		c += m.Capacity()
+	}
+	return c
+}
+
+// pick returns the machine for the next task per the placement rule, or
+// nil when no machine has a free slot.
+func (p *Pool) pick() *server.Machine {
+	var best *server.Machine
+	for _, m := range p.machines {
+		if m.FreeSlots() == 0 {
+			continue
+		}
+		switch p.Placement {
+		case FirstFit:
+			return m
+		case FastestFirst:
+			if best == nil || m.Speed() > best.Speed() {
+				best = m
+			}
+		default: // LeastLoaded
+			if best == nil || m.FreeSlots() > best.FreeSlots() {
+				best = m
+			}
+		}
+	}
+	return best
+}
+
+// Dispatch places queued items on machines until either is exhausted.
+func (p *Pool) Dispatch() {
+	for p.Queue.Len() > 0 {
+		m := p.pick()
+		if m == nil {
+			return
+		}
+		it := p.Queue.Pop()
+		p.wait.Observe(p.engine.Now() - it.Enqueued)
+		if !m.Start(it.Task) {
+			// The pick said there was a slot; a failure here is a logic
+			// error worth failing loudly on.
+			panic("sched: placement picked a full machine")
+		}
+	}
+}
+
+// WaitStats returns queue-wait statistics for dispatched items.
+func (p *Pool) WaitStats() *metrics.Stats { return &p.wait }
+
+// Dropped returns the number of items dropped on overflow.
+func (p *Pool) Dropped() int64 { return p.dropped.Value() }

@@ -1,0 +1,156 @@
+// Package sched provides the queueing and dispatch primitives the DF3
+// gateways are built from: priority queues under FCFS / SJF / EDF
+// disciplines and a worker pool that places queued tasks on machines.
+//
+// The paper's §III-B requires real-time edge requests (EDF with deadlines)
+// to coexist with batch DCC work (FCFS/SJF), possibly preempting it; the
+// gateway in package core composes these primitives into that behaviour.
+package sched
+
+import (
+	"container/heap"
+
+	"df3/internal/server"
+	"df3/internal/sim"
+)
+
+// Policy is a queue discipline.
+type Policy int
+
+const (
+	// FCFS serves in arrival order.
+	FCFS Policy = iota
+	// SJF serves the shortest remaining task first.
+	SJF
+	// EDF serves the earliest absolute deadline first.
+	EDF
+)
+
+func (p Policy) String() string {
+	switch p {
+	case SJF:
+		return "sjf"
+	case EDF:
+		return "edf"
+	default:
+		return "fcfs"
+	}
+}
+
+// Item is one queued task with its scheduling attributes.
+type Item struct {
+	Task *server.Task
+	// Enqueued is the time the item entered the queue.
+	Enqueued sim.Time
+	// Deadline is the absolute deadline (0 = none; sorts last under EDF).
+	Deadline sim.Time
+	// Ctx carries opaque per-request context back to the dispatcher.
+	Ctx any
+
+	seq   uint64
+	index int
+}
+
+// Queue is a priority queue under one policy. The zero value is not ready;
+// use NewQueue.
+type Queue struct {
+	policy Policy
+	items  itemHeap
+	nextSq uint64
+}
+
+// NewQueue returns an empty queue with the given discipline.
+func NewQueue(p Policy) *Queue { return &Queue{policy: p} }
+
+// Policy returns the queue's discipline.
+func (q *Queue) Policy() Policy { return q.policy }
+
+// Len returns the number of queued items.
+func (q *Queue) Len() int { return len(q.items.items) }
+
+// Push enqueues an item.
+func (q *Queue) Push(it *Item) {
+	it.seq = q.nextSq
+	q.nextSq++
+	q.items.policy = q.policy
+	heap.Push(&q.items, it)
+}
+
+// Pop dequeues the highest-priority item, or nil when empty.
+func (q *Queue) Pop() *Item {
+	if q.Len() == 0 {
+		return nil
+	}
+	return heap.Pop(&q.items).(*Item)
+}
+
+// Peek returns the head without removing it, or nil when empty.
+func (q *Queue) Peek() *Item {
+	if q.Len() == 0 {
+		return nil
+	}
+	return q.items.items[0]
+}
+
+// Remove deletes an item from any position (e.g. a request whose deadline
+// already lapsed). Returns false if the item is not queued.
+func (q *Queue) Remove(it *Item) bool {
+	if it.index < 0 || it.index >= q.Len() || q.items.items[it.index] != it {
+		return false
+	}
+	heap.Remove(&q.items, it.index)
+	return true
+}
+
+// itemHeap orders items by the queue policy; ties break by arrival seq so
+// the order is deterministic and starvation-free within a priority class.
+type itemHeap struct {
+	policy Policy
+	items  []*Item
+}
+
+func (h *itemHeap) Len() int { return len(h.items) }
+
+func (h *itemHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	switch h.policy {
+	case SJF:
+		if a.Task.Work != b.Task.Work {
+			return a.Task.Work < b.Task.Work
+		}
+	case EDF:
+		da, db := a.Deadline, b.Deadline
+		// Zero deadline sorts after any real deadline.
+		switch {
+		case da == 0 && db != 0:
+			return false
+		case da != 0 && db == 0:
+			return true
+		case da != db:
+			return da < db
+		}
+	}
+	return a.seq < b.seq
+}
+
+func (h *itemHeap) Swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].index = i
+	h.items[j].index = j
+}
+
+func (h *itemHeap) Push(x any) {
+	it := x.(*Item)
+	it.index = len(h.items)
+	h.items = append(h.items, it)
+}
+
+func (h *itemHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
+	h.items = old[:n-1]
+	return it
+}

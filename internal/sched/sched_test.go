@@ -1,0 +1,314 @@
+package sched
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"df3/internal/rng"
+	"df3/internal/server"
+	"df3/internal/sim"
+)
+
+func task(work float64) *server.Task { return &server.Task{Work: work} }
+
+func TestFCFSOrder(t *testing.T) {
+	q := NewQueue(FCFS)
+	for i := 0; i < 5; i++ {
+		q.Push(&Item{Task: task(float64(5 - i))})
+	}
+	for i := 0; i < 5; i++ {
+		it := q.Pop()
+		if it.Task.Work != float64(5-i) {
+			t.Fatalf("FCFS pop %d returned work %v", i, it.Task.Work)
+		}
+	}
+	if q.Pop() != nil {
+		t.Error("pop from empty queue should be nil")
+	}
+}
+
+func TestSJFOrder(t *testing.T) {
+	q := NewQueue(SJF)
+	works := []float64{30, 10, 20}
+	for _, w := range works {
+		q.Push(&Item{Task: task(w)})
+	}
+	got := []float64{q.Pop().Task.Work, q.Pop().Task.Work, q.Pop().Task.Work}
+	want := []float64{10, 20, 30}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SJF order = %v", got)
+		}
+	}
+}
+
+func TestEDFOrder(t *testing.T) {
+	q := NewQueue(EDF)
+	q.Push(&Item{Task: task(1), Deadline: 50})
+	q.Push(&Item{Task: task(1), Deadline: 10})
+	q.Push(&Item{Task: task(1)}) // no deadline sorts last
+	q.Push(&Item{Task: task(1), Deadline: 30})
+	ds := []sim.Time{q.Pop().Deadline, q.Pop().Deadline, q.Pop().Deadline, q.Pop().Deadline}
+	want := []sim.Time{10, 30, 50, 0}
+	for i := range want {
+		if ds[i] != want[i] {
+			t.Fatalf("EDF order = %v", ds)
+		}
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	q := NewQueue(EDF)
+	a := &Item{Task: task(1), Deadline: 10}
+	b := &Item{Task: task(1), Deadline: 10}
+	q.Push(a)
+	q.Push(b)
+	if q.Pop() != a || q.Pop() != b {
+		t.Error("equal deadlines did not pop in arrival order")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	q := NewQueue(FCFS)
+	a, b, c := &Item{Task: task(1)}, &Item{Task: task(2)}, &Item{Task: task(3)}
+	q.Push(a)
+	q.Push(b)
+	q.Push(c)
+	if !q.Remove(b) {
+		t.Fatal("remove failed")
+	}
+	if q.Remove(b) {
+		t.Fatal("double remove succeeded")
+	}
+	if q.Pop() != a || q.Pop() != c || q.Len() != 0 {
+		t.Error("queue corrupted after remove")
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	q := NewQueue(FCFS)
+	if q.Peek() != nil {
+		t.Error("peek on empty should be nil")
+	}
+	a := &Item{Task: task(1)}
+	q.Push(a)
+	if q.Peek() != a || q.Len() != 1 {
+		t.Error("peek misbehaved")
+	}
+}
+
+// Property: for any mix of deadlines, EDF pops in non-decreasing deadline
+// order with zero-deadline items last.
+func TestEDFProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		q := NewQueue(EDF)
+		for _, d := range raw {
+			q.Push(&Item{Task: task(1), Deadline: sim.Time(d % 100)})
+		}
+		var popped []sim.Time
+		for q.Len() > 0 {
+			popped = append(popped, q.Pop().Deadline)
+		}
+		// All non-zero ascending, zeros at the end.
+		firstZero := len(popped)
+		for i, d := range popped {
+			if d == 0 {
+				firstZero = i
+				break
+			}
+		}
+		for i := firstZero; i < len(popped); i++ {
+			if popped[i] != 0 {
+				return false
+			}
+		}
+		return sort.SliceIsSorted(popped[:firstZero], func(i, j int) bool {
+			return popped[i] < popped[j]
+		})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func newPoolN(e *sim.Engine, n int, policy Policy) *Pool {
+	ms := make([]*server.Machine, n)
+	for i := range ms {
+		ms[i] = server.QradSpec().Build(e, "m")
+	}
+	return NewPool(e, policy, ms)
+}
+
+func TestPoolRunsEverything(t *testing.T) {
+	e := sim.New()
+	p := newPoolN(e, 2, FCFS)
+	done := 0
+	for i := 0; i < 100; i++ {
+		tk := task(10)
+		tk.OnDone = func(sim.Time) { done++ }
+		p.Submit(tk, 0, nil)
+	}
+	e.Run(sim.Hour)
+	if done != 100 {
+		t.Errorf("completed %d/100 tasks", done)
+	}
+}
+
+func TestPoolQueuesBeyondCapacity(t *testing.T) {
+	e := sim.New()
+	p := newPoolN(e, 1, FCFS) // 16 slots
+	for i := 0; i < 20; i++ {
+		p.Submit(task(100), 0, nil)
+	}
+	if p.Queue.Len() != 4 {
+		t.Errorf("queue length = %d, want 4", p.Queue.Len())
+	}
+	if p.FreeSlots() != 0 {
+		t.Errorf("free slots = %d", p.FreeSlots())
+	}
+	e.Run(250)
+	if p.Queue.Len() != 0 {
+		t.Errorf("queue not drained: %d", p.Queue.Len())
+	}
+}
+
+func TestPoolWaitStats(t *testing.T) {
+	e := sim.New()
+	p := newPoolN(e, 1, FCFS)
+	for i := 0; i < 17; i++ { // one more than slots
+		p.Submit(task(100), 0, nil)
+	}
+	e.Run(1000)
+	if p.WaitStats().Count() != 17 {
+		t.Errorf("wait count = %d", p.WaitStats().Count())
+	}
+	if p.WaitStats().Max() < 99 {
+		t.Errorf("max wait = %v, want ~100", p.WaitStats().Max())
+	}
+}
+
+func TestPoolOverflow(t *testing.T) {
+	e := sim.New()
+	p := newPoolN(e, 1, FCFS)
+	p.QueueCap = 2
+	overflowed := 0
+	p.OnOverflow = func(it *Item) bool { overflowed++; return true }
+	for i := 0; i < 30; i++ {
+		p.Submit(task(1000), 0, nil)
+	}
+	if overflowed != 12 { // 16 slots + 2 queued = 18 absorbed
+		t.Errorf("overflowed = %d, want 12", overflowed)
+	}
+	if p.Dropped() != 0 {
+		t.Errorf("dropped = %d with consuming overflow", p.Dropped())
+	}
+}
+
+func TestPoolDropsWithoutOverflowHandler(t *testing.T) {
+	e := sim.New()
+	p := newPoolN(e, 1, FCFS)
+	p.QueueCap = 1
+	for i := 0; i < 20; i++ {
+		p.Submit(task(1000), 0, nil)
+	}
+	if p.Dropped() != 3 { // 16 + 1 = 17 absorbed
+		t.Errorf("dropped = %d, want 3", p.Dropped())
+	}
+}
+
+func TestPlacementLeastLoaded(t *testing.T) {
+	e := sim.New()
+	p := newPoolN(e, 2, FCFS)
+	p.Placement = LeastLoaded
+	for i := 0; i < 8; i++ {
+		p.Submit(task(1e6), 0, nil)
+	}
+	a := p.Machines()[0].AssignedTasks()
+	b := p.Machines()[1].AssignedTasks()
+	if a != 4 || b != 4 {
+		t.Errorf("least-loaded split = %d/%d, want 4/4", a, b)
+	}
+}
+
+func TestPlacementFirstFit(t *testing.T) {
+	e := sim.New()
+	p := newPoolN(e, 2, FCFS)
+	p.Placement = FirstFit
+	for i := 0; i < 8; i++ {
+		p.Submit(task(1e6), 0, nil)
+	}
+	if p.Machines()[0].AssignedTasks() != 8 || p.Machines()[1].AssignedTasks() != 0 {
+		t.Error("first-fit did not pack onto the first machine")
+	}
+}
+
+func TestPlacementFastestFirst(t *testing.T) {
+	e := sim.New()
+	p := newPoolN(e, 2, FCFS)
+	p.Placement = FastestFirst
+	p.Machines()[0].SetBudget(200) // slow it down
+	p.Submit(task(10), 0, nil)
+	if p.Machines()[1].AssignedTasks() != 1 {
+		t.Error("fastest-first did not pick the full-speed machine")
+	}
+}
+
+func TestPoolRedispatchOnBudgetGrowth(t *testing.T) {
+	e := sim.New()
+	p := newPoolN(e, 1, FCFS)
+	m := p.Machines()[0]
+	m.SetBudget(0)
+	done := false
+	tk := task(10)
+	tk.OnDone = func(sim.Time) { done = true }
+	p.Submit(tk, 0, nil)
+	e.Run(100)
+	if done {
+		t.Fatal("task ran on powered-off machine")
+	}
+	m.SetBudget(500)
+	e.Run(200)
+	if !done {
+		t.Error("task not dispatched after budget growth")
+	}
+}
+
+// Property: the pool conserves tasks — submitted = completed + queued +
+// assigned + dropped + overflowed at every point.
+func TestPoolConservationProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := rng.New(seed)
+		e := sim.New()
+		p := newPoolN(e, 2, FCFS)
+		p.QueueCap = 5
+		overflow := 0
+		p.OnOverflow = func(it *Item) bool {
+			if s.Bool(0.5) {
+				overflow++
+				return true
+			}
+			return false
+		}
+		done, submitted := 0, 0
+		for i := 0; i < 200; i++ {
+			tk := task(1 + s.Float64()*100)
+			tk.OnDone = func(sim.Time) { done++ }
+			p.Submit(tk, 0, nil)
+			submitted++
+			if s.Bool(0.3) {
+				e.Run(e.Now() + s.Float64()*10)
+			}
+		}
+		e.Run(e.Now() + 1e6)
+		assigned := 0
+		for _, m := range p.Machines() {
+			assigned += m.AssignedTasks()
+		}
+		total := done + p.Queue.Len() + assigned + int(p.Dropped()) + overflow
+		return total == submitted && p.Queue.Len() == 0 && assigned == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

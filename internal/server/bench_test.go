@@ -1,0 +1,44 @@
+package server
+
+import (
+	"testing"
+
+	"df3/internal/sim"
+	"df3/internal/units"
+)
+
+func BenchmarkStartFinish(b *testing.B) {
+	e := sim.New()
+	m := QradSpec().Build(e, "m")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Start(&Task{Work: 0.001})
+		e.Run(e.Now() + 0.01)
+	}
+}
+
+func BenchmarkSetBudgetLoaded(b *testing.B) {
+	// Budget changes reschedule every running task: the regulator's cost.
+	e := sim.New()
+	m := QradSpec().Build(e, "m")
+	for i := 0; i < m.Cores; i++ {
+		m.Start(&Task{Work: 1e12})
+	}
+	budgets := []float64{500, 250, 120, 380}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SetBudget(units.Watt(budgets[i%len(budgets)]))
+	}
+}
+
+func BenchmarkPreemptResubmit(b *testing.B) {
+	e := sim.New()
+	m := QradSpec().Build(e, "m")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := &Task{Work: 1e9}
+		m.Start(t)
+		m.Preempt(t)
+	}
+}

@@ -1,0 +1,184 @@
+package server
+
+import (
+	"df3/internal/power"
+	"df3/internal/sim"
+	"df3/internal/units"
+)
+
+// Spec bundles the parameters of a server class.
+type Spec struct {
+	Cores int
+	Model power.Model
+}
+
+// QradSpec is the Qarnot digital heater of §II-B1: 3–4 CPUs (we model
+// 4 CPUs × 4 cores = 16 cores), 500 W wall draw, free cooling — virtually
+// all power becomes room heat.
+func QradSpec() Spec {
+	return Spec{
+		Cores: 16,
+		Model: power.Model{
+			IdleW:        30,
+			DynamicW:     470,
+			Levels:       power.DefaultLevels(),
+			HeatFraction: 0.95,
+			// No cooling, but the operator's network and power gear add
+			// a little facility overhead — CloudandHeat quotes PUE 1.026
+			// for this class of deployment (§II-A).
+			CoolingOverhead: 0.02,
+		},
+	}
+}
+
+// ERadiatorSpec is the Nerdalize e-radiator: 1000 W, dual heat pipeline
+// (heat can be expelled outside in summer, §II-B1).
+func ERadiatorSpec() Spec {
+	return Spec{
+		Cores: 32,
+		Model: power.Model{
+			IdleW:           50,
+			DynamicW:        950,
+			Levels:          power.DefaultLevels(),
+			HeatFraction:    0.95,
+			CoolingOverhead: 0.02,
+		},
+	}
+}
+
+// CryptoHeaterSpec is the Qarnot crypto-heater QC1: 650 W, 2 GPUs (§II-B1).
+// We model each GPU as 8 task slots.
+func CryptoHeaterSpec() Spec {
+	return Spec{
+		Cores: 16,
+		Model: power.Model{
+			IdleW:           40,
+			DynamicW:        610,
+			Levels:          power.DefaultLevels(),
+			HeatFraction:    0.95,
+			CoolingOverhead: 0.02,
+		},
+	}
+}
+
+// BoilerSpec is the Asperitas AIC24 digital boiler of §II-B2: 200 CPUs,
+// 20 kW, immersion-cooled into a water loop.
+func BoilerSpec() Spec {
+	return Spec{
+		Cores: 200,
+		Model: power.Model{
+			IdleW:           1500,
+			DynamicW:        18500,
+			Levels:          power.DefaultLevels(),
+			HeatFraction:    0.97, // immersion transfers almost everything
+			CoolingOverhead: 0.03, // circulation pumps
+		},
+	}
+}
+
+// SmallBoilerSpec is a Stimergy-class 1–4 kW oil-immersed boiler (§II-B2).
+func SmallBoilerSpec() Spec {
+	return Spec{
+		Cores: 32,
+		Model: power.Model{
+			IdleW:           300,
+			DynamicW:        3700,
+			Levels:          power.DefaultLevels(),
+			HeatFraction:    0.97,
+			CoolingOverhead: 0.03,
+		},
+	}
+}
+
+// DatacenterNodeSpec is a classical air-cooled datacenter server: its heat
+// is rejected by chillers, so every compute watt costs ~0.5 W of facility
+// overhead (PUE ≈ 1.5, typical of conventional rooms; the paper contrasts
+// this with CloudandHeat's 1.026).
+func DatacenterNodeSpec() Spec {
+	return Spec{
+		Cores: 32,
+		Model: power.Model{
+			IdleW:           120,
+			DynamicW:        380,
+			Levels:          power.DefaultLevels(),
+			HeatFraction:    0,
+			CoolingOverhead: 0.5,
+		},
+	}
+}
+
+// DesktopPCSpec is a volunteer desktop PC for the desktop-grid baseline
+// (§I, §V): 4 cores, 150 W, its heat is a nuisance rather than a service.
+func DesktopPCSpec() Spec {
+	return Spec{
+		Cores: 4,
+		Model: power.Model{
+			IdleW:           40,
+			DynamicW:        110,
+			Levels:          power.DefaultLevels(),
+			HeatFraction:    0, // heat is unwanted, not delivered on demand
+			CoolingOverhead: 0,
+		},
+	}
+}
+
+// Build constructs a machine from the spec.
+func (s Spec) Build(e *sim.Engine, name string) *Machine {
+	return New(e, name, s.Cores, s.Model)
+}
+
+// Fleet aggregates machines for energy and capacity reporting.
+type Fleet struct {
+	Machines []*Machine
+}
+
+// Add appends machines to the fleet.
+func (f *Fleet) Add(ms ...*Machine) { f.Machines = append(f.Machines, ms...) }
+
+// Capacity returns the fleet's current compute capacity in core-equivalents.
+func (f *Fleet) Capacity() float64 {
+	c := 0.0
+	for _, m := range f.Machines {
+		c += m.Capacity()
+	}
+	return c
+}
+
+// MaxCapacity returns the fleet capacity at full budget.
+func (f *Fleet) MaxCapacity() float64 {
+	c := 0.0
+	for _, m := range f.Machines {
+		c += m.MaxCapacity()
+	}
+	return c
+}
+
+// FreeSlots sums free slots across the fleet.
+func (f *Fleet) FreeSlots() int {
+	n := 0
+	for _, m := range f.Machines {
+		n += m.FreeSlots()
+	}
+	return n
+}
+
+// Energy flushes every meter at now and returns summed IT energy, facility
+// energy and useful heat.
+func (f *Fleet) Energy(now sim.Time) (it, fac, heat units.Joule) {
+	for _, m := range f.Machines {
+		m.Meter().Flush(now)
+		it += m.Meter().ITEnergy()
+		fac += m.Meter().FacilityEnergy()
+		heat += m.Meter().UsefulHeat()
+	}
+	return it, fac, heat
+}
+
+// PUE returns the fleet-level PUE at now.
+func (f *Fleet) PUE(now sim.Time) float64 {
+	it, fac, _ := f.Energy(now)
+	if it == 0 {
+		return 0
+	}
+	return float64(fac) / float64(it)
+}

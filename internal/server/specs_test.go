@@ -1,0 +1,90 @@
+package server
+
+import (
+	"testing"
+
+	"df3/internal/sim"
+)
+
+func TestSpecsBuild(t *testing.T) {
+	e := sim.New()
+	specs := map[string]Spec{
+		"qrad":    QradSpec(),
+		"erad":    ERadiatorSpec(),
+		"crypto":  CryptoHeaterSpec(),
+		"boiler":  BoilerSpec(),
+		"sboiler": SmallBoilerSpec(),
+		"dcnode":  DatacenterNodeSpec(),
+		"pc":      DesktopPCSpec(),
+	}
+	for name, s := range specs {
+		m := s.Build(e, name)
+		if m.Cores != s.Cores {
+			t.Errorf("%s cores = %d", name, m.Cores)
+		}
+		if m.Capacity() != float64(s.Cores) {
+			t.Errorf("%s fresh capacity = %v, want %v", name, m.Capacity(), s.Cores)
+		}
+	}
+}
+
+func TestSpecWallDraws(t *testing.T) {
+	// The paper quotes wall draws: Q.rad 500 W, e-radiator 1000 W,
+	// crypto-heater 650 W, Asperitas boiler 20 kW.
+	cases := []struct {
+		spec Spec
+		want float64
+	}{
+		{QradSpec(), 500},
+		{ERadiatorSpec(), 1000},
+		{CryptoHeaterSpec(), 650},
+		{BoilerSpec(), 20000},
+		{SmallBoilerSpec(), 4000},
+	}
+	for i, c := range cases {
+		if got := float64(c.spec.Model.MaxDraw()); got != c.want {
+			t.Errorf("case %d: max draw = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestDFServersDeliverHeatDCDoesNot(t *testing.T) {
+	if QradSpec().Model.HeatFraction < 0.9 {
+		t.Error("Q.rad should deliver nearly all power as heat")
+	}
+	if DatacenterNodeSpec().Model.HeatFraction != 0 {
+		t.Error("datacenter node must not deliver useful heat")
+	}
+	if DatacenterNodeSpec().Model.CoolingOverhead <= 0 {
+		t.Error("datacenter node must pay cooling overhead")
+	}
+	if QradSpec().Model.CoolingOverhead > 0.05 {
+		t.Error("Q.rad facility overhead should be marginal (free cooling)")
+	}
+}
+
+func TestFleetAggregation(t *testing.T) {
+	e := sim.New()
+	var f Fleet
+	a, b := QradSpec().Build(e, "a"), QradSpec().Build(e, "b")
+	f.Add(a, b)
+	if f.MaxCapacity() != 32 {
+		t.Errorf("fleet max capacity = %v", f.MaxCapacity())
+	}
+	if f.FreeSlots() != 32 {
+		t.Errorf("fleet free slots = %d", f.FreeSlots())
+	}
+	a.SetBudget(0)
+	if f.Capacity() != 16 {
+		t.Errorf("fleet capacity after powering one off = %v", f.Capacity())
+	}
+	b.Start(&Task{Work: 1e6})
+	e.Run(100)
+	it, fac, heat := f.Energy(e.Now())
+	if it <= 0 || fac < it || heat <= 0 {
+		t.Errorf("fleet energy it=%v fac=%v heat=%v", it, fac, heat)
+	}
+	if pue := f.PUE(e.Now()); pue < 1 || pue > 1.04 {
+		t.Errorf("DF fleet PUE = %v, want ~1.02", pue)
+	}
+}

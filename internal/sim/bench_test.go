@@ -1,0 +1,41 @@
+package sim
+
+import "testing"
+
+func BenchmarkScheduleFire(b *testing.B) {
+	e := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(1, func() {})
+		if e.Pending() > 1024 {
+			e.Run(e.Now() + 2)
+		}
+	}
+	e.Run(e.Now() + 2)
+}
+
+func BenchmarkEventChurn(b *testing.B) {
+	// The simulator's hot pattern: schedule, cancel half, fire the rest.
+	e := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev1 := e.After(1, func() {})
+		e.After(1.5, func() {})
+		e.Cancel(ev1)
+		if e.Pending() > 1024 {
+			e.Run(e.Now() + 2)
+		}
+	}
+	e.Run(e.Now() + 2)
+}
+
+func BenchmarkTicker(b *testing.B) {
+	e := New()
+	n := 0
+	Every(e, 1, func(Time) { n++ })
+	b.ResetTimer()
+	e.Run(Time(b.N))
+	if n == 0 && b.N > 1 {
+		b.Fatal("ticker never fired")
+	}
+}

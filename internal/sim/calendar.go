@@ -1,0 +1,57 @@
+package sim
+
+// Calendar maps simulated time onto a civil calendar so the seasonal models
+// (weather, occupancy, pricing) can ask "what month is it?". The simulator
+// uses an idealised year of 12 equal months of 365/12 days; experiment
+// output labels months 1..12 with January = 1.
+type Calendar struct {
+	// StartDayOfYear is the day of year (0-based, 0 = January 1st) at
+	// simulated time zero. Fig. 4 runs start on November 1st (day 304).
+	StartDayOfYear float64
+}
+
+// DayOfYear returns the fractional day of year in [0,365) at time t.
+func (c Calendar) DayOfYear(t Time) float64 {
+	d := c.StartDayOfYear + t/Day
+	d -= float64(int(d/365)) * 365
+	if d < 0 {
+		d += 365
+	}
+	return d
+}
+
+// MonthOfYear returns the calendar month 1..12 at time t.
+func (c Calendar) MonthOfYear(t Time) int {
+	m := int(c.DayOfYear(t)/(365.0/12)) + 1
+	if m > 12 {
+		m = 12
+	}
+	return m
+}
+
+// HourOfDay returns the fractional hour of day in [0,24) at time t.
+func (c Calendar) HourOfDay(t Time) float64 {
+	d := c.StartDayOfYear + t/Day
+	frac := d - float64(int(d))
+	if frac < 0 {
+		frac += 1
+	}
+	return frac * 24
+}
+
+// IsWeekend reports whether t falls on a weekend. Simulated time zero is
+// taken to be a Monday to keep scenarios easy to reason about.
+func (c Calendar) IsWeekend(t Time) bool {
+	day := int(c.StartDayOfYear+t/Day) % 7
+	if day < 0 {
+		day += 7
+	}
+	return day >= 5
+}
+
+// NovemberStart is the calendar used by Fig. 4 style runs: time zero is the
+// start of month 11 on the idealised equal-month grid.
+var NovemberStart = Calendar{StartDayOfYear: 10 * 365.0 / 12}
+
+// JanuaryStart is the calendar for full-year runs beginning January 1st.
+var JanuaryStart = Calendar{StartDayOfYear: 0}

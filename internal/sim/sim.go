@@ -1,0 +1,166 @@
+// Package sim implements the discrete-event simulation kernel that every
+// df3 substrate runs on.
+//
+// The kernel is deliberately single-threaded: a scenario is a deterministic
+// function of its seed, which makes experiments reproducible and failures
+// bisectable. Events are closures ordered by (time, sequence); ties are
+// broken by insertion order so that a run never depends on heap internals.
+// Parallelism in the benchmark harness happens across independent engine
+// instances, never inside one.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulated time in seconds since the start of the scenario.
+type Time = float64
+
+// Common durations, in seconds.
+const (
+	Second Time = 1
+	Minute Time = 60
+	Hour   Time = 3600
+	Day    Time = 24 * Hour
+	Week   Time = 7 * Day
+	Year   Time = 365 * Day
+)
+
+// Month is the average month length used by the seasonal models.
+const Month Time = Year / 12
+
+// Event is a scheduled callback. It is returned by the scheduling methods so
+// callers can cancel it.
+type Event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	index  int // heap index, -1 once removed
+	halted bool
+}
+
+// Time returns the time the event is (or was) scheduled for.
+func (e *Event) Time() Time { return e.at }
+
+// Cancelled reports whether the event was cancelled before firing.
+func (e *Event) Cancelled() bool { return e.halted }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	fired   uint64
+}
+
+// New returns a fresh engine at time zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far (useful in tests and
+// for progress accounting).
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of scheduled, not-yet-fired events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn at absolute time t. Scheduling in the past panics: it is
+// always a model bug and silently clamping it would corrupt causality.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn delay seconds from now. Negative delays panic.
+func (e *Engine) After(delay Time, fn func()) *Event {
+	return e.At(e.now+delay, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op, so callers can cancel defensively.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	ev.halted = true
+	heap.Remove(&e.events, ev.index)
+}
+
+// Stop makes Run return after the event currently executing.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in order until the queue is empty or the next event
+// would fire strictly after `until`. The clock is left at min(until, last
+// event time); if events remain, they stay queued and a later Run resumes.
+func (e *Engine) Run(until Time) {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		next := e.events[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&e.events)
+		e.now = next.at
+		e.fired++
+		next.fn()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// Drain runs until the event queue is empty, with a safety cap on the number
+// of events to guard against accidental self-perpetuating processes. It
+// returns the number of events executed.
+func (e *Engine) Drain(maxEvents uint64) uint64 {
+	start := e.fired
+	for len(e.events) > 0 && !e.stopped {
+		if e.fired-start >= maxEvents {
+			panic(fmt.Sprintf("sim: Drain exceeded %d events; runaway process?", maxEvents))
+		}
+		next := e.events[0]
+		heap.Pop(&e.events)
+		e.now = next.at
+		e.fired++
+		next.fn()
+	}
+	return e.fired - start
+}

@@ -1,0 +1,47 @@
+package sim
+
+// Ticker invokes a callback at a fixed simulated period. Thermal zone
+// integration, metric sampling and thermostat control loops are tickers.
+type Ticker struct {
+	engine *Engine
+	period Time
+	fn     func(now Time)
+	ev     *Event
+	done   bool
+}
+
+// Every starts a ticker firing first at now+period and then each period.
+// The callback receives the firing time. Stop the ticker to end it.
+func Every(e *Engine, period Time, fn func(now Time)) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker with non-positive period")
+	}
+	t := &Ticker{engine: e, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.engine.After(t.period, func() {
+		if t.done {
+			return
+		}
+		t.fn(t.engine.Now())
+		if !t.done { // fn may have stopped us
+			t.arm()
+		}
+	})
+}
+
+// Stop halts the ticker. It is safe to call more than once and from within
+// the ticker's own callback.
+func (t *Ticker) Stop() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.engine.Cancel(t.ev)
+}
+
+// Period returns the ticker period.
+func (t *Ticker) Period() Time { return t.period }

@@ -1,0 +1,72 @@
+package thermal
+
+import (
+	"df3/internal/metrics"
+	"df3/internal/units"
+)
+
+// Comfort accumulates thermal-comfort statistics for a zone against its
+// setpoint — the quantity behind the paper's Fig. 4 and its claim that DF
+// servers "reach the same level of comfort as other heating systems" [7].
+//
+// Heating-season semantics: a tick is comfortable when the zone is no more
+// than Band below the active setpoint and not absolutely overheated
+// (above OverheatLimit). Sitting above a *setback* setpoint is not
+// discomfort — a slowly cooling room at 19 °C against a 17 °C night
+// setback is fine.
+type Comfort struct {
+	// Band is the tolerated shortfall below the setpoint.
+	Band float64
+	// OverheatLimit is the absolute temperature above which any tick
+	// counts as uncomfortable.
+	OverheatLimit float64
+
+	temp      metrics.Series
+	deviation metrics.Stats
+	inBand    float64 // seconds spent within the band
+	occupied  float64 // seconds evaluated
+}
+
+// NewComfort returns a tracker with the given comfort band (e.g. 1.5 K)
+// and a 26 °C overheat limit.
+func NewComfort(band float64) *Comfort {
+	return &Comfort{Band: band, OverheatLimit: 26}
+}
+
+// Observe records the zone temperature against the active setpoint for a
+// tick of dt seconds. Pass occupied=false to skip comfort accounting (nobody
+// home) while still recording the temperature trace.
+func (c *Comfort) Observe(t float64, dt float64, temp, setpoint units.Celsius, occupied bool) {
+	c.temp.Add(t, float64(temp))
+	if !occupied {
+		return
+	}
+	dev := float64(temp) - float64(setpoint)
+	c.deviation.Observe(dev)
+	c.occupied += dt
+	if dev >= -c.Band && float64(temp) <= c.OverheatLimit {
+		c.inBand += dt
+	}
+}
+
+// Trace returns the recorded temperature series.
+func (c *Comfort) Trace() *metrics.Series { return &c.temp }
+
+// InBandFraction returns the fraction of occupied time spent inside the
+// comfort band.
+func (c *Comfort) InBandFraction() float64 {
+	if c.occupied == 0 {
+		return 0
+	}
+	return c.inBand / c.occupied
+}
+
+// MeanDeviation returns the mean signed deviation from the setpoint during
+// occupied time.
+func (c *Comfort) MeanDeviation() float64 { return c.deviation.Mean() }
+
+// MonthlyMeans folds the temperature trace into per-month averages using
+// the calendar key function — this is exactly the Fig. 4 output.
+func (c *Comfort) MonthlyMeans(monthOf func(t float64) int) (months []int, means []float64) {
+	return c.temp.Bucket(monthOf)
+}

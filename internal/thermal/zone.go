@@ -1,0 +1,175 @@
+// Package thermal models rooms and water loops as lumped RC networks.
+//
+// A Zone is one heated room: its air (plus furniture) is a single thermal
+// capacitance C coupled to the outdoors through a resistance R, with heat
+// injected by the DF server, by occupants and appliances, and by solar
+// gains:
+//
+//	C · dT/dt = Q_heater + Q_gains − (T − T_out)/R
+//
+// The model is integrated explicitly at the simulator's thermal tick
+// (60 s by default), which is far below the zone time constant R·C
+// (tens of hours), so explicit Euler is stable and accurate here.
+//
+// A WaterLoop models the thermal buffer of a digital boiler (§II-B2): the
+// computing rack heats a water volume which the building draws heat from;
+// the buffer is what lets boilers keep computing when instantaneous heat
+// demand is low — at the price of waste heat, which the paper's §III-C
+// worries about.
+package thermal
+
+import (
+	"df3/internal/units"
+)
+
+// Zone is a lumped-capacitance room model.
+type Zone struct {
+	// R is the envelope resistance in K/W: a 20 m² room with decent
+	// insulation loses ~1 W per 0.01 K of indoor-outdoor difference.
+	R float64
+	// C is the heat capacitance in J/K.
+	C float64
+	// Temp is the current zone air temperature.
+	Temp units.Celsius
+}
+
+// RoomSpec describes a room class for the scenario builder.
+type RoomSpec struct {
+	R       float64       // K/W
+	C       float64       // J/K
+	Initial units.Celsius // temperature at scenario start
+}
+
+// Typical room specs. A single 500 W Q.rad is the *sole* heater of its
+// room, so deployments target low-energy buildings where the design loss
+// at ΔT ≈ 20 K stays well below the heater's output, leaving warm-up
+// margin (the sizing rule for electric heating).
+var (
+	// Apartment is a low-energy (RT2012-class) apartment room: 10 W/K
+	// envelope, design loss ≈ 200 W at ΔT = 20 K (τ = R·C ≈ 69 h).
+	Apartment = RoomSpec{R: 0.10, C: 2.5e6, Initial: 17}
+	// Office is a larger office space with more ventilation (τ ≈ 89 h).
+	Office = RoomSpec{R: 0.08, C: 4e6, Initial: 17}
+	// OldBuilding is a renovated pre-war room at the upper edge of what
+	// one Q.rad can heat: design loss ≈ 440 W at ΔT = 20 K (τ ≈ 37 h).
+	OldBuilding = RoomSpec{R: 0.045, C: 3e6, Initial: 15}
+)
+
+// NewZone builds a zone from a spec.
+func NewZone(spec RoomSpec) *Zone {
+	return &Zone{R: spec.R, C: spec.C, Temp: spec.Initial}
+}
+
+// Step advances the zone by dt seconds with heater power qHeater and other
+// internal gains qGains (occupants, appliances, solar), given the outdoor
+// temperature. It returns the new zone temperature.
+func (z *Zone) Step(dt float64, qHeater, qGains units.Watt, outdoor units.Celsius) units.Celsius {
+	loss := (float64(z.Temp) - float64(outdoor)) / z.R
+	dT := (float64(qHeater) + float64(qGains) - loss) * dt / z.C
+	z.Temp += units.Celsius(dT)
+	return z.Temp
+}
+
+// SteadyStatePower returns the heater power that holds the zone at target
+// forever, net of gains: (target − outdoor)/R − gains, floored at zero.
+func (z *Zone) SteadyStatePower(target, outdoor units.Celsius, gains units.Watt) units.Watt {
+	p := (float64(target)-float64(outdoor))/z.R - float64(gains)
+	if p < 0 {
+		p = 0
+	}
+	return units.Watt(p)
+}
+
+// TimeConstant returns R·C in seconds — how fast the room drifts.
+func (z *Zone) TimeConstant() float64 { return z.R * z.C }
+
+// VentLoss models occupant window venting: in a low-energy envelope the
+// internal gains (sun, people, the DF server's floor load) can overshoot
+// the comfort ceiling, and residents vent. The window opens proportionally
+// over one kelvin above the ceiling and exchanges air at coeff W/K against
+// the outdoors. Returns the heat removed (≥ 0); zero when the outdoors is
+// warmer than the room.
+func VentLoss(temp, ceiling, outdoor units.Celsius, coeff float64) units.Watt {
+	if temp <= ceiling || temp <= outdoor {
+		return 0
+	}
+	open := float64(temp - ceiling)
+	if open > 1 {
+		open = 1
+	}
+	return units.Watt(open * coeff * float64(temp-outdoor))
+}
+
+// UHIIntensity estimates the urban-heat-island contribution of rejected
+// heat (§III-A, refs [9][10]): the steady street-level temperature rise
+// from a mean anthropogenic heat flux over a district. The sensitivity
+// follows the empirical UHI literature's ~1 K per 25 W/m² of district
+// flux for mid-latitude European cities; it is a first-order screening
+// number, not a microclimate model.
+func UHIIntensity(rejected units.Watt, areaM2 float64) units.Celsius {
+	if areaM2 <= 0 {
+		return 0
+	}
+	const kelvinPerWm2 = 1.0 / 25.0
+	return units.Celsius(float64(rejected) / areaM2 * kelvinPerWm2)
+}
+
+// WaterLoop is the thermal buffer of a digital boiler: a water volume heated
+// by the rack and cooled by the building's heat draw plus standing losses.
+type WaterLoop struct {
+	// C is the buffer capacitance in J/K (4186 J/(kg·K) × kg of water).
+	C float64
+	// LossCoeff is the standing loss to the plant room in W/K.
+	LossCoeff float64
+	// Temp is the loop temperature.
+	Temp units.Celsius
+	// MaxTemp is the safety cap: above it the rack must shed load, and any
+	// heat beyond the building draw is dumped (waste heat).
+	MaxTemp units.Celsius
+	// wasted accumulates dumped heat in joules.
+	wasted units.Joule
+}
+
+// NewWaterLoop returns a loop buffering the given mass of water in kg.
+func NewWaterLoop(waterKg float64) *WaterLoop {
+	return &WaterLoop{
+		C:         4186 * waterKg,
+		LossCoeff: 15,
+		Temp:      40,
+		MaxTemp:   75,
+	}
+}
+
+// Step advances the loop by dt seconds: the rack injects qRack, the building
+// draws qDraw, the plant room sits at ambient. Heat that would push the loop
+// past MaxTemp is dumped and accounted as waste.
+func (w *WaterLoop) Step(dt float64, qRack, qDraw units.Watt, ambient units.Celsius) units.Celsius {
+	loss := (float64(w.Temp) - float64(ambient)) * w.LossCoeff
+	net := float64(qRack) - float64(qDraw) - loss
+	newT := float64(w.Temp) + net*dt/w.C
+	if newT > float64(w.MaxTemp) {
+		// Energy above the cap is dumped to the environment.
+		excess := (newT - float64(w.MaxTemp)) * w.C
+		w.wasted += units.Joule(excess)
+		newT = float64(w.MaxTemp)
+	}
+	if newT < float64(ambient) {
+		// The loop cannot fall below plant-room ambient.
+		newT = float64(ambient)
+	}
+	w.Temp = units.Celsius(newT)
+	return w.Temp
+}
+
+// Wasted returns the cumulative dumped heat.
+func (w *WaterLoop) Wasted() units.Joule { return w.wasted }
+
+// Headroom returns how much more energy the buffer can absorb before
+// hitting MaxTemp.
+func (w *WaterLoop) Headroom() units.Joule {
+	h := (float64(w.MaxTemp) - float64(w.Temp)) * w.C
+	if h < 0 {
+		h = 0
+	}
+	return units.Joule(h)
+}

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"sort"
+
+	"df3/internal/metrics"
+)
+
+// Summary describes the value distribution of one event kind.
+type Summary struct {
+	Kind   string
+	Count  int
+	Mean   float64
+	Median float64
+	P99    float64
+	Max    float64
+	First  float64 // earliest event time
+	Last   float64 // latest event time
+}
+
+// Summarize groups events by kind and computes value distributions —
+// the analysis behind `df3trace`.
+func Summarize(events []Event) []Summary {
+	byKind := map[string]*metrics.Sample{}
+	firsts := map[string]float64{}
+	lasts := map[string]float64{}
+	for _, e := range events {
+		s, ok := byKind[e.Kind]
+		if !ok {
+			s = &metrics.Sample{}
+			byKind[e.Kind] = s
+			firsts[e.Kind] = e.T
+			lasts[e.Kind] = e.T
+		}
+		s.Observe(e.Value)
+		if e.T < firsts[e.Kind] {
+			firsts[e.Kind] = e.T
+		}
+		if e.T > lasts[e.Kind] {
+			lasts[e.Kind] = e.T
+		}
+	}
+	kinds := make([]string, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	out := make([]Summary, 0, len(kinds))
+	for _, k := range kinds {
+		s := byKind[k]
+		out = append(out, Summary{
+			Kind:   k,
+			Count:  s.Count(),
+			Mean:   s.Mean(),
+			Median: s.Median(),
+			P99:    s.P99(),
+			Max:    s.Max(),
+			First:  firsts[k],
+			Last:   lasts[k],
+		})
+	}
+	return out
+}
+
+// Rate returns events of the kind per second of trace span, or 0.
+func (s Summary) Rate() float64 {
+	span := s.Last - s.First
+	if span <= 0 {
+		return 0
+	}
+	return float64(s.Count) / span
+}

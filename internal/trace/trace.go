@@ -1,0 +1,147 @@
+// Package trace records simulation events to CSV or JSON lines for offline
+// analysis and supports replaying recorded request traces, so that an
+// experiment's exact workload can be re-run against a different platform
+// configuration (the A/B methodology behind E4/E5/E12).
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"df3/internal/sim"
+)
+
+// Event is one traced record.
+type Event struct {
+	T    sim.Time `json:"t"`
+	Kind string   `json:"kind"`
+	ID   uint64   `json:"id"`
+	// Value carries the kind-specific payload (latency, work, temp...).
+	Value float64 `json:"value"`
+	// Detail is an optional free-form annotation.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Recorder buffers events in memory.
+type Recorder struct {
+	events []Event
+}
+
+// Record appends one event.
+func (r *Recorder) Record(ev Event) { r.events = append(r.events, ev) }
+
+// Add is a convenience for Record.
+func (r *Recorder) Add(t sim.Time, kind string, id uint64, value float64) {
+	r.Record(Event{T: t, Kind: kind, ID: id, Value: value})
+}
+
+// Events returns all recorded events.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Len returns the number of events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Filter returns events of one kind.
+func (r *Recorder) Filter(kind string) []Event {
+	var out []Event
+	for _, e := range r.events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WriteCSV emits all events as CSV with a header row.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t", "kind", "id", "value", "detail"}); err != nil {
+		return err
+	}
+	for _, e := range r.events {
+		rec := []string{
+			strconv.FormatFloat(e.T, 'g', -1, 64),
+			e.Kind,
+			strconv.FormatUint(e.ID, 10),
+			strconv.FormatFloat(e.Value, 'g', -1, 64),
+			e.Detail,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses events written by WriteCSV.
+func ReadCSV(r io.Reader) ([]Event, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty CSV")
+	}
+	var out []Event
+	for i, row := range rows[1:] {
+		if len(row) != 5 {
+			return nil, fmt.Errorf("trace: row %d has %d fields", i+1, len(row))
+		}
+		t, err := strconv.ParseFloat(row[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d time: %w", i+1, err)
+		}
+		id, err := strconv.ParseUint(row[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d id: %w", i+1, err)
+		}
+		v, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d value: %w", i+1, err)
+		}
+		out = append(out, Event{T: t, Kind: row[1], ID: id, Value: v, Detail: row[4]})
+	}
+	return out, nil
+}
+
+// WriteJSONL emits events as JSON lines.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range r.events {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadJSONL parses JSON-lines events.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for dec.More() {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// Replay schedules each event's callback at its recorded time on the
+// engine. Events are replayed in time order regardless of record order.
+func Replay(e *sim.Engine, events []Event, fn func(ev Event)) {
+	sorted := append([]Event(nil), events...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].T < sorted[j].T })
+	for _, ev := range sorted {
+		ev := ev
+		e.At(ev.T, func() { fn(ev) })
+	}
+}

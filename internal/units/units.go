@@ -1,0 +1,120 @@
+// Package units defines the physical quantities used throughout df3 and
+// helpers to format them.
+//
+// The simulator works in SI base units: watts for power, joules for energy,
+// degrees Celsius for temperature (the thermal models only ever use
+// temperature differences and ambient ranges, so Celsius is safe), bytes for
+// data sizes and seconds for durations (see package sim for the time type).
+// Quantities are plain float64 named types so that arithmetic stays free of
+// conversions while signatures remain self-documenting.
+package units
+
+import "fmt"
+
+// Watt is electrical or thermal power in watts.
+type Watt float64
+
+// Joule is energy in joules.
+type Joule float64
+
+// Celsius is a temperature in degrees Celsius.
+type Celsius float64
+
+// Byte is a data size in bytes.
+type Byte float64
+
+// Hz is a processor frequency in hertz.
+type Hz float64
+
+// Common multiples.
+const (
+	KW Watt = 1e3
+	MW Watt = 1e6
+
+	KJ  Joule = 1e3
+	MJ  Joule = 1e6
+	GJ  Joule = 1e9
+	KWh Joule = 3.6e6 // one kilowatt-hour
+
+	KB Byte = 1e3
+	MB Byte = 1e6
+	GB Byte = 1e9
+
+	MHz Hz = 1e6
+	GHz Hz = 1e9
+)
+
+// WattHours converts an energy to watt-hours.
+func (j Joule) WattHours() float64 { return float64(j) / 3600 }
+
+// KWh converts an energy to kilowatt-hours.
+func (j Joule) KWh() float64 { return float64(j) / float64(KWh) }
+
+// String formats power with an adaptive unit prefix.
+func (w Watt) String() string {
+	switch {
+	case w >= MW || w <= -MW:
+		return fmt.Sprintf("%.2fMW", float64(w)/1e6)
+	case w >= KW || w <= -KW:
+		return fmt.Sprintf("%.2fkW", float64(w)/1e3)
+	default:
+		return fmt.Sprintf("%.1fW", float64(w))
+	}
+}
+
+// String formats energy with an adaptive unit prefix.
+func (j Joule) String() string {
+	switch {
+	case j >= GJ || j <= -GJ:
+		return fmt.Sprintf("%.2fGJ", float64(j)/1e9)
+	case j >= MJ || j <= -MJ:
+		return fmt.Sprintf("%.2fMJ", float64(j)/1e6)
+	case j >= KJ || j <= -KJ:
+		return fmt.Sprintf("%.2fkJ", float64(j)/1e3)
+	default:
+		return fmt.Sprintf("%.1fJ", float64(j))
+	}
+}
+
+// String formats a temperature.
+func (c Celsius) String() string { return fmt.Sprintf("%.1f°C", float64(c)) }
+
+// String formats a data size with an adaptive unit prefix.
+func (b Byte) String() string {
+	switch {
+	case b >= GB || b <= -GB:
+		return fmt.Sprintf("%.2fGB", float64(b)/1e9)
+	case b >= MB || b <= -MB:
+		return fmt.Sprintf("%.2fMB", float64(b)/1e6)
+	case b >= KB || b <= -KB:
+		return fmt.Sprintf("%.2fkB", float64(b)/1e3)
+	default:
+		return fmt.Sprintf("%.0fB", float64(b))
+	}
+}
+
+// String formats a frequency.
+func (h Hz) String() string {
+	switch {
+	case h >= GHz:
+		return fmt.Sprintf("%.2fGHz", float64(h)/1e9)
+	case h >= MHz:
+		return fmt.Sprintf("%.0fMHz", float64(h)/1e6)
+	default:
+		return fmt.Sprintf("%.0fHz", float64(h))
+	}
+}
+
+// Clamp limits v to the closed interval [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Lerp linearly interpolates between a and b by t in [0,1].
+func Lerp(a, b, t float64) float64 { return a + (b-a)*t }

@@ -1,0 +1,142 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEnergyConversions(t *testing.T) {
+	if got := KWh.WattHours(); got != 1000 {
+		t.Errorf("1 kWh = %v Wh, want 1000", got)
+	}
+	if got := (2 * KWh).KWh(); got != 2 {
+		t.Errorf("2 kWh round-trips to %v", got)
+	}
+	if got := Joule(3600).WattHours(); got != 1 {
+		t.Errorf("3600 J = %v Wh, want 1", got)
+	}
+}
+
+func TestPowerString(t *testing.T) {
+	cases := []struct {
+		in   Watt
+		want string
+	}{
+		{500, "500.0W"},
+		{20 * KW, "20.00kW"},
+		{3 * MW, "3.00MW"},
+		{0, "0.0W"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Watt(%v).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestEnergyString(t *testing.T) {
+	cases := []struct {
+		in   Joule
+		want string
+	}{
+		{500, "500.0J"},
+		{5 * KJ, "5.00kJ"},
+		{2 * MJ, "2.00MJ"},
+		{7 * GJ, "7.00GJ"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Joule(%v).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestByteString(t *testing.T) {
+	cases := []struct {
+		in   Byte
+		want string
+	}{
+		{12, "12B"},
+		{3 * KB, "3.00kB"},
+		{4 * MB, "4.00MB"},
+		{5 * GB, "5.00GB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Byte(%v).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestHzString(t *testing.T) {
+	if got := (3200 * MHz).String(); got != "3.20GHz" {
+		t.Errorf("got %q", got)
+	}
+	if got := (800 * MHz).String(); got != "800MHz" {
+		t.Errorf("got %q", got)
+	}
+	if got := Hz(50).String(); got != "50Hz" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestCelsiusString(t *testing.T) {
+	if got := Celsius(20.04).String(); got != "20.0°C" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestClampBounds(t *testing.T) {
+	if got := Clamp(5, 0, 1); got != 1 {
+		t.Errorf("Clamp(5,0,1) = %v", got)
+	}
+	if got := Clamp(-5, 0, 1); got != 0 {
+		t.Errorf("Clamp(-5,0,1) = %v", got)
+	}
+	if got := Clamp(0.5, 0, 1); got != 0.5 {
+		t.Errorf("Clamp(0.5,0,1) = %v", got)
+	}
+}
+
+// Property: Clamp always lands inside [lo,hi] for well-ordered bounds, and
+// is the identity for in-range values.
+func TestClampProperty(t *testing.T) {
+	f := func(v, a, b float64) bool {
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		got := Clamp(v, lo, hi)
+		if got < lo || got > hi {
+			return false
+		}
+		if v >= lo && v <= hi && got != v {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Lerp endpoints are exact and midpoints lie between the bounds.
+func TestLerpProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		if a != a || b != b { // skip NaN inputs
+			return true
+		}
+		if math.Abs(a) > 1e100 || math.Abs(b) > 1e100 {
+			return true // a+(b-a) loses the endpoint in the last ulp
+		}
+		return Lerp(a, b, 0) == a && Lerp(a, b, 1) == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	mid := Lerp(10, 20, 0.5)
+	if mid != 15 {
+		t.Errorf("Lerp(10,20,0.5) = %v", mid)
+	}
+}

@@ -1,0 +1,154 @@
+// Package weather generates synthetic outdoor climate traces.
+//
+// The paper's deployments (Qarnot sites, Fig. 4) sit in a Paris-like
+// climate; heat demand — and therefore the compute capacity of the DF
+// fleet — follows outdoor temperature. The generator combines an annual
+// harmonic, a diurnal harmonic, an AR(1) noise process and occasional
+// multi-day cold snaps. It is deterministic given its seed and is evaluated
+// lazily on an hourly grid with linear interpolation between grid points,
+// so that every consumer of the same Generator sees the same weather.
+package weather
+
+import (
+	"math"
+
+	"df3/internal/rng"
+	"df3/internal/sim"
+	"df3/internal/units"
+)
+
+// Climate parameterises the generator.
+type Climate struct {
+	// AnnualMean is the yearly mean outdoor temperature.
+	AnnualMean units.Celsius
+	// AnnualAmplitude is the half swing between winter and summer means.
+	AnnualAmplitude float64
+	// DiurnalAmplitude is the half swing between night and afternoon.
+	DiurnalAmplitude float64
+	// NoiseStdDev is the stationary standard deviation of the AR(1) term.
+	NoiseStdDev float64
+	// NoiseCorrHours is the correlation time of the AR(1) term in hours.
+	NoiseCorrHours float64
+	// SnapProbPerDay is the daily probability a cold snap begins.
+	SnapProbPerDay float64
+	// SnapDepth is the temperature drop at the centre of a snap.
+	SnapDepth float64
+	// SnapDays is the mean duration of a snap in days.
+	SnapDays float64
+}
+
+// Paris is a climate resembling the Île-de-France deployments of the paper:
+// ~12 °C annual mean, −5..35 °C extremes, occasional week-long cold snaps.
+var Paris = Climate{
+	AnnualMean:       12,
+	AnnualAmplitude:  8,
+	DiurnalAmplitude: 4,
+	NoiseStdDev:      3,
+	NoiseCorrHours:   36,
+	SnapProbPerDay:   0.02,
+	SnapDepth:        7,
+	SnapDays:         4,
+}
+
+// Stockholm is a colder climate for sensitivity studies.
+var Stockholm = Climate{
+	AnnualMean:       7,
+	AnnualAmplitude:  11,
+	DiurnalAmplitude: 3,
+	NoiseStdDev:      3.5,
+	NoiseCorrHours:   36,
+	SnapProbPerDay:   0.04,
+	SnapDepth:        9,
+	SnapDays:         5,
+}
+
+// Seville is a hot climate where heaters are almost never needed; it is the
+// stress case for the paper's §III-C stability discussion.
+var Seville = Climate{
+	AnnualMean:       19,
+	AnnualAmplitude:  8,
+	DiurnalAmplitude: 6,
+	NoiseStdDev:      2,
+	NoiseCorrHours:   24,
+	SnapProbPerDay:   0.005,
+	SnapDepth:        4,
+	SnapDays:         2,
+}
+
+// Generator produces an outdoor temperature for any simulated time.
+type Generator struct {
+	climate Climate
+	cal     sim.Calendar
+	stream  *rng.Stream
+
+	grid []float64 // hourly noise+snap offsets, grown lazily
+	ar   float64   // AR(1) state at the end of grid
+	snap float64   // remaining snap hours (counts down)
+}
+
+// New returns a generator for the climate, anchored to the calendar so
+// simulated time zero lands on the right season.
+func New(c Climate, cal sim.Calendar, seed uint64) *Generator {
+	return &Generator{climate: c, cal: cal, stream: rng.New(seed)}
+}
+
+// Climate returns the generator's climate parameters.
+func (g *Generator) Climate() Climate { return g.climate }
+
+// baseline is the deterministic harmonic part of the temperature.
+func (g *Generator) baseline(t sim.Time) float64 {
+	doy := g.cal.DayOfYear(t)
+	hod := g.cal.HourOfDay(t)
+	// Coldest around mid-January (day 15), warmest mid-July.
+	annual := -g.climate.AnnualAmplitude * math.Cos(2*math.Pi*(doy-15)/365)
+	// Coldest around 05:00, warmest around 15:00.
+	diurnal := -g.climate.DiurnalAmplitude * math.Cos(2*math.Pi*(hod-3)/24)
+	return float64(g.climate.AnnualMean) + annual + diurnal
+}
+
+// extend grows the hourly offset grid to cover index i.
+func (g *Generator) extend(i int) {
+	phi := math.Exp(-1 / g.climate.NoiseCorrHours)
+	innov := g.climate.NoiseStdDev * math.Sqrt(1-phi*phi)
+	for len(g.grid) <= i {
+		g.ar = phi*g.ar + g.stream.Normal(0, innov)
+		off := g.ar
+		// Cold snap process, evaluated on day boundaries.
+		if len(g.grid)%24 == 0 && g.snap <= 0 && g.stream.Bool(g.climate.SnapProbPerDay) {
+			g.snap = math.Max(24, g.stream.Exp(1/(g.climate.SnapDays*24)))
+		}
+		if g.snap > 0 {
+			off -= g.climate.SnapDepth
+			g.snap--
+		}
+		g.grid = append(g.grid, off)
+	}
+}
+
+// offset returns the stochastic temperature offset at time t, linearly
+// interpolated between hourly grid points.
+func (g *Generator) offset(t sim.Time) float64 {
+	h := t / sim.Hour
+	i := int(h)
+	if i < 0 {
+		i = 0
+		h = 0
+	}
+	g.extend(i + 1)
+	frac := h - float64(i)
+	return g.grid[i]*(1-frac) + g.grid[i+1]*frac
+}
+
+// OutdoorTemp returns the outdoor temperature at simulated time t.
+func (g *Generator) OutdoorTemp(t sim.Time) units.Celsius {
+	return units.Celsius(g.baseline(t) + g.offset(t))
+}
+
+// Constant returns a degenerate generator pinned to a fixed temperature —
+// useful in unit tests of the thermal stack.
+func Constant(temp units.Celsius) *Generator {
+	return &Generator{
+		climate: Climate{AnnualMean: temp},
+		stream:  rng.New(0),
+	}
+}

@@ -1,0 +1,163 @@
+package weather
+
+import (
+	"testing"
+	"testing/quick"
+
+	"df3/internal/sim"
+	"df3/internal/units"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(Paris, sim.JanuaryStart, 42)
+	b := New(Paris, sim.JanuaryStart, 42)
+	for h := 0; h < 24*30; h++ {
+		tt := sim.Time(h) * sim.Hour
+		if a.OutdoorTemp(tt) != b.OutdoorTemp(tt) {
+			t.Fatalf("generators with equal seed diverged at hour %d", h)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(Paris, sim.JanuaryStart, 1)
+	b := New(Paris, sim.JanuaryStart, 2)
+	diff := 0
+	for h := 0; h < 100; h++ {
+		tt := sim.Time(h) * sim.Hour
+		if a.OutdoorTemp(tt) != b.OutdoorTemp(tt) {
+			diff++
+		}
+	}
+	if diff < 90 {
+		t.Errorf("different seeds matched too often: only %d/100 differ", diff)
+	}
+}
+
+func TestSeasonality(t *testing.T) {
+	g := New(Paris, sim.JanuaryStart, 7)
+	var winter, summer float64
+	n := 0
+	for d := 0; d < 30; d++ {
+		for h := 0; h < 24; h++ {
+			tw := (sim.Time(d)*24 + sim.Time(h)) * sim.Hour
+			ts := tw + 181*sim.Day
+			winter += float64(g.OutdoorTemp(tw))
+			summer += float64(g.OutdoorTemp(ts))
+			n++
+		}
+	}
+	winter /= float64(n)
+	summer /= float64(n)
+	if summer-winter < 8 {
+		t.Errorf("summer (%v) not clearly warmer than winter (%v)", summer, winter)
+	}
+}
+
+func TestDiurnalCycle(t *testing.T) {
+	// Averaged over many days, afternoons must be warmer than nights.
+	g := New(Paris, sim.JanuaryStart, 8)
+	var night, day float64
+	const days = 60
+	for d := 0; d < days; d++ {
+		base := sim.Time(d) * sim.Day
+		night += float64(g.OutdoorTemp(base + 3*sim.Hour))
+		day += float64(g.OutdoorTemp(base + 15*sim.Hour))
+	}
+	if (day-night)/days < 2 {
+		t.Errorf("day/night delta too small: %v", (day-night)/days)
+	}
+}
+
+func TestPlausibleRange(t *testing.T) {
+	g := New(Paris, sim.JanuaryStart, 9)
+	for h := 0; h < 24*365; h++ {
+		v := float64(g.OutdoorTemp(sim.Time(h) * sim.Hour))
+		if v < -25 || v > 45 {
+			t.Fatalf("implausible Paris temperature %v at hour %d", v, h)
+		}
+	}
+}
+
+func TestClimatesOrdered(t *testing.T) {
+	mean := func(c Climate, seed uint64) float64 {
+		g := New(c, sim.JanuaryStart, seed)
+		sum := 0.0
+		for h := 0; h < 24*365; h += 6 {
+			sum += float64(g.OutdoorTemp(sim.Time(h) * sim.Hour))
+		}
+		return sum / float64(24*365/6)
+	}
+	st, pa, se := mean(Stockholm, 1), mean(Paris, 1), mean(Seville, 1)
+	if !(st < pa && pa < se) {
+		t.Errorf("climate means not ordered: stockholm=%v paris=%v seville=%v", st, pa, se)
+	}
+}
+
+func TestConstantGenerator(t *testing.T) {
+	g := Constant(20)
+	for _, tt := range []sim.Time{0, sim.Hour, sim.Day, sim.Year} {
+		if got := g.OutdoorTemp(tt); got < 19.99 || got > 20.01 {
+			t.Errorf("constant generator returned %v at %v", got, tt)
+		}
+	}
+}
+
+func TestCalendarAnchor(t *testing.T) {
+	// A November-anchored generator must start cold (its month-0 mean well
+	// below the July mean of the same generator).
+	g := New(Paris, sim.NovemberStart, 11)
+	nov, jul := 0.0, 0.0
+	for h := 0; h < 24*20; h++ {
+		nov += float64(g.OutdoorTemp(sim.Time(h) * sim.Hour))
+		jul += float64(g.OutdoorTemp(sim.Time(h)*sim.Hour + 8*sim.Month))
+	}
+	if jul-nov < 24*20*4 { // at least 4 degrees mean difference
+		t.Errorf("November-anchored generator not colder at start: nov=%v jul=%v", nov/(24*20), jul/(24*20))
+	}
+}
+
+// Property: temperature at any time within 3 years is finite and inside a
+// physically sane band for every built-in climate.
+func TestBoundedProperty(t *testing.T) {
+	gens := []*Generator{
+		New(Paris, sim.JanuaryStart, 21),
+		New(Stockholm, sim.JanuaryStart, 22),
+		New(Seville, sim.JanuaryStart, 23),
+	}
+	f := func(hours uint32) bool {
+		tt := sim.Time(hours%(3*365*24)) * sim.Hour
+		for _, g := range gens {
+			v := float64(g.OutdoorTemp(tt))
+			if v != v || v < -40 || v > 55 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: querying out of order returns the same values as querying in
+// order (the lazy grid must not depend on query order).
+func TestQueryOrderIndependence(t *testing.T) {
+	a := New(Paris, sim.JanuaryStart, 31)
+	b := New(Paris, sim.JanuaryStart, 31)
+	times := []sim.Time{100 * sim.Hour, 5 * sim.Hour, 720 * sim.Hour, 5 * sim.Hour}
+	var va []units.Celsius
+	for _, tt := range times {
+		va = append(va, a.OutdoorTemp(tt))
+	}
+	// Reverse order on b.
+	var vb = make([]units.Celsius, len(times))
+	for i := len(times) - 1; i >= 0; i-- {
+		vb[i] = b.OutdoorTemp(times[i])
+	}
+	for i := range times {
+		if va[i] != vb[i] {
+			t.Errorf("query order changed value at %v: %v vs %v", times[i], va[i], vb[i])
+		}
+	}
+}

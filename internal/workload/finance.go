@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"df3/internal/rng"
+	"df3/internal/sim"
+	"df3/internal/units"
+)
+
+// FinanceGen emits Monte-Carlo risk-evaluation batches — the paper's other
+// flagship DCC customer ("this platform is used by major banks and
+// financial services in France", §II-A). Unlike render jobs, finance
+// batches are many small independent tasks (scenario evaluations) with a
+// business deadline: the overnight risk run must finish before markets
+// open.
+type FinanceGen struct {
+	Stream   *rng.Stream
+	Calendar sim.Calendar
+	// SubmitHour is the local hour the nightly batch lands (e.g. 19).
+	SubmitHour float64
+	// DueHour is the next-day hour results are needed by (e.g. 7).
+	DueHour float64
+	// TasksMin/TasksMax bound the scenario count per batch.
+	TasksMin, TasksMax int
+	// TaskMean is the mean per-scenario work in core-seconds.
+	TaskMean float64
+
+	nextID uint64
+}
+
+// DefaultFinanceGen is a nightly 2000–6000-scenario risk batch of ~8 s
+// evaluations, due at 07:00.
+func DefaultFinanceGen(stream *rng.Stream, cal sim.Calendar) *FinanceGen {
+	return &FinanceGen{
+		Stream:     stream,
+		Calendar:   cal,
+		SubmitHour: 19,
+		DueHour:    7,
+		TasksMin:   2000,
+		TasksMax:   6000,
+		TaskMean:   8,
+	}
+}
+
+// Batch is one nightly run with its business deadline.
+type Batch struct {
+	Job BatchJob
+	// Due is the absolute deadline for the whole batch.
+	Due sim.Time
+}
+
+// Start submits one batch per weekday evening until `until`.
+func (g *FinanceGen) Start(e *sim.Engine, until sim.Time, submit func(b Batch)) {
+	day := 0
+	var schedule func()
+	schedule = func() {
+		at := sim.Time(day)*sim.Day + sim.Time(g.SubmitHour)*sim.Hour
+		day++
+		if at > until {
+			return
+		}
+		e.At(at, func() {
+			if !g.Calendar.IsWeekend(e.Now()) {
+				submit(Batch{Job: g.makeBatch(), Due: at + g.window()})
+			}
+			schedule()
+		})
+	}
+	schedule()
+}
+
+// window returns the submit→due span.
+func (g *FinanceGen) window() sim.Time {
+	h := 24 - g.SubmitHour + g.DueHour
+	return sim.Time(h) * sim.Hour
+}
+
+// makeBatch draws one nightly batch.
+func (g *FinanceGen) makeBatch() BatchJob {
+	g.nextID++
+	n := g.TasksMin
+	if g.TasksMax > g.TasksMin {
+		n += g.Stream.Intn(g.TasksMax - g.TasksMin + 1)
+	}
+	j := BatchJob{
+		ID:       1_000_000 + g.nextID,
+		TaskWork: make([]float64, n),
+		Input:    50 * units.KB, // market data snapshot per scenario
+		Output:   5 * units.KB,
+	}
+	for i := range j.TaskWork {
+		// Scenario evaluations are near-uniform with a small spread.
+		j.TaskWork[i] = g.TaskMean * g.Stream.Uniform(0.7, 1.3)
+	}
+	return j
+}

@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"testing"
+
+	"df3/internal/rng"
+	"df3/internal/sim"
+)
+
+func TestFinanceGenNightlyBatches(t *testing.T) {
+	e := sim.New()
+	g := DefaultFinanceGen(rng.New(1), sim.JanuaryStart)
+	var batches []Batch
+	g.Start(e, 7*sim.Day, func(b Batch) { batches = append(batches, b) })
+	e.Run(8 * sim.Day)
+	// One batch per weekday: 5 in the first week (time zero is Monday).
+	if len(batches) != 5 {
+		t.Fatalf("%d batches, want 5 weekday runs", len(batches))
+	}
+	for i, b := range batches {
+		if len(b.Job.TaskWork) < 2000 || len(b.Job.TaskWork) > 6000 {
+			t.Errorf("batch %d has %d scenarios", i, len(b.Job.TaskWork))
+		}
+		// Due 12 h after submission (19:00 → 07:00).
+		if b.Due <= 0 {
+			t.Errorf("batch %d missing deadline", i)
+		}
+		for _, w := range b.Job.TaskWork {
+			if w < 8*0.7 || w > 8*1.3 {
+				t.Fatalf("scenario work %v out of uniform band", w)
+			}
+		}
+	}
+}
+
+func TestFinanceGenWindow(t *testing.T) {
+	g := DefaultFinanceGen(rng.New(2), sim.JanuaryStart)
+	if got := g.window(); got != 12*sim.Hour {
+		t.Errorf("window = %v, want 12h", got)
+	}
+}
+
+func TestFinanceGenSkipsWeekends(t *testing.T) {
+	e := sim.New()
+	g := DefaultFinanceGen(rng.New(3), sim.JanuaryStart)
+	var days []int
+	g.Start(e, 14*sim.Day, func(b Batch) {
+		days = append(days, int(e.Now()/sim.Day))
+	})
+	e.Run(15 * sim.Day)
+	for _, d := range days {
+		dow := d % 7
+		if dow == 5 || dow == 6 {
+			t.Errorf("batch submitted on weekend day %d", d)
+		}
+	}
+	if len(days) != 10 {
+		t.Errorf("%d batches over two weeks, want 10", len(days))
+	}
+}
+
+func TestFinanceBatchFitsOvernight(t *testing.T) {
+	// Sanity: a nightly batch (≤ 6000 × ~8 s ≈ 13.3 core-hours) fits the
+	// 12 h window on a handful of cores — the sizing that makes DF fleets
+	// attractive for this workload.
+	g := DefaultFinanceGen(rng.New(4), sim.JanuaryStart)
+	b := g.makeBatch()
+	coreHours := b.TotalWork() / 3600
+	if coreHours > 16 {
+		t.Errorf("nightly batch is %v core-hours; sizing off", coreHours)
+	}
+}

@@ -1,0 +1,188 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"df3/internal/rng"
+	"df3/internal/sim"
+)
+
+func TestEdgeGenEmits(t *testing.T) {
+	e := sim.New()
+	g := DefaultEdgeGen(rng.New(1), 8)
+	var reqs []EdgeRequest
+	g.Start(e, 2*sim.Hour, func(r EdgeRequest) { reqs = append(reqs, r) })
+	e.Run(2 * sim.Hour)
+	if len(reqs) == 0 {
+		t.Fatal("no edge requests emitted")
+	}
+	for i, r := range reqs {
+		if r.Work <= 0 || r.Deadline != 0.5 || r.Input <= 0 {
+			t.Fatalf("request %d malformed: %+v", i, r)
+		}
+		if r.Device < 0 || r.Device >= 8 {
+			t.Fatalf("request %d device out of range: %d", i, r.Device)
+		}
+		if i > 0 && r.ID <= reqs[i-1].ID {
+			t.Fatal("IDs not strictly increasing")
+		}
+	}
+}
+
+func TestEdgeGenDeterministic(t *testing.T) {
+	run := func() []float64 {
+		e := sim.New()
+		g := DefaultEdgeGen(rng.New(5), 4)
+		var works []float64
+		g.Start(e, sim.Hour, func(r EdgeRequest) { works = append(works, r.Work) })
+		e.Run(sim.Hour)
+		return works
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d", i)
+		}
+	}
+}
+
+func TestEdgeGenStopsAtUntil(t *testing.T) {
+	e := sim.New()
+	g := DefaultEdgeGen(rng.New(2), 1)
+	count := 0
+	g.Start(e, sim.Hour, func(EdgeRequest) { count++ })
+	e.Run(10 * sim.Hour)
+	after := count
+	e.Run(20 * sim.Hour)
+	if count != after {
+		t.Error("generator kept emitting past until")
+	}
+}
+
+func TestEdgeGenMeanWork(t *testing.T) {
+	e := sim.New()
+	g := DefaultEdgeGen(rng.New(3), 1)
+	g.CalmRate = 5 // denser stream for the estimate
+	var sum float64
+	n := 0
+	g.Start(e, 24*sim.Hour, func(r EdgeRequest) { sum += r.Work; n++ })
+	e.Run(24 * sim.Hour)
+	mean := sum / float64(n)
+	// lognormal(0, 0.4) has mean exp(0.08) ≈ 1.083.
+	want := 0.05 * math.Exp(0.4*0.4/2)
+	if math.Abs(mean-want)/want > 0.15 {
+		t.Errorf("mean work = %v, want ~%v", mean, want)
+	}
+}
+
+func TestSenseLoopPeriodic(t *testing.T) {
+	e := sim.New()
+	s := &SenseLoop{Period: 10, Work: 0.01, Input: 100, Output: 10, Device: 3}
+	var at []sim.Time
+	s.Start(e, 95, func(r EdgeRequest) {
+		at = append(at, e.Now())
+		if r.Deadline != 10 || r.Device != 3 {
+			t.Errorf("malformed sense request: %+v", r)
+		}
+	})
+	e.Run(200)
+	if len(at) != 9 { // t=10..90
+		t.Fatalf("emitted %d requests, want 9: %v", len(at), at)
+	}
+	for i, tt := range at {
+		if tt != sim.Time(10*(i+1)) {
+			t.Errorf("request %d at %v", i, tt)
+		}
+	}
+}
+
+func TestDCCGenEmitsJobs(t *testing.T) {
+	e := sim.New()
+	g := DefaultDCCGen(rng.New(4), sim.JanuaryStart, 0.01)
+	var jobs []BatchJob
+	g.Start(e, sim.Day, func(j BatchJob) { jobs = append(jobs, j) })
+	e.Run(sim.Day)
+	if len(jobs) == 0 {
+		t.Fatal("no DCC jobs emitted")
+	}
+	for _, j := range jobs {
+		if len(j.TaskWork) < 20 || len(j.TaskWork) > 80 {
+			t.Errorf("job has %d frames", len(j.TaskWork))
+		}
+		for _, w := range j.TaskWork {
+			if w < 120 {
+				t.Errorf("frame below WorkMin: %v", w)
+			}
+		}
+		if j.TotalWork() <= 0 {
+			t.Error("empty job")
+		}
+	}
+}
+
+func TestDCCGenBusinessHours(t *testing.T) {
+	e := sim.New()
+	g := DefaultDCCGen(rng.New(6), sim.JanuaryStart, 0.02)
+	day, night := 0, 0
+	g.Start(e, 20*sim.Day, func(j BatchJob) {
+		h := sim.JanuaryStart.HourOfDay(e.Now())
+		if h >= 8 && h < 20 && !sim.JanuaryStart.IsWeekend(e.Now()) {
+			day++
+		} else {
+			night++
+		}
+	})
+	e.Run(20 * sim.Day)
+	if day == 0 || night == 0 {
+		t.Fatalf("degenerate split day=%d night=%d", day, night)
+	}
+	// Business hours are ~36% of the week but carry 4x the rate: expect a
+	// clear majority of jobs during the day.
+	if float64(day)/float64(day+night) < 0.55 {
+		t.Errorf("business-hours share = %v, want > 0.55", float64(day)/float64(day+night))
+	}
+}
+
+func TestRenderCampaignScale(t *testing.T) {
+	j := RenderCampaign(rng.New(7), 1000)
+	if len(j.TaskWork) != 600 {
+		t.Fatalf("campaign has %d frames, want 600", len(j.TaskWork))
+	}
+	// Total work should approximate 11 000 CPU-hours (scaled): mean frame
+	// 66 core-hours.
+	totalHours := j.TotalWork() / 3600
+	if totalHours < 8000 || totalHours > 14500 {
+		t.Errorf("campaign work = %v CPU-hours, want ~11000", totalHours)
+	}
+}
+
+// Property: every generated frame and every edge work draw is positive and
+// finite for arbitrary seeds.
+func TestGeneratorsPositiveProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		j := RenderCampaign(rng.New(seed), 10000)
+		for _, w := range j.TaskWork {
+			if !(w > 0) || math.IsInf(w, 0) {
+				return false
+			}
+		}
+		e := sim.New()
+		ok := true
+		g := DefaultEdgeGen(rng.New(seed), 3)
+		g.Start(e, 30*sim.Minute, func(r EdgeRequest) {
+			if !(r.Work > 0) || math.IsInf(r.Work, 0) {
+				ok = false
+			}
+		})
+		e.Run(30 * sim.Minute)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
