@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -26,6 +28,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	seed := flag.Uint64("seed", 1, "random seed for every stochastic component")
 	csvDir := flag.String("csv", "", "also write every table as CSV into this directory")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the last experiment to this file")
 	flag.Parse()
 
 	if *list {
@@ -64,9 +68,28 @@ func main() {
 		}
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "df3bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "df3bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	for _, e := range selected {
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
 		start := time.Now()
 		res := e.Run(opts)
+		wall := time.Since(start).Seconds()
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
 		if err := res.Write(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "df3bench: %s: %v\n", e.ID, err)
 			os.Exit(1)
@@ -77,7 +100,24 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		fmt.Printf("[%s finished in %.1fs]\n", e.ID, time.Since(start).Seconds())
+		fmt.Printf("[%s finished in %.1fs, %.1f MB allocated in %d allocs]\n",
+			e.ID, wall,
+			float64(after.TotalAlloc-before.TotalAlloc)/1e6,
+			after.Mallocs-before.Mallocs)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "df3bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "df3bench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -73,13 +73,13 @@ func (p *BoilerPlant) attach(r *Room) {
 	p.thermostats = append(p.thermostats, p.city.thermostat())
 }
 
-// start begins the building tick (rooms) and the boiler regulator. The
-// building ticker is created first so each control round steps rooms, then
-// the boiler — deterministic because same-time events fire in insertion
-// order.
+// start begins the building tick (rooms) and the boiler regulator on the
+// shared control tick domain. The building tick subscribes first so each
+// control round steps rooms, then the boiler — deterministic because
+// domain subscribers fire in registration order.
 func (p *BoilerPlant) start() {
 	period := p.city.Cfg.ControlPeriod
-	sim.Every(p.city.Engine, period, func(now sim.Time) { p.tick(now, period) })
+	p.city.Engine.Domain(period).Subscribe(func(now sim.Time) { p.tick(now, period) })
 	p.Reg.Start(p.city.Engine, period)
 }
 

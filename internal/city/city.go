@@ -216,9 +216,35 @@ func Build(cfg Config) *City {
 	}
 
 	if cfg.SampleEvery > 0 {
-		sim.Every(e, cfg.SampleEvery, func(now sim.Time) { c.sample(now) })
+		c.startSamplers(cfg.SampleEvery)
 	}
 	return c
+}
+
+// startSamplers registers the hourly fleet/outdoor/demand series on one
+// shared tick domain: five samplers, one heap event per sampling period.
+func (c *City) startSamplers(every sim.Time) {
+	e := c.Engine
+	c.CapacitySeries.SampleEvery(e, every, func(float64) float64 { return c.Fleet.Capacity() })
+	c.HeaterCapacity.SampleEvery(e, every, func(float64) float64 { return c.HeaterFleet.Capacity() })
+	c.BoilerCapacity.SampleEvery(e, every, func(float64) float64 { return c.BoilerFleet.Capacity() })
+	c.OutdoorSeries.SampleEvery(e, every, func(now float64) float64 {
+		return float64(c.Weather.OutdoorTemp(now))
+	})
+	c.HeatDemandSeries.SampleEvery(e, every, func(float64) float64 {
+		demand := 0.0
+		for _, b := range c.Buildings {
+			for _, r := range b.Rooms {
+				if r.Loop != nil {
+					demand += float64(r.Loop.Requested())
+				}
+			}
+			if b.Boiler != nil {
+				demand += float64(b.Boiler.lastDraw)
+			}
+		}
+		return demand
+	})
 }
 
 // thermostat builds a fresh controller per room.
@@ -294,6 +320,10 @@ func (c *City) buildBuilding(b int) *Building {
 	var plant *BoilerPlant
 	if cfg.Collaborative && !isBoiler {
 		bld.Coordinator = regulator.NewCollaborative(cfg.ComfortSetpoint)
+		// Bound before the room loops start, so each control tick the
+		// coordinator snapshots the building mean once and every room
+		// reads a consistent setpoint.
+		bld.Coordinator.Bind(e, cfg.ControlPeriod)
 	}
 
 	if isBoiler {
@@ -363,43 +393,25 @@ func (c *City) buildBuilding(b int) *Building {
 	return bld
 }
 
-// armFaults runs one worker's fail/repair renewal process.
+// armFaults runs one worker's fail/repair renewal process. The renewal
+// events are transient (never cancelled, handle never kept), so they ride
+// the kernel's event free list.
 func (c *City) armFaults(cl *core.Cluster, w *core.Worker) {
 	var up, down func()
 	up = func() {
-		c.Engine.After(c.faults.Exp(1/float64(c.Cfg.MTBF)), func() {
+		c.Engine.AfterTransient(c.faults.Exp(1/float64(c.Cfg.MTBF)), func() {
 			c.Outages.Inc()
 			cl.FailWorker(w)
 			down()
 		})
 	}
 	down = func() {
-		c.Engine.After(c.faults.Exp(1/float64(c.Cfg.MTTR)), func() {
+		c.Engine.AfterTransient(c.faults.Exp(1/float64(c.Cfg.MTTR)), func() {
 			cl.RestoreWorker(w)
 			up()
 		})
 	}
 	up()
-}
-
-// sample records the hourly fleet/outdoor/demand series.
-func (c *City) sample(now sim.Time) {
-	c.CapacitySeries.Add(now, c.Fleet.Capacity())
-	c.HeaterCapacity.Add(now, c.HeaterFleet.Capacity())
-	c.BoilerCapacity.Add(now, c.BoilerFleet.Capacity())
-	c.OutdoorSeries.Add(now, float64(c.Weather.OutdoorTemp(now)))
-	demand := 0.0
-	for _, b := range c.Buildings {
-		for _, r := range b.Rooms {
-			if r.Loop != nil {
-				demand += float64(r.Loop.Requested())
-			}
-		}
-		if b.Boiler != nil {
-			demand += float64(b.Boiler.lastDraw)
-		}
-	}
-	c.HeatDemandSeries.Add(now, demand)
 }
 
 // Run advances the scenario to `until`.

@@ -89,7 +89,7 @@ func (c *City) StartMapTraffic(until sim.Time, tiles int, reqPerSec float64) {
 		if at > until {
 			return
 		}
-		c.Engine.At(at, func() {
+		c.Engine.AtTransient(at, func() {
 			b := c.Buildings[pick.Intn(len(c.Buildings))]
 			room := b.Rooms[pick.Intn(len(b.Rooms))]
 			id := uint64(zipf.Draw())
@@ -181,7 +181,7 @@ func (c *City) SubmitCampaign(job workload.BatchJob) {
 // tasks so heaters always have work to convert demand into heat. Returns a
 // stop function.
 func (c *City) SaturateDCC(taskWork float64, batch int) func() {
-	tick := sim.Every(c.Engine, 10*sim.Minute, func(now sim.Time) {
+	sub := c.Engine.Domain(10 * sim.Minute).Subscribe(func(now sim.Time) {
 		for _, b := range c.Buildings {
 			if b.Cluster.DCCQueueLen() < batch {
 				works := make([]float64, batch)
@@ -210,5 +210,5 @@ func (c *City) SaturateDCC(taskWork float64, batch int) func() {
 			Output:   1e6,
 		})
 	}
-	return tick.Stop
+	return sub.Stop
 }

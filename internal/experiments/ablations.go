@@ -53,7 +53,7 @@ func AblationRegulator(o Options) *Result {
 			}
 			loop.Start(e, 60)
 			i := i
-			sim.Every(e, 60, func(now sim.Time) {
+			e.Domain(60).Subscribe(func(now sim.Time) {
 				temps.Observe(float64(z.Temp))
 				// Count big power swings (≥ 20% of max draw): each is a
 				// DVFS/core reconfiguration felt by whatever computes on

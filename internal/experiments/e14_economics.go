@@ -56,7 +56,7 @@ func E14Economics(o Options) *Result {
 		// Sample each machine's draw on a coarse tick for cost metering
 		// (draw only changes at task boundaries; 60 s sampling is exact
 		// enough for tariff pricing).
-		tick := sim.Every(e, 60, func(now sim.Time) {
+		tick := e.Domain(60).Subscribe(func(now sim.Time) {
 			for i, m := range machines {
 				d := float64(m.Draw())
 				if useFacility {

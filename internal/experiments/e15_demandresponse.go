@@ -50,7 +50,7 @@ func E15DemandResponse(o Options) *Result {
 		// lowest room temperature seen during DR.
 		var sumDR, nDR, sumRef, nRef float64
 		minT := 100.0
-		sim.Every(c.Engine, 300, func(now sim.Time) {
+		c.Engine.Domain(300).Subscribe(func(now sim.Time) {
 			draw := 0.0
 			for _, m := range c.Fleet.Machines {
 				draw += float64(m.Draw())

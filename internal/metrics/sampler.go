@@ -1,0 +1,13 @@
+package metrics
+
+import "df3/internal/sim"
+
+// SampleEvery registers a periodic sampler of f into s on the engine's
+// shared tick domain: all series sampled at one period ride a single heap
+// event, in registration order, instead of each scheduling its own.
+// Returns the subscription; stop it to end sampling.
+func (s *Series) SampleEvery(e *sim.Engine, every sim.Time, f func(now float64) float64) *sim.Sub {
+	return e.Domain(every).Subscribe(func(now sim.Time) {
+		s.Add(now, f(now))
+	})
+}

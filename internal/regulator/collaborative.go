@@ -1,6 +1,7 @@
 package regulator
 
 import (
+	"df3/internal/sim"
 	"df3/internal/thermal"
 	"df3/internal/units"
 )
@@ -19,6 +20,11 @@ type Collaborative struct {
 	MaxBias float64
 
 	zones []*thermal.Zone
+	sub   *sim.Sub
+	// cached setpoint, refreshed once per control tick when bound.
+	cachedAt sim.Time
+	cached   units.Celsius
+	bound    bool
 }
 
 // NewCollaborative returns a coordinator for the given zones.
@@ -44,6 +50,43 @@ func (c *Collaborative) Mean() units.Celsius {
 	return units.Celsius(sum / float64(len(c.zones)))
 }
 
+// Bind registers the coordinator on the engine's control tick domain:
+// once per period it snapshots the dwelling-mean setpoint, and every
+// room's schedule query that tick reads the snapshot. Bind before starting
+// the room loops so the snapshot precedes them in the tick order. This
+// turns the coordinator from O(rooms) work per schedule query (O(rooms²)
+// per control round, with each room seeing a mean polluted by earlier
+// rooms' partial updates) into one O(rooms) pass per round over a
+// consistent temperature snapshot.
+func (c *Collaborative) Bind(e *sim.Engine, period sim.Time) {
+	if c.bound {
+		return
+	}
+	c.bound = true
+	c.cachedAt = -1
+	c.sub = e.Domain(period).Subscribe(func(now sim.Time) {
+		c.cached = c.setpoint()
+		c.cachedAt = now
+	})
+}
+
+// Unbind removes the coordinator from its tick domain and returns it to
+// lazy per-query evaluation.
+func (c *Collaborative) Unbind() {
+	if c.bound {
+		c.sub.Stop()
+		c.sub = nil
+		c.bound = false
+	}
+}
+
+// setpoint derives the common room setpoint from the current mean error.
+func (c *Collaborative) setpoint() units.Celsius {
+	bias := units.Clamp(float64(c.Target)-float64(c.Mean()), -c.MaxBias, c.MaxBias)
+	return units.Celsius(units.Clamp(float64(c.Target)+bias,
+		float64(c.Target)-c.MaxBias, float64(c.Target)+c.MaxBias))
+}
+
 // ScheduleFor returns the derived schedule for zone i. Always occupied:
 // collaborative requests are explicit comfort demands.
 func (c *Collaborative) ScheduleFor(i int) Schedule {
@@ -57,9 +100,12 @@ type collaborativeSchedule struct {
 
 // At implements Schedule: each room aims for the target plus the mean
 // error (clamped), so the population steers its average onto the target.
+// A bound coordinator serves the per-tick snapshot; an unbound one
+// computes on demand.
 func (s collaborativeSchedule) At(t float64) (units.Celsius, bool) {
 	c := s.coord
-	bias := units.Clamp(float64(c.Target)-float64(c.Mean()), -c.MaxBias, c.MaxBias)
-	return units.Celsius(units.Clamp(float64(c.Target)+bias,
-		float64(c.Target)-c.MaxBias, float64(c.Target)+c.MaxBias)), true
+	if c.bound && t == float64(c.cachedAt) {
+		return c.cached, true
+	}
+	return c.setpoint(), true
 }

@@ -40,7 +40,7 @@ type HeaterLoop struct {
 	resistorW      units.Watt  // resistor power during the current tick
 	resistorEnergy units.Joule
 	requested      units.Watt // last requested heat power
-	ticker         *sim.Ticker
+	sub            *sim.Sub
 }
 
 // VentCoeffWPerK is the air-exchange coefficient of an opened window.
@@ -57,20 +57,22 @@ func VentCeiling(setpoint units.Celsius) units.Celsius {
 }
 
 // Start begins the control loop with the given tick period (60 s is the
-// reference configuration).
+// reference configuration). All loops of one period share the engine's
+// tick domain, so a building of rooms costs one heap event per control
+// round rather than one per room.
 func (h *HeaterLoop) Start(e *sim.Engine, period sim.Time) {
 	if h.Gains == nil {
 		h.Gains = func(sim.Time) units.Watt { return 0 }
 	}
 	h.Machine.FlushMeter()
 	h.lastHeat = h.Machine.Meter().UsefulHeat()
-	h.ticker = sim.Every(e, period, func(now sim.Time) { h.tick(now, period) })
+	h.sub = e.Domain(period).Subscribe(func(now sim.Time) { h.tick(now, period) })
 }
 
 // Stop halts the loop.
 func (h *HeaterLoop) Stop() {
-	if h.ticker != nil {
-		h.ticker.Stop()
+	if h.sub != nil {
+		h.sub.Stop()
 	}
 }
 
@@ -148,23 +150,23 @@ type BoilerLoop struct {
 	Derate func(t sim.Time) float64
 
 	lastHeat units.Joule
-	ticker   *sim.Ticker
+	sub      *sim.Sub
 }
 
-// Start begins the control loop.
+// Start begins the control loop on the engine's shared tick domain.
 func (b *BoilerLoop) Start(e *sim.Engine, period sim.Time) {
 	if b.Ambient == nil {
 		b.Ambient = func(sim.Time) units.Celsius { return 18 }
 	}
 	b.Machine.FlushMeter()
 	b.lastHeat = b.Machine.Meter().UsefulHeat()
-	b.ticker = sim.Every(e, period, func(now sim.Time) { b.tick(now, period) })
+	b.sub = e.Domain(period).Subscribe(func(now sim.Time) { b.tick(now, period) })
 }
 
 // Stop halts the loop.
 func (b *BoilerLoop) Stop() {
-	if b.ticker != nil {
-		b.ticker.Stop()
+	if b.sub != nil {
+		b.sub.Stop()
 	}
 }
 

@@ -222,6 +222,10 @@ func (m *Machine) SetBudget(w units.Watt) {
 
 // rebalance re-derives every task's progress rate after a state change:
 // the oldest `active` tasks run at the level speed, the rest suspend.
+// Completion events are re-keyed in place (Engine.Reset) rather than
+// cancelled and re-pushed: under an unchanged rate the re-derived time
+// moves by at most rounding noise, so the heap fix-up is near-free, and
+// no Event or closure is allocated for a task that already has one.
 func (m *Machine) rebalance() {
 	now := m.engine.Now()
 	for i, t := range m.tasks {
@@ -238,10 +242,16 @@ func (m *Machine) rebalance() {
 			newRate = m.level.Speed
 		}
 		t.rate = newRate
-		m.engine.Cancel(t.doneEv)
-		t.doneEv = nil
 		if newRate > 0 {
-			t.doneEv = m.engine.After(t.remaining/newRate, func() { m.finish(t) })
+			at := now + t.remaining/newRate
+			if t.doneEv != nil {
+				m.engine.Reset(t.doneEv, at)
+			} else {
+				t.doneEv = m.engine.At(at, func() { m.finish(t) })
+			}
+		} else if t.doneEv != nil {
+			m.engine.Cancel(t.doneEv)
+			t.doneEv = nil
 		}
 	}
 	m.updateMeter()

@@ -39,3 +39,24 @@ func BenchmarkTicker(b *testing.B) {
 		b.Fatal("ticker never fired")
 	}
 }
+
+// BenchmarkManyTickersSamePeriod is the city control-plane shape: hundreds
+// of same-period callbacks (one per room) ticking for a long horizon. One
+// iteration is one callback invocation, so ns/op is directly comparable
+// across kernels regardless of how the callbacks are scheduled.
+func BenchmarkManyTickersSamePeriod(b *testing.B) {
+	const rooms = 512
+	e := New()
+	n := 0
+	for i := 0; i < rooms; i++ {
+		Every(e, 60, func(Time) { n++ })
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	ticks := b.N/rooms + 1
+	e.Run(Time(ticks) * 60)
+	b.StopTimer()
+	if n < b.N {
+		b.Fatalf("fired %d callbacks, want >= %d", n, b.N)
+	}
+}

@@ -7,12 +7,16 @@
 // broken by insertion order so that a run never depends on heap internals.
 // Parallelism in the benchmark harness happens across independent engine
 // instances, never inside one.
+//
+// Periodic work is batched: all callbacks of one period and phase share a
+// single TickDomain and therefore a single heap event per tick, firing in
+// registration order. One-shot events that are never cancelled can use the
+// transient scheduling paths, which recycle Event structs through a free
+// list. Together these keep steady-state simulation at O(1) heap
+// operations per control tick and ~zero allocations.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is simulated time in seconds since the start of the scenario.
 type Time = float64
@@ -38,6 +42,11 @@ type Event struct {
 	fn     func()
 	index  int // heap index, -1 once removed
 	halted bool
+	// pooled events return to the engine free list after firing. Only
+	// events whose handle never escapes (AtTransient/AfterTransient) may
+	// be pooled: a recycled handle would make a defensive Cancel hit an
+	// unrelated event.
+	pooled bool
 }
 
 // Time returns the time the event is (or was) scheduled for.
@@ -46,33 +55,115 @@ func (e *Event) Time() Time { return e.at }
 // Cancelled reports whether the event was cancelled before firing.
 func (e *Event) Cancelled() bool { return e.halted }
 
+// eventHeap is a hand-rolled binary min-heap ordered by (at, seq). seq is
+// unique per scheduled event, so the order is strictly total and the pop
+// sequence is independent of internal layout — which is what lets the
+// implementation use hole-based sifting with inlined comparisons instead
+// of container/heap's interface dispatch without affecting determinism.
 type eventHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether a fires before b. Never called with a == b, so
+// the seq tiebreak is always decisive.
+func before(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// up sifts h[j] toward the root, moving parents down into the hole.
+func (h eventHeap) up(j int) {
+	ev := h[j]
+	for j > 0 {
+		i := (j - 1) / 2
+		p := h[i]
+		if before(p, ev) {
+			break
+		}
+		h[j] = p
+		p.index = j
+		j = i
+	}
+	h[j] = ev
+	ev.index = j
 }
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
+
+// down sifts h[j] toward the leaves; reports whether it moved.
+func (h eventHeap) down(j int) bool {
+	ev := h[j]
+	j0 := j
+	n := len(h)
+	for {
+		l := 2*j + 1
+		if l >= n {
+			break
+		}
+		c := h[l]
+		if r := l + 1; r < n {
+			if cr := h[r]; before(cr, c) {
+				l, c = r, cr
+			}
+		}
+		if before(ev, c) {
+			break
+		}
+		h[j] = c
+		c.index = j
+		j = l
+	}
+	h[j] = ev
+	ev.index = j
+	return j > j0
 }
-func (h *eventHeap) Pop() any {
+
+// fix restores the heap property around index i after its key changed.
+func (h eventHeap) fix(i int) {
+	if !h.down(i) {
+		h.up(i)
+	}
+}
+
+// push adds ev to the heap.
+func (h *eventHeap) push(ev *Event) {
+	ev.index = len(*h)
+	*h = append(*h, ev)
+	h.up(ev.index)
+}
+
+// popMin removes and returns the earliest event.
+func (h *eventHeap) popMin() *Event {
 	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+	n := len(old) - 1
+	min := old[0]
+	last := old[n]
+	old[n] = nil
+	*h = old[:n]
+	if n > 0 {
+		old[0] = last
+		last.index = 0
+		(*h).down(0)
+	}
+	min.index = -1
+	return min
+}
+
+// remove deletes the event at index i.
+func (h *eventHeap) remove(i int) {
+	old := *h
+	n := len(old) - 1
+	ev := old[i]
+	if i != n {
+		last := old[n]
+		old[i] = last
+		last.index = i
+		old[n] = nil
+		*h = old[:n]
+		(*h).fix(i)
+	} else {
+		old[n] = nil
+		*h = old[:n]
+	}
+	ev.index = -1
 }
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
@@ -82,10 +173,18 @@ type Engine struct {
 	events  eventHeap
 	stopped bool
 	fired   uint64
+	// free is the pool of fireable Event structs for the transient
+	// scheduling paths; domains reuse their single event in place instead.
+	free []*Event
+	// domains indexes live tick domains by (period, next fire time); the
+	// key tracks the domain as it re-arms so a new subscriber shares a
+	// domain exactly when its first fire would coincide with the domain's.
+	domains map[domainKey]*TickDomain
 }
 
-// New returns a fresh engine at time zero.
-func New() *Engine { return &Engine{} }
+// New returns a fresh engine at time zero with a pre-sized event heap, so
+// steady-state scenarios never grow it.
+func New() *Engine { return &Engine{events: make(eventHeap, 0, 1024)} }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
@@ -105,13 +204,78 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	}
 	ev := &Event{at: t, seq: e.seq, fn: fn}
 	e.seq++
-	heap.Push(&e.events, ev)
+	e.events.push(ev)
 	return ev
 }
 
 // After schedules fn delay seconds from now. Negative delays panic.
 func (e *Engine) After(delay Time, fn func()) *Event {
 	return e.At(e.now+delay, fn)
+}
+
+// AtTransient schedules fn at absolute time t on a pooled Event. It returns
+// no handle — transient events cannot be cancelled — which lets the kernel
+// recycle the struct through a free list the moment it fires. High-churn
+// schedulers (workload generators, fault renewal processes) that never
+// cancel should prefer this over At: steady-state event traffic then
+// allocates nothing in the kernel.
+func (e *Engine) AtTransient(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.fn, ev.halted = t, fn, false
+	} else {
+		ev = &Event{at: t, fn: fn}
+	}
+	ev.pooled = true
+	ev.seq = e.seq
+	e.seq++
+	e.events.push(ev)
+}
+
+// AfterTransient schedules fn delay seconds from now on a pooled Event.
+// See AtTransient.
+func (e *Engine) AfterTransient(delay Time, fn func()) {
+	e.AtTransient(e.now+delay, fn)
+}
+
+// reschedule re-arms a fired event in place with a fresh sequence number.
+// Only the tick-domain re-arm path uses it: the event must be out of the
+// heap (fired, not cancelled), and reusing the struct plus its closure is
+// what makes periodic ticking allocation-free.
+func (e *Engine) reschedule(ev *Event, t Time) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: rescheduling event at %v before now %v", t, e.now))
+	}
+	ev.at = t
+	ev.seq = e.seq
+	e.seq++
+	e.events.push(ev)
+}
+
+// Reset re-keys a scheduled event to fire at time t with a fresh sequence
+// number — observably identical to Cancel followed by re-scheduling the
+// same callback, but in place: the heap entry is repositioned with a
+// local fix-up, which costs almost nothing when t is near the old time. This
+// is the cheap path for schedulers that continually re-derive a completion
+// time (e.g. task progress under a changing DVFS level). The event must
+// still be scheduled; resetting a fired or cancelled event panics.
+func (e *Engine) Reset(ev *Event, t Time) {
+	if ev == nil || ev.index < 0 {
+		panic("sim: Reset of event not in the schedule")
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("sim: resetting event to %v before now %v", t, e.now))
+	}
+	ev.at = t
+	ev.seq = e.seq
+	e.seq++
+	e.events.fix(ev.index)
 }
 
 // Cancel removes a scheduled event. Cancelling an already-fired or
@@ -121,7 +285,7 @@ func (e *Engine) Cancel(ev *Event) {
 		return
 	}
 	ev.halted = true
-	heap.Remove(&e.events, ev.index)
+	e.events.remove(ev.index)
 }
 
 // Stop makes Run return after the event currently executing.
@@ -137,14 +301,26 @@ func (e *Engine) Run(until Time) {
 		if next.at > until {
 			break
 		}
-		heap.Pop(&e.events)
+		e.events.popMin()
 		e.now = next.at
 		e.fired++
 		next.fn()
+		e.release(next)
 	}
 	if e.now < until {
 		e.now = until
 	}
+}
+
+// release returns a fired pooled event to the free list. The closure
+// reference is dropped so the callback's captures stay collectable.
+func (e *Engine) release(ev *Event) {
+	if !ev.pooled {
+		return
+	}
+	ev.fn = nil
+	ev.pooled = false
+	e.free = append(e.free, ev)
 }
 
 // Drain runs until the event queue is empty, with a safety cap on the number
@@ -157,10 +333,11 @@ func (e *Engine) Drain(maxEvents uint64) uint64 {
 			panic(fmt.Sprintf("sim: Drain exceeded %d events; runaway process?", maxEvents))
 		}
 		next := e.events[0]
-		heap.Pop(&e.events)
+		e.events.popMin()
 		e.now = next.at
 		e.fired++
 		next.fn()
+		e.release(next)
 	}
 	return e.fired - start
 }

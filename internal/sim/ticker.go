@@ -1,13 +1,14 @@
 package sim
 
-// Ticker invokes a callback at a fixed simulated period. Thermal zone
-// integration, metric sampling and thermostat control loops are tickers.
+// Ticker invokes a callback at a fixed simulated period. It is a thin
+// compatibility wrapper over the engine's tick domains: every ticker of
+// the same period and phase shares one heap event (see TickDomain), so
+// keeping hundreds of tickers costs one heap operation per period, not one
+// per ticker. Thermal zone integration, metric sampling and thermostat
+// control loops are tickers.
 type Ticker struct {
-	engine *Engine
+	sub    *Sub
 	period Time
-	fn     func(now Time)
-	ev     *Event
-	done   bool
 }
 
 // Every starts a ticker firing first at now+period and then each period.
@@ -16,32 +17,12 @@ func Every(e *Engine, period Time, fn func(now Time)) *Ticker {
 	if period <= 0 {
 		panic("sim: ticker with non-positive period")
 	}
-	t := &Ticker{engine: e, period: period, fn: fn}
-	t.arm()
-	return t
-}
-
-func (t *Ticker) arm() {
-	t.ev = t.engine.After(t.period, func() {
-		if t.done {
-			return
-		}
-		t.fn(t.engine.Now())
-		if !t.done { // fn may have stopped us
-			t.arm()
-		}
-	})
+	return &Ticker{sub: e.Domain(period).Subscribe(fn), period: period}
 }
 
 // Stop halts the ticker. It is safe to call more than once and from within
 // the ticker's own callback.
-func (t *Ticker) Stop() {
-	if t.done {
-		return
-	}
-	t.done = true
-	t.engine.Cancel(t.ev)
-}
+func (t *Ticker) Stop() { t.sub.Stop() }
 
 // Period returns the ticker period.
 func (t *Ticker) Period() Time { return t.period }

@@ -58,7 +58,7 @@ func (g *FinanceGen) Start(e *sim.Engine, until sim.Time, submit func(b Batch)) 
 		if at > until {
 			return
 		}
-		e.At(at, func() {
+		e.AtTransient(at, func() {
 			if !g.Calendar.IsWeekend(e.Now()) {
 				submit(Batch{Job: g.makeBatch(), Due: at + g.window()})
 			}

@@ -101,7 +101,7 @@ func (g *EdgeGen) Start(e *sim.Engine, until sim.Time, submit func(r EdgeRequest
 		if at > until {
 			return
 		}
-		e.At(at, func() {
+		e.AtTransient(at, func() {
 			g.nextID++
 			r := EdgeRequest{
 				ID:       g.nextID,
@@ -132,12 +132,14 @@ type SenseLoop struct {
 	nextID uint64
 }
 
-// Start emits one request per period until `until`.
+// Start emits one request per period until `until`. Loops share the
+// engine's tick domain for their period, so a city of sense loops costs
+// one heap event per round.
 func (s *SenseLoop) Start(e *sim.Engine, until sim.Time, submit func(r EdgeRequest)) {
-	var tk *sim.Ticker
-	tk = sim.Every(e, s.Period, func(now sim.Time) {
+	var sub *sim.Sub
+	sub = e.Domain(s.Period).Subscribe(func(now sim.Time) {
 		if now > until {
-			tk.Stop()
+			sub.Stop()
 			return
 		}
 		s.nextID++
@@ -208,7 +210,7 @@ func (g *DCCGen) Start(e *sim.Engine, until sim.Time, submit func(j BatchJob)) {
 		if at > until {
 			return
 		}
-		e.At(at, func() {
+		e.AtTransient(at, func() {
 			// Thinning: accept with prob rate(at)/peak.
 			if arr.Float64() < g.rate(at)/peak {
 				submit(g.makeJob(body))
