@@ -1,6 +1,6 @@
 // Command df3bench regenerates the paper's figures and quantified claims.
-// Every experiment in DESIGN.md's per-experiment index (E1–E12) and every
-// ablation (A1–A4) is runnable by ID:
+// Every experiment in DESIGN.md's per-experiment index (E1–E18) and every
+// ablation (A1–A5) is runnable by ID:
 //
 //	df3bench                 # run everything at full fidelity
 //	df3bench -quick          # CI-speed versions (same shapes)

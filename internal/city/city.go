@@ -6,6 +6,7 @@ package city
 
 import (
 	"fmt"
+	"sort"
 
 	"df3/internal/cluster"
 	"df3/internal/core"
@@ -69,6 +70,27 @@ type Config struct {
 	MTBF sim.Time
 	// MTTR is the mean repair time (default 4 h when MTBF is set).
 	MTTR sim.Time
+	// LinkMTBF enables link-failure injection: every link whose class name
+	// is a key fails after an exponential uptime with the given mean (a
+	// renewal process per link, driven off the same fault stream as
+	// machine failures). Messages in flight on a failed link are dropped;
+	// routing heals around it while it is down.
+	LinkMTBF map[string]sim.Time
+	// LinkMTTR is the per-class mean link repair time (default 15 min for
+	// classes present in LinkMTBF).
+	LinkMTTR map[string]sim.Time
+	// LinkLoss sets a per-class message-loss probability in [0,1]: each
+	// message crossing a link of the class is dropped with the given
+	// probability, independent of link failures.
+	LinkLoss map[string]float64
+	// GatewayMTBF enables building-gateway failure when positive: each
+	// building's gateway pair (edge + DCC) fails together after an
+	// exponential uptime with this mean, severing the whole building, and
+	// recovers after an exponential repair time of mean GatewayMTTR
+	// (default 30 min).
+	GatewayMTBF sim.Time
+	// GatewayMTTR is the mean gateway repair time.
+	GatewayMTTR sim.Time
 	// Collaborative switches each heater building to the §II-C
 	// collaborative heating request: its rooms coordinate to hold the
 	// *mean* building temperature at ComfortSetpoint instead of following
@@ -159,6 +181,12 @@ type City struct {
 	HeatDemandSeries metrics.Series
 	// Outages counts machine failures injected so far.
 	Outages metrics.Counter
+	// LinkOutages and GatewayOutages count injected network failures.
+	LinkOutages    metrics.Counter
+	GatewayOutages metrics.Counter
+	// MessagesLost counts messages the fabric dropped (random loss, dead
+	// links, severed nodes).
+	MessagesLost metrics.Counter
 
 	stream *rng.Stream
 	faults *rng.Stream
@@ -173,6 +201,9 @@ func Build(cfg Config) *City {
 	net := network.NewFabric(e)
 	if cfg.MTBF > 0 && cfg.MTTR <= 0 {
 		cfg.MTTR = 4 * sim.Hour
+	}
+	if cfg.GatewayMTBF > 0 && cfg.GatewayMTTR <= 0 {
+		cfg.GatewayMTTR = 30 * sim.Minute
 	}
 	c := &City{
 		Cfg:     cfg,
@@ -213,6 +244,20 @@ func Build(cfg Config) *City {
 	c.MW.PeerAll()
 	if cfg.DatacenterNodes > 0 {
 		c.MW.SetDatacenter(c.DCNode, dcMachines)
+	}
+
+	net.OnLoss = func(network.NodeID, network.NodeID, units.Byte) { c.MessagesLost.Inc() }
+	if lossOn := c.armLoss(); lossOn {
+		// Forked only when loss is actually enabled: Fork advances the
+		// parent stream, and the machine-fault draw sequence must stay
+		// identical when the chaos knobs are off.
+		net.SetLossRNG(c.faults.Fork(101))
+	}
+	if len(cfg.LinkMTBF) > 0 {
+		c.armLinkFaults()
+	}
+	if cfg.GatewayMTBF > 0 {
+		c.armGatewayFaults()
 	}
 
 	if cfg.SampleEvery > 0 {
@@ -412,6 +457,92 @@ func (c *City) armFaults(cl *core.Cluster, w *core.Worker) {
 		})
 	}
 	up()
+}
+
+// armLoss installs the per-class random-loss probabilities and reports
+// whether any class actually has loss enabled (so the caller only forks
+// the loss RNG when needed).
+func (c *City) armLoss() bool {
+	if len(c.Cfg.LinkLoss) == 0 {
+		return false
+	}
+	classes := make([]string, 0, len(c.Cfg.LinkLoss))
+	for k := range c.Cfg.LinkLoss {
+		classes = append(classes, k)
+	}
+	sort.Strings(classes)
+	on := false
+	for _, k := range classes {
+		if p := c.Cfg.LinkLoss[k]; p > 0 {
+			c.Net.SetLoss(k, p)
+			on = true
+		}
+	}
+	return on
+}
+
+// armLinkFaults runs a fail/repair renewal process on every link whose
+// class appears in LinkMTBF. Pairs() returns links in wiring order, so
+// the renewal schedule is deterministic for a given seed.
+func (c *City) armLinkFaults() {
+	for _, p := range c.Net.Pairs() {
+		l := c.Net.Link(p[0], p[1])
+		mtbf := c.Cfg.LinkMTBF[l.Class]
+		if mtbf <= 0 {
+			continue
+		}
+		mttr := c.Cfg.LinkMTTR[l.Class]
+		if mttr <= 0 {
+			mttr = 15 * sim.Minute
+		}
+		c.armLinkFault(p[0], p[1], mtbf, mttr)
+	}
+}
+
+// armLinkFault is one link's renewal process.
+func (c *City) armLinkFault(a, b network.NodeID, mtbf, mttr sim.Time) {
+	var up, down func()
+	up = func() {
+		c.Engine.AfterTransient(c.faults.Exp(1/float64(mtbf)), func() {
+			c.LinkOutages.Inc()
+			c.Net.FailLink(a, b)
+			down()
+		})
+	}
+	down = func() {
+		c.Engine.AfterTransient(c.faults.Exp(1/float64(mttr)), func() {
+			c.Net.RestoreLink(a, b)
+			up()
+		})
+	}
+	up()
+}
+
+// armGatewayFaults runs a renewal process per building that fails the
+// edge and DCC gateways together — the whole-building outage of §III-B's
+// network question: rooms keep heating (the thermal loops are local) but
+// the building drops off the compute fabric until repair.
+func (c *City) armGatewayFaults() {
+	for _, b := range c.Buildings {
+		edge, dcc := b.Cluster.EdgeGW, b.Cluster.DCCGW
+		var up, down func()
+		up = func() {
+			c.Engine.AfterTransient(c.faults.Exp(1/float64(c.Cfg.GatewayMTBF)), func() {
+				c.GatewayOutages.Inc()
+				c.Net.FailNode(edge)
+				c.Net.FailNode(dcc)
+				down()
+			})
+		}
+		down = func() {
+			c.Engine.AfterTransient(c.faults.Exp(1/float64(c.Cfg.GatewayMTTR)), func() {
+				c.Net.RestoreNode(edge)
+				c.Net.RestoreNode(dcc)
+				up()
+			})
+		}
+		up()
+	}
 }
 
 // Run advances the scenario to `until`.

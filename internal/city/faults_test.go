@@ -59,11 +59,89 @@ func TestFaultInjectionComfortSurvives(t *testing.T) {
 	}
 }
 
+// TestBoilerFaultSurvived: armFaults arms the boiler worker like any
+// other machine. When the one 200-CPU boiler of a plant building goes
+// down, the building's heat loop must ride through on thermal inertia and
+// the DCC backlog stranded on the boiler must drain once it returns.
+func TestBoilerFaultSurvived(t *testing.T) {
+	cfg := smallCfg()
+	cfg.BoilerBuildings = 1
+	cfg.MTBF = 12 * sim.Hour
+	cfg.MTTR = sim.Hour
+	c := Build(cfg)
+	c.StartDCCTraffic(sim.Day, 1)
+	c.Run(4 * sim.Day)
+	if c.Outages.Value() == 0 {
+		t.Fatal("no outages injected with a 12h MTBF")
+	}
+	boiler := c.Buildings[0]
+	if boiler.Boiler == nil {
+		t.Fatal("building 0 is not a boiler plant")
+	}
+	// Heat loop survives: rooms heated by the failed boiler stay mostly
+	// in band (the water loop and building mass carry the 1h repairs).
+	for _, r := range boiler.Rooms {
+		if got := r.Comfort.InBandFraction(); got < 0.5 {
+			t.Errorf("boiler room b%d-r%d comfort %v; heat loop collapsed", r.Building, r.Index, got)
+		}
+	}
+	// DCC backlog survives: the cluster's share of jobs completes and
+	// nothing is left assigned or queued on the repaired boiler.
+	if c.MW.DCC.JobsDone.Value() == 0 {
+		t.Fatal("no jobs completed under boiler failures")
+	}
+	if got := boiler.Cluster.DCCQueueLen(); got != 0 {
+		t.Errorf("%d tasks stuck in the boiler cluster queue", got)
+	}
+	for _, w := range boiler.Cluster.Workers() {
+		if got := w.M.AssignedTasks(); got != 0 {
+			t.Errorf("%d tasks stuck on the boiler after drain", got)
+		}
+	}
+}
+
 func TestNoFaultsByDefault(t *testing.T) {
 	c := Build(smallCfg())
 	c.Run(2 * sim.Day)
 	if c.Outages.Value() != 0 {
 		t.Error("outages injected with MTBF disabled")
+	}
+}
+
+// TestLinkAndGatewayFaultInjection drives the network-chaos knobs through
+// the scenario layer and checks the request ledgers still balance.
+func TestLinkAndGatewayFaultInjection(t *testing.T) {
+	cfg := smallCfg()
+	cfg.LinkMTBF = map[string]sim.Time{"metro": 6 * sim.Hour, "lan": 12 * sim.Hour}
+	cfg.LinkLoss = map[string]float64{"lan": 0.01, "metro": 0.02}
+	cfg.GatewayMTBF = 12 * sim.Hour
+	cfg.Middleware.ResponseTimeout = 1
+	cfg.Middleware.EdgeMaxRetries = 3
+	cfg.Middleware.DCCMaxRetries = 2
+	cfg.Middleware.DCCRetryBackoff = 0.5
+	c := Build(cfg)
+	horizon := 2 * sim.Day
+	c.StartEdgeTraffic(horizon, 1)
+	c.StartDCCTraffic(horizon, 1)
+	c.Run(horizon + 6*sim.Hour)
+	if c.LinkOutages.Value() == 0 {
+		t.Error("no link outages injected")
+	}
+	if c.GatewayOutages.Value() == 0 {
+		t.Error("no gateway outages injected")
+	}
+	if c.MessagesLost.Value() == 0 {
+		t.Error("no messages lost under 1-2% loss")
+	}
+	e := &c.MW.Edge
+	if e.Submitted.Value() != e.Served.Value()+e.Rejected.Value() {
+		t.Errorf("edge conservation broken: %d != %d + %d",
+			e.Submitted.Value(), e.Served.Value(), e.Rejected.Value())
+	}
+	d := &c.MW.DCC
+	if d.JobsSubmitted.Value() != d.JobsDone.Value()+d.JobsLost.Value() {
+		t.Errorf("job conservation broken: %d != %d + %d",
+			d.JobsSubmitted.Value(), d.JobsDone.Value(), d.JobsLost.Value())
 	}
 }
 

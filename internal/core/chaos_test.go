@@ -1,0 +1,216 @@
+package core
+
+import (
+	"testing"
+
+	"df3/internal/offload"
+	"df3/internal/rng"
+	"df3/internal/server"
+	"df3/internal/sim"
+	"df3/internal/workload"
+)
+
+// TestReservationRaceWorkerFails pins the in-flight-input race: the only
+// worker fails after shipEdge reserved its slot but before the input lands.
+// The landing must release the reservation and re-enter decide — not panic
+// in execute — and the request must still be served once the worker (or
+// the datacenter) picks it up.
+func TestReservationRaceWorkerFails(t *testing.T) {
+	r := newRig(t, DefaultConfig(), 1, 1)
+	c := r.mw.Clusters()[0]
+	w := c.Workers()[0]
+	r.mw.SubmitEdge(c, r.devices[0], edgeReqOf(0.05, 10))
+	// decide runs at ~3.6 ms (LAN transfer + gateway overhead); the input
+	// reaches the worker at ~4.3 ms. Fail in between, with the
+	// reservation outstanding.
+	r.e.At(0.004, func() {
+		if w.reserved != 1 {
+			t.Fatalf("reserved = %d at failure time, want 1 (race window missed)", w.reserved)
+		}
+		c.FailWorker(w)
+	})
+	r.e.At(1, func() { c.RestoreWorker(w) })
+	r.e.Run(sim.Hour)
+	if w.reserved != 0 {
+		t.Errorf("reserved = %d after drain, want 0", w.reserved)
+	}
+	if got := r.mw.Edge.Served.Value(); got != 1 {
+		t.Errorf("served = %d, want 1 (rejected = %d)", got, r.mw.Edge.Rejected.Value())
+	}
+}
+
+// TestDCCLostJobCountedAndNotified pins the satellite fix: a job whose
+// payload cannot reach the gateway must be counted in JobsLost and its
+// completion callback must fire — not silently zero j.pending.
+func TestDCCLostJobCountedAndNotified(t *testing.T) {
+	r := newRig(t, DefaultConfig(), 1, 1)
+	c := r.mw.Clusters()[0]
+	r.net.FailNode(c.DCCGW)
+	notified := false
+	r.mw.SubmitDCCNotify(c, r.op, workload.BatchJob{
+		ID: 1, TaskWork: []float64{10, 10}, Input: 1e6, Output: 1e6,
+	}, func(sim.Time) { notified = true })
+	r.e.Run(60)
+	if !notified {
+		t.Error("completion callback never fired for the lost job")
+	}
+	if got := r.mw.DCC.JobsLost.Value(); got != 1 {
+		t.Errorf("JobsLost = %d, want 1", got)
+	}
+	if got := r.mw.DCC.JobsSubmitted.Value(); got != 1 {
+		t.Errorf("JobsSubmitted = %d, want 1", got)
+	}
+	if r.mw.DCC.JobsDone.Value() != 0 || r.mw.DCC.TasksDone.Value() != 0 {
+		t.Error("lost job credited work")
+	}
+}
+
+// TestDCCRetryBackoffRecovers: with a retry budget, a payload that fails
+// while the gateway is down is re-sent on the backoff ladder and the job
+// completes once the outage heals.
+func TestDCCRetryBackoffRecovers(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DCCMaxRetries = 3
+	cfg.DCCRetryBackoff = 1
+	r := newRig(t, cfg, 1, 1)
+	c := r.mw.Clusters()[0]
+	r.net.FailNode(c.DCCGW)
+	r.e.At(0.5, func() { r.net.RestoreNode(c.DCCGW) })
+	r.mw.SubmitDCCNotify(c, r.op, workload.BatchJob{
+		ID: 1, TaskWork: []float64{5}, Input: 1e6, Output: 1e6,
+	}, nil)
+	r.e.Run(sim.Hour)
+	if got := r.mw.DCC.JobsDone.Value(); got != 1 {
+		t.Errorf("JobsDone = %d, want 1 after retry", got)
+	}
+	if r.mw.DCC.JobsLost.Value() != 0 {
+		t.Error("job counted lost despite successful retry")
+	}
+	if r.mw.DCC.SubmitRetries.Value() == 0 {
+		t.Error("no submit retries recorded")
+	}
+}
+
+// TestResponseTimeoutEscalates: a request stuck behind a jammed cluster
+// climbs the ladder on each timeout — local re-decide first, then a
+// horizontal hop to a free neighbour, where it is served.
+func TestResponseTimeoutEscalates(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Offload = offload.DelayPolicy{}
+	cfg.ResponseTimeout = 0.5
+	cfg.EdgeMaxRetries = 3
+	r := newRig(t, cfg, 2, 1)
+	c0 := r.mw.Clusters()[0]
+	jamWorker(c0.Workers()[0])
+	r.mw.SubmitEdge(c0, r.devices[0], edgeReqOf(0.05, 30))
+	r.e.Run(60)
+	if got := r.mw.Edge.Served.Value(); got != 1 {
+		t.Fatalf("served = %d, want 1 via escalation (rejected = %d)",
+			got, r.mw.Edge.Rejected.Value())
+	}
+	if r.mw.Edge.TimedOut.Value() < 2 {
+		t.Errorf("TimedOut = %d, want >= 2 (local rung, then horizontal)", r.mw.Edge.TimedOut.Value())
+	}
+	if r.mw.Edge.Horizontal.Value() != 1 {
+		t.Errorf("Horizontal = %d, want 1", r.mw.Edge.Horizontal.Value())
+	}
+}
+
+// TestRetryBudgetExhaustionRejects: with every service point unreachable
+// for good, the ladder terminates in a rejection — requests never hang.
+func TestRetryBudgetExhaustionRejects(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ResponseTimeout = 0.5
+	cfg.EdgeMaxRetries = 2
+	r := newRig(t, cfg, 1, 1)
+	c := r.mw.Clusters()[0]
+	r.net.FailNode(c.EdgeGW)
+	r.mw.SubmitEdge(c, r.devices[0], edgeReqOf(0.05, 30))
+	r.e.Run(60)
+	if got := r.mw.Edge.Rejected.Value(); got != 1 {
+		t.Errorf("rejected = %d, want 1 after budget exhaustion", got)
+	}
+	if got := r.mw.Edge.Submitted.Value(); got != r.mw.Edge.Served.Value()+r.mw.Edge.Rejected.Value() {
+		t.Errorf("conservation broken: submitted %d != served + rejected", got)
+	}
+}
+
+// TestEdgeConservationUnderChaos is the tier-1 conservation check under
+// full network chaos: random loss on every link class, a flapping metro
+// link and a gateway outage mid-run. Every submitted request must end
+// served or rejected, every job done or lost, all queues drained and all
+// reservations released.
+func TestEdgeConservationUnderChaos(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ResponseTimeout = 0.5
+	cfg.EdgeMaxRetries = 3
+	cfg.DCCMaxRetries = 2
+	cfg.DCCRetryBackoff = 0.5
+	r := newRig(t, cfg, 2, 2)
+	r.net.SetLoss("lan", 0.05)
+	r.net.SetLoss("metro", 0.1)
+	r.net.SetLoss("fibre", 0.1)
+	r.net.SetLossRNG(rng.New(11))
+	c0, c1 := r.mw.Clusters()[0], r.mw.Clusters()[1]
+	// Metro link flaps; cluster 1's edge gateway dies and heals.
+	r.e.At(3, func() { r.net.FailLink(c0.EdgeGW, c1.EdgeGW) })
+	r.e.At(8, func() { r.net.RestoreLink(c0.EdgeGW, c1.EdgeGW) })
+	r.e.At(10, func() { r.net.FailNode(c1.EdgeGW) })
+	r.e.At(14, func() { r.net.RestoreNode(c1.EdgeGW) })
+	const n = 100
+	for i := 0; i < n; i++ {
+		i := i
+		cl := r.mw.Clusters()[i%2]
+		dev := r.devices[i%2]
+		r.e.At(sim.Time(i)*0.2, func() {
+			r.mw.SubmitEdge(cl, dev, edgeReqOf(0.05, 2))
+		})
+	}
+	const jobs = 10
+	for i := 0; i < jobs; i++ {
+		i := i
+		cl := r.mw.Clusters()[i%2]
+		r.e.At(sim.Time(i)*2, func() {
+			r.mw.SubmitDCC(cl, r.op, workload.BatchJob{
+				ID: uint64(i + 1), TaskWork: []float64{20, 20}, Input: 1e6, Output: 1e6,
+			})
+		})
+	}
+	r.e.Run(6 * sim.Hour)
+	e := &r.mw.Edge
+	if e.Submitted.Value() != int64(n) {
+		t.Fatalf("submitted = %d, want %d", e.Submitted.Value(), n)
+	}
+	if e.Served.Value()+e.Rejected.Value() != int64(n) {
+		t.Errorf("conservation broken: served %d + rejected %d != %d",
+			e.Served.Value(), e.Rejected.Value(), n)
+	}
+	d := &r.mw.DCC
+	if d.JobsSubmitted.Value() != jobs {
+		t.Fatalf("jobs submitted = %d, want %d", d.JobsSubmitted.Value(), jobs)
+	}
+	if d.JobsDone.Value()+d.JobsLost.Value() != jobs {
+		t.Errorf("job conservation broken: done %d + lost %d != %d",
+			d.JobsDone.Value(), d.JobsLost.Value(), jobs)
+	}
+	for ci, c := range r.mw.Clusters() {
+		if c.EdgeQueueLen() != 0 {
+			t.Errorf("cluster %d: %d requests stuck in edge queue", ci, c.EdgeQueueLen())
+		}
+		for wi, w := range c.Workers() {
+			if w.reserved != 0 {
+				t.Errorf("cluster %d worker %d: %d reservations leaked", ci, wi, w.reserved)
+			}
+		}
+	}
+	if e.Retries.Value() == 0 {
+		t.Error("chaos run recorded no retries; knobs not exercised")
+	}
+}
+
+// jamWorker fills every slot with effectively-infinite edge work.
+func jamWorker(w *Worker) {
+	for w.M.FreeSlots() > 0 {
+		w.M.Start(&server.Task{Work: 1e9, Class: classEdge})
+	}
+}

@@ -146,21 +146,29 @@ func (c *Cluster) victim() (*Worker, *server.Task) {
 func (c *Cluster) dispatch() {
 	now := c.mw.Engine.Now()
 	for c.edgeQ.Len() > 0 && c.freeEdgeSlots() > 0 {
-		if c.mw.cfg.DropExpired {
+		head := c.edgeQ.Peek()
+		req := head.Ctx.(*edgeReq)
+		if req.done {
+			// A retry (or timeout escalation) beat this queued copy to a
+			// terminal state; discard it.
+			c.edgeQ.Pop()
+			req.queued = false
+			continue
+		}
+		if c.mw.cfg.DropExpired && head.Deadline != 0 && head.Deadline < now {
 			// Discard queued requests that can no longer make it.
-			head := c.edgeQ.Peek()
-			if head.Deadline != 0 && head.Deadline < now {
-				c.edgeQ.Pop()
-				c.mw.rejectEdge(head.Ctx.(*edgeReq))
-				continue
-			}
+			c.edgeQ.Pop()
+			req.queued = false
+			c.mw.rejectEdge(req)
+			continue
 		}
 		w := c.pickEdgeWorker()
 		if w == nil {
 			break
 		}
-		it := c.edgeQ.Pop()
-		c.mw.runEdgeOn(c, w, it.Ctx.(*edgeReq))
+		c.edgeQ.Pop()
+		req.queued = false
+		c.mw.runEdgeOn(c, w, req)
 	}
 	for c.dccQ.Len() > 0 {
 		w := c.pickDCCWorker()
@@ -210,14 +218,22 @@ func (c *Cluster) canPreempt() bool {
 
 // FailWorker takes a worker out of service: its tasks are evacuated, DCC
 // tasks re-queue locally with their remaining work, and edge tasks are
-// lost (the device's connection died with the machine) and counted as
-// rejected. Pair with RestoreWorker when the machine is repaired.
+// lost with the machine — they re-enter the retry ladder when a retry
+// budget is configured, and are terminally rejected otherwise. Slots
+// reserved for inputs still on the wire stay reserved: the input's
+// delivery (or loss) callback releases them and re-decides, so the
+// reservation count self-reconciles. Pair with RestoreWorker when the
+// machine is repaired.
 func (c *Cluster) FailWorker(w *Worker) {
 	evacuated := w.M.Evacuate()
 	w.M.SetOffline(true)
 	for _, t := range evacuated {
 		if t.Class == classDCC {
-			c.dccQ.Push(&sched.Item{Task: t, Enqueued: c.mw.Engine.Now()})
+			c.dccQ.Push(&sched.Item{Task: t, Enqueued: c.mw.Engine.Now(), Ctx: t.Ctx})
+			continue
+		}
+		if req, okReq := t.Ctx.(*edgeReq); okReq {
+			c.mw.loseEdge(req)
 		} else {
 			c.mw.Edge.Rejected.Inc()
 		}

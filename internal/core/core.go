@@ -100,6 +100,24 @@ type Config struct {
 	// requests in surplus refuses further forwards, the fairness control
 	// of [16]. Zero means unlimited cooperation.
 	CoopDebtLimit int64
+	// ResponseTimeout, when positive, arms a per-request timer at
+	// submission (and on every retry): an edge request not served by then
+	// re-enters the decision ladder with escalation — local re-decide,
+	// then horizontal, then vertical, then reject. Zero disables the
+	// timer, reproducing the fail-fast seed behaviour exactly.
+	ResponseTimeout sim.Time
+	// EdgeMaxRetries bounds how many times a timed-out or wire-lost edge
+	// request is retried before it is terminally rejected. Zero means a
+	// single attempt (any loss or timeout rejects immediately).
+	EdgeMaxRetries int
+	// DCCMaxRetries bounds re-submissions of a DCC job payload whose
+	// transfer to the gateway failed (unreachable or lost on the wire).
+	// Zero means a failed submission loses the job (counted in
+	// DCC.JobsLost, with the completion callback still fired).
+	DCCMaxRetries int
+	// DCCRetryBackoff is the base of the exponential backoff between DCC
+	// submission attempts: attempt n waits backoff·2ⁿ.
+	DCCRetryBackoff sim.Time
 }
 
 // DefaultConfig is the reference configuration: shared workers, smart
@@ -141,17 +159,27 @@ func (w *Worker) FreeSlots() int {
 type EdgeStats struct {
 	// Latency samples end-to-end response times of served requests.
 	Latency metrics.Sample
+	// Submitted counts every request injected at the platform edge. The
+	// conservation invariant is Submitted == Served + Rejected once the
+	// platform drains — nothing silent, even under network chaos.
+	Submitted metrics.Counter
 	// Served counts requests completed (regardless of deadline).
 	Served metrics.Counter
 	// Missed counts served requests that finished past their deadline.
 	Missed metrics.Counter
-	// Rejected counts requests dropped by policy or expiry.
+	// Rejected counts requests dropped by policy, expiry, network
+	// unreachability or retry-budget exhaustion.
 	Rejected metrics.Counter
 	// Preemptions, Horizontal, Vertical count offload actions taken.
 	Preemptions, Horizontal, Vertical metrics.Counter
 	// DirectFallbacks counts direct requests that fell back to the
 	// gateway because the pinned worker was unavailable.
 	DirectFallbacks metrics.Counter
+	// Retries counts re-submissions after a timeout or wire loss.
+	Retries metrics.Counter
+	// TimedOut counts ResponseTimeout expiries (a request may time out
+	// several times as it climbs the escalation ladder).
+	TimedOut metrics.Counter
 }
 
 // Arrived returns the total number of edge requests seen.
@@ -176,6 +204,16 @@ type DCCStats struct {
 	TasksDone metrics.Counter
 	// JobsDone counts completed jobs.
 	JobsDone metrics.Counter
+	// JobsSubmitted counts non-empty jobs injected at the platform. The
+	// conservation invariant is JobsSubmitted == JobsDone + JobsLost once
+	// the platform drains.
+	JobsSubmitted metrics.Counter
+	// JobsLost counts jobs whose payload never reached a gateway after
+	// exhausting the retry budget. Their completion callback fires (so
+	// deadline workloads observe the failure) but no work is credited.
+	JobsLost metrics.Counter
+	// SubmitRetries counts payload re-submissions on the backoff ladder.
+	SubmitRetries metrics.Counter
 	// WorkDone accumulates completed core-seconds.
 	WorkDone float64
 }
@@ -200,6 +238,19 @@ type edgeReq struct {
 	arrival  sim.Time // first arrival at the platform edge
 	fwd      bool     // already took a horizontal hop
 	home     *Cluster // cluster that first received it (stats owner)
+	// done marks the request terminal (served or rejected). Retries can
+	// leave stale copies in queues or on the wire; the first terminal
+	// transition wins and every later one is ignored, which is what keeps
+	// Submitted == Served + Rejected exact.
+	done bool
+	// queued guards against the same request occupying two queue slots
+	// when a retry races a still-enqueued copy.
+	queued bool
+	// attempts counts timeouts and wire losses consumed so far; it drives
+	// the escalation ladder and is bounded by EdgeMaxRetries.
+	attempts int
+	// timer is the armed response timeout, cancelled on terminal.
+	timer *sim.Event
 }
 
 // dccJob is the in-flight state of one batch job.

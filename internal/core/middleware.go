@@ -43,7 +43,14 @@ type Middleware struct {
 }
 
 // completeEdge finalises a served request: stats, deadline check, trace.
+// Terminal transitions are idempotent: a retry that raced the original
+// copy settles on whichever finished first.
 func (mw *Middleware) completeEdge(req *edgeReq) {
+	if req.done {
+		return
+	}
+	req.done = true
+	mw.disarmTimeout(req)
 	latency := mw.Engine.Now() - req.arrival
 	mw.Edge.Latency.Observe(latency)
 	mw.Edge.Served.Inc()
@@ -58,11 +65,115 @@ func (mw *Middleware) completeEdge(req *edgeReq) {
 	}
 }
 
-// rejectEdge finalises a dropped request.
+// rejectEdge finalises a dropped request (idempotent, like completeEdge).
 func (mw *Middleware) rejectEdge(req *edgeReq) {
+	if req.done {
+		return
+	}
+	req.done = true
+	mw.disarmTimeout(req)
 	mw.Edge.Rejected.Inc()
 	if mw.Tracer != nil {
 		mw.Tracer.Add(mw.Engine.Now(), "edge_rejected", req.id, 0)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Resilience: response timeouts, bounded retries, escalation
+// ---------------------------------------------------------------------------
+
+// armTimeout starts (or restarts) the request's response timer.
+func (mw *Middleware) armTimeout(req *edgeReq) {
+	if mw.cfg.ResponseTimeout <= 0 || req.done {
+		return
+	}
+	if req.timer != nil {
+		mw.Engine.Cancel(req.timer)
+	}
+	req.timer = mw.Engine.After(mw.cfg.ResponseTimeout, func() { mw.timeoutEdge(req) })
+}
+
+// disarmTimeout cancels the request's response timer.
+func (mw *Middleware) disarmTimeout(req *edgeReq) {
+	if req.timer != nil {
+		mw.Engine.Cancel(req.timer)
+		req.timer = nil
+	}
+}
+
+// timeoutEdge fires when a request outlived its response timeout: the
+// request (wherever its last copy died — a lost message, a failed worker,
+// a queue behind a dead gateway) re-enters the decision ladder one rung
+// up: local re-decide, then horizontal, then vertical, then reject.
+func (mw *Middleware) timeoutEdge(req *edgeReq) {
+	req.timer = nil
+	if req.done {
+		return
+	}
+	mw.Edge.TimedOut.Inc()
+	req.attempts++
+	if req.attempts > mw.cfg.EdgeMaxRetries {
+		mw.rejectEdge(req)
+		return
+	}
+	mw.Edge.Retries.Inc()
+	mw.armTimeout(req)
+	mw.escalate(req)
+}
+
+// escalate routes a retried request per its attempt count. Rungs that
+// cannot apply (no neighbours, no datacenter) fall through to the queue
+// via the forwarders' own fallbacks; the attempt bound still terminates
+// the ladder.
+func (mw *Middleware) escalate(req *edgeReq) {
+	c := req.home
+	switch {
+	case req.attempts <= 1:
+		mw.decide(c, req)
+	case req.attempts == 2 && len(c.neighbors) > 0:
+		mw.forwardHorizontal(c, req)
+	default:
+		mw.forwardVertical(c, req)
+	}
+}
+
+// loseEdge handles a request whose message died on the wire: retry from
+// the origin within the budget, terminal reject beyond it. Without chaos
+// knobs the fabric never drops, so this path is unreachable in the
+// deterministic baseline.
+func (mw *Middleware) loseEdge(req *edgeReq) {
+	if req.done {
+		return
+	}
+	req.attempts++
+	if req.attempts > mw.cfg.EdgeMaxRetries {
+		mw.rejectEdge(req)
+		return
+	}
+	mw.Edge.Retries.Inc()
+	mw.armTimeout(req)
+	mw.resubmit(req)
+}
+
+// resubmit re-enters a request from its origin device toward its home
+// gateway — the client retransmit of the §III-B middleware story.
+func (mw *Middleware) resubmit(req *edgeReq) {
+	c := req.home
+	ok := mw.Net.SendEx(req.origin, c.EdgeGW, req.input, func(sim.Time) {
+		mw.Engine.After(mw.cfg.GatewayOverhead, func() { mw.decide(c, req) })
+	}, func() { mw.loseEdge(req) })
+	if !ok {
+		mw.waitOrReject(req)
+	}
+}
+
+// waitOrReject handles a request that cannot currently reach any service
+// point (severed gateway): with a response timer armed it simply waits —
+// the timer re-escalates once the outage may have healed — otherwise it is
+// rejected on the spot, the fail-fast seed behaviour.
+func (mw *Middleware) waitOrReject(req *edgeReq) {
+	if req.timer == nil {
+		mw.rejectEdge(req)
 	}
 }
 
@@ -174,13 +285,15 @@ func (mw *Middleware) SubmitEdge(c *Cluster, device network.NodeID, r workload.E
 	if r.Deadline > 0 {
 		req.deadline = mw.Engine.Now() + r.Deadline
 	}
+	mw.Edge.Submitted.Inc()
+	mw.armTimeout(req)
 	// Device → gateway transfer, then the gateway's processing delay,
 	// then decide.
-	ok := mw.Net.Send(device, c.EdgeGW, r.Input, func(sim.Time) {
+	ok := mw.Net.SendEx(device, c.EdgeGW, r.Input, func(sim.Time) {
 		mw.Engine.After(mw.cfg.GatewayOverhead, func() { mw.decide(c, req) })
-	})
+	}, func() { mw.loseEdge(req) })
 	if !ok {
-		mw.Edge.Rejected.Inc()
+		mw.waitOrReject(req)
 	}
 }
 
@@ -203,23 +316,25 @@ func (mw *Middleware) SubmitEdgeDirect(c *Cluster, device network.NodeID, w *Wor
 	if r.Deadline > 0 {
 		req.deadline = mw.Engine.Now() + r.Deadline
 	}
-	ok := mw.Net.Send(device, w.Node, r.Input, func(sim.Time) {
-		if w.FreeSlots() > 0 {
+	mw.Edge.Submitted.Inc()
+	mw.armTimeout(req)
+	ok := mw.Net.SendEx(device, w.Node, r.Input, func(sim.Time) {
+		if !w.M.Offline() && w.FreeSlots() > 0 {
 			mw.execute(c, w, req, w.Node) // respond straight to the device
 			return
 		}
 		mw.Edge.DirectFallbacks.Inc()
 		req.flow = FlowEdgeIndirect
 		// Forward from the worker to the gateway and decide there.
-		ok := mw.Net.Send(w.Node, c.EdgeGW, r.Input, func(sim.Time) {
+		ok := mw.Net.SendEx(w.Node, c.EdgeGW, r.Input, func(sim.Time) {
 			mw.Engine.After(mw.cfg.GatewayOverhead, func() { mw.decide(c, req) })
-		})
+		}, func() { mw.loseEdge(req) })
 		if !ok {
-			mw.Edge.Rejected.Inc()
+			mw.waitOrReject(req)
 		}
-	})
+	}, func() { mw.loseEdge(req) })
 	if !ok {
-		mw.Edge.Rejected.Inc()
+		mw.waitOrReject(req)
 	}
 }
 
@@ -248,8 +363,14 @@ func (mw *Middleware) decide(c *Cluster, req *edgeReq) {
 	}
 }
 
-// enqueueEdge pushes the request into c's edge queue.
+// enqueueEdge pushes the request into c's edge queue. A request already
+// waiting in some queue is not duplicated: the retry settles on the
+// existing copy.
 func (mw *Middleware) enqueueEdge(c *Cluster, req *edgeReq) {
+	if req.queued || req.done {
+		return
+	}
+	req.queued = true
 	// The queue discipline needs a task handle for SJF sizing.
 	t := &server.Task{ID: req.id, Work: req.work, Class: classEdge}
 	c.edgeQ.Push(&sched.Item{Task: t, Enqueued: mw.Engine.Now(), Deadline: req.deadline, Ctx: req})
@@ -262,44 +383,59 @@ func (mw *Middleware) runEdgeOn(c *Cluster, w *Worker, req *edgeReq) {
 }
 
 // shipEdge transfers the input to a worker whose slot is already reserved,
-// then executes. The reservation is released when the input lands.
+// then executes. The reservation is released when the input lands (or dies
+// on the wire).
 func (mw *Middleware) shipEdge(c *Cluster, w *Worker, req *edgeReq) {
-	ok := mw.Net.Send(c.EdgeGW, w.Node, req.input, func(sim.Time) {
+	ok := mw.Net.SendEx(c.EdgeGW, w.Node, req.input, func(sim.Time) {
 		w.reserved--
-		if w.M.FreeSlots() > 0 {
+		if req.done {
+			return
+		}
+		if !w.M.Offline() && w.M.FreeSlots() > 0 {
 			mw.execute(c, w, req, c.EdgeGW)
 			return
 		}
-		// The slot vanished while the input was in flight; re-decide.
+		// The slot vanished while the input was in flight (another start,
+		// or the worker failed under us); re-decide.
 		mw.decide(c, req)
+	}, func() {
+		w.reserved--
+		if req.done {
+			return
+		}
+		mw.loseEdge(req)
 	})
 	if !ok {
 		w.reserved--
-		mw.Edge.Rejected.Inc()
+		mw.waitOrReject(req)
 	}
 }
 
 // execute runs the request on the worker and routes the response back to
 // the origin via `via` (gateway for indirect, worker-direct otherwise).
 func (mw *Middleware) execute(c *Cluster, w *Worker, req *edgeReq, via network.NodeID) {
-	task := &server.Task{ID: req.id, Work: req.work, Class: classEdge}
+	task := &server.Task{ID: req.id, Work: req.work, Class: classEdge, Ctx: req}
 	task.OnDone = func(at sim.Time) {
+		// A lost response re-enters the retry ladder like any other wire
+		// loss: the work is redone, which is the at-least-once semantics a
+		// client retransmit gives you.
 		respond := func(sim.Time) { mw.completeEdge(req) }
+		lost := func() { mw.loseEdge(req) }
 		if via == w.Node {
 			// Direct: worker answers the device itself.
-			if !mw.Net.Send(w.Node, req.origin, req.output, respond) {
-				mw.rejectEdge(req)
+			if !mw.Net.SendEx(w.Node, req.origin, req.output, respond, lost) {
+				mw.waitOrReject(req)
 			}
 			return
 		}
 		// Indirect: worker → gateway → device.
-		ok := mw.Net.Send(w.Node, via, req.output, func(sim.Time) {
-			if !mw.Net.Send(via, req.origin, req.output, respond) {
-				mw.rejectEdge(req)
+		ok := mw.Net.SendEx(w.Node, via, req.output, func(sim.Time) {
+			if !mw.Net.SendEx(via, req.origin, req.output, respond, lost) {
+				mw.waitOrReject(req)
 			}
-		})
+		}, lost)
 		if !ok {
-			mw.rejectEdge(req)
+			mw.waitOrReject(req)
 		}
 	}
 	if !w.M.Start(task) {
@@ -351,13 +487,13 @@ func (mw *Middleware) forwardHorizontal(c *Cluster, req *edgeReq) {
 	best.fwdIn++
 	req.fwd = true
 	target := best
-	ok := mw.Net.Send(c.EdgeGW, target.EdgeGW, req.input, func(sim.Time) {
+	ok := mw.Net.SendEx(c.EdgeGW, target.EdgeGW, req.input, func(sim.Time) {
 		// Responses will flow back through the remote gateway; the origin
 		// stays the device, so the path is worker → remote GW → device.
 		mw.Engine.After(mw.cfg.GatewayOverhead, func() { mw.decide(target, req) })
-	})
+	}, func() { mw.loseEdge(req) })
 	if !ok {
-		mw.Edge.Rejected.Inc()
+		mw.waitOrReject(req)
 	}
 }
 
@@ -368,26 +504,30 @@ func (mw *Middleware) forwardVertical(c *Cluster, req *edgeReq) {
 		return
 	}
 	mw.Edge.Vertical.Inc()
-	ok := mw.Net.Send(c.EdgeGW, mw.dcNode, req.input, func(sim.Time) {
-		task := &server.Task{ID: req.id, Work: req.work, Class: classEdge}
+	lost := func() { mw.loseEdge(req) }
+	ok := mw.Net.SendEx(c.EdgeGW, mw.dcNode, req.input, func(sim.Time) {
+		if req.done {
+			return
+		}
+		task := &server.Task{ID: req.id, Work: req.work, Class: classEdge, Ctx: req}
 		task.OnDone = func(at sim.Time) {
 			// Response: datacenter → gateway → device.
-			ok := mw.Net.Send(mw.dcNode, c.EdgeGW, req.output, func(sim.Time) {
-				ok := mw.Net.Send(c.EdgeGW, req.origin, req.output, func(sim.Time) {
+			ok := mw.Net.SendEx(mw.dcNode, c.EdgeGW, req.output, func(sim.Time) {
+				ok := mw.Net.SendEx(c.EdgeGW, req.origin, req.output, func(sim.Time) {
 					mw.completeEdge(req)
-				})
+				}, lost)
 				if !ok {
-					mw.rejectEdge(req)
+					mw.waitOrReject(req)
 				}
-			})
+			}, lost)
 			if !ok {
-				mw.rejectEdge(req)
+				mw.waitOrReject(req)
 			}
 		}
 		mw.dcPool.Submit(task, req.deadline, nil)
-	})
+	}, lost)
 	if !ok {
-		mw.Edge.Rejected.Inc()
+		mw.waitOrReject(req)
 	}
 }
 
@@ -421,10 +561,15 @@ func (mw *Middleware) SubmitDCCNotify(c *Cluster, operator network.NodeID, job w
 	if j.pending == 0 {
 		return
 	}
+	mw.DCC.JobsSubmitted.Inc()
 	// One input transfer operator → gateway for the job payload, then
-	// tasks enter the queue.
+	// tasks enter the queue. A payload that cannot reach the gateway (no
+	// route, or lost on the wire under chaos) is retried with exponential
+	// backoff up to DCCMaxRetries; past the budget the job is lost — but
+	// counted, and its completion callback still fires, so deadline
+	// workloads observe the failure instead of hanging.
 	size := job.Input * units.Byte(len(job.TaskWork))
-	ok := mw.Net.Send(operator, c.DCCGW, size, func(sim.Time) {
+	deliver := func(sim.Time) {
 		for i, w := range job.TaskWork {
 			work := w // original size; Task.Work mutates on preemption
 			t := &server.Task{ID: job.ID*1_000_000 + uint64(i), Work: w, Class: classDCC}
@@ -432,11 +577,30 @@ func (mw *Middleware) SubmitDCCNotify(c *Cluster, operator network.NodeID, job w
 			c.dccQ.Push(&sched.Item{Task: t, Enqueued: mw.Engine.Now(), Ctx: j})
 		}
 		c.dispatch()
-	})
-	if !ok {
-		// Unreachable gateway: the job is lost; account it as zero-size.
-		j.pending = 0
 	}
+	lose := func() {
+		mw.DCC.JobsLost.Inc()
+		j.pending = 0
+		if j.onDone != nil {
+			j.onDone(mw.Engine.Now())
+		}
+	}
+	var attempt func(n int)
+	attempt = func(n int) {
+		retry := func() {
+			if n >= mw.cfg.DCCMaxRetries {
+				lose()
+				return
+			}
+			mw.DCC.SubmitRetries.Inc()
+			backoff := mw.cfg.DCCRetryBackoff * sim.Time(int64(1)<<uint(n))
+			mw.Engine.AfterTransient(backoff, func() { attempt(n + 1) })
+		}
+		if !mw.Net.SendEx(operator, c.DCCGW, size, deliver, func() { retry() }) {
+			retry()
+		}
+	}
+	attempt(0)
 }
 
 // dccTaskDone advances the owning job; completed work is credited even for

@@ -79,6 +79,7 @@ func All() []Experiment {
 		{"E15", "Smart-grid demand response (§III-A)", E15DemandResponse},
 		{"E16", "Map serving from gateway content caches (§II-A/§V)", E16ContentDelivery},
 		{"E17", "Market sizing: French electric heating vs hyperscale (conclusion)", E17MarketSizing},
+		{"E18", "Chaos: graceful degradation under network faults (§III-B)", E18Chaos},
 		{"A1", "Ablation: hysteresis vs proportional regulator", AblationRegulator},
 		{"A2", "Ablation: cluster formation (building/grid/k-means)", AblationClustering},
 		{"A3", "Ablation: EDF vs FCFS edge queueing", AblationEDF},

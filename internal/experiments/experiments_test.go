@@ -10,7 +10,7 @@ func quick() Options { return Options{Seed: 1, Quick: true} }
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 22 {
+	if len(all) != 23 {
 		t.Fatalf("%d experiments registered", len(all))
 	}
 	seen := map[string]bool{}
@@ -250,6 +250,23 @@ func TestE17Shape(t *testing.T) {
 	if r.Findings["summer_cores"] >= r.Findings["winter_cores"]/3 {
 		t.Errorf("summer fleet %v not far below winter %v",
 			r.Findings["summer_cores"], r.Findings["winter_cores"])
+	}
+}
+
+func TestE18ChaosQuick(t *testing.T) {
+	r := E18Chaos(quick())
+	if r.Findings["conservation_ok"] != 1 {
+		t.Error("request-conservation ledgers did not balance under chaos")
+	}
+	clean, worst := r.Findings["served_frac_clean"], r.Findings["served_frac_worst"]
+	if clean < 0.99 {
+		t.Errorf("fault-free served fraction = %v, want ~1", clean)
+	}
+	if worst < 0.5 {
+		t.Errorf("worst-case served fraction = %v; degradation not graceful", worst)
+	}
+	if worst > clean {
+		t.Errorf("chaos improved service? clean %v, worst %v", clean, worst)
 	}
 }
 

@@ -1,0 +1,154 @@
+package network
+
+import (
+	"testing"
+
+	"df3/internal/rng"
+	"df3/internal/sim"
+	"df3/internal/units"
+)
+
+// diamond builds a -- (b | c) -- d: two disjoint paths between a and d.
+func diamond(e *sim.Engine) (*Fabric, NodeID, NodeID, NodeID, NodeID) {
+	f := NewFabric(e)
+	a, b, c, d := f.AddNode("a"), f.AddNode("b"), f.AddNode("c"), f.AddNode("d")
+	cl := Class{Name: "t", Latency: 0.001, Bandwidth: 0}
+	f.Connect(a, b, cl)
+	f.Connect(b, d, cl)
+	f.Connect(a, c, cl)
+	f.Connect(c, d, cl)
+	return f, a, b, c, d
+}
+
+func TestFailLinkReroutes(t *testing.T) {
+	e := sim.New()
+	f, a, b, c, d := diamond(e)
+	if got := f.Route(a, d); len(got) != 3 || got[1] != b {
+		t.Fatalf("initial route = %v, want via b", got)
+	}
+	f.FailLink(a, b)
+	if got := f.Route(a, d); len(got) != 3 || got[1] != c {
+		t.Fatalf("route after failure = %v, want via c", got)
+	}
+	delivered := false
+	if !f.SendEx(a, d, 100, func(sim.Time) { delivered = true }, func() { t.Fatal("dropped") }) {
+		t.Fatal("send refused despite surviving path")
+	}
+	e.Run(1)
+	if !delivered {
+		t.Fatal("message not delivered around the dead link")
+	}
+	f.RestoreLink(a, b)
+	if got := f.Route(a, d); got[1] != b {
+		t.Fatalf("route after repair = %v, want via b again", got)
+	}
+}
+
+func TestFailLinkDropsInFlight(t *testing.T) {
+	e := sim.New()
+	f := NewFabric(e)
+	a, b := f.AddNode("a"), f.AddNode("b")
+	f.Connect(a, b, Class{Name: "t", Latency: 0.010, Bandwidth: 0})
+	delivered, dropped := false, false
+	f.SendEx(a, b, 100, func(sim.Time) { delivered = true }, func() { dropped = true })
+	// Fail mid-flight; even repairing before arrival must not resurrect
+	// the message (the epoch counter catches fail-then-restore).
+	e.At(0.002, func() { f.FailLink(a, b) })
+	e.At(0.004, func() { f.RestoreLink(a, b) })
+	e.Run(1)
+	if delivered || !dropped {
+		t.Fatalf("delivered=%v dropped=%v, want in-flight message dead", delivered, dropped)
+	}
+	if f.LostMessages() != 1 {
+		t.Fatalf("LostMessages = %d, want 1", f.LostMessages())
+	}
+}
+
+func TestFailNodeSevers(t *testing.T) {
+	e := sim.New()
+	f, a, b, _, d := diamond(e)
+	f.FailNode(d)
+	if f.Route(a, d) != nil {
+		t.Fatal("route to failed node should be nil")
+	}
+	if f.Route(a, b) == nil {
+		t.Fatal("unrelated route severed")
+	}
+	if f.SendEx(a, d, 100, func(sim.Time) {}, func() {}) {
+		t.Fatal("send to failed node accepted")
+	}
+	f.RestoreNode(d)
+	if f.Route(a, d) == nil {
+		t.Fatal("route not restored with the node")
+	}
+	deliv := false
+	f.SendEx(a, d, 100, func(sim.Time) { deliv = true }, nil)
+	e.Run(1)
+	if !deliv {
+		t.Fatal("message not delivered after node repair")
+	}
+}
+
+func TestFailNodeDropsTransit(t *testing.T) {
+	e := sim.New()
+	f := NewFabric(e)
+	a, g, d := f.AddNode("a"), f.AddNode("g"), f.AddNode("d")
+	cl := Class{Name: "t", Latency: 0.010, Bandwidth: 0}
+	f.Connect(a, g, cl)
+	f.Connect(g, d, cl)
+	dropped := false
+	f.SendEx(a, d, 100, func(sim.Time) { t.Fatal("delivered through dead transit") }, func() { dropped = true })
+	e.At(0.005, func() { f.FailNode(g) }) // message is on hop a→g
+	e.Run(1)
+	if !dropped {
+		t.Fatal("transit message not dropped at failed node")
+	}
+}
+
+func TestRandomLossPerClass(t *testing.T) {
+	e := sim.New()
+	f := NewFabric(e)
+	a, b := f.AddNode("a"), f.AddNode("b")
+	f.Connect(a, b, Class{Name: "lossy", Latency: 0.001, Bandwidth: 0})
+	f.SetLoss("lossy", 0.5)
+	f.SetLossRNG(rng.New(7))
+	delivered, dropped := 0, 0
+	for i := 0; i < 1000; i++ {
+		f.SendEx(a, b, 10, func(sim.Time) { delivered++ }, func() { dropped++ })
+	}
+	e.Run(10)
+	if delivered+dropped != 1000 {
+		t.Fatalf("conservation broken: %d delivered + %d dropped != 1000", delivered, dropped)
+	}
+	if dropped < 400 || dropped > 600 {
+		t.Fatalf("dropped %d of 1000 at p=0.5; loss draw broken", dropped)
+	}
+	if f.LostMessages() != int64(dropped) {
+		t.Fatalf("LostMessages = %d, want %d", f.LostMessages(), dropped)
+	}
+	// Clearing the probability stops the draws entirely.
+	f.SetLoss("lossy", 0)
+	ok := 0
+	for i := 0; i < 100; i++ {
+		f.SendEx(a, b, 10, func(sim.Time) { ok++ }, func() { t.Fatal("dropped with loss off") })
+	}
+	e.Run(20)
+	if ok != 100 {
+		t.Fatalf("%d of 100 delivered after clearing loss", ok)
+	}
+}
+
+func TestOnLossCallback(t *testing.T) {
+	e := sim.New()
+	f := NewFabric(e)
+	a, b := f.AddNode("a"), f.AddNode("b")
+	f.Connect(a, b, Class{Name: "t", Latency: 0.010, Bandwidth: 0})
+	var seen int
+	f.OnLoss = func(from, to NodeID, size units.Byte) { seen++ }
+	f.SendEx(a, b, 100, func(sim.Time) {}, func() {})
+	e.At(0.001, func() { f.FailLink(a, b) })
+	e.Run(1)
+	if seen != 1 {
+		t.Fatalf("OnLoss fired %d times, want 1", seen)
+	}
+}

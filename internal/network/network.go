@@ -16,6 +16,7 @@ package network
 import (
 	"fmt"
 
+	"df3/internal/rng"
 	"df3/internal/sim"
 	"df3/internal/units"
 )
@@ -30,10 +31,18 @@ type Link struct {
 	Latency sim.Time
 	// Bandwidth is bytes per second; <= 0 means infinite (no serialisation).
 	Bandwidth float64
+	// Class is the technology class name the link was built from
+	// (per-class loss probabilities and fault processes key on it).
+	Class string
 
 	busyUntil sim.Time
 	bytes     float64
 	messages  int64
+	down      bool
+	// epoch increments on every failure, so a message injected before an
+	// outage is recognised as dead on arrival even if the link was
+	// repaired while it was in flight.
+	epoch uint32
 }
 
 // transferTime returns when a message of size bytes injected at now departs
@@ -59,6 +68,9 @@ func (l *Link) BytesCarried() float64 { return l.bytes }
 
 // Messages returns the number of messages carried.
 func (l *Link) Messages() int64 { return l.messages }
+
+// Down reports whether the link is currently failed.
+func (l *Link) Down() bool { return l.down }
 
 // Class is a reusable (latency, bandwidth) pair for building links.
 type Class struct {
@@ -93,16 +105,35 @@ type Fabric struct {
 	routes map[[2]NodeID][]NodeID // precomputed paths, endpoints included
 	names  map[NodeID]string
 	nextID NodeID
+
+	// pairs records undirected links in Connect order, so scenario code
+	// can enumerate the topology deterministically (fault arming).
+	pairs [][2]NodeID
+	// nodeDown marks failed endpoints (gateway outages): no message may
+	// originate, terminate or transit there.
+	nodeDown map[NodeID]bool
+	// loss is the per-class message-loss probability; draws come from
+	// lossRNG and happen only for classes with a positive probability, so
+	// a fabric with no loss configured makes no draws at all.
+	loss    map[string]float64
+	lossRNG *rng.Stream
+	lost    int64
+	// OnLoss, when set, observes every dropped message: random wire loss,
+	// messages dead on a failed link, and messages arriving at a failed
+	// node. Scenario layers hook it to ledger counters.
+	OnLoss func(from, to NodeID, size units.Byte)
 }
 
 // NewFabric returns an empty fabric.
 func NewFabric(e *sim.Engine) *Fabric {
 	return &Fabric{
-		engine: e,
-		links:  map[[2]NodeID]*Link{},
-		adj:    map[NodeID][]NodeID{},
-		routes: map[[2]NodeID][]NodeID{},
-		names:  map[NodeID]string{},
+		engine:   e,
+		links:    map[[2]NodeID]*Link{},
+		adj:      map[NodeID][]NodeID{},
+		routes:   map[[2]NodeID][]NodeID{},
+		names:    map[NodeID]string{},
+		nodeDown: map[NodeID]bool{},
+		loss:     map[string]float64{},
 	}
 }
 
@@ -123,25 +154,139 @@ func (f *Fabric) Connect(a, b NodeID, c Class) {
 	if f.links[[2]NodeID{a, b}] == nil {
 		f.adj[a] = append(f.adj[a], b)
 		f.adj[b] = append(f.adj[b], a)
+		f.pairs = append(f.pairs, [2]NodeID{a, b})
 	}
-	f.links[[2]NodeID{a, b}] = &Link{From: a, To: b, Latency: c.Latency, Bandwidth: c.Bandwidth}
-	f.links[[2]NodeID{b, a}] = &Link{From: b, To: a, Latency: c.Latency, Bandwidth: c.Bandwidth}
+	f.links[[2]NodeID{a, b}] = &Link{From: a, To: b, Latency: c.Latency, Bandwidth: c.Bandwidth, Class: c.Name}
+	f.links[[2]NodeID{b, a}] = &Link{From: b, To: a, Latency: c.Latency, Bandwidth: c.Bandwidth, Class: c.Name}
 	f.routes = map[[2]NodeID][]NodeID{} // topology changed; recompute lazily
 }
 
 // Link returns the directed link a→b, or nil.
 func (f *Fabric) Link(a, b NodeID) *Link { return f.links[[2]NodeID{a, b}] }
 
-// Route computes (and caches) the minimum-hop path from a to b with BFS.
-// It returns nil when b is unreachable.
+// Pairs returns the undirected links in Connect order — the deterministic
+// enumeration fault processes arm over.
+func (f *Fabric) Pairs() [][2]NodeID { return f.pairs }
+
+// ---------------------------------------------------------------------------
+// Fault injection: link failures, node (gateway) failures, wire loss
+// ---------------------------------------------------------------------------
+
+// FailLink takes the bidirectional link a↔b out of service. Routes reroute
+// around it (BFS skips dead links); messages already on the wire are
+// dropped on arrival via the loss callback. Failing an unknown or already
+// failed link is a no-op.
+func (f *Fabric) FailLink(a, b NodeID) {
+	for _, l := range []*Link{f.links[[2]NodeID{a, b}], f.links[[2]NodeID{b, a}]} {
+		if l == nil || l.down {
+			continue
+		}
+		l.down = true
+		l.epoch++
+	}
+	f.routes = map[[2]NodeID][]NodeID{}
+}
+
+// RestoreLink returns a failed link to service.
+func (f *Fabric) RestoreLink(a, b NodeID) {
+	for _, l := range []*Link{f.links[[2]NodeID{a, b}], f.links[[2]NodeID{b, a}]} {
+		if l == nil || !l.down {
+			continue
+		}
+		l.down = false
+	}
+	f.routes = map[[2]NodeID][]NodeID{}
+}
+
+// FailNode severs an endpoint: every route through it dies (a failed
+// gateway cuts its whole building off the fabric), sends to or from it
+// fail, and in-flight messages addressed to it are dropped on arrival.
+func (f *Fabric) FailNode(n NodeID) {
+	if f.nodeDown[n] {
+		return
+	}
+	f.nodeDown[n] = true
+	// Messages mid-flight on the node's links die with it.
+	for _, nb := range f.adj[n] {
+		f.FailLink(n, nb)
+	}
+	f.routes = map[[2]NodeID][]NodeID{}
+}
+
+// RestoreNode returns a failed endpoint (and its links) to service. Links
+// individually failed by FailLink come back too: node repair re-provisions
+// the attachment.
+func (f *Fabric) RestoreNode(n NodeID) {
+	if !f.nodeDown[n] {
+		return
+	}
+	delete(f.nodeDown, n)
+	for _, nb := range f.adj[n] {
+		// Only raise links whose far end is alive.
+		if !f.nodeDown[nb] {
+			f.RestoreLink(n, nb)
+		}
+	}
+	f.routes = map[[2]NodeID][]NodeID{}
+}
+
+// NodeDown reports whether the endpoint is failed.
+func (f *Fabric) NodeDown(n NodeID) bool { return f.nodeDown[n] }
+
+// SetLoss sets the per-message loss probability for every link of the
+// named class. Call SetLossRNG first; a fabric with no positive
+// probabilities never draws from the stream, preserving determinism of
+// loss-free scenarios.
+func (f *Fabric) SetLoss(class string, p float64) {
+	if p <= 0 {
+		delete(f.loss, class)
+		return
+	}
+	f.loss[class] = p
+}
+
+// SetLossRNG installs the random stream wire-loss draws come from.
+func (f *Fabric) SetLossRNG(s *rng.Stream) { f.lossRNG = s }
+
+// LostMessages returns how many messages the fabric has dropped (wire
+// loss, failed links, failed destination nodes).
+func (f *Fabric) LostMessages() int64 { return f.lost }
+
+// drop accounts a lost message and notifies the observers.
+func (f *Fabric) drop(from, to NodeID, size units.Byte, dropped func()) {
+	f.lost++
+	if f.OnLoss != nil {
+		f.OnLoss(from, to, size)
+	}
+	if dropped != nil {
+		dropped()
+	}
+}
+
+// usable reports whether a message may be injected into the directed link
+// a→b right now.
+func (f *Fabric) usable(a, b NodeID) bool {
+	if f.nodeDown[a] || f.nodeDown[b] {
+		return false
+	}
+	l := f.links[[2]NodeID{a, b}]
+	return l != nil && !l.down
+}
+
+// Route computes (and caches) the minimum-hop path from a to b with BFS,
+// routing around failed links and failed nodes. It returns nil when b is
+// unreachable (including when either endpoint is down).
 func (f *Fabric) Route(a, b NodeID) []NodeID {
+	if f.nodeDown[a] || f.nodeDown[b] {
+		return nil
+	}
 	if a == b {
 		return []NodeID{a}
 	}
 	if r, ok := f.routes[[2]NodeID{a, b}]; ok {
 		return r
 	}
-	// BFS over the link set.
+	// BFS over the live link set.
 	prev := map[NodeID]NodeID{a: a}
 	frontier := []NodeID{a}
 	for len(frontier) > 0 {
@@ -152,6 +297,9 @@ func (f *Fabric) Route(a, b NodeID) []NodeID {
 		for _, n := range frontier {
 			for _, nb := range f.adj[n] {
 				if _, seen := prev[nb]; seen {
+					continue
+				}
+				if !f.usable(n, nb) {
 					continue
 				}
 				prev[nb] = n
@@ -211,8 +359,20 @@ func (f *Fabric) PathLatency(a, b NodeID) sim.Time {
 // Send delivers a message of the given size from a to b, invoking deliver
 // with the arrival time. It walks the path hop by hop, modelling per-link
 // FIFO serialisation. Returns false (and does not schedule anything) when
-// b is unreachable.
+// b is unreachable. When the fabric injects faults, an accepted message
+// may still die on the wire and deliver will never fire; callers that must
+// notice use SendEx.
 func (f *Fabric) Send(a, b NodeID, size units.Byte, deliver func(at sim.Time)) bool {
+	return f.SendEx(a, b, size, deliver, nil)
+}
+
+// SendEx is Send with a loss continuation: dropped (when non-nil) is
+// invoked exactly once if the message dies in flight — random wire loss,
+// a link that failed under it, or a destination node that failed before
+// arrival. Exactly one of deliver and dropped eventually fires for every
+// accepted message, which is what lets the middleware keep its
+// request-conservation invariant under chaos.
+func (f *Fabric) SendEx(a, b NodeID, size units.Byte, deliver func(at sim.Time), dropped func()) bool {
 	path := f.Route(a, b)
 	if path == nil {
 		return false
@@ -221,19 +381,39 @@ func (f *Fabric) Send(a, b NodeID, size units.Byte, deliver func(at sim.Time)) b
 		f.engine.After(0, func() { deliver(f.engine.Now()) })
 		return true
 	}
-	f.hop(path, 0, size, deliver)
+	f.hop(path, 0, size, deliver, dropped)
 	return true
 }
 
 // hop forwards the message across path[i]→path[i+1] and recurses.
-func (f *Fabric) hop(path []NodeID, i int, size units.Byte, deliver func(at sim.Time)) {
-	l := f.Link(path[i], path[i+1])
+func (f *Fabric) hop(path []NodeID, i int, size units.Byte, deliver func(at sim.Time), dropped func()) {
+	from, to := path[i], path[i+1]
+	if !f.usable(from, to) {
+		// The path decayed under a multi-hop message: it dies at the dead
+		// hop, like a frame forwarded into a downed port.
+		f.drop(from, to, size, dropped)
+		return
+	}
+	l := f.Link(from, to)
+	// Random wire loss: drawn at injection, manifested at arrival time (a
+	// corrupt frame still occupies the pipe).
+	lose := false
+	if p := f.loss[l.Class]; p > 0 && f.lossRNG != nil && f.lossRNG.Float64() < p {
+		lose = true
+	}
+	epoch := l.epoch
 	_, arrive := l.transferTime(f.engine.Now(), size)
 	f.engine.At(arrive, func() {
+		// A link that failed while the message was in flight ate it, even
+		// if the link was repaired before the arrival instant.
+		if lose || l.down || l.epoch != epoch || f.nodeDown[to] {
+			f.drop(from, to, size, dropped)
+			return
+		}
 		if i+2 >= len(path) {
 			deliver(f.engine.Now())
 			return
 		}
-		f.hop(path, i+1, size, deliver)
+		f.hop(path, i+1, size, deliver, dropped)
 	})
 }

@@ -32,6 +32,10 @@ type Task struct {
 	OnDone func(at sim.Time)
 	// Class is an opaque tag the middleware uses (edge vs DCC).
 	Class int
+	// Ctx is an opaque back-pointer the middleware uses to find the
+	// request a task belongs to when the task is evacuated off a failed
+	// machine.
+	Ctx any
 
 	remaining float64
 	rate      float64 // current progress rate (0 when suspended)
