@@ -7,6 +7,7 @@
 //	df3bench -run E1,E8      # a subset
 //	df3bench -list           # show the index
 //	df3bench -seed 7         # different random universe
+//	df3bench -run E18 -trace chaos.json   # span-trace the chaos sweep for Perfetto
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"time"
 
 	"df3/internal/experiments"
+	"df3/internal/trace"
 )
 
 func main() {
@@ -30,6 +32,7 @@ func main() {
 	csvDir := flag.String("csv", "", "also write every table as CSV into this directory")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the last experiment to this file")
+	tracePath := flag.String("trace", "", "record causal spans in trace-capable experiments (E18) and write Chrome trace-event JSON to this file")
 	flag.Parse()
 
 	if *list {
@@ -55,6 +58,9 @@ func main() {
 	}
 
 	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	if *tracePath != "" {
+		opts.Tracer = trace.NewRecorder(0)
+	}
 	mode := "full"
 	if *quick {
 		mode = "quick"
@@ -104,6 +110,24 @@ func main() {
 			e.ID, wall,
 			float64(after.TotalAlloc-before.TotalAlloc)/1e6,
 			after.Mallocs-before.Mallocs)
+	}
+
+	if opts.Tracer != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "df3bench: %v\n", err)
+			os.Exit(1)
+		}
+		err = opts.Tracer.WriteChrome(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "df3bench: trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%d spans written to %s — open in Perfetto (ui.perfetto.dev)]\n",
+			len(opts.Tracer.Spans()), *tracePath)
 	}
 
 	if *memProfile != "" {

@@ -8,6 +8,7 @@
 //	curl -X POST localhost:8080/v1/rooms/0/0/setpoint -d '{"setpoint_c":23}'
 //	curl -X POST localhost:8080/v1/step -d '{"seconds":3600}'
 //	curl localhost:8080/v1/metrics | jq .
+//	curl localhost:8080/metrics          # Prometheus text exposition
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strings"
 
 	"df3/internal/api"
 	"df3/internal/city"
@@ -44,6 +46,10 @@ func main() {
 	c := city.Build(cfg)
 	fmt.Printf("df3d: %d buildings × %d rooms (%d boiler plants), %d DF machines, listening on %s\n",
 		*buildings, *rooms, *boilers, len(c.Fleet.Machines), *addr)
-	fmt.Println("advance time with: curl -X POST localhost" + *addr + "/v1/step -d '{\"seconds\":3600}'")
+	hint := *addr
+	if strings.HasPrefix(hint, ":") {
+		hint = "localhost" + hint
+	}
+	fmt.Println("advance time with: curl -X POST " + hint + "/v1/step -d '{\"seconds\":3600}'")
 	log.Fatal(http.ListenAndServe(*addr, api.NewServer(c)))
 }

@@ -38,6 +38,7 @@ func main() {
 		csvPath   = flag.String("csv", "", "write the capacity series to this CSV file")
 		mtbf      = flag.Float64("mtbf", 0, "mean days between machine failures (0 disables fault injection)")
 		tracePath = flag.String("trace", "", "write per-request trace events to this CSV file")
+		spansPath = flag.String("spans", "", "record causal spans across the whole stack and write them as JSONL (summarise with df3trace spans)")
 	)
 	flag.Parse()
 
@@ -98,9 +99,13 @@ func main() {
 	horizon := sim.Time(*days) * sim.Day
 	c := city.Build(cfg)
 	var rec *trace.Recorder
-	if *tracePath != "" {
-		rec = &trace.Recorder{}
-		c.MW.Tracer = rec
+	if *tracePath != "" || *spansPath != "" {
+		rec = trace.NewRecorder(0)
+		if *spansPath != "" {
+			c.EnableTracing(rec)
+		} else {
+			c.MW.Tracer = rec
+		}
 	}
 	if *edgeRate > 0 {
 		c.StartEdgeTraffic(horizon, *edgeRate)
@@ -129,7 +134,7 @@ func main() {
 		}
 		fmt.Printf("capacity series written to %s\n", *csvPath)
 	}
-	if rec != nil {
+	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
 			fatal("trace: %v", err)
@@ -139,6 +144,18 @@ func main() {
 			fatal("trace: %v", err)
 		}
 		fmt.Printf("%d trace events written to %s\n", rec.Len(), *tracePath)
+	}
+	if *spansPath != "" {
+		f, err := os.Create(*spansPath)
+		if err != nil {
+			fatal("spans: %v", err)
+		}
+		defer f.Close()
+		if err := rec.WriteSpansJSONL(f); err != nil {
+			fatal("spans: %v", err)
+		}
+		fmt.Printf("%d spans written to %s (df3trace spans %s)\n",
+			len(rec.Spans()), *spansPath, *spansPath)
 	}
 }
 

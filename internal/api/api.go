@@ -40,6 +40,7 @@ func NewServer(c *city.City) *Server {
 	s.mux.HandleFunc("POST /v1/rooms/{building}/{room}/setpoint", s.setSetpoint)
 	s.mux.HandleFunc("GET /v1/clusters", s.listClusters)
 	s.mux.HandleFunc("GET /v1/metrics", s.getMetrics)
+	s.mux.HandleFunc("GET /metrics", s.getPrometheus)
 	s.mux.HandleFunc("POST /v1/jobs", s.postJob)
 	s.mux.HandleFunc("POST /v1/edge", s.postEdge)
 	s.mux.HandleFunc("POST /v1/content", s.postContent)
@@ -225,15 +226,25 @@ func (s *Server) listClusters(w http.ResponseWriter, r *http.Request) {
 // Metrics is the platform-wide flow snapshot.
 type Metrics struct {
 	SimTime       float64 `json:"sim_time_s"`
+	EdgeSubmitted int64   `json:"edge_submitted"`
 	EdgeServed    int64   `json:"edge_served"`
 	EdgeRejected  int64   `json:"edge_rejected"`
+	EdgeRetries   int64   `json:"edge_retries"`
+	EdgeTimedOut  int64   `json:"edge_timed_out"`
 	EdgeMissRate  float64 `json:"edge_miss_rate"`
 	EdgeP99Ms     float64 `json:"edge_p99_ms"`
 	DCCJobsDone   int64   `json:"dcc_jobs_done"`
+	DCCSubmitted  int64   `json:"dcc_jobs_submitted"`
+	DCCJobsLost   int64   `json:"dcc_jobs_lost"`
+	DCCRetries    int64   `json:"dcc_submit_retries"`
 	DCCCoreHours  float64 `json:"dcc_core_hours"`
 	FleetCapacity float64 `json:"fleet_capacity"`
 	FleetPUE      float64 `json:"fleet_pue"`
-	Outages       int64   `json:"outages"`
+	// Fault-injection ledger.
+	Outages        int64 `json:"outages"`
+	LinkOutages    int64 `json:"link_outages"`
+	GatewayOutages int64 `json:"gateway_outages"`
+	MessagesLost   int64 `json:"messages_lost"`
 	// Content-delivery flow (zero unless a cache is enabled).
 	ContentServed  int64   `json:"content_served"`
 	ContentHitRate float64 `json:"content_hit_rate"`
@@ -246,19 +257,39 @@ func (s *Server) getMetrics(w http.ResponseWriter, r *http.Request) {
 	c := s.city
 	writeJSON(w, http.StatusOK, Metrics{
 		SimTime:        c.Engine.Now(),
+		EdgeSubmitted:  c.MW.Edge.Submitted.Value(),
 		EdgeServed:     c.MW.Edge.Served.Value(),
 		EdgeRejected:   c.MW.Edge.Rejected.Value(),
+		EdgeRetries:    c.MW.Edge.Retries.Value(),
+		EdgeTimedOut:   c.MW.Edge.TimedOut.Value(),
 		EdgeMissRate:   c.MW.Edge.MissRate(),
 		EdgeP99Ms:      c.MW.Edge.Latency.P99() * 1000,
 		DCCJobsDone:    c.MW.DCC.JobsDone.Value(),
+		DCCSubmitted:   c.MW.DCC.JobsSubmitted.Value(),
+		DCCJobsLost:    c.MW.DCC.JobsLost.Value(),
+		DCCRetries:     c.MW.DCC.SubmitRetries.Value(),
 		DCCCoreHours:   c.MW.DCC.WorkDone / 3600,
 		FleetCapacity:  c.Fleet.Capacity(),
 		FleetPUE:       c.Fleet.PUE(c.Engine.Now()),
 		Outages:        c.Outages.Value(),
+		LinkOutages:    c.LinkOutages.Value(),
+		GatewayOutages: c.GatewayOutages.Value(),
+		MessagesLost:   c.MessagesLost.Value(),
 		ContentServed:  c.MW.Content.Served.Value(),
 		ContentHitRate: c.MW.Content.HitRate(),
 		OriginBytes:    c.MW.Content.OriginBytes,
 	})
+}
+
+// getPrometheus serves the city's registry in the Prometheus text
+// exposition format, the scrape-friendly twin of the JSON /v1/metrics.
+// Func-backed instruments read live simulation state, so the scrape
+// serialises on the server mutex like every other handler.
+func (s *Server) getPrometheus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.city.Observability().WritePrometheus(w)
 }
 
 // postContent requests a content object (§II-A map serving). The gateway

@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"df3/internal/city"
+	"df3/internal/metrics"
 )
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server, *city.City) {
@@ -303,5 +305,99 @@ func TestContentEndpointValidation(t *testing.T) {
 		if resp := postJSON(t, ts.URL+"/v1/content", body, nil); resp.StatusCode == 202 {
 			t.Errorf("case %d accepted invalid content request", i)
 		}
+	}
+}
+
+func TestPrometheusEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	// Move some counters so the scrape shows live values.
+	postJSON(t, ts.URL+"/v1/edge", map[string]any{
+		"building": 0, "device": 1, "work_s": 0.05, "deadline_s": 0.5,
+	}, nil)
+	postJSON(t, ts.URL+"/v1/step", map[string]float64{"seconds": 60}, nil)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	series, err := metrics.ParsePrometheus(resp.Body)
+	if err != nil {
+		t.Fatalf("parse exposition: %v", err)
+	}
+	for _, want := range []string{
+		"df3_sim_time_seconds",
+		"df3_kernel_events_fired_total",
+		"df3_edge_submitted_total",
+		"df3_edge_served_total",
+		"df3_dcc_jobs_submitted_total",
+		"df3_faults_machine_outages_total",
+		`df3_fleet_capacity_cores{fleet="all"}`,
+		`df3_edge_latency_seconds{quantile="0.99"}`,
+		`df3_cluster_edge_queue{cluster="0"}`,
+		"df3_dc_pool_free_slots",
+	} {
+		if _, ok := series[want]; !ok {
+			t.Errorf("series %s missing from scrape", want)
+		}
+	}
+	if series["df3_edge_submitted_total"] < 1 {
+		t.Errorf("edge submitted = %v", series["df3_edge_submitted_total"])
+	}
+	if series["df3_sim_time_seconds"] < 60 {
+		t.Errorf("sim time = %v", series["df3_sim_time_seconds"])
+	}
+	if series["df3_kernel_events_fired_total"] <= 0 {
+		t.Errorf("events fired = %v", series["df3_kernel_events_fired_total"])
+	}
+
+	// A second scrape must reuse the cached registry (no duplicate
+	// registration panic) and reflect further simulated time.
+	postJSON(t, ts.URL+"/v1/step", map[string]float64{"seconds": 60}, nil)
+	resp2, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	series2, err := metrics.ParsePrometheus(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series2["df3_sim_time_seconds"] <= series["df3_sim_time_seconds"] {
+		t.Errorf("scrape not live: %v -> %v",
+			series["df3_sim_time_seconds"], series2["df3_sim_time_seconds"])
+	}
+}
+
+func TestMetricsJSONLedgerFields(t *testing.T) {
+	// The JSON endpoint must expose the full submission/retry/fault ledger,
+	// not just the outcome counters.
+	_, ts, _ := newTestServer(t)
+	postJSON(t, ts.URL+"/v1/edge", map[string]any{
+		"building": 0, "device": 0, "work_s": 0.05, "deadline_s": 0.5,
+	}, nil)
+	postJSON(t, ts.URL+"/v1/step", map[string]float64{"seconds": 10}, nil)
+	var raw map[string]any
+	getJSON(t, ts.URL+"/v1/metrics", &raw)
+	for _, key := range []string{
+		"edge_submitted", "edge_retries", "edge_timed_out",
+		"dcc_jobs_submitted", "dcc_jobs_lost", "dcc_submit_retries",
+		"link_outages", "gateway_outages", "messages_lost",
+	} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("field %q missing from /v1/metrics", key)
+		}
+	}
+	var m Metrics
+	getJSON(t, ts.URL+"/v1/metrics", &m)
+	if m.EdgeSubmitted != 1 || m.EdgeSubmitted != m.EdgeServed+m.EdgeRejected {
+		t.Errorf("ledger does not balance: submitted %d served %d rejected %d",
+			m.EdgeSubmitted, m.EdgeServed, m.EdgeRejected)
 	}
 }

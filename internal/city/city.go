@@ -190,6 +190,8 @@ type City struct {
 
 	stream *rng.Stream
 	faults *rng.Stream
+	// registry is the lazily built Observability() metrics registry.
+	registry *metrics.Registry
 }
 
 // Build wires the scenario. The engine starts at time zero; call Run.

@@ -1,0 +1,145 @@
+package city
+
+import (
+	"bytes"
+	"testing"
+
+	"df3/internal/metrics"
+	"df3/internal/trace"
+	"df3/internal/units"
+	"df3/internal/workload"
+)
+
+func observeTestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Buildings = 2
+	cfg.RoomsPerBuilding = 3
+	cfg.DatacenterNodes = 2
+	return cfg
+}
+
+// submitTestEdge injects one small edge request at building 0, room 1.
+func submitTestEdge(c *City) {
+	b := c.Buildings[0]
+	room := b.Rooms[1]
+	c.MW.SubmitEdge(b.Cluster, room.Node, workload.EdgeRequest{
+		Work:     0.05,
+		Deadline: 0.5,
+		Input:    units.Byte(16e3),
+		Output:   200,
+		Device:   1,
+	})
+}
+
+func TestObservabilityRegistry(t *testing.T) {
+	c := Build(observeTestConfig())
+	r := c.Observability()
+	if r != c.Observability() {
+		t.Fatal("registry not cached across calls")
+	}
+	submitTestEdge(c)
+	c.Engine.Run(60)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	series, err := metrics.ParsePrometheus(&buf)
+	if err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	for _, want := range []string{
+		"df3_sim_time_seconds",
+		"df3_kernel_events_fired_total",
+		"df3_kernel_events_pending",
+		"df3_net_messages_lost_total",
+		"df3_edge_submitted_total",
+		"df3_edge_served_total",
+		`df3_edge_offloads_total{direction="horizontal"}`,
+		`df3_edge_latency_seconds{quantile="0.5"}`,
+		"df3_dcc_jobs_submitted_total",
+		"df3_faults_link_outages_total",
+		`df3_fleet_capacity_cores{fleet="datacenter"}`,
+		"df3_fleet_pue",
+		`df3_cluster_edge_queue{cluster="1"}`,
+		"df3_dc_pool_dropped_total",
+	} {
+		if _, ok := series[want]; !ok {
+			t.Errorf("series %s missing", want)
+		}
+	}
+	if series["df3_edge_submitted_total"] != 1 {
+		t.Errorf("edge submitted = %v", series["df3_edge_submitted_total"])
+	}
+	if series["df3_sim_time_seconds"] < 60 {
+		t.Errorf("sim time = %v", series["df3_sim_time_seconds"])
+	}
+	// Every link class wired by Build must have a traffic series.
+	for _, class := range c.linkClasses() {
+		id := `df3_net_link_messages_total{class="` + class + `"}`
+		if _, ok := series[id]; !ok {
+			t.Errorf("series %s missing", id)
+		}
+	}
+	// Tracing was off at registry build time, so no trace-health series.
+	if _, ok := series["df3_trace_open_spans"]; ok {
+		t.Error("trace series present without tracing enabled")
+	}
+}
+
+func TestEnableTracingIsPureObservation(t *testing.T) {
+	// Two identical cities, one traced: event counts and every outcome
+	// counter must match exactly — tracing may only observe.
+	plain := Build(observeTestConfig())
+	traced := Build(observeTestConfig())
+	rec := trace.NewRecorder(0)
+	traced.EnableTracing(rec)
+
+	for _, c := range []*City{plain, traced} {
+		submitTestEdge(c)
+		c.MW.SubmitDCC(c.Buildings[1].Cluster, c.Operator, workload.BatchJob{
+			TaskWork: []float64{60, 120},
+		})
+		c.Engine.Run(6 * 3600)
+	}
+	if plain.Engine.Fired() != traced.Engine.Fired() {
+		t.Errorf("event counts diverged: %d vs %d",
+			plain.Engine.Fired(), traced.Engine.Fired())
+	}
+	if a, b := plain.MW.Edge.Served.Value(), traced.MW.Edge.Served.Value(); a != b {
+		t.Errorf("served diverged: %d vs %d", a, b)
+	}
+	if a, b := plain.MW.DCC.JobsDone.Value(), traced.MW.DCC.JobsDone.Value(); a != b {
+		t.Errorf("jobs done diverged: %d vs %d", a, b)
+	}
+
+	// The traced run must have recorded a full request lifecycle.
+	stages := map[string]int{}
+	for _, sp := range rec.Spans() {
+		stages[sp.Stage]++
+	}
+	for _, want := range []string{"request", "compute", "net", "dcc-job"} {
+		if stages[want] == 0 {
+			t.Errorf("no %q spans recorded (got %v)", want, stages)
+		}
+	}
+	if n := rec.UnmatchedEnds(); n != 0 {
+		t.Errorf("%d unmatched span ends", n)
+	}
+	if n := rec.OrphanBegins(); n != 0 {
+		t.Errorf("%d orphan span begins", n)
+	}
+
+	// With tracing on, the registry exports recorder health.
+	var buf bytes.Buffer
+	if err := traced.Observability().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	series, err := metrics.ParsePrometheus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := series["df3_trace_open_spans"]; !ok {
+		t.Error("df3_trace_open_spans missing from traced registry")
+	}
+}

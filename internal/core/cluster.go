@@ -153,12 +153,14 @@ func (c *Cluster) dispatch() {
 			// terminal state; discard it.
 			c.edgeQ.Pop()
 			req.queued = false
+			c.endQueueSpan(req, "stale")
 			continue
 		}
 		if c.mw.cfg.DropExpired && head.Deadline != 0 && head.Deadline < now {
 			// Discard queued requests that can no longer make it.
 			c.edgeQ.Pop()
 			req.queued = false
+			c.endQueueSpan(req, "expired")
 			c.mw.rejectEdge(req)
 			continue
 		}
@@ -168,6 +170,7 @@ func (c *Cluster) dispatch() {
 		}
 		c.edgeQ.Pop()
 		req.queued = false
+		c.endQueueSpan(req, "dispatched")
 		c.mw.runEdgeOn(c, w, req)
 	}
 	for c.dccQ.Len() > 0 {
@@ -179,6 +182,15 @@ func (c *Cluster) dispatch() {
 		if !w.M.Start(it.Task) {
 			panic("core: dcc placement picked a full machine")
 		}
+	}
+}
+
+// endQueueSpan closes a popped request's queue-wait span (no-op when
+// tracing is off or the span was already closed at a terminal transition).
+func (c *Cluster) endQueueSpan(req *edgeReq, outcome string) {
+	if req.qspan != 0 {
+		c.mw.Tracer.EndSpanDetail(c.mw.Engine.Now(), req.qspan, outcome)
+		req.qspan = 0
 	}
 }
 

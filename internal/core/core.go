@@ -19,6 +19,7 @@ import (
 	"df3/internal/sched"
 	"df3/internal/server"
 	"df3/internal/sim"
+	"df3/internal/trace"
 	"df3/internal/units"
 )
 
@@ -251,6 +252,11 @@ type edgeReq struct {
 	attempts int
 	// timer is the armed response timeout, cancelled on terminal.
 	timer *sim.Event
+	// span is the request's root trace span (0 when tracing is off), qspan
+	// the currently open queue-wait child and cspan the currently open
+	// compute child — kept on the request so abort paths (worker failure,
+	// stale queue pops) can close them.
+	span, qspan, cspan trace.SpanID
 }
 
 // dccJob is the in-flight state of one batch job.
@@ -261,4 +267,9 @@ type dccJob struct {
 	pending int
 	cluster *Cluster
 	onDone  func(at sim.Time)
+	span    trace.SpanID // root job span (0 when tracing is off)
 }
+
+// dccTraceBit offsets DCC job ids into their own trace-id space so job
+// traces never collide with edge request traces in an exported timeline.
+const dccTraceBit = uint64(1) << 40

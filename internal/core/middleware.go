@@ -63,6 +63,25 @@ func (mw *Middleware) completeEdge(req *edgeReq) {
 			Value: latency, Detail: req.flow.String(),
 		})
 	}
+	mw.closeReqSpans(req, "served")
+}
+
+// closeReqSpans ends the queue-wait child (a stale queued copy never runs)
+// and the root span of a request reaching a terminal state. An open compute
+// span is deliberately left to its own closer — the task's OnDone, or
+// loseEdge when the worker died under it — since a stale copy may still be
+// computing past the terminal instant. All calls no-op on zero ids, so the
+// tracing-off path pays only the field checks.
+func (mw *Middleware) closeReqSpans(req *edgeReq, outcome string) {
+	now := mw.Engine.Now()
+	if req.qspan != 0 {
+		mw.Tracer.EndSpanDetail(now, req.qspan, "terminal")
+		req.qspan = 0
+	}
+	if req.span != 0 {
+		mw.Tracer.EndSpanDetail(now, req.span, outcome)
+		req.span = 0
+	}
 }
 
 // rejectEdge finalises a dropped request (idempotent, like completeEdge).
@@ -76,6 +95,7 @@ func (mw *Middleware) rejectEdge(req *edgeReq) {
 	if mw.Tracer != nil {
 		mw.Tracer.Add(mw.Engine.Now(), "edge_rejected", req.id, 0)
 	}
+	mw.closeReqSpans(req, "rejected")
 }
 
 // ---------------------------------------------------------------------------
@@ -113,10 +133,16 @@ func (mw *Middleware) timeoutEdge(req *edgeReq) {
 	mw.Edge.TimedOut.Inc()
 	req.attempts++
 	if req.attempts > mw.cfg.EdgeMaxRetries {
+		if req.span != 0 {
+			mw.Tracer.Instant(mw.Engine.Now(), "timeout", 0, req.span, "budget-exhausted")
+		}
 		mw.rejectEdge(req)
 		return
 	}
 	mw.Edge.Retries.Inc()
+	if req.span != 0 {
+		mw.Tracer.Instant(mw.Engine.Now(), "timeout", 0, req.span, "retry")
+	}
 	mw.armTimeout(req)
 	mw.escalate(req)
 }
@@ -129,10 +155,19 @@ func (mw *Middleware) escalate(req *edgeReq) {
 	c := req.home
 	switch {
 	case req.attempts <= 1:
+		if req.span != 0 {
+			mw.Tracer.Instant(mw.Engine.Now(), "escalate", 0, req.span, "re-decide")
+		}
 		mw.decide(c, req)
 	case req.attempts == 2 && len(c.neighbors) > 0:
+		if req.span != 0 {
+			mw.Tracer.Instant(mw.Engine.Now(), "escalate", 0, req.span, "horizontal")
+		}
 		mw.forwardHorizontal(c, req)
 	default:
+		if req.span != 0 {
+			mw.Tracer.Instant(mw.Engine.Now(), "escalate", 0, req.span, "vertical")
+		}
 		mw.forwardVertical(c, req)
 	}
 }
@@ -142,15 +177,28 @@ func (mw *Middleware) escalate(req *edgeReq) {
 // knobs the fabric never drops, so this path is unreachable in the
 // deterministic baseline.
 func (mw *Middleware) loseEdge(req *edgeReq) {
+	if req.cspan != 0 {
+		// The request's running copy died with its worker; close the
+		// compute span at the failure instant (even for already-terminal
+		// requests, whose evacuated copy still owned an open span).
+		mw.Tracer.EndSpanDetail(mw.Engine.Now(), req.cspan, "aborted")
+		req.cspan = 0
+	}
 	if req.done {
 		return
 	}
 	req.attempts++
 	if req.attempts > mw.cfg.EdgeMaxRetries {
+		if req.span != 0 {
+			mw.Tracer.Instant(mw.Engine.Now(), "loss", 0, req.span, "budget-exhausted")
+		}
 		mw.rejectEdge(req)
 		return
 	}
 	mw.Edge.Retries.Inc()
+	if req.span != 0 {
+		mw.Tracer.Instant(mw.Engine.Now(), "loss", 0, req.span, "retry")
+	}
 	mw.armTimeout(req)
 	mw.resubmit(req)
 }
@@ -159,7 +207,7 @@ func (mw *Middleware) loseEdge(req *edgeReq) {
 // gateway — the client retransmit of the §III-B middleware story.
 func (mw *Middleware) resubmit(req *edgeReq) {
 	c := req.home
-	ok := mw.Net.SendEx(req.origin, c.EdgeGW, req.input, func(sim.Time) {
+	ok := mw.Net.SendTraced(req.origin, c.EdgeGW, req.input, req.span, func(sim.Time) {
 		mw.Engine.After(mw.cfg.GatewayOverhead, func() { mw.decide(c, req) })
 	}, func() { mw.loseEdge(req) })
 	if !ok {
@@ -286,10 +334,11 @@ func (mw *Middleware) SubmitEdge(c *Cluster, device network.NodeID, r workload.E
 		req.deadline = mw.Engine.Now() + r.Deadline
 	}
 	mw.Edge.Submitted.Inc()
+	req.span = mw.Tracer.BeginSpan(mw.Engine.Now(), "request", req.id, 0)
 	mw.armTimeout(req)
 	// Device → gateway transfer, then the gateway's processing delay,
 	// then decide.
-	ok := mw.Net.SendEx(device, c.EdgeGW, r.Input, func(sim.Time) {
+	ok := mw.Net.SendTraced(device, c.EdgeGW, r.Input, req.span, func(sim.Time) {
 		mw.Engine.After(mw.cfg.GatewayOverhead, func() { mw.decide(c, req) })
 	}, func() { mw.loseEdge(req) })
 	if !ok {
@@ -317,16 +366,20 @@ func (mw *Middleware) SubmitEdgeDirect(c *Cluster, device network.NodeID, w *Wor
 		req.deadline = mw.Engine.Now() + r.Deadline
 	}
 	mw.Edge.Submitted.Inc()
+	req.span = mw.Tracer.BeginSpan(mw.Engine.Now(), "request", req.id, 0)
 	mw.armTimeout(req)
-	ok := mw.Net.SendEx(device, w.Node, r.Input, func(sim.Time) {
+	ok := mw.Net.SendTraced(device, w.Node, r.Input, req.span, func(sim.Time) {
 		if !w.M.Offline() && w.FreeSlots() > 0 {
 			mw.execute(c, w, req, w.Node) // respond straight to the device
 			return
 		}
 		mw.Edge.DirectFallbacks.Inc()
 		req.flow = FlowEdgeIndirect
+		if req.span != 0 {
+			mw.Tracer.Instant(mw.Engine.Now(), "direct-fallback", 0, req.span, "")
+		}
 		// Forward from the worker to the gateway and decide there.
-		ok := mw.Net.SendEx(w.Node, c.EdgeGW, r.Input, func(sim.Time) {
+		ok := mw.Net.SendTraced(w.Node, c.EdgeGW, r.Input, req.span, func(sim.Time) {
 			mw.Engine.After(mw.cfg.GatewayOverhead, func() { mw.decide(c, req) })
 		}, func() { mw.loseEdge(req) })
 		if !ok {
@@ -341,7 +394,11 @@ func (mw *Middleware) SubmitEdgeDirect(c *Cluster, device network.NodeID, w *Wor
 // decide applies the offload policy to a request sitting at c's gateway.
 func (mw *Middleware) decide(c *Cluster, req *edgeReq) {
 	ctx := c.offloadContext(req)
-	switch mw.cfg.Offload.Decide(ctx) {
+	verdict := mw.cfg.Offload.Decide(ctx)
+	if req.span != 0 {
+		mw.Tracer.Instant(mw.Engine.Now(), "decide", 0, req.span, verdict.String())
+	}
+	switch verdict {
 	case offload.Run:
 		w := c.pickEdgeWorker()
 		if w == nil {
@@ -371,6 +428,9 @@ func (mw *Middleware) enqueueEdge(c *Cluster, req *edgeReq) {
 		return
 	}
 	req.queued = true
+	if req.span != 0 && req.qspan == 0 {
+		req.qspan = mw.Tracer.BeginSpan(mw.Engine.Now(), "queue", 0, req.span)
+	}
 	// The queue discipline needs a task handle for SJF sizing.
 	t := &server.Task{ID: req.id, Work: req.work, Class: classEdge}
 	c.edgeQ.Push(&sched.Item{Task: t, Enqueued: mw.Engine.Now(), Deadline: req.deadline, Ctx: req})
@@ -386,7 +446,7 @@ func (mw *Middleware) runEdgeOn(c *Cluster, w *Worker, req *edgeReq) {
 // then executes. The reservation is released when the input lands (or dies
 // on the wire).
 func (mw *Middleware) shipEdge(c *Cluster, w *Worker, req *edgeReq) {
-	ok := mw.Net.SendEx(c.EdgeGW, w.Node, req.input, func(sim.Time) {
+	ok := mw.Net.SendTraced(c.EdgeGW, w.Node, req.input, req.span, func(sim.Time) {
 		w.reserved--
 		if req.done {
 			return
@@ -414,8 +474,16 @@ func (mw *Middleware) shipEdge(c *Cluster, w *Worker, req *edgeReq) {
 // execute runs the request on the worker and routes the response back to
 // the origin via `via` (gateway for indirect, worker-direct otherwise).
 func (mw *Middleware) execute(c *Cluster, w *Worker, req *edgeReq, via network.NodeID) {
+	cspan := mw.Tracer.BeginSpan(mw.Engine.Now(), "compute", 0, req.span)
+	req.cspan = cspan
 	task := &server.Task{ID: req.id, Work: req.work, Class: classEdge, Ctx: req}
 	task.OnDone = func(at sim.Time) {
+		if cspan != 0 {
+			mw.Tracer.EndSpanDetail(at, cspan, w.M.Name)
+			if req.cspan == cspan {
+				req.cspan = 0
+			}
+		}
 		// A lost response re-enters the retry ladder like any other wire
 		// loss: the work is redone, which is the at-least-once semantics a
 		// client retransmit gives you.
@@ -423,14 +491,14 @@ func (mw *Middleware) execute(c *Cluster, w *Worker, req *edgeReq, via network.N
 		lost := func() { mw.loseEdge(req) }
 		if via == w.Node {
 			// Direct: worker answers the device itself.
-			if !mw.Net.SendEx(w.Node, req.origin, req.output, respond, lost) {
+			if !mw.Net.SendTraced(w.Node, req.origin, req.output, req.span, respond, lost) {
 				mw.waitOrReject(req)
 			}
 			return
 		}
 		// Indirect: worker → gateway → device.
-		ok := mw.Net.SendEx(w.Node, via, req.output, func(sim.Time) {
-			if !mw.Net.SendEx(via, req.origin, req.output, respond, lost) {
+		ok := mw.Net.SendTraced(w.Node, via, req.output, req.span, func(sim.Time) {
+			if !mw.Net.SendTraced(via, req.origin, req.output, req.span, respond, lost) {
 				mw.waitOrReject(req)
 			}
 		}, lost)
@@ -487,7 +555,7 @@ func (mw *Middleware) forwardHorizontal(c *Cluster, req *edgeReq) {
 	best.fwdIn++
 	req.fwd = true
 	target := best
-	ok := mw.Net.SendEx(c.EdgeGW, target.EdgeGW, req.input, func(sim.Time) {
+	ok := mw.Net.SendTraced(c.EdgeGW, target.EdgeGW, req.input, req.span, func(sim.Time) {
 		// Responses will flow back through the remote gateway; the origin
 		// stays the device, so the path is worker → remote GW → device.
 		mw.Engine.After(mw.cfg.GatewayOverhead, func() { mw.decide(target, req) })
@@ -505,15 +573,23 @@ func (mw *Middleware) forwardVertical(c *Cluster, req *edgeReq) {
 	}
 	mw.Edge.Vertical.Inc()
 	lost := func() { mw.loseEdge(req) }
-	ok := mw.Net.SendEx(c.EdgeGW, mw.dcNode, req.input, func(sim.Time) {
+	ok := mw.Net.SendTraced(c.EdgeGW, mw.dcNode, req.input, req.span, func(sim.Time) {
 		if req.done {
 			return
 		}
+		cspan := mw.Tracer.BeginSpan(mw.Engine.Now(), "compute", 0, req.span)
+		req.cspan = cspan
 		task := &server.Task{ID: req.id, Work: req.work, Class: classEdge, Ctx: req}
 		task.OnDone = func(at sim.Time) {
+			if cspan != 0 {
+				mw.Tracer.EndSpanDetail(at, cspan, "datacenter")
+				if req.cspan == cspan {
+					req.cspan = 0
+				}
+			}
 			// Response: datacenter → gateway → device.
-			ok := mw.Net.SendEx(mw.dcNode, c.EdgeGW, req.output, func(sim.Time) {
-				ok := mw.Net.SendEx(c.EdgeGW, req.origin, req.output, func(sim.Time) {
+			ok := mw.Net.SendTraced(mw.dcNode, c.EdgeGW, req.output, req.span, func(sim.Time) {
+				ok := mw.Net.SendTraced(c.EdgeGW, req.origin, req.output, req.span, func(sim.Time) {
 					mw.completeEdge(req)
 				}, lost)
 				if !ok {
@@ -562,6 +638,7 @@ func (mw *Middleware) SubmitDCCNotify(c *Cluster, operator network.NodeID, job w
 		return
 	}
 	mw.DCC.JobsSubmitted.Inc()
+	j.span = mw.Tracer.BeginSpan(mw.Engine.Now(), "dcc-job", dccTraceBit|j.id, 0)
 	// One input transfer operator → gateway for the job payload, then
 	// tasks enter the queue. A payload that cannot reach the gateway (no
 	// route, or lost on the wire under chaos) is retried with exponential
@@ -581,6 +658,10 @@ func (mw *Middleware) SubmitDCCNotify(c *Cluster, operator network.NodeID, job w
 	lose := func() {
 		mw.DCC.JobsLost.Inc()
 		j.pending = 0
+		if j.span != 0 {
+			mw.Tracer.EndSpanDetail(mw.Engine.Now(), j.span, "lost")
+			j.span = 0
+		}
 		if j.onDone != nil {
 			j.onDone(mw.Engine.Now())
 		}
@@ -593,10 +674,13 @@ func (mw *Middleware) SubmitDCCNotify(c *Cluster, operator network.NodeID, job w
 				return
 			}
 			mw.DCC.SubmitRetries.Inc()
+			if j.span != 0 {
+				mw.Tracer.Instant(mw.Engine.Now(), "dcc-retry", 0, j.span, "")
+			}
 			backoff := mw.cfg.DCCRetryBackoff * sim.Time(int64(1)<<uint(n))
 			mw.Engine.AfterTransient(backoff, func() { attempt(n + 1) })
 		}
-		if !mw.Net.SendEx(operator, c.DCCGW, size, deliver, func() { retry() }) {
+		if !mw.Net.SendTraced(operator, c.DCCGW, size, j.span, deliver, func() { retry() }) {
 			retry()
 		}
 	}
@@ -609,6 +693,9 @@ func (mw *Middleware) dccTaskDone(j *dccJob, work float64) {
 	mw.DCC.TasksDone.Inc()
 	mw.DCC.WorkDone += work
 	j.pending--
+	if j.span != 0 {
+		mw.Tracer.Instant(mw.Engine.Now(), "dcc-task", 0, j.span, "")
+	}
 	if j.pending == 0 {
 		flow := mw.Engine.Now() - j.arrival
 		mw.DCC.JobFlowTime.Observe(flow)
@@ -620,6 +707,10 @@ func (mw *Middleware) dccTaskDone(j *dccJob, work float64) {
 		mw.DCC.JobsDone.Inc()
 		if mw.Tracer != nil {
 			mw.Tracer.Add(mw.Engine.Now(), "dcc_job", j.id, flow)
+		}
+		if j.span != 0 {
+			mw.Tracer.EndSpanDetail(mw.Engine.Now(), j.span, "done")
+			j.span = 0
 		}
 		if j.onDone != nil {
 			j.onDone(mw.Engine.Now())

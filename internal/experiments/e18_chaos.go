@@ -85,6 +85,10 @@ func E18Chaos(o Options) *Result {
 		cfg.GatewayMTBF = s.gwMTBF
 
 		c := city.Build(cfg)
+		if o.Tracer != nil {
+			o.Tracer.BeginProcess("E18 " + s.name)
+			c.EnableTracing(o.Tracer)
+		}
 		c.StartEdgeTraffic(horizon, 1)
 		c.StartDCCTraffic(horizon, 1.5)
 		c.Run(horizon + 12*sim.Hour) // drain the tail

@@ -9,6 +9,7 @@ import (
 	"io"
 
 	"df3/internal/report"
+	"df3/internal/trace"
 )
 
 // Options tune experiment cost.
@@ -18,6 +19,11 @@ type Options struct {
 	// Quick shrinks city sizes and horizons for CI-speed runs. The shapes
 	// under comparison are preserved; absolute values move.
 	Quick bool
+	// Tracer, when non-nil, turns on causal span tracing in experiments
+	// that support it (currently E18): each traced scenario becomes one
+	// process in the recorder, exportable as Chrome trace-event JSON.
+	// Tracing is pure observation — results are identical with it on.
+	Tracer *trace.Recorder
 }
 
 // DefaultOptions is the full-fidelity configuration.

@@ -1,0 +1,120 @@
+package metrics
+
+// P2 estimates a single quantile of an unbounded observation stream in O(1)
+// memory with the P² algorithm (Jain & Chlamtac, CACM 1985): five markers
+// track the minimum, the target quantile, the two intermediate quantiles and
+// the maximum, and are nudged toward their desired positions with parabolic
+// interpolation on every observation. City-year runs observe millions of
+// request latencies; P² answers p50/p99 without retaining any of them, which
+// is what lets the registry export live histograms from a long simulation.
+type P2 struct {
+	p       float64    // target quantile in (0,1)
+	q       [5]float64 // marker heights
+	n       [5]float64 // marker positions (1-based)
+	desired [5]float64 // desired marker positions
+	dn      [5]float64 // desired-position increments per observation
+	count   int64
+}
+
+// NewP2 returns an estimator for the q-quantile, q in (0,1).
+func NewP2(q float64) *P2 {
+	if q <= 0 || q >= 1 {
+		panic("metrics: P2 quantile must be in (0,1)")
+	}
+	e := &P2{p: q}
+	e.dn = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+	return e
+}
+
+// Count returns the number of observations.
+func (e *P2) Count() int64 { return e.count }
+
+// Observe adds one observation.
+func (e *P2) Observe(v float64) {
+	e.count++
+	if e.count <= 5 {
+		// Insertion-sort the first five observations into the markers.
+		i := int(e.count) - 1
+		e.q[i] = v
+		for j := i; j > 0 && e.q[j-1] > e.q[j]; j-- {
+			e.q[j-1], e.q[j] = e.q[j], e.q[j-1]
+		}
+		if e.count == 5 {
+			p := e.p
+			e.n = [5]float64{1, 2, 3, 4, 5}
+			e.desired = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+		}
+		return
+	}
+
+	// Find the cell k such that q[k] <= v < q[k+1], extending the extremes.
+	var k int
+	switch {
+	case v < e.q[0]:
+		e.q[0] = v
+		k = 0
+	case v >= e.q[4]:
+		e.q[4] = v
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if v < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.n[i]++
+	}
+	for i := range e.desired {
+		e.desired[i] += e.dn[i]
+	}
+
+	// Nudge the three interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.desired[i] - e.n[i]
+		if (d >= 1 && e.n[i+1]-e.n[i] > 1) || (d <= -1 && e.n[i-1]-e.n[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1
+			}
+			// Piecewise-parabolic prediction; fall back to linear when the
+			// parabola would break marker monotonicity.
+			qp := e.parabolic(i, s)
+			if e.q[i-1] < qp && qp < e.q[i+1] {
+				e.q[i] = qp
+			} else {
+				e.q[i] = e.linear(i, s)
+			}
+			e.n[i] += s
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic height prediction for marker i
+// moved by d (±1).
+func (e *P2) parabolic(i int, d float64) float64 {
+	return e.q[i] + d/(e.n[i+1]-e.n[i-1])*
+		((e.n[i]-e.n[i-1]+d)*(e.q[i+1]-e.q[i])/(e.n[i+1]-e.n[i])+
+			(e.n[i+1]-e.n[i]-d)*(e.q[i]-e.q[i-1])/(e.n[i]-e.n[i-1]))
+}
+
+// linear is the fallback height prediction.
+func (e *P2) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return e.q[i] + d*(e.q[j]-e.q[i])/(e.n[j]-e.n[i])
+}
+
+// Value returns the current quantile estimate. With fewer than five
+// observations it answers from the exact sorted prefix.
+func (e *P2) Value() float64 {
+	if e.count == 0 {
+		return 0
+	}
+	if e.count < 5 {
+		// Exact small-sample quantile by nearest rank on the sorted prefix.
+		idx := int(e.p * float64(e.count-1))
+		return e.q[idx]
+	}
+	return e.q[2]
+}

@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"df3/internal/rng"
+)
+
+// exactQuantile answers from a sorted copy for comparison.
+func exactQuantile(vs []float64, q float64) float64 {
+	s := Sample{}
+	for _, v := range vs {
+		s.Observe(v)
+	}
+	return s.Quantile(q)
+}
+
+func TestP2TracksQuantiles(t *testing.T) {
+	stream := rng.New(42)
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		for name, draw := range map[string]func() float64{
+			"uniform": stream.Float64,
+			"exp":     func() float64 { return stream.Exp(1) },
+		} {
+			est := NewP2(q)
+			var vs []float64
+			for i := 0; i < 50000; i++ {
+				v := draw()
+				vs = append(vs, v)
+				est.Observe(v)
+			}
+			want := exactQuantile(vs, q)
+			got := est.Value()
+			// P² is an estimate; on 50k smooth-distribution samples it
+			// should land within a few percent of the exact quantile.
+			if math.Abs(got-want) > 0.05*math.Max(want, 0.1) {
+				t.Errorf("%s q=%v: got %v want %v", name, q, got, want)
+			}
+		}
+	}
+}
+
+func TestP2SmallSamples(t *testing.T) {
+	est := NewP2(0.5)
+	if est.Value() != 0 {
+		t.Fatalf("empty estimator should answer 0")
+	}
+	vals := []float64{5, 1, 4, 2}
+	for _, v := range vals {
+		est.Observe(v)
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	got := est.Value()
+	// Small-sample answers come from the exact sorted prefix.
+	found := false
+	for _, v := range sorted {
+		if got == v {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("small-sample value %v not an observed value %v", got, sorted)
+	}
+	if est.Count() != 4 {
+		t.Errorf("count = %d, want 4", est.Count())
+	}
+}
+
+func TestP2Monotone(t *testing.T) {
+	est := NewP2(0.9)
+	for i := 0; i < 1000; i++ {
+		est.Observe(float64(i))
+	}
+	got := est.Value()
+	if got < 800 || got > 1000 {
+		t.Errorf("p90 of 0..999 = %v, want ≈900", got)
+	}
+}
+
+func TestP2PanicsOnBadQuantile(t *testing.T) {
+	for _, q := range []float64{0, 1, -0.1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewP2(%v) should panic", q)
+				}
+			}()
+			NewP2(q)
+		}()
+	}
+}

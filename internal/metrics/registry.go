@@ -1,0 +1,441 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the named metrics registry: every platform counter,
+// gauge and histogram registered under a `name{label="value"}` identity and
+// exportable in the Prometheus text exposition format. The simulator itself
+// stays single-threaded, but the registry and its owned instruments are
+// safe for concurrent use, because the df3d HTTP scrape path reads them
+// while the step handler advances the engine.
+//
+// Two registration styles coexist:
+//
+//   - Owned instruments (Counter, Gauge, Histogram) are allocated by the
+//     registry and safe to mutate from any goroutine — use these for new
+//     code.
+//   - Func-backed metrics (CounterFunc, GaugeFunc) read existing simulator
+//     state through a closure at scrape time. The closure runs under the
+//     registry lock; callers that scrape concurrently with a running engine
+//     must serialise externally (the api server holds its mutex).
+
+// Labels is a set of label name→value pairs. A nil or empty map means an
+// unlabeled series.
+type Labels map[string]string
+
+// Kind discriminates registered metric types.
+type Kind int
+
+const (
+	// KindCounter is a monotonically non-decreasing count.
+	KindCounter Kind = iota
+	// KindGauge is a value that can go up and down.
+	KindGauge
+	// KindHistogram is a quantile summary backed by P² estimators.
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	default:
+		return "summary"
+	}
+}
+
+// SharedCounter is a concurrency-safe monotonic counter owned by a Registry.
+type SharedCounter struct{ n atomic.Int64 }
+
+// Inc adds one.
+func (c *SharedCounter) Inc() { c.n.Add(1) }
+
+// Addn adds k (k must be non-negative for the series to stay monotonic).
+func (c *SharedCounter) Addn(k int64) { c.n.Add(k) }
+
+// Value returns the count.
+func (c *SharedCounter) Value() int64 { return c.n.Load() }
+
+// SharedGauge is a concurrency-safe gauge owned by a Registry.
+type SharedGauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *SharedGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by dv.
+func (g *SharedGauge) Add(dv float64) {
+	for {
+		old := g.bits.Load()
+		v := math.Float64frombits(old) + dv
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *SharedGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram summarises an observation stream with P² quantile estimators:
+// O(1) memory however many observations arrive, concurrency-safe.
+type Histogram struct {
+	mu        sync.Mutex
+	count     int64
+	sum       float64
+	min, max  float64
+	quantiles []float64
+	est       []*P2
+}
+
+// newHistogram tracks the given quantiles (default 0.5, 0.9, 0.99).
+func newHistogram(quantiles []float64) *Histogram {
+	if len(quantiles) == 0 {
+		quantiles = []float64{0.5, 0.9, 0.99}
+	}
+	qs := append([]float64(nil), quantiles...)
+	sort.Float64s(qs)
+	h := &Histogram{quantiles: qs}
+	for _, q := range qs {
+		h.est = append(h.est, NewP2(q))
+	}
+	return h
+}
+
+// Observe adds one observation.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		h.min, h.max = v, v
+	} else {
+		if v < h.min {
+			h.min = v
+		}
+		if v > h.max {
+			h.max = v
+		}
+	}
+	h.count++
+	h.sum += v
+	for _, e := range h.est {
+		e.Observe(v)
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { h.mu.Lock(); defer h.mu.Unlock(); return h.count }
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() float64 { h.mu.Lock(); defer h.mu.Unlock(); return h.sum }
+
+// Quantile returns the estimate for the tracked quantile nearest q.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.est) == 0 {
+		return 0
+	}
+	best := 0
+	for i, tq := range h.quantiles {
+		if math.Abs(tq-q) < math.Abs(h.quantiles[best]-q) {
+			best = i
+		}
+	}
+	return h.est[best].Value()
+}
+
+// Quantiles returns the tracked quantiles and their current estimates.
+func (h *Histogram) Quantiles() ([]float64, []float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	qs := append([]float64(nil), h.quantiles...)
+	vs := make([]float64, len(h.est))
+	for i, e := range h.est {
+		vs[i] = e.Value()
+	}
+	return qs, vs
+}
+
+// entry is one registered series.
+type entry struct {
+	name   string
+	id     string // canonical name{k="v",...}
+	help   string
+	kind   Kind
+	labels string // rendered {k="v",...} or ""
+
+	counter   *SharedCounter
+	gauge     *SharedGauge
+	hist      *Histogram
+	counterFn func() int64
+	gaugeFn   func() float64
+}
+
+// Registry is a named collection of metrics with label identity.
+type Registry struct {
+	mu    sync.RWMutex
+	byID  map[string]*entry
+	order []*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byID: map[string]*entry{}}
+}
+
+// validName matches the Prometheus metric-name grammar.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// escapeLabel escapes a label value for the text format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// renderLabels produces the canonical sorted {k="v",...} suffix ("" when
+// unlabeled).
+func renderLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if !validName(k) || strings.Contains(k, ":") {
+			panic(fmt.Sprintf("metrics: invalid label name %q", k))
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ID returns the canonical series identity for a name and label set.
+func ID(name string, labels Labels) string { return name + renderLabels(labels) }
+
+// register adds (or retrieves) a series. A second registration of the same
+// identity must carry the same kind; owned instruments are then shared.
+func (r *Registry) register(name, help string, labels Labels, kind Kind) (*entry, bool) {
+	if !validName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	id := ID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.byID[id]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("metrics: %s re-registered as %v (was %v)", id, kind, e.kind))
+		}
+		return e, false
+	}
+	e := &entry{name: name, id: id, help: help, kind: kind, labels: renderLabels(labels)}
+	r.byID[id] = e
+	r.order = append(r.order, e)
+	return e, true
+}
+
+// Counter registers (or retrieves) an owned counter.
+func (r *Registry) Counter(name, help string, labels Labels) *SharedCounter {
+	e, fresh := r.register(name, help, labels, KindCounter)
+	if fresh {
+		e.counter = &SharedCounter{}
+	}
+	if e.counter == nil {
+		panic(fmt.Sprintf("metrics: %s is func-backed, not an owned counter", e.id))
+	}
+	return e.counter
+}
+
+// Gauge registers (or retrieves) an owned gauge.
+func (r *Registry) Gauge(name, help string, labels Labels) *SharedGauge {
+	e, fresh := r.register(name, help, labels, KindGauge)
+	if fresh {
+		e.gauge = &SharedGauge{}
+	}
+	if e.gauge == nil {
+		panic(fmt.Sprintf("metrics: %s is func-backed, not an owned gauge", e.id))
+	}
+	return e.gauge
+}
+
+// Histogram registers (or retrieves) a P²-backed quantile summary tracking
+// the given quantiles (default 0.5, 0.9, 0.99).
+func (r *Registry) Histogram(name, help string, labels Labels, quantiles ...float64) *Histogram {
+	e, fresh := r.register(name, help, labels, KindHistogram)
+	if fresh {
+		e.hist = newHistogram(quantiles)
+	}
+	return e.hist
+}
+
+// CounterFunc registers a read-through counter: fn is evaluated at scrape
+// time. Registering the same identity twice panics.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() int64) {
+	e, fresh := r.register(name, help, labels, KindCounter)
+	if !fresh {
+		panic(fmt.Sprintf("metrics: duplicate registration of %s", e.id))
+	}
+	e.counterFn = fn
+}
+
+// GaugeFunc registers a read-through gauge evaluated at scrape time.
+// Registering the same identity twice panics.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	e, fresh := r.register(name, help, labels, KindGauge)
+	if !fresh {
+		panic(fmt.Sprintf("metrics: duplicate registration of %s", e.id))
+	}
+	e.gaugeFn = fn
+}
+
+// Len returns the number of registered series.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.order)
+}
+
+// fmtFloat renders a float in the text exposition format.
+func fmtFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered series in the Prometheus text
+// exposition format (version 0.0.4), grouped by metric name with HELP/TYPE
+// headers, series in registration order within a group. Func-backed metrics
+// are evaluated under the registry lock; callers scraping concurrently with
+// a live simulation must serialise with it.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	// Group series by metric name, preserving first-registration order.
+	var names []string
+	groups := map[string][]*entry{}
+	for _, e := range r.order {
+		if _, ok := groups[e.name]; !ok {
+			names = append(names, e.name)
+		}
+		groups[e.name] = append(groups[e.name], e)
+	}
+	var b strings.Builder
+	for _, name := range names {
+		es := groups[name]
+		if help := es[0].help; help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, strings.ReplaceAll(help, "\n", " "))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, es[0].kind)
+		for _, e := range es {
+			switch e.kind {
+			case KindCounter:
+				v := int64(0)
+				if e.counter != nil {
+					v = e.counter.Value()
+				} else if e.counterFn != nil {
+					v = e.counterFn()
+				}
+				fmt.Fprintf(&b, "%s%s %d\n", e.name, e.labels, v)
+			case KindGauge:
+				v := 0.0
+				if e.gauge != nil {
+					v = e.gauge.Value()
+				} else if e.gaugeFn != nil {
+					v = e.gaugeFn()
+				}
+				fmt.Fprintf(&b, "%s%s %s\n", e.name, e.labels, fmtFloat(v))
+			case KindHistogram:
+				qs, vs := e.hist.Quantiles()
+				for i, q := range qs {
+					fmt.Fprintf(&b, "%s%s %s\n", e.name,
+						mergeQuantile(e.labels, q), fmtFloat(vs[i]))
+				}
+				fmt.Fprintf(&b, "%s_sum%s %s\n", e.name, e.labels, fmtFloat(e.hist.Sum()))
+				fmt.Fprintf(&b, "%s_count%s %d\n", e.name, e.labels, e.hist.Count())
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// mergeQuantile splices a quantile="q" label into a rendered label set.
+func mergeQuantile(labels string, q float64) string {
+	qs := fmt.Sprintf(`quantile="%s"`, fmtFloat(q))
+	if labels == "" {
+		return "{" + qs + "}"
+	}
+	return labels[:len(labels)-1] + "," + qs + "}"
+}
+
+// ParsePrometheus parses text-exposition output back into a map from series
+// identity (name plus rendered label set, exactly as exposed) to value. It
+// understands the subset WritePrometheus emits — enough for round-trip
+// tests and HTTP assertions, not a general scraper.
+func ParsePrometheus(rd io.Reader) (map[string]float64, error) {
+	data, err := io.ReadAll(rd)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value follows the last space outside a label set.
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			return nil, fmt.Errorf("metrics: parse line %d: %q", ln+1, line)
+		}
+		id, vs := line[:sp], line[sp+1:]
+		v, err := strconv.ParseFloat(vs, 64)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: parse line %d value %q: %w", ln+1, vs, err)
+		}
+		out[id] = v
+	}
+	return out, nil
+}

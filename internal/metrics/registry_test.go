@@ -1,0 +1,190 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryIdentity(t *testing.T) {
+	if got := ID("df3_up", nil); got != "df3_up" {
+		t.Errorf("unlabeled id = %q", got)
+	}
+	got := ID("df3_x", Labels{"b": "2", "a": "1"})
+	if got != `df3_x{a="1",b="2"}` {
+		t.Errorf("labels not sorted: %q", got)
+	}
+	esc := ID("df3_x", Labels{"a": "say \"hi\"\n"})
+	if esc != `df3_x{a="say \"hi\"\n"}` {
+		t.Errorf("escaping wrong: %q", esc)
+	}
+}
+
+func TestRegistryOwnedInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("df3_reqs_total", "requests", Labels{"outcome": "ok"})
+	c.Inc()
+	c.Addn(2)
+	// Same identity returns the same instrument.
+	if r.Counter("df3_reqs_total", "", Labels{"outcome": "ok"}) != c {
+		t.Fatal("re-registration did not return the shared counter")
+	}
+	if c.Value() != 3 {
+		t.Errorf("counter = %d, want 3", c.Value())
+	}
+	g := r.Gauge("df3_temp", "", nil)
+	g.Set(20)
+	g.Add(1.5)
+	if g.Value() != 21.5 {
+		t.Errorf("gauge = %v", g.Value())
+	}
+	h := r.Histogram("df3_latency_seconds", "", nil, 0.5, 0.99)
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 100 || h.Sum() != 5050 {
+		t.Errorf("count/sum = %d/%v", h.Count(), h.Sum())
+	}
+	if p50 := h.Quantile(0.5); math.Abs(p50-50) > 5 {
+		t.Errorf("p50 = %v, want ≈50", p50)
+	}
+	if r.Len() != 3 {
+		t.Errorf("len = %d, want 3", r.Len())
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("df3_x", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("gauge re-registration of a counter should panic")
+		}
+	}()
+	r.Gauge("df3_x", "", nil)
+}
+
+func TestRegistryDuplicateFuncPanics(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("df3_now", "", nil, func() float64 { return 1 })
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate GaugeFunc should panic")
+		}
+	}()
+	r.GaugeFunc("df3_now", "", nil, func() float64 { return 2 })
+}
+
+func TestRegistryInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid metric name should panic")
+		}
+	}()
+	r.Counter("df3 bad name", "", nil)
+}
+
+// TestRegistryConcurrency exercises owned instruments and scrapes from many
+// goroutines at once; run under -race this is the registry's thread-safety
+// proof.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("df3_ops_total", "ops", nil)
+	g := r.Gauge("df3_level", "", nil)
+	h := r.Histogram("df3_obs", "", nil)
+
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 100))
+				if i%500 == 0 {
+					// Concurrent registration of the same identity and a
+					// concurrent scrape must both be safe.
+					r.Counter("df3_ops_total", "ops", nil)
+					var b strings.Builder
+					if err := r.WritePrometheus(&b); err != nil {
+						t.Errorf("scrape: %v", err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*perWorker {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*perWorker)
+	}
+	if g.Value() != workers*perWorker {
+		t.Errorf("gauge = %v, want %d", g.Value(), workers*perWorker)
+	}
+	if h.Count() != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*perWorker)
+	}
+}
+
+func TestPrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("df3_served_total", "served requests", Labels{"flow": "edge"}).Addn(42)
+	r.Counter("df3_served_total", "", Labels{"flow": "dcc"}).Addn(7)
+	r.Gauge("df3_capacity_cores", "fleet capacity", nil).Set(12.5)
+	r.GaugeFunc("df3_sim_time_seconds", "sim clock", nil, func() float64 { return 3600 })
+	r.CounterFunc("df3_events_total", "", nil, func() int64 { return 99 })
+	h := r.Histogram("df3_lat_seconds", "latency", Labels{"flow": "edge"}, 0.5)
+	for i := 0; i < 1000; i++ {
+		h.Observe(0.001 * float64(i))
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE df3_served_total counter",
+		"# HELP df3_served_total served requests",
+		`df3_served_total{flow="edge"} 42`,
+		`df3_served_total{flow="dcc"} 7`,
+		"# TYPE df3_lat_seconds summary",
+		`df3_lat_seconds_count{flow="edge"} 1000`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+
+	vals, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]float64{
+		`df3_served_total{flow="edge"}`:      42,
+		`df3_served_total{flow="dcc"}`:       7,
+		"df3_capacity_cores":                 12.5,
+		"df3_sim_time_seconds":               3600,
+		"df3_events_total":                   99,
+		`df3_lat_seconds_count{flow="edge"}`: 1000,
+		`df3_lat_seconds_sum{flow="edge"}`:   h.Sum(),
+	}
+	for id, want := range checks {
+		got, ok := vals[id]
+		if !ok {
+			t.Errorf("parsed output missing %s", id)
+			continue
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s = %v, want %v", id, got, want)
+		}
+	}
+	// The quantile series must carry the merged label.
+	if _, ok := vals[`df3_lat_seconds{flow="edge",quantile="0.5"}`]; !ok {
+		t.Errorf("missing quantile series; parsed keys: %v", vals)
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"df3/internal/rng"
 	"df3/internal/sim"
+	"df3/internal/trace"
 	"df3/internal/units"
 )
 
@@ -39,6 +40,9 @@ type Link struct {
 	bytes     float64
 	messages  int64
 	down      bool
+	// stage is the precomputed span label ("hop:"+Class), so tracing a hop
+	// never concatenates strings on the hot path.
+	stage string
 	// epoch increments on every failure, so a message injected before an
 	// outage is recognised as dead on arrival even if the link was
 	// repaired while it was in flight.
@@ -122,6 +126,10 @@ type Fabric struct {
 	// messages dead on a failed link, and messages arriving at a failed
 	// node. Scenario layers hook it to ledger counters.
 	OnLoss func(from, to NodeID, size units.Byte)
+	// Tracer, when set, records message and per-hop spans for sends made
+	// through SendTraced. Plain Send/SendEx traffic is never spanned, so
+	// only flows a caller opted into show up in the trace.
+	Tracer *trace.Recorder
 }
 
 // NewFabric returns an empty fabric.
@@ -156,8 +164,9 @@ func (f *Fabric) Connect(a, b NodeID, c Class) {
 		f.adj[b] = append(f.adj[b], a)
 		f.pairs = append(f.pairs, [2]NodeID{a, b})
 	}
-	f.links[[2]NodeID{a, b}] = &Link{From: a, To: b, Latency: c.Latency, Bandwidth: c.Bandwidth, Class: c.Name}
-	f.links[[2]NodeID{b, a}] = &Link{From: b, To: a, Latency: c.Latency, Bandwidth: c.Bandwidth, Class: c.Name}
+	stage := "hop:" + c.Name
+	f.links[[2]NodeID{a, b}] = &Link{From: a, To: b, Latency: c.Latency, Bandwidth: c.Bandwidth, Class: c.Name, stage: stage}
+	f.links[[2]NodeID{b, a}] = &Link{From: b, To: a, Latency: c.Latency, Bandwidth: c.Bandwidth, Class: c.Name, stage: stage}
 	f.routes = map[[2]NodeID][]NodeID{} // topology changed; recompute lazily
 }
 
@@ -373,24 +382,45 @@ func (f *Fabric) Send(a, b NodeID, size units.Byte, deliver func(at sim.Time)) b
 // accepted message, which is what lets the middleware keep its
 // request-conservation invariant under chaos.
 func (f *Fabric) SendEx(a, b NodeID, size units.Byte, deliver func(at sim.Time), dropped func()) bool {
+	return f.SendTraced(a, b, size, 0, deliver, dropped)
+}
+
+// SendTraced is SendEx with span correlation: when the fabric has a Tracer,
+// the whole transfer becomes a "net" span (child of parent, e.g. a request's
+// root span) and every hop a "hop:<class>" child, so per-request latency
+// decomposes down to individual links in the trace. With no Tracer it is
+// exactly SendEx — the span ids stay zero and every span call no-ops.
+func (f *Fabric) SendTraced(a, b NodeID, size units.Byte, parent trace.SpanID, deliver func(at sim.Time), dropped func()) bool {
 	path := f.Route(a, b)
 	if path == nil {
+		if f.Tracer != nil {
+			f.Tracer.Instant(f.engine.Now(), "net:unreachable", 0, parent,
+				f.names[a]+"→"+f.names[b])
+		}
 		return false
 	}
 	if len(path) == 1 { // local delivery
 		f.engine.After(0, func() { deliver(f.engine.Now()) })
 		return true
 	}
-	f.hop(path, 0, size, deliver, dropped)
+	var msg trace.SpanID
+	if f.Tracer != nil {
+		msg = f.Tracer.BeginSpan(f.engine.Now(), "net", 0, parent)
+	}
+	f.hop(path, 0, size, msg, deliver, dropped)
 	return true
 }
 
-// hop forwards the message across path[i]→path[i+1] and recurses.
-func (f *Fabric) hop(path []NodeID, i int, size units.Byte, deliver func(at sim.Time), dropped func()) {
+// hop forwards the message across path[i]→path[i+1] and recurses. msg is
+// the transfer's span (0 when untraced); each hop opens a child under it.
+func (f *Fabric) hop(path []NodeID, i int, size units.Byte, msg trace.SpanID, deliver func(at sim.Time), dropped func()) {
 	from, to := path[i], path[i+1]
 	if !f.usable(from, to) {
 		// The path decayed under a multi-hop message: it dies at the dead
 		// hop, like a frame forwarded into a downed port.
+		if msg != 0 {
+			f.Tracer.EndSpanDetail(f.engine.Now(), msg, "lost:dead-hop")
+		}
 		f.drop(from, to, size, dropped)
 		return
 	}
@@ -403,17 +433,31 @@ func (f *Fabric) hop(path []NodeID, i int, size units.Byte, deliver func(at sim.
 	}
 	epoch := l.epoch
 	_, arrive := l.transferTime(f.engine.Now(), size)
+	var hs trace.SpanID
+	if msg != 0 {
+		hs = f.Tracer.BeginSpan(f.engine.Now(), l.stage, 0, msg)
+	}
 	f.engine.At(arrive, func() {
 		// A link that failed while the message was in flight ate it, even
 		// if the link was repaired before the arrival instant.
 		if lose || l.down || l.epoch != epoch || f.nodeDown[to] {
+			if msg != 0 {
+				f.Tracer.EndSpanDetail(f.engine.Now(), hs, "lost")
+				f.Tracer.EndSpanDetail(f.engine.Now(), msg, "lost")
+			}
 			f.drop(from, to, size, dropped)
 			return
 		}
+		if msg != 0 {
+			f.Tracer.EndSpan(f.engine.Now(), hs)
+		}
 		if i+2 >= len(path) {
+			if msg != 0 {
+				f.Tracer.EndSpanDetail(f.engine.Now(), msg, "delivered")
+			}
 			deliver(f.engine.Now())
 			return
 		}
-		f.hop(path, i+1, size, deliver, dropped)
+		f.hop(path, i+1, size, msg, deliver, dropped)
 	})
 }

@@ -19,6 +19,7 @@ import (
 
 	"df3/internal/power"
 	"df3/internal/sim"
+	"df3/internal/trace"
 	"df3/internal/units"
 )
 
@@ -90,6 +91,13 @@ type Machine struct {
 	// power off completely.
 	FloorW units.Watt
 
+	// Tracer, when set, records the machine's offline and derate windows
+	// as spans (trace id TraceTag), so Perfetto shows when and for how long
+	// a worker was failed or thermally throttled below full capacity.
+	Tracer *trace.Recorder
+	// TraceTag correlates this machine's window spans in the trace.
+	TraceTag uint64
+
 	engine  *sim.Engine
 	budget  units.Watt
 	level   power.Level
@@ -98,6 +106,8 @@ type Machine struct {
 	tasks   []*Task
 	meter   power.Meter
 	nextSq  uint64
+	offSpan trace.SpanID
+	derSpan trace.SpanID
 
 	// onCapacity is invoked whenever a slot may have freed (task finished
 	// or budget rose). The scheduler hooks this to dispatch queued work.
@@ -218,9 +228,27 @@ func (m *Machine) SetBudget(w units.Watt) {
 	grew := active > m.active || (active == m.active && level.Speed > m.level.Speed)
 	m.budget = w
 	m.level, m.active = level, active
+	if m.Tracer != nil {
+		m.traceWindows()
+	}
 	m.rebalance()
 	if grew && m.onCapacity != nil {
 		m.onCapacity()
+	}
+}
+
+// traceWindows opens/closes the machine's derate window span: open while
+// the budget holds capacity below the machine's maximum (and the machine is
+// up), closed when full capacity returns. Offline windows are traced in
+// SetOffline; while offline no derate span runs.
+func (m *Machine) traceWindows() {
+	now := m.engine.Now()
+	derated := !m.offline && m.Capacity() < m.MaxCapacity()
+	if derated && m.derSpan == 0 {
+		m.derSpan = m.Tracer.BeginSpan(now, "derate", m.TraceTag, 0)
+	} else if !derated && m.derSpan != 0 {
+		m.Tracer.EndSpanDetail(now, m.derSpan, m.Name)
+		m.derSpan = 0
 	}
 }
 
@@ -344,6 +372,15 @@ func (m *Machine) SetOffline(off bool) {
 		return
 	}
 	m.offline = off
+	if m.Tracer != nil {
+		now := m.engine.Now()
+		if off {
+			m.offSpan = m.Tracer.BeginSpan(now, "offline", m.TraceTag, 0)
+		} else if m.offSpan != 0 {
+			m.Tracer.EndSpanDetail(now, m.offSpan, m.Name)
+			m.offSpan = 0
+		}
+	}
 	m.SetBudget(m.budget)
 }
 

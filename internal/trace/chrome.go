@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON format ("X"
+// complete events plus "M" metadata), which Perfetto and chrome://tracing
+// open directly. Timestamps and durations are microseconds; we map one
+// simulated second to one second of trace time (1e6 µs).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   jsonMicros     `json:"ts"`
+	Dur  *jsonMicros    `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// jsonMicros renders a microsecond quantity with fixed nanosecond precision
+// so exports are byte-stable across runs (golden-file friendly).
+type jsonMicros float64
+
+func (m jsonMicros) MarshalJSON() ([]byte, error) {
+	return strconv.AppendFloat(nil, float64(m), 'f', 3, 64), nil
+}
+
+// WriteChrome exports the completed spans (plus process-name metadata) as
+// Chrome trace-event JSON. Open Perfetto (ui.perfetto.dev), drag the file
+// in, and each request renders as a track of nested stage slices.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	return WriteChromeSpans(w, r.Spans(), r.Processes())
+}
+
+// WriteChromeSpans exports spans as Chrome trace-event JSON. procs, when
+// non-nil, labels process i+1 with procs[i]; pass nil when labels are
+// unknown (e.g. converting a bare span JSONL file).
+func WriteChromeSpans(w io.Writer, spans []Span, procs []string) error {
+	if _, err := io.WriteString(w, `{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ev chromeEvent) error {
+		if !first {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		first = false
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(b)
+		return err
+	}
+	for i, label := range procs {
+		err := emit(chromeEvent{
+			Name: "process_name", Ph: "M", Pid: i + 1,
+			Args: map[string]any{"name": label},
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for _, sp := range spans {
+		pid := sp.Proc
+		if pid == 0 {
+			pid = 1
+		}
+		dur := jsonMicros(sp.Duration() * 1e6)
+		args := map[string]any{"id": uint64(sp.ID)}
+		if sp.Parent != 0 {
+			args["parent"] = uint64(sp.Parent)
+		}
+		if sp.Detail != "" {
+			args["detail"] = sp.Detail
+		}
+		err := emit(chromeEvent{
+			Name: sp.Stage, Cat: "df3", Ph: "X",
+			Ts: jsonMicros(sp.Begin * 1e6), Dur: &dur,
+			Pid: pid, Tid: sp.Trace, Args: args,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}
+
+// WriteSpansJSONL emits completed spans as JSON lines, one Span per line.
+func (r *Recorder) WriteSpansJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, sp := range r.Spans() {
+		if err := enc.Encode(sp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadSpansJSONL parses spans written by WriteSpansJSONL.
+func ReadSpansJSONL(r io.Reader) ([]Span, error) {
+	dec := json.NewDecoder(r)
+	var out []Span
+	for dec.More() {
+		var sp Span
+		if err := dec.Decode(&sp); err != nil {
+			return nil, fmt.Errorf("trace: spans jsonl: %w", err)
+		}
+		out = append(out, sp)
+	}
+	return out, nil
+}

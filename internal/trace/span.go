@@ -1,0 +1,211 @@
+package trace
+
+import (
+	"sort"
+
+	"df3/internal/sim"
+)
+
+// SpanID identifies one span within a Recorder. Zero means "no span" — every
+// span method treats it (and a nil Recorder) as a no-op, which is what lets
+// the instrumented hot paths run allocation-free when tracing is off.
+type SpanID uint64
+
+// Span is one causal interval in a request's (or job's, or machine's) life:
+// a stage with a begin and end time, optionally parented to the stage that
+// caused it. The parent links turn a trace into a tree per request, which is
+// how end-to-end latency decomposes into queue/network/compute/retry-wait.
+type Span struct {
+	ID     SpanID `json:"id"`
+	Parent SpanID `json:"parent,omitempty"`
+	// Trace correlates every span of one request/job; machine-window spans
+	// use a per-machine tag. A Begin with Trace 0 inherits the parent's.
+	Trace uint64 `json:"trace,omitempty"`
+	// Proc groups spans into processes (one per traced scenario) so a
+	// single Recorder can hold several runs side by side in Perfetto.
+	Proc   int      `json:"proc,omitempty"`
+	Stage  string   `json:"stage"`
+	Begin  sim.Time `json:"begin"`
+	End    sim.Time `json:"end"`
+	Detail string   `json:"detail,omitempty"`
+}
+
+// Duration returns End − Begin.
+func (s Span) Duration() sim.Time { return s.End - s.Begin }
+
+// NewRecorder returns a recorder whose event and completed-span buffers are
+// each bounded to capacity entries (0 = unbounded). When a buffer is full
+// the oldest entry is overwritten and the corresponding dropped counter
+// advances — long city runs with tracing on stay at bounded memory.
+func NewRecorder(capacity int) *Recorder {
+	r := &Recorder{}
+	r.SetCapacity(capacity)
+	return r
+}
+
+// SetCapacity bounds the event and completed-span buffers (0 = unbounded).
+// It must be called before anything is recorded.
+func (r *Recorder) SetCapacity(capacity int) {
+	if capacity < 0 {
+		capacity = 0
+	}
+	if len(r.events) > 0 || len(r.spans) > 0 || len(r.open) > 0 {
+		panic("trace: SetCapacity after recording started")
+	}
+	r.cap = capacity
+}
+
+// Capacity returns the configured buffer bound (0 = unbounded).
+func (r *Recorder) Capacity() int { return r.cap }
+
+// DroppedEvents returns how many events were evicted from the ring.
+func (r *Recorder) DroppedEvents() int64 { return r.evDropped }
+
+// DroppedSpans returns how many completed spans were evicted from the ring.
+func (r *Recorder) DroppedSpans() int64 { return r.spDropped }
+
+// BeginProcess opens a new process scope (returning its 1-based id): spans
+// begun afterwards carry it, and the Chrome exporter renders each process
+// as its own named track group. Use one process per traced scenario.
+func (r *Recorder) BeginProcess(label string) int {
+	if r == nil {
+		return 0
+	}
+	r.procs = append(r.procs, label)
+	r.curProc = len(r.procs)
+	return r.curProc
+}
+
+// Processes returns the registered process labels in BeginProcess order.
+func (r *Recorder) Processes() []string {
+	if r == nil {
+		return nil
+	}
+	return r.procs
+}
+
+// BeginSpan opens a span at time t. traceID correlates the request or job
+// the span belongs to; 0 inherits the open parent's trace. parent is the
+// causing span (0 for a root). Nil recorders return 0, and every other span
+// method ignores id 0, so instrumented code needs no tracing-enabled checks.
+func (r *Recorder) BeginSpan(t sim.Time, stage string, traceID uint64, parent SpanID) SpanID {
+	if r == nil {
+		return 0
+	}
+	if r.open == nil {
+		r.open = map[SpanID]Span{}
+	}
+	if parent != 0 {
+		if ps, ok := r.open[parent]; ok {
+			if traceID == 0 {
+				traceID = ps.Trace
+			}
+		} else {
+			// The parent is not open: either it never existed or it ended
+			// before this child began. Both break the causal tree.
+			r.orphanBegins++
+		}
+	}
+	r.nextSpan++
+	id := r.nextSpan
+	r.open[id] = Span{
+		ID: id, Parent: parent, Trace: traceID, Proc: r.curProc,
+		Stage: stage, Begin: t, End: -1,
+	}
+	return id
+}
+
+// EndSpan closes an open span at time t. Ending id 0, an unknown id or an
+// already-ended span is a counted no-op.
+func (r *Recorder) EndSpan(t sim.Time, id SpanID) { r.EndSpanDetail(t, id, "") }
+
+// EndSpanDetail is EndSpan with a free-form annotation (outcome, route...).
+func (r *Recorder) EndSpanDetail(t sim.Time, id SpanID, detail string) {
+	if r == nil || id == 0 {
+		return
+	}
+	sp, ok := r.open[id]
+	if !ok {
+		r.unmatchedEnds++
+		return
+	}
+	delete(r.open, id)
+	sp.End = t
+	if detail != "" {
+		sp.Detail = detail
+	}
+	r.pushSpan(sp)
+}
+
+// Instant records a zero-duration span at t — a point annotation (a decide
+// outcome, a timeout firing) that still hangs off the causal tree.
+func (r *Recorder) Instant(t sim.Time, stage string, traceID uint64, parent SpanID, detail string) {
+	if r == nil {
+		return
+	}
+	id := r.BeginSpan(t, stage, traceID, parent)
+	r.EndSpanDetail(t, id, detail)
+}
+
+// pushSpan appends a completed span, evicting the oldest at capacity.
+func (r *Recorder) pushSpan(sp Span) {
+	if r.cap > 0 && len(r.spans) == r.cap {
+		r.spans[r.spHead] = sp
+		r.spHead++
+		if r.spHead == r.cap {
+			r.spHead = 0
+		}
+		r.spDropped++
+		return
+	}
+	r.spans = append(r.spans, sp)
+}
+
+// Spans returns the completed spans in completion order.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	if r.spHead == 0 {
+		return r.spans
+	}
+	out := make([]Span, 0, len(r.spans))
+	out = append(out, r.spans[r.spHead:]...)
+	return append(out, r.spans[:r.spHead]...)
+}
+
+// OpenSpans returns spans begun but not yet ended, ordered by begin time —
+// in a drained simulation this should be empty; anything left is a
+// lifecycle leak worth flagging.
+func (r *Recorder) OpenSpans() []Span {
+	if r == nil {
+		return nil
+	}
+	out := make([]Span, 0, len(r.open))
+	for _, sp := range r.open {
+		out = append(out, sp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Begin != out[j].Begin {
+			return out[i].Begin < out[j].Begin
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// UnmatchedEnds counts EndSpan calls that found no open span.
+func (r *Recorder) UnmatchedEnds() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.unmatchedEnds
+}
+
+// OrphanBegins counts BeginSpan calls whose non-zero parent was not open.
+func (r *Recorder) OrphanBegins() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.orphanBegins
+}

@@ -26,29 +26,64 @@ type Event struct {
 	Detail string `json:"detail,omitempty"`
 }
 
-// Recorder buffers events in memory.
+// Recorder buffers events and causal spans in memory. The zero value is an
+// unbounded recorder; NewRecorder bounds both buffers to a ring of fixed
+// capacity so tracing a city-year run cannot exhaust memory.
 type Recorder struct {
-	events []Event
+	events    []Event
+	evHead    int
+	evDropped int64
+
+	cap int // ring capacity for events and completed spans; 0 = unbounded
+
+	// Span state (span.go).
+	spans         []Span
+	spHead        int
+	spDropped     int64
+	open          map[SpanID]Span
+	nextSpan      SpanID
+	unmatchedEnds int64
+	orphanBegins  int64
+	procs         []string
+	curProc       int
 }
 
-// Record appends one event.
-func (r *Recorder) Record(ev Event) { r.events = append(r.events, ev) }
+// Record appends one event, evicting the oldest at capacity.
+func (r *Recorder) Record(ev Event) {
+	if r.cap > 0 && len(r.events) == r.cap {
+		r.events[r.evHead] = ev
+		r.evHead++
+		if r.evHead == r.cap {
+			r.evHead = 0
+		}
+		r.evDropped++
+		return
+	}
+	r.events = append(r.events, ev)
+}
 
 // Add is a convenience for Record.
 func (r *Recorder) Add(t sim.Time, kind string, id uint64, value float64) {
 	r.Record(Event{T: t, Kind: kind, ID: id, Value: value})
 }
 
-// Events returns all recorded events.
-func (r *Recorder) Events() []Event { return r.events }
+// Events returns all retained events in record order.
+func (r *Recorder) Events() []Event {
+	if r.evHead == 0 {
+		return r.events
+	}
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.evHead:]...)
+	return append(out, r.events[:r.evHead]...)
+}
 
-// Len returns the number of events.
+// Len returns the number of retained events.
 func (r *Recorder) Len() int { return len(r.events) }
 
 // Filter returns events of one kind.
 func (r *Recorder) Filter(kind string) []Event {
 	var out []Event
-	for _, e := range r.events {
+	for _, e := range r.Events() {
 		if e.Kind == kind {
 			out = append(out, e)
 		}
@@ -62,7 +97,7 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 	if err := cw.Write([]string{"t", "kind", "id", "value", "detail"}); err != nil {
 		return err
 	}
-	for _, e := range r.events {
+	for _, e := range r.Events() {
 		rec := []string{
 			strconv.FormatFloat(e.T, 'g', -1, 64),
 			e.Kind,
@@ -113,7 +148,7 @@ func ReadCSV(r io.Reader) ([]Event, error) {
 // WriteJSONL emits events as JSON lines.
 func (r *Recorder) WriteJSONL(w io.Writer) error {
 	enc := json.NewEncoder(w)
-	for _, e := range r.events {
+	for _, e := range r.Events() {
 		if err := enc.Encode(e); err != nil {
 			return err
 		}
