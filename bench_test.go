@@ -109,6 +109,11 @@ func BenchmarkE17_MarketSizing(b *testing.B) {
 		[]string{"winter_cores", "amazon_x"})
 }
 
+func BenchmarkE19_ShardScale(b *testing.B) {
+	benchExperiment(b, experiments.E19ShardScale,
+		[]string{"speedup_4x_2s", "identical_all"})
+}
+
 func BenchmarkAblationRegulator(b *testing.B) {
 	benchExperiment(b, experiments.AblationRegulator,
 		[]string{"hyst_switches", "prop_switches"})

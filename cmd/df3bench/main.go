@@ -1,5 +1,5 @@
 // Command df3bench regenerates the paper's figures and quantified claims.
-// Every experiment in DESIGN.md's per-experiment index (E1–E18) and every
+// Every experiment in DESIGN.md's per-experiment index (E1–E19) and every
 // ablation (A1–A5) is runnable by ID:
 //
 //	df3bench                 # run everything at full fidelity
@@ -8,6 +8,7 @@
 //	df3bench -list           # show the index
 //	df3bench -seed 7         # different random universe
 //	df3bench -run E18 -trace chaos.json   # span-trace the chaos sweep for Perfetto
+//	df3bench -run E2,E8 -shards 4         # multi-arm experiments on 4 parallel shards
 package main
 
 import (
@@ -17,7 +18,6 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
-	"strings"
 	"time"
 
 	"df3/internal/experiments"
@@ -25,57 +25,48 @@ import (
 )
 
 func main() {
-	quick := flag.Bool("quick", false, "run reduced-size experiments (same shapes, minutes faster)")
-	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
-	list := flag.Bool("list", false, "list experiments and exit")
+	var cfg benchConfig
+	flag.BoolVar(&cfg.quick, "quick", false, "run reduced-size experiments (same shapes, minutes faster)")
+	flag.StringVar(&cfg.run, "run", "", "comma-separated experiment IDs (default: all)")
+	flag.BoolVar(&cfg.list, "list", false, "list experiments and exit")
 	seed := flag.Uint64("seed", 1, "random seed for every stochastic component")
-	csvDir := flag.String("csv", "", "also write every table as CSV into this directory")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
-	memProfile := flag.String("memprofile", "", "write a heap profile taken after the last experiment to this file")
-	tracePath := flag.String("trace", "", "record causal spans in trace-capable experiments (E18) and write Chrome trace-event JSON to this file")
+	flag.IntVar(&cfg.shards, "shards", 1, "run multi-arm experiments on this many parallel shards (byte-identical results)")
+	flag.StringVar(&cfg.csvDir, "csv", "", "also write every table as CSV into this directory")
+	flag.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	flag.StringVar(&cfg.memProfile, "memprofile", "", "write a heap profile taken after the last experiment to this file")
+	flag.StringVar(&cfg.tracePath, "trace", "", "record causal spans in trace-capable experiments (E18) and write Chrome trace-event JSON to this file")
 	flag.Parse()
 
-	if *list {
+	if err := cfg.validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "df3bench: %v\n", err)
+		os.Exit(2)
+	}
+
+	if cfg.list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Desc)
 		}
 		return
 	}
 
-	var selected []experiments.Experiment
-	if *run == "" {
-		selected = experiments.All()
-	} else {
-		for _, id := range strings.Split(*run, ",") {
-			id = strings.TrimSpace(id)
-			e := experiments.ByID(id)
-			if e == nil {
-				fmt.Fprintf(os.Stderr, "df3bench: unknown experiment %q (try -list)\n", id)
-				os.Exit(2)
-			}
-			selected = append(selected, *e)
-		}
+	selected, err := cfg.selection()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "df3bench: %v\n", err)
+		os.Exit(2)
 	}
 
-	opts := experiments.Options{Seed: *seed, Quick: *quick}
-	if *tracePath != "" {
+	opts := experiments.Options{Seed: *seed, Quick: cfg.quick, Shards: cfg.shards}
+	if cfg.tracePath != "" {
 		opts.Tracer = trace.NewRecorder(0)
 	}
 	mode := "full"
-	if *quick {
+	if cfg.quick {
 		mode = "quick"
 	}
 	fmt.Printf("df3bench: %d experiments, %s mode, seed %d\n", len(selected), mode, *seed)
 
-	if *csvDir != "" {
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "df3bench: %v\n", err)
-			os.Exit(1)
-		}
-	}
-
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
+	if cfg.cpuProfile != "" {
+		f, err := os.Create(cfg.cpuProfile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "df3bench: %v\n", err)
 			os.Exit(1)
@@ -100,8 +91,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "df3bench: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		if *csvDir != "" {
-			if err := writeCSVs(*csvDir, e.ID, res); err != nil {
+		if cfg.csvDir != "" {
+			if err := writeCSVs(cfg.csvDir, e.ID, res); err != nil {
 				fmt.Fprintf(os.Stderr, "df3bench: %s: %v\n", e.ID, err)
 				os.Exit(1)
 			}
@@ -113,7 +104,7 @@ func main() {
 	}
 
 	if opts.Tracer != nil {
-		f, err := os.Create(*tracePath)
+		f, err := os.Create(cfg.tracePath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "df3bench: %v\n", err)
 			os.Exit(1)
@@ -127,11 +118,11 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("[%d spans written to %s — open in Perfetto (ui.perfetto.dev)]\n",
-			len(opts.Tracer.Spans()), *tracePath)
+			len(opts.Tracer.Spans()), cfg.tracePath)
 	}
 
-	if *memProfile != "" {
-		f, err := os.Create(*memProfile)
+	if cfg.memProfile != "" {
+		f, err := os.Create(cfg.memProfile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "df3bench: %v\n", err)
 			os.Exit(1)

@@ -1,10 +1,11 @@
-// Command df3sim runs one DF3 city scenario and prints a full platform
-// report: comfort, energy, PUE, per-flow service metrics and the seasonal
-// capacity trace.
+// Command df3sim runs one DF3 city scenario — or a sharded federation of
+// them — and prints a full platform report: comfort, energy, PUE, per-flow
+// service metrics and the seasonal capacity trace.
 //
 //	df3sim -buildings 6 -rooms 8 -days 7 -edge 1 -dcc 1.5
 //	df3sim -boilers 2 -days 30 -climate stockholm -start jan
 //	df3sim -arch dedicated -offload preempt -csv capacity.csv
+//	df3sim -cities 20 -shards 4 -days 2 -intercity 2   # federation on the shard kernel
 package main
 
 import (
@@ -22,105 +23,105 @@ import (
 )
 
 func main() {
-	var (
-		buildings = flag.Int("buildings", 6, "number of buildings (one cluster each)")
-		rooms     = flag.Int("rooms", 8, "rooms per building")
-		boilers   = flag.Int("boilers", 0, "buildings heated by a digital boiler instead of Q.rads")
-		days      = flag.Float64("days", 7, "simulated days")
-		edgeRate  = flag.Float64("edge", 1, "edge workload scale (0 disables)")
-		dccRate   = flag.Float64("dcc", 1.5, "DCC jobs per hour (0 disables)")
-		seed      = flag.Uint64("seed", 1, "random seed")
-		climate   = flag.String("climate", "paris", "climate: paris | stockholm | seville")
-		start     = flag.String("start", "nov", "calendar start: jan | nov | jul")
-		arch      = flag.String("arch", "shared", "architecture: shared | dedicated")
-		policy    = flag.String("offload", "smart", "offload policy: smart|reject|delay|preempt|vertical|horizontal")
-		offices   = flag.Bool("offices", false, "office schedules instead of homes")
-		csvPath   = flag.String("csv", "", "write the capacity series to this CSV file")
-		mtbf      = flag.Float64("mtbf", 0, "mean days between machine failures (0 disables fault injection)")
-		tracePath = flag.String("trace", "", "write per-request trace events to this CSV file")
-		spansPath = flag.String("spans", "", "record causal spans across the whole stack and write them as JSONL (summarise with df3trace spans)")
-	)
+	var cfg simConfig
+	flag.IntVar(&cfg.buildings, "buildings", 6, "number of buildings (one cluster each)")
+	flag.IntVar(&cfg.rooms, "rooms", 8, "rooms per building")
+	flag.IntVar(&cfg.boilers, "boilers", 0, "buildings heated by a digital boiler instead of Q.rads")
+	flag.Float64Var(&cfg.days, "days", 7, "simulated days")
+	flag.Float64Var(&cfg.edgeRate, "edge", 1, "edge workload scale (0 disables)")
+	flag.Float64Var(&cfg.dccRate, "dcc", 1.5, "DCC jobs per hour (0 disables)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.StringVar(&cfg.climate, "climate", "paris", "climate: paris | stockholm | seville")
+	flag.StringVar(&cfg.start, "start", "nov", "calendar start: jan | nov | jul")
+	flag.StringVar(&cfg.arch, "arch", "shared", "architecture: shared | dedicated")
+	flag.StringVar(&cfg.policy, "offload", "smart", "offload policy: smart|reject|delay|preempt|vertical|horizontal")
+	offices := flag.Bool("offices", false, "office schedules instead of homes")
+	flag.IntVar(&cfg.cities, "cities", 1, "federate this many copies of the city (federation mode when > 1)")
+	flag.IntVar(&cfg.shards, "shards", 1, "parallel shard workers for federation mode (results identical at any count)")
+	flag.Float64Var(&cfg.intercity, "intercity", 2, "federation: inter-city batch offload jobs per hour per city (0 disables)")
+	flag.StringVar(&cfg.csvPath, "csv", "", "write the capacity series to this CSV file")
+	flag.Float64Var(&cfg.mtbf, "mtbf", 0, "mean days between machine failures (0 disables fault injection)")
+	flag.StringVar(&cfg.tracePath, "trace", "", "write per-request trace events to this CSV file")
+	flag.StringVar(&cfg.spansPath, "spans", "", "record causal spans across the whole stack and write them as JSONL (summarise with df3trace spans)")
 	flag.Parse()
 
-	cfg := city.DefaultConfig()
-	cfg.Seed = *seed
-	cfg.Buildings = *buildings
-	cfg.RoomsPerBuilding = *rooms
-	cfg.BoilerBuildings = *boilers
-	cfg.Offices = *offices
+	if err := cfg.validate(); err != nil {
+		fatal("%v", err)
+	}
 
-	switch *climate {
+	ccfg := city.DefaultConfig()
+	ccfg.Seed = *seed
+	ccfg.Buildings = cfg.buildings
+	ccfg.RoomsPerBuilding = cfg.rooms
+	ccfg.BoilerBuildings = cfg.boilers
+	ccfg.Offices = *offices
+
+	switch cfg.climate {
 	case "paris":
-		cfg.Climate = weather.Paris
+		ccfg.Climate = weather.Paris
 	case "stockholm":
-		cfg.Climate = weather.Stockholm
+		ccfg.Climate = weather.Stockholm
 	case "seville":
-		cfg.Climate = weather.Seville
-	default:
-		fatal("unknown climate %q", *climate)
+		ccfg.Climate = weather.Seville
 	}
-	switch *start {
+	switch cfg.start {
 	case "jan":
-		cfg.Calendar = sim.JanuaryStart
+		ccfg.Calendar = sim.JanuaryStart
 	case "nov":
-		cfg.Calendar = sim.NovemberStart
+		ccfg.Calendar = sim.NovemberStart
 	case "jul":
-		cfg.Calendar = sim.Calendar{StartDayOfYear: 6 * 365.0 / 12}
-	default:
-		fatal("unknown start %q", *start)
+		ccfg.Calendar = sim.Calendar{StartDayOfYear: 6 * 365.0 / 12}
 	}
-	switch *arch {
+	switch cfg.arch {
 	case "shared":
-		cfg.Middleware.Arch = core.Shared
+		ccfg.Middleware.Arch = core.Shared
 	case "dedicated":
-		cfg.Middleware.Arch = core.Dedicated
-		cfg.Middleware.DedicatedEdgeWorkers = 1
-	default:
-		fatal("unknown arch %q", *arch)
+		ccfg.Middleware.Arch = core.Dedicated
+		ccfg.Middleware.DedicatedEdgeWorkers = 1
 	}
-	policies := map[string]offload.Policy{
+	ccfg.Middleware.Offload = map[string]offload.Policy{
 		"smart":      offload.Smart{},
 		"reject":     offload.RejectPolicy{},
 		"delay":      offload.DelayPolicy{},
 		"preempt":    offload.PreemptPolicy{},
 		"vertical":   offload.VerticalPolicy{},
 		"horizontal": offload.HorizontalPolicy{},
-	}
-	p, ok := policies[*policy]
-	if !ok {
-		fatal("unknown offload policy %q", *policy)
-	}
-	cfg.Middleware.Offload = p
+	}[cfg.policy]
 
-	if *mtbf > 0 {
-		cfg.MTBF = sim.Time(*mtbf) * sim.Day
+	if cfg.mtbf > 0 {
+		ccfg.MTBF = sim.Time(cfg.mtbf) * sim.Day
 	}
 
-	horizon := sim.Time(*days) * sim.Day
-	c := city.Build(cfg)
+	horizon := sim.Time(cfg.days) * sim.Day
+	if cfg.cities > 1 {
+		runFederation(cfg, *seed, ccfg, horizon)
+		return
+	}
+
+	c := city.Build(ccfg)
 	var rec *trace.Recorder
-	if *tracePath != "" || *spansPath != "" {
+	if cfg.tracePath != "" || cfg.spansPath != "" {
 		rec = trace.NewRecorder(0)
-		if *spansPath != "" {
+		if cfg.spansPath != "" {
 			c.EnableTracing(rec)
 		} else {
 			c.MW.Tracer = rec
 		}
 	}
-	if *edgeRate > 0 {
-		c.StartEdgeTraffic(horizon, *edgeRate)
+	if cfg.edgeRate > 0 {
+		c.StartEdgeTraffic(horizon, cfg.edgeRate)
 	}
-	if *dccRate > 0 {
-		c.StartDCCTraffic(horizon, *dccRate)
+	if cfg.dccRate > 0 {
+		c.StartDCCTraffic(horizon, cfg.dccRate)
 	}
 	fmt.Printf("df3sim: %d buildings × %d rooms (%d boiler plants), %s/%s, %s arch, %s offload, %.0f days\n",
-		*buildings, *rooms, *boilers, *climate, *start, *arch, *policy, *days)
+		cfg.buildings, cfg.rooms, cfg.boilers, cfg.climate, cfg.start, cfg.arch, cfg.policy, cfg.days)
 	c.Run(horizon + 6*sim.Hour)
 
 	printReport(c)
 
-	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
+	if cfg.csvPath != "" {
+		f, err := os.Create(cfg.csvPath)
 		if err != nil {
 			fatal("csv: %v", err)
 		}
@@ -132,10 +133,10 @@ func main() {
 		if err := t.CSV(f); err != nil {
 			fatal("csv: %v", err)
 		}
-		fmt.Printf("capacity series written to %s\n", *csvPath)
+		fmt.Printf("capacity series written to %s\n", cfg.csvPath)
 	}
-	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
+	if cfg.tracePath != "" {
+		f, err := os.Create(cfg.tracePath)
 		if err != nil {
 			fatal("trace: %v", err)
 		}
@@ -143,20 +144,84 @@ func main() {
 		if err := rec.WriteCSV(f); err != nil {
 			fatal("trace: %v", err)
 		}
-		fmt.Printf("%d trace events written to %s\n", rec.Len(), *tracePath)
+		fmt.Printf("%d trace events written to %s\n", rec.Len(), cfg.tracePath)
 	}
-	if *spansPath != "" {
-		f, err := os.Create(*spansPath)
-		if err != nil {
-			fatal("spans: %v", err)
-		}
-		defer f.Close()
-		if err := rec.WriteSpansJSONL(f); err != nil {
-			fatal("spans: %v", err)
-		}
-		fmt.Printf("%d spans written to %s (df3trace spans %s)\n",
-			len(rec.Spans()), *spansPath, *spansPath)
+	if cfg.spansPath != "" {
+		writeSpans(rec, cfg.spansPath)
 	}
+}
+
+// runFederation is df3sim's federation mode: cfg.cities copies of the city
+// template on the sharded kernel, coupled by inter-city batch offload.
+func runFederation(cfg simConfig, seed uint64, ccfg city.Config, horizon sim.Time) {
+	f := city.BuildFederation(city.FederationConfig{
+		Seed: seed, Cities: cfg.cities, Shards: cfg.shards, City: ccfg,
+	})
+	if cfg.spansPath != "" {
+		f.EnableTracing(0)
+	}
+	if cfg.edgeRate > 0 {
+		f.StartEdgeTraffic(horizon, cfg.edgeRate)
+	}
+	if cfg.dccRate > 0 {
+		f.StartDCCTraffic(horizon, cfg.dccRate)
+	}
+	if cfg.intercity > 0 {
+		f.StartInterCityDCC(horizon, cfg.intercity)
+	}
+	fmt.Printf("df3sim: federation of %d cities (%d buildings × %d rooms each) on %d shards, %.0f days\n",
+		cfg.cities, cfg.buildings, cfg.rooms, cfg.shards, cfg.days)
+	f.Run(horizon + 6*sim.Hour)
+
+	s := f.Summarize()
+	st := f.Kernel.Stats()
+	t := report.NewTable("federation", "metric", "value")
+	t.Row("cities", s.Cities)
+	t.Row("edge submitted", s.EdgeSubmitted)
+	t.Row("edge served", s.EdgeServed)
+	t.Row("dcc jobs done", s.JobsDone)
+	t.Row("core-hours", s.WorkDone/3600)
+	t.Row("jobs exported", s.Exported)
+	t.Row("jobs imported", s.Imported)
+	t.Row("events fired", int64(s.EventsFired))
+	t.Write(os.Stdout)
+
+	k := report.NewTable("shard kernel", "metric", "value")
+	k.Row("shards", cfg.shards)
+	k.Row("sync windows", st.Windows)
+	k.Row("cross-LP messages", st.Sent)
+	k.Row("cross-shard messages", st.CrossShard)
+	k.Row("critical-path speedup", st.Speedup())
+	k.Write(os.Stdout)
+
+	if links := f.Backbone.Links(); len(links) > 0 {
+		b := report.NewTable("busiest backbone links", "src", "dst", "messages", "MB")
+		for i, l := range links {
+			if i == 10 {
+				break
+			}
+			b.Row(l.SrcCity, l.DstCity, l.Messages, l.Bytes/1e6)
+		}
+		b.Write(os.Stdout)
+	}
+
+	if cfg.spansPath != "" {
+		writeSpans(f.MergedTrace(), cfg.spansPath)
+	}
+}
+
+// writeSpans dumps a recorder's spans as JSONL.
+func writeSpans(rec *trace.Recorder, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal("spans: %v", err)
+	}
+	defer f.Close()
+	if err := rec.WriteSpansJSONL(f); err != nil {
+		fatal("spans: %v", err)
+	}
+	fmt.Printf("%d spans written to %s (df3trace spans %s)\n",
+		len(rec.Spans()), path, path)
 }
 
 func printReport(c *city.City) {

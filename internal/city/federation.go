@@ -1,0 +1,313 @@
+package city
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"df3/internal/metrics"
+	"df3/internal/network"
+	"df3/internal/rng"
+	"df3/internal/shard"
+	"df3/internal/sim"
+	"df3/internal/trace"
+	"df3/internal/units"
+	"df3/internal/workload"
+)
+
+// A Federation is the nation-scale workload class: many cities, each a
+// complete City scenario on its own private engine, coupled only through
+// the inter-city Backbone and executed by the sharded kernel. The shard
+// partition follows city order (cities are registered in geographic
+// neighbourhood order), so shards inherit network/thermal locality, and the
+// kernel's lookahead is the backbone's minimum delay — cross-city traffic
+// is staged batch work, which is exactly what makes a usable lookahead.
+//
+// Every city derives its RNG universe from its own ForkNamed substream and
+// every inter-city message carries a full backbone delay, so a federation
+// run is byte-identical at any shard count, including one.
+type FederationConfig struct {
+	// Seed drives every city's substream and the offload generators.
+	Seed uint64
+	// Cities is the number of member cities.
+	Cities int
+	// Shards is the kernel worker count (default 1).
+	Shards int
+	// City is the per-city template; its Seed field is replaced by a
+	// per-city substream of Seed.
+	City Config
+	// Backbone parameterises the inter-city WAN (zero value = default).
+	Backbone network.BackboneSpec
+}
+
+// Federation is the built scenario.
+type Federation struct {
+	Cfg      FederationConfig
+	Kernel   *shard.Kernel
+	Backbone *network.Backbone
+	Cities   []*City
+
+	lps []*shard.LP
+	// exported/imported count inter-city jobs per city; slot i is only
+	// touched from city i's engine, so shard workers never contend.
+	exported []int64
+	imported []int64
+	recs     []*trace.Recorder
+	registry *metrics.Registry
+}
+
+// BuildFederation wires the cities onto a sharded kernel.
+func BuildFederation(cfg FederationConfig) *Federation {
+	if cfg.Cities < 1 {
+		panic("city: federation needs at least one city")
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.Backbone == (network.BackboneSpec{}) {
+		cfg.Backbone = network.DefaultBackbone()
+	}
+	bb := network.NewBackbone(cfg.Backbone, cfg.Cities)
+	k := shard.NewKernel(cfg.Shards, bb.MinDelay())
+	f := &Federation{
+		Cfg: cfg, Kernel: k, Backbone: bb,
+		exported: make([]int64, cfg.Cities),
+		imported: make([]int64, cfg.Cities),
+	}
+	horizon := sim.Time(math.Inf(1))
+	for i := 0; i < cfg.Cities; i++ {
+		ccfg := cfg.City
+		ccfg.Seed = rng.New(cfg.Seed).ForkNamed(fmt.Sprintf("city-%d", i)).Uint64()
+		c := Build(ccfg)
+		f.Cities = append(f.Cities, c)
+		f.lps = append(f.lps, k.AddLP(fmt.Sprintf("city-%d", i), c.Engine, horizon))
+	}
+	assign := shard.PartitionContiguous(cfg.Cities, cfg.Shards, nil)
+	k.Partition(assign)
+	bb.AssignShards(assign)
+	return f
+}
+
+// StartEdgeTraffic starts the per-building edge workload in every city.
+func (f *Federation) StartEdgeTraffic(until sim.Time, rateScale float64) {
+	for _, c := range f.Cities {
+		c.StartEdgeTraffic(until, rateScale)
+	}
+}
+
+// StartDCCTraffic starts each city's local operator batch stream.
+func (f *Federation) StartDCCTraffic(until sim.Time, jobsPerHour float64) {
+	for _, c := range f.Cities {
+		c.StartDCCTraffic(until, jobsPerHour)
+	}
+}
+
+// StartInterCityDCC launches the federation's boundary workload: each city
+// exports batch jobs at the given rate to other member cities, staged over
+// the backbone. Destinations and job shapes come from the exporting city's
+// own substream, so the traffic matrix is a pure function of the seed.
+func (f *Federation) StartInterCityDCC(until sim.Time, jobsPerHour float64) {
+	if jobsPerHour <= 0 || f.Cfg.Cities < 2 {
+		return
+	}
+	rate := jobsPerHour / 3600
+	for i := range f.Cities {
+		i := i
+		src := f.Cities[i]
+		stream := rng.New(f.Cfg.Seed).ForkNamed(fmt.Sprintf("offload-%d", i))
+		e := src.Engine
+		jobID := uint64(0)
+		var schedule func()
+		schedule = func() {
+			at := e.Now() + stream.Exp(rate)
+			if at > until {
+				return
+			}
+			e.AtTransient(at, func() {
+				frames := 8 + stream.Intn(25)
+				works := make([]float64, frames)
+				for w := range works {
+					works[w] = stream.Pareto(120, 2.2)
+				}
+				jobID++
+				job := workload.BatchJob{
+					ID:       uint64(i)<<32 | jobID,
+					TaskWork: works,
+					Input:    2e6, Output: 1e6,
+				}
+				d := stream.Intn(f.Cfg.Cities - 1)
+				if d >= i {
+					d++
+				}
+				f.submitRemote(i, d, job)
+				schedule()
+			})
+		}
+		schedule()
+	}
+}
+
+// submitRemote ships one batch job src→dst across the backbone: accounting
+// and delay at the boundary link, delivery through the kernel mailbox into
+// the destination city's middleware.
+func (f *Federation) submitRemote(srcCity, dstCity int, job workload.BatchJob) {
+	size := units.Byte(float64(job.Input) * float64(len(job.TaskWork)))
+	delay := f.Backbone.Account(srcCity, dstCity, size)
+	f.exported[srcCity]++
+	dst := f.Cities[dstCity]
+	f.Kernel.Send(f.lps[srcCity], f.lps[dstCity], delay, float64(size), func() {
+		f.imported[dstCity]++
+		b := dst.Buildings[int(job.ID%uint64(len(dst.Buildings)))]
+		dst.MW.SubmitDCC(b.Cluster, dst.Operator, job)
+	})
+}
+
+// Run advances the whole federation to `until` under the sharded kernel.
+func (f *Federation) Run(until sim.Time) { f.Kernel.Run(until) }
+
+// EnableTracing gives every city its own span recorder (recorders are not
+// concurrency-safe, and cities on different shards trace concurrently),
+// each capped at `capacity` spans, registered as one process per city.
+// MergedTrace folds them into a single export after the run.
+func (f *Federation) EnableTracing(capacity int) {
+	f.recs = make([]*trace.Recorder, len(f.Cities))
+	for i, c := range f.Cities {
+		rec := trace.NewRecorder(capacity)
+		rec.BeginProcess(fmt.Sprintf("city-%d", i))
+		c.EnableTracing(rec)
+		f.recs[i] = rec
+	}
+}
+
+// MergedTrace merges the per-city recorders, in city order, into one
+// recorder for export. It returns nil when tracing was never enabled.
+func (f *Federation) MergedTrace() *trace.Recorder {
+	if f.recs == nil {
+		return nil
+	}
+	out := trace.NewRecorder(0)
+	for _, rec := range f.recs {
+		out.Merge(rec)
+	}
+	return out
+}
+
+// Exported returns the number of jobs city i shipped to other cities.
+func (f *Federation) Exported(i int) int64 { return f.exported[i] }
+
+// Imported returns the number of jobs city i received from other cities.
+func (f *Federation) Imported(i int) int64 { return f.imported[i] }
+
+// Summary aggregates the federation's headline counters across cities.
+type Summary struct {
+	Cities                            int
+	EdgeSubmitted, EdgeServed         int64
+	JobsSubmitted, JobsDone, JobsLost int64
+	WorkDone                          float64
+	Exported, Imported                int64
+	EventsFired                       uint64
+}
+
+// Summarize folds every city's ledgers into one Summary.
+func (f *Federation) Summarize() Summary {
+	s := Summary{Cities: len(f.Cities)}
+	for i, c := range f.Cities {
+		s.EdgeSubmitted += c.MW.Edge.Submitted.Value()
+		s.EdgeServed += c.MW.Edge.Served.Value()
+		s.JobsSubmitted += c.MW.DCC.JobsSubmitted.Value()
+		s.JobsDone += c.MW.DCC.JobsDone.Value()
+		s.JobsLost += c.MW.DCC.JobsLost.Value()
+		s.WorkDone += c.MW.DCC.WorkDone
+		s.Exported += f.exported[i]
+		s.Imported += f.imported[i]
+		s.EventsFired += c.Engine.Fired()
+	}
+	return s
+}
+
+// Checksum folds every city's observable outcome — ledgers, latency sums,
+// event counts, clocks — into one FNV-1a digest, in city order. Two runs of
+// the same federation are equivalent iff their checksums match; E19 and the
+// equivalence tests compare it across shard counts.
+func (f *Federation) Checksum() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime
+	}
+	mixF := func(v float64) { mix(math.Float64bits(v)) }
+	for i, c := range f.Cities {
+		mix(uint64(i))
+		mix(uint64(c.MW.Edge.Submitted.Value()))
+		mix(uint64(c.MW.Edge.Served.Value()))
+		mix(uint64(c.MW.Edge.Rejected.Value()))
+		mix(uint64(c.MW.DCC.JobsSubmitted.Value()))
+		mix(uint64(c.MW.DCC.JobsDone.Value()))
+		mix(uint64(c.MW.DCC.TasksDone.Value()))
+		mixF(c.MW.DCC.WorkDone)
+		mixF(c.MW.Edge.Latency.Mean())
+		mix(c.Engine.Fired())
+		mixF(c.Engine.Now())
+		mix(uint64(f.exported[i]))
+		mix(uint64(f.imported[i]))
+	}
+	return h
+}
+
+// Observability builds (once) the federation's labeled registry: kernel and
+// boundary series labeled by shard, plus each city's headline ledgers
+// labeled {city, shard}. Scrape after Run (or between Runs): read-through
+// funcs touch live engine state.
+func (f *Federation) Observability() *metrics.Registry {
+	if f.registry != nil {
+		return f.registry
+	}
+	r := metrics.NewRegistry()
+	f.registry = r
+
+	r.GaugeFunc("df3_shard_windows", "synchronization windows executed", nil,
+		func() float64 { return float64(f.Kernel.Stats().Windows) })
+	r.GaugeFunc("df3_shard_speedup", "critical-path speedup over the serial kernel", nil,
+		func() float64 { return f.Kernel.Stats().Speedup() })
+	r.CounterFunc("df3_shard_messages_total", "cross-LP messages through the kernel", nil,
+		func() int64 { return f.Kernel.Stats().Sent })
+	r.CounterFunc("df3_shard_cross_shard_messages_total", "messages that crossed a shard boundary", nil,
+		func() int64 { return f.Kernel.Stats().CrossShard })
+	r.CounterFunc("df3_backbone_messages_total", "inter-city transfers on the backbone", nil,
+		f.Backbone.Messages)
+	for s := 0; s < f.Kernel.Shards(); s++ {
+		s := s
+		labels := metrics.Labels{"shard": strconv.Itoa(s)}
+		r.GaugeFunc("df3_shard_boundary_bytes_total", "bytes sent across shard boundaries, by source shard",
+			labels, func() float64 {
+				var total float64
+				for _, p := range f.Kernel.Boundary() {
+					if p.SrcShard == s && p.DstShard != s {
+						total += p.Bytes
+					}
+				}
+				return total
+			})
+	}
+	for i, c := range f.Cities {
+		i, c := i, c
+		labels := metrics.Labels{
+			"city":  strconv.Itoa(i),
+			"shard": strconv.Itoa(f.lps[i].Shard()),
+		}
+		r.GaugeFunc("df3_city_sim_time_seconds", "per-city simulated time", labels,
+			func() float64 { return c.Engine.Now() })
+		r.CounterFunc("df3_city_events_fired_total", "per-city kernel events", labels,
+			func() int64 { return int64(c.Engine.Fired()) })
+		r.CounterFunc("df3_city_edge_served_total", "edge requests served, by city", labels,
+			c.MW.Edge.Served.Value)
+		r.CounterFunc("df3_city_dcc_jobs_done_total", "batch jobs completed, by city", labels,
+			c.MW.DCC.JobsDone.Value)
+		r.CounterFunc("df3_city_jobs_exported_total", "jobs shipped to other cities", labels,
+			func() int64 { return f.exported[i] })
+		r.CounterFunc("df3_city_jobs_imported_total", "jobs received from other cities", labels,
+			func() int64 { return f.imported[i] })
+	}
+	return r
+}

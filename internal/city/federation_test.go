@@ -1,0 +1,122 @@
+package city
+
+import (
+	"strings"
+	"testing"
+
+	"df3/internal/sim"
+)
+
+func smallFederation(cities, shards int) *Federation {
+	cfg := DefaultConfig()
+	cfg.Buildings = 2
+	cfg.RoomsPerBuilding = 3
+	cfg.DatacenterNodes = 2
+	return BuildFederation(FederationConfig{
+		Seed: 1, Cities: cities, Shards: shards, City: cfg,
+	})
+}
+
+func runFederation(f *Federation, horizon sim.Time) {
+	f.StartEdgeTraffic(horizon, 0.5)
+	f.StartInterCityDCC(horizon, 2)
+	f.Run(horizon + sim.Hour)
+}
+
+// TestFederationShardEquivalence is the federation-level determinism
+// contract: identical checksums (ledgers, latencies, event counts, clocks)
+// at 1, 2 and 4 shards.
+func TestFederationShardEquivalence(t *testing.T) {
+	const horizon = 6 * sim.Hour
+	ref := smallFederation(5, 1)
+	runFederation(ref, horizon)
+	want := ref.Checksum()
+	if ref.Summarize().Exported == 0 {
+		t.Fatal("no inter-city traffic generated; equivalence test is vacuous")
+	}
+	for _, shards := range []int{2, 4} {
+		f := smallFederation(5, shards)
+		runFederation(f, horizon)
+		if got := f.Checksum(); got != want {
+			t.Errorf("shards=%d checksum %x, want %x (serial)", shards, got, want)
+		}
+		if f.Kernel.Stats().CrossShard == 0 {
+			t.Errorf("shards=%d: no cross-shard messages; partition degenerate", shards)
+		}
+	}
+}
+
+// TestFederationOffloadDelivery: exported jobs arrive (allowing for the
+// backbone staging in flight at the horizon) and land in remote ledgers.
+func TestFederationOffloadDelivery(t *testing.T) {
+	f := smallFederation(3, 2)
+	const horizon = 6 * sim.Hour
+	runFederation(f, horizon)
+	s := f.Summarize()
+	if s.Exported == 0 {
+		t.Fatal("no jobs exported")
+	}
+	if s.Imported == 0 || s.Imported > s.Exported {
+		t.Fatalf("imported %d of %d exported", s.Imported, s.Exported)
+	}
+	// Everything imported was submitted to a middleware.
+	if s.JobsSubmitted < s.Imported {
+		t.Fatalf("jobs submitted %d < imported %d", s.JobsSubmitted, s.Imported)
+	}
+	if s.EdgeServed == 0 {
+		t.Fatal("no edge traffic served")
+	}
+}
+
+// TestFederationTracingMerge: per-city recorders merge into one process per
+// city with no span-id collisions and no cross-process parents.
+func TestFederationTracingMerge(t *testing.T) {
+	f := smallFederation(3, 2)
+	f.EnableTracing(0)
+	runFederation(f, 2*sim.Hour)
+	merged := f.MergedTrace()
+	if merged == nil {
+		t.Fatal("no merged trace")
+	}
+	procs := merged.Processes()
+	if len(procs) != 3 || procs[0] != "city-0" || procs[2] != "city-2" {
+		t.Fatalf("merged processes = %v", procs)
+	}
+	spans := merged.Spans()
+	if len(spans) == 0 {
+		t.Fatal("merged trace is empty")
+	}
+	seen := map[uint64]int{}
+	for _, sp := range spans {
+		if sp.Proc < 1 || sp.Proc > 3 {
+			t.Fatalf("span %d has process %d outside [1,3]", sp.ID, sp.Proc)
+		}
+		if n, dup := seen[uint64(sp.ID)]; dup {
+			t.Fatalf("span id %d appears %d times after merge", sp.ID, n+1)
+		}
+		seen[uint64(sp.ID)] = 1
+	}
+}
+
+// TestFederationObservability: the registry exposes shard-labeled series
+// and per-city ledgers that match the live counters.
+func TestFederationObservability(t *testing.T) {
+	f := smallFederation(3, 2)
+	runFederation(f, 2*sim.Hour)
+	var b strings.Builder
+	if err := f.Observability().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		`df3_city_edge_served_total{city="0",shard="0"}`,
+		`df3_city_edge_served_total{city="2",shard="1"}`,
+		`df3_shard_cross_shard_messages_total`,
+		`df3_shard_boundary_bytes_total{shard="0"}`,
+		`df3_backbone_messages_total`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %s", want)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Package cliutil holds the small validation helpers the df3 CLIs share:
+// fail-fast checks that run before a simulation starts, so a long sweep
+// cannot die on its last line because an output path was mistyped.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// CheckWritableFile verifies that `path` can be created as an output file:
+// its parent directory exists and is a directory, and the path itself is
+// not an existing directory. It probes by opening the file for writing
+// (creating it if absent) — the run will overwrite it anyway — so
+// permission errors surface immediately instead of after the run.
+func CheckWritableFile(path string) error {
+	if path == "" {
+		return fmt.Errorf("empty output path")
+	}
+	dir := filepath.Dir(path)
+	info, err := os.Stat(dir)
+	if err != nil {
+		return fmt.Errorf("output directory %s: %w", dir, err)
+	}
+	if !info.IsDir() {
+		return fmt.Errorf("output directory %s is not a directory", dir)
+	}
+	if info, err := os.Stat(path); err == nil && info.IsDir() {
+		return fmt.Errorf("output path %s is a directory", path)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("output path not writable: %w", err)
+	}
+	return f.Close()
+}
+
+// CheckOutputDir verifies that `path` either is a directory or can become
+// one (its parent chain permits MkdirAll).
+func CheckOutputDir(path string) error {
+	if path == "" {
+		return fmt.Errorf("empty output directory")
+	}
+	if info, err := os.Stat(path); err == nil {
+		if !info.IsDir() {
+			return fmt.Errorf("output directory %s exists and is not a directory", path)
+		}
+		return nil
+	}
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return fmt.Errorf("output directory: %w", err)
+	}
+	return nil
+}

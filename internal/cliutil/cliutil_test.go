@@ -1,0 +1,75 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCheckWritableFile(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "sub")
+	if err := os.Mkdir(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	existing := filepath.Join(dir, "existing.json")
+	if err := os.WriteFile(existing, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		path string
+		ok   bool
+	}{
+		{"fresh file in existing dir", filepath.Join(dir, "out.json"), true},
+		{"overwrite existing file", existing, true},
+		{"missing parent dir", filepath.Join(dir, "nope", "out.json"), false},
+		{"path is a directory", sub, false},
+		{"empty path", "", false},
+	}
+	for _, c := range cases {
+		err := CheckWritableFile(c.path)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: CheckWritableFile(%q) = %v, want ok=%v", c.name, c.path, err, c.ok)
+		}
+	}
+}
+
+func TestCheckWritableFileUnwritableDir(t *testing.T) {
+	if os.Getuid() == 0 {
+		t.Skip("root ignores directory permissions")
+	}
+	dir := t.TempDir()
+	locked := filepath.Join(dir, "locked")
+	if err := os.Mkdir(locked, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckWritableFile(filepath.Join(locked, "out.json")); err == nil {
+		t.Error("expected error for read-only directory")
+	}
+}
+
+func TestCheckOutputDir(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "file")
+	if err := os.WriteFile(file, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckOutputDir(dir); err != nil {
+		t.Errorf("existing dir rejected: %v", err)
+	}
+	fresh := filepath.Join(dir, "a", "b")
+	if err := CheckOutputDir(fresh); err != nil {
+		t.Errorf("creatable dir rejected: %v", err)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Errorf("dir not created: %v", err)
+	}
+	if err := CheckOutputDir(file); err == nil {
+		t.Error("file accepted as output directory")
+	}
+	if err := CheckOutputDir(""); err == nil {
+		t.Error("empty path accepted")
+	}
+}

@@ -15,6 +15,9 @@ import (
 // §II-A (CloudandHeat reports 1.026; conventional rooms sit near 1.5).
 // The DF fleet additionally reports the fraction of energy delivered as
 // useful heat, which the datacenter rejects through its chillers.
+//
+// Each platform is one independent arm: with -shards the four fleets run
+// in parallel on the sharded kernel, producing byte-identical results.
 func E2PUE(o Options) *Result {
 	res := newResult("E2 PUE: DF fleet vs classical datacenter")
 	nDF, nDC := 24, 12
@@ -23,44 +26,64 @@ func E2PUE(o Options) *Result {
 		nDF, nDC, frames = 8, 4, 300
 	}
 
-	runFleet := func(spec server.Spec, n int) (pue, heatFrac float64, makespan sim.Time) {
-		e := sim.New()
-		var fleet server.Fleet
-		var machines []*server.Machine
-		for i := 0; i < n; i++ {
-			m := spec.Build(e, fmt.Sprintf("m-%d", i))
-			machines = append(machines, m)
-			fleet.Add(m)
-		}
-		pool := sched.NewPool(e, sched.FCFS, machines)
-		stream := rng.New(o.Seed)
-		done := 0
-		for i := 0; i < frames; i++ {
-			t := &server.Task{Work: stream.Pareto(120, 2.2)}
-			t.OnDone = func(sim.Time) { done++ }
-			pool.Submit(t, 0, nil)
-		}
-		e.Run(30 * sim.Day)
-		if done != frames {
-			panic(fmt.Sprintf("experiments: campaign incomplete: %d/%d", done, frames))
-		}
-		it, fac, heat := fleet.Energy(e.Now())
-		return float64(fac) / float64(it), float64(heat) / float64(fac), e.Now()
+	arms := []struct {
+		name string
+		spec server.Spec
+		n    int
+	}{
+		{"DF heater fleet (Q.rad)", server.QradSpec(), nDF},
+		{"DF boiler fleet", server.SmallBoilerSpec(), nDF / 4},
+		{"DF crypto-heater fleet", server.CryptoHeaterSpec(), nDF},
+		{"classical datacenter", server.DatacenterNodeSpec(), nDC},
 	}
+	type outcome struct {
+		e             *sim.Engine
+		fleet         server.Fleet
+		done          int
+		pue, heatFrac float64
+		makespan      sim.Time
+	}
+	outs := make([]outcome, len(arms))
 
-	dfPUE, dfHeat, dfSpan := runFleet(server.QradSpec(), nDF)
-	boPUE, boHeat, boSpan := runFleet(server.SmallBoilerSpec(), nDF/4)
-	crPUE, crHeat, crSpan := runFleet(server.CryptoHeaterSpec(), nDF)
-	dcPUE, dcHeat, dcSpan := runFleet(server.DatacenterNodeSpec(), nDC)
+	runArms(o, len(arms),
+		func(i int) (*sim.Engine, sim.Time) {
+			a, out := arms[i], &outs[i]
+			out.e = sim.New()
+			var machines []*server.Machine
+			for m := 0; m < a.n; m++ {
+				mc := a.spec.Build(out.e, fmt.Sprintf("m-%d", m))
+				machines = append(machines, mc)
+				out.fleet.Add(mc)
+			}
+			pool := sched.NewPool(out.e, sched.FCFS, machines)
+			stream := rng.New(o.Seed)
+			for f := 0; f < frames; f++ {
+				t := &server.Task{Work: stream.Pareto(120, 2.2)}
+				t.OnDone = func(sim.Time) { out.done++ }
+				pool.Submit(t, 0, nil)
+			}
+			return out.e, 30 * sim.Day
+		},
+		func(i int) {
+			out := &outs[i]
+			if out.done != frames {
+				panic(fmt.Sprintf("experiments: campaign incomplete: %d/%d", out.done, frames))
+			}
+			it, fac, heat := out.fleet.Energy(out.e.Now())
+			out.pue = float64(fac) / float64(it)
+			out.heatFrac = float64(heat) / float64(fac)
+			out.makespan = out.e.Now()
+		})
 
 	t := report.NewTable("PUE on an identical batch campaign",
 		"platform", "PUE", "useful-heat fraction", "makespan h")
-	t.Row("DF heater fleet (Q.rad)", dfPUE, dfHeat, float64(dfSpan)/3600)
-	t.Row("DF boiler fleet", boPUE, boHeat, float64(boSpan)/3600)
-	t.Row("DF crypto-heater fleet", crPUE, crHeat, float64(crSpan)/3600)
-	t.Row("classical datacenter", dcPUE, dcHeat, float64(dcSpan)/3600)
+	for i, a := range arms {
+		t.Row(a.name, outs[i].pue, outs[i].heatFrac, float64(outs[i].makespan)/3600)
+	}
 	res.Tables = append(res.Tables, t)
 
+	dfPUE, dfHeat := outs[0].pue, outs[0].heatFrac
+	dcPUE := outs[3].pue
 	res.Findings["df_pue"] = dfPUE
 	res.Findings["dc_pue"] = dcPUE
 	res.Findings["df_heat_fraction"] = dfHeat

@@ -14,6 +14,9 @@ import (
 // DF server share a room), indirect requests through the edge gateway, and
 // the cloud-only path across the Internet. Expected shape: direct <
 // indirect ≪ cloud, with the cloud penalty set by Internet RTT.
+//
+// Each path is one independent city arm: with -shards the three cities run
+// in parallel on the sharded kernel, producing byte-identical results.
 func E8EdgeLatency(o Options) *Result {
 	res := newResult("E8 edge latency: direct vs indirect vs cloud")
 	horizon := 2 * sim.Day
@@ -21,7 +24,7 @@ func E8EdgeLatency(o Options) *Result {
 		horizon = 12 * sim.Hour
 	}
 
-	build := func() city.Config {
+	base := func() city.Config {
 		cfg := city.DefaultConfig()
 		cfg.Seed = o.Seed
 		cfg.Buildings = 3
@@ -36,38 +39,44 @@ func E8EdgeLatency(o Options) *Result {
 		miss              float64
 		note              string
 	}
-	var rows []row
+	arms := []struct {
+		name, finding string
+	}{
+		{"direct", "direct_median_ms"},
+		{"indirect", "indirect_median_ms"},
+		{"cloud-only", "cloud_median_ms"},
+	}
+	cities := make([]*city.City, len(arms))
+	rows := make([]row, len(arms))
 
-	{ // direct
-		c := city.Build(build())
-		c.StartDirectEdgeTraffic(horizon, 1)
-		c.Run(horizon + sim.Hour)
-		e := &c.MW.Edge
-		rows = append(rows, row{"direct", e.Latency.Mean() * 1000, e.Latency.Median() * 1000,
-			e.Latency.P99() * 1000, e.Served.Value(), e.MissRate(),
-			fmt.Sprintf("%d fallbacks", e.DirectFallbacks.Value())})
-		res.Findings["direct_median_ms"] = e.Latency.Median() * 1000
-	}
-	{ // indirect
-		c := city.Build(build())
-		c.StartEdgeTraffic(horizon, 1)
-		c.Run(horizon + sim.Hour)
-		e := &c.MW.Edge
-		rows = append(rows, row{"indirect", e.Latency.Mean() * 1000, e.Latency.Median() * 1000,
-			e.Latency.P99() * 1000, e.Served.Value(), e.MissRate(), ""})
-		res.Findings["indirect_median_ms"] = e.Latency.Median() * 1000
-	}
-	{ // cloud-only: same city, every request forced vertical
-		cfg := build()
-		cfg.Middleware.Offload = baseline.AlwaysVertical{}
-		c := city.Build(cfg)
-		c.StartEdgeTraffic(horizon, 1)
-		c.Run(horizon + sim.Hour)
-		e := &c.MW.Edge
-		rows = append(rows, row{"cloud-only", e.Latency.Mean() * 1000, e.Latency.Median() * 1000,
-			e.Latency.P99() * 1000, e.Served.Value(), e.MissRate(), "via Internet to DC"})
-		res.Findings["cloud_median_ms"] = e.Latency.Median() * 1000
-	}
+	runArms(o, len(arms),
+		func(i int) (*sim.Engine, sim.Time) {
+			cfg := base()
+			if i == 2 { // cloud-only: same city, every request forced vertical
+				cfg.Middleware.Offload = baseline.AlwaysVertical{}
+			}
+			c := city.Build(cfg)
+			if i == 0 {
+				c.StartDirectEdgeTraffic(horizon, 1)
+			} else {
+				c.StartEdgeTraffic(horizon, 1)
+			}
+			cities[i] = c
+			return c.Engine, horizon + sim.Hour
+		},
+		func(i int) {
+			e := &cities[i].MW.Edge
+			note := ""
+			switch i {
+			case 0:
+				note = fmt.Sprintf("%d fallbacks", e.DirectFallbacks.Value())
+			case 2:
+				note = "via Internet to DC"
+			}
+			rows[i] = row{arms[i].name, e.Latency.Mean() * 1000, e.Latency.Median() * 1000,
+				e.Latency.P99() * 1000, e.Served.Value(), e.MissRate(), note}
+			res.Findings[arms[i].finding] = e.Latency.Median() * 1000
+		})
 
 	t := report.NewTable("edge service paths on the alarm-detection workload",
 		"path", "mean ms", "median ms", "p99 ms", "served", "miss rate", "note")

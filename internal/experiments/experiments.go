@@ -24,6 +24,12 @@ type Options struct {
 	// process in the recorder, exportable as Chrome trace-event JSON.
 	// Tracing is pure observation — results are identical with it on.
 	Tracer *trace.Recorder
+	// Shards > 1 executes multi-arm experiments on the sharded kernel:
+	// independent scenario arms become logical processes spread over this
+	// many worker goroutines. Results are byte-identical to the serial
+	// kernel (the arms are independent engines); only wall-clock moves.
+	// E19 additionally uses it as the upper bound of its scale sweep.
+	Shards int
 }
 
 // DefaultOptions is the full-fidelity configuration.
@@ -86,6 +92,7 @@ func All() []Experiment {
 		{"E16", "Map serving from gateway content caches (§II-A/§V)", E16ContentDelivery},
 		{"E17", "Market sizing: French electric heating vs hyperscale (conclusion)", E17MarketSizing},
 		{"E18", "Chaos: graceful degradation under network faults (§III-B)", E18Chaos},
+		{"E19", "Shard scale: federation speedup and determinism (§V)", E19ShardScale},
 		{"A1", "Ablation: hysteresis vs proportional regulator", AblationRegulator},
 		{"A2", "Ablation: cluster formation (building/grid/k-means)", AblationClustering},
 		{"A3", "Ablation: EDF vs FCFS edge queueing", AblationEDF},

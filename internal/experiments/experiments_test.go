@@ -10,7 +10,7 @@ func quick() Options { return Options{Seed: 1, Quick: true} }
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 23 {
+	if len(all) != 24 {
 		t.Fatalf("%d experiments registered", len(all))
 	}
 	seen := map[string]bool{}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"df3/internal/trace"
+)
+
+// render serializes a Result exactly as df3bench prints it.
+func render(t *testing.T, r *Result) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestShardedArmsByteIdentical is the experiment-level determinism
+// contract: every multi-arm experiment rendered with Shards=4 must be
+// byte-identical to the serial kernel. This is the quick-mode twin of the
+// CI job that diffs `-shards 4` full-fidelity output against the committed
+// full_bench_results.txt.
+func TestShardedArmsByteIdentical(t *testing.T) {
+	for _, exp := range []struct {
+		id  string
+		run func(Options) *Result
+	}{
+		{"E2", E2PUE},
+		{"E8", E8EdgeLatency},
+		{"E18", E18Chaos},
+		{"E19", E19ShardScale},
+	} {
+		serial := render(t, exp.run(Options{Seed: 1, Quick: true}))
+		sharded := render(t, exp.run(Options{Seed: 1, Quick: true, Shards: 4}))
+		if serial != sharded {
+			t.Errorf("%s: sharded output differs from serial\n--- serial ---\n%s\n--- shards=4 ---\n%s",
+				exp.id, serial, sharded)
+		}
+	}
+}
+
+// TestE18ShardedTracingMerges: with Shards>1 each chaos scenario records
+// into a private recorder merged into o.Tracer in scenario order, so the
+// process list and span population match the serial tracing path.
+func TestE18ShardedTracingMerges(t *testing.T) {
+	serialRec := trace.NewRecorder(0)
+	E18Chaos(Options{Seed: 1, Quick: true, Tracer: serialRec})
+	shardRec := trace.NewRecorder(0)
+	E18Chaos(Options{Seed: 1, Quick: true, Shards: 4, Tracer: shardRec})
+
+	sp, pp := serialRec.Processes(), shardRec.Processes()
+	if len(pp) != len(sp) {
+		t.Fatalf("sharded tracer has %d processes, serial %d", len(pp), len(sp))
+	}
+	for i := range sp {
+		if sp[i] != pp[i] {
+			t.Errorf("process %d: sharded %q, serial %q", i, pp[i], sp[i])
+		}
+	}
+	if len(shardRec.Spans()) != len(serialRec.Spans()) {
+		t.Errorf("sharded tracer has %d spans, serial %d",
+			len(shardRec.Spans()), len(serialRec.Spans()))
+	}
+	seen := map[uint64]bool{}
+	for _, s := range shardRec.Spans() {
+		if seen[uint64(s.ID)] {
+			t.Fatalf("span id %d duplicated after merge", s.ID)
+		}
+		seen[uint64(s.ID)] = true
+	}
+}
+
+// TestE19QuickDeterminism: the sweep itself reports identical checksums at
+// every shard count, and the headline findings exist.
+func TestE19QuickDeterminism(t *testing.T) {
+	r := E19ShardScale(Options{Seed: 1, Quick: true})
+	if r.Findings["identical_all"] != 1 {
+		t.Fatal("E19 reports shard-dependent results")
+	}
+	if r.Findings["speedup_4x_2s"] <= 1 {
+		t.Errorf("no parallelism at 2 shards: %v", r.Findings["speedup_4x_2s"])
+	}
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+
+	"df3/internal/shard"
+	"df3/internal/sim"
+)
+
+// runArms executes the n independent scenario arms of a multi-arm
+// experiment. build(i) wires arm i — engine, scenario, traffic — and
+// returns its engine and horizon; collect(i) reads its results into the
+// experiment's tables.
+//
+// With o.Shards <= 1 the arms run strictly sequentially (build, run,
+// collect, in order): the serial kernel path, byte-identical to what the
+// experiments always did. With o.Shards > 1 every arm is built first (still
+// in order), the engines run as logical processes on a sharded kernel with
+// Infinite lookahead — arms never exchange messages — and results are
+// collected in arm order afterwards. Arms are self-contained engines with
+// independent RNG substreams, so the two paths produce identical output;
+// only wall-clock changes.
+func runArms(o Options, n int, build func(i int) (*sim.Engine, sim.Time), collect func(i int)) {
+	if o.Shards <= 1 {
+		for i := 0; i < n; i++ {
+			e, until := build(i)
+			e.Run(until)
+			collect(i)
+		}
+		return
+	}
+	shards := o.Shards
+	if shards > n {
+		shards = n
+	}
+	k := shard.NewKernel(shards, shard.Infinite)
+	var max sim.Time
+	for i := 0; i < n; i++ {
+		e, until := build(i)
+		k.AddLP(fmt.Sprintf("arm-%d", i), e, until)
+		if until > max {
+			max = until
+		}
+	}
+	k.Run(max)
+	for i := 0; i < n; i++ {
+		collect(i)
+	}
+}

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// UnescapeLabel is the exact inverse of escapeLabel: it decodes the \\, \"
+// and \n sequences of the Prometheus text format. A dangling backslash or
+// an unknown escape is an error — the writer never produces one, so its
+// presence means the input is not our exposition output.
+func UnescapeLabel(v string) (string, error) {
+	if !strings.ContainsRune(v, '\\') {
+		return v, nil
+	}
+	var b strings.Builder
+	b.Grow(len(v))
+	for i := 0; i < len(v); i++ {
+		c := v[i]
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i == len(v) {
+			return "", fmt.Errorf("metrics: dangling backslash in label value %q", v)
+		}
+		switch v[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case '"':
+			b.WriteByte('"')
+		case 'n':
+			b.WriteByte('\n')
+		default:
+			return "", fmt.Errorf("metrics: unknown escape \\%c in label value %q", v[i], v)
+		}
+	}
+	return b.String(), nil
+}
+
+// ParseSeriesID decodes a series identity — `name` or `name{k="v",...}`,
+// exactly as WritePrometheus exposes it and ParsePrometheus keys it — back
+// into the metric name and the decoded label set. Together with ID() it
+// round-trips arbitrary label values, including backslashes, quotes and
+// newlines.
+func ParseSeriesID(id string) (string, Labels, error) {
+	brace := strings.IndexByte(id, '{')
+	if brace < 0 {
+		if !validName(id) {
+			return "", nil, fmt.Errorf("metrics: invalid series id %q", id)
+		}
+		return id, nil, nil
+	}
+	name := id[:brace]
+	if !validName(name) {
+		return "", nil, fmt.Errorf("metrics: invalid metric name in %q", id)
+	}
+	rest := id[brace+1:]
+	labels := Labels{}
+	for {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return "", nil, fmt.Errorf("metrics: missing '=' in label set of %q", id)
+		}
+		key := rest[:eq]
+		if !validName(key) {
+			return "", nil, fmt.Errorf("metrics: invalid label name %q in %q", key, id)
+		}
+		rest = rest[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return "", nil, fmt.Errorf("metrics: unquoted label value in %q", id)
+		}
+		rest = rest[1:]
+		// Find the closing quote, skipping escaped characters.
+		end := -1
+		for i := 0; i < len(rest); i++ {
+			switch rest[i] {
+			case '\\':
+				i++
+			case '"':
+				end = i
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return "", nil, fmt.Errorf("metrics: unterminated label value in %q", id)
+		}
+		val, err := UnescapeLabel(rest[:end])
+		if err != nil {
+			return "", nil, err
+		}
+		labels[key] = val
+		rest = rest[end+1:]
+		if strings.HasPrefix(rest, ",") {
+			rest = rest[1:]
+			continue
+		}
+		if rest == "}" {
+			return name, labels, nil
+		}
+		return "", nil, fmt.Errorf("metrics: malformed label set in %q", id)
+	}
+}

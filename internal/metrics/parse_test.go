@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// nastyValues are the label values the exposition format has to survive:
+// every combination of the three escaped characters plus lookalikes that
+// must NOT be touched.
+var nastyValues = []string{
+	"plain",
+	"",
+	`back\slash`,
+	`trailing\`,
+	`"quoted"`,
+	"new\nline",
+	"\n",
+	`\n`,  // literal backslash-n, not a newline
+	`\\n`, // literal backslash-backslash-n
+	`\"`,  // literal backslash-quote
+	`a\,b"c` + "\n" + `d\\e`,
+	`{series="inception"} 42`,
+	"space end ",
+	"unicode °C ü",
+	",=}",
+}
+
+// TestLabelEscapeRoundTrip: escapeLabel then UnescapeLabel is identity on
+// every nasty value, and the escaped form never contains a raw newline
+// (which would corrupt the line-oriented text format) or an unescaped
+// quote (which would terminate the label value early).
+func TestLabelEscapeRoundTrip(t *testing.T) {
+	for _, v := range nastyValues {
+		esc := escapeLabel(v)
+		if strings.ContainsRune(esc, '\n') {
+			t.Errorf("escapeLabel(%q) = %q leaks a raw newline", v, esc)
+		}
+		backslashes := 0
+		for i := 0; i < len(esc); i++ {
+			switch esc[i] {
+			case '\\':
+				backslashes++
+				continue
+			case '"':
+				if backslashes%2 == 0 {
+					t.Errorf("escapeLabel(%q) = %q leaks an unescaped quote", v, esc)
+				}
+			}
+			backslashes = 0
+		}
+		got, err := UnescapeLabel(esc)
+		if err != nil {
+			t.Errorf("UnescapeLabel(%q): %v", esc, err)
+			continue
+		}
+		if got != v {
+			t.Errorf("round trip %q -> %q -> %q", v, esc, got)
+		}
+	}
+}
+
+func TestUnescapeLabelRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{`dangling\`, `unknown\t`, `\x41`} {
+		if got, err := UnescapeLabel(bad); err == nil {
+			t.Errorf("UnescapeLabel(%q) = %q, want error", bad, got)
+		}
+	}
+}
+
+// TestParseSeriesID: table-driven decode of ids, including every nasty
+// value embedded through the real ID() encoder.
+func TestParseSeriesID(t *testing.T) {
+	for _, v := range nastyValues {
+		labels := Labels{"a": v, "city": "7"}
+		id := ID("df3_test_total", labels)
+		name, got, err := ParseSeriesID(id)
+		if err != nil {
+			t.Errorf("ParseSeriesID(%q): %v", id, err)
+			continue
+		}
+		if name != "df3_test_total" || !reflect.DeepEqual(got, labels) {
+			t.Errorf("ParseSeriesID(%q) = %q %v, want labels %v", id, name, got, labels)
+		}
+	}
+	name, labels, err := ParseSeriesID("df3_plain")
+	if err != nil || name != "df3_plain" || labels != nil {
+		t.Errorf("bare name: %q %v %v", name, labels, err)
+	}
+	for _, bad := range []string{
+		"", "{}", "1leading{a=\"b\"}", "x{=\"v\"}", "x{a=v}", "x{a=\"v}",
+		"x{a=\"v\"", "x{a=\"v\"extra}", `x{a="v\"}`,
+	} {
+		if _, _, err := ParseSeriesID(bad); err == nil {
+			t.Errorf("ParseSeriesID(%q) accepted malformed id", bad)
+		}
+	}
+}
+
+// TestPrometheusWriteParseRoundTrip is the full loop the satellite asks
+// for: a registry whose label values hold every nasty case is written as
+// text exposition, parsed back by ParsePrometheus, and each series id is
+// decoded by ParseSeriesID into the original label values.
+func TestPrometheusWriteParseRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	want := map[string]string{} // series id -> original value
+	for i, v := range nastyValues {
+		labels := Labels{"v": v}
+		c := r.Counter("df3_nasty_total", "nasty label values", labels)
+		c.Addn(int64(i + 1))
+		want[ID("df3_nasty_total", labels)] = v
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParsePrometheus(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("ParsePrometheus on own output: %v\n%s", err, b.String())
+	}
+	if len(parsed) != len(nastyValues) {
+		t.Fatalf("parsed %d series, want %d", len(parsed), len(nastyValues))
+	}
+	for id := range parsed {
+		orig, ok := want[id]
+		if !ok {
+			t.Errorf("unexpected series %q", id)
+			continue
+		}
+		_, labels, err := ParseSeriesID(id)
+		if err != nil {
+			t.Errorf("ParseSeriesID(%q): %v", id, err)
+			continue
+		}
+		if labels["v"] != orig {
+			t.Errorf("series %q decodes to %q, want %q", id, labels["v"], orig)
+		}
+	}
+}

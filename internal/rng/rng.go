@@ -30,6 +30,23 @@ func (s *Stream) Fork(label uint64) *Stream {
 	return &Stream{state: z}
 }
 
+// ForkNamed derives an independent child stream keyed by a human-readable
+// label ("shard-3", "city-17/offload"). The label is folded through FNV-1a
+// into a Fork label, so substream identity depends only on the parent state
+// and the string — never on fork order elsewhere in the program. The sharded
+// kernel uses it to give every shard and logical process its own substream:
+// draws inside one shard then cannot perturb another's, which is what keeps
+// an N-shard run byte-identical to the serial one.
+func (s *Stream) ForkNamed(label string) *Stream {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= prime64
+	}
+	return s.Fork(h)
+}
+
 // Uint64 returns the next 64 pseudo-random bits (SplitMix64).
 func (s *Stream) Uint64() uint64 {
 	s.state += 0x9e3779b97f4a7c15

@@ -1,0 +1,441 @@
+// Package shard runs many sim.Engines in parallel under conservative
+// synchronization — the nation-scale execution layer the single-threaded
+// kernel deliberately refuses to be.
+//
+// The unit of sequential execution is a logical process (LP): one engine,
+// one deterministic sub-simulation (a city in a federation, or one arm of a
+// multi-scenario experiment). LPs are assigned to shards; each shard is a
+// worker goroutine that runs its LPs one after another through bounded time
+// windows. Cross-LP interaction never touches another LP's state directly:
+// it travels as a message through the sender's ordered outbox, is collected
+// at the window barrier, globally sorted by (arrival time, sender, sender
+// sequence) and scheduled onto the destination engines before the next
+// window opens.
+//
+// Conservative correctness is the classic lookahead argument: every message
+// carries a delay of at least the kernel's lookahead L (the minimum
+// cross-shard network latency of the model). If every LP has run to the
+// barrier time b, a message sent in the window ending at b cannot arrive
+// before b + L > b, so delivering at the barrier can never schedule into a
+// receiver's past. Windows are adaptive, not a fixed grid: the next barrier
+// is min-next-event-time + L, so idle stretches cost one peek instead of a
+// crawl of empty windows.
+//
+// Determinism is the design's non-negotiable: the observable behaviour of
+// every LP is a function of its own engine, its own RNG substreams
+// (rng.Stream.ForkNamed) and the sorted message stream — none of which
+// depend on how LPs are packed onto shards or on goroutine scheduling. A
+// run with one shard is therefore byte-identical to a run with N, and both
+// to a plain sequential loop over the LPs.
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"df3/internal/sim"
+)
+
+// Infinite is the lookahead of a kernel whose LPs never exchange messages
+// (independent experiment arms): a single window runs every LP to its own
+// horizon.
+const Infinite sim.Time = -1
+
+// LP is one logical process: an engine plus its horizon and mailbox state.
+type LP struct {
+	ID   int
+	Name string
+	// Engine is the LP's private kernel. Nothing outside the LP may
+	// schedule on it except the shard kernel's barrier delivery.
+	Engine *sim.Engine
+	// Until is the LP's own horizon; the kernel never advances it past
+	// this, so arms with different horizons keep their exact serial Now().
+	Until sim.Time
+
+	shard int
+	// outbox holds messages sent by this LP in the current window. Only
+	// the LP's own shard worker appends (inside callbacks), and only the
+	// barrier drains, so no lock is needed.
+	outbox []message
+	// seq orders this LP's sends; with the sender ID it makes message
+	// order a pure function of simulation content.
+	seq uint64
+	// fired tracks Engine.Fired at the last barrier, for load stats.
+	fired uint64
+	done  bool
+}
+
+// Shard reports the shard the LP is assigned to.
+func (lp *LP) Shard() int { return lp.shard }
+
+// message is one cross-LP event: run fn on dst's engine at time at.
+type message struct {
+	at       sim.Time
+	src, dst int
+	seq      uint64
+	size     float64
+	fn       func()
+}
+
+// PairTraffic accounts messages and bytes that crossed one (src shard, dst
+// shard) boundary — the shard layer's view of boundary links.
+type PairTraffic struct {
+	SrcShard, DstShard int
+	Messages           int64
+	Bytes              float64
+}
+
+// Stats is the kernel's execution accounting after Run.
+type Stats struct {
+	// Windows is the number of synchronization windows executed.
+	Windows int
+	// TotalEvents is the sum of events fired across every LP.
+	TotalEvents uint64
+	// CriticalEvents sums, over windows, the busiest shard's event count:
+	// the barrier-synchronous critical path. TotalEvents/CriticalEvents is
+	// the speedup an N-way parallel run achieves over the serial kernel
+	// once per-event costs dominate — it is a deterministic property of
+	// the partition, reported by E19 and realised in wall-clock on a
+	// machine with at least N cores.
+	CriticalEvents uint64
+	// Sent counts cross-LP messages; CrossShard counts the subset whose
+	// endpoints lived on different shards (the true boundary traffic).
+	Sent, CrossShard int64
+}
+
+// Speedup returns TotalEvents/CriticalEvents (1 when nothing ran).
+func (s Stats) Speedup() float64 {
+	if s.CriticalEvents == 0 {
+		return 1
+	}
+	return float64(s.TotalEvents) / float64(s.CriticalEvents)
+}
+
+// Kernel owns the LPs, the shard workers and the barrier machinery.
+type Kernel struct {
+	lookahead sim.Time
+	shards    int
+	lps       []*LP
+	now       sim.Time
+	ran       bool
+	stats     Stats
+	boundary  map[[2]int]*PairTraffic
+	// perShard is scratch for per-window event counts.
+	perShard []uint64
+}
+
+// NewKernel returns a kernel with the given worker count and lookahead.
+// lookahead is the minimum cross-LP message delay (derive it from the
+// minimum cross-shard network latency of the model); pass Infinite when the
+// LPs are independent. shards < 1 panics.
+func NewKernel(shards int, lookahead sim.Time) *Kernel {
+	if shards < 1 {
+		panic(fmt.Sprintf("shard: kernel with %d shards", shards))
+	}
+	if lookahead != Infinite && lookahead <= 0 {
+		panic(fmt.Sprintf("shard: non-positive lookahead %v", lookahead))
+	}
+	return &Kernel{
+		lookahead: lookahead,
+		shards:    shards,
+		boundary:  map[[2]int]*PairTraffic{},
+		perShard:  make([]uint64, shards),
+	}
+}
+
+// Shards returns the worker count.
+func (k *Kernel) Shards() int { return k.shards }
+
+// Lookahead returns the kernel's lookahead (Infinite for independent LPs).
+func (k *Kernel) Lookahead() sim.Time { return k.lookahead }
+
+// AddLP registers an engine as a logical process running to its own horizon
+// `until`, assigned round-robin pending Partition. Engines must join at
+// time zero: an LP that already ran could have consumed state the mailbox
+// ordering cannot reproduce.
+func (k *Kernel) AddLP(name string, e *sim.Engine, until sim.Time) *LP {
+	if k.ran {
+		panic("shard: AddLP after Run")
+	}
+	if e.Now() != 0 {
+		panic(fmt.Sprintf("shard: LP %q joins at t=%v, want 0", name, e.Now()))
+	}
+	lp := &LP{ID: len(k.lps), Name: name, Engine: e, Until: until}
+	lp.shard = lp.ID % k.shards
+	k.lps = append(k.lps, lp)
+	return lp
+}
+
+// LPs returns the registered logical processes in ID order.
+func (k *Kernel) LPs() []*LP { return k.lps }
+
+// Partition reassigns LPs to shards. assign[i] is LP i's shard; values out
+// of range or a wrong length panic. Call before Run.
+func (k *Kernel) Partition(assign []int) {
+	if k.ran {
+		panic("shard: Partition after Run")
+	}
+	if len(assign) != len(k.lps) {
+		panic(fmt.Sprintf("shard: partition of %d LPs got %d assignments", len(k.lps), len(assign)))
+	}
+	for i, s := range assign {
+		if s < 0 || s >= k.shards {
+			panic(fmt.Sprintf("shard: LP %d assigned to shard %d of %d", i, s, k.shards))
+		}
+		k.lps[i].shard = s
+	}
+}
+
+// PartitionContiguous balances LPs over shards in contiguous ID blocks —
+// the locality-preserving default when callers register LPs in network or
+// thermal neighbourhood order. weights are relative LP costs (nil = equal);
+// the split greedily cuts at the running-total boundaries.
+func PartitionContiguous(n, shards int, weights []float64) []int {
+	if shards < 1 {
+		panic("shard: PartitionContiguous with no shards")
+	}
+	total := 0.0
+	if weights == nil {
+		total = float64(n)
+	} else {
+		if len(weights) != n {
+			panic("shard: weights length mismatch")
+		}
+		for _, w := range weights {
+			total += w
+		}
+	}
+	assign := make([]int, n)
+	acc, cut := 0.0, 0
+	for i := 0; i < n; i++ {
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		// Advance the cut when the running total passes the next shard
+		// boundary, but never strand a shard without remaining LPs.
+		for cut < shards-1 && acc+w/2 > total*float64(cut+1)/float64(shards) {
+			cut++
+		}
+		assign[i] = cut
+		acc += w
+	}
+	return assign
+}
+
+// Send queues fn to run on dst's engine `delay` seconds after src's current
+// time, carrying `size` accounting bytes over the shard boundary. It must
+// be called from within src's own event callbacks (that is the only context
+// the sender's clock is meaningful in). Delays below the kernel lookahead
+// panic: they would let a message arrive inside an already-running window,
+// which is exactly the causality violation conservative synchronization
+// exists to rule out.
+func (k *Kernel) Send(src, dst *LP, delay sim.Time, size float64, fn func()) {
+	if k.lookahead == Infinite {
+		panic("shard: Send on a kernel with Infinite lookahead (no channels declared)")
+	}
+	if delay < k.lookahead {
+		panic(fmt.Sprintf("shard: %q→%q delay %v violates lookahead %v",
+			src.Name, dst.Name, delay, k.lookahead))
+	}
+	src.outbox = append(src.outbox, message{
+		at: src.Engine.Now() + delay, src: src.ID, dst: dst.ID,
+		seq: src.seq, size: size, fn: fn,
+	})
+	src.seq++
+}
+
+// Boundary returns per-(src shard, dst shard) traffic accounting in sorted
+// pair order.
+func (k *Kernel) Boundary() []PairTraffic {
+	keys := make([][2]int, 0, len(k.boundary))
+	for p := range k.boundary {
+		keys = append(keys, p)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	out := make([]PairTraffic, len(keys))
+	for i, p := range keys {
+		out[i] = *k.boundary[p]
+	}
+	return out
+}
+
+// Stats returns execution accounting (valid after Run).
+func (k *Kernel) Stats() Stats { return k.stats }
+
+// Run advances every LP to min(until, its own horizon) through conservative
+// windows, parallel across shards, barrier-synchronized, mailbox-drained.
+func (k *Kernel) Run(until sim.Time) {
+	k.ran = true
+	for {
+		end, any := k.nextBarrier(until)
+		if !any {
+			break
+		}
+		k.runWindow(end)
+		k.flush(end)
+		k.now = end
+		k.stats.Windows++
+		if end >= until {
+			break
+		}
+	}
+	// Catch-up window: events sitting exactly at `until` (outside any
+	// barrier, since windows end strictly after the events that define
+	// them) still fire, their sends are drained, and every LP's clock is
+	// left at min(until, its horizon) — exactly as a serial
+	// Engine.Run(until) per LP would leave it.
+	k.runWindow(until)
+	k.flush(until)
+	if k.now < until {
+		k.now = until
+	}
+}
+
+// nextBarrier picks the next window end: the earliest pending event across
+// live LPs plus the lookahead, clamped to `until`. It reports false when no
+// LP has work left before `until`.
+func (k *Kernel) nextBarrier(until sim.Time) (sim.Time, bool) {
+	if k.now >= until {
+		return 0, false
+	}
+	if k.lookahead == Infinite {
+		// Independent LPs: one window runs everything to its horizon.
+		return until, k.stats.Windows == 0
+	}
+	next := until
+	any := false
+	for _, lp := range k.lps {
+		if lp.done {
+			continue
+		}
+		if t, ok := lp.Engine.NextEventTime(); ok && t <= lp.Until && t < next {
+			next = t
+			any = true
+		}
+	}
+	if !any {
+		return 0, false
+	}
+	end := next + k.lookahead
+	if end > until {
+		end = until
+	}
+	// Guard against a zero-width window when an event sits exactly at the
+	// previous barrier with lookahead already consumed by clamping.
+	if end <= k.now {
+		end = k.now + k.lookahead
+		if end > until {
+			end = until
+		}
+	}
+	return end, true
+}
+
+// runWindow advances every live LP to min(end, its horizon), one worker
+// goroutine per shard, and folds the per-shard event counts into the
+// critical-path statistics.
+func (k *Kernel) runWindow(end sim.Time) {
+	for i := range k.perShard {
+		k.perShard[i] = 0
+	}
+	runShard := func(s int) {
+		for _, lp := range k.lps {
+			if lp.shard != s || lp.done {
+				continue
+			}
+			h := lp.Until
+			if h > end {
+				h = end
+			}
+			if lp.Engine.Now() < h {
+				lp.Engine.Run(h)
+			}
+			if lp.Engine.Now() >= lp.Until {
+				lp.done = true
+			}
+		}
+	}
+	if k.shards == 1 {
+		runShard(0)
+	} else {
+		var wg sync.WaitGroup
+		for s := 0; s < k.shards; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				runShard(s)
+			}(s)
+		}
+		wg.Wait()
+	}
+	for _, lp := range k.lps {
+		d := lp.Engine.Fired() - lp.fired
+		lp.fired = lp.Engine.Fired()
+		k.perShard[lp.shard] += d
+		k.stats.TotalEvents += d
+	}
+	max := uint64(0)
+	for _, n := range k.perShard {
+		if n > max {
+			max = n
+		}
+	}
+	k.stats.CriticalEvents += max
+}
+
+// flush drains every outbox, sorts the messages into their global
+// deterministic order and schedules them onto the destination engines.
+// Delivery happens on the coordinating goroutine, strictly between windows.
+func (k *Kernel) flush(end sim.Time) {
+	var batch []message
+	for _, lp := range k.lps {
+		batch = append(batch, lp.outbox...)
+		lp.outbox = lp.outbox[:0]
+	}
+	if len(batch) == 0 {
+		return
+	}
+	sort.Slice(batch, func(i, j int) bool {
+		a, b := batch[i], batch[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.seq < b.seq
+	})
+	for _, m := range batch {
+		dst := k.lps[m.dst]
+		if m.at < dst.Engine.Now() {
+			panic(fmt.Sprintf("shard: message %q→%q at %v arrives in receiver past %v (lookahead too large?)",
+				k.lps[m.src].Name, dst.Name, m.at, dst.Engine.Now()))
+		}
+		k.stats.Sent++
+		src := k.lps[m.src]
+		pair := [2]int{src.shard, dst.shard}
+		pt := k.boundary[pair]
+		if pt == nil {
+			pt = &PairTraffic{SrcShard: pair[0], DstShard: pair[1]}
+			k.boundary[pair] = pt
+		}
+		pt.Messages++
+		pt.Bytes += m.size
+		if src.shard != dst.shard {
+			k.stats.CrossShard++
+		}
+		fn := m.fn
+		dst.Engine.At(m.at, fn)
+		// A delivered message can revive a drained LP.
+		if m.at <= dst.Until {
+			dst.done = false
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestResetMovesSingleFiring: a Reset event fires exactly once, at its new
+// time — never a stale completion at the old time.
+func TestResetMovesSingleFiring(t *testing.T) {
+	e := New()
+	var fires []Time
+	ev := e.At(15, func() { fires = append(fires, e.Now()) })
+	e.Reset(ev, 25)
+	e.Run(100)
+	if len(fires) != 1 || fires[0] != 25 {
+		t.Fatalf("fires = %v, want exactly [25]", fires)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("%d events still pending after Run", e.Pending())
+	}
+}
+
+// TestResetUnderTickDomains: resetting an ordinary event back and forth
+// across a live tick-domain grid neither duplicates the event nor disturbs
+// the domain's ticks.
+func TestResetUnderTickDomains(t *testing.T) {
+	e := New()
+	var order []string
+	log := func(s string) func(Time) {
+		return func(Time) { order = append(order, s) }
+	}
+	d := e.Domain(10)
+	d.Subscribe(log("tick"))
+
+	ev := e.At(15, func() { order = append(order, "ev") })
+	e.Reset(ev, 35) // past two ticks
+	e.Reset(ev, 12) // back between the first and second tick
+	e.Run(40)
+
+	want := []string{"tick", "ev", "tick", "tick", "tick"} // 10, 12, 20, 30, 40
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+// TestResetOntoDomainTick: an event Reset onto the exact time of a domain
+// tick fires after the domain (the Reset re-sequences it as the youngest
+// event at that instant), matching what scheduling a fresh event would do.
+func TestResetOntoDomainTick(t *testing.T) {
+	e := New()
+	var order []string
+	d := e.Domain(10)
+	d.Subscribe(func(Time) { order = append(order, "tick") })
+	ev := e.At(5, func() { order = append(order, "ev") })
+	e.Reset(ev, 10)
+	e.Run(10)
+	if want := []string{"tick", "ev"}; !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+// TestResetFromSubscriber: a domain subscriber may Reset a pending event to
+// the current instant; it fires once, this tick, after the domain event.
+func TestResetFromSubscriber(t *testing.T) {
+	e := New()
+	var fires []Time
+	ev := e.At(50, func() { fires = append(fires, e.Now()) })
+	d := e.Domain(10)
+	reset := false
+	d.Subscribe(func(now Time) {
+		if !reset && now >= 20 {
+			reset = true
+			e.Reset(ev, now)
+		}
+	})
+	e.Run(60)
+	if len(fires) != 1 || fires[0] != 20 {
+		t.Fatalf("fires = %v, want exactly [20]", fires)
+	}
+}
+
+// TestResetRepeated: many Resets across many ticks leave one firing, a
+// correct Fired() count and an empty queue.
+func TestResetRepeated(t *testing.T) {
+	e := New()
+	fired := 0
+	ev := e.At(1, func() { fired++ })
+	d := e.Domain(7)
+	d.Subscribe(func(Time) {})
+	for i := 1; i <= 20; i++ {
+		e.Reset(ev, Time(i*3))
+	}
+	e.Run(70)
+	if fired != 1 {
+		t.Fatalf("event fired %d times", fired)
+	}
+	// 10 domain ticks (7..70) + 1 event.
+	if e.Fired() != 11 {
+		t.Fatalf("Fired() = %d, want 11", e.Fired())
+	}
+	if nt, any := e.NextEventTime(); !any || nt != 77 {
+		t.Fatalf("NextEventTime = %v,%v, want 77 (domain re-arm)", nt, any)
+	}
+}
+
+// TestResetPanics: Reset of a never-scheduled, already-fired or cancelled
+// event panics, as does a Reset into the past.
+func TestResetPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	e := New()
+	expectPanic("nil event", func() { e.Reset(nil, 5) })
+
+	fired := e.At(1, func() {})
+	e.Run(2)
+	expectPanic("already fired", func() { e.Reset(fired, 5) })
+
+	cancelled := e.At(10, func() {})
+	e.Cancel(cancelled)
+	expectPanic("cancelled", func() { e.Reset(cancelled, 15) })
+
+	past := e.At(10, func() {})
+	expectPanic("into the past", func() { e.Reset(past, 1) })
+}

@@ -196,6 +196,18 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending returns the number of scheduled, not-yet-fired events.
 func (e *Engine) Pending() int { return len(e.events) }
 
+// NextEventTime returns the time of the earliest scheduled event, or false
+// when the queue is empty. The sharded kernel uses it to bound conservative
+// windows: between barriers, no engine can act before its earliest event, so
+// the window end can jump straight to min-next-event + lookahead instead of
+// crawling a fixed grid through idle stretches.
+func (e *Engine) NextEventTime() (Time, bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].at, true
+}
+
 // At schedules fn at absolute time t. Scheduling in the past panics: it is
 // always a model bug and silently clamping it would corrupt causality.
 func (e *Engine) At(t Time, fn func()) *Event {

@@ -1,0 +1,95 @@
+package trace
+
+import "testing"
+
+func TestMergeRemapsSpansAndProcesses(t *testing.T) {
+	a := NewRecorder(0)
+	a.BeginProcess("city-0")
+	ra := a.BeginSpan(1, "request", 10, 0)
+	ca := a.BeginSpan(2, "queue", 0, ra)
+	a.EndSpan(3, ca)
+	a.EndSpan(4, ra)
+
+	b := NewRecorder(0)
+	b.BeginProcess("city-1")
+	rb := b.BeginSpan(5, "request", 20, 0)
+	cb := b.BeginSpan(6, "compute", 0, rb)
+	b.EndSpan(7, cb)
+	b.EndSpan(8, rb)
+	leak := b.BeginSpan(9, "open", 21, 0)
+	_ = leak
+
+	a.Merge(b)
+
+	if got := a.Processes(); len(got) != 2 || got[0] != "city-0" || got[1] != "city-1" {
+		t.Fatalf("processes = %v", got)
+	}
+	spans := a.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("%d completed spans, want 4", len(spans))
+	}
+	// IDs must stay unique and parent links intact after the remap.
+	seen := map[SpanID]Span{}
+	for _, sp := range spans {
+		if _, dup := seen[sp.ID]; dup {
+			t.Fatalf("duplicate span id %d after merge", sp.ID)
+		}
+		seen[sp.ID] = sp
+	}
+	for _, sp := range spans {
+		if sp.Parent == 0 {
+			continue
+		}
+		p, ok := seen[sp.Parent]
+		if !ok {
+			t.Fatalf("span %d parent %d missing after merge", sp.ID, sp.Parent)
+		}
+		if p.Proc != sp.Proc {
+			t.Fatalf("span %d crossed processes: %d vs parent %d", sp.ID, sp.Proc, p.Proc)
+		}
+	}
+	// The merged-in spans carry the remapped process.
+	var merged int
+	for _, sp := range spans {
+		if sp.Proc == 2 {
+			merged++
+			if sp.Trace != 20 {
+				t.Fatalf("merged span trace id %d, want 20 (pass-through)", sp.Trace)
+			}
+		}
+	}
+	if merged != 2 {
+		t.Fatalf("%d spans in merged process, want 2", merged)
+	}
+	// The still-open span from b survives as open in a.
+	if open := a.OpenSpans(); len(open) != 1 || open[0].Stage != "open" || open[0].Proc != 2 {
+		t.Fatalf("open spans after merge: %+v", open)
+	}
+	// Post-merge recording cannot collide with merged ids.
+	fresh := a.BeginSpan(10, "later", 30, 0)
+	if _, dup := seen[fresh]; dup {
+		t.Fatalf("fresh span id %d collides with merged ids", fresh)
+	}
+}
+
+func TestMergeNilSafe(t *testing.T) {
+	var r *Recorder
+	r.Merge(NewRecorder(0)) // must not panic
+	a := NewRecorder(0)
+	a.Merge(nil)
+	if len(a.Spans()) != 0 {
+		t.Fatal("merge of nil produced spans")
+	}
+}
+
+func TestMergeCountsHygiene(t *testing.T) {
+	a := NewRecorder(0)
+	b := NewRecorder(0)
+	b.EndSpan(1, 99)          // unmatched
+	b.BeginSpan(1, "x", 0, 7) // orphan parent
+	a.Merge(b)
+	if a.UnmatchedEnds() != 1 || a.OrphanBegins() != 1 {
+		t.Fatalf("hygiene counters not merged: %d unmatched, %d orphans",
+			a.UnmatchedEnds(), a.OrphanBegins())
+	}
+}

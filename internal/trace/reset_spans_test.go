@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"testing"
+
+	"df3/internal/sim"
+)
+
+// TestSpansSurviveEventReset models the retry path that motivated
+// Engine.Reset: a request's span opens, its completion event is Reset
+// (retimed) several times while tick domains run, and the span closes
+// exactly once when the event finally fires. The recorder's hygiene
+// counters must stay at zero — a Reset must never manufacture a stale
+// completion (double EndSpan) or strand an open span.
+func TestSpansSurviveEventReset(t *testing.T) {
+	e := sim.New()
+	r := NewRecorder(0)
+	r.BeginProcess("reset-test")
+
+	d := e.Domain(5)
+	d.Subscribe(func(sim.Time) {})
+
+	root := r.BeginSpan(0, "request", 1, 0)
+	var ev *sim.Event
+	ev = e.At(10, func() {
+		r.EndSpan(e.Now(), root)
+	})
+	e.Reset(ev, 22) // first retry pushes completion out
+	e.Reset(ev, 17) // a faster path pulls it back in
+
+	child := r.BeginSpan(2, "attempt", 0, root)
+	e.At(4, func() { r.EndSpan(e.Now(), child) })
+
+	e.Run(30)
+
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("%d completed spans, want 2", len(spans))
+	}
+	byStage := map[string]Span{}
+	for _, s := range spans {
+		byStage[s.Stage] = s
+	}
+	if got := byStage["request"]; got.Begin != 0 || got.End != 17 {
+		t.Errorf("request span [%v,%v], want [0,17]", got.Begin, got.End)
+	}
+	if got := byStage["attempt"]; got.End != 4 || got.Parent != root || got.Trace != 1 {
+		t.Errorf("attempt span end %v parent %v trace %v, want 4 %v 1",
+			got.End, got.Parent, got.Trace, root)
+	}
+	if n := len(r.OpenSpans()); n != 0 {
+		t.Errorf("%d spans left open", n)
+	}
+	if r.UnmatchedEnds() != 0 || r.OrphanBegins() != 0 {
+		t.Errorf("hygiene counters dirty: unmatched ends %d, orphan begins %d",
+			r.UnmatchedEnds(), r.OrphanBegins())
+	}
+}
+
+// TestSpanEndViaCancelledEvent: when a completion event is Cancelled and
+// replaced (the other retry idiom), only the replacement closes the span;
+// the hygiene counters stay clean because the cancelled closure never ran.
+func TestSpanEndViaCancelledEvent(t *testing.T) {
+	e := sim.New()
+	r := NewRecorder(0)
+	r.BeginProcess("cancel-test")
+
+	sp := r.BeginSpan(0, "request", 7, 0)
+	old := e.At(10, func() { r.EndSpan(e.Now(), sp) })
+	e.Cancel(old)
+	e.At(12, func() { r.EndSpanDetail(e.Now(), sp, "retry") })
+	e.Run(20)
+
+	spans := r.Spans()
+	if len(spans) != 1 || spans[0].End != 12 || spans[0].Detail != "retry" {
+		t.Fatalf("spans = %+v, want one ending at 12 with detail retry", spans)
+	}
+	if r.UnmatchedEnds() != 0 || r.OrphanBegins() != 0 || len(r.OpenSpans()) != 0 {
+		t.Errorf("hygiene dirty: %d unmatched, %d orphans, %d open",
+			r.UnmatchedEnds(), r.OrphanBegins(), len(r.OpenSpans()))
+	}
+}
+
+// TestDoubleEndIsCountedOnce: if a bug does fire two completions for one
+// span, the second EndSpan is refused and surfaces in UnmatchedEnds — the
+// counter the chaos experiments assert on.
+func TestDoubleEndIsCountedOnce(t *testing.T) {
+	e := sim.New()
+	r := NewRecorder(0)
+	sp := r.BeginSpan(0, "request", 1, 0)
+	e.At(5, func() { r.EndSpan(e.Now(), sp) })
+	e.At(9, func() { r.EndSpan(e.Now(), sp) }) // stale completion
+	e.Run(10)
+	spans := r.Spans()
+	if len(spans) != 1 || spans[0].End != 5 {
+		t.Fatalf("spans = %+v, want one ending at 5", spans)
+	}
+	if r.UnmatchedEnds() != 1 {
+		t.Errorf("UnmatchedEnds = %d, want 1", r.UnmatchedEnds())
+	}
+}
