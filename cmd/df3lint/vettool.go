@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"df3/internal/analysis"
+	"df3/internal/analysis/load"
+)
+
+// vetConfig mirrors the JSON config `go vet -vettool` hands the tool for
+// each package unit (see cmd/go/internal/work's vetConfig).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+	GoVersion                 string
+}
+
+// runAsVetTool handles the `go vet -vettool` protocol: the -V=full and
+// -flags probes, then one invocation per package with a *.cfg argument.
+// It reports whether the arguments matched the protocol.
+func runAsVetTool(args []string) bool {
+	if len(args) != 1 {
+		return false
+	}
+	switch {
+	case strings.HasPrefix(args[0], "-V"):
+		// Build-cache tool identity probe.
+		fmt.Printf("df3lint version df3-analysis-suite-v1\n")
+		return true
+	case args[0] == "-flags":
+		// The tool exposes no pass-through flags.
+		fmt.Println("[]")
+		return true
+	case strings.HasSuffix(args[0], ".cfg"):
+		unitCheck(args[0])
+		return true
+	}
+	return false
+}
+
+// unitCheck analyzes one package unit described by a vet config file.
+func unitCheck(cfgPath string) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatalf("reading %s: %v", cfgPath, err)
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fatalf("parsing %s: %v", cfgPath, err)
+	}
+	// The driver expects a facts file for every unit, even though this
+	// suite exports no cross-package facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fatalf("writing %s: %v", cfg.VetxOutput, err)
+		}
+	}
+	if cfg.VetxOnly {
+		return
+	}
+
+	fset := token.NewFileSet()
+	files, err := load.ParseFiles(fset, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		fatalf("%s: %v", cfg.ImportPath, err)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "source"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	conf := types.Config{
+		Importer:    imp,
+		GoVersion:   cfg.GoVersion,
+		FakeImportC: true,
+		Error:       func(error) {},
+	}
+	info := load.NewInfo()
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		fatalf("type-checking %s: %v", cfg.ImportPath, err)
+	}
+
+	findings, err := analysis.RunPackage(analysis.Unit{
+		Fset:  fset,
+		Files: files,
+		Pkg:   pkg,
+		Info:  info,
+	}, analysis.Analyzers())
+	if err != nil {
+		fatalf("%s: %v", cfg.ImportPath, err)
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", f.Posn, f.Message, f.Analyzer)
+	}
+	if len(findings) > 0 {
+		os.Exit(2)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "df3lint: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,173 @@
+// Package analysis implements df3lint: a suite of domain-specific static
+// analyzers that enforce the determinism, units and tracing contracts the
+// simulator's headline guarantees rest on.
+//
+// The repo promises that an N-shard federation run is byte-identical to the
+// serial one and that the physical couplings (watts, joules, °C) stay
+// dimensionally sound. Those properties are protected at runtime by tests,
+// but a single stray time.Now, an unsorted map iteration feeding rendered
+// output, or a watts-for-joules mixup breaks them silently. The analyzers
+// here enforce the contracts at compile time, the way vet and staticcheck
+// gate generic bugs:
+//
+//	detrand     no wall-clock or math/rand randomness in sim-affecting code
+//	maporder    no order-dependent work inside range-over-map
+//	simtime     no raw float conversions between wall-clock and sim time
+//	unitsafe    no cross-dimension units conversions or raw-float leaks
+//	spanend     every locally-scoped trace span is ended on all paths
+//	lockedblock no blocking operation while holding a mutex
+//	df3directive suppression directives are well-formed
+//
+// The API deliberately mirrors golang.org/x/tools/go/analysis (Analyzer,
+// Pass, Diagnostic) so the suite could migrate to the real framework if the
+// dependency ever becomes available; it is implemented on the standard
+// library alone.
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //df3:allow(<name>) suppression directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers a diagnostic. The driver wraps it with suppression
+	// handling, so analyzers call it unconditionally.
+	Report func(Diagnostic)
+
+	// ReadFile returns the source of a file in the pass (the directive
+	// checker re-scans comments from raw source).
+	ReadFile func(string) ([]byte, error)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // filled by the driver
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}
+
+// ObjectOf returns the object denoted by id, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	return p.TypesInfo.ObjectOf(id)
+}
+
+// CalleeFunc returns the static callee of call as a *types.Func (method or
+// function), or nil for calls through function values, conversions and
+// builtins.
+func (p *Pass) CalleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := p.ObjectOf(fun).(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := p.ObjectOf(fun.Sel).(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// sigOf returns f's signature. (Equivalent to (*types.Func).Signature,
+// which the go1.22 language level of this module cannot use directly.)
+func sigOf(f *types.Func) *types.Signature {
+	sig, _ := f.Type().(*types.Signature)
+	return sig
+}
+
+// FuncIs reports whether f is the function or method with the given package
+// path and full name. For methods name is "Recv.Method" (pointer receivers
+// match too), for functions just "Func".
+func FuncIs(f *types.Func, pkgPath, name string) bool {
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != pkgPath {
+		return false
+	}
+	if recv := sigOf(f).Recv(); recv != nil {
+		t := recv.Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return false
+		}
+		return named.Obj().Name()+"."+f.Name() == name
+	}
+	return f.Name() == name
+}
+
+// NamedType reports whether t (after unaliasing and pointer-stripping) is
+// the named type pkgPath.name.
+func NamedType(t types.Type, pkgPath, name string) bool {
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// IsIntegerKind reports whether t's underlying kind is an integer
+// (signed or unsigned, any width).
+func IsIntegerKind(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// IsFloatKind reports whether t's underlying kind is a float.
+func IsFloatKind(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// Inspect walks every file in the pass in source order, calling fn as
+// ast.Inspect does.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// exprString renders an expression back to source, for matching syntactic
+// idioms (mutex receivers, min/max tracking) and for diagnostics.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}

@@ -1,0 +1,198 @@
+// Package atest is the fixture harness for the df3lint analyzers: it runs
+// analyzers over a testdata directory and checks their findings against
+// `// want` comments, mirroring golang.org/x/tools' analysistest on the
+// stdlib-only framework.
+//
+// Expectations sit at the end of the line a finding is reported on:
+//
+//	t := time.Now() // want `time\.Now reads the wall clock`
+//
+// Each expectation is a regular expression, quoted with backticks or double
+// quotes; several may follow one want marker. Every finding must match an
+// expectation on its line and every expectation must be matched by exactly
+// one finding, so fixtures pin both the flagging and the non-flagging cases.
+//
+// Before the fixture is parsed the want comments are blanked in place
+// (byte-for-byte, so positions hold): a want comment trailing a //df3:
+// directive would otherwise be read as the directive's reason.
+package atest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"df3/internal/analysis"
+	"df3/internal/analysis/load"
+)
+
+// loader is shared by every fixture in the test binary: the expensive
+// standard-library and module type-checking happens once.
+var (
+	loaderOnce sync.Once
+	loader     *load.Loader
+)
+
+func sharedLoader() *load.Loader {
+	loaderOnce.Do(func() { loader = load.NewLoader("") })
+	return loader
+}
+
+const wantMarker = "// want "
+
+// expectation is one compiled want pattern awaiting a finding.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package in dir, applies the analyzers, and reports
+// any mismatch between findings and want expectations as test errors.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no fixture files in %s (%v)", dir, err)
+	}
+	sort.Strings(paths)
+
+	var (
+		srcs    [][]byte
+		wants   []*expectation
+		sources = map[string][]byte{}
+	)
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sanitized, ws, err := extractWants(path, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs = append(srcs, sanitized)
+		sources[path] = sanitized
+		wants = append(wants, ws...)
+	}
+
+	pkg, err := sharedLoader().CheckSource("df3lint/fixture/"+filepath.Base(dir), paths, srcs)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	findings, err := analysis.RunPackage(analysis.Unit{
+		Fset:  sharedLoader().Fset(),
+		Files: pkg.Files,
+		Pkg:   pkg.Types,
+		Info:  pkg.Info,
+		ReadFile: func(name string) ([]byte, error) {
+			src, ok := sources[name]
+			if !ok {
+				return nil, fmt.Errorf("atest: no source for %s", name)
+			}
+			return src, nil
+		},
+	}, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", dir, err)
+	}
+
+	for _, f := range findings {
+		if !claim(wants, f.Posn, f.Message) {
+			t.Errorf("%s: unexpected finding: %s [%s]", f.Posn, f.Message, f.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation covering (posn, message).
+func claim(wants []*expectation, posn token.Position, message string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == posn.Filename && w.line == posn.Line && w.re.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// extractWants pulls the want expectations out of src and returns a copy
+// with each want comment overwritten by spaces, preserving every offset.
+func extractWants(path string, src []byte) ([]byte, []*expectation, error) {
+	out := append([]byte(nil), src...)
+	var wants []*expectation
+	line := 0
+	for start := 0; start < len(out); {
+		line++
+		end := len(out)
+		if i := strings.IndexByte(string(out[start:]), '\n'); i >= 0 {
+			end = start + i
+		}
+		text := string(out[start:end])
+		if idx := strings.Index(text, wantMarker); idx >= 0 {
+			ws, err := parseWants(path, line, text[idx+len(wantMarker):])
+			if err != nil {
+				return nil, nil, err
+			}
+			wants = append(wants, ws...)
+			for i := start + idx; i < end; i++ {
+				out[i] = ' '
+			}
+		}
+		start = end + 1
+	}
+	return out, wants, nil
+}
+
+// parseWants compiles the quoted patterns after a want marker.
+func parseWants(path string, line int, rest string) ([]*expectation, error) {
+	var wants []*expectation
+	for {
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			break
+		}
+		var raw string
+		switch rest[0] {
+		case '`':
+			close := strings.IndexByte(rest[1:], '`')
+			if close < 0 {
+				return nil, fmt.Errorf("%s:%d: unterminated want pattern", path, line)
+			}
+			raw, rest = rest[1:1+close], rest[close+2:]
+		case '"':
+			end := 1
+			for end < len(rest) && (rest[end] != '"' || rest[end-1] == '\\') {
+				end++
+			}
+			if end == len(rest) {
+				return nil, fmt.Errorf("%s:%d: unterminated want pattern", path, line)
+			}
+			unq, err := strconv.Unquote(rest[:end+1])
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad want pattern: %v", path, line, err)
+			}
+			raw, rest = unq, rest[end+1:]
+		default:
+			return nil, fmt.Errorf("%s:%d: want patterns must be quoted with ` or \"", path, line)
+		}
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", path, line, raw, err)
+		}
+		wants = append(wants, &expectation{file: path, line: line, re: re})
+	}
+	return wants, nil
+}

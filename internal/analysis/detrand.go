@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// DetrandAnalyzer enforces the reproducibility contract's first clause: a
+// scenario is a deterministic function of its seed. Wall-clock reads
+// (time.Now, time.Since, time.Until) and the math/rand generators (whose
+// global source is seeded per-process) both smuggle host state into a run,
+// which breaks byte-identical replay and the N-shard ≡ serial guarantee.
+// All randomness must come from internal/rng streams forked from the
+// scenario seed. Reporting-only wall-clock measurement (e.g. the bench
+// harness timing itself) is suppressed site-by-site with
+// //df3:allow(detrand) <reason>.
+var DetrandAnalyzer = &Analyzer{
+	Name: "detrand",
+	Doc:  "forbid wall-clock reads and math/rand; randomness must come from internal/rng substreams",
+	Run:  runDetrand,
+}
+
+// detrandBannedImports are packages whose presence alone defeats seeded
+// reproducibility.
+var detrandBannedImports = map[string]string{
+	"math/rand":    "use a df3/internal/rng Stream forked from the scenario seed",
+	"math/rand/v2": "use a df3/internal/rng Stream forked from the scenario seed",
+	"crypto/rand":  "crypto randomness is never reproducible; use df3/internal/rng for simulation draws",
+}
+
+// detrandBannedFuncs are wall-clock reads in package time.
+var detrandBannedFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func runDetrand(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if hint, ok := detrandBannedImports[path]; ok {
+				pass.Reportf(imp.Pos(), "import of %s is nondeterministic: %s", path, hint)
+			}
+		}
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := pass.CalleeFunc(call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+			return true
+		}
+		if sigOf(fn).Recv() == nil && detrandBannedFuncs[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"time.%s reads the wall clock: sim code must derive time from the engine (sim.Time) so runs replay byte-identically",
+				fn.Name())
+		}
+		return true
+	})
+	return nil
+}
+
+// isTypeConversion reports whether call is a conversion T(x), returning T.
+func isTypeConversion(pass *Pass, call *ast.CallExpr) (types.Type, bool) {
+	if len(call.Args) != 1 {
+		return nil, false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil, false
+	}
+	return tv.Type, true
+}

@@ -1,0 +1,43 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"df3/internal/analysis"
+	"df3/internal/analysis/atest"
+)
+
+// TestAnalyzers drives every analyzer over its fixture directory. Each
+// fixture pins flagging and non-flagging cases with // want expectations;
+// the df3directive fixture runs together with maporder to prove a malformed
+// suppression both is a finding and suppresses nothing.
+func TestAnalyzers(t *testing.T) {
+	tests := []struct {
+		name      string
+		analyzers []*analysis.Analyzer
+	}{
+		{"detrand", []*analysis.Analyzer{analysis.DetrandAnalyzer}},
+		{"maporder", []*analysis.Analyzer{analysis.MaporderAnalyzer}},
+		{"simtime", []*analysis.Analyzer{analysis.SimtimeAnalyzer}},
+		{"unitsafe", []*analysis.Analyzer{analysis.UnitsafeAnalyzer}},
+		{"spanend", []*analysis.Analyzer{analysis.SpanendAnalyzer}},
+		{"lockedblock", []*analysis.Analyzer{analysis.LockedblockAnalyzer}},
+		{"df3directive", []*analysis.Analyzer{analysis.DirectiveAnalyzer, analysis.MaporderAnalyzer}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			atest.Run(t, "testdata/"+tt.name, tt.analyzers...)
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range analysis.Analyzers() {
+		if got := analysis.ByName(a.Name); got != a {
+			t.Errorf("ByName(%q) = %v, want %v", a.Name, got, a)
+		}
+	}
+	if analysis.ByName("nosuch") != nil {
+		t.Error("ByName(nosuch) should be nil")
+	}
+}

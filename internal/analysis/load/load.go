@@ -1,0 +1,293 @@
+// Package load type-checks Go packages from source using only the standard
+// library, so the df3lint analyzers can run without golang.org/x/tools.
+//
+// Package discovery shells out to `go list -json -deps`, whose output is a
+// depth-first post-order stream: every package appears after all of its
+// dependencies, which lets the loader type-check in a single forward pass
+// with a map-backed importer. Standard-library dependencies are type-checked
+// from $GOROOT source the same way module packages are; the per-package
+// ImportMap from `go list` resolves vendored import paths (net → vendor/
+// golang.org/x/net/...). CGO is disabled for discovery so every resolved
+// file set is pure Go.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"go/version"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sync"
+)
+
+// Package is one type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Standard   bool // part of the Go distribution
+	DepOnly    bool // reached only as a dependency of the named patterns
+	GoFiles    []string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// Errors holds type-checking problems. Standard-library packages are
+	// allowed to have them (we only need their exported shape); module
+	// packages with errors fail the Load.
+	Errors []error
+}
+
+// listPackage mirrors the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+	Module     *struct{ GoVersion string }
+}
+
+// Loader loads and type-checks packages. It is safe for concurrent use and
+// caches every package it has checked, so repeated Load calls (e.g. one per
+// analyzer test) share the expensive standard-library work.
+type Loader struct {
+	// Dir is the directory `go list` runs in (the module root). Empty means
+	// the current directory.
+	Dir string
+
+	mu   sync.Mutex
+	fset *token.FileSet
+	pkgs map[string]*Package // by resolved import path
+}
+
+// NewLoader returns a loader rooted at dir.
+func NewLoader(dir string) *Loader {
+	return &Loader{Dir: dir, fset: token.NewFileSet(), pkgs: map[string]*Package{}}
+}
+
+// Fset returns the file set all loaded packages share.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load lists the packages matching patterns and type-checks them together
+// with their dependencies. It returns only the packages named by the
+// patterns (DepOnly == false), in `go list` order.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.load(patterns...)
+}
+
+func (l *Loader) load(patterns ...string) ([]*Package, error) {
+	listed, err := l.goList(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var named []*Package
+	for _, lp := range listed {
+		p, err := l.check(lp)
+		if err != nil {
+			return nil, err
+		}
+		if !lp.DepOnly {
+			named = append(named, p)
+		}
+	}
+	return named, nil
+}
+
+// goList runs `go list -json -deps` and decodes the package stream.
+func (l *Loader) goList(patterns ...string) ([]*listPackage, error) {
+	args := append([]string{"list", "-e", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var listed []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", patterns, err)
+		}
+		if lp.Error != nil && !lp.DepOnly {
+			return nil, fmt.Errorf("go list %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		listed = append(listed, lp)
+	}
+	return listed, nil
+}
+
+// check type-checks one listed package, reusing the cache.
+func (l *Loader) check(lp *listPackage) (*Package, error) {
+	if p, ok := l.pkgs[lp.ImportPath]; ok {
+		return p, nil
+	}
+	if lp.ImportPath == "unsafe" {
+		p := &Package{ImportPath: "unsafe", Standard: true, DepOnly: lp.DepOnly, Types: types.Unsafe}
+		l.pkgs["unsafe"] = p
+		return p, nil
+	}
+
+	p := &Package{
+		ImportPath: lp.ImportPath,
+		Dir:        lp.Dir,
+		Standard:   lp.Standard,
+		DepOnly:    lp.DepOnly,
+	}
+	for _, f := range lp.GoFiles {
+		p.GoFiles = append(p.GoFiles, filepath.Join(lp.Dir, f))
+	}
+	files, err := ParseFiles(l.fset, p.GoFiles)
+	if err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", lp.ImportPath, err)
+	}
+	p.Files = files
+
+	goVersion := version.Lang(runtime.Version())
+	if lp.Module != nil && lp.Module.GoVersion != "" {
+		goVersion = "go" + lp.Module.GoVersion
+	}
+	conf := types.Config{
+		Importer:    &mapImporter{loader: l, importMap: lp.ImportMap},
+		Error:       func(err error) { p.Errors = append(p.Errors, err) },
+		GoVersion:   goVersion,
+		FakeImportC: true,
+		Sizes:       types.SizesFor("gc", runtime.GOARCH),
+	}
+	p.Info = NewInfo()
+	p.Types, _ = conf.Check(lp.ImportPath, l.fset, files, p.Info)
+	if len(p.Errors) > 0 && !lp.Standard {
+		return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, p.Errors[0])
+	}
+	l.pkgs[lp.ImportPath] = p
+	return p, nil
+}
+
+// Import resolves an import path against the already-loaded cache, listing
+// and checking the package (plus dependencies) on demand. It implements
+// types.Importer so ad-hoc file sets — the analyzer test fixtures — can be
+// type-checked against real module and standard-library packages.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.importLocked(path)
+}
+
+func (l *Loader) importLocked(path string) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p.Types, nil
+	}
+	listed, err := l.goList(path)
+	if err != nil {
+		return nil, err
+	}
+	for _, lp := range listed {
+		if _, err := l.check(lp); err != nil {
+			return nil, err
+		}
+	}
+	p, ok := l.pkgs[path]
+	if !ok {
+		return nil, fmt.Errorf("load: import %q: not resolved by go list", path)
+	}
+	return p.Types, nil
+}
+
+// CheckSource type-checks an ad-hoc package — the analyzer test fixtures —
+// from in-memory sources, resolving imports against the module and the
+// standard library on demand. filenames[i] labels srcs[i] in positions; the
+// files are not read from disk. The result is not cached: fixtures may
+// reuse an import path across calls.
+func (l *Loader) CheckSource(importPath string, filenames []string, srcs [][]byte) (*Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	p := &Package{ImportPath: importPath, GoFiles: filenames}
+	for i, name := range filenames {
+		f, err := parser.ParseFile(l.fset, name, srcs[i], parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		p.Files = append(p.Files, f)
+	}
+	conf := types.Config{
+		Importer:    &mapImporter{loader: l},
+		Error:       func(err error) { p.Errors = append(p.Errors, err) },
+		GoVersion:   version.Lang(runtime.Version()),
+		FakeImportC: true,
+		Sizes:       types.SizesFor("gc", runtime.GOARCH),
+	}
+	p.Info = NewInfo()
+	p.Types, _ = conf.Check(importPath, l.fset, p.Files, p.Info)
+	if len(p.Errors) > 0 {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, p.Errors[0])
+	}
+	return p, nil
+}
+
+// mapImporter resolves the imports of a single package being checked. The
+// path written in source is first translated through the package's
+// ImportMap (vendoring), then served from the loader cache — which `go list
+// -deps` post-order guarantees is already populated during Load.
+type mapImporter struct {
+	loader    *Loader
+	importMap map[string]string
+}
+
+func (m *mapImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := m.loader.pkgs[path]; ok {
+		return p.Types, nil
+	}
+	// Dependency not in the stream (shouldn't happen for Load; can happen
+	// for fixtures importing something new): resolve it on demand. The
+	// loader mutex is already held by Load/Import.
+	return m.loader.importLocked(path)
+}
+
+// ParseFiles parses the given files into fset with comments retained.
+func ParseFiles(fset *token.FileSet, paths []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, path := range paths {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}

@@ -1,0 +1,50 @@
+package load_test
+
+import (
+	"testing"
+
+	"df3/internal/analysis/load"
+)
+
+// TestLoadModulePackage checks the go-list loader end to end: discovery,
+// single-pass type-checking against stdlib deps, and the cache serving a
+// second Load without re-checking.
+func TestLoadModulePackage(t *testing.T) {
+	l := load.NewLoader("")
+	pkgs, err := l.Load("df3/internal/units")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Types == nil || p.Info == nil || len(p.Files) == 0 {
+		t.Fatalf("package %s not fully loaded: %+v", p.ImportPath, p)
+	}
+	for _, name := range []string{"Watt", "Joule", "Celsius", "Byte", "Hz"} {
+		if p.Types.Scope().Lookup(name) == nil {
+			t.Errorf("units.%s not found in type-checked scope", name)
+		}
+	}
+
+	again, err := l.Load("df3/internal/units")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0].Types != p.Types {
+		t.Error("second Load did not reuse the cached *types.Package")
+	}
+}
+
+// TestImportOnDemand resolves a package that was never named by a Load.
+func TestImportOnDemand(t *testing.T) {
+	l := load.NewLoader("")
+	tp, err := l.Import("df3/internal/rng")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Scope().Lookup("Stream") == nil {
+		t.Error("rng.Stream not found via on-demand Import")
+	}
+}

@@ -1,0 +1,243 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockedblockAnalyzer targets the shard-barrier deadlock shape: a goroutine
+// that blocks — on a channel, a WaitGroup, the shard kernel's window
+// barrier, or the sim engine's run loop — while holding a mutex that the
+// goroutine it is waiting for needs. The sharded kernel runs one worker per
+// shard with barrier synchronization, so one blocked-while-locked worker
+// stalls the whole federation.
+//
+// The check is lexical: within one function, between a Lock/RLock on some
+// receiver and the matching Unlock (a deferred Unlock pins the lock to the
+// whole function), no statement may block. Function literals are analyzed
+// as their own functions — they run on their own goroutine's time.
+var LockedblockAnalyzer = &Analyzer{
+	Name: "lockedblock",
+	Doc:  "no blocking operation (channel, WaitGroup.Wait, engine/kernel run loops, Sleep) while holding a mutex",
+	Run:  runLockedblock,
+}
+
+// lockedBlockingFuncs are known-blocking calls: pkgPath -> "Recv.Name" or "Name".
+var lockedBlockingFuncs = map[string]map[string]string{
+	"sync": {
+		"WaitGroup.Wait": "sync.WaitGroup.Wait blocks until the counter drains",
+	},
+	"time": {
+		"Sleep": "time.Sleep blocks the goroutine",
+	},
+	"df3/internal/sim": {
+		"Engine.Run":   "sim.Engine.Run executes the event loop to completion",
+		"Engine.Drain": "sim.Engine.Drain executes the event loop to completion",
+	},
+	"df3/internal/shard": {
+		"Kernel.Run": "shard.Kernel.Run blocks on the window barrier of every shard",
+	},
+}
+
+func runLockedblock(pass *Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				lockWalk(pass, n.Body.List, map[string]token.Pos{})
+			}
+		case *ast.FuncLit:
+			lockWalk(pass, n.Body.List, map[string]token.Pos{})
+		}
+		return true
+	})
+	return nil
+}
+
+// lockWalk scans a statement list tracking which mutexes are held. Nested
+// control-flow bodies get a copy of the held set: a branch-local
+// lock/unlock pair must not leak into the outer scan.
+func lockWalk(pass *Pass, stmts []ast.Stmt, held map[string]token.Pos) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			if recv, isLock, isUnlock := mutexOp(pass, s.X); recv != "" {
+				if isLock {
+					held[recv] = s.Pos()
+				} else if isUnlock {
+					delete(held, recv)
+				}
+				continue
+			}
+			reportBlocking(pass, s, held)
+		case *ast.DeferStmt:
+			// `defer mu.Unlock()` releases only at return: the mutex stays
+			// held for the rest of the scan. Other defers are inert here.
+			continue
+		case *ast.IfStmt:
+			if s.Init != nil {
+				reportBlocking(pass, s.Init, held)
+			}
+			reportBlockingExpr(pass, s.Cond, s, held)
+			lockWalk(pass, s.Body.List, copyHeld(held))
+			if s.Else != nil {
+				lockWalk(pass, []ast.Stmt{s.Else}, copyHeld(held))
+			}
+		case *ast.BlockStmt:
+			lockWalk(pass, s.List, held)
+		case *ast.ForStmt:
+			lockWalk(pass, s.Body.List, copyHeld(held))
+		case *ast.RangeStmt:
+			reportBlockingExpr(pass, s.X, s, held)
+			lockWalk(pass, s.Body.List, copyHeld(held))
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+			var body *ast.BlockStmt
+			if sw, ok := s.(*ast.SwitchStmt); ok {
+				body = sw.Body
+			} else {
+				body = s.(*ast.TypeSwitchStmt).Body
+			}
+			for _, cc := range body.List {
+				if cc, ok := cc.(*ast.CaseClause); ok {
+					lockWalk(pass, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.SelectStmt:
+			if len(held) > 0 && !selectHasDefault(s) {
+				reportHeld(pass, s.Pos(), held, "select without a default case blocks")
+			}
+			for _, cc := range s.Body.List {
+				if cc, ok := cc.(*ast.CommClause); ok {
+					lockWalk(pass, cc.Body, copyHeld(held))
+				}
+			}
+		default:
+			reportBlocking(pass, s, held)
+		}
+	}
+}
+
+// reportBlocking flags blocking constructs anywhere inside stmt (function
+// literals excluded — they execute later, on their own terms).
+func reportBlocking(pass *Pass, stmt ast.Node, held map[string]token.Pos) {
+	if len(held) == 0 {
+		return
+	}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			reportHeld(pass, n.Arrow, held, "channel send blocks when the receiver is not ready")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				reportHeld(pass, n.OpPos, held, "channel receive blocks until a sender is ready")
+			}
+		case *ast.CallExpr:
+			fn := pass.CalleeFunc(n)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if byName, ok := lockedBlockingFuncs[fn.Pkg().Path()]; ok {
+				if why, ok := byName[funcKey(fn)]; ok {
+					reportHeld(pass, n.Pos(), held, why)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// reportBlockingExpr flags blocking constructs in a condition/expression
+// position (e.g. `if <-ch { ... }`).
+func reportBlockingExpr(pass *Pass, e ast.Expr, at ast.Node, held map[string]token.Pos) {
+	if e == nil {
+		return
+	}
+	reportBlocking(pass, e, held)
+	_ = at
+}
+
+func reportHeld(pass *Pass, pos token.Pos, held map[string]token.Pos, why string) {
+	// Deterministically pick the mutex locked earliest: iterate receivers in
+	// sorted order so position ties resolve the same way every run.
+	recvs := make([]string, 0, len(held))
+	for r := range held {
+		recvs = append(recvs, r)
+	}
+	sort.Strings(recvs)
+	recv, at := recvs[0], held[recvs[0]]
+	for _, r := range recvs[1:] {
+		if held[r] < at {
+			recv, at = r, held[r]
+		}
+	}
+	pass.Reportf(pos, "%s while %s is locked (Lock at line %d): release the mutex before blocking — the shard-barrier deadlock shape",
+		why, recv, pass.Fset.Position(at).Line)
+}
+
+// mutexOp recognizes mu.Lock/RLock/Unlock/RUnlock calls on a sync.Mutex or
+// sync.RWMutex (including embedded ones) and returns the receiver's source
+// text.
+func mutexOp(pass *Pass, e ast.Expr) (recv string, isLock, isUnlock bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", false, false
+	}
+	fn := pass.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	r := sigOf(fn).Recv()
+	if r == nil || !isMutexType(r.Type()) {
+		return "", false, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	recv = exprString(pass.Fset, sel.X)
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return recv, true, false
+	case "Unlock", "RUnlock":
+		return recv, false, true
+	}
+	return "", false, false
+}
+
+func isMutexType(t types.Type) bool {
+	return NamedType(t, "sync", "Mutex") || NamedType(t, "sync", "RWMutex")
+}
+
+func funcKey(fn *types.Func) string {
+	if recv := sigOf(fn).Recv(); recv != nil {
+		t := recv.Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := types.Unalias(t).(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}
+
+func copyHeld(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, cc := range s.Body.List {
+		if cc, ok := cc.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,467 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MaporderAnalyzer guards the second clause of the reproducibility
+// contract: Go randomizes map iteration order, so any work inside a
+// range-over-map whose effect depends on visit order — appending to a
+// slice, rendering output, floating-point accumulation, early exit,
+// scheduling events — makes two runs of the same seed diverge.
+//
+// The analyzer proves a small class of loop bodies order-insensitive
+// (integer accumulation, per-key writes into another map, delete, constant
+// flag sets, min/max tracking) and flags everything else. Loops that are
+// genuinely safe for reasons the checker cannot see carry a
+// //df3:unordered-ok <reason> directive; the reason is mandatory.
+var MaporderAnalyzer = &Analyzer{
+	Name: "maporder",
+	Doc:  "forbid order-dependent work inside range-over-map; sort keys first or annotate //df3:unordered-ok",
+	Run:  runMaporder,
+}
+
+func runMaporder(pass *Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			body = n.Body
+		case *ast.FuncLit:
+			body = n.Body
+		}
+		if body == nil {
+			return true
+		}
+		checkMapRanges(pass, body)
+		return true
+	})
+	return nil
+}
+
+// checkMapRanges flags order-dependent range-over-map loops lexically
+// inside body. Nested function literals are left to their own visit.
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+			return false
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		chk := &mapOrderCheck{pass: pass, fnBody: body, rs: rs}
+		if id, ok := rs.Key.(*ast.Ident); ok {
+			chk.key = pass.ObjectOf(id)
+		}
+		if id, ok := rs.Value.(*ast.Ident); ok {
+			chk.val = pass.ObjectOf(id)
+		}
+		chk.collectAssigned(rs.Body)
+		if node, why := chk.unsafeStmts(rs.Body.List); node != nil {
+			pass.Reportf(rs.For,
+				"map iteration order is random and this loop is order-dependent (%s at line %d): iterate sorted keys, or annotate //df3:unordered-ok <reason>",
+				why, pass.Fset.Position(node.Pos()).Line)
+		}
+		return true
+	})
+}
+
+// mapOrderCheck proves (or fails to prove) one loop body order-insensitive.
+type mapOrderCheck struct {
+	pass   *Pass
+	fnBody *ast.BlockStmt // enclosing function body, for sorted-after checks
+	rs     *ast.RangeStmt
+	key    types.Object // the loop's key variable, if named
+	val    types.Object // the loop's value variable, if named
+	// assigned is every object written anywhere in the body; a per-key map
+	// write whose RHS reads one of these is a running accumulation and
+	// therefore order-dependent.
+	assigned map[types.Object]bool
+	// iterPure marks := temporaries written exactly once from a pure,
+	// per-iteration expression; reading them is as safe as reading the
+	// loop variables themselves.
+	iterPure map[types.Object]bool
+}
+
+func (c *mapOrderCheck) collectAssigned(body *ast.BlockStmt) {
+	c.assigned = map[types.Object]bool{}
+	c.iterPure = map[types.Object]bool{}
+	writes := map[types.Object]int{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if obj := c.rootObj(lhs); obj != nil {
+					c.assigned[obj] = true
+					writes[obj]++
+				}
+			}
+		case *ast.IncDecStmt:
+			if obj := c.rootObj(n.X); obj != nil {
+				c.assigned[obj] = true
+				writes[obj]++
+			}
+		}
+		return true
+	})
+	// One forward pass admits straight-line chains of pure temporaries.
+	ast.Inspect(body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || asg.Tok != token.DEFINE {
+			return true
+		}
+		pure := true
+		for _, rhs := range asg.Rhs {
+			if !c.pure(rhs) || c.readsAssigned(rhs) != nil {
+				pure = false
+			}
+		}
+		if !pure {
+			return true
+		}
+		for _, lhs := range asg.Lhs {
+			if obj := c.rootObj(lhs); obj != nil && writes[obj] == 1 {
+				c.iterPure[obj] = true
+			}
+		}
+		return true
+	})
+}
+
+// rootObj returns the object of the base identifier of an lvalue
+// (x, x.f, x[i] all root at x).
+func (c *mapOrderCheck) rootObj(e ast.Expr) types.Object {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return c.pass.ObjectOf(v)
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// unsafeStmts returns the first order-dependent statement and a
+// description, or nil if every statement is provably order-insensitive.
+func (c *mapOrderCheck) unsafeStmts(stmts []ast.Stmt) (ast.Node, string) {
+	for _, s := range stmts {
+		if n, why := c.unsafeStmt(s); n != nil {
+			return n, why
+		}
+	}
+	return nil, ""
+}
+
+func (c *mapOrderCheck) unsafeStmt(s ast.Stmt) (ast.Node, string) {
+	switch s := s.(type) {
+	case *ast.IncDecStmt:
+		if IsIntegerKind(c.pass.TypeOf(s.X)) {
+			return nil, ""
+		}
+		return s, "non-integer ++/-- accumulates in visit order"
+	case *ast.AssignStmt:
+		return c.unsafeAssign(s)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "delete" && c.pass.TypesInfo.Types[call.Fun].IsBuiltin() {
+				return nil, ""
+			}
+		}
+		return s, "call with effects runs in visit order"
+	case *ast.BlockStmt:
+		return c.unsafeStmts(s.List)
+	case *ast.IfStmt:
+		return c.unsafeIf(s)
+	case *ast.BranchStmt:
+		if s.Tok == token.CONTINUE {
+			return nil, ""
+		}
+		return s, s.Tok.String() + " exits after an order-dependent prefix of the keys"
+	case *ast.ReturnStmt:
+		return s, "return exits after an order-dependent prefix of the keys"
+	// A nested loop is safe exactly when its own body is; any inner
+	// range-over-map is flagged on its own.
+	case *ast.RangeStmt:
+		if !c.pure(s.X) {
+			return s, "loop iterates an impure expression"
+		}
+		return c.unsafeStmts(s.Body.List)
+	case *ast.ForStmt:
+		if s.Cond != nil && !c.pure(s.Cond) {
+			return s, "loop condition is impure"
+		}
+		return c.unsafeStmts(s.Body.List)
+	case *ast.DeclStmt, *ast.EmptyStmt:
+		return nil, ""
+	default:
+		return s, fmt.Sprintf("%T is not provably order-insensitive", s)
+	}
+}
+
+func (c *mapOrderCheck) unsafeAssign(s *ast.AssignStmt) (ast.Node, string) {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		for _, lhs := range s.Lhs {
+			if !IsIntegerKind(c.pass.TypeOf(lhs)) {
+				if IsFloatKind(c.pass.TypeOf(lhs)) {
+					return s, "floating-point accumulation is order-dependent (FP addition is not associative)"
+				}
+				return s, "+=/-= on a non-integer accumulates in visit order"
+			}
+		}
+		return c.rhsPure(s)
+	case token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		// |=, &= and ^= are commutative and associative on integers.
+		for _, lhs := range s.Lhs {
+			if !IsIntegerKind(c.pass.TypeOf(lhs)) {
+				return s, "bitwise accumulate on a non-integer"
+			}
+		}
+		return c.rhsPure(s)
+	case token.ASSIGN:
+		for i, lhs := range s.Lhs {
+			var rhs ast.Expr
+			if len(s.Rhs) == len(s.Lhs) {
+				rhs = s.Rhs[i]
+			} else {
+				rhs = s.Rhs[0]
+			}
+			if n, why := c.unsafePlainAssign(s, lhs, rhs); n != nil {
+				return n, why
+			}
+		}
+		return nil, ""
+	case token.DEFINE:
+		// Per-iteration temporaries are fine as long as computing them has
+		// no effects; their later uses are judged where they occur.
+		return c.rhsPure(s)
+	default:
+		return s, s.Tok.String() + " accumulates in visit order"
+	}
+}
+
+// unsafePlainAssign judges a single lhs = rhs.
+func (c *mapOrderCheck) unsafePlainAssign(s *ast.AssignStmt, lhs, rhs ast.Expr) (ast.Node, string) {
+	// The collector idiom: `keys = append(keys, k)` builds a permutation of
+	// a fixed multiset, which becomes deterministic the moment the slice is
+	// sorted — so it is admitted exactly when a sort of that slice follows
+	// the loop in the same function.
+	if app, ok := c.appendTo(lhs, rhs); ok {
+		if c.sortedAfterLoop(app) {
+			return nil, ""
+		}
+		return s, "append collects in visit order and the slice is never sorted afterwards"
+	}
+	if !c.pure(rhs) {
+		return s, "assignment computes an impure value in visit order"
+	}
+	// Writing a constant: last-write-wins with identical values.
+	if tv, ok := c.pass.TypesInfo.Types[rhs]; ok && tv.Value != nil {
+		return nil, ""
+	}
+	// Per-key slot write: m2[k] = f(k, v) hits a distinct slot each
+	// iteration, unless the value reads a variable mutated by the loop
+	// (a running accumulation in disguise).
+	if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+		if id, ok := ast.Unparen(ix.Index).(*ast.Ident); ok && c.key != nil && c.pass.ObjectOf(id) == c.key {
+			if obj := c.readsAssigned(rhs); obj != nil {
+				return s, fmt.Sprintf("per-key write reads %s, which the loop also mutates", obj.Name())
+			}
+			return nil, ""
+		}
+		return s, "indexed write not keyed by the loop key may collide across iterations"
+	}
+	return s, "last-write-wins assignment keeps whichever key is visited last"
+}
+
+// unsafeIf judges an if statement: pure condition, safe branches, with the
+// min/max tracking idiom (if v > best { best = v }) admitted explicitly —
+// its result is order-independent even though the write is conditional.
+func (c *mapOrderCheck) unsafeIf(s *ast.IfStmt) (ast.Node, string) {
+	if s.Init != nil {
+		if n, why := c.unsafeStmt(s.Init); n != nil {
+			return n, why
+		}
+	}
+	if !c.pure(s.Cond) {
+		return s, "if condition has effects in visit order"
+	}
+	if c.isMinMaxTracking(s) {
+		return nil, ""
+	}
+	if n, why := c.unsafeStmts(s.Body.List); n != nil {
+		return n, why
+	}
+	if s.Else != nil {
+		return c.unsafeStmt(s.Else)
+	}
+	return nil, ""
+}
+
+// isMinMaxTracking matches `if A < B { B = A }` (any strict/slack
+// comparison, either operand order) with no else.
+func (c *mapOrderCheck) isMinMaxTracking(s *ast.IfStmt) bool {
+	cmp, ok := s.Cond.(*ast.BinaryExpr)
+	if !ok || s.Else != nil || len(s.Body.List) != 1 {
+		return false
+	}
+	switch cmp.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return false
+	}
+	asg, ok := s.Body.List[0].(*ast.AssignStmt)
+	if !ok || asg.Tok != token.ASSIGN || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	l, r := exprString(c.pass.Fset, asg.Lhs[0]), exprString(c.pass.Fset, asg.Rhs[0])
+	x, y := exprString(c.pass.Fset, cmp.X), exprString(c.pass.Fset, cmp.Y)
+	return (l == x && r == y) || (l == y && r == x)
+}
+
+// readsAssigned returns a loop-mutated object read by e (pure per-
+// iteration temporaries excepted), or nil.
+func (c *mapOrderCheck) readsAssigned(e ast.Expr) types.Object {
+	var found types.Object
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := c.pass.ObjectOf(id); obj != nil && c.assigned[obj] && !c.iterPure[obj] {
+				found = obj
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// rhsPure requires every right-hand side to be effect-free and to read no
+// loop-mutated variable: `total += weights[k]` is a fixed multiset sum
+// whatever the visit order, but `total += other` where the loop also
+// mutates other pairs values with keys order-dependently.
+func (c *mapOrderCheck) rhsPure(s *ast.AssignStmt) (ast.Node, string) {
+	for _, rhs := range s.Rhs {
+		if !c.pure(rhs) {
+			return s, "right-hand side has effects in visit order"
+		}
+		if obj := c.readsAssigned(rhs); obj != nil {
+			return s, fmt.Sprintf("accumulation reads %s, which the loop also mutates", obj.Name())
+		}
+	}
+	return nil, ""
+}
+
+// appendTo matches `xs = append(xs, pureArgs...)` with xs a plain local
+// identifier, returning xs's object.
+func (c *mapOrderCheck) appendTo(lhs, rhs ast.Expr) (types.Object, bool) {
+	lid, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return nil, false
+	}
+	fid, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fid.Name != "append" || !c.pass.TypesInfo.Types[call.Fun].IsBuiltin() {
+		return nil, false
+	}
+	first, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok || c.pass.ObjectOf(first) != c.pass.ObjectOf(lid) {
+		return nil, false
+	}
+	for _, arg := range call.Args[1:] {
+		if !c.pure(arg) {
+			return nil, false
+		}
+	}
+	return c.pass.ObjectOf(lid), true
+}
+
+// sortedAfterLoop reports whether a sort.* or slices.Sort* call mentioning
+// obj appears after the range loop in the enclosing function.
+func (c *mapOrderCheck) sortedAfterLoop(obj types.Object) bool {
+	if obj == nil || c.fnBody == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(c.fnBody, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < c.rs.End() {
+			return true
+		}
+		fn := c.pass.CalleeFunc(call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		pkg := fn.Pkg().Path()
+		if pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && c.pass.ObjectOf(id) == obj {
+					sorted = true
+				}
+				return !sorted
+			})
+		}
+		return true
+	})
+	return sorted
+}
+
+// pure reports whether evaluating e has no side effects and no blocking:
+// no calls (conversions and len/cap excepted), receives, or function
+// literals.
+func (c *mapOrderCheck) pure(e ast.Expr) bool {
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if _, isConv := isTypeConversion(c.pass, n); isConv {
+				return true
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if c.pass.TypesInfo.Types[n.Fun].IsBuiltin() && (id.Name == "len" || id.Name == "cap" || id.Name == "min" || id.Name == "max") {
+					return true
+				}
+			}
+			pure = false
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pure = false
+				return false
+			}
+		case *ast.FuncLit:
+			pure = false
+			return false
+		}
+		return pure
+	})
+	return pure
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"sort"
+)
+
+// Unit is one type-checked package ready for analysis — the common shape
+// produced by the go-list loader (standalone df3lint, tests) and by the vet
+// unitchecker protocol (go vet -vettool).
+type Unit struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// ReadFile returns a source file's content; nil means os.ReadFile.
+	// The suppression index and the directive checker consult it.
+	ReadFile func(string) ([]byte, error)
+}
+
+// Finding is one surviving diagnostic, resolved to a position.
+type Finding struct {
+	Analyzer string
+	Posn     token.Position
+	Message  string
+}
+
+// RunPackage applies the analyzers to one package, filters findings through
+// the //df3: suppression directives, and returns the survivors sorted by
+// position. Analyzer errors (not findings) abort the run.
+func RunPackage(u Unit, analyzers []*Analyzer) ([]Finding, error) {
+	readFile := u.ReadFile
+	if readFile == nil {
+		readFile = os.ReadFile
+	}
+	ix := newSuppressionIndex()
+	for _, f := range u.Files {
+		tf := u.Fset.File(f.Pos())
+		if tf == nil {
+			continue
+		}
+		src, err := readFile(tf.Name())
+		if err != nil {
+			return nil, err
+		}
+		ix.addFile(tf, f, tf.Name(), src)
+	}
+
+	var out []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      u.Fset,
+			Files:     u.Files,
+			Pkg:       u.Pkg,
+			TypesInfo: u.Info,
+			ReadFile:  readFile,
+		}
+		name := a.Name
+		pass.Report = func(d Diagnostic) {
+			posn := u.Fset.Position(d.Pos)
+			if ix.suppressed(name, posn) {
+				return
+			}
+			out = append(out, Finding{Analyzer: name, Posn: posn, Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Posn.Filename != b.Posn.Filename {
+			return a.Posn.Filename < b.Posn.Filename
+		}
+		if a.Posn.Line != b.Posn.Line {
+			return a.Posn.Line < b.Posn.Line
+		}
+		if a.Posn.Column != b.Posn.Column {
+			return a.Posn.Column < b.Posn.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}

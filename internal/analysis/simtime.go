@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// SimtimeAnalyzer guards the boundary between the two time systems. The
+// simulator's clock (sim.Time) is seconds as a float64; the host's clock
+// (time.Duration) is integer nanoseconds. A raw conversion between them is
+// the temporal version of a watts-vs-joules mixup and is off by 1e9:
+//
+//	float64(d)            // nanoseconds, not seconds — use d.Seconds()
+//	time.Duration(secs)   // interprets seconds as nanoseconds —
+//	                      // use time.Duration(secs * float64(time.Second))
+//
+// Conversions that pass through a time.Duration-typed scale factor
+// (float64(d) / float64(time.Second), secs*float64(time.Second)) are the
+// sanctioned helpers and are not flagged.
+var SimtimeAnalyzer = &Analyzer{
+	Name: "simtime",
+	Doc:  "forbid raw numeric conversions between wall-clock time.Duration and sim-time seconds",
+	Run:  runSimtime,
+}
+
+func runSimtime(pass *Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		target, ok := isTypeConversion(pass, call)
+		if !ok {
+			return true
+		}
+		arg := ast.Unparen(call.Args[0])
+		argType := pass.TypeOf(arg)
+		if argType == nil {
+			return true
+		}
+
+		// float(T)(d) where d is a time.Duration: yields nanoseconds where
+		// the reader expects seconds.
+		if IsFloatKind(target) && NamedType(argType, "time", "Duration") {
+			if mentionsDuration(pass, arg) {
+				// e.g. float64(d / time.Second): already rescaled.
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"float conversion of time.Duration yields nanoseconds, not sim-time seconds: use .Seconds() or divide by float64(time.Second)")
+			return true
+		}
+
+		// time.Duration(f) where f is a float: interprets sim seconds as
+		// nanoseconds unless the expression carries its own scale factor.
+		if NamedType(target, "time", "Duration") && IsFloatKind(argType) {
+			if mentionsDuration(pass, arg) {
+				// e.g. time.Duration(secs * float64(time.Second)).
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"time.Duration of a float interprets sim-time seconds as nanoseconds: multiply by float64(time.Second) first")
+		}
+		return true
+	})
+	return nil
+}
+
+// mentionsDuration reports whether e contains a time.Duration-typed
+// constant (time.Second, time.Millisecond, ...) — the signature of an
+// explicit unit rescale. A mere difference of two Durations does not
+// qualify: float64(end-start) is still nanoseconds.
+func mentionsDuration(pass *Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		sub, ok := n.(ast.Expr)
+		if !ok || found {
+			return !found
+		}
+		tv, ok := pass.TypesInfo.Types[sub]
+		if ok && tv.Value != nil && NamedType(tv.Type, "time", "Duration") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

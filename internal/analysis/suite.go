@@ -1,0 +1,26 @@
+package analysis
+
+// Analyzers returns the full df3lint suite in reporting order. The
+// directive checker runs last so its findings about bad suppressions
+// appear after the findings those suppressions failed to silence.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DetrandAnalyzer,
+		MaporderAnalyzer,
+		SimtimeAnalyzer,
+		UnitsafeAnalyzer,
+		SpanendAnalyzer,
+		LockedblockAnalyzer,
+		DirectiveAnalyzer,
+	}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive is one //df3: suppression comment.
+//
+// Two forms are accepted:
+//
+//	//df3:allow(<analyzer>) <reason>
+//	//df3:unordered-ok <reason>        (shorthand for allow(maporder))
+//
+// A directive on the same line as a finding — or on its own line directly
+// above it — suppresses that analyzer's findings there. The reason is
+// mandatory: a suppression without one is itself a finding (df3directive),
+// and a malformed directive suppresses nothing.
+type Directive struct {
+	File       string
+	Line       int
+	Col        int // 1-based column of the "//"
+	Analyzer   string
+	Reason     string
+	Standalone bool   // nothing but whitespace before the comment
+	Problem    string // non-empty: why the directive is malformed
+	pos        token.Pos
+}
+
+// Pos returns the directive's position.
+func (d *Directive) Pos() token.Pos { return d.pos }
+
+const directiveMarker = "//df3:"
+
+// ParseDirectives extracts the //df3: directives from one parsed file. As
+// with the standard toolchain directives (//go:build, //go:generate), a
+// comment is a directive only when its text starts exactly with the marker:
+// the marker appearing inside a string literal or in doc-comment prose (as
+// in this package's own documentation) is not a directive.
+func ParseDirectives(tf *token.File, f *ast.File, src []byte) []*Directive {
+	var ds []*Directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, directiveMarker) {
+				continue
+			}
+			posn := tf.Position(c.Slash)
+			d := &Directive{
+				File: posn.Filename,
+				Line: posn.Line,
+				Col:  posn.Column,
+				pos:  c.Slash,
+			}
+			lineStart := tf.Offset(tf.LineStart(posn.Line))
+			if off := tf.Offset(c.Slash); lineStart <= off && off <= len(src) {
+				d.Standalone = strings.TrimSpace(string(src[lineStart:off])) == ""
+			}
+			parseDirectiveBody(d, strings.TrimSuffix(strings.TrimPrefix(c.Text, directiveMarker), "\r"))
+			ds = append(ds, d)
+		}
+	}
+	return ds
+}
+
+// parseDirectiveBody fills d from the text after "//df3:".
+func parseDirectiveBody(d *Directive, body string) {
+	switch {
+	case strings.HasPrefix(body, "unordered-ok"):
+		d.Analyzer = "maporder"
+		d.Reason = strings.TrimSpace(strings.TrimPrefix(body, "unordered-ok"))
+	case strings.HasPrefix(body, "allow("):
+		rest := strings.TrimPrefix(body, "allow(")
+		close := strings.IndexByte(rest, ')')
+		if close < 0 {
+			d.Problem = "df3:allow missing closing parenthesis"
+			return
+		}
+		d.Analyzer = strings.TrimSpace(rest[:close])
+		d.Reason = strings.TrimSpace(rest[close+1:])
+		if d.Analyzer == "" {
+			d.Problem = "df3:allow names no analyzer"
+			return
+		}
+	default:
+		word := body
+		if i := strings.IndexAny(word, " \t("); i >= 0 {
+			word = word[:i]
+		}
+		d.Problem = fmt.Sprintf("unknown df3: directive %q (want allow(<analyzer>) or unordered-ok)", word)
+		return
+	}
+	if d.Reason == "" {
+		d.Problem = fmt.Sprintf("suppression of %s without a reason: write //df3:%s <why this is safe>",
+			d.Analyzer, exampleForm(d.Analyzer))
+	}
+}
+
+func exampleForm(analyzer string) string {
+	if analyzer == "maporder" {
+		return "unordered-ok"
+	}
+	return "allow(" + analyzer + ")"
+}
+
+// suppressionIndex answers "is this diagnostic suppressed?" for one package.
+type suppressionIndex struct {
+	// byLine maps file:line to the valid directives covering that line.
+	byLine map[string][]*Directive
+	all    []*Directive
+	files  map[string]*token.File
+}
+
+func newSuppressionIndex() *suppressionIndex {
+	return &suppressionIndex{byLine: map[string][]*Directive{}, files: map[string]*token.File{}}
+}
+
+func (ix *suppressionIndex) addFile(tf *token.File, f *ast.File, filename string, src []byte) {
+	ix.files[filename] = tf
+	for _, d := range ParseDirectives(tf, f, src) {
+		ix.all = append(ix.all, d)
+		if d.Problem != "" {
+			continue // malformed directives suppress nothing
+		}
+		key := fmt.Sprintf("%s:%d", filename, d.Line)
+		ix.byLine[key] = append(ix.byLine[key], d)
+		if d.Standalone {
+			// A directive alone on a line also covers the next line, so it
+			// can sit above the statement it annotates.
+			next := fmt.Sprintf("%s:%d", filename, d.Line+1)
+			ix.byLine[next] = append(ix.byLine[next], d)
+		}
+	}
+}
+
+// suppressed reports whether a diagnostic from analyzer at position is
+// covered by a valid directive.
+func (ix *suppressionIndex) suppressed(analyzer string, posn token.Position) bool {
+	key := fmt.Sprintf("%s:%d", posn.Filename, posn.Line)
+	for _, d := range ix.byLine[key] {
+		if d.Analyzer == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// DirectiveAnalyzer validates the //df3: directives themselves: malformed
+// forms, suppressions without a reason, and directives naming analyzers
+// that do not exist are all findings. A directive that fails here also
+// suppresses nothing, so the finding it meant to silence fires too.
+var DirectiveAnalyzer = &Analyzer{
+	Name: "df3directive",
+	Doc:  "df3: suppression directives are well-formed, name a real analyzer and carry a reason",
+}
+
+func init() {
+	// Installed in init: runDirectiveCheck consults Analyzers(), which
+	// includes DirectiveAnalyzer itself.
+	DirectiveAnalyzer.Run = runDirectiveCheck
+}
+
+func runDirectiveCheck(pass *Pass) error {
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	for _, f := range pass.Files {
+		tf := pass.Fset.File(f.Pos())
+		if tf == nil {
+			continue
+		}
+		src, err := pass.ReadFile(tf.Name())
+		if err != nil {
+			return err
+		}
+		for _, d := range ParseDirectives(tf, f, src) {
+			switch {
+			case d.Problem != "":
+				pass.Reportf(d.Pos(), "%s", d.Problem)
+			case !known[d.Analyzer]:
+				pass.Reportf(d.Pos(), "df3:allow names unknown analyzer %q", d.Analyzer)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+// Fixture for detrand: wall-clock reads and math/rand smuggle host state
+// into a run; all randomness must come from seeded rng streams.
+package fixture
+
+import (
+	"math/rand" // want `import of math/rand is nondeterministic`
+	"time"
+
+	"df3/internal/rng"
+)
+
+func wallClock() float64 {
+	t := time.Now()          // want `time\.Now reads the wall clock`
+	elapsed := time.Since(t) // want `time\.Since reads the wall clock`
+	return elapsed.Seconds()
+}
+
+func hostRandom() int {
+	return rand.Intn(6)
+}
+
+// seededDraw is the sanctioned pattern: randomness flows from a stream
+// forked off the scenario seed.
+func seededDraw(s *rng.Stream) int {
+	return s.Intn(6)
+}
+
+// Duration constants are values, not wall-clock reads.
+const tick = 250 * time.Millisecond

@@ -1,0 +1,40 @@
+// Fixture for df3directive, run together with maporder: malformed
+// suppressions are findings and suppress nothing, so the finding they meant
+// to silence fires too.
+package fixture
+
+// A reasonless suppression is itself a finding — and the maporder finding
+// it tried to cover still fires.
+func reasonless(m map[string]float64) float64 {
+	var s float64
+	//df3:unordered-ok // want `suppression of maporder without a reason`
+	for _, v := range m { // want `map iteration order is random`
+		s += v
+	}
+	return s
+}
+
+// Naming an analyzer that does not exist is a finding.
+func unknownAnalyzer(m map[string]float64) float64 {
+	var s float64
+	//df3:allow(nosuchanalyzer) the analyzer name is wrong // want `df3:allow names unknown analyzer "nosuchanalyzer"`
+	for _, v := range m { // want `map iteration order is random`
+		s += v
+	}
+	return s
+}
+
+//df3:frobnicate the verb is unknown // want `unknown df3: directive "frobnicate"`
+
+//df3:allow(maporder the parenthesis never closes // want `missing closing parenthesis`
+
+// A well-formed, reasoned suppression silences the finding and is itself
+// silent.
+func suppressed(m map[string]float64) float64 {
+	var s float64
+	//df3:unordered-ok this fixture accepts any accumulation order
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,76 @@
+// Fixture for lockedblock: no blocking operation while holding a mutex —
+// the shard-barrier deadlock shape.
+package fixture
+
+import (
+	"sync"
+
+	"df3/internal/sim"
+)
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+	wg sync.WaitGroup
+}
+
+func (b *box) sendLocked() {
+	b.mu.Lock()
+	b.ch <- 1 // want `channel send blocks when the receiver is not ready`
+	b.mu.Unlock()
+}
+
+func (b *box) receiveLocked() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return <-b.ch // want `channel receive blocks until a sender is ready`
+}
+
+func (b *box) waitLocked() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.wg.Wait() // want `sync\.WaitGroup\.Wait blocks until the counter drains`
+}
+
+func (b *box) selectLocked() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // want `select without a default case blocks`
+	case v := <-b.ch:
+		_ = v
+	}
+}
+
+func runLocked(e *sim.Engine, mu *sync.Mutex) {
+	mu.Lock()
+	e.Run(10) // want `sim\.Engine\.Run executes the event loop to completion`
+	mu.Unlock()
+}
+
+// Releasing before blocking is the fix.
+func (b *box) sendUnlocked() {
+	b.mu.Lock()
+	b.mu.Unlock()
+	b.ch <- 1
+}
+
+// A select that cannot block is fine under the lock.
+func (b *box) poll() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case v := <-b.ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+// A function literal runs on its own goroutine's time.
+func (b *box) spawn() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		b.ch <- 1
+	}()
+}

@@ -1,0 +1,81 @@
+// Fixture for maporder: range over a map is fine only when the body is
+// provably order-insensitive.
+package fixture
+
+import "sort"
+
+// Float addition is not associative: the sum depends on iteration order.
+func sumFloats(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want `map iteration order is random and this loop is order-dependent`
+		s += v
+	}
+	return s
+}
+
+// Last write wins: which key survives depends on iteration order.
+func anyKey(m map[string]int) string {
+	var k string
+	for key := range m { // want `order-dependent`
+		k = key
+	}
+	return k
+}
+
+// Integer accumulation commutes exactly.
+func count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Per-key writes land on distinct keys of the output map.
+func double(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// Min/max tracking reaches the same extremum in any order.
+func minVal(m map[string]int) int {
+	best := int(^uint(0) >> 1)
+	for _, v := range m {
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// The canonical deterministic pattern: collect, sort, then iterate.
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Deleting from the ranged map is sanctioned by the spec and per-key.
+func prune(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// A reasoned suppression silences the finding.
+func anyKeySuppressed(m map[string]int) string {
+	var k string
+	//df3:unordered-ok the caller treats the result as an arbitrary sample
+	for key := range m {
+		k = key
+	}
+	return k
+}

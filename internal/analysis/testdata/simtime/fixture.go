@@ -1,0 +1,34 @@
+// Fixture for simtime: sim time is float64 seconds, time.Duration is int64
+// nanoseconds; raw conversions silently mix the two scales.
+package fixture
+
+import "time"
+
+// float64 of a Duration is nanoseconds, which becomes "seconds" the moment
+// it reaches the sim clock.
+func rawSeconds(d time.Duration) float64 {
+	return float64(d) // want `float conversion of time\.Duration yields nanoseconds`
+}
+
+func rawDelta(a, b time.Time) float64 {
+	return float64(b.Sub(a)) // want `float conversion of time\.Duration yields nanoseconds`
+}
+
+// A float of sim seconds reinterpreted as nanoseconds.
+func toDuration(simSeconds float64) time.Duration {
+	return time.Duration(simSeconds) // want `time\.Duration of a float interprets sim-time seconds as nanoseconds`
+}
+
+// The explicit forms spell the scale out.
+func okSeconds(d time.Duration) float64 {
+	return d.Seconds()
+}
+
+func okDuration(simSeconds float64) time.Duration {
+	return time.Duration(simSeconds * float64(time.Second))
+}
+
+// Integer construction of durations never crosses the float boundary.
+func okFromInt(n int) time.Duration {
+	return time.Duration(n) * time.Second
+}

@@ -1,0 +1,49 @@
+// Fixture for unitsafe: the units types make dimensions visible to the
+// compiler; conversions and arithmetic must not launder them away.
+package fixture
+
+import (
+	"df3/internal/metrics"
+	"df3/internal/sim"
+	"df3/internal/units"
+)
+
+// Same magnitude, different physical dimension.
+func confuseDimensions(e units.Joule) units.Watt {
+	return units.Watt(e) // want `cross-dimension conversion units\.Joule -> units\.Watt`
+}
+
+// Watts times watts is watts squared, whatever the type says.
+func wattsSquared(a, b units.Watt) units.Watt {
+	return a * b // want `units\.Watt \* units\.Watt is squared`
+}
+
+func byteRatio(a, b units.Byte) units.Byte {
+	return a / b // want `units\.Byte / units\.Byte is a dimensionless ratio`
+}
+
+// The dimension is erased exactly where a signature should carry it.
+func leak(e *sim.Engine, w units.Watt) {
+	e.At(float64(w), func() {}) // want `units\.Watt discarded to raw float64`
+}
+
+// A constant operand is a scalar multiplier, not a second dimension.
+func scaled() units.Byte {
+	return 16 * units.KB
+}
+
+// Wrapping an integer count is how a quantity scales by a cardinality.
+func repeated(per units.Byte, n int) units.Byte {
+	return per * units.Byte(n)
+}
+
+// Dividing by a unit constant extracts a pure number of that unit.
+func megabytes(b units.Byte) float64 {
+	return float64(b / units.MB)
+}
+
+// The metrics package is a dimensionless sink: recording float64(w) as a
+// statistical sample is sanctioned.
+func record(h *metrics.Histogram, w units.Watt) {
+	h.Observe(float64(w))
+}

@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// UnitsafeAnalyzer guards the dimensional soundness of the physical model.
+// The internal/units quantities (Watt, Joule, Celsius, Byte, Hz) are
+// distinct named float64 types precisely so the compiler rejects w + j; the
+// holes that remain are explicit cross-dimension conversions
+// (units.Watt(energy)), same-unit products and ratios whose value is no
+// longer in that unit (w1*w2 is watts-squared but still typed Watt), and
+// unit values laundered into raw float64 at df3 package boundaries, where
+// the receiving signature can no longer say which dimension it expects.
+var UnitsafeAnalyzer = &Analyzer{
+	Name: "unitsafe",
+	Doc:  "forbid cross-dimension units conversions, unit-squared arithmetic and raw-float unit leaks at package boundaries",
+	Run:  runUnitsafe,
+}
+
+const unitsPkgPath = "df3/internal/units"
+
+// dimensionlessSinks are df3 packages whose float64 parameters are
+// dimensionless by design (generic statistics, rendering, tracing): passing
+// float64(w) into them is the sanctioned way to record a sample.
+var unitsafeDimensionlessSinks = map[string]bool{
+	"df3/internal/metrics": true,
+	"df3/internal/report":  true,
+	"df3/internal/trace":   true,
+}
+
+// unitsNamed returns the named units type of t (pointer- and alias-
+// stripped), or nil if t is not declared in internal/units.
+func unitsNamed(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != unitsPkgPath {
+		return nil
+	}
+	return named
+}
+
+func runUnitsafe(pass *Pass) error {
+	// The units package itself defines the dimensions and their formatting;
+	// its internal float64 juggling is the one sanctioned place.
+	if pass.Pkg != nil && pass.Pkg.Path() == unitsPkgPath {
+		return nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if target, ok := isTypeConversion(pass, n); ok {
+				checkUnitConversion(pass, n, target)
+				return true
+			}
+			checkUnitLeak(pass, n)
+		case *ast.BinaryExpr:
+			checkUnitArithmetic(pass, n)
+		}
+		return true
+	})
+	return nil
+}
+
+// checkUnitConversion flags U2(x) where x is already a distinct units type:
+// the value keeps its magnitude but silently changes dimension.
+func checkUnitConversion(pass *Pass, call *ast.CallExpr, target types.Type) {
+	dst := unitsNamed(target)
+	if dst == nil {
+		return
+	}
+	src := unitsNamed(pass.TypeOf(ast.Unparen(call.Args[0])))
+	if src == nil || src.Obj() == dst.Obj() {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"cross-dimension conversion units.%s -> units.%s keeps the magnitude but changes the physical dimension; convert through an explicit physical relation (and float64) instead",
+		src.Obj().Name(), dst.Obj().Name())
+}
+
+// checkUnitArithmetic flags u*u and u/u on one units type: the result is
+// unit-squared (or a dimensionless ratio) but stays typed as the unit.
+//
+// Two shapes are dimensionally sound and exempt. A constant operand is a
+// scalar multiplier — in `16 * units.KB` the literal is typed Byte only
+// because Go converts the untyped constant, and `b / units.MB` divides by a
+// pure number of bytes. And a conversion from an integer is a count — Go has
+// no scalar*unit operator, so `job.Input * units.Byte(len(job.TaskWork))`
+// is the only way to scale a quantity by a cardinality.
+func checkUnitArithmetic(pass *Pass, bin *ast.BinaryExpr) {
+	if bin.Op.String() != "*" && bin.Op.String() != "/" {
+		return
+	}
+	x := unitsNamed(pass.TypeOf(bin.X))
+	y := unitsNamed(pass.TypeOf(bin.Y))
+	if x == nil || y == nil || x.Obj() != y.Obj() {
+		return
+	}
+	if isScalarOperand(pass, bin.X) || isScalarOperand(pass, bin.Y) {
+		return
+	}
+	what := "squared"
+	if bin.Op.String() == "/" {
+		what = "a dimensionless ratio"
+	}
+	pass.Reportf(bin.OpPos,
+		"units.%s %s units.%s is %s, not %s: compute it in float64 and only re-wrap a value that is physically a %s",
+		x.Obj().Name(), bin.Op, y.Obj().Name(), what, x.Obj().Name(), x.Obj().Name())
+}
+
+// isScalarOperand reports whether e acts as a dimensionless scalar in unit
+// arithmetic: a constant expression (an untyped literal acquires the unit
+// type only by conversion) or an explicit conversion wrapping an integer
+// count.
+func isScalarOperand(pass *Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+		return true
+	}
+	if call, ok := e.(*ast.CallExpr); ok {
+		if _, isConv := isTypeConversion(pass, call); isConv {
+			return IsIntegerKind(pass.TypeOf(ast.Unparen(call.Args[0])))
+		}
+	}
+	return false
+}
+
+// checkUnitLeak flags float64(u) appearing directly as an argument to an
+// exported function of another df3 package whose parameter is plain
+// float64: the dimension is erased exactly where a signature should carry
+// it. Dimensionless sink packages (metrics, report, trace) are exempt.
+func checkUnitLeak(pass *Pass, call *ast.CallExpr) {
+	fn := pass.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	calleePkg := fn.Pkg().Path()
+	if calleePkg == pass.Pkg.Path() || calleePkg == unitsPkgPath ||
+		unitsafeDimensionlessSinks[calleePkg] || !isDF3Pkg(calleePkg) {
+		return
+	}
+	sig := sigOf(fn)
+	for i, arg := range call.Args {
+		conv, ok := ast.Unparen(arg).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		target, isConv := isTypeConversion(pass, conv)
+		if !isConv || !IsFloatKind(target) || unitsNamed(target) != nil {
+			continue
+		}
+		src := unitsNamed(pass.TypeOf(ast.Unparen(conv.Args[0])))
+		if src == nil {
+			continue
+		}
+		if param := paramAt(sig, i); param == nil || unitsNamed(param.Type()) != nil {
+			continue
+		}
+		pass.Reportf(arg.Pos(),
+			"units.%s discarded to raw float64 at the %s boundary: let %s.%s take units.%s so the dimension survives the signature",
+			src.Obj().Name(), calleePkg, fn.Pkg().Name(), fn.Name(), src.Obj().Name())
+	}
+}
+
+// paramAt returns the i-th parameter, accounting for variadics.
+func paramAt(sig *types.Signature, i int) *types.Var {
+	params := sig.Params()
+	if params == nil {
+		return nil
+	}
+	if sig.Variadic() && i >= params.Len()-1 {
+		return params.At(params.Len() - 1)
+	}
+	if i >= params.Len() {
+		return nil
+	}
+	return params.At(i)
+}
+
+// isDF3Pkg reports whether path is inside this module.
+func isDF3Pkg(path string) bool {
+	return path == "df3" || len(path) > 4 && path[:4] == "df3/"
+}

@@ -427,6 +427,7 @@ func (s *Server) postStep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "seconds must be in (0, 1 year]")
 		return
 	}
+	//df3:allow(lockedblock) s.mu serializes all sim access by design; engine callbacks never re-enter the server
 	s.city.Engine.Run(s.city.Engine.Now() + sim.Time(body.Seconds))
 	writeJSON(w, http.StatusOK, map[string]any{"sim_time_s": s.city.Engine.Now()})
 }

@@ -94,6 +94,7 @@ func TestCapacityInvariantProperty(t *testing.T) {
 				return false
 			}
 			var sum units.Byte
+			//df3:unordered-ok entry sizes are integer-valued float64s, so FP addition is exact in any order
 			for _, el := range c.items {
 				sum += el.Value.(*entry).size
 			}

@@ -155,7 +155,7 @@ func (f *Federation) submitRemote(srcCity, dstCity int, job workload.BatchJob) {
 	delay := f.Backbone.Account(srcCity, dstCity, size)
 	f.exported[srcCity]++
 	dst := f.Cities[dstCity]
-	f.Kernel.Send(f.lps[srcCity], f.lps[dstCity], delay, float64(size), func() {
+	f.Kernel.Send(f.lps[srcCity], f.lps[dstCity], delay, size, func() {
 		f.imported[dstCity]++
 		b := dst.Buildings[int(job.ID%uint64(len(dst.Buildings)))]
 		dst.MW.SubmitDCC(b.Cluster, dst.Operator, job)

@@ -122,6 +122,7 @@ func TestPrometheusWriteParseRoundTrip(t *testing.T) {
 	if len(parsed) != len(nastyValues) {
 		t.Fatalf("parsed %d series, want %d", len(parsed), len(nastyValues))
 	}
+	//df3:unordered-ok each series is checked independently; only t.Errorf ordering varies
 	for id := range parsed {
 		orig, ok := want[id]
 		if !ok {

@@ -225,15 +225,17 @@ func renderLabels(labels Labels) string {
 	}
 	keys := make([]string, 0, len(labels))
 	for k := range labels {
-		if !validName(k) || strings.Contains(k, ":") {
-			panic(fmt.Sprintf("metrics: invalid label name %q", k))
-		}
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	var b strings.Builder
 	b.WriteByte('{')
 	for i, k := range keys {
+		// Validate in sorted order so a bad label set always panics on the
+		// same key.
+		if !validName(k) || strings.Contains(k, ":") {
+			panic(fmt.Sprintf("metrics: invalid label name %q", k))
+		}
 		if i > 0 {
 			b.WriteByte(',')
 		}

@@ -173,6 +173,7 @@ func TestPrometheusRoundTrip(t *testing.T) {
 		`df3_lat_seconds_count{flow="edge"}`: 1000,
 		`df3_lat_seconds_sum{flow="edge"}`:   h.Sum(),
 	}
+	//df3:unordered-ok each expected series is checked independently; only t.Errorf ordering varies
 	for id, want := range checks {
 		got, ok := vals[id]
 		if !ok {

@@ -17,6 +17,7 @@ func TestSpecsBuild(t *testing.T) {
 		"dcnode":  DatacenterNodeSpec(),
 		"pc":      DesktopPCSpec(),
 	}
+	//df3:unordered-ok each spec is asserted on its own machine; build order does not change any assertion
 	for name, s := range specs {
 		m := s.Build(e, name)
 		if m.Cores != s.Cores {

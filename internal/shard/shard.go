@@ -35,6 +35,7 @@ import (
 	"sync"
 
 	"df3/internal/sim"
+	"df3/internal/units"
 )
 
 // Infinite is the lookahead of a kernel whose LPs never exchange messages
@@ -231,7 +232,7 @@ func PartitionContiguous(n, shards int, weights []float64) []int {
 // panic: they would let a message arrive inside an already-running window,
 // which is exactly the causality violation conservative synchronization
 // exists to rule out.
-func (k *Kernel) Send(src, dst *LP, delay sim.Time, size float64, fn func()) {
+func (k *Kernel) Send(src, dst *LP, delay sim.Time, size units.Byte, fn func()) {
 	if k.lookahead == Infinite {
 		panic("shard: Send on a kernel with Infinite lookahead (no channels declared)")
 	}
@@ -241,7 +242,7 @@ func (k *Kernel) Send(src, dst *LP, delay sim.Time, size float64, fn func()) {
 	}
 	src.outbox = append(src.outbox, message{
 		at: src.Engine.Now() + delay, src: src.ID, dst: dst.ID,
-		seq: src.seq, size: size, fn: fn,
+		seq: src.seq, size: float64(size), fn: fn,
 	})
 	src.seq++
 }

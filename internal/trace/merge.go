@@ -40,6 +40,7 @@ func (r *Recorder) Merge(src *Recorder) {
 		if r.open == nil {
 			r.open = map[SpanID]Span{}
 		}
+		//df3:unordered-ok remapped IDs are distinct, so each write lands on its own key
 		for _, sp := range src.open {
 			sp = remap(sp)
 			r.open[sp.ID] = sp

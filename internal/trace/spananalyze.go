@@ -26,8 +26,14 @@ func SummarizeStages(spans []Span) []StageSummary {
 	for _, sp := range spans {
 		byStage[sp.Stage] = append(byStage[sp.Stage], sp.Duration())
 	}
+	stages := make([]string, 0, len(byStage))
+	for stage := range byStage {
+		stages = append(stages, stage)
+	}
+	sort.Strings(stages)
 	out := make([]StageSummary, 0, len(byStage))
-	for stage, ds := range byStage {
+	for _, stage := range stages {
+		ds := byStage[stage]
 		sort.Float64s(ds)
 		var total float64
 		for _, d := range ds {
@@ -160,6 +166,7 @@ func childIndex(spans []Span) map[SpanID][]Span {
 			children[sp.Parent] = append(children[sp.Parent], sp)
 		}
 	}
+	//df3:unordered-ok each iteration sorts one key's slice in place; no cross-key state
 	for id := range children {
 		cs := children[id]
 		sort.Slice(cs, func(i, j int) bool {
