@@ -1,0 +1,94 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"df3/internal/cliutil"
+)
+
+// daemonConfig is the parsed flag set, separated from main so the
+// validation rules are unit-testable.
+type daemonConfig struct {
+	addr                      string
+	buildings, rooms, boilers int
+	seed                      uint64
+	mtbf                      float64
+
+	// Live mode.
+	live           bool
+	speed          float64
+	maxSlice       float64
+	cities, shards int
+	arrivalLog     string
+	ingestTimeout  time.Duration
+	maxEdge        int
+	maxDCC         int
+	maxQueue       int
+}
+
+// validate rejects invalid values and mutually exclusive combinations
+// before the scenario is built. Live-only knobs on a step-driven daemon
+// are configuration errors, not silent no-ops.
+func (c daemonConfig) validate() error {
+	if c.addr == "" {
+		return fmt.Errorf("-addr must not be empty")
+	}
+	if c.buildings < 1 || c.rooms < 1 {
+		return fmt.Errorf("need at least 1 building and 1 room (have %d×%d)", c.buildings, c.rooms)
+	}
+	if c.boilers < 0 || c.boilers > c.buildings {
+		return fmt.Errorf("-boilers %d out of range 0..%d", c.boilers, c.buildings)
+	}
+	if c.mtbf < 0 {
+		return fmt.Errorf("-mtbf %v must be non-negative", c.mtbf)
+	}
+	if !c.live {
+		// The step-driven daemon is a single deterministic city; every
+		// live-plane knob is meaningless without -live.
+		switch {
+		case c.speed != 1:
+			return fmt.Errorf("-speed requires -live")
+		case c.cities != 1:
+			return fmt.Errorf("-cities requires -live (the step daemon serves one city)")
+		case c.shards != 1:
+			return fmt.Errorf("-shards requires -live")
+		case c.arrivalLog != "":
+			return fmt.Errorf("-arrival-log requires -live")
+		case c.maxEdge != 0 || c.maxDCC != 0 || c.maxQueue != 0:
+			return fmt.Errorf("admission flags (-max-inflight-edge, -max-inflight-dcc, -max-queue) require -live")
+		}
+		return nil
+	}
+	if c.speed <= 0 {
+		return fmt.Errorf("-speed %v: need a positive time-scale", c.speed)
+	}
+	if c.maxSlice <= 0 {
+		return fmt.Errorf("-max-slice %v: need a positive slice bound", c.maxSlice)
+	}
+	if c.cities < 1 {
+		return fmt.Errorf("-cities %d: need at least one city", c.cities)
+	}
+	if c.shards < 1 {
+		return fmt.Errorf("-shards %d: need at least one shard", c.shards)
+	}
+	if c.shards > c.cities {
+		return fmt.Errorf("-shards %d exceeds -cities %d: a city is the unit of parallelism", c.shards, c.cities)
+	}
+	if c.ingestTimeout <= 0 {
+		return fmt.Errorf("-ingest-timeout %v: need a positive wall bound", c.ingestTimeout)
+	}
+	if c.maxEdge < 0 || c.maxDCC < 0 || c.maxQueue < 0 {
+		return fmt.Errorf("admission limits must be non-negative (edge %d, dcc %d, queue %d)",
+			c.maxEdge, c.maxDCC, c.maxQueue)
+	}
+	if c.mtbf > 0 && c.cities > 1 {
+		return fmt.Errorf("-mtbf fault injection is single-city only for now")
+	}
+	if c.arrivalLog != "" {
+		if err := cliutil.CheckWritableFile(c.arrivalLog); err != nil {
+			return fmt.Errorf("-arrival-log: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func validLive() daemonConfig {
+	return daemonConfig{
+		addr: ":8080", buildings: 4, rooms: 6,
+		live: true, speed: 60, maxSlice: 1, cities: 2, shards: 2,
+		ingestTimeout: 30 * time.Second,
+	}
+}
+
+func validStep() daemonConfig {
+	return daemonConfig{
+		addr: ":8080", buildings: 4, rooms: 6,
+		speed: 1, maxSlice: 1, cities: 1, shards: 1,
+		ingestTimeout: 30 * time.Second,
+	}
+}
+
+func TestDaemonFlagValidation(t *testing.T) {
+	tmp := t.TempDir()
+	cases := []struct {
+		name    string
+		mutate  func(*daemonConfig)
+		wantErr string // substring; "" = valid
+	}{
+		{"valid step", func(c *daemonConfig) {}, ""},
+		{"valid live", func(c *daemonConfig) { *c = validLive() }, ""},
+		{"valid live with log", func(c *daemonConfig) {
+			*c = validLive()
+			c.arrivalLog = filepath.Join(tmp, "arrivals.ndjson")
+		}, ""},
+		{"empty addr", func(c *daemonConfig) { c.addr = "" }, "-addr"},
+		{"zero buildings", func(c *daemonConfig) { c.buildings = 0 }, "at least 1 building"},
+		{"boilers exceed buildings", func(c *daemonConfig) { c.boilers = 99 }, "-boilers"},
+		{"negative mtbf", func(c *daemonConfig) { c.mtbf = -1 }, "-mtbf"},
+		{"speed without live", func(c *daemonConfig) { c.speed = 10 }, "-speed requires -live"},
+		{"cities without live", func(c *daemonConfig) { c.cities = 4 }, "-cities requires -live"},
+		{"shards without live", func(c *daemonConfig) { c.shards = 2 }, "-shards requires -live"},
+		{"arrival log without live", func(c *daemonConfig) {
+			c.arrivalLog = filepath.Join(tmp, "a.ndjson")
+		}, "-arrival-log requires -live"},
+		{"admission without live", func(c *daemonConfig) { c.maxEdge = 10 }, "require -live"},
+		{"live zero speed", func(c *daemonConfig) { *c = validLive(); c.speed = 0 }, "-speed"},
+		{"live negative slice", func(c *daemonConfig) { *c = validLive(); c.maxSlice = -1 }, "-max-slice"},
+		{"live zero cities", func(c *daemonConfig) { *c = validLive(); c.cities = 0 }, "-cities"},
+		{"live shards exceed cities", func(c *daemonConfig) {
+			*c = validLive()
+			c.shards = 5
+		}, "-shards 5 exceeds"},
+		{"live zero ingest timeout", func(c *daemonConfig) {
+			*c = validLive()
+			c.ingestTimeout = 0
+		}, "-ingest-timeout"},
+		{"live negative admission", func(c *daemonConfig) {
+			*c = validLive()
+			c.maxQueue = -1
+		}, "admission limits"},
+		{"live mtbf multi-city", func(c *daemonConfig) { *c = validLive(); c.mtbf = 10 }, "-mtbf"},
+		{"live unwritable arrival log", func(c *daemonConfig) {
+			*c = validLive()
+			c.arrivalLog = filepath.Join(tmp, "no/such/dir/a.ndjson")
+		}, "-arrival-log"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := validStep()
+			tc.mutate(&cfg)
+			err := cfg.validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("expected error mentioning %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -1,55 +1,176 @@
-// Command df3d serves a DF3 city scenario over the resource-oriented HTTP
-// interface of §IV (see internal/api). The simulation is deterministic and
-// advances only when a client POSTs /v1/step, so the daemon doubles as an
-// interactive laboratory:
+// Command df3d serves a DF3 scenario over HTTP (see internal/api), in one
+// of two modes.
+//
+// Step mode (default) is the deterministic interactive laboratory: the
+// simulation advances only when a client POSTs /v1/step.
 //
 //	df3d -addr :8080 -buildings 4 -rooms 6 &
 //	curl localhost:8080/v1/resources | jq .
 //	curl -X POST localhost:8080/v1/rooms/0/0/setpoint -d '{"setpoint_c":23}'
 //	curl -X POST localhost:8080/v1/step -d '{"seconds":3600}'
-//	curl localhost:8080/v1/metrics | jq .
 //	curl localhost:8080/metrics          # Prometheus text exposition
+//
+// Live mode (-live) is the serving plane: a paced driver advances a whole
+// federation against the wall clock while POST /v1/edge, /v1/dcc and the
+// streaming /v1/ingest inject real requests as external events, behind
+// admission control, answering each with its simulated outcome. Every
+// arrival is optionally recorded (-arrival-log) for byte-identical
+// offline replay.
+//
+//	df3d -live -speed 60 -cities 2 -shards 2 -arrival-log arrivals.ndjson &
+//	curl -X POST localhost:8080/v1/edge -d '{"tenant":7,"work_s":0.05,"deadline_s":1}'
+//	df3load -url http://localhost:8080 -rate 200 -duration 10s
+//
+// On SIGINT/SIGTERM the daemon drains in-flight HTTP requests, stops the
+// driver at a slice boundary, flushes the arrival log and writes a final
+// metrics snapshot to stdout.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"df3/internal/api"
 	"df3/internal/city"
+	"df3/internal/metrics"
 	"df3/internal/sim"
 )
 
 func main() {
-	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		buildings = flag.Int("buildings", 4, "number of buildings")
-		rooms     = flag.Int("rooms", 6, "rooms per building")
-		boilers   = flag.Int("boilers", 0, "boiler-plant buildings")
-		seed      = flag.Uint64("seed", 1, "random seed")
-		mtbf      = flag.Float64("mtbf", 0, "mean days between machine failures (0 disables)")
-	)
+	var cfg daemonConfig
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&cfg.buildings, "buildings", 4, "number of buildings per city")
+	flag.IntVar(&cfg.rooms, "rooms", 6, "rooms per building")
+	flag.IntVar(&cfg.boilers, "boilers", 0, "boiler-plant buildings")
+	flag.Uint64Var(&cfg.seed, "seed", 1, "random seed")
+	flag.Float64Var(&cfg.mtbf, "mtbf", 0, "mean days between machine failures (0 disables)")
+	flag.BoolVar(&cfg.live, "live", false, "serve in paced real time instead of step mode")
+	flag.Float64Var(&cfg.speed, "speed", 1, "simulated seconds per wall second (live mode)")
+	flag.Float64Var(&cfg.maxSlice, "max-slice", 1, "max simulated seconds per driver slice (live mode)")
+	flag.IntVar(&cfg.cities, "cities", 1, "federation size (live mode)")
+	flag.IntVar(&cfg.shards, "shards", 1, "shard workers driving the federation (live mode)")
+	flag.StringVar(&cfg.arrivalLog, "arrival-log", "", "record arrivals as NDJSON for offline replay (live mode)")
+	flag.DurationVar(&cfg.ingestTimeout, "ingest-timeout", 30*time.Second, "wall bound on waiting for an outcome (live mode)")
+	flag.IntVar(&cfg.maxEdge, "max-inflight-edge", 0, "admission cap on in-flight edge requests (live mode, 0 = default)")
+	flag.IntVar(&cfg.maxDCC, "max-inflight-dcc", 0, "admission cap on in-flight batch jobs (live mode, 0 = default)")
+	flag.IntVar(&cfg.maxQueue, "max-queue", 0, "admission cap on the injection queue depth (live mode, 0 = default)")
 	flag.Parse()
 
-	cfg := city.DefaultConfig()
-	cfg.Seed = *seed
-	cfg.Buildings = *buildings
-	cfg.RoomsPerBuilding = *rooms
-	cfg.BoilerBuildings = *boilers
-	if *mtbf > 0 {
-		cfg.MTBF = sim.Time(*mtbf) * sim.Day
+	if err := cfg.validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "df3d:", err)
+		os.Exit(2)
 	}
 
-	c := city.Build(cfg)
+	ccfg := city.DefaultConfig()
+	ccfg.Seed = cfg.seed
+	ccfg.Buildings = cfg.buildings
+	ccfg.RoomsPerBuilding = cfg.rooms
+	ccfg.BoilerBuildings = cfg.boilers
+	if cfg.mtbf > 0 {
+		ccfg.MTBF = sim.Time(cfg.mtbf) * sim.Day
+	}
+
+	if cfg.live {
+		runLive(cfg, ccfg)
+		return
+	}
+	runStep(cfg, ccfg)
+}
+
+// runStep hosts the step-driven single-city laboratory.
+func runStep(cfg daemonConfig, ccfg city.Config) {
+	c := city.Build(ccfg)
 	fmt.Printf("df3d: %d buildings × %d rooms (%d boiler plants), %d DF machines, listening on %s\n",
-		*buildings, *rooms, *boilers, len(c.Fleet.Machines), *addr)
-	hint := *addr
+		cfg.buildings, cfg.rooms, cfg.boilers, len(c.Fleet.Machines), cfg.addr)
+	hint := cfg.addr
 	if strings.HasPrefix(hint, ":") {
 		hint = "localhost" + hint
 	}
 	fmt.Println("advance time with: curl -X POST " + hint + "/v1/step -d '{\"seconds\":3600}'")
-	log.Fatal(http.ListenAndServe(*addr, api.NewServer(c)))
+	serve(cfg.addr, api.NewServer(c), func() *metrics.Registry { return c.Observability() }, nil)
+}
+
+// runLive hosts the paced serving plane.
+func runLive(cfg daemonConfig, ccfg city.Config) {
+	f := city.BuildFederation(city.FederationConfig{
+		Seed: cfg.seed, Cities: cfg.cities, Shards: cfg.shards, City: ccfg,
+	})
+	lcfg := api.LiveConfig{
+		Speed:         cfg.speed,
+		MaxSlice:      sim.Time(cfg.maxSlice),
+		IngestTimeout: cfg.ingestTimeout,
+		Admission: api.AdmissionConfig{
+			MaxInFlightEdge: cfg.maxEdge,
+			MaxInFlightDCC:  cfg.maxDCC,
+			MaxQueue:        cfg.maxQueue,
+		},
+	}
+	var logFile *os.File
+	if cfg.arrivalLog != "" {
+		var err error
+		logFile, err = os.Create(cfg.arrivalLog)
+		if err != nil {
+			log.Fatalf("df3d: -arrival-log: %v", err)
+		}
+		lcfg.ArrivalLog = logFile
+	}
+	live := api.NewLive(f, lcfg)
+	machines := 0
+	for _, c := range f.Cities {
+		machines += len(c.Fleet.Machines)
+	}
+	fmt.Printf("df3d: live mode, %d cities × %d buildings × %d rooms on %d shards, %d DF machines, %gx speed, listening on %s\n",
+		cfg.cities, cfg.buildings, cfg.rooms, cfg.shards, machines, cfg.speed, cfg.addr)
+	live.Start()
+	serve(cfg.addr, api.NewLiveServer(live), func() *metrics.Registry { return live.Registry() }, func() {
+		if err := live.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "df3d: arrival log:", err)
+		}
+		if logFile != nil {
+			if err := logFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "df3d: arrival log:", err)
+			}
+		}
+	})
+}
+
+// serve runs the HTTP server until SIGINT/SIGTERM, then shuts down
+// gracefully: stop accepting, drain in-flight requests (bounded), run the
+// mode-specific drain hook, and flush a final metrics snapshot to stdout.
+func serve(addr string, handler http.Handler, registry func() *metrics.Registry, drain func()) {
+	srv := &http.Server{Addr: addr, Handler: handler}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		// Listener died on its own (port in use, ...): nothing to drain.
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "df3d: signal received, draining")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "df3d: shutdown:", err)
+	}
+	if drain != nil {
+		drain()
+	}
+	fmt.Println("# df3d final metrics snapshot")
+	if err := registry().WritePrometheus(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "df3d: snapshot:", err)
+	}
 }

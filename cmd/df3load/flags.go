@@ -1,0 +1,94 @@
+package main
+
+import (
+	"fmt"
+	"net/url"
+	"time"
+
+	"df3/internal/cliutil"
+)
+
+// loadConfig is the parsed flag set, separated from main so the validation
+// rules are unit-testable.
+type loadConfig struct {
+	url      string
+	rate     float64 // open-loop arrivals per second (exclusive with conns)
+	conns    int     // closed-loop worker count (exclusive with rate)
+	duration time.Duration
+	timeout  time.Duration
+
+	seed    uint64
+	tenants int
+	zipfS   float64
+	profile string
+	dccFrac float64
+	workS   float64
+	deadS   float64
+	frames  int
+
+	report string // write the SLO report here instead of stdout
+}
+
+var validProfiles = map[string]bool{
+	"steady": true, "ramp": true, "spike": true, "diurnal": true,
+}
+
+// validate rejects invalid values and mutually exclusive combinations. The
+// open/closed-loop selectors are the classic load-generator dichotomy:
+// -rate fixes the arrival process regardless of response times, -conns
+// fixes concurrency and lets throughput float. Exactly one must be chosen.
+func (c loadConfig) validate() error {
+	u, err := url.Parse(c.url)
+	if err != nil {
+		return fmt.Errorf("-url %q: %w", c.url, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return fmt.Errorf("-url %q: need an http(s) URL", c.url)
+	}
+	if u.Host == "" {
+		return fmt.Errorf("-url %q: missing host", c.url)
+	}
+	switch {
+	case c.rate > 0 && c.conns > 0:
+		return fmt.Errorf("-rate and -conns are mutually exclusive: open loop (fixed arrival rate) or closed loop (fixed concurrency), not both")
+	case c.rate <= 0 && c.conns <= 0:
+		return fmt.Errorf("pick a loop mode: -rate R (open loop) or -conns N (closed loop)")
+	case c.rate < 0:
+		return fmt.Errorf("-rate %v must be positive", c.rate)
+	case c.conns < 0:
+		return fmt.Errorf("-conns %d must be positive", c.conns)
+	}
+	if c.duration <= 0 {
+		return fmt.Errorf("-duration %v: need a positive run length", c.duration)
+	}
+	if c.timeout <= 0 {
+		return fmt.Errorf("-timeout %v: need a positive request timeout", c.timeout)
+	}
+	if c.tenants < 1 {
+		return fmt.Errorf("-tenants %d: need at least one tenant", c.tenants)
+	}
+	if c.zipfS <= 0 {
+		return fmt.Errorf("-zipf %v: the Zipf exponent must be positive", c.zipfS)
+	}
+	if !validProfiles[c.profile] {
+		return fmt.Errorf("unknown -profile %q (steady|ramp|spike|diurnal)", c.profile)
+	}
+	if c.dccFrac < 0 || c.dccFrac > 1 {
+		return fmt.Errorf("-dcc-frac %v must be in [0,1]", c.dccFrac)
+	}
+	if c.workS <= 0 {
+		return fmt.Errorf("-work %v: need positive mean request work", c.workS)
+	}
+	if c.deadS < 0 {
+		return fmt.Errorf("-deadline %v must be non-negative", c.deadS)
+	}
+	if c.frames < 1 {
+		return fmt.Errorf("-frames %d: a batch job needs at least one frame", c.frames)
+	}
+	if c.report != "" {
+		if err := cliutil.CheckWritableFile(c.report); err != nil {
+			return fmt.Errorf("-report: %w", err)
+		}
+	}
+	return nil
+}

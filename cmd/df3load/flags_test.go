@@ -1,0 +1,70 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func validOpen() loadConfig {
+	return loadConfig{
+		url: "http://localhost:8080", rate: 100,
+		duration: 10 * time.Second, timeout: time.Minute,
+		tenants: 100, zipfS: 1.2, profile: "steady",
+		workS: 0.05, deadS: 1, frames: 8,
+	}
+}
+
+func TestLoadFlagValidation(t *testing.T) {
+	tmp := t.TempDir()
+	cases := []struct {
+		name    string
+		mutate  func(*loadConfig)
+		wantErr string // substring; "" = valid
+	}{
+		{"valid open loop", func(c *loadConfig) {}, ""},
+		{"valid closed loop", func(c *loadConfig) { c.rate = 0; c.conns = 16 }, ""},
+		{"valid with report", func(c *loadConfig) {
+			c.report = filepath.Join(tmp, "slo.txt")
+		}, ""},
+		{"valid every profile", func(c *loadConfig) { c.profile = "diurnal" }, ""},
+		{"rate and conns together", func(c *loadConfig) { c.conns = 16 }, "mutually exclusive"},
+		{"neither rate nor conns", func(c *loadConfig) { c.rate = 0 }, "loop mode"},
+		{"bad url scheme", func(c *loadConfig) { c.url = "ftp://host" }, "http(s)"},
+		{"url without host", func(c *loadConfig) { c.url = "http://" }, "missing host"},
+		{"unparseable url", func(c *loadConfig) { c.url = "http://bad host:x" }, "-url"},
+		{"zero duration", func(c *loadConfig) { c.duration = 0 }, "-duration"},
+		{"zero timeout", func(c *loadConfig) { c.timeout = 0 }, "-timeout"},
+		{"zero tenants", func(c *loadConfig) { c.tenants = 0 }, "-tenants"},
+		{"zero zipf exponent", func(c *loadConfig) { c.zipfS = 0 }, "-zipf"},
+		{"unknown profile", func(c *loadConfig) { c.profile = "sawtooth" }, "-profile"},
+		{"dcc fraction above one", func(c *loadConfig) { c.dccFrac = 1.5 }, "-dcc-frac"},
+		{"negative dcc fraction", func(c *loadConfig) { c.dccFrac = -0.1 }, "-dcc-frac"},
+		{"zero work", func(c *loadConfig) { c.workS = 0 }, "-work"},
+		{"negative deadline", func(c *loadConfig) { c.deadS = -1 }, "-deadline"},
+		{"zero frames", func(c *loadConfig) { c.frames = 0 }, "-frames"},
+		{"unwritable report path", func(c *loadConfig) {
+			c.report = filepath.Join(tmp, "no/such/dir/slo.txt")
+		}, "-report"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := validOpen()
+			tc.mutate(&cfg)
+			err := cfg.validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("expected error mentioning %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

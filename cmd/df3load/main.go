@@ -1,0 +1,279 @@
+// Command df3load drives a live df3d (-live) over HTTP: an open-loop
+// (fixed arrival rate, -rate) or closed-loop (fixed concurrency, -conns)
+// generator with a Zipf tenant mix and ramp/spike/diurnal rate profiles,
+// reporting a client-side outcome table and the server's SLO counters and
+// latency quantiles scraped from /metrics.
+//
+//	df3d -live -speed 60 &
+//	df3load -url http://localhost:8080 -rate 500 -duration 10s -profile spike
+//	df3load -url http://localhost:8080 -conns 32 -duration 30s -dcc-frac 0.05
+//
+// All randomness comes from an internal/rng stream: the same seed replays
+// the same tenant sequence and request shapes (arrival instants still
+// depend on the host clock — the arrival log on the server side is the
+// deterministic record).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"df3/internal/metrics"
+	"df3/internal/rng"
+)
+
+// wallNow is df3load's single sanctioned wall-clock read.
+func wallNow() time.Time {
+	return time.Now() //df3:allow(detrand) df3load measures a live server with real clients; the wall clock is its instrument, not sim state
+}
+
+// maxInFlight caps client-side concurrency in open-loop mode. Arrivals
+// past the cap are counted as client_overload instead of spawning — the
+// generator itself must not melt before the server does.
+const maxInFlight = 8192
+
+// tally aggregates client-observed outcomes and latency.
+type tally struct {
+	mu        sync.Mutex
+	byOutcome map[string]int64
+	sent      int64
+	latency   *metrics.Histogram
+}
+
+func newTally() *tally {
+	// A private registry just to own the P² histogram.
+	r := metrics.NewRegistry()
+	return &tally{
+		byOutcome: map[string]int64{},
+		latency:   r.Histogram("df3load_client_seconds", "", nil, 0.5, 0.9, 0.99),
+	}
+}
+
+func (t *tally) record(outcome string, secs float64) {
+	t.latency.Observe(secs)
+	t.mu.Lock()
+	t.byOutcome[outcome]++
+	t.sent++
+	t.mu.Unlock()
+}
+
+// generator draws request descriptors from seeded streams. Not
+// concurrency-safe: the open loop owns one, each closed-loop worker forks
+// its own.
+type generator struct {
+	cfg  *loadConfig
+	s    *rng.Stream
+	zipf *rng.Zipf
+}
+
+func newGenerator(cfg *loadConfig, s *rng.Stream) *generator {
+	return &generator{cfg: cfg, s: s, zipf: rng.NewZipf(s.ForkNamed("tenants"), cfg.tenants, cfg.zipfS)}
+}
+
+// arrival is one ready-to-send request.
+type arrival struct {
+	path string
+	body []byte
+}
+
+func (g *generator) next() arrival {
+	tenant := g.zipf.Draw()
+	if g.s.Bool(g.cfg.dccFrac) {
+		frames := 1 + g.s.Intn(2*g.cfg.frames-1) // mean ≈ cfg.frames
+		works := make([]float64, frames)
+		for i := range works {
+			// Batch frames are much heavier than edge requests.
+			works[i] = g.s.Exp(1 / (50 * g.cfg.workS))
+		}
+		b, _ := json.Marshal(map[string]any{"tenant": tenant, "frame_work_s": works})
+		return arrival{path: "/v1/dcc", body: b}
+	}
+	b, _ := json.Marshal(map[string]any{
+		"tenant":     tenant,
+		"work_s":     g.s.Exp(1 / g.cfg.workS),
+		"deadline_s": g.cfg.deadS,
+	})
+	return arrival{path: "/v1/edge", body: b}
+}
+
+// doRequest posts one arrival and records its outcome: the server's
+// verdict when the body parses, the HTTP status otherwise.
+func doRequest(client *http.Client, base string, a arrival, t *tally) {
+	start := wallNow()
+	resp, err := client.Post(base+a.path, "application/json", bytes.NewReader(a.body))
+	if err != nil {
+		t.record("error", wallNow().Sub(start).Seconds())
+		return
+	}
+	var out struct {
+		Outcome string `json:"outcome"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	verdict := out.Outcome
+	if verdict == "" {
+		verdict = fmt.Sprintf("http_%d", resp.StatusCode)
+	}
+	t.record(verdict, wallNow().Sub(start).Seconds())
+}
+
+// runOpen fires arrivals at the profile-shaped rate regardless of response
+// times — the arrival process is a thinned Poisson stream whose intensity
+// follows profileScale. Arrival instants are precomputed on the generator
+// stream and fired in batches, so the loop sustains 10k+ req/s without a
+// per-arrival sleep.
+func runOpen(cfg *loadConfig, client *http.Client, gen *generator, t *tally) {
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxInFlight)
+	start := wallNow()
+	dur := cfg.duration.Seconds()
+	next := 0.0 // offset of the next arrival, in seconds since start
+	for {
+		now := wallNow().Sub(start).Seconds()
+		if now >= dur {
+			break
+		}
+		for next <= now && next < dur {
+			a := gen.next()
+			select {
+			case sem <- struct{}{}:
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer func() { <-sem }()
+					doRequest(client, cfg.url, a, t)
+				}()
+			default:
+				t.record("client_overload", 0)
+			}
+			r := cfg.rate * profileScale(cfg.profile, next/dur)
+			if r < 1e-6 {
+				r = 1e-6
+			}
+			next += gen.s.Exp(r)
+		}
+		wait := time.Duration((next - now) * float64(time.Second))
+		if wait > 5*time.Millisecond {
+			wait = 5 * time.Millisecond
+		}
+		if wait > 0 {
+			time.Sleep(wait)
+		}
+	}
+	wg.Wait()
+}
+
+// runClosed keeps -conns workers each issuing the next request as soon as
+// the previous one answers: throughput floats with server latency, the
+// classic saturation probe. The profile still shapes it — workers insert
+// pacing gaps where the profile dips below 1.
+func runClosed(cfg *loadConfig, client *http.Client, seed *rng.Stream, t *tally) {
+	var wg sync.WaitGroup
+	start := wallNow()
+	dur := cfg.duration.Seconds()
+	for w := 0; w < cfg.conns; w++ {
+		wg.Add(1)
+		ws := seed.Fork(uint64(w))
+		go func() {
+			defer wg.Done()
+			gen := newGenerator(cfg, ws)
+			for {
+				now := wallNow().Sub(start).Seconds()
+				if now >= dur {
+					return
+				}
+				scale := profileScale(cfg.profile, now/dur)
+				if scale < 1 && gen.s.Float64() > scale {
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				doRequest(client, cfg.url, gen.next(), t)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// scrape fetches and parses the server's /metrics exposition.
+func scrape(client *http.Client, base string) (map[string]float64, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics answered %d", resp.StatusCode)
+	}
+	return metrics.ParsePrometheus(resp.Body)
+}
+
+func main() {
+	var cfg loadConfig
+	flag.StringVar(&cfg.url, "url", "http://localhost:8080", "df3d base URL")
+	flag.Float64Var(&cfg.rate, "rate", 0, "open loop: arrivals per second (exclusive with -conns)")
+	flag.IntVar(&cfg.conns, "conns", 0, "closed loop: concurrent workers (exclusive with -rate)")
+	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "run length")
+	flag.DurationVar(&cfg.timeout, "timeout", 60*time.Second, "per-request HTTP timeout")
+	flag.Uint64Var(&cfg.seed, "seed", 1, "generator seed (tenant mix and request shapes)")
+	flag.IntVar(&cfg.tenants, "tenants", 1000, "tenant population for the Zipf mix")
+	flag.Float64Var(&cfg.zipfS, "zipf", 1.2, "Zipf exponent of the tenant mix")
+	flag.StringVar(&cfg.profile, "profile", "steady", "rate profile: steady|ramp|spike|diurnal")
+	flag.Float64Var(&cfg.dccFrac, "dcc-frac", 0, "fraction of arrivals that are batch jobs")
+	flag.Float64Var(&cfg.workS, "work", 0.05, "mean edge request work in simulated seconds")
+	flag.Float64Var(&cfg.deadS, "deadline", 1, "edge deadline in simulated seconds (0 = none)")
+	flag.IntVar(&cfg.frames, "frames", 8, "mean frames per batch job")
+	flag.StringVar(&cfg.report, "report", "", "write the SLO report to this file instead of stdout")
+	flag.Parse()
+
+	if err := cfg.validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "df3load:", err)
+		os.Exit(2)
+	}
+
+	client := &http.Client{
+		Timeout: cfg.timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        maxInFlight,
+			MaxIdleConnsPerHost: maxInFlight,
+		},
+	}
+	seed := rng.New(cfg.seed)
+	t := newTally()
+
+	start := wallNow()
+	if cfg.rate > 0 {
+		fmt.Printf("df3load: open loop %g req/s (%s profile) against %s for %v\n",
+			cfg.rate, cfg.profile, cfg.url, cfg.duration)
+		runOpen(&cfg, client, newGenerator(&cfg, seed), t)
+	} else {
+		fmt.Printf("df3load: closed loop %d conns (%s profile) against %s for %v\n",
+			cfg.conns, cfg.profile, cfg.url, cfg.duration)
+		runClosed(&cfg, client, seed, t)
+	}
+	elapsed := wallNow().Sub(start)
+
+	scraped, err := scrape(client, cfg.url)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "df3load: scrape:", err)
+		scraped = map[string]float64{}
+	}
+	out := os.Stdout
+	if cfg.report != "" {
+		f, err := os.Create(cfg.report)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "df3load:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	writeReport(out, &cfg, elapsed, t, scraped)
+}

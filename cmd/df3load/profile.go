@@ -1,0 +1,34 @@
+package main
+
+import "math"
+
+// profileScale is the rate multiplier at normalized elapsed time u ∈ [0,1].
+// It shapes the open loop's arrival process (and the closed loop's pacing
+// gaps) into the traffic patterns the serving plane must survive:
+//
+//   - steady: constant rate, the calibration baseline.
+//   - ramp: linear 0→2×, crossing nominal halfway — finds the knee.
+//   - spike: nominal with a 5× burst over the middle tenth — the
+//     admission-control stressor; shedding is expected here.
+//   - diurnal: a sinusoidal day compressed into the run, trough at the
+//     start, peak in the middle — the §II heating-demand rhythm.
+func profileScale(profile string, u float64) float64 {
+	if u < 0 {
+		u = 0
+	} else if u > 1 {
+		u = 1
+	}
+	switch profile {
+	case "ramp":
+		return 2 * u
+	case "spike":
+		if u >= 0.45 && u < 0.55 {
+			return 5
+		}
+		return 1
+	case "diurnal":
+		return 1 - 0.8*math.Cos(2*math.Pi*u)
+	default: // steady
+		return 1
+	}
+}

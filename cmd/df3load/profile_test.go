@@ -1,0 +1,39 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func TestProfileScale(t *testing.T) {
+	cases := []struct {
+		profile string
+		u       float64
+		want    float64
+	}{
+		{"steady", 0, 1}, {"steady", 0.5, 1}, {"steady", 1, 1},
+		{"ramp", 0, 0}, {"ramp", 0.5, 1}, {"ramp", 1, 2},
+		{"spike", 0.2, 1}, {"spike", 0.45, 5}, {"spike", 0.5, 5}, {"spike", 0.55, 1},
+		{"diurnal", 0, 0.2}, {"diurnal", 0.5, 1.8}, {"diurnal", 1, 0.2},
+		// Out-of-range u clamps.
+		{"ramp", -1, 0}, {"ramp", 2, 2},
+	}
+	for _, tc := range cases {
+		got := profileScale(tc.profile, tc.u)
+		if math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("profileScale(%q, %v) = %v, want %v", tc.profile, tc.u, got, tc.want)
+		}
+	}
+}
+
+// TestProfileScaleNonNegative guards the generator's invariant: a negative
+// multiplier would make the open loop's inter-arrival draw panic.
+func TestProfileScaleNonNegative(t *testing.T) {
+	for _, p := range []string{"steady", "ramp", "spike", "diurnal"} {
+		for u := -0.5; u <= 1.5; u += 0.01 {
+			if s := profileScale(p, u); s < 0 {
+				t.Fatalf("profileScale(%q, %v) = %v < 0", p, u, s)
+			}
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"df3/internal/metrics"
+)
+
+// ingestClasses and ingestOutcomes mirror internal/api's label vocabulary
+// for the df3_ingest_* series.
+var (
+	ingestClasses  = []string{"edge", "dcc"}
+	ingestOutcomes = []string{"served", "done", "rejected", "lost", "shed", "timeout", "closed"}
+)
+
+// writeReport prints the run summary: the client-side view (what df3load
+// itself observed on the wire) and the server-side SLO table scraped from
+// /metrics (what the simulation decided).
+func writeReport(w io.Writer, cfg *loadConfig, elapsed time.Duration, t *tally, scraped map[string]float64) {
+	t.mu.Lock()
+	sent := t.sent
+	byOutcome := make(map[string]int64, len(t.byOutcome))
+	for k, v := range t.byOutcome {
+		byOutcome[k] = v
+	}
+	t.mu.Unlock()
+
+	mode := fmt.Sprintf("open loop, %g req/s", cfg.rate)
+	if cfg.conns > 0 {
+		mode = fmt.Sprintf("closed loop, %d conns", cfg.conns)
+	}
+	fmt.Fprintf(w, "\n=== df3load report ===\n")
+	fmt.Fprintf(w, "mode      %s (%s profile)\n", mode, cfg.profile)
+	fmt.Fprintf(w, "duration  %.2fs wall\n", elapsed.Seconds())
+	fmt.Fprintf(w, "requests  %d (%.1f req/s achieved)\n", sent, float64(sent)/elapsed.Seconds())
+
+	fmt.Fprintf(w, "\n--- client view (wire outcomes) ---\n")
+	keys := make([]string, 0, len(byOutcome))
+	for k := range byOutcome {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		n := byOutcome[k]
+		fmt.Fprintf(w, "%-16s %8d  %6.2f%%\n", k, n, pct(n, sent))
+	}
+	fmt.Fprintf(w, "wall latency     p50 %s  p90 %s  p99 %s\n",
+		fmtSecs(t.latency.Quantile(0.5)), fmtSecs(t.latency.Quantile(0.9)), fmtSecs(t.latency.Quantile(0.99)))
+
+	fmt.Fprintf(w, "\n--- server SLO (scraped from /metrics) ---\n")
+	if len(scraped) == 0 {
+		fmt.Fprintf(w, "(scrape unavailable)\n")
+		return
+	}
+	fmt.Fprintf(w, "%-6s %-10s %10s %9s\n", "class", "outcome", "count", "fraction")
+	for _, class := range ingestClasses {
+		var total float64
+		for _, outcome := range ingestOutcomes {
+			total += scraped[requestsKey(class, outcome)]
+		}
+		if total == 0 {
+			continue
+		}
+		for _, outcome := range ingestOutcomes {
+			n := scraped[requestsKey(class, outcome)]
+			if n == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "%-6s %-10s %10.0f %8.2f%%\n", class, outcome, n, 100*n/total)
+		}
+		fmt.Fprintf(w, "%-6s wall  p50 %s  p90 %s  p99 %s\n",
+			class,
+			fmtSecs(quantileOf(scraped, "df3_ingest_wall_seconds", class, "0.5")),
+			fmtSecs(quantileOf(scraped, "df3_ingest_wall_seconds", class, "0.9")),
+			fmtSecs(quantileOf(scraped, "df3_ingest_wall_seconds", class, "0.99")))
+		fmt.Fprintf(w, "%-6s sim   p50 %s  p90 %s  p99 %s\n",
+			class,
+			fmtSecs(quantileOf(scraped, "df3_ingest_sim_seconds", class, "0.5")),
+			fmtSecs(quantileOf(scraped, "df3_ingest_sim_seconds", class, "0.9")),
+			fmtSecs(quantileOf(scraped, "df3_ingest_sim_seconds", class, "0.99")))
+	}
+}
+
+func requestsKey(class, outcome string) string {
+	return metrics.ID("df3_ingest_requests_total", metrics.Labels{"class": class, "outcome": outcome})
+}
+
+func quantileOf(scraped map[string]float64, name, class, q string) float64 {
+	return scraped[metrics.ID(name, metrics.Labels{"class": class, "quantile": q})]
+}
+
+func pct(n, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(total)
+}
+
+// fmtSecs renders a latency with a unit that keeps 3 significant figures
+// readable across the µs-to-minutes span live runs produce.
+func fmtSecs(s float64) string {
+	switch {
+	case s <= 0:
+		return "-"
+	case s < 1e-3:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.1fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", s)
+	}
+}

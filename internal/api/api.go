@@ -26,9 +26,10 @@ import (
 
 // Server is the ROC control plane over one city scenario.
 type Server struct {
-	mu   sync.Mutex
-	city *city.City
-	mux  *http.ServeMux
+	mu      sync.Mutex
+	city    *city.City
+	mux     *http.ServeMux
+	handler http.Handler
 }
 
 // NewServer wraps a built city.
@@ -45,12 +46,13 @@ func NewServer(c *city.City) *Server {
 	s.mux.HandleFunc("POST /v1/edge", s.postEdge)
 	s.mux.HandleFunc("POST /v1/content", s.postContent)
 	s.mux.HandleFunc("POST /v1/step", s.postStep)
+	s.handler = harden(s.mux)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
 // writeJSON emits v with status 200 (or the given code).
@@ -150,8 +152,7 @@ func (s *Server) setSetpoint(w http.ResponseWriter, r *http.Request) {
 	var body struct {
 		SetpointC float64 `json:"setpoint_c"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		httpError(w, http.StatusBadRequest, "bad body: %v", err)
+	if !decodeJSON(w, r, &body) {
 		return
 	}
 	if body.SetpointC < 5 || body.SetpointC > 30 {
@@ -304,8 +305,7 @@ func (s *Server) postContent(w http.ResponseWriter, r *http.Request) {
 		ID       uint64  `json:"id"`
 		Bytes    float64 `json:"bytes"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		httpError(w, http.StatusBadRequest, "bad body: %v", err)
+	if !decodeJSON(w, r, &body) {
 		return
 	}
 	if body.Building < 0 || body.Building >= len(s.city.Buildings) {
@@ -336,8 +336,7 @@ func (s *Server) postJob(w http.ResponseWriter, r *http.Request) {
 		Cluster   int       `json:"cluster"`
 		FrameWork []float64 `json:"frame_work_s"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		httpError(w, http.StatusBadRequest, "bad body: %v", err)
+	if !decodeJSON(w, r, &body) {
 		return
 	}
 	if body.Cluster < 0 || body.Cluster >= len(s.city.Buildings) {
@@ -376,8 +375,7 @@ func (s *Server) postEdge(w http.ResponseWriter, r *http.Request) {
 		Direct     bool    `json:"direct"`
 		InputBytes float64 `json:"input_bytes"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		httpError(w, http.StatusBadRequest, "bad body: %v", err)
+	if !decodeJSON(w, r, &body) {
 		return
 	}
 	if body.Building < 0 || body.Building >= len(s.city.Buildings) {
@@ -419,8 +417,7 @@ func (s *Server) postStep(w http.ResponseWriter, r *http.Request) {
 	var body struct {
 		Seconds float64 `json:"seconds"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		httpError(w, http.StatusBadRequest, "bad body: %v", err)
+	if !decodeJSON(w, r, &body) {
 		return
 	}
 	if body.Seconds <= 0 || body.Seconds > 366*24*3600 {

@@ -1,0 +1,73 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// Body caps enforced by the hardening wrapper. The streaming ingest
+// endpoint legitimately carries large NDJSON payloads; everything else is
+// a small control message.
+const (
+	maxBodyBytes       = 1 << 20  // 1 MiB
+	maxIngestBodyBytes = 64 << 20 // 64 MiB
+)
+
+// harden wraps a mux with the API-wide protections: request bodies are
+// capped (decodeJSON turns the cap into 413), and the mux's default
+// text/plain 404 and 405 error pages are rewritten as JSON bodies — the
+// 405's Allow header, which the mux computes from the registered method
+// patterns, is preserved.
+func harden(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			limit := int64(maxBodyBytes)
+			if r.URL.Path == "/v1/ingest" {
+				limit = maxIngestBodyBytes
+			}
+			r.Body = http.MaxBytesReader(w, r.Body, limit)
+		}
+		next.ServeHTTP(&jsonErrorWriter{ResponseWriter: w}, r)
+	})
+}
+
+// jsonErrorWriter intercepts non-JSON 404/405 responses (the mux's
+// defaults, written through http.Error as text/plain) and substitutes a
+// JSON error body. Handler-written JSON errors pass through untouched —
+// they set Content-Type before WriteHeader.
+type jsonErrorWriter struct {
+	http.ResponseWriter
+	intercepted bool
+	body        string
+}
+
+func (j *jsonErrorWriter) WriteHeader(code int) {
+	if code == http.StatusNotFound || code == http.StatusMethodNotAllowed {
+		ct := j.Header().Get("Content-Type")
+		if !strings.HasPrefix(ct, "application/json") {
+			j.intercepted = true
+			j.body = "not found"
+			if code == http.StatusMethodNotAllowed {
+				j.body = "method not allowed"
+			}
+			j.Header().Set("Content-Type", "application/json")
+		}
+	}
+	j.ResponseWriter.WriteHeader(code)
+}
+
+func (j *jsonErrorWriter) Write(p []byte) (int, error) {
+	if j.intercepted {
+		// Swallow the plain-text page; emit the JSON body exactly once.
+		if j.body != "" {
+			b, _ := json.Marshal(map[string]string{"error": j.body})
+			j.body = ""
+			if _, err := j.ResponseWriter.Write(append(b, '\n')); err != nil {
+				return 0, err
+			}
+		}
+		return len(p), nil
+	}
+	return j.ResponseWriter.Write(p)
+}

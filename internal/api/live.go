@@ -1,0 +1,471 @@
+package api
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"df3/internal/city"
+	"df3/internal/core"
+	"df3/internal/metrics"
+	"df3/internal/sim"
+)
+
+// LiveConfig parameterises a live serving session.
+type LiveConfig struct {
+	// Speed is simulated seconds per wall second (default 1: real time).
+	Speed float64
+	// MaxSlice bounds one paced slice in simulated seconds (default 1).
+	MaxSlice sim.Time
+	// Tick is the driver's wall poll interval (default 2 ms); it bounds
+	// ingest latency when the simulation is caught up with the wall.
+	Tick time.Duration
+	// IngestTimeout is the wall-clock bound a handler waits for its
+	// simulated outcome before answering 504 (default 30 s). The request
+	// stays in the simulation; only the HTTP wait gives up.
+	IngestTimeout time.Duration
+	// Horizon is the paced drive's simulated end (default one year).
+	Horizon sim.Time
+	// Admission bounds the ingest plane (see AdmissionConfig).
+	Admission AdmissionConfig
+	// ArrivalLog, when set, receives the NDJSON arrival log that makes
+	// the session replayable through ReplayArrivals.
+	ArrivalLog io.Writer
+	// Clock substitutes a virtual wall clock in tests (default real).
+	Clock sim.Clock
+}
+
+// Live runs a federation in paced real time behind an ingest plane:
+// admission control in front of a thread-safe injection queue, per-request
+// outcome callbacks answering HTTP clients, every arrival recorded for
+// byte-identical offline replay. One Live owns its federation's Driver.
+type Live struct {
+	fed   *city.Federation
+	cfg   LiveConfig
+	queue *sim.InjectQueue
+	paced *sim.Paced
+	adm   *admission
+	logw  *arrivalWriter
+	clock sim.Clock
+	reg   *metrics.Registry
+	done  chan struct{}
+
+	// requests[class][outcome] counts every ingest verdict.
+	requests map[string]map[string]*metrics.SharedCounter
+	wallHist map[string]*metrics.Histogram
+	simHist  map[string]*metrics.Histogram
+}
+
+// Ingest verdicts (the outcome label of df3_ingest_requests_total).
+const (
+	outcomeServed   = "served"   // edge request completed
+	outcomeRejected = "rejected" // edge request terminally rejected in-sim
+	outcomeDone     = "done"     // DCC job completed
+	outcomeLost     = "lost"     // DCC job lost past the retry budget
+	outcomeShed     = "shed"     // admission control refused it (429)
+	outcomeTimeout  = "timeout"  // outcome didn't settle within IngestTimeout (504)
+	outcomeClosed   = "closed"   // ingest plane shutting down (503)
+)
+
+var edgeOutcomes = []string{outcomeServed, outcomeRejected, outcomeShed, outcomeTimeout, outcomeClosed}
+var dccOutcomes = []string{outcomeDone, outcomeLost, outcomeShed, outcomeTimeout, outcomeClosed}
+
+// NewLive wires a live session around a built federation. The federation
+// must not be running; NewLive installs the paced driver.
+func NewLive(f *city.Federation, cfg LiveConfig) *Live {
+	if cfg.IngestTimeout <= 0 {
+		cfg.IngestTimeout = 30 * time.Second
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 365 * 24 * sim.Hour
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = sim.WallClock{}
+	}
+	l := &Live{
+		fed:   f,
+		cfg:   cfg,
+		queue: sim.NewInjectQueue(),
+		clock: clock,
+		done:  make(chan struct{}),
+	}
+	l.adm = newAdmission(cfg.Admission, l.queue.Len)
+	l.paced = &sim.Paced{
+		Speed:    cfg.Speed,
+		MaxSlice: cfg.MaxSlice,
+		Tick:     cfg.Tick,
+		Queue:    l.queue,
+		Clock:    cfg.Clock,
+	}
+	if cfg.ArrivalLog != nil {
+		l.logw = newArrivalWriter(cfg.ArrivalLog)
+		l.paced.OnAdvance = func(reached sim.Time) {
+			l.logw.write(ArrivalRecord{Kind: "advance", At: float64(reached)})
+		}
+	}
+	f.Driver = l.paced
+	l.registerMetrics()
+	return l
+}
+
+// registerMetrics adds the df3_ingest_* instruments to the federation's
+// registry. Shared counters and histograms are concurrency-safe; the
+// func-backed series read only the ingest plane's own thread-safe state.
+func (l *Live) registerMetrics() {
+	r := l.fed.Observability()
+	l.reg = r
+	l.requests = map[string]map[string]*metrics.SharedCounter{ClassEdge: {}, ClassDCC: {}}
+	for _, o := range edgeOutcomes {
+		l.requests[ClassEdge][o] = r.Counter("df3_ingest_requests_total",
+			"live ingest requests by class and outcome",
+			metrics.Labels{"class": ClassEdge, "outcome": o})
+	}
+	for _, o := range dccOutcomes {
+		l.requests[ClassDCC][o] = r.Counter("df3_ingest_requests_total",
+			"live ingest requests by class and outcome",
+			metrics.Labels{"class": ClassDCC, "outcome": o})
+	}
+	l.wallHist = map[string]*metrics.Histogram{}
+	l.simHist = map[string]*metrics.Histogram{}
+	for _, class := range []string{ClassEdge, ClassDCC} {
+		class := class
+		l.wallHist[class] = r.Histogram("df3_ingest_wall_seconds",
+			"wall-clock latency from ingest to settled outcome",
+			metrics.Labels{"class": class}, 0.5, 0.9, 0.99)
+		l.simHist[class] = r.Histogram("df3_ingest_sim_seconds",
+			"simulated latency of settled requests",
+			metrics.Labels{"class": class}, 0.5, 0.9, 0.99)
+		r.GaugeFunc("df3_ingest_inflight", "admitted requests awaiting their outcome",
+			metrics.Labels{"class": class},
+			func() float64 { return float64(l.adm.InFlight(class)) })
+	}
+	r.GaugeFunc("df3_ingest_queue_depth", "injections accepted but not yet drained",
+		nil, func() float64 { return float64(l.queue.Len()) })
+}
+
+// Start launches the paced drive on its own goroutine.
+func (l *Live) Start() {
+	go func() {
+		defer close(l.done)
+		l.fed.Run(l.cfg.Horizon)
+	}()
+}
+
+// Stop closes the ingest plane, halts the driver after its current slice,
+// waits for it, and flushes the arrival log. Idempotent.
+func (l *Live) Stop() error {
+	l.queue.Close()
+	l.paced.Stop()
+	<-l.done
+	if l.logw != nil {
+		return l.logw.Flush()
+	}
+	return nil
+}
+
+// Done reports driver completion (horizon reached or stopped).
+func (l *Live) Done() <-chan struct{} { return l.done }
+
+// Federation returns the driven federation (read it only via Sync while
+// the driver runs).
+func (l *Live) Federation() *city.Federation { return l.fed }
+
+// Sync runs fn quiescent at a slice boundary (see sim.Paced.Sync).
+func (l *Live) Sync(fn func()) { l.paced.Sync(fn) }
+
+// Registry returns the federation registry carrying the ingest series.
+func (l *Live) Registry() *metrics.Registry { return l.reg }
+
+// ingestResult is the per-request answer a live client gets back.
+type ingestResult struct {
+	Outcome   string  `json:"outcome"`
+	Escalated bool    `json:"escalated,omitempty"`
+	Attempts  int     `json:"attempts,omitempty"`
+	Tasks     int     `json:"tasks,omitempty"`
+	SimLatS   float64 `json:"sim_latency_s"`
+	WallMs    float64 `json:"wall_ms"`
+	Seq       uint64  `json:"seq,omitempty"`
+}
+
+// statusOf maps an ingest verdict to its HTTP status.
+func statusOf(outcome string) int {
+	switch outcome {
+	case outcomeShed:
+		return http.StatusTooManyRequests
+	case outcomeClosed:
+		return http.StatusServiceUnavailable
+	case outcomeTimeout:
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusOK
+	}
+}
+
+// ingest admits, injects and awaits one arrival. rec must already be
+// validated. Returns the settled (or shed/timed-out) result.
+func (l *Live) ingest(rec ArrivalRecord) ingestResult {
+	class := ClassEdge
+	if rec.Kind == "dcc" {
+		class = ClassDCC
+	}
+	if !l.adm.Admit(class) {
+		l.requests[class][outcomeShed].Inc()
+		return ingestResult{Outcome: outcomeShed}
+	}
+	start := l.clock.Now()
+	ch := make(chan ingestResult, 1)
+	onEdge := func(o core.EdgeOutcome) {
+		// Driver goroutine, engine quiescent. Release before reporting so
+		// a waiting spike slot frees at the simulated settle instant.
+		l.adm.Release(ClassEdge)
+		verdict := outcomeServed
+		if !o.Served {
+			verdict = outcomeRejected
+		}
+		l.requests[ClassEdge][verdict].Inc()
+		l.simHist[ClassEdge].Observe(float64(o.SimLatency))
+		ch <- ingestResult{
+			Outcome:   verdict,
+			Escalated: o.Escalated,
+			Attempts:  o.Attempts,
+			SimLatS:   float64(o.SimLatency),
+		}
+	}
+	onDCC := func(o core.DCCOutcome) {
+		l.adm.Release(ClassDCC)
+		verdict := outcomeDone
+		if !o.Done {
+			verdict = outcomeLost
+		}
+		l.requests[ClassDCC][verdict].Inc()
+		l.simHist[ClassDCC].Observe(float64(o.SimLatency))
+		ch <- ingestResult{
+			Outcome: verdict,
+			Tasks:   o.Tasks,
+			SimLatS: float64(o.SimLatency),
+		}
+	}
+	seq, ok := l.queue.Inject(func(seq uint64) {
+		rec.Seq = seq
+		rec.At = float64(l.fed.Now())
+		if l.logw != nil {
+			l.logw.write(rec)
+		}
+		applyArrival(l.fed, rec, onEdge, onDCC)
+	})
+	if !ok {
+		l.adm.Release(class)
+		l.requests[class][outcomeClosed].Inc()
+		return ingestResult{Outcome: outcomeClosed}
+	}
+	timer := time.NewTimer(l.cfg.IngestTimeout)
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		wall := l.clock.Now().Sub(start)
+		res.WallMs = wall.Seconds() * 1e3
+		res.Seq = seq
+		l.wallHist[class].Observe(wall.Seconds())
+		return res
+	case <-timer.C:
+		// The request stays in the simulation; its slot frees when the
+		// outcome eventually settles. Only the HTTP wait gives up.
+		l.requests[class][outcomeTimeout].Inc()
+		return ingestResult{Outcome: outcomeTimeout, Seq: seq}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// HTTP front end
+// ---------------------------------------------------------------------------
+
+// LiveServer is the HTTP face of a Live session: per-request ingest on
+// /v1/edge and /v1/dcc, streaming NDJSON ingest on /v1/ingest, and the
+// metrics surface, all behind the hardening wrapper.
+type LiveServer struct {
+	live    *Live
+	handler http.Handler
+}
+
+// NewLiveServer builds the live mux.
+func NewLiveServer(l *Live) *LiveServer {
+	s := &LiveServer{live: l}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/edge", s.postEdge)
+	mux.HandleFunc("POST /v1/dcc", s.postDCC)
+	mux.HandleFunc("POST /v1/ingest", s.postIngest)
+	mux.HandleFunc("GET /metrics", s.getPrometheus)
+	mux.HandleFunc("GET /v1/metrics", s.getSummary)
+	mux.HandleFunc("GET /healthz", s.getHealth)
+	s.handler = harden(mux)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *LiveServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.handler.ServeHTTP(w, r)
+}
+
+// postEdge ingests one edge request and answers with its real outcome.
+func (s *LiveServer) postEdge(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Tenant     uint64  `json:"tenant"`
+		WorkS      float64 `json:"work_s"`
+		DeadlineS  float64 `json:"deadline_s"`
+		InputBytes float64 `json:"input_bytes"`
+	}
+	if !decodeJSON(w, r, &body) {
+		return
+	}
+	rec := ArrivalRecord{
+		Kind: "edge", Tenant: body.Tenant, WorkS: body.WorkS,
+		DeadlineS: body.DeadlineS, InputBytes: body.InputBytes,
+	}
+	if err := validateArrival(&rec); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res := s.live.ingest(rec)
+	writeJSON(w, statusOf(res.Outcome), res)
+}
+
+// postDCC ingests one batch job and answers when its last task finishes.
+func (s *LiveServer) postDCC(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Tenant     uint64    `json:"tenant"`
+		FrameWorkS []float64 `json:"frame_work_s"`
+	}
+	if !decodeJSON(w, r, &body) {
+		return
+	}
+	rec := ArrivalRecord{Kind: "dcc", Tenant: body.Tenant, FrameWorkS: body.FrameWorkS}
+	if err := validateArrival(&rec); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res := s.live.ingest(rec)
+	writeJSON(w, statusOf(res.Outcome), res)
+}
+
+// postIngest consumes an NDJSON stream of arrivals (each line an edge or
+// dcc record) and streams back one NDJSON result per input line, tagged
+// with the line index. Lines ingest concurrently — results come back in
+// input order, each carrying its own verdict, so one shed line does not
+// fail the stream.
+func (s *LiveServer) postIngest(w http.ResponseWriter, r *http.Request) {
+	type lineResult struct {
+		Index int    `json:"index"`
+		Error string `json:"error,omitempty"`
+		ingestResult
+	}
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var (
+		wg      sync.WaitGroup
+		results []*lineResult
+	)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		idx := len(results)
+		lr := &lineResult{Index: idx}
+		results = append(results, lr)
+		var rec ArrivalRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			lr.Error = fmt.Sprintf("bad line: %v", err)
+			continue
+		}
+		if err := validateArrival(&rec); err != nil {
+			lr.Error = err.Error()
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lr.ingestResult = s.live.ingest(rec)
+		}()
+	}
+	scanErr := sc.Err()
+	wg.Wait()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for _, lr := range results {
+		_ = enc.Encode(lr)
+	}
+	if scanErr != nil {
+		_ = enc.Encode(map[string]string{"error": fmt.Sprintf("stream: %v", scanErr)})
+	}
+}
+
+// getPrometheus scrapes the registry quiescent at a slice boundary. The
+// exposition is rendered into memory under the driver mutex and copied to
+// the client outside it, so a slow scraper cannot stall the simulation.
+func (s *LiveServer) getPrometheus(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	var err error
+	s.live.Sync(func() { err = s.live.Registry().WritePrometheus(&buf) })
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "scrape: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(buf.Bytes())
+}
+
+// getSummary answers the federation's headline counters as JSON.
+func (s *LiveServer) getSummary(w http.ResponseWriter, r *http.Request) {
+	var sum city.Summary
+	var now sim.Time
+	s.live.Sync(func() {
+		sum = s.live.fed.Summarize()
+		now = s.live.fed.Now()
+	})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"sim_time_s":     float64(now),
+		"cities":         sum.Cities,
+		"edge_submitted": sum.EdgeSubmitted,
+		"edge_served":    sum.EdgeServed,
+		"jobs_submitted": sum.JobsSubmitted,
+		"jobs_done":      sum.JobsDone,
+		"jobs_lost":      sum.JobsLost,
+		"work_done_s":    sum.WorkDone,
+		"events_fired":   sum.EventsFired,
+	})
+}
+
+// getHealth is the liveness probe: 200 while the driver runs, 503 after
+// the horizon or Stop.
+func (s *LiveServer) getHealth(w http.ResponseWriter, r *http.Request) {
+	select {
+	case <-s.live.Done():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ok": false, "reason": "driver stopped"})
+	default:
+		var now sim.Time
+		s.live.Sync(func() { now = s.live.fed.Now() })
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "sim_time_s": float64(now)})
+	}
+}
+
+// decodeJSON parses a JSON body, answering 400 on malformed input and 413
+// when the hardening body cap truncated it.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	err := json.NewDecoder(r.Body).Decode(v)
+	if err == nil {
+		return true
+	}
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", mbe.Limit)
+		return false
+	}
+	httpError(w, http.StatusBadRequest, "bad body: %v", err)
+	return false
+}

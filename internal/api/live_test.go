@@ -1,0 +1,390 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"df3/internal/city"
+)
+
+// liveFederation builds the small two-city federation every live test
+// replays against. Identical configs build identical federations — the
+// precondition of the checksum comparisons.
+func liveFederation() *city.Federation {
+	cfg := city.DefaultConfig()
+	cfg.Buildings = 2
+	cfg.RoomsPerBuilding = 3
+	cfg.DatacenterNodes = 2
+	return city.BuildFederation(city.FederationConfig{
+		Seed: 7, Cities: 2, Shards: 2, City: cfg,
+	})
+}
+
+// newLiveRig boots a paced live session over an httptest server. Speed is
+// high so simulated outcomes settle in wall microseconds.
+func newLiveRig(t *testing.T, cfg LiveConfig) (*Live, *httptest.Server) {
+	t.Helper()
+	if cfg.Speed == 0 {
+		cfg.Speed = 20000
+	}
+	if cfg.MaxSlice == 0 {
+		cfg.MaxSlice = 50
+	}
+	if cfg.Tick == 0 {
+		cfg.Tick = 200 * time.Microsecond
+	}
+	l := NewLive(liveFederation(), cfg)
+	ts := httptest.NewServer(NewLiveServer(l))
+	t.Cleanup(ts.Close)
+	l.Start()
+	t.Cleanup(func() { _ = l.Stop() })
+	return l, ts
+}
+
+// TestLiveServesEdgeOutcome: a live edge request gets a real per-request
+// outcome with simulated and wall latency.
+func TestLiveServesEdgeOutcome(t *testing.T) {
+	_, ts := newLiveRig(t, LiveConfig{})
+	var res ingestResult
+	resp := postJSON(t, ts.URL+"/v1/edge",
+		map[string]any{"tenant": 3, "work_s": 0.05, "deadline_s": 1}, &res)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if res.Outcome != "served" {
+		t.Fatalf("outcome %q, want served", res.Outcome)
+	}
+	if res.SimLatS <= 0 {
+		t.Fatalf("sim latency %v, want > 0", res.SimLatS)
+	}
+}
+
+// TestLiveServesDCCOutcome: a live batch job answers when its last task
+// completes, reporting the task count and flow time.
+func TestLiveServesDCCOutcome(t *testing.T) {
+	_, ts := newLiveRig(t, LiveConfig{})
+	var res ingestResult
+	resp := postJSON(t, ts.URL+"/v1/dcc",
+		map[string]any{"tenant": 1, "frame_work_s": []float64{5, 10, 15}}, &res)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if res.Outcome != "done" || res.Tasks != 3 {
+		t.Fatalf("outcome %q tasks %d, want done/3", res.Outcome, res.Tasks)
+	}
+}
+
+// TestLiveRecordReplayChecksum is the serving plane's determinism
+// contract: a paced session's arrival log, replayed through the batch
+// driver against an identically built federation, reproduces a
+// byte-identical Federation.Checksum.
+func TestLiveRecordReplayChecksum(t *testing.T) {
+	var logBuf bytes.Buffer
+	l, ts := newLiveRig(t, LiveConfig{ArrivalLog: &logBuf})
+
+	// Concurrent live traffic: edge requests and batch jobs across
+	// tenants, all waited to settlement.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				tenant := g*100 + i
+				body, _ := json.Marshal(map[string]any{
+					"tenant": tenant, "work_s": 0.02 + float64(i)*0.01, "deadline_s": 2,
+				})
+				resp, err := http.Post(ts.URL+"/v1/edge", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Errorf("edge post: %v", err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			body, _ := json.Marshal(map[string]any{
+				"tenant": g, "frame_work_s": []float64{3, 6, 9},
+			})
+			resp, err := http.Post(ts.URL+"/v1/dcc", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Errorf("dcc post: %v", err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}()
+	}
+	wg.Wait()
+	if err := l.Stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	liveSum := l.Federation().Checksum()
+	served := l.Federation().Summarize().EdgeServed
+	if served == 0 {
+		t.Fatal("live session served nothing; test is vacuous")
+	}
+
+	replay := liveFederation()
+	if err := ReplayArrivals(replay, bytes.NewReader(logBuf.Bytes())); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if got := replay.Checksum(); got != liveSum {
+		t.Fatalf("replay checksum %#x != live %#x (served live %d, replay %d)",
+			got, liveSum, served, replay.Summarize().EdgeServed)
+	}
+}
+
+// TestLiveAdmissionSheds: past the in-flight limit the ingest plane
+// answers 429 and counts the shed — the load-shedding acceptance gate.
+func TestLiveAdmissionSheds(t *testing.T) {
+	// A glacial driver: outcomes never settle during the test, so every
+	// admitted request occupies its slot.
+	l, ts := newLiveRig(t, LiveConfig{
+		Speed: 1e-9, MaxSlice: 1, Tick: time.Millisecond,
+		IngestTimeout: 50 * time.Millisecond,
+		Admission:     AdmissionConfig{MaxInFlightEdge: 2},
+	})
+	var mu sync.Mutex
+	codes := map[int]int{}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, _ := json.Marshal(map[string]any{"tenant": i, "work_s": 0.5})
+			resp, err := http.Post(ts.URL+"/v1/edge", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Errorf("post: %v", err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			mu.Lock()
+			codes[resp.StatusCode]++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if codes[http.StatusTooManyRequests] == 0 {
+		t.Fatalf("no 429s under spike: %v", codes)
+	}
+	if got := l.requests[ClassEdge][outcomeShed].Value(); got == 0 {
+		t.Fatal("shed counter stayed zero")
+	}
+}
+
+// TestLiveNDJSONIngest: the streaming endpoint answers one result per
+// input line, in input order, and a malformed line fails alone.
+func TestLiveNDJSONIngest(t *testing.T) {
+	_, ts := newLiveRig(t, LiveConfig{})
+	stream := strings.Join([]string{
+		`{"kind":"edge","tenant":1,"work_s":0.02}`,
+		`not json`,
+		`{"kind":"dcc","tenant":2,"frame_work_s":[2,4]}`,
+		`{"kind":"edge","tenant":3,"work_s":-1}`,
+	}, "\n")
+	resp, err := http.Post(ts.URL+"/v1/ingest", "application/x-ndjson", strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var lines []struct {
+		Index   int    `json:"index"`
+		Error   string `json:"error"`
+		Outcome string `json:"outcome"`
+		Tasks   int    `json:"tasks"`
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var ln struct {
+			Index   int    `json:"index"`
+			Error   string `json:"error"`
+			Outcome string `json:"outcome"`
+			Tasks   int    `json:"tasks"`
+		}
+		if err := dec.Decode(&ln); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, ln)
+	}
+	if len(lines) != 4 {
+		t.Fatalf("got %d result lines, want 4", len(lines))
+	}
+	for i, ln := range lines {
+		if ln.Index != i {
+			t.Fatalf("line %d carries index %d: results out of input order", i, ln.Index)
+		}
+	}
+	if lines[0].Outcome != "served" {
+		t.Errorf("line 0 outcome %q, want served", lines[0].Outcome)
+	}
+	if lines[1].Error == "" || lines[3].Error == "" {
+		t.Errorf("malformed lines 1/3 carry no error: %+v", lines)
+	}
+	if lines[2].Outcome != "done" || lines[2].Tasks != 2 {
+		t.Errorf("line 2 = %+v, want done with 2 tasks", lines[2])
+	}
+}
+
+// TestLiveMetricsExposed: the scrape carries the df3_ingest_* series with
+// real counts after traffic.
+func TestLiveMetricsExposed(t *testing.T) {
+	_, ts := newLiveRig(t, LiveConfig{})
+	var res ingestResult
+	postJSON(t, ts.URL+"/v1/edge", map[string]any{"tenant": 0, "work_s": 0.02}, &res)
+	if res.Outcome != "served" {
+		t.Fatalf("outcome %q, want served", res.Outcome)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, want := range []string{
+		`df3_ingest_requests_total{class="edge",outcome="served"} 1`,
+		"df3_ingest_wall_seconds",
+		"df3_ingest_sim_seconds",
+		"df3_ingest_queue_depth",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+}
+
+// TestLiveConcurrentIngestAndScrape is the -race exercise: handler
+// goroutines inject and scrape while the driver runs slices.
+func TestLiveConcurrentIngestAndScrape(t *testing.T) {
+	_, ts := newLiveRig(t, LiveConfig{})
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if g == 0 {
+					resp, err := http.Get(ts.URL + "/metrics")
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+					continue
+				}
+				body, _ := json.Marshal(map[string]any{"tenant": g*50 + i, "work_s": 0.01})
+				resp, err := http.Post(ts.URL+"/v1/edge", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Errorf("post: %v", err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestLiveHealth: healthz flips 200 → 503 across Stop.
+func TestLiveHealth(t *testing.T) {
+	l, ts := newLiveRig(t, LiveConfig{})
+	if resp := getJSON(t, ts.URL+"/healthz", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz %d while running, want 200", resp.StatusCode)
+	}
+	if err := l.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if resp := getJSON(t, ts.URL+"/healthz", nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz %d after stop, want 503", resp.StatusCode)
+	}
+}
+
+// TestHardening table-tests the API-wide error surface on both servers:
+// JSON 404s, 405s that keep the mux's Allow header, and the body cap.
+func TestHardening(t *testing.T) {
+	_, batch, _ := newTestServer(t)
+	_, live := newLiveRig(t, LiveConfig{})
+	_ = batch
+
+	huge := fmt.Sprintf(`{"tenant":1,"work_s":0.1,"pad":%q}`, strings.Repeat("x", maxBodyBytes+1024))
+	cases := []struct {
+		name, method, url, body string
+		wantStatus              int
+		wantAllow               string // substring of the Allow header, "" = don't care
+	}{
+		{"live unknown route", "GET", live.URL + "/nope", "", http.StatusNotFound, ""},
+		{"live wrong method", "GET", live.URL + "/v1/edge", "", http.StatusMethodNotAllowed, "POST"},
+		{"live body too large", "POST", live.URL + "/v1/edge", huge, http.StatusRequestEntityTooLarge, ""},
+		{"live bad json", "POST", live.URL + "/v1/edge", "{", http.StatusBadRequest, ""},
+		{"live missing work", "POST", live.URL + "/v1/edge", `{"tenant":1}`, http.StatusBadRequest, ""},
+		{"live bad dcc", "POST", live.URL + "/v1/dcc", `{"tenant":1,"frame_work_s":[]}`, http.StatusBadRequest, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, tc.url, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.wantStatus)
+			}
+			if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+				t.Fatalf("Content-Type %q, want application/json", ct)
+			}
+			var body map[string]any
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+				t.Fatalf("error body is not JSON: %v", err)
+			}
+			if _, ok := body["error"]; !ok {
+				t.Fatalf("error body %v carries no error field", body)
+			}
+			if tc.wantAllow != "" && !strings.Contains(resp.Header.Get("Allow"), tc.wantAllow) {
+				t.Fatalf("Allow header %q does not mention %s", resp.Header.Get("Allow"), tc.wantAllow)
+			}
+		})
+	}
+}
+
+// TestHardeningBatchServer: the city control plane gets the same error
+// surface as the live plane.
+func TestHardeningBatchServer(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	resp := getJSON(t, ts.URL+"/no/such/route", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("404 Content-Type %q, want JSON", ct)
+	}
+	req, _ := http.NewRequest("DELETE", ts.URL+"/v1/jobs", nil)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status %d, want 405", resp2.StatusCode)
+	}
+	if allow := resp2.Header.Get("Allow"); !strings.Contains(allow, "POST") {
+		t.Fatalf("Allow %q does not offer POST", allow)
+	}
+}

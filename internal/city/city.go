@@ -188,6 +188,11 @@ type City struct {
 	// links, severed nodes).
 	MessagesLost metrics.Counter
 
+	// Driver advances the scenario's clock in Run. The default is the
+	// batch run-to-completion driver; serving deployments install a
+	// sim.Paced driver to couple the engine to the wall clock.
+	Driver sim.Driver
+
 	stream *rng.Stream
 	faults *rng.Stream
 	// registry is the lazily built Observability() metrics registry.
@@ -547,8 +552,18 @@ func (c *City) armGatewayFaults() {
 	}
 }
 
-// Run advances the scenario to `until`.
-func (c *City) Run(until sim.Time) { c.Engine.Run(until) }
+// Now returns the scenario's current simulated time.
+func (c *City) Now() sim.Time { return c.Engine.Now() }
+
+// Run advances the scenario to `until` under the installed driver (batch
+// run-to-completion when none is set).
+func (c *City) Run(until sim.Time) {
+	d := c.Driver
+	if d == nil {
+		d = sim.Batch{}
+	}
+	d.Drive(c.Engine, until)
+}
 
 // Rooms yields every room in the city.
 func (c *City) Rooms() []*Room {

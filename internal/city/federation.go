@@ -46,6 +46,10 @@ type Federation struct {
 	Kernel   *shard.Kernel
 	Backbone *network.Backbone
 	Cities   []*City
+	// Driver advances the kernel's clock in Run (batch when nil). A
+	// sim.Paced driver here runs the whole sharded federation in real
+	// time, draining external injections at slice boundaries.
+	Driver sim.Driver
 
 	lps []*shard.LP
 	// exported/imported count inter-city jobs per city; slot i is only
@@ -162,8 +166,18 @@ func (f *Federation) submitRemote(srcCity, dstCity int, job workload.BatchJob) {
 	})
 }
 
-// Run advances the whole federation to `until` under the sharded kernel.
-func (f *Federation) Run(until sim.Time) { f.Kernel.Run(until) }
+// Now returns the federation's global clock (see shard.Kernel.Now).
+func (f *Federation) Now() sim.Time { return f.Kernel.Now() }
+
+// Run advances the whole federation to `until` under the sharded kernel,
+// through the installed driver (batch run-to-completion when none is set).
+func (f *Federation) Run(until sim.Time) {
+	d := f.Driver
+	if d == nil {
+		d = sim.Batch{}
+	}
+	d.Drive(f.Kernel, until)
+}
 
 // EnableTracing gives every city its own span recorder (recorders are not
 // concurrency-safe, and cities on different shards trace concurrently),

@@ -227,6 +227,34 @@ func (s *DCCStats) Throughput(elapsed sim.Time) float64 {
 	return s.WorkDone / elapsed
 }
 
+// EdgeOutcome is the terminal fate of one edge request, reported to the
+// submitter's callback — what a serving front end answers a real client
+// with. Exactly one outcome fires per request (terminal transitions are
+// idempotent), at the simulated instant the request settled.
+type EdgeOutcome struct {
+	// Served reports completion; false means terminally rejected (policy,
+	// expiry, unreachability or retry-budget exhaustion).
+	Served bool
+	// Escalated reports that the request climbed the retry/escalation
+	// ladder (timed out or was lost at least once) before settling.
+	Escalated bool
+	// Attempts is the number of timeouts and wire losses consumed.
+	Attempts int
+	// SimLatency is terminal time minus first platform arrival.
+	SimLatency sim.Time
+}
+
+// DCCOutcome is the terminal fate of one batch job.
+type DCCOutcome struct {
+	// Done reports completion; false means the job was lost (its payload
+	// never reached a gateway within the retry budget).
+	Done bool
+	// Tasks is the number of tasks the job carried.
+	Tasks int
+	// SimLatency is the job flow time (completion minus arrival).
+	SimLatency sim.Time
+}
+
 // edgeReq is the in-flight state of one edge request.
 type edgeReq struct {
 	id       uint64
@@ -252,6 +280,10 @@ type edgeReq struct {
 	attempts int
 	// timer is the armed response timeout, cancelled on terminal.
 	timer *sim.Event
+	// notify, when set, receives the request's terminal outcome — the
+	// serving path's per-request answer. Pure observation: it must not
+	// mutate middleware state.
+	notify func(EdgeOutcome)
 	// span is the request's root trace span (0 when tracing is off), qspan
 	// the currently open queue-wait child and cspan the currently open
 	// compute child — kept on the request so abort paths (worker failure,
@@ -265,9 +297,13 @@ type dccJob struct {
 	arrival sim.Time
 	ideal   float64 // critical path in core-seconds at full speed
 	pending int
+	tasks   int
 	cluster *Cluster
 	onDone  func(at sim.Time)
-	span    trace.SpanID // root job span (0 when tracing is off)
+	// result, when set, receives the job's terminal outcome (done or
+	// lost) — the serving path's per-job answer. Pure observation.
+	result func(DCCOutcome)
+	span   trace.SpanID // root job span (0 when tracing is off)
 }
 
 // dccTraceBit offsets DCC job ids into their own trace-id space so job

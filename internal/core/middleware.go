@@ -64,6 +64,12 @@ func (mw *Middleware) completeEdge(req *edgeReq) {
 		})
 	}
 	mw.closeReqSpans(req, "served")
+	if req.notify != nil {
+		req.notify(EdgeOutcome{
+			Served: true, Escalated: req.attempts > 0,
+			Attempts: req.attempts, SimLatency: latency,
+		})
+	}
 }
 
 // closeReqSpans ends the queue-wait child (a stale queued copy never runs)
@@ -96,6 +102,12 @@ func (mw *Middleware) rejectEdge(req *edgeReq) {
 		mw.Tracer.Add(mw.Engine.Now(), "edge_rejected", req.id, 0)
 	}
 	mw.closeReqSpans(req, "rejected")
+	if req.notify != nil {
+		req.notify(EdgeOutcome{
+			Escalated: req.attempts > 0, Attempts: req.attempts,
+			SimLatency: mw.Engine.Now() - req.arrival,
+		})
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -319,6 +331,15 @@ func (mw *Middleware) dcLatency(c *Cluster) sim.Time {
 // sends it to the cluster's edge gateway, which decides per the offload
 // policy. This is the paper's recommended (more secure) path.
 func (mw *Middleware) SubmitEdge(c *Cluster, device network.NodeID, r workload.EdgeRequest) {
+	mw.SubmitEdgeOutcome(c, device, r, nil)
+}
+
+// SubmitEdgeOutcome is SubmitEdge with a terminal-outcome callback: notify
+// fires exactly once, at the simulated instant the request settles (served
+// or rejected). A nil notify makes it identical to SubmitEdge — the
+// callback is pure observation and must not mutate middleware state. The
+// serving front end (internal/api live mode) answers HTTP clients with it.
+func (mw *Middleware) SubmitEdgeOutcome(c *Cluster, device network.NodeID, r workload.EdgeRequest, notify func(EdgeOutcome)) {
 	mw.nextReqID++
 	req := &edgeReq{
 		id:      mw.nextReqID,
@@ -329,6 +350,7 @@ func (mw *Middleware) SubmitEdge(c *Cluster, device network.NodeID, r workload.E
 		output:  r.Output,
 		arrival: mw.Engine.Now(),
 		home:    c,
+		notify:  notify,
 	}
 	if r.Deadline > 0 {
 		req.deadline = mw.Engine.Now() + r.Deadline
@@ -621,13 +643,28 @@ func (mw *Middleware) SubmitDCC(c *Cluster, operator network.NodeID, job workloa
 // SubmitDCCNotify is SubmitDCC with a completion callback, for workloads
 // with job-level deadlines (e.g. the overnight finance batches).
 func (mw *Middleware) SubmitDCCNotify(c *Cluster, operator network.NodeID, job workload.BatchJob, onDone func(at sim.Time)) {
+	mw.submitDCC(c, operator, job, onDone, nil)
+}
+
+// SubmitDCCOutcome is SubmitDCC with a terminal-outcome callback: result
+// fires exactly once, when the job completes or is lost past the retry
+// budget. A nil result makes it identical to SubmitDCC; an empty job
+// reports immediately as done with zero tasks. Pure observation, like
+// SubmitEdgeOutcome.
+func (mw *Middleware) SubmitDCCOutcome(c *Cluster, operator network.NodeID, job workload.BatchJob, result func(DCCOutcome)) {
+	mw.submitDCC(c, operator, job, nil, result)
+}
+
+func (mw *Middleware) submitDCC(c *Cluster, operator network.NodeID, job workload.BatchJob, onDone func(at sim.Time), result func(DCCOutcome)) {
 	mw.nextJobID++
 	j := &dccJob{
 		id:      mw.nextJobID,
 		arrival: mw.Engine.Now(),
 		pending: len(job.TaskWork),
+		tasks:   len(job.TaskWork),
 		cluster: c,
 		onDone:  onDone,
+		result:  result,
 	}
 	for _, w := range job.TaskWork {
 		if w > j.ideal {
@@ -635,6 +672,9 @@ func (mw *Middleware) SubmitDCCNotify(c *Cluster, operator network.NodeID, job w
 		}
 	}
 	if j.pending == 0 {
+		if j.result != nil {
+			j.result(DCCOutcome{Done: true})
+		}
 		return
 	}
 	mw.DCC.JobsSubmitted.Inc()
@@ -664,6 +704,9 @@ func (mw *Middleware) SubmitDCCNotify(c *Cluster, operator network.NodeID, job w
 		}
 		if j.onDone != nil {
 			j.onDone(mw.Engine.Now())
+		}
+		if j.result != nil {
+			j.result(DCCOutcome{Tasks: j.tasks, SimLatency: mw.Engine.Now() - j.arrival})
 		}
 	}
 	var attempt func(n int)
@@ -714,6 +757,9 @@ func (mw *Middleware) dccTaskDone(j *dccJob, work float64) {
 		}
 		if j.onDone != nil {
 			j.onDone(mw.Engine.Now())
+		}
+		if j.result != nil {
+			j.result(DCCOutcome{Done: true, Tasks: j.tasks, SimLatency: flow})
 		}
 	}
 }

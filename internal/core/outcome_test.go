@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+
+	"df3/internal/offload"
+	"df3/internal/sim"
+	"df3/internal/workload"
+)
+
+// TestEdgeOutcomeServed: a served request reports exactly one outcome with
+// the same latency the platform ledger recorded.
+func TestEdgeOutcomeServed(t *testing.T) {
+	r := newRig(t, DefaultConfig(), 1, 2)
+	c := r.mw.Clusters()[0]
+	var got []EdgeOutcome
+	r.mw.SubmitEdgeOutcome(c, r.devices[0], edgeReqOf(0.05, 0.5), func(o EdgeOutcome) {
+		got = append(got, o)
+	})
+	r.e.Run(10)
+	if len(got) != 1 {
+		t.Fatalf("outcome fired %d times, want exactly once", len(got))
+	}
+	o := got[0]
+	if !o.Served || o.Escalated || o.Attempts != 0 {
+		t.Fatalf("outcome = %+v, want served without escalation", o)
+	}
+	if o.SimLatency <= 0 {
+		t.Fatalf("SimLatency = %v, want > 0", o.SimLatency)
+	}
+	if want := r.mw.Edge.Latency.Mean(); o.SimLatency != want {
+		t.Fatalf("SimLatency = %v, ledger mean = %v (single request: must match)", o.SimLatency, want)
+	}
+}
+
+// TestEdgeOutcomeRejected: a policy rejection reports Served=false.
+func TestEdgeOutcomeRejected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Offload = offload.RejectPolicy{}
+	r := newRig(t, cfg, 1, 1)
+	c := r.mw.Clusters()[0]
+	// Saturate the single worker so the reject policy fires.
+	long := make([]float64, 64)
+	for i := range long {
+		long[i] = 5000
+	}
+	r.mw.SubmitDCC(c, r.op, workload.BatchJob{ID: 1, TaskWork: long, Input: 1e6, Output: 1e6})
+	r.e.Run(5)
+	var got []EdgeOutcome
+	r.mw.SubmitEdgeOutcome(c, r.devices[0], edgeReqOf(0.05, 0.5), func(o EdgeOutcome) {
+		got = append(got, o)
+	})
+	r.e.Run(sim.Hour)
+	if len(got) != 1 {
+		t.Fatalf("outcome fired %d times, want exactly once", len(got))
+	}
+	if got[0].Served {
+		t.Fatalf("outcome = %+v, want rejected", got[0])
+	}
+}
+
+// TestEdgeOutcomeConservation: with outcome callbacks on every request,
+// callbacks fired == Served + Rejected — the serving plane sees exactly
+// what the ledger sees.
+func TestEdgeOutcomeConservation(t *testing.T) {
+	r := newRig(t, DefaultConfig(), 2, 1)
+	var served, rejected, escalated int
+	const n = 50
+	for i := 0; i < n; i++ {
+		i := i
+		cl := r.mw.Clusters()[i%2]
+		dev := r.devices[i%2]
+		r.e.At(sim.Time(i)*0.05, func() {
+			r.mw.SubmitEdgeOutcome(cl, dev, edgeReqOf(0.2, 1), func(o EdgeOutcome) {
+				if o.Served {
+					served++
+				} else {
+					rejected++
+				}
+				if o.Escalated {
+					escalated++
+				}
+			})
+		})
+	}
+	r.e.Run(sim.Hour)
+	if int64(served) != r.mw.Edge.Served.Value() || int64(rejected) != r.mw.Edge.Rejected.Value() {
+		t.Fatalf("callbacks saw %d served / %d rejected, ledger has %d / %d",
+			served, rejected, r.mw.Edge.Served.Value(), r.mw.Edge.Rejected.Value())
+	}
+	if served+rejected != n {
+		t.Fatalf("callbacks fired %d times for %d requests", served+rejected, n)
+	}
+}
+
+// TestDCCOutcomeDone: a completed job reports task count and flow time.
+func TestDCCOutcomeDone(t *testing.T) {
+	r := newRig(t, DefaultConfig(), 1, 2)
+	c := r.mw.Clusters()[0]
+	var got []DCCOutcome
+	r.mw.SubmitDCCOutcome(c, r.op, workload.BatchJob{
+		ID: 1, TaskWork: []float64{10, 20, 30}, Input: 1e6, Output: 1e6,
+	}, func(o DCCOutcome) { got = append(got, o) })
+	r.e.Run(sim.Hour)
+	if len(got) != 1 {
+		t.Fatalf("outcome fired %d times, want exactly once", len(got))
+	}
+	o := got[0]
+	if !o.Done || o.Tasks != 3 || o.SimLatency <= 0 {
+		t.Fatalf("outcome = %+v, want done with 3 tasks and positive latency", o)
+	}
+	if r.mw.DCC.JobsDone.Value() != 1 {
+		t.Fatalf("JobsDone = %d, want 1", r.mw.DCC.JobsDone.Value())
+	}
+}
+
+// TestDCCOutcomeEmptyJob: an empty job settles immediately instead of
+// leaving the caller hanging.
+func TestDCCOutcomeEmptyJob(t *testing.T) {
+	r := newRig(t, DefaultConfig(), 1, 1)
+	c := r.mw.Clusters()[0]
+	var got []DCCOutcome
+	r.mw.SubmitDCCOutcome(c, r.op, workload.BatchJob{ID: 9}, func(o DCCOutcome) { got = append(got, o) })
+	if len(got) != 1 || !got[0].Done || got[0].Tasks != 0 {
+		t.Fatalf("empty job outcome = %v, want immediate done with 0 tasks", got)
+	}
+}
+
+// TestOutcomeNilCallbackUnchanged: submissions through the outcome API
+// with a nil callback behave byte-identically to the plain API — the
+// bench's determinism contract depends on it.
+func TestOutcomeNilCallbackUnchanged(t *testing.T) {
+	run := func(withOutcomeAPI bool) (int64, int64, float64) {
+		r := newRig(t, DefaultConfig(), 1, 2)
+		c := r.mw.Clusters()[0]
+		for i := 0; i < 20; i++ {
+			i := i
+			r.e.At(sim.Time(i)*0.1, func() {
+				if withOutcomeAPI {
+					r.mw.SubmitEdgeOutcome(c, r.devices[0], edgeReqOf(0.1, 1), nil)
+				} else {
+					r.mw.SubmitEdge(c, r.devices[0], edgeReqOf(0.1, 1))
+				}
+			})
+		}
+		r.e.Run(sim.Hour)
+		return r.mw.Edge.Served.Value(), r.mw.Edge.Rejected.Value(), r.mw.Edge.Latency.Mean()
+	}
+	s1, r1, m1 := run(false)
+	s2, r2, m2 := run(true)
+	if s1 != s2 || r1 != r2 || m1 != m2 {
+		t.Fatalf("nil-callback outcome API diverged: (%d,%d,%v) vs (%d,%d,%v)", s1, r1, m1, s2, r2, m2)
+	}
+}

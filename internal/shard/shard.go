@@ -148,6 +148,13 @@ func NewKernel(shards int, lookahead sim.Time) *Kernel {
 // Shards returns the worker count.
 func (k *Kernel) Shards() int { return k.shards }
 
+// Now returns the kernel's global clock: the end of the last completed
+// window (every LP has reached at least this time, clamped to its own
+// horizon). With Engine.NextEventTime-shaped Run semantics it makes the
+// kernel a sim.Target, so drivers can pace a whole federation the same
+// way they pace one engine.
+func (k *Kernel) Now() sim.Time { return k.now }
+
 // Lookahead returns the kernel's lookahead (Infinite for independent LPs).
 func (k *Kernel) Lookahead() sim.Time { return k.lookahead }
 
