@@ -1,0 +1,169 @@
+// Long-running federation batch mode: -longrun executes a multi-day
+// federation sweep as one resumable job. With -checkpoint-every /
+// -checkpoint-dir the run seals periodic snapshots; -resume picks the run
+// back up from a snapshot file, rebuilds the federation from the sealed
+// recipe, fast-forwards to the captured sim time, proves bit-for-bit
+// equivalence (checkpoint.Verify), and continues to the original horizon.
+// The final checksum line is identical whether the run was interrupted
+// zero, one or many times.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"df3/internal/checkpoint"
+	"df3/internal/city"
+	"df3/internal/network"
+	"df3/internal/sim"
+)
+
+// runLongrunMode is the -longrun / -resume entry point.
+func runLongrunMode(cfg benchConfig, seed uint64) {
+	progress := func(line string) { fmt.Println(line) }
+	var sum uint64
+	var err error
+	if cfg.resume != "" {
+		sum, err = runResume(cfg.resume, cfg.checkpointDir, progress)
+	} else {
+		r := longrunRecipe{
+			Seed: seed, Cities: cfg.cities, Shards: cfg.shards,
+			HorizonDays: cfg.longrun, CheckpointDays: cfg.checkpointEvery,
+		}
+		fmt.Printf("df3bench: longrun %g days, %d cities × %d shards, seed %d\n",
+			r.HorizonDays, r.Cities, r.Shards, r.Seed)
+		sum, err = runLongrun(r, cfg.checkpointDir, progress)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "df3bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("# df3bench federation checksum: 0x%016x\n", sum)
+}
+
+// longrunRecipe is the build recipe a longrun checkpoint seals: every
+// input that shapes the simulation. A resume rebuilds from the sealed
+// copy, never from flags, so a resumed run cannot silently fork history.
+//
+// CheckpointDays is part of the recipe because segment boundaries are
+// simulation inputs: pausing Run at a boundary leaves a fingerprint in
+// the pending-event heap, so a resume must replay the exact boundary
+// sequence the original cut to verify bit-for-bit.
+type longrunRecipe struct {
+	Seed           uint64  `json:"seed"`
+	Cities         int     `json:"cities"`
+	Shards         int     `json:"shards"`
+	HorizonDays    float64 `json:"horizon_days"`
+	CheckpointDays float64 `json:"checkpoint_days,omitempty"`
+}
+
+func (r longrunRecipe) marshal() []byte {
+	b, err := json.Marshal(r)
+	if err != nil {
+		panic(err) // a struct of scalars cannot fail to marshal
+	}
+	return b
+}
+
+// buildLongrun constructs and arms the longrun federation: the E19 city
+// template (small homogeneous cities) under steady edge traffic plus
+// inter-city batch offload across the backbone — enough cross-shard
+// coupling to make the resumed-equivalence claim non-trivial.
+func buildLongrun(r longrunRecipe) *city.Federation {
+	ccfg := city.DefaultConfig()
+	ccfg.Buildings = 2
+	ccfg.RoomsPerBuilding = 4
+	ccfg.DatacenterNodes = 2
+	backbone := network.DefaultBackbone()
+	backbone.Staging = 120
+	f := city.BuildFederation(city.FederationConfig{
+		Seed: r.Seed, Cities: r.Cities, Shards: r.Shards, City: ccfg,
+		Backbone: backbone,
+	})
+	horizon := sim.Time(r.HorizonDays * sim.Day)
+	f.StartEdgeTraffic(horizon, 0.5)
+	f.StartInterCityDCC(horizon, 2)
+	return f
+}
+
+// runLongrun executes the whole horizon, pausing at every CheckpointDays
+// boundary and writing a durable snapshot there when dir is set. Returns
+// the final federation checksum.
+func runLongrun(r longrunRecipe, dir string, progress func(string)) (uint64, error) {
+	f := buildLongrun(r)
+	horizon := sim.Time(r.HorizonDays * sim.Day)
+	if err := runSegments(f, r, 0, horizon, dir, progress); err != nil {
+		return 0, err
+	}
+	return f.Checksum(), nil
+}
+
+// runResume restores a longrun from a checkpoint file: rebuild from the
+// sealed recipe, fast-forward through the same segment boundaries the
+// original cut, verify equivalence, then continue to the sealed horizon
+// (writing further checkpoints when dir is set).
+func runResume(path string, dir string, progress func(string)) (uint64, error) {
+	snap, err := checkpoint.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var r longrunRecipe
+	if err := json.Unmarshal(snap.Config, &r); err != nil {
+		return 0, fmt.Errorf("%s: sealed recipe is not a longrun recipe: %w", path, err)
+	}
+	f := buildLongrun(r)
+	progress(fmt.Sprintf("df3bench: resuming %d cities × %d shards from %s (sim day %.2f of %g)",
+		r.Cities, r.Shards, path, float64(snap.Meta.SimTime)/sim.Day, r.HorizonDays))
+	for _, t := range boundaries(r, 0, snap.Meta.SimTime) {
+		f.Run(t)
+	}
+	f.Run(snap.Meta.SimTime)
+	if err := checkpoint.Verify(f, snap, r.marshal()); err != nil {
+		return 0, fmt.Errorf("resume diverged from checkpoint: %w", err)
+	}
+	progress("df3bench: checkpoint verified bit-for-bit, continuing")
+	if err := runSegments(f, r, snap.Meta.SimTime, snap.Meta.Horizon, dir, progress); err != nil {
+		return 0, err
+	}
+	return f.Checksum(), nil
+}
+
+// boundaries lists the segment cut points in (from, to): the multiples of
+// the sealed cadence. Boundaries are absolute sim times, so an
+// interrupted run and its resume pause Run at identical instants — the
+// precondition for the pending-event heap to match at Verify.
+func boundaries(r longrunRecipe, from, to sim.Time) []sim.Time {
+	if r.CheckpointDays <= 0 {
+		return nil
+	}
+	every := sim.Time(r.CheckpointDays * sim.Day)
+	var cuts []sim.Time
+	for n := int(from/every) + 1; ; n++ {
+		t := sim.Time(n) * every
+		if t >= to {
+			return cuts
+		}
+		cuts = append(cuts, t)
+	}
+}
+
+// runSegments advances f from its current position to horizon, pausing at
+// every sealed cadence boundary and snapshotting there when dir is set.
+func runSegments(f *city.Federation, r longrunRecipe, from, horizon sim.Time, dir string, progress func(string)) error {
+	for _, t := range boundaries(r, from, horizon) {
+		f.Run(t)
+		if dir == "" {
+			continue
+		}
+		snap := checkpoint.Capture(f, checkpoint.Meta{Horizon: horizon}, r.marshal())
+		path, err := checkpoint.WriteAtomic(dir, snap)
+		if err != nil {
+			return fmt.Errorf("checkpoint at sim day %.2f: %w", float64(t)/sim.Day, err)
+		}
+		progress(fmt.Sprintf("df3bench: checkpoint %s (sim day %.2f, checksum 0x%016x)",
+			path, float64(t)/sim.Day, snap.Meta.Checksum))
+	}
+	f.Run(horizon)
+	return nil
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"df3/internal/checkpoint"
+)
+
+// discard swallows progress lines in tests.
+func discard(string) {}
+
+// TestLongrunResumeEquivalence is the resumable-batch contract: a run
+// interrupted at a checkpoint and resumed from disk reaches the same
+// final checksum as the uninterrupted run — and the resume path itself
+// proves bit-for-bit equivalence at the restore point via Verify.
+func TestLongrunResumeEquivalence(t *testing.T) {
+	r := longrunRecipe{Seed: 11, Cities: 3, Shards: 2, HorizonDays: 0.5}
+	dir := t.TempDir()
+
+	uninterrupted, err := runLongrun(r, "", discard)
+	if err != nil {
+		t.Fatalf("uninterrupted run: %v", err)
+	}
+
+	// Same run with a checkpoint cadence: the cadence must not perturb
+	// the observable simulation (pauses fingerprint the pending heap, but
+	// never the checksum).
+	rc := r
+	rc.CheckpointDays = 0.1
+	checkpointed, err := runLongrun(rc, dir, discard)
+	if err != nil {
+		t.Fatalf("checkpointed run: %v", err)
+	}
+	if checkpointed != uninterrupted {
+		t.Fatalf("checkpoint cadence changed the run: 0x%016x vs 0x%016x", checkpointed, uninterrupted)
+	}
+
+	snap, _, skipped, err := checkpoint.Latest(dir)
+	if err != nil {
+		t.Fatalf("Latest: %v", err)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("skipped checkpoints: %v", skipped)
+	}
+	if snap.Meta.SimTime <= 0 || snap.Meta.Horizon <= snap.Meta.SimTime {
+		t.Fatalf("implausible checkpoint: sim time %v, horizon %v", snap.Meta.SimTime, snap.Meta.Horizon)
+	}
+
+	// Resume from a mid-run checkpoint (0.2 of 0.5 days) and run out the
+	// horizon.
+	path := filepath.Join(dir, checkpoint.FileName(0.2*86400))
+	resumed, err := runResume(path, "", discard)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if resumed != uninterrupted {
+		t.Fatalf("resumed checksum 0x%016x != uninterrupted 0x%016x", resumed, uninterrupted)
+	}
+
+	// A resume that keeps checkpointing continues the original cadence.
+	dir2 := t.TempDir()
+	resumed2, err := runResume(path, dir2, discard)
+	if err != nil {
+		t.Fatalf("resume with checkpoints: %v", err)
+	}
+	if resumed2 != uninterrupted {
+		t.Fatalf("checkpointing resume checksum 0x%016x != uninterrupted 0x%016x", resumed2, uninterrupted)
+	}
+	if _, _, _, err := checkpoint.Latest(dir2); err != nil {
+		t.Fatalf("resumed run cut no checkpoints: %v", err)
+	}
+}
+
+// TestResumeRejectsForeignRecipe: a snapshot whose sealed recipe is not a
+// longrun recipe (or is damaged) must fail the restore, not fork history.
+func TestResumeRejectsForeignRecipe(t *testing.T) {
+	r := longrunRecipe{Seed: 5, Cities: 2, Shards: 1, HorizonDays: 0.2}
+	f := buildLongrun(r)
+	f.Run(100)
+	snap := checkpoint.Capture(f, checkpoint.Meta{Horizon: 0.2 * 86400}, []byte(`{"seed":5,"cities":999}`))
+	dir := t.TempDir()
+	if _, err := checkpoint.WriteAtomic(dir, snap); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, checkpoint.FileName(float64(snap.Meta.SimTime)))
+	if _, err := runResume(path, "", discard); err == nil {
+		t.Fatal("resume accepted a snapshot sealed with a mismatched recipe")
+	}
+}

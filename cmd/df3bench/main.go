@@ -35,6 +35,11 @@ func main() {
 	flag.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	flag.StringVar(&cfg.memProfile, "memprofile", "", "write a heap profile taken after the last experiment to this file")
 	flag.StringVar(&cfg.tracePath, "trace", "", "record causal spans in trace-capable experiments (E18) and write Chrome trace-event JSON to this file")
+	flag.Float64Var(&cfg.longrun, "longrun", 0, "run one federation batch for this many simulated days (resumable; exclusive with -run)")
+	flag.IntVar(&cfg.cities, "cities", 0, "federation width for -longrun")
+	flag.Float64Var(&cfg.checkpointEvery, "checkpoint-every", 0, "cut a checkpoint every this many simulated days (-longrun/-resume)")
+	flag.StringVar(&cfg.checkpointDir, "checkpoint-dir", "", "directory for -checkpoint-every snapshots")
+	flag.StringVar(&cfg.resume, "resume", "", "restore a -longrun from this checkpoint file and continue to its horizon")
 	flag.Parse()
 
 	if err := cfg.validate(); err != nil {
@@ -46,6 +51,11 @@ func main() {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Desc)
 		}
+		return
+	}
+
+	if cfg.longrun > 0 || cfg.resume != "" {
+		runLongrunMode(cfg, *seed)
 		return
 	}
 

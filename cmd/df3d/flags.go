@@ -25,7 +25,19 @@ type daemonConfig struct {
 	maxEdge        int
 	maxDCC         int
 	maxQueue       int
+
+	// Crash safety (live mode).
+	checkpointDir   string
+	checkpointEvery float64
+	walFsync        bool
+
+	// Offline replay mode.
+	replay string
 }
+
+// defaultCheckpointEvery is the -checkpoint-every default, in simulated
+// seconds: one checkpoint per simulated hour.
+const defaultCheckpointEvery = 3600.0
 
 // validate rejects invalid values and mutually exclusive combinations
 // before the scenario is built. Live-only knobs on a step-driven daemon
@@ -43,6 +55,26 @@ func (c daemonConfig) validate() error {
 	if c.mtbf < 0 {
 		return fmt.Errorf("-mtbf %v must be non-negative", c.mtbf)
 	}
+	if c.replay != "" {
+		// Offline replay: rebuild the federation and re-execute a recorded
+		// arrival log — no server, no pacing, no recording.
+		switch {
+		case c.live:
+			return fmt.Errorf("-replay is an offline mode, drop -live")
+		case c.arrivalLog != "":
+			return fmt.Errorf("-replay reads an arrival log; -arrival-log records one — they are exclusive")
+		case c.checkpointDir != "" || c.walFsync:
+			return fmt.Errorf("checkpoint flags (-checkpoint-dir, -wal-fsync) require -live")
+		case c.speed != 1:
+			return fmt.Errorf("-speed requires -live (replay is batch, not paced)")
+		case c.maxEdge != 0 || c.maxDCC != 0 || c.maxQueue != 0:
+			return fmt.Errorf("admission flags (-max-inflight-edge, -max-inflight-dcc, -max-queue) require -live")
+		}
+		if err := c.validateFederation(); err != nil {
+			return err
+		}
+		return nil
+	}
 	if !c.live {
 		// The step-driven daemon is a single deterministic city; every
 		// live-plane knob is meaningless without -live.
@@ -57,6 +89,8 @@ func (c daemonConfig) validate() error {
 			return fmt.Errorf("-arrival-log requires -live")
 		case c.maxEdge != 0 || c.maxDCC != 0 || c.maxQueue != 0:
 			return fmt.Errorf("admission flags (-max-inflight-edge, -max-inflight-dcc, -max-queue) require -live")
+		case c.checkpointDir != "" || c.walFsync:
+			return fmt.Errorf("checkpoint flags (-checkpoint-dir, -wal-fsync) require -live")
 		}
 		return nil
 	}
@@ -66,6 +100,43 @@ func (c daemonConfig) validate() error {
 	if c.maxSlice <= 0 {
 		return fmt.Errorf("-max-slice %v: need a positive slice bound", c.maxSlice)
 	}
+	if err := c.validateFederation(); err != nil {
+		return err
+	}
+	if c.ingestTimeout <= 0 {
+		return fmt.Errorf("-ingest-timeout %v: need a positive wall bound", c.ingestTimeout)
+	}
+	if c.maxEdge < 0 || c.maxDCC < 0 || c.maxQueue < 0 {
+		return fmt.Errorf("admission limits must be non-negative (edge %d, dcc %d, queue %d)",
+			c.maxEdge, c.maxDCC, c.maxQueue)
+	}
+	if c.arrivalLog != "" {
+		if err := cliutil.CheckWritableFile(c.arrivalLog); err != nil {
+			return fmt.Errorf("-arrival-log: %w", err)
+		}
+	}
+	if c.checkpointDir == "" && c.checkpointEvery != defaultCheckpointEvery && c.checkpointEvery != 0 {
+		return fmt.Errorf("-checkpoint-every requires -checkpoint-dir")
+	}
+	if c.checkpointDir != "" {
+		// The WAL is what recovery replays; checkpoints only bound how much
+		// of it must be re-executed. One without the other cannot recover.
+		if c.arrivalLog == "" {
+			return fmt.Errorf("-checkpoint-dir requires -arrival-log (the arrival log is the WAL recovery replays)")
+		}
+		if c.checkpointEvery <= 0 {
+			return fmt.Errorf("-checkpoint-every %v: need a positive simulated period", c.checkpointEvery)
+		}
+	}
+	if c.walFsync && c.arrivalLog == "" {
+		return fmt.Errorf("-wal-fsync requires -arrival-log")
+	}
+	return nil
+}
+
+// validateFederation checks the shape flags shared by live and replay
+// modes (both build a federation).
+func (c daemonConfig) validateFederation() error {
 	if c.cities < 1 {
 		return fmt.Errorf("-cities %d: need at least one city", c.cities)
 	}
@@ -75,20 +146,8 @@ func (c daemonConfig) validate() error {
 	if c.shards > c.cities {
 		return fmt.Errorf("-shards %d exceeds -cities %d: a city is the unit of parallelism", c.shards, c.cities)
 	}
-	if c.ingestTimeout <= 0 {
-		return fmt.Errorf("-ingest-timeout %v: need a positive wall bound", c.ingestTimeout)
-	}
-	if c.maxEdge < 0 || c.maxDCC < 0 || c.maxQueue < 0 {
-		return fmt.Errorf("admission limits must be non-negative (edge %d, dcc %d, queue %d)",
-			c.maxEdge, c.maxDCC, c.maxQueue)
-	}
 	if c.mtbf > 0 && c.cities > 1 {
 		return fmt.Errorf("-mtbf fault injection is single-city only for now")
-	}
-	if c.arrivalLog != "" {
-		if err := cliutil.CheckWritableFile(c.arrivalLog); err != nil {
-			return fmt.Errorf("-arrival-log: %w", err)
-		}
 	}
 	return nil
 }

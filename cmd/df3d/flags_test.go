@@ -67,6 +67,54 @@ func TestDaemonFlagValidation(t *testing.T) {
 			*c = validLive()
 			c.arrivalLog = filepath.Join(tmp, "no/such/dir/a.ndjson")
 		}, "-arrival-log"},
+		{"valid crash-safe live", func(c *daemonConfig) {
+			*c = validLive()
+			c.arrivalLog = filepath.Join(tmp, "wal.ndjson")
+			c.checkpointDir = tmp
+			c.checkpointEvery = 600
+			c.walFsync = true
+		}, ""},
+		{"checkpoint dir without live", func(c *daemonConfig) {
+			c.checkpointDir = tmp
+		}, "require -live"},
+		{"wal fsync without live", func(c *daemonConfig) {
+			c.walFsync = true
+		}, "require -live"},
+		{"checkpoint dir without arrival log", func(c *daemonConfig) {
+			*c = validLive()
+			c.checkpointDir = tmp
+		}, "-checkpoint-dir requires -arrival-log"},
+		{"checkpoint every without dir", func(c *daemonConfig) {
+			*c = validLive()
+			c.checkpointEvery = 600
+		}, "-checkpoint-every requires -checkpoint-dir"},
+		{"negative checkpoint every", func(c *daemonConfig) {
+			*c = validLive()
+			c.arrivalLog = filepath.Join(tmp, "wal2.ndjson")
+			c.checkpointDir = tmp
+			c.checkpointEvery = -5
+		}, "-checkpoint-every"},
+		{"wal fsync without arrival log", func(c *daemonConfig) {
+			*c = validLive()
+			c.walFsync = true
+		}, "-wal-fsync requires -arrival-log"},
+		{"valid replay", func(c *daemonConfig) {
+			c.replay = filepath.Join(tmp, "wal.ndjson")
+			c.cities = 2
+			c.shards = 2
+		}, ""},
+		{"replay with live", func(c *daemonConfig) {
+			*c = validLive()
+			c.replay = filepath.Join(tmp, "wal.ndjson")
+		}, "drop -live"},
+		{"replay with arrival log", func(c *daemonConfig) {
+			c.replay = filepath.Join(tmp, "wal.ndjson")
+			c.arrivalLog = filepath.Join(tmp, "out.ndjson")
+		}, "exclusive"},
+		{"replay with checkpoint flags", func(c *daemonConfig) {
+			c.replay = filepath.Join(tmp, "wal.ndjson")
+			c.checkpointDir = tmp
+		}, "require -live"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -27,10 +27,13 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log"
 	"net/http"
 	"os"
@@ -40,6 +43,7 @@ import (
 	"time"
 
 	"df3/internal/api"
+	"df3/internal/checkpoint"
 	"df3/internal/city"
 	"df3/internal/metrics"
 	"df3/internal/sim"
@@ -63,6 +67,10 @@ func main() {
 	flag.IntVar(&cfg.maxEdge, "max-inflight-edge", 0, "admission cap on in-flight edge requests (live mode, 0 = default)")
 	flag.IntVar(&cfg.maxDCC, "max-inflight-dcc", 0, "admission cap on in-flight batch jobs (live mode, 0 = default)")
 	flag.IntVar(&cfg.maxQueue, "max-queue", 0, "admission cap on the injection queue depth (live mode, 0 = default)")
+	flag.StringVar(&cfg.checkpointDir, "checkpoint-dir", "", "directory for crash-safe checkpoints; enables recovery on restart (live mode, needs -arrival-log)")
+	flag.Float64Var(&cfg.checkpointEvery, "checkpoint-every", defaultCheckpointEvery, "simulated seconds between checkpoints (live mode)")
+	flag.BoolVar(&cfg.walFsync, "wal-fsync", false, "fsync the arrival log on every record, not just at checkpoints (live mode)")
+	flag.StringVar(&cfg.replay, "replay", "", "offline mode: replay a recorded arrival log and print the federation checksum")
 	flag.Parse()
 
 	if err := cfg.validate(); err != nil {
@@ -79,11 +87,64 @@ func main() {
 		ccfg.MTBF = sim.Time(cfg.mtbf) * sim.Day
 	}
 
+	if cfg.replay != "" {
+		runReplay(cfg, ccfg)
+		return
+	}
 	if cfg.live {
 		runLive(cfg, ccfg)
 		return
 	}
 	runStep(cfg, ccfg)
+}
+
+// checksumLine is the final-state fingerprint format every mode prints;
+// the chaos harness and operators diff these lines across runs.
+const checksumLine = "# df3d federation checksum: 0x%016x\n"
+
+// buildRecipe serialises the flags that determine the federation build —
+// the recipe a checkpoint seals and recovery must match byte for byte.
+func buildRecipe(cfg daemonConfig) []byte {
+	b, err := json.Marshal(struct {
+		Seed      uint64  `json:"seed"`
+		Cities    int     `json:"cities"`
+		Shards    int     `json:"shards"`
+		Buildings int     `json:"buildings"`
+		Rooms     int     `json:"rooms"`
+		Boilers   int     `json:"boilers"`
+		MTBFDays  float64 `json:"mtbf_days"`
+	}{cfg.seed, cfg.cities, cfg.shards, cfg.buildings, cfg.rooms, cfg.boilers, cfg.mtbf})
+	if err != nil {
+		panic(err) // a struct of scalars cannot fail to marshal
+	}
+	return b
+}
+
+// buildFederation builds the live/replay federation from the shared flags.
+func buildFederation(cfg daemonConfig, ccfg city.Config) *city.Federation {
+	return city.BuildFederation(city.FederationConfig{
+		Seed: cfg.seed, Cities: cfg.cities, Shards: cfg.shards, City: ccfg,
+	})
+}
+
+// runReplay re-executes a recorded arrival log offline and prints the
+// resulting federation checksum — the auditable twin of a live session,
+// and the reference a chaos-recovered daemon is compared against.
+func runReplay(cfg daemonConfig, ccfg city.Config) {
+	raw, err := os.ReadFile(cfg.replay)
+	if err != nil {
+		log.Fatalf("df3d: -replay: %v", err)
+	}
+	lg := api.ParseArrivalLog(raw)
+	if lg.Skipped > 0 {
+		fmt.Fprintf(os.Stderr, "df3d: replay: skipped %d torn trailing bytes\n", lg.Skipped)
+	}
+	f := buildFederation(cfg, ccfg)
+	api.ReplayRecords(f, lg.Records)
+	sum := f.Summarize()
+	fmt.Printf("# df3d replay: %d records, sim time %.0f s, edge served %d, jobs done %d\n",
+		len(lg.Records), float64(f.Now()), sum.EdgeServed, sum.JobsDone)
+	fmt.Printf(checksumLine, f.Checksum())
 }
 
 // runStep hosts the step-driven single-city laboratory.
@@ -96,14 +157,16 @@ func runStep(cfg daemonConfig, ccfg city.Config) {
 		hint = "localhost" + hint
 	}
 	fmt.Println("advance time with: curl -X POST " + hint + "/v1/step -d '{\"seconds\":3600}'")
-	serve(cfg.addr, api.NewServer(c), func() *metrics.Registry { return c.Observability() }, nil)
+	serve(cfg.addr, api.NewServer(c), func() *metrics.Registry { return c.Observability() }, nil, nil)
 }
 
-// runLive hosts the paced serving plane.
+// runLive hosts the paced serving plane. With -checkpoint-dir it is
+// crash-safe: an existing arrival log (the WAL) is recovered — torn tail
+// truncated, latest valid checkpoint loaded, WAL replayed and verified —
+// before the daemon starts serving, and new checkpoints are written at
+// slice boundaries while it runs.
 func runLive(cfg daemonConfig, ccfg city.Config) {
-	f := city.BuildFederation(city.FederationConfig{
-		Seed: cfg.seed, Cities: cfg.cities, Shards: cfg.shards, City: ccfg,
-	})
+	f := buildFederation(cfg, ccfg)
 	lcfg := api.LiveConfig{
 		Speed:         cfg.speed,
 		MaxSlice:      sim.Time(cfg.maxSlice),
@@ -113,13 +176,22 @@ func runLive(cfg daemonConfig, ccfg city.Config) {
 			MaxInFlightDCC:  cfg.maxDCC,
 			MaxQueue:        cfg.maxQueue,
 		},
+		BuildConfig:   buildRecipe(cfg),
+		CheckpointDir: cfg.checkpointDir,
+		WALFsyncEach:  cfg.walFsync,
+	}
+	if cfg.checkpointDir != "" {
+		lcfg.CheckpointEvery = sim.Time(cfg.checkpointEvery)
+		if err := os.MkdirAll(cfg.checkpointDir, 0o755); err != nil {
+			log.Fatalf("df3d: -checkpoint-dir: %v", err)
+		}
 	}
 	var logFile *os.File
 	if cfg.arrivalLog != "" {
 		var err error
-		logFile, err = os.Create(cfg.arrivalLog)
+		logFile, err = openWAL(cfg, &lcfg)
 		if err != nil {
-			log.Fatalf("df3d: -arrival-log: %v", err)
+			log.Fatalf("df3d: %v", err)
 		}
 		lcfg.ArrivalLog = logFile
 	}
@@ -130,8 +202,25 @@ func runLive(cfg daemonConfig, ccfg city.Config) {
 	}
 	fmt.Printf("df3d: live mode, %d cities × %d buildings × %d rooms on %d shards, %d DF machines, %gx speed, listening on %s\n",
 		cfg.cities, cfg.buildings, cfg.rooms, cfg.shards, machines, cfg.speed, cfg.addr)
+	if len(lcfg.Resume) > 0 || lcfg.VerifySnapshot != nil {
+		fmt.Printf("df3d: recovering %d WAL records (checkpoint covers %d), traffic gated on /readyz\n",
+			len(lcfg.Resume), lcfg.VerifyAfter)
+	}
 	live.Start()
-	serve(cfg.addr, api.NewLiveServer(live), func() *metrics.Registry { return live.Registry() }, func() {
+
+	// A failed recovery must kill the daemon, not leave it listening and
+	// permanently unready.
+	abort := make(chan error, 1)
+	go func() {
+		select {
+		case <-live.Ready():
+		case <-live.Done():
+			if err := live.RecoverErr(); err != nil {
+				abort <- err
+			}
+		}
+	}()
+	serve(cfg.addr, api.NewLiveServer(live), func() *metrics.Registry { return live.Registry() }, abort, func() {
 		if err := live.Stop(); err != nil {
 			fmt.Fprintln(os.Stderr, "df3d: arrival log:", err)
 		}
@@ -140,13 +229,96 @@ func runLive(cfg daemonConfig, ccfg city.Config) {
 				fmt.Fprintln(os.Stderr, "df3d: arrival log:", err)
 			}
 		}
+		fmt.Printf(checksumLine, f.Checksum())
 	})
+}
+
+// openWAL opens the arrival log. Without -checkpoint-dir it truncates and
+// records afresh, the pre-crash-safety behaviour. With it, an existing
+// non-empty log is a WAL left by a previous run: the torn tail is
+// truncated away, the durable records become the resume log, and the
+// newest checkpoint consistent with the durable bytes is loaded for
+// fast-forward verification. The file reopens in append mode so the
+// recovered session extends the same history.
+func openWAL(cfg daemonConfig, lcfg *api.LiveConfig) (*os.File, error) {
+	if cfg.checkpointDir == "" {
+		f, err := os.Create(cfg.arrivalLog)
+		if err != nil {
+			return nil, fmt.Errorf("-arrival-log: %w", err)
+		}
+		return f, nil
+	}
+	raw, err := os.ReadFile(cfg.arrivalLog)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("-arrival-log: %w", err)
+	}
+	lg := api.ParseArrivalLog(raw)
+	if lg.Skipped > 0 {
+		fmt.Fprintf(os.Stderr, "df3d: WAL: truncating %d torn trailing bytes (crash residue)\n", lg.Skipped)
+	}
+	if len(raw) > 0 {
+		if err := os.Truncate(cfg.arrivalLog, lg.Valid); err != nil {
+			return nil, fmt.Errorf("WAL truncate: %w", err)
+		}
+	}
+	if len(lg.Records) > 0 {
+		lcfg.Resume = lg.Records
+		lcfg.ResumeSeq = lg.MaxSeq + 1
+		if snap := loadCheckpoint(cfg, lcfg.BuildConfig, lg.Valid); snap != nil {
+			lcfg.VerifySnapshot = snap
+			lcfg.VerifyAfter = lg.Covered(snap.Meta.WALOffset)
+			if snap.Meta.NextSeq > lcfg.ResumeSeq {
+				lcfg.ResumeSeq = snap.Meta.NextSeq
+			}
+		}
+	}
+	lcfg.ArrivalLogOffset = lg.Valid
+	f, err := os.OpenFile(cfg.arrivalLog, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("-arrival-log: %w", err)
+	}
+	return f, nil
+}
+
+// loadCheckpoint returns the newest usable checkpoint, or nil when
+// recovery must replay the whole WAL instead: none exist, or the newest
+// claims to cover more WAL bytes than are durable. The protocol fsyncs
+// the WAL before each checkpoint write, so that can only mean the WAL
+// file was damaged or swapped — distrust the snapshot, trust the log. A
+// recipe mismatch is fatal rather than skippable: the WAL and checkpoints
+// describe a different scenario, and replaying them into this build would
+// silently fork history.
+func loadCheckpoint(cfg daemonConfig, recipe []byte, durable int64) *checkpoint.Snapshot {
+	snap, path, skipped, err := checkpoint.Latest(cfg.checkpointDir)
+	for _, name := range skipped {
+		fmt.Fprintf(os.Stderr, "df3d: checkpoint %s unreadable (truncated or corrupt), skipped\n", name)
+	}
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			fmt.Fprintln(os.Stderr, "df3d: checkpoints unusable, replaying full WAL:", err)
+		}
+		return nil
+	}
+	if !bytes.Equal(snap.Config, recipe) {
+		log.Fatalf("df3d: checkpoint %s was built from a different recipe (%s, current %s); refusing to mix histories",
+			path, snap.Config, recipe)
+	}
+	if snap.Meta.WALOffset > durable {
+		fmt.Fprintf(os.Stderr, "df3d: checkpoint %s covers %d WAL bytes but only %d are durable; ignoring it\n",
+			path, snap.Meta.WALOffset, durable)
+		return nil
+	}
+	fmt.Printf("df3d: recovering from checkpoint %s (sim time %.0f s, %d WAL bytes covered)\n",
+		path, float64(snap.Meta.SimTime), snap.Meta.WALOffset)
+	return snap
 }
 
 // serve runs the HTTP server until SIGINT/SIGTERM, then shuts down
 // gracefully: stop accepting, drain in-flight requests (bounded), run the
 // mode-specific drain hook, and flush a final metrics snapshot to stdout.
-func serve(addr string, handler http.Handler, registry func() *metrics.Registry, drain func()) {
+// A value on abort (a failed recovery) is fatal immediately — a daemon
+// that cannot restore its history must not serve an empty one.
+func serve(addr string, handler http.Handler, registry func() *metrics.Registry, abort <-chan error, drain func()) {
 	srv := &http.Server{Addr: addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -158,6 +330,8 @@ func serve(addr string, handler http.Handler, registry func() *metrics.Registry,
 	case err := <-errc:
 		// Listener died on its own (port in use, ...): nothing to drain.
 		log.Fatal(err)
+	case err := <-abort:
+		log.Fatalf("df3d: recovery failed: %v", err)
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(os.Stderr, "df3d: signal received, draining")

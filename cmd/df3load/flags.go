@@ -27,7 +27,21 @@ type loadConfig struct {
 	frames  int
 
 	report string // write the SLO report here instead of stdout
+
+	// Retry and readiness: the chaos harness drives load across a df3d
+	// restart, so transient refusals must not poison the outcome table.
+	retry     bool          // re-issue 429/503/connection-refused with backoff
+	retryMax  int           // attempts per request beyond the first
+	retryBase time.Duration // first backoff step (doubles, jittered, capped)
+	waitReady time.Duration // poll /readyz this long before opening load (0 = don't)
 }
+
+// Retry knob defaults, doubled as "unset" sentinels: changing them
+// without -retry is a configuration error, not a silent no-op.
+const (
+	defaultRetryMax  = 8
+	defaultRetryBase = 50 * time.Millisecond
+)
 
 var validProfiles = map[string]bool{
 	"steady": true, "ramp": true, "spike": true, "diurnal": true,
@@ -89,6 +103,24 @@ func (c loadConfig) validate() error {
 		if err := cliutil.CheckWritableFile(c.report); err != nil {
 			return fmt.Errorf("-report: %w", err)
 		}
+	}
+	if !c.retry {
+		if c.retryMax != defaultRetryMax && c.retryMax != 0 {
+			return fmt.Errorf("-retry-max requires -retry")
+		}
+		if c.retryBase != defaultRetryBase && c.retryBase != 0 {
+			return fmt.Errorf("-retry-base requires -retry")
+		}
+	} else {
+		if c.retryMax < 1 {
+			return fmt.Errorf("-retry-max %d: need at least one retry attempt", c.retryMax)
+		}
+		if c.retryBase <= 0 {
+			return fmt.Errorf("-retry-base %v: need a positive backoff step", c.retryBase)
+		}
+	}
+	if c.waitReady < 0 {
+		return fmt.Errorf("-wait-ready %v must be non-negative", c.waitReady)
 	}
 	return nil
 }

@@ -47,6 +47,35 @@ func TestLoadFlagValidation(t *testing.T) {
 		{"unwritable report path", func(c *loadConfig) {
 			c.report = filepath.Join(tmp, "no/such/dir/slo.txt")
 		}, "-report"},
+		{"valid retry", func(c *loadConfig) {
+			c.retry = true
+			c.retryMax = 4
+			c.retryBase = 10 * time.Millisecond
+		}, ""},
+		{"valid retry with defaults", func(c *loadConfig) {
+			c.retry = true
+			c.retryMax = defaultRetryMax
+			c.retryBase = defaultRetryBase
+		}, ""},
+		{"valid wait-ready", func(c *loadConfig) { c.waitReady = time.Minute }, ""},
+		{"retry-max without retry", func(c *loadConfig) {
+			c.retryMax = 3
+		}, "-retry-max requires -retry"},
+		{"retry-base without retry", func(c *loadConfig) {
+			c.retryBase = time.Second
+		}, "-retry-base requires -retry"},
+		{"retry with zero attempts", func(c *loadConfig) {
+			c.retry = true
+			c.retryBase = defaultRetryBase
+		}, "-retry-max"},
+		{"retry with negative base", func(c *loadConfig) {
+			c.retry = true
+			c.retryMax = 3
+			c.retryBase = -time.Millisecond
+		}, "-retry-base"},
+		{"negative wait-ready", func(c *loadConfig) {
+			c.waitReady = -time.Second
+		}, "-wait-ready"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -103,11 +103,97 @@ func (g *generator) next() arrival {
 	return arrival{path: "/v1/edge", body: b}
 }
 
+// retryCap bounds the exponential backoff: past ~2s a df3d restart has
+// either recovered or the run is lost anyway.
+const retryCap = 2 * time.Second
+
+// retrier re-issues requests that failed for transient reasons — the
+// server restarting (connection refused), recovering (503) or shedding
+// (429). Jitter comes from a seeded rng stream shared across request
+// goroutines, so a mutex guards the draw.
+type retrier struct {
+	max  int
+	base time.Duration
+	mu   sync.Mutex
+	s    *rng.Stream
+}
+
+// backoff returns the pause before retry number attempt (0-based):
+// base·2^attempt, capped, then jittered to 50–100% so a fleet of blocked
+// clients does not thunder back in lockstep.
+func (r *retrier) backoff(attempt int) time.Duration {
+	d := retryCap
+	if attempt < 20 { // past 2^20 the shift is always over the cap
+		if step := r.base << attempt; step < retryCap {
+			d = step
+		}
+	}
+	half := d / 2
+	r.mu.Lock()
+	j := time.Duration(r.s.Intn(int(half) + 1))
+	r.mu.Unlock()
+	return half + j
+}
+
+// retryable reports whether the attempt's failure is transient: any
+// transport error (refused, reset, timed out) or an explicit back-off
+// status from the server.
+func retryable(resp *http.Response, err error) bool {
+	if err != nil {
+		return true
+	}
+	return resp.StatusCode == http.StatusTooManyRequests ||
+		resp.StatusCode == http.StatusServiceUnavailable
+}
+
+// waitReady polls /readyz until the server reports serving, the endpoint
+// does not exist (an older df3d without readiness), or the wait budget is
+// spent. A recovering df3d answers 503 here while it replays its WAL.
+func waitReady(client *http.Client, base string, wait time.Duration) error {
+	if wait <= 0 {
+		return nil
+	}
+	deadline := wallNow().Add(wait)
+	for {
+		resp, err := client.Get(base + "/readyz")
+		if err == nil {
+			code := resp.StatusCode
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+			if code == http.StatusOK || code == http.StatusNotFound {
+				return nil
+			}
+		}
+		if !wallNow().Before(deadline) {
+			if err != nil {
+				return fmt.Errorf("server not ready after %v: %w", wait, err)
+			}
+			return fmt.Errorf("server not ready after %v", wait)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
 // doRequest posts one arrival and records its outcome: the server's
-// verdict when the body parses, the HTTP status otherwise.
-func doRequest(client *http.Client, base string, a arrival, t *tally) {
+// verdict when the body parses, the HTTP status otherwise. With rt set,
+// transient failures are retried with jittered backoff; the recorded
+// latency spans all attempts — a retried request really did take that
+// long to settle.
+func doRequest(client *http.Client, base string, a arrival, t *tally, rt *retrier) {
 	start := wallNow()
-	resp, err := client.Post(base+a.path, "application/json", bytes.NewReader(a.body))
+	var resp *http.Response
+	var err error
+	for attempt := 0; ; attempt++ {
+		resp, err = client.Post(base+a.path, "application/json", bytes.NewReader(a.body))
+		if rt == nil || attempt >= rt.max || !retryable(resp, err) {
+			break
+		}
+		if err == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+		}
+		time.Sleep(rt.backoff(attempt))
+	}
 	if err != nil {
 		t.record("error", wallNow().Sub(start).Seconds())
 		return
@@ -130,7 +216,7 @@ func doRequest(client *http.Client, base string, a arrival, t *tally) {
 // follows profileScale. Arrival instants are precomputed on the generator
 // stream and fired in batches, so the loop sustains 10k+ req/s without a
 // per-arrival sleep.
-func runOpen(cfg *loadConfig, client *http.Client, gen *generator, t *tally) {
+func runOpen(cfg *loadConfig, client *http.Client, gen *generator, t *tally, rt *retrier) {
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, maxInFlight)
 	start := wallNow()
@@ -149,7 +235,7 @@ func runOpen(cfg *loadConfig, client *http.Client, gen *generator, t *tally) {
 				go func() {
 					defer wg.Done()
 					defer func() { <-sem }()
-					doRequest(client, cfg.url, a, t)
+					doRequest(client, cfg.url, a, t, rt)
 				}()
 			default:
 				t.record("client_overload", 0)
@@ -175,7 +261,7 @@ func runOpen(cfg *loadConfig, client *http.Client, gen *generator, t *tally) {
 // the previous one answers: throughput floats with server latency, the
 // classic saturation probe. The profile still shapes it — workers insert
 // pacing gaps where the profile dips below 1.
-func runClosed(cfg *loadConfig, client *http.Client, seed *rng.Stream, t *tally) {
+func runClosed(cfg *loadConfig, client *http.Client, seed *rng.Stream, t *tally, rt *retrier) {
 	var wg sync.WaitGroup
 	start := wallNow()
 	dur := cfg.duration.Seconds()
@@ -195,7 +281,7 @@ func runClosed(cfg *loadConfig, client *http.Client, seed *rng.Stream, t *tally)
 					time.Sleep(time.Millisecond)
 					continue
 				}
-				doRequest(client, cfg.url, gen.next(), t)
+				doRequest(client, cfg.url, gen.next(), t, rt)
 			}
 		}()
 	}
@@ -231,6 +317,10 @@ func main() {
 	flag.Float64Var(&cfg.deadS, "deadline", 1, "edge deadline in simulated seconds (0 = none)")
 	flag.IntVar(&cfg.frames, "frames", 8, "mean frames per batch job")
 	flag.StringVar(&cfg.report, "report", "", "write the SLO report to this file instead of stdout")
+	flag.BoolVar(&cfg.retry, "retry", false, "retry 429/503/connection-refused with jittered backoff")
+	flag.IntVar(&cfg.retryMax, "retry-max", defaultRetryMax, "retries per request (needs -retry)")
+	flag.DurationVar(&cfg.retryBase, "retry-base", defaultRetryBase, "first backoff step (needs -retry)")
+	flag.DurationVar(&cfg.waitReady, "wait-ready", 30*time.Second, "poll /readyz this long before opening load (0 = don't wait)")
 	flag.Parse()
 
 	if err := cfg.validate(); err != nil {
@@ -247,16 +337,25 @@ func main() {
 	}
 	seed := rng.New(cfg.seed)
 	t := newTally()
+	var rt *retrier
+	if cfg.retry {
+		rt = &retrier{max: cfg.retryMax, base: cfg.retryBase, s: seed.ForkNamed("retry-jitter")}
+	}
+
+	if err := waitReady(client, cfg.url, cfg.waitReady); err != nil {
+		fmt.Fprintln(os.Stderr, "df3load:", err)
+		os.Exit(1)
+	}
 
 	start := wallNow()
 	if cfg.rate > 0 {
 		fmt.Printf("df3load: open loop %g req/s (%s profile) against %s for %v\n",
 			cfg.rate, cfg.profile, cfg.url, cfg.duration)
-		runOpen(&cfg, client, newGenerator(&cfg, seed), t)
+		runOpen(&cfg, client, newGenerator(&cfg, seed), t, rt)
 	} else {
 		fmt.Printf("df3load: closed loop %d conns (%s profile) against %s for %v\n",
 			cfg.conns, cfg.profile, cfg.url, cfg.duration)
-		runClosed(&cfg, client, seed, t)
+		runClosed(&cfg, client, seed, t, rt)
 	}
 	elapsed := wallNow().Sub(start)
 

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"df3/internal/rng"
+)
+
+func TestBackoffBounds(t *testing.T) {
+	rt := &retrier{max: 8, base: 50 * time.Millisecond, s: rng.New(1)}
+	for attempt := 0; attempt < 64; attempt++ {
+		ceil := retryCap
+		if attempt < 20 {
+			if step := rt.base << attempt; step < retryCap {
+				ceil = step
+			}
+		}
+		for i := 0; i < 100; i++ {
+			d := rt.backoff(attempt)
+			if d < ceil/2 || d > ceil {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, ceil/2, ceil)
+			}
+		}
+	}
+}
+
+func TestRetryable(t *testing.T) {
+	cases := []struct {
+		name string
+		resp *http.Response
+		err  error
+		want bool
+	}{
+		{"transport error", nil, errors.New("connection refused"), true},
+		{"429 shed", &http.Response{StatusCode: http.StatusTooManyRequests}, nil, true},
+		{"503 recovering", &http.Response{StatusCode: http.StatusServiceUnavailable}, nil, true},
+		{"200 served", &http.Response{StatusCode: http.StatusOK}, nil, false},
+		{"400 bad request", &http.Response{StatusCode: http.StatusBadRequest}, nil, false},
+		{"500 server bug", &http.Response{StatusCode: http.StatusInternalServerError}, nil, false},
+	}
+	for _, tc := range cases {
+		if got := retryable(tc.resp, tc.err); got != tc.want {
+			t.Errorf("%s: retryable = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -46,8 +46,26 @@ func NewServer(c *city.City) *Server {
 	s.mux.HandleFunc("POST /v1/edge", s.postEdge)
 	s.mux.HandleFunc("POST /v1/content", s.postContent)
 	s.mux.HandleFunc("POST /v1/step", s.postStep)
+	s.mux.HandleFunc("GET /healthz", s.getHealth)
+	s.mux.HandleFunc("GET /readyz", s.getReady)
 	s.handler = harden(s.mux)
 	return s
+}
+
+// getHealth is the step server's liveness probe. The step plane is
+// synchronous — if the handler runs, the simulation can make progress —
+// so it is alive and serving for the life of the process.
+func (s *Server) getHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	now := s.city.Engine.Now()
+	s.mu.Unlock()
+	writeHealth(w, StateServing, map[string]any{"sim_time_s": now})
+}
+
+// getReady is the step server's readiness probe: always ready (the step
+// plane has no recovery phase).
+func (s *Server) getReady(w http.ResponseWriter, r *http.Request) {
+	writeReady(w, StateServing)
 }
 
 // ServeHTTP implements http.Handler.

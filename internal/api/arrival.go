@@ -119,19 +119,26 @@ func applyArrival(f *city.Federation, rec ArrivalRecord, onEdge func(core.EdgeOu
 	}
 }
 
-// arrivalWriter serialises records to an NDJSON stream. Live writes all
-// happen on the driver goroutine, but Flush (shutdown) comes from the
-// signal path, so a mutex guards the buffer.
+// arrivalWriter serialises records to an NDJSON stream and tracks the
+// absolute byte offset of the log, so a checkpoint can seal exactly how
+// much of the WAL it covers. Live writes all happen on the driver
+// goroutine, but Flush/Sync (shutdown, checkpoints) come from other
+// paths, so a mutex guards the buffer.
 type arrivalWriter struct {
 	mu  sync.Mutex
+	w   io.Writer // underlying sink, for fsync
 	bw  *bufio.Writer
-	enc *json.Encoder
+	off int64 // absolute log length including buffered bytes
 	err error
+	// syncEach makes every record durable as it is written — zero
+	// acknowledged-but-lost window, one fsync per arrival.
+	syncEach bool
 }
 
-func newArrivalWriter(w io.Writer) *arrivalWriter {
-	bw := bufio.NewWriter(w)
-	return &arrivalWriter{bw: bw, enc: json.NewEncoder(bw)}
+// newArrivalWriter wraps w. base is the byte offset w already holds —
+// non-zero when a recovered daemon reopens its log in append mode.
+func newArrivalWriter(w io.Writer, base int64) *arrivalWriter {
+	return &arrivalWriter{w: w, bw: bufio.NewWriter(w), off: base}
 }
 
 func (a *arrivalWriter) write(rec ArrivalRecord) {
@@ -140,17 +147,58 @@ func (a *arrivalWriter) write(rec ArrivalRecord) {
 	if a.err != nil {
 		return
 	}
-	a.err = a.enc.Encode(rec)
+	b, err := json.Marshal(rec)
+	if err != nil {
+		a.err = err
+		return
+	}
+	b = append(b, '\n')
+	if _, err := a.bw.Write(b); err != nil {
+		a.err = err
+		return
+	}
+	a.off += int64(len(b))
+	if a.syncEach {
+		if a.flushLocked() != nil {
+			return
+		}
+		if s, ok := a.w.(interface{ Sync() error }); ok {
+			a.err = s.Sync()
+		}
+	}
 }
 
 // Flush drains the buffer and reports the first write error, if any.
 func (a *arrivalWriter) Flush() error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	return a.flushLocked()
+}
+
+func (a *arrivalWriter) flushLocked() error {
 	if a.err != nil {
 		return a.err
 	}
-	return a.bw.Flush()
+	a.err = a.bw.Flush()
+	return a.err
+}
+
+// Sync flushes and, when the sink supports it (an *os.File), fsyncs —
+// making everything written so far durable. It returns the durable log
+// length, the WALOffset a checkpoint taken now must record.
+func (a *arrivalWriter) Sync() (int64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.flushLocked(); err != nil {
+		return a.off, err
+	}
+	if s, ok := a.w.(interface{ Sync() error }); ok {
+		if err := s.Sync(); err != nil {
+			a.err = err
+			return a.off, err
+		}
+	}
+	return a.off, nil
 }
 
 // ReplayArrivals re-executes a recorded arrival log against a freshly
@@ -158,27 +206,16 @@ func (a *arrivalWriter) Flush() error {
 // calls, arrival records become direct submissions. Given the same
 // FederationConfig the replayed run is byte-identical to the live one —
 // compare Federation.Checksum.
+//
+// Parsing is tolerant (ParseArrivalLog): a torn or corrupt tail — the
+// normal residue of a crash — is skipped, and the durable prefix replays.
+// Callers that need the skipped byte count parse the log themselves.
 func ReplayArrivals(f *city.Federation, r io.Reader) error {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	line := 0
-	for sc.Scan() {
-		line++
-		if len(sc.Bytes()) == 0 {
-			continue
-		}
-		var rec ArrivalRecord
-		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			return fmt.Errorf("arrival log line %d: %w", line, err)
-		}
-		if rec.Kind == "advance" {
-			f.Run(rec.At)
-			continue
-		}
-		if err := validateArrival(&rec); err != nil {
-			return fmt.Errorf("arrival log line %d: %w", line, err)
-		}
-		applyArrival(f, rec, nil, nil)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("arrival log: %w", err)
 	}
-	return sc.Err()
+	lg := ParseArrivalLog(data)
+	ReplayRecords(f, lg.Records)
+	return nil
 }

@@ -1,0 +1,77 @@
+// Liveness and readiness probes. Both df3d servers expose the pair:
+//
+//	/healthz — liveness: is the process able to make progress at all?
+//	          200 while the driver (or handler plane) is up, 503 once it
+//	          has stopped. An orchestrator restarts on sustained failure.
+//	/readyz — readiness: should this instance receive traffic *now*?
+//	          A recovering daemon is alive but not ready — it answers 503
+//	          with state "recovering" until WAL replay and checkpoint
+//	          verification finish, which is how load generators and
+//	          balancers hold traffic during crash recovery.
+//
+// Both answer a small JSON body naming the state, so probes double as a
+// human diagnostic surface.
+package api
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// Serving-plane lifecycle states, in order.
+const (
+	StateRecovering = "recovering" // replaying WAL / verifying checkpoint
+	StateServing    = "serving"    // paced drive running, traffic welcome
+	StateStopped    = "stopped"    // horizon reached, Stop called, or recovery failed
+)
+
+// healthState is a tiny atomic lifecycle machine shared by the servers.
+type healthState struct {
+	state atomic.Value // string
+	ready chan struct{}
+}
+
+func newHealthState(initial string) *healthState {
+	h := &healthState{ready: make(chan struct{})}
+	h.state.Store(initial)
+	if initial == StateServing {
+		close(h.ready)
+	}
+	return h
+}
+
+func (h *healthState) get() string { return h.state.Load().(string) }
+
+// set transitions the state; entering StateServing unblocks Ready.
+func (h *healthState) set(s string) {
+	prev := h.get()
+	h.state.Store(s)
+	if s == StateServing && prev != StateServing {
+		close(h.ready)
+	}
+}
+
+// Ready is closed when the state first reaches serving.
+func (h *healthState) Ready() <-chan struct{} { return h.ready }
+
+// writeHealth answers a liveness probe: alive unless stopped.
+func writeHealth(w http.ResponseWriter, state string, extra map[string]any) {
+	body := map[string]any{"ok": state != StateStopped, "state": state}
+	for k, v := range extra {
+		body[k] = v
+	}
+	code := http.StatusOK
+	if state == StateStopped {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
+}
+
+// writeReady answers a readiness probe: ready only while serving.
+func writeReady(w http.ResponseWriter, state string) {
+	code := http.StatusOK
+	if state != StateServing {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{"ready": state == StateServing, "state": state})
+}

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"df3/internal/checkpoint"
 	"df3/internal/city"
 	"df3/internal/core"
 	"df3/internal/metrics"
@@ -35,10 +36,45 @@ type LiveConfig struct {
 	// Admission bounds the ingest plane (see AdmissionConfig).
 	Admission AdmissionConfig
 	// ArrivalLog, when set, receives the NDJSON arrival log that makes
-	// the session replayable through ReplayArrivals.
+	// the session replayable through ReplayArrivals. When it is an
+	// *os.File it doubles as the WAL: checkpoints fsync it and recovery
+	// replays it.
 	ArrivalLog io.Writer
+	// ArrivalLogOffset is the byte length ArrivalLog already holds — the
+	// durable prefix a recovered daemon reopened in append mode.
+	ArrivalLogOffset int64
+	// WALFsyncEach fsyncs the arrival log after every record instead of
+	// only at checkpoints, shrinking the acknowledged-but-lost crash
+	// window to zero at the cost of one fsync per arrival.
+	WALFsyncEach bool
 	// Clock substitutes a virtual wall clock in tests (default real).
 	Clock sim.Clock
+
+	// BuildConfig is this session's build recipe (caller-opaque JSON),
+	// sealed into every checkpoint and matched on restore.
+	BuildConfig []byte
+	// CheckpointEvery, with CheckpointDir, enables periodic crash-safe
+	// checkpoints: one every CheckpointEvery simulated seconds, taken at
+	// the first slice boundary past due, WAL fsynced first.
+	CheckpointEvery sim.Time
+	// CheckpointDir is where checkpoint files are atomically written.
+	CheckpointDir string
+
+	// Resume, when non-empty, is the recovered WAL: Start replays it
+	// through the batch driver — observably in the "recovering" state,
+	// before paced serving begins — so the session continues exactly
+	// where the crashed one left off.
+	Resume []ArrivalRecord
+	// ResumeSeq is the injection sequence to resume numbering at
+	// (max(checkpoint NextSeq, highest WAL seq + 1)).
+	ResumeSeq uint64
+	// VerifySnapshot, when set, is the recovered checkpoint: after
+	// replaying the first VerifyAfter Resume records (the prefix the
+	// snapshot's WALOffset covers) the rebuilt federation must verify
+	// against it bit for bit, or recovery fails rather than fork history.
+	VerifySnapshot *checkpoint.Snapshot
+	// VerifyAfter is the Resume record count covered by VerifySnapshot.
+	VerifyAfter int
 }
 
 // Live runs a federation in paced real time behind an ingest plane:
@@ -46,20 +82,30 @@ type LiveConfig struct {
 // outcome callbacks answering HTTP clients, every arrival recorded for
 // byte-identical offline replay. One Live owns its federation's Driver.
 type Live struct {
-	fed   *city.Federation
-	cfg   LiveConfig
-	queue *sim.InjectQueue
-	paced *sim.Paced
-	adm   *admission
-	logw  *arrivalWriter
-	clock sim.Clock
-	reg   *metrics.Registry
-	done  chan struct{}
+	fed    *city.Federation
+	cfg    LiveConfig
+	queue  *sim.InjectQueue
+	paced  *sim.Paced
+	adm    *admission
+	logw   *arrivalWriter
+	clock  sim.Clock
+	reg    *metrics.Registry
+	done   chan struct{}
+	health *healthState
+
+	// nextCkpt is the next checkpoint-due sim time; touched only on the
+	// driver goroutine (Start, then OnAdvance under the paced mutex).
+	nextCkpt sim.Time
+
+	recoverMu  sync.Mutex
+	recoverErr error
 
 	// requests[class][outcome] counts every ingest verdict.
-	requests map[string]map[string]*metrics.SharedCounter
-	wallHist map[string]*metrics.Histogram
-	simHist  map[string]*metrics.Histogram
+	requests   map[string]map[string]*metrics.SharedCounter
+	wallHist   map[string]*metrics.Histogram
+	simHist    map[string]*metrics.Histogram
+	ckptWrites *metrics.SharedCounter
+	ckptErrors *metrics.SharedCounter
 }
 
 // Ingest verdicts (the outcome label of df3_ingest_requests_total).
@@ -90,11 +136,12 @@ func NewLive(f *city.Federation, cfg LiveConfig) *Live {
 		clock = sim.WallClock{}
 	}
 	l := &Live{
-		fed:   f,
-		cfg:   cfg,
-		queue: sim.NewInjectQueue(),
-		clock: clock,
-		done:  make(chan struct{}),
+		fed:    f,
+		cfg:    cfg,
+		queue:  sim.NewInjectQueue(),
+		clock:  clock,
+		done:   make(chan struct{}),
+		health: newHealthState(StateRecovering),
 	}
 	l.adm = newAdmission(cfg.Admission, l.queue.Len)
 	l.paced = &sim.Paced{
@@ -105,9 +152,23 @@ func NewLive(f *city.Federation, cfg LiveConfig) *Live {
 		Clock:    cfg.Clock,
 	}
 	if cfg.ArrivalLog != nil {
-		l.logw = newArrivalWriter(cfg.ArrivalLog)
+		l.logw = newArrivalWriter(cfg.ArrivalLog, cfg.ArrivalLogOffset)
+		l.logw.syncEach = cfg.WALFsyncEach
+	}
+	checkpointing := cfg.CheckpointEvery > 0 && cfg.CheckpointDir != ""
+	if l.logw != nil || checkpointing {
+		// OnAdvance runs on the driver goroutine under the paced mutex:
+		// the engine is quiescent, so both the advance record and a due
+		// checkpoint capture a consistent slice boundary. Never call
+		// Sync from here — it would self-deadlock on the same mutex.
 		l.paced.OnAdvance = func(reached sim.Time) {
-			l.logw.write(ArrivalRecord{Kind: "advance", At: float64(reached)})
+			if l.logw != nil {
+				l.logw.write(ArrivalRecord{Kind: "advance", At: float64(reached)})
+			}
+			if checkpointing && reached >= l.nextCkpt {
+				l.nextCkpt = reached + cfg.CheckpointEvery
+				l.writeCheckpoint()
+			}
 		}
 	}
 	f.Driver = l.paced
@@ -148,14 +209,107 @@ func (l *Live) registerMetrics() {
 	}
 	r.GaugeFunc("df3_ingest_queue_depth", "injections accepted but not yet drained",
 		nil, func() float64 { return float64(l.queue.Len()) })
+	l.ckptWrites = r.Counter("df3_checkpoint_writes_total",
+		"checkpoints durably written", nil)
+	l.ckptErrors = r.Counter("df3_checkpoint_errors_total",
+		"checkpoint attempts that failed (WAL sync or write error)", nil)
 }
 
-// Start launches the paced drive on its own goroutine.
+// Start launches the session on its own goroutine: crash recovery first
+// (when configured), then the paced drive. Readiness flips to serving
+// only after recovery verifies; a recovery failure stops the session
+// without serving (see RecoverErr).
 func (l *Live) Start() {
 	go func() {
 		defer close(l.done)
+		defer l.health.set(StateStopped)
+		if err := l.recover(); err != nil {
+			l.recoverMu.Lock()
+			l.recoverErr = err
+			l.recoverMu.Unlock()
+			return
+		}
+		if l.cfg.CheckpointEvery > 0 {
+			l.nextCkpt = l.fed.Now() + l.cfg.CheckpointEvery
+		}
+		l.health.set(StateServing)
 		l.fed.Run(l.cfg.Horizon)
 	}()
+}
+
+// recover replays the recovered WAL through the batch driver and verifies
+// the recovered checkpoint. Runs on the driver goroutine before paced
+// serving begins; the federation temporarily loses its paced driver so
+// the replay is pure batch fast-forward.
+func (l *Live) recover() error {
+	if len(l.cfg.Resume) == 0 && l.cfg.VerifySnapshot == nil {
+		return nil
+	}
+	l.fed.Driver = nil
+	defer func() { l.fed.Driver = l.paced }()
+	n := l.cfg.VerifyAfter
+	if n < 0 || n > len(l.cfg.Resume) {
+		return fmt.Errorf("recover: VerifyAfter %d outside resume log of %d records", n, len(l.cfg.Resume))
+	}
+	ReplayRecords(l.fed, l.cfg.Resume[:n])
+	if s := l.cfg.VerifySnapshot; s != nil {
+		if err := checkpoint.Verify(l.fed, s, l.cfg.BuildConfig); err != nil {
+			return fmt.Errorf("recover: %w", err)
+		}
+	}
+	ReplayRecords(l.fed, l.cfg.Resume[n:])
+	l.queue.ResumeAt(l.cfg.ResumeSeq)
+	return nil
+}
+
+// RecoverErr reports why recovery failed, once Done is closed without the
+// session ever becoming ready.
+func (l *Live) RecoverErr() error {
+	l.recoverMu.Lock()
+	defer l.recoverMu.Unlock()
+	return l.recoverErr
+}
+
+// writeCheckpoint captures and durably writes one checkpoint. Called on
+// the driver goroutine with the engine quiescent (OnAdvance, or Sync via
+// Snapshot). Failures are counted, not fatal: the WAL remains the source
+// of truth and an older checkpoint still bounds recovery time.
+func (l *Live) writeCheckpoint() {
+	snap, err := l.capture()
+	if err == nil {
+		_, err = checkpoint.WriteAtomic(l.cfg.CheckpointDir, snap)
+	}
+	if err != nil {
+		l.ckptErrors.Inc()
+		return
+	}
+	l.ckptWrites.Inc()
+}
+
+// capture fsyncs the WAL and seals the federation state into a snapshot.
+// Engine must be quiescent.
+func (l *Live) capture() (*checkpoint.Snapshot, error) {
+	var off int64
+	if l.logw != nil {
+		var err error
+		if off, err = l.logw.Sync(); err != nil {
+			return nil, err
+		}
+	}
+	return checkpoint.Capture(l.fed, checkpoint.Meta{
+		NextSeq:   l.queue.NextSeq(),
+		WALOffset: off,
+		Horizon:   l.cfg.Horizon,
+	}, l.cfg.BuildConfig), nil
+}
+
+// Snapshot captures the live session quiescent at a slice boundary,
+// implementing checkpoint.Snapshotter.
+func (l *Live) Snapshot() (*checkpoint.Snapshot, error) {
+	var snap *checkpoint.Snapshot
+	var err error
+	l.paced.Sync(func() { snap, err = l.capture() })
+	return snap, err
 }
 
 // Stop closes the ingest plane, halts the driver after its current slice,
@@ -172,6 +326,12 @@ func (l *Live) Stop() error {
 
 // Done reports driver completion (horizon reached or stopped).
 func (l *Live) Done() <-chan struct{} { return l.done }
+
+// Ready is closed when recovery has finished and serving begun.
+func (l *Live) Ready() <-chan struct{} { return l.health.Ready() }
+
+// State reports the lifecycle state (recovering, serving, stopped).
+func (l *Live) State() string { return l.health.get() }
 
 // Federation returns the driven federation (read it only via Sync while
 // the driver runs).
@@ -304,6 +464,7 @@ func NewLiveServer(l *Live) *LiveServer {
 	mux.HandleFunc("GET /metrics", s.getPrometheus)
 	mux.HandleFunc("GET /v1/metrics", s.getSummary)
 	mux.HandleFunc("GET /healthz", s.getHealth)
+	mux.HandleFunc("GET /readyz", s.getReady)
 	s.handler = harden(mux)
 	return s
 }
@@ -405,10 +566,25 @@ func (s *LiveServer) postIngest(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// syncSafe guards the handlers that read simulation state through Sync.
+// During recovery the driver goroutine batch-replays the WAL without
+// holding the paced mutex, so Sync would race it — those handlers answer
+// 503 until serving begins. (Ingest handlers only enqueue and are safe.)
+func (s *LiveServer) syncSafe(w http.ResponseWriter) bool {
+	if st := s.live.State(); st == StateRecovering {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "recovering", "state": st})
+		return false
+	}
+	return true
+}
+
 // getPrometheus scrapes the registry quiescent at a slice boundary. The
 // exposition is rendered into memory under the driver mutex and copied to
 // the client outside it, so a slow scraper cannot stall the simulation.
 func (s *LiveServer) getPrometheus(w http.ResponseWriter, r *http.Request) {
+	if !s.syncSafe(w) {
+		return
+	}
 	var buf bytes.Buffer
 	var err error
 	s.live.Sync(func() { err = s.live.Registry().WritePrometheus(&buf) })
@@ -420,16 +596,23 @@ func (s *LiveServer) getPrometheus(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(buf.Bytes())
 }
 
-// getSummary answers the federation's headline counters as JSON.
+// getSummary answers the federation's headline counters as JSON, plus
+// the determinism checksum a replay or recovered run must reproduce.
 func (s *LiveServer) getSummary(w http.ResponseWriter, r *http.Request) {
+	if !s.syncSafe(w) {
+		return
+	}
 	var sum city.Summary
 	var now sim.Time
+	var sumHash uint64
 	s.live.Sync(func() {
 		sum = s.live.fed.Summarize()
 		now = s.live.fed.Now()
+		sumHash = s.live.fed.Checksum()
 	})
 	writeJSON(w, http.StatusOK, map[string]any{
 		"sim_time_s":     float64(now),
+		"checksum":       fmt.Sprintf("0x%016x", sumHash),
 		"cities":         sum.Cities,
 		"edge_submitted": sum.EdgeSubmitted,
 		"edge_served":    sum.EdgeServed,
@@ -441,17 +624,27 @@ func (s *LiveServer) getSummary(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// getHealth is the liveness probe: 200 while the driver runs, 503 after
-// the horizon or Stop.
+// getHealth is the liveness probe: 200 while the session is recovering or
+// serving, 503 after the horizon, Stop, or a failed recovery.
 func (s *LiveServer) getHealth(w http.ResponseWriter, r *http.Request) {
+	state := s.live.State()
 	select {
 	case <-s.live.Done():
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ok": false, "reason": "driver stopped"})
+		state = StateStopped
 	default:
+	}
+	var extra map[string]any
+	if state == StateServing {
 		var now sim.Time
 		s.live.Sync(func() { now = s.live.fed.Now() })
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "sim_time_s": float64(now)})
+		extra = map[string]any{"sim_time_s": float64(now)}
 	}
+	writeHealth(w, state, extra)
+}
+
+// getReady is the readiness probe: 200 only while serving.
+func (s *LiveServer) getReady(w http.ResponseWriter, r *http.Request) {
+	writeReady(w, s.live.State())
 }
 
 // decodeJSON parses a JSON body, answering 400 on malformed input and 413

@@ -1,0 +1,228 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"df3/internal/checkpoint"
+)
+
+// postEdgeOK submits one edge request and requires a settled 200.
+func postEdgeOK(t *testing.T, url string, tenant int) {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{"tenant": tenant, "work_s": 0.02, "deadline_s": 2})
+	resp, err := http.Post(url+"/v1/edge", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("edge post: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("edge post status %d", resp.StatusCode)
+	}
+}
+
+// TestLiveCrashRecoveryChecksum is the in-process twin of the chaos e2e:
+// a live session checkpoints while serving and "crashes" leaving a torn
+// WAL tail; a second session recovers (truncate tail, load checkpoint,
+// replay WAL, verify) and keeps serving; the recovered state is proven
+// equivalent by replaying the stitched WAL offline and comparing
+// federation checksums.
+func TestLiveCrashRecoveryChecksum(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "arrivals.ndjson")
+	ckptDir := filepath.Join(dir, "checkpoints")
+	if err := os.MkdirAll(ckptDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	recipe := []byte(`{"seed":7,"cities":2,"shards":2}`)
+
+	// Session 1: serve with periodic checkpoints until one lands.
+	walF, err := os.Create(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, ts1 := newLiveRig(t, LiveConfig{
+		ArrivalLog:      walF,
+		BuildConfig:     recipe,
+		CheckpointEvery: 100, // sim seconds ≈ 5 ms wall at speed 20000
+		CheckpointDir:   ckptDir,
+	})
+	for i := 0; l1.ckptWrites.Value() == 0; i++ {
+		if i >= 2000 {
+			t.Fatal("no checkpoint written")
+		}
+		postEdgeOK(t, ts1.URL, i)
+		time.Sleep(time.Millisecond)
+	}
+	// Traffic past the checkpoint, so recovery has a WAL suffix to replay.
+	for i := 0; i < 5; i++ {
+		postEdgeOK(t, ts1.URL, 1000+i)
+	}
+	if err := l1.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+
+	// The crash: a torn final record on the WAL.
+	tail, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tail.WriteString(`{"kind":"edge","at":99,"wo`); err != nil {
+		t.Fatal(err)
+	}
+	tail.Close()
+
+	// Recovery protocol, as df3d runs it.
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg := ParseArrivalLog(raw)
+	if lg.Skipped == 0 {
+		t.Fatal("torn tail not detected")
+	}
+	snap, _, _, err := checkpoint.Latest(ckptDir)
+	if err != nil {
+		t.Fatalf("latest checkpoint: %v", err)
+	}
+	if snap.Meta.WALOffset > lg.Valid {
+		t.Fatalf("checkpoint covers %d WAL bytes but only %d are durable", snap.Meta.WALOffset, lg.Valid)
+	}
+	if err := os.Truncate(walPath, lg.Valid); err != nil {
+		t.Fatal(err)
+	}
+	walF2, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumeSeq := snap.Meta.NextSeq
+	if lg.MaxSeq+1 > resumeSeq {
+		resumeSeq = lg.MaxSeq + 1
+	}
+	l2, ts2 := newLiveRig(t, LiveConfig{
+		ArrivalLog:       walF2,
+		ArrivalLogOffset: lg.Valid,
+		BuildConfig:      recipe,
+		CheckpointEvery:  100,
+		CheckpointDir:    ckptDir,
+		Resume:           lg.Records,
+		VerifyAfter:      lg.Covered(snap.Meta.WALOffset),
+		VerifySnapshot:   snap,
+		ResumeSeq:        resumeSeq,
+	})
+	select {
+	case <-l2.Ready():
+	case <-l2.Done():
+		t.Fatalf("recovery failed: %v", l2.RecoverErr())
+	case <-time.After(30 * time.Second):
+		t.Fatal("recovery never became ready")
+	}
+	if st := l2.State(); st != StateServing {
+		t.Fatalf("state %q after Ready, want serving", st)
+	}
+	if resp := getJSON(t, ts2.URL+"/readyz", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz %d while serving, want 200", resp.StatusCode)
+	}
+	// Post-recovery traffic proves the plane serves, not just recovers.
+	for i := 0; i < 5; i++ {
+		postEdgeOK(t, ts2.URL, 2000+i)
+	}
+	if err := l2.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	recovered := l2.Federation().Checksum()
+	if l2.Federation().Summarize().EdgeServed == 0 {
+		t.Fatal("recovered session served nothing; equivalence is vacuous")
+	}
+
+	// The equivalence bar: the stitched WAL (durable prefix + recovered
+	// session's appends), replayed offline, reproduces the recovered state.
+	stitched, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := liveFederation()
+	if err := ReplayArrivals(replay, bytes.NewReader(stitched)); err != nil {
+		t.Fatal(err)
+	}
+	if got := replay.Checksum(); got != recovered {
+		t.Fatalf("stitched replay checksum %#x != recovered live %#x", got, recovered)
+	}
+}
+
+// TestLiveRecoveryVerifyFailure: a recovery whose rebuilt federation
+// diverges from the checkpoint must fail closed — never serve.
+func TestLiveRecoveryVerifyFailure(t *testing.T) {
+	f := liveFederation()
+	f.Run(50)
+	snap := checkpoint.Capture(f, checkpoint.Meta{}, []byte("recipe"))
+
+	l := NewLive(liveFederation(), LiveConfig{
+		Speed: 20000, MaxSlice: 50, Tick: 200 * time.Microsecond,
+		BuildConfig:    []byte("recipe"),
+		VerifySnapshot: snap, // no Resume records: rebuilt fed stays at t=0
+	})
+	l.Start()
+	select {
+	case <-l.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("failed recovery did not stop the session")
+	}
+	if err := l.RecoverErr(); err == nil {
+		t.Fatal("diverged recovery reported no error")
+	}
+	if st := l.State(); st != StateStopped {
+		t.Fatalf("state %q after failed recovery, want stopped", st)
+	}
+	select {
+	case <-l.Ready():
+		t.Fatal("failed recovery became ready")
+	default:
+	}
+}
+
+// TestLiveReadyz: the readiness probe flips recovering → serving →
+// stopped across the session lifecycle.
+func TestLiveReadyz(t *testing.T) {
+	l := NewLive(liveFederation(), LiveConfig{
+		Speed: 20000, MaxSlice: 50, Tick: 200 * time.Microsecond,
+	})
+	srv := NewLiveServer(l)
+	rec := func() (int, string) {
+		req := httptest.NewRequest("GET", "/readyz", nil)
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req)
+		var body struct {
+			State string `json:"state"`
+		}
+		_ = json.Unmarshal(w.Body.Bytes(), &body)
+		return w.Code, body.State
+	}
+	if code, st := rec(); code != http.StatusServiceUnavailable || st != StateRecovering {
+		t.Fatalf("before Start: %d/%q, want 503/recovering", code, st)
+	}
+	l.Start()
+	select {
+	case <-l.Ready():
+	case <-time.After(30 * time.Second):
+		t.Fatal("never ready")
+	}
+	if code, st := rec(); code != http.StatusOK || st != StateServing {
+		t.Fatalf("while serving: %d/%q, want 200/serving", code, st)
+	}
+	if err := l.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if code, st := rec(); code != http.StatusServiceUnavailable || st != StateStopped {
+		t.Fatalf("after Stop: %d/%q, want 503/stopped", code, st)
+	}
+}

@@ -1,0 +1,99 @@
+// Tolerant arrival-log parsing: the arrival log doubles as df3d's
+// write-ahead log, and a crashed process leaves a torn tail — a final line
+// cut mid-record, or garbage from a partially flushed buffer. Recovery
+// must accept everything durable and discard exactly the tail, never
+// panic, and never misread damage as data. ParseArrivalLog is that
+// boundary: it walks the NDJSON stream record by record and stops at the
+// first incomplete or malformed line, reporting the durable prefix length
+// so the caller can truncate the file there and append safely.
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+
+	"df3/internal/city"
+)
+
+// ArrivalLog is the tolerant parse of an NDJSON arrival log.
+type ArrivalLog struct {
+	// Records are the well-formed records of the durable prefix, in log
+	// order. Validation defaults (e.g. edge input bytes) are already
+	// applied, exactly as replay would apply them.
+	Records []ArrivalRecord
+	// Ends[i] is the byte offset just past Records[i]'s newline, so a
+	// checkpoint's WALOffset maps to a record count via Covered.
+	Ends []int64
+	// Valid is the length in bytes of the durable, well-formed prefix.
+	// Truncating the file to Valid yields a log that reparses with
+	// Skipped == 0 and is safe to append to.
+	Valid int64
+	// Skipped counts the bytes discarded after Valid — the torn or
+	// corrupt tail. Zero for a cleanly closed log.
+	Skipped int
+	// MaxSeq is the highest injection sequence among Records (0 if none
+	// carry one). A recovered session resumes numbering past it.
+	MaxSeq uint64
+}
+
+// ParseArrivalLog parses data tolerantly. It never fails: damage truncates
+// the parse at the last complete record before it, and the remainder is
+// accounted for in Skipped. An unterminated final line is always treated
+// as torn — only a trailing newline proves the record was written whole.
+func ParseArrivalLog(data []byte) ArrivalLog {
+	var lg ArrivalLog
+	off := int64(0)
+	for off < int64(len(data)) {
+		rest := data[off:]
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			break // unterminated tail
+		}
+		line := rest[:nl]
+		end := off + int64(nl) + 1
+		if len(bytes.TrimSpace(line)) == 0 {
+			// Blank lines carry nothing but are well-formed NDJSON.
+			lg.Valid, off = end, end
+			continue
+		}
+		var rec ArrivalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			break
+		}
+		if rec.Kind != "advance" {
+			if err := validateArrival(&rec); err != nil {
+				break
+			}
+		}
+		lg.Records = append(lg.Records, rec)
+		lg.Ends = append(lg.Ends, end)
+		if rec.Seq > lg.MaxSeq {
+			lg.MaxSeq = rec.Seq
+		}
+		lg.Valid, off = end, end
+	}
+	lg.Skipped = len(data) - int(lg.Valid)
+	return lg
+}
+
+// Covered returns how many records lie entirely within the first n bytes
+// of the log — the records a checkpoint with WALOffset == n has already
+// incorporated.
+func (lg *ArrivalLog) Covered(n int64) int {
+	return sort.Search(len(lg.Ends), func(i int) bool { return lg.Ends[i] > n })
+}
+
+// ReplayRecords applies parsed arrival records to a federation under the
+// batch driver: advance records become Run calls, arrivals become direct
+// submissions, in log order. Outcome callbacks are nil — replay observes
+// nothing, which is what keeps it byte-identical to the live run.
+func ReplayRecords(f *city.Federation, recs []ArrivalRecord) {
+	for _, rec := range recs {
+		if rec.Kind == "advance" {
+			f.Run(rec.At)
+			continue
+		}
+		applyArrival(f, rec, nil, nil)
+	}
+}

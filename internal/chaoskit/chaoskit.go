@@ -1,0 +1,150 @@
+// Package chaoskit drives process-level crash testing: start a real
+// daemon under real load, SIGKILL it mid-run, restart it, and interrogate
+// what came back. The kit deliberately works at the OS boundary —
+// processes, sockets, signals — because that is where crash-safety claims
+// live: an in-process test cannot lose an unflushed buffer the way
+// kill -9 does.
+//
+// Everything here runs on the wall clock by necessity; none of it feeds
+// the simulation.
+package chaoskit
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"time"
+)
+
+// wallNow is chaoskit's single sanctioned wall-clock read.
+func wallNow() time.Time {
+	return time.Now() //df3:allow(detrand) chaoskit kills and restarts real OS processes; wall deadlines bound the harness, never the sim
+}
+
+// lockedBuffer is a concurrency-safe output sink: the child writes from
+// its own pipes while the test reads mid-run.
+type lockedBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// Proc is one managed child process with combined stdout+stderr capture.
+type Proc struct {
+	cmd     *exec.Cmd
+	out     *lockedBuffer
+	waited  chan struct{}
+	waitErr error // written once before waited closes
+}
+
+// Start launches the command and begins reaping it in the background.
+func Start(name string, args ...string) (*Proc, error) {
+	p := &Proc{out: &lockedBuffer{}, waited: make(chan struct{})}
+	p.cmd = exec.Command(name, args...)
+	p.cmd.Stdout = p.out
+	p.cmd.Stderr = p.out
+	if err := p.cmd.Start(); err != nil {
+		return nil, err
+	}
+	go func() {
+		p.waitErr = p.cmd.Wait()
+		close(p.waited)
+	}()
+	return p, nil
+}
+
+// Kill9 delivers SIGKILL — no handlers, no drains, no flushes, the real
+// crash — and reaps the child.
+func (p *Proc) Kill9() error {
+	if err := p.cmd.Process.Kill(); err != nil {
+		return err
+	}
+	<-p.waited
+	return nil
+}
+
+// Signal forwards sig (e.g. syscall.SIGTERM for a graceful drain).
+func (p *Proc) Signal(sig os.Signal) error {
+	return p.cmd.Process.Signal(sig)
+}
+
+// Wait blocks until the child exits, returning its Wait error, or fails
+// after timeout with the process still running.
+func (p *Proc) Wait(timeout time.Duration) error {
+	select {
+	case <-p.waited:
+		return p.waitErr
+	case <-time.After(timeout):
+		return fmt.Errorf("process %d still running after %v", p.cmd.Process.Pid, timeout)
+	}
+}
+
+// Output returns everything the child has written so far.
+func (p *Proc) Output() string {
+	return p.out.String()
+}
+
+// WaitReady polls base+"/readyz" until the server reports serving or the
+// timeout passes. Connection refusals and 503s (a recovering daemon) are
+// the expected states on the way up.
+func WaitReady(base string, timeout time.Duration) error {
+	client := &http.Client{Timeout: 2 * time.Second}
+	deadline := wallNow().Add(timeout)
+	for {
+		resp, err := client.Get(base + "/readyz")
+		if err == nil {
+			code := resp.StatusCode
+			_ = resp.Body.Close()
+			if code == http.StatusOK {
+				return nil
+			}
+		}
+		if !wallNow().Before(deadline) {
+			if err != nil {
+				return fmt.Errorf("not ready after %v: %w", timeout, err)
+			}
+			return fmt.Errorf("not ready after %v", timeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// FreePort reserves an ephemeral localhost TCP port and releases it for
+// the child to bind. The close-to-bind window is a real race, acceptable
+// in tests.
+func FreePort() (int, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	port := l.Addr().(*net.TCPAddr).Port
+	return port, l.Close()
+}
+
+// Checksum extracts the "# df3d federation checksum:" fingerprint from a
+// process's output — the one number two runs are compared by.
+func Checksum(output string) (string, bool) {
+	const prefix = "# df3d federation checksum: "
+	for _, line := range strings.Split(output, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			return strings.TrimSpace(strings.TrimPrefix(line, prefix)), true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,109 @@
+package chaoskit
+
+import (
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFreePort(t *testing.T) {
+	p, err := FreePort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= 0 || p > 65535 {
+		t.Fatalf("implausible port %d", p)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:"+itoa(p))
+	if err != nil {
+		t.Fatalf("reserved port %d not bindable: %v", p, err)
+	}
+	l.Close()
+}
+
+func itoa(n int) string {
+	b := [8]byte{}
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestProcCaptureAndWait(t *testing.T) {
+	p, err := Start("sh", "-c", "echo out-line; echo err-line >&2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Wait(10 * time.Second); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	out := p.Output()
+	if !strings.Contains(out, "out-line") || !strings.Contains(out, "err-line") {
+		t.Fatalf("output missing streams: %q", out)
+	}
+}
+
+func TestProcKill9(t *testing.T) {
+	p, err := Start("sleep", "60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Kill9(); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	// Already reaped: Wait must return immediately with the kill verdict.
+	err = p.Wait(time.Second)
+	if err == nil || !strings.Contains(err.Error(), "killed") {
+		t.Fatalf("wait after kill = %v, want signal: killed", err)
+	}
+}
+
+func TestWaitReady(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/readyz" {
+			http.NotFound(w, r)
+			return
+		}
+		if calls.Add(1) < 3 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+	if err := WaitReady(srv.URL, 10*time.Second); err != nil {
+		t.Fatalf("server became ready but WaitReady failed: %v", err)
+	}
+	if n := calls.Load(); n < 3 {
+		t.Fatalf("WaitReady polled %d times, want >= 3", n)
+	}
+}
+
+func TestWaitReadyTimeout(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	if err := WaitReady(srv.URL, 200*time.Millisecond); err == nil {
+		t.Fatal("WaitReady returned nil against a permanently recovering server")
+	}
+}
+
+func TestChecksum(t *testing.T) {
+	out := "df3d: signal received, draining\n# df3d federation checksum: 0xdeadbeef00000001\n# df3d final metrics snapshot\n"
+	sum, ok := Checksum(out)
+	if !ok || sum != "0xdeadbeef00000001" {
+		t.Fatalf("Checksum = %q, %v", sum, ok)
+	}
+	if _, ok := Checksum("no fingerprint here"); ok {
+		t.Fatal("Checksum matched output without a checksum line")
+	}
+}

@@ -1,0 +1,152 @@
+package chaoskit
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestKillRecoverChecksum is the process-chaos contract for the crash-safe
+// serving plane, end to end with real binaries:
+//
+//  1. df3d -live runs with a WAL and periodic checkpoints, df3load drives
+//     it with retry enabled;
+//  2. df3d is SIGKILLed mid-run — no drain, no flush beyond what -wal-fsync
+//     already made durable;
+//  3. the restarted df3d recovers (checkpoint + WAL suffix) and keeps
+//     serving the same df3load run;
+//  4. after a graceful drain, the recovered federation checksum must equal
+//     an offline df3d -replay of the stitched WAL — the uninterrupted
+//     reference for exactly this arrival history.
+func TestKillRecoverChecksum(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process chaos e2e (builds binaries, kills processes); skipped in -short")
+	}
+	tmp := t.TempDir()
+	df3d := filepath.Join(tmp, "df3d")
+	df3load := filepath.Join(tmp, "df3load")
+	for _, b := range []struct{ bin, pkg string }{
+		{df3d, "df3/cmd/df3d"},
+		{df3load, "df3/cmd/df3load"},
+	} {
+		cmd := exec.Command("go", "build", "-o", b.bin, b.pkg)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", b.pkg, err, out)
+		}
+	}
+
+	port, err := FreePort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	url := "http://" + addr
+	wal := filepath.Join(tmp, "wal.ndjson")
+	ckpt := filepath.Join(tmp, "ckpt")
+	daemonArgs := []string{
+		"-live", "-addr", addr, "-speed", "300", "-max-slice", "5",
+		"-cities", "2", "-shards", "2", "-buildings", "2", "-rooms", "3",
+		"-arrival-log", wal, "-checkpoint-dir", ckpt, "-checkpoint-every", "5",
+		"-wal-fsync",
+	}
+
+	d1, err := Start(df3d, daemonArgs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d1.Kill9()
+	if err := WaitReady(url, 30*time.Second); err != nil {
+		t.Fatalf("first df3d: %v\n%s", err, d1.Output())
+	}
+
+	load, err := Start(df3load,
+		"-url", url, "-rate", "150", "-duration", "6s", "-seed", "3",
+		"-retry", "-wait-ready", "30s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer load.Kill9()
+
+	// Let the run write at least two checkpoints before the crash, so
+	// recovery has a non-trivial prefix to restore and a suffix to replay.
+	for i := 0; ; i++ {
+		entries, _ := os.ReadDir(ckpt)
+		if len(entries) >= 2 {
+			break
+		}
+		if i > 20000 {
+			t.Fatalf("no checkpoints after 20s\n%s", d1.Output())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(500 * time.Millisecond) // accumulate some post-checkpoint WAL suffix
+	if err := d1.Kill9(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := Start(df3d, daemonArgs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Kill9()
+	if err := WaitReady(url, 60*time.Second); err != nil {
+		t.Fatalf("restarted df3d never became ready: %v\n%s", err, d2.Output())
+	}
+	if out := d2.Output(); !regexp.MustCompile(`recovering`).MatchString(out) {
+		t.Fatalf("restarted df3d shows no recovery banner:\n%s", out)
+	}
+
+	if err := load.Wait(60 * time.Second); err != nil {
+		t.Fatalf("df3load: %v\n%s", err, load.Output())
+	}
+
+	if err := d2.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Wait(30 * time.Second); err != nil {
+		t.Fatalf("df3d drain: %v\n%s", err, d2.Output())
+	}
+	recovered, ok := Checksum(d2.Output())
+	if !ok {
+		t.Fatalf("no checksum line in recovered df3d output:\n%s", d2.Output())
+	}
+
+	// The recovered run's metrics must show real post-restart state: the
+	// per-city served counters are rebuilt by replay plus live traffic.
+	servedRe := regexp.MustCompile(`df3_city_edge_served_total\{[^}]*\} (\d+)`)
+	var served int
+	for _, m := range servedRe.FindAllStringSubmatch(d2.Output(), -1) {
+		n, _ := strconv.Atoi(m[1])
+		served += n
+	}
+	if served == 0 {
+		t.Fatalf("recovered df3d served nothing:\n%s", d2.Output())
+	}
+
+	// Offline reference: replay the stitched WAL (pre-crash prefix + torn
+	// tail + post-restart suffix) through a fresh federation.
+	replay, err := Start(df3d, "-replay", wal,
+		"-cities", "2", "-shards", "2", "-buildings", "2", "-rooms", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := replay.Wait(60 * time.Second); err != nil {
+		t.Fatalf("df3d -replay: %v\n%s", err, replay.Output())
+	}
+	reference, ok := Checksum(replay.Output())
+	if !ok {
+		t.Fatalf("no checksum line in replay output:\n%s", replay.Output())
+	}
+
+	if recovered != reference {
+		t.Fatalf("recovered checksum %s != replay reference %s\n--- recovered df3d ---\n%s\n--- replay ---\n%s",
+			recovered, reference, d2.Output(), replay.Output())
+	}
+	t.Logf("recovered checksum %s matches offline replay (served %d, load:\n%s)", recovered, served, load.Output())
+}

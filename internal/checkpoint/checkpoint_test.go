@@ -1,0 +1,230 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"df3/internal/city"
+	"df3/internal/sim"
+)
+
+// buildSmall constructs the federation every checkpoint test replays
+// against: identical arguments build identical federations.
+func buildSmall(cities, shards int) *city.Federation {
+	cfg := city.DefaultConfig()
+	cfg.Buildings = 2
+	cfg.RoomsPerBuilding = 3
+	cfg.DatacenterNodes = 2
+	return city.BuildFederation(city.FederationConfig{
+		Seed: 11, Cities: cities, Shards: shards, City: cfg,
+	})
+}
+
+// startTraffic arms the deterministic workload to the horizon. Traffic
+// arming is part of the build recipe: a resumed run must arm with the same
+// horizon before fast-forwarding.
+func startTraffic(f *city.Federation, horizon sim.Time) {
+	f.StartEdgeTraffic(horizon, 0.5)
+	f.StartDCCTraffic(horizon, 2)
+	f.StartInterCityDCC(horizon, 2)
+}
+
+// TestSnapshotRoundTrip: encode/decode preserves every field bit for bit.
+func TestSnapshotRoundTrip(t *testing.T) {
+	f := buildSmall(3, 2)
+	startTraffic(f, 4*sim.Hour)
+	f.Run(2 * sim.Hour)
+	snap := Capture(f, Meta{NextSeq: 42, WALOffset: 1234, Horizon: 4 * sim.Hour}, []byte(`{"recipe":1}`))
+
+	var buf bytes.Buffer
+	if err := snap.Encode(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got.Meta != snap.Meta {
+		t.Fatalf("meta round-trip:\n got %+v\nwant %+v", got.Meta, snap.Meta)
+	}
+	if string(got.Config) != string(snap.Config) {
+		t.Fatalf("config round-trip: %q != %q", got.Config, snap.Config)
+	}
+	if len(got.Engines) != len(snap.Engines) {
+		t.Fatalf("engines: %d != %d", len(got.Engines), len(snap.Engines))
+	}
+	for i := range got.Engines {
+		if got.Engines[i] != snap.Engines[i] {
+			t.Fatalf("engine %d: %+v != %+v", i, got.Engines[i], snap.Engines[i])
+		}
+	}
+	for i := range got.Partition {
+		if got.Partition[i] != snap.Partition[i] {
+			t.Fatalf("partition %d: %d != %d", i, got.Partition[i], snap.Partition[i])
+		}
+	}
+}
+
+// TestContainerRejectsDamage: every byte flip is caught, and truncation at
+// any prefix is ErrTruncated or ErrCorrupt — never a silent success.
+func TestContainerRejectsDamage(t *testing.T) {
+	f := buildSmall(2, 1)
+	startTraffic(f, sim.Hour)
+	f.Run(sim.Hour)
+	snap := Capture(f, Meta{}, []byte("cfg"))
+	var buf bytes.Buffer
+	if err := snap.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	for i := 0; i < len(raw); i++ {
+		damaged := append([]byte(nil), raw...)
+		damaged[i] ^= 0x80
+		if _, err := Read(bytes.NewReader(damaged)); err == nil {
+			t.Fatalf("bit flip at byte %d of %d accepted", i, len(raw))
+		}
+	}
+	for _, cut := range []int{0, 4, len(raw) / 2, len(raw) - 1} {
+		_, err := Read(bytes.NewReader(raw[:cut]))
+		if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation at %d: err %v, want ErrTruncated/ErrCorrupt", cut, err)
+		}
+	}
+}
+
+// resumeEquivalence runs the acceptance bar at one shard count: a run
+// checkpointed at T and resumed (rebuild, re-arm, fast-forward, verify,
+// continue) reaches a Federation.Checksum byte-identical to the
+// uninterrupted run.
+func resumeEquivalence(t *testing.T, shards int) {
+	t.Helper()
+	const (
+		ckptAt  = 2 * sim.Hour
+		horizon = 6 * sim.Hour
+	)
+	recipe := []byte(`{"cities":4,"shards":?}`)
+
+	// Uninterrupted reference.
+	ref := buildSmall(4, shards)
+	startTraffic(ref, horizon)
+	ref.Run(horizon)
+	want := ref.Checksum()
+	if ref.Summarize().EdgeServed == 0 {
+		t.Fatal("reference served nothing; equivalence is vacuous")
+	}
+
+	// Run A: checkpoint mid-flight (the "crashing" process).
+	a := buildSmall(4, shards)
+	startTraffic(a, horizon)
+	a.Run(ckptAt)
+	snap := Capture(a, Meta{Horizon: horizon}, recipe)
+	var buf bytes.Buffer
+	if err := snap.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Run B: restore — rebuild, re-arm, fast-forward to T, verify, continue.
+	loaded, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := buildSmall(4, shards)
+	startTraffic(b, loaded.Meta.Horizon)
+	b.Run(loaded.Meta.SimTime)
+	if err := Verify(b, loaded, recipe); err != nil {
+		t.Fatalf("verify after fast-forward: %v", err)
+	}
+	b.Run(loaded.Meta.Horizon)
+	if got := b.Checksum(); got != want {
+		t.Fatalf("resumed checksum %#x != uninterrupted %#x", got, want)
+	}
+}
+
+func TestResumeChecksumSerial(t *testing.T)  { resumeEquivalence(t, 1) }
+func TestResumeChecksumSharded(t *testing.T) { resumeEquivalence(t, 2) }
+
+// TestVerifyCatchesDivergence: a federation replayed to the wrong instant,
+// or built from a different recipe, is rejected.
+func TestVerifyCatchesDivergence(t *testing.T) {
+	const horizon = 4 * sim.Hour
+	f := buildSmall(3, 2)
+	startTraffic(f, horizon)
+	f.Run(2 * sim.Hour)
+	snap := Capture(f, Meta{Horizon: horizon}, []byte("recipe-a"))
+
+	short := buildSmall(3, 2)
+	startTraffic(short, horizon)
+	short.Run(sim.Hour)
+	if err := Verify(short, snap, nil); err == nil {
+		t.Fatal("under-replayed federation accepted")
+	}
+	if err := Verify(short, snap, []byte("recipe-b")); err == nil {
+		t.Fatal("recipe mismatch accepted")
+	}
+	wrongShape := buildSmall(2, 2)
+	if err := Verify(wrongShape, snap, nil); err == nil {
+		t.Fatal("wrong city count accepted")
+	}
+
+	exact := buildSmall(3, 2)
+	startTraffic(exact, horizon)
+	exact.Run(2 * sim.Hour)
+	if err := Verify(exact, snap, []byte("recipe-a")); err != nil {
+		t.Fatalf("exact twin rejected: %v", err)
+	}
+}
+
+// TestWriteAtomicLatest: the newest valid file wins; corrupt newer files
+// are skipped and reported; an empty dir is fs.ErrNotExist.
+func TestWriteAtomicLatest(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, _, err := Latest(dir); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("empty dir: err %v, want fs.ErrNotExist", err)
+	}
+
+	f := buildSmall(2, 1)
+	startTraffic(f, 4*sim.Hour)
+	f.Run(sim.Hour)
+	if _, err := WriteAtomic(dir, Capture(f, Meta{}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	f.Run(2 * sim.Hour)
+	second := Capture(f, Meta{}, nil)
+	p2, err := WriteAtomic(dir, second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got, path, skipped, err := Latest(dir)
+	if err != nil || path != p2 || len(skipped) != 0 {
+		t.Fatalf("Latest: path %q skipped %v err %v, want %q", path, skipped, err, p2)
+	}
+	if got.Meta.Checksum != second.Meta.Checksum {
+		t.Fatalf("Latest returned the wrong snapshot")
+	}
+
+	// Corrupt the newest: Latest falls back to the older one.
+	raw, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(p2, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, path, skipped, err = Latest(dir)
+	if err != nil {
+		t.Fatalf("Latest after corruption: %v", err)
+	}
+	if filepath.Base(path) == filepath.Base(p2) || len(skipped) != 1 {
+		t.Fatalf("corrupt newest not skipped: path %q skipped %v", path, skipped)
+	}
+	if got.Meta.SimTime != sim.Hour {
+		t.Fatalf("fell back to snapshot at %v, want %v", got.Meta.SimTime, sim.Time(sim.Hour))
+	}
+}

@@ -1,0 +1,219 @@
+// Package checkpoint implements crash-safe snapshots of df3 simulations:
+// a versioned, CRC-protected binary container plus the domain logic that
+// captures a city.Federation into it and verifies a rebuilt federation
+// against it.
+//
+// df3 snapshots are *logical*. A Go closure — and the event heap is a heap
+// of closures — cannot be serialised, so no byte-level heap dump exists.
+// Instead the determinism contract (everything downstream of the seed,
+// enforced by df3lint) makes simulation state a pure function of (build
+// recipe, external-input log), and a checkpoint seals exactly that recipe
+// together with the state's fingerprints: per-engine clocks, sequence
+// counters, fired counts and heap digests, the shard partition, and the
+// federation checksum. Restore re-executes the recipe and then *proves*
+// bit-for-bit equivalence against the fingerprints before the run is
+// allowed to continue — a continuation from a verified restore is
+// byte-identical to the uninterrupted run, the same equivalence bar the
+// sharded kernel holds against serial execution.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// File container layout (all integers little-endian):
+//
+//	magic   [8]byte  "DF3CKPT\n"
+//	version uint32
+//	count   uint32                   number of sections
+//	count × section:
+//	    kind   uint32
+//	    length uint64                payload bytes
+//	    crc    uint32                CRC-32 (IEEE) of the payload
+//	    payload [length]byte
+//	footer  uint32                   CRC-32 (IEEE) of everything before it
+//
+// Per-section CRCs localise corruption ("the engines section is bad");
+// the footer CRC catches truncation after the last section and any damage
+// to the framing itself.
+
+// Magic identifies a df3 checkpoint file.
+var Magic = [8]byte{'D', 'F', '3', 'C', 'K', 'P', 'T', '\n'}
+
+// FormatVersion is the container version this build reads and writes.
+const FormatVersion uint32 = 1
+
+// Section kinds. Unknown kinds are preserved by the container layer so a
+// newer writer's optional sections don't break an older reader.
+const (
+	// SectionMeta carries the fixed-size Meta block.
+	SectionMeta uint32 = 1
+	// SectionConfig carries the caller-opaque build recipe (df3d and
+	// df3bench store JSON; the container does not interpret it).
+	SectionConfig uint32 = 2
+	// SectionEngines carries the per-city sim.EngineState array.
+	SectionEngines uint32 = 3
+	// SectionPartition carries the city→shard assignment.
+	SectionPartition uint32 = 4
+)
+
+// Errors the reader distinguishes. ErrTruncated means the file ends
+// mid-structure (a crash during the checkpoint write itself); ErrCorrupt
+// means the bytes are complete but wrong (bit rot, torn overwrite). Both
+// mean "try an older checkpoint".
+var (
+	ErrTruncated = errors.New("checkpoint: truncated file")
+	ErrCorrupt   = errors.New("checkpoint: corrupt file")
+)
+
+// Section is one length-prefixed, CRC-protected payload.
+type Section struct {
+	Kind uint32
+	Data []byte
+}
+
+// writeContainer emits sections in order with framing and CRCs.
+func writeContainer(w io.Writer, sections []Section) error {
+	crc := crc32.NewIEEE()
+	out := io.MultiWriter(w, crc)
+	if _, err := out.Write(Magic[:]); err != nil {
+		return err
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], FormatVersion)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(sections)))
+	if _, err := out.Write(hdr[:8]); err != nil {
+		return err
+	}
+	for _, s := range sections {
+		var sh [16]byte
+		binary.LittleEndian.PutUint32(sh[0:4], s.Kind)
+		binary.LittleEndian.PutUint64(sh[4:12], uint64(len(s.Data)))
+		binary.LittleEndian.PutUint32(sh[12:16], crc32.ChecksumIEEE(s.Data))
+		if _, err := out.Write(sh[:]); err != nil {
+			return err
+		}
+		if _, err := out.Write(s.Data); err != nil {
+			return err
+		}
+	}
+	var foot [4]byte
+	binary.LittleEndian.PutUint32(foot[:], crc.Sum32())
+	_, err := w.Write(foot[:])
+	return err
+}
+
+// readContainer parses and validates a container, returning its sections.
+func readContainer(r io.Reader) ([]Section, error) {
+	crc := crc32.NewIEEE()
+	tee := io.TeeReader(r, crc)
+	var magic [8]byte
+	if _, err := io.ReadFull(tee, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing magic: %v", ErrTruncated, err)
+	}
+	if magic != Magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, magic[:])
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(tee, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing header: %v", ErrTruncated, err)
+	}
+	version := binary.LittleEndian.Uint32(hdr[0:4])
+	if version != FormatVersion {
+		return nil, fmt.Errorf("%w: format version %d, this build reads %d", ErrCorrupt, version, FormatVersion)
+	}
+	count := binary.LittleEndian.Uint32(hdr[4:8])
+	const maxSections = 1 << 10
+	if count > maxSections {
+		return nil, fmt.Errorf("%w: implausible section count %d", ErrCorrupt, count)
+	}
+	sections := make([]Section, 0, count)
+	for i := uint32(0); i < count; i++ {
+		var sh [16]byte
+		if _, err := io.ReadFull(tee, sh[:]); err != nil {
+			return nil, fmt.Errorf("%w: section %d header: %v", ErrTruncated, i, err)
+		}
+		kind := binary.LittleEndian.Uint32(sh[0:4])
+		length := binary.LittleEndian.Uint64(sh[4:12])
+		want := binary.LittleEndian.Uint32(sh[12:16])
+		const maxSection = 1 << 32
+		if length > maxSection {
+			return nil, fmt.Errorf("%w: section %d claims %d bytes", ErrCorrupt, i, length)
+		}
+		// Copy rather than pre-allocate: a corrupt length field must fail
+		// at EOF, not commit gigabytes up front.
+		var payload bytes.Buffer
+		if _, err := io.CopyN(&payload, tee, int64(length)); err != nil {
+			return nil, fmt.Errorf("%w: section %d payload: %v", ErrTruncated, i, err)
+		}
+		data := payload.Bytes()
+		if got := crc32.ChecksumIEEE(data); got != want {
+			return nil, fmt.Errorf("%w: section %d (kind %d) CRC %#x, want %#x", ErrCorrupt, i, kind, got, want)
+		}
+		sections = append(sections, Section{Kind: kind, Data: data})
+	}
+	sum := crc.Sum32() // everything framed so far, before the footer
+	var foot [4]byte
+	if _, err := io.ReadFull(r, foot[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing footer: %v", ErrTruncated, err)
+	}
+	if got := binary.LittleEndian.Uint32(foot[:]); got != sum {
+		return nil, fmt.Errorf("%w: footer CRC %#x, want %#x", ErrCorrupt, got, sum)
+	}
+	return sections, nil
+}
+
+// binWriter appends fixed-width little-endian values to a buffer.
+type binWriter struct{ buf []byte }
+
+func (b *binWriter) u32(v uint32) {
+	b.buf = binary.LittleEndian.AppendUint32(b.buf, v)
+}
+func (b *binWriter) u64(v uint64) {
+	b.buf = binary.LittleEndian.AppendUint64(b.buf, v)
+}
+func (b *binWriter) i64(v int64)   { b.u64(uint64(v)) }
+func (b *binWriter) f64(v float64) { b.u64(math.Float64bits(v)) }
+
+// binReader consumes fixed-width little-endian values from a buffer.
+type binReader struct {
+	buf []byte
+	err error
+}
+
+func (b *binReader) take(n int) []byte {
+	if b.err != nil {
+		return nil
+	}
+	if len(b.buf) < n {
+		b.err = fmt.Errorf("%w: section payload short by %d bytes", ErrCorrupt, n-len(b.buf))
+		return nil
+	}
+	out := b.buf[:n]
+	b.buf = b.buf[n:]
+	return out
+}
+
+func (b *binReader) u32() uint32 {
+	if p := b.take(4); p != nil {
+		return binary.LittleEndian.Uint32(p)
+	}
+	return 0
+}
+
+func (b *binReader) u64() uint64 {
+	if p := b.take(8); p != nil {
+		return binary.LittleEndian.Uint64(p)
+	}
+	return 0
+}
+
+func (b *binReader) i64() int64     { return int64(b.u64()) }
+func (b *binReader) f64() float64   { return math.Float64frombits(b.u64()) }
+func (b *binReader) leftover() bool { return b.err == nil && len(b.buf) != 0 }

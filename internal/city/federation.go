@@ -52,6 +52,8 @@ type Federation struct {
 	Driver sim.Driver
 
 	lps []*shard.LP
+	// partition is the city→shard assignment applied at build.
+	partition []int
 	// exported/imported count inter-city jobs per city; slot i is only
 	// touched from city i's engine, so shard workers never contend.
 	exported []int64
@@ -89,7 +91,45 @@ func BuildFederation(cfg FederationConfig) *Federation {
 	assign := shard.PartitionContiguous(cfg.Cities, cfg.Shards, nil)
 	k.Partition(assign)
 	bb.AssignShards(assign)
+	f.partition = assign
 	return f
+}
+
+// Partition returns the city→shard assignment, in city order — the merge
+// metadata a checkpoint records so a restore can prove the rebuilt
+// federation partitions identically (per-shard snapshots only compose
+// deterministically when the partition is the same).
+func (f *Federation) Partition() []int {
+	out := make([]int, len(f.partition))
+	copy(out, f.partition)
+	return out
+}
+
+// EngineStates captures every city engine's kernel-visible state, in city
+// order. Each city lives on exactly one shard, so this is the federation's
+// per-shard snapshot set; the engines must be quiescent (after Run, or at
+// a paced slice boundary under Sync).
+func (f *Federation) EngineStates() []sim.EngineState {
+	out := make([]sim.EngineState, len(f.Cities))
+	for i, c := range f.Cities {
+		out[i] = c.Engine.Snapshot()
+	}
+	return out
+}
+
+// RestoreEngineStates verifies a rebuilt federation against checkpointed
+// per-city engine states (see sim.RestoreEngine). Any divergence is fatal
+// for a restore: continuing would fork history.
+func (f *Federation) RestoreEngineStates(states []sim.EngineState) error {
+	if len(states) != len(f.Cities) {
+		return fmt.Errorf("city: restore has %d engine states for %d cities", len(states), len(f.Cities))
+	}
+	for i, c := range f.Cities {
+		if err := sim.RestoreEngine(c.Engine, states[i]); err != nil {
+			return fmt.Errorf("city %d: %w", i, err)
+		}
+	}
+	return nil
 }
 
 // StartEdgeTraffic starts the per-building edge workload in every city.

@@ -43,6 +43,27 @@ func (q *InjectQueue) Inject(fn func(seq uint64)) (seq uint64, ok bool) {
 	return seq, true
 }
 
+// NextSeq returns the sequence number the next accepted injection will be
+// stamped with. Checkpoints record it so a recovered session can resume
+// the numbering without reusing a seq that already reached durable state.
+func (q *InjectQueue) NextSeq() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.seq
+}
+
+// ResumeAt raises the sequence counter to at least next. A recovered
+// serving plane calls it with (last durable seq + 1) before accepting
+// traffic, so post-recovery injections never collide with replayed ones.
+// Lowering the counter is impossible — seqs are never reissued.
+func (q *InjectQueue) ResumeAt(next uint64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if next > q.seq {
+		q.seq = next
+	}
+}
+
 // Drain removes and returns all pending injections in seq order. Only the
 // driving goroutine should call it.
 func (q *InjectQueue) Drain() []Injection {

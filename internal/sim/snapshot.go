@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Engine snapshot/restore — the copyable-state contract behind
+// checkpoint/restore (and, later, speculative window execution).
+//
+// A Go closure cannot be serialised, so an Engine's event heap is never
+// written to disk byte for byte. Instead df3 snapshots are *logical*: the
+// determinism contract (everything downstream of the seed, enforced by
+// df3lint) makes engine state a pure function of (build configuration,
+// external-input log), so a snapshot seals that recipe plus the engine's
+// kernel-visible state — clock, sequence counter, fired count, and a
+// digest over the pending event heap (which covers tick-domain re-arms and
+// pending completion events positionally). Restore rebuilds the engine
+// from the recipe, replays the inputs, and RestoreEngine then proves the
+// rebuilt engine is the checkpointed one: every field of its EngineState,
+// including the heap digest, must match bit for bit. A continuation from a
+// verified restore is byte-identical to the uninterrupted run.
+
+// EngineState is the copyable kernel-visible state of an Engine. It is a
+// plain value: comparable, serialisable, and cheap to capture (O(pending)
+// for the heap digest, allocation-light).
+type EngineState struct {
+	// Now is the engine clock.
+	Now Time
+	// Seq is the next event sequence number. Event ordering ties break on
+	// seq, so two engines agree on future behaviour only if their seq
+	// counters agree.
+	Seq uint64
+	// Fired counts events executed so far.
+	Fired uint64
+	// Pending counts scheduled, not-yet-fired events.
+	Pending int
+	// HeapDigest folds every pending event's (at, seq) stamp, in fire
+	// order, into an FNV-1a digest — tick domains, retimed completions and
+	// transient events all leave their fingerprint here without the
+	// closures themselves being serialised.
+	HeapDigest uint64
+}
+
+// Snapshot captures the engine's kernel-visible state. The engine must be
+// quiescent (not inside Run); snapshots are typically taken at driver
+// slice boundaries or shard window barriers.
+func (e *Engine) Snapshot() EngineState {
+	return EngineState{
+		Now:        e.now,
+		Seq:        e.seq,
+		Fired:      e.fired,
+		Pending:    len(e.events),
+		HeapDigest: e.heapDigest(),
+	}
+}
+
+// heapDigest folds the pending (at, seq) stamps in fire order. The heap
+// slice's internal layout is not deterministic across histories that agree
+// on contents, so the stamps are sorted by (at, seq) — the total fire
+// order — before folding.
+func (e *Engine) heapDigest() uint64 {
+	type stamp struct {
+		at  Time
+		seq uint64
+	}
+	stamps := make([]stamp, len(e.events))
+	for i, ev := range e.events {
+		stamps[i] = stamp{ev.at, ev.seq}
+	}
+	sort.Slice(stamps, func(i, j int) bool {
+		if stamps[i].at != stamps[j].at {
+			return stamps[i].at < stamps[j].at
+		}
+		return stamps[i].seq < stamps[j].seq
+	})
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime
+	}
+	for _, s := range stamps {
+		mix(timeBits(s.at))
+		mix(s.seq)
+	}
+	return h
+}
+
+// timeBits returns the IEEE-754 bit pattern of a sim time for hashing.
+func timeBits(t Time) uint64 { return math.Float64bits(float64(t)) }
+
+// RestoreEngine adopts a snapshot into a rebuilt engine: it verifies that
+// e — freshly reconstructed from the snapshot's recipe and replayed to the
+// snapshot instant — reached exactly the state `want` recorded, field by
+// field. On success e is, bit for bit, the engine the snapshot was taken
+// from and can continue as if never interrupted. On divergence it returns
+// an error naming the first differing field; continuing such an engine
+// would silently fork history, so callers must treat the error as fatal
+// for the restore.
+func RestoreEngine(e *Engine, want EngineState) error {
+	got := e.Snapshot()
+	switch {
+	case got.Now != want.Now:
+		return fmt.Errorf("sim: restore clock mismatch: rebuilt engine at %v, snapshot at %v", got.Now, want.Now)
+	case got.Seq != want.Seq:
+		return fmt.Errorf("sim: restore seq mismatch: rebuilt %d, snapshot %d (event orderings would diverge)", got.Seq, want.Seq)
+	case got.Fired != want.Fired:
+		return fmt.Errorf("sim: restore fired-count mismatch: rebuilt %d, snapshot %d", got.Fired, want.Fired)
+	case got.Pending != want.Pending:
+		return fmt.Errorf("sim: restore pending-count mismatch: rebuilt %d, snapshot %d", got.Pending, want.Pending)
+	case got.HeapDigest != want.HeapDigest:
+		return fmt.Errorf("sim: restore heap digest mismatch: rebuilt %#x, snapshot %#x (same counts, different schedule)", got.HeapDigest, want.HeapDigest)
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildTwin constructs a small but representative engine: tick domains,
+// cancellable one-shots, transient events and a retimed completion.
+func buildTwin(drainTo Time) *Engine {
+	e := New()
+	n := 0
+	e.Domain(10).Subscribe(func(Time) { n++ })
+	e.Domain(60).Subscribe(func(Time) { n += 2 })
+	for i := 0; i < 5; i++ {
+		e.AfterTransient(Time(7*i+3), func() { n++ })
+	}
+	ev := e.After(41, func() { n += 3 })
+	e.After(20, func() { e.Reset(ev, e.Now()+100) })
+	e.After(500, func() {}) // beyond the drain horizon: stays pending
+	e.Run(drainTo)
+	return e
+}
+
+// TestSnapshotIdenticalHistories: two engines with identical histories
+// capture identical EngineStates, and RestoreEngine accepts the twin.
+func TestSnapshotIdenticalHistories(t *testing.T) {
+	a := buildTwin(120)
+	b := buildTwin(120)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if sa != sb {
+		t.Fatalf("twin snapshots differ: %+v vs %+v", sa, sb)
+	}
+	if sa.Pending == 0 {
+		t.Fatal("test engine has no pending events; heap digest is vacuous")
+	}
+	if err := RestoreEngine(b, sa); err != nil {
+		t.Fatalf("restore of identical twin rejected: %v", err)
+	}
+}
+
+// TestSnapshotDetectsDivergence: each kind of divergence — clock, history
+// length, schedule content — is caught and named.
+func TestSnapshotDetectsDivergence(t *testing.T) {
+	base := buildTwin(120).Snapshot()
+
+	ahead := buildTwin(120)
+	ahead.Run(130)
+	if err := RestoreEngine(ahead, base); err == nil || !strings.Contains(err.Error(), "clock") {
+		t.Fatalf("clock divergence not named: %v", err)
+	}
+
+	extra := buildTwin(120)
+	extra.After(400, func() {})
+	err := RestoreEngine(extra, base)
+	if err == nil {
+		t.Fatal("extra pending event accepted")
+	}
+
+	// Same pending count, different schedule: cancel one event and add
+	// another at a different time.
+	reshaped := buildTwin(120)
+	st := reshaped.Snapshot()
+	if st != base {
+		t.Fatalf("twin setup drifted: %+v vs %+v", st, base)
+	}
+	reshaped.After(400, func() {})
+	withExtra := reshaped.Snapshot()
+	if withExtra.HeapDigest == base.HeapDigest {
+		t.Fatal("heap digest ignored a schedule change")
+	}
+}
+
+// TestSnapshotAfterContinuation: continuing past a verified snapshot
+// instant leaves both twins agreeing again at any later instant — the
+// resumability property the checkpoint layer builds on.
+func TestSnapshotAfterContinuation(t *testing.T) {
+	a := buildTwin(120)
+	b := buildTwin(120)
+	if err := RestoreEngine(b, a.Snapshot()); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	a.Run(600)
+	b.Run(600)
+	if sa, sb := a.Snapshot(), b.Snapshot(); sa != sb {
+		t.Fatalf("continuations diverged: %+v vs %+v", sa, sb)
+	}
+}
+
+// TestInjectQueueResume: the seq counter resumes monotonically and never
+// moves backwards.
+func TestInjectQueueResume(t *testing.T) {
+	q := NewInjectQueue()
+	for i := 0; i < 3; i++ {
+		if _, ok := q.Inject(func(uint64) {}); !ok {
+			t.Fatal("inject refused on open queue")
+		}
+	}
+	if got := q.NextSeq(); got != 3 {
+		t.Fatalf("NextSeq %d, want 3", got)
+	}
+	q.ResumeAt(10)
+	if got := q.NextSeq(); got != 10 {
+		t.Fatalf("NextSeq after ResumeAt(10): %d", got)
+	}
+	q.ResumeAt(5) // lowering must be a no-op
+	if got := q.NextSeq(); got != 10 {
+		t.Fatalf("ResumeAt lowered the counter to %d", got)
+	}
+	seq, ok := q.Inject(func(uint64) {})
+	if !ok || seq != 10 {
+		t.Fatalf("post-resume inject got seq %d ok=%v, want 10", seq, ok)
+	}
+}
