@@ -20,6 +20,9 @@ type benchConfig struct {
 	memProfile string
 	tracePath  string
 
+	// Shard-profiler mode.
+	shardprof bool
+
 	// Long-running resumable batch mode.
 	longrun         float64 // horizon in simulated days (0 = experiment mode)
 	cities          int     // federation width (longrun only)
@@ -60,6 +63,19 @@ func (c benchConfig) validate() error {
 	}
 	if c.shards < 1 {
 		return fmt.Errorf("-shards %d: need at least one shard", c.shards)
+	}
+	if c.shardprof {
+		// The profiled federation is E19-shaped and self-contained; only
+		// -quick, -shards and -seed tune it.
+		switch {
+		case c.longrun != 0 || c.resume != "":
+			return fmt.Errorf("-shardprof and -longrun/-resume are exclusive modes")
+		case c.run != "" || c.tracePath != "" || c.csvDir != "":
+			return fmt.Errorf("-shardprof is a self-contained profile run; -run/-trace/-csv do not apply")
+		case c.cities != 0 || c.checkpointDir != "" || c.checkpointEvery != 0:
+			return fmt.Errorf("-shardprof sizes its own federation; -cities and checkpoint flags do not apply")
+		}
+		return nil
 	}
 	if c.resume != "" {
 		// Resume restores everything — shape, horizon, cadence — from the

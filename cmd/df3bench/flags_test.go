@@ -38,6 +38,11 @@ func TestBenchConfigValidate(t *testing.T) {
 		{"memprofile ok", benchConfig{shards: 1, memProfile: out("mem.prof")}, ""},
 		{"csv creatable dir", benchConfig{shards: 1, csvDir: filepath.Join(dir, "csv")}, ""},
 		{"csv path is a file", benchConfig{shards: 1, csvDir: plain}, "-csv"},
+		{"shardprof", benchConfig{shards: 4, shardprof: true}, ""},
+		{"shardprof quick", benchConfig{shards: 2, shardprof: true, quick: true}, ""},
+		{"shardprof with run", benchConfig{shards: 4, shardprof: true, run: "E2"}, "do not apply"},
+		{"shardprof with longrun", benchConfig{shards: 4, shardprof: true, longrun: 1}, "exclusive modes"},
+		{"shardprof with cities", benchConfig{shards: 4, shardprof: true, cities: 10}, "sizes its own federation"},
 		{"longrun", benchConfig{shards: 2, longrun: 3, cities: 4}, ""},
 		{"longrun with checkpoints", benchConfig{shards: 1, longrun: 3, cities: 2,
 			checkpointEvery: 1, checkpointDir: filepath.Join(dir, "ck")}, ""},

@@ -40,6 +40,7 @@ func main() {
 	flag.Float64Var(&cfg.checkpointEvery, "checkpoint-every", 0, "cut a checkpoint every this many simulated days (-longrun/-resume)")
 	flag.StringVar(&cfg.checkpointDir, "checkpoint-dir", "", "directory for -checkpoint-every snapshots")
 	flag.StringVar(&cfg.resume, "resume", "", "restore a -longrun from this checkpoint file and continue to its horizon")
+	flag.BoolVar(&cfg.shardprof, "shardprof", false, "profile the E19 federation: per-shard busy/idle, barrier limiters, lookahead-bound pairs")
 	flag.Parse()
 
 	if err := cfg.validate(); err != nil {
@@ -54,6 +55,10 @@ func main() {
 		return
 	}
 
+	if cfg.shardprof {
+		runShardprofMode(cfg, *seed)
+		return
+	}
 	if cfg.longrun > 0 || cfg.resume != "" {
 		runLongrunMode(cfg, *seed)
 		return

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"df3/internal/city"
+	"df3/internal/network"
+	"df3/internal/report"
+	"df3/internal/sim"
+)
+
+// runShardprofMode profiles the E19-shaped federation: the same scenario
+// the scale sweep measures, but with the kernel profiler on, answering
+// *why* the speedup is what it is — which shards sit idle at barriers,
+// which LP's min-next-event sets the windows, and which boundary pair's
+// lookahead binds the window width. A second, unprofiled twin run proves
+// the profiler is pure observation (identical checksums).
+func runShardprofMode(cfg benchConfig, seed uint64) {
+	cities, horizon := 10, 6*sim.Hour
+	if cfg.quick {
+		cities, horizon = 4, 2*sim.Hour
+	}
+	ccfg := city.DefaultConfig()
+	ccfg.Buildings = 2
+	ccfg.RoomsPerBuilding = 4
+	ccfg.DatacenterNodes = 2
+	backbone := network.DefaultBackbone()
+	backbone.Staging = 120
+
+	build := func() *city.Federation {
+		return city.BuildFederation(city.FederationConfig{
+			Seed: seed, Cities: cities, Shards: cfg.shards, City: ccfg,
+			Backbone: backbone,
+		})
+	}
+	run := func(f *city.Federation) {
+		f.StartEdgeTraffic(horizon, 0.5)
+		f.StartInterCityDCC(horizon, 2)
+		f.Run(horizon + sim.Hour)
+	}
+
+	fmt.Printf("df3bench: shard profile, %d cities on %d shards, seed %d\n", cities, cfg.shards, seed)
+	prof := build()
+	prof.Kernel.EnableProfile()
+	run(prof)
+	twin := build()
+	run(twin)
+
+	rep, ok := prof.Kernel.ProfileReport()
+	if !ok {
+		fmt.Fprintln(os.Stderr, "df3bench: profiler produced no report")
+		os.Exit(1)
+	}
+	st := prof.Kernel.Stats()
+	fmt.Printf("windows %d (%d limited), parallel wall %.3fs, lookahead %.0f sim-s, critical-path speedup %.2fx\n",
+		rep.Windows, rep.LimitedWindows, rep.Wall.Seconds(), float64(rep.Lookahead), st.Speedup())
+	fmt.Printf("profiled checksum identical to unprofiled twin: %v\n\n", prof.Checksum() == twin.Checksum())
+
+	shardTable := report.NewTable("per-shard busy vs barrier-idle",
+		"shard", "lps", "events", "busy_s", "idle_s", "util")
+	for _, s := range rep.Shards {
+		shardTable.Row(s.Shard, s.LPs, int64(s.Events),
+			s.Busy.Seconds(), s.Idle.Seconds(), s.Utilization)
+	}
+	limTable := report.NewTable("barrier limiters (LPs whose min-next-event set the window)",
+		"lp", "name", "shard", "windows", "frac")
+	for i, l := range rep.Limiters {
+		if i == 10 {
+			break
+		}
+		limTable.Row(l.LP, l.Name, l.Shard, int64(l.Windows), l.Frac)
+	}
+	pairTable := report.NewTable("cross-shard boundary pairs (a pair binds when its observed min delay sits at the lookahead)",
+		"src", "dst", "msgs", "bytes", "min_delay_s", "slack_s", "binds")
+	for _, p := range rep.Pairs {
+		// Observed delays never undercut the configured lookahead; a pair
+		// within 10% of it is the constraint a larger lookahead would hit.
+		slack := float64(p.MinDelay - rep.Lookahead)
+		binds := "no"
+		if slack <= 0.1*float64(rep.Lookahead) {
+			binds = "yes"
+		}
+		pairTable.Row(p.SrcShard, p.DstShard, p.Messages, p.Bytes, float64(p.MinDelay), slack, binds)
+	}
+	for _, t := range []*report.Table{shardTable, limTable, pairTable} {
+		if err := t.Write(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "df3bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

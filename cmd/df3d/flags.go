@@ -31,6 +31,12 @@ type daemonConfig struct {
 	checkpointEvery float64
 	walFsync        bool
 
+	// Observability.
+	pprofEnabled bool
+	flight       int
+	traceSample  int
+	profile      bool
+
 	// Offline replay mode.
 	replay string
 }
@@ -55,6 +61,15 @@ func (c daemonConfig) validate() error {
 	if c.mtbf < 0 {
 		return fmt.Errorf("-mtbf %v must be non-negative", c.mtbf)
 	}
+	if c.flight < 0 {
+		return fmt.Errorf("-flight %d must be non-negative (0 disables the flight recorder)", c.flight)
+	}
+	if c.traceSample < 1 {
+		return fmt.Errorf("-trace-sample %d: need a keep-1-in-N rate of at least 1", c.traceSample)
+	}
+	if c.traceSample != 1 && c.flight == 0 {
+		return fmt.Errorf("-trace-sample tunes the flight recorder; it requires -flight")
+	}
 	if c.replay != "" {
 		// Offline replay: rebuild the federation and re-execute a recorded
 		// arrival log — no server, no pacing, no recording.
@@ -69,6 +84,8 @@ func (c daemonConfig) validate() error {
 			return fmt.Errorf("-speed requires -live (replay is batch, not paced)")
 		case c.maxEdge != 0 || c.maxDCC != 0 || c.maxQueue != 0:
 			return fmt.Errorf("admission flags (-max-inflight-edge, -max-inflight-dcc, -max-queue) require -live")
+		case c.pprofEnabled || c.flight != 0 || c.profile:
+			return fmt.Errorf("observability flags (-pprof, -flight, -profile) serve live traffic; drop them for -replay")
 		}
 		if err := c.validateFederation(); err != nil {
 			return err
@@ -91,6 +108,10 @@ func (c daemonConfig) validate() error {
 			return fmt.Errorf("admission flags (-max-inflight-edge, -max-inflight-dcc, -max-queue) require -live")
 		case c.checkpointDir != "" || c.walFsync:
 			return fmt.Errorf("checkpoint flags (-checkpoint-dir, -wal-fsync) require -live")
+		case c.flight != 0:
+			return fmt.Errorf("-flight requires -live (the flight recorder rides the live ingest plane)")
+		case c.profile:
+			return fmt.Errorf("-profile requires -live (the shard profiler needs the sharded kernel)")
 		}
 		return nil
 	}

@@ -11,7 +11,7 @@ func validLive() daemonConfig {
 	return daemonConfig{
 		addr: ":8080", buildings: 4, rooms: 6,
 		live: true, speed: 60, maxSlice: 1, cities: 2, shards: 2,
-		ingestTimeout: 30 * time.Second,
+		ingestTimeout: 30 * time.Second, traceSample: 1,
 	}
 }
 
@@ -19,7 +19,7 @@ func validStep() daemonConfig {
 	return daemonConfig{
 		addr: ":8080", buildings: 4, rooms: 6,
 		speed: 1, maxSlice: 1, cities: 1, shards: 1,
-		ingestTimeout: 30 * time.Second,
+		ingestTimeout: 30 * time.Second, traceSample: 1,
 	}
 }
 
@@ -115,6 +115,32 @@ func TestDaemonFlagValidation(t *testing.T) {
 			c.replay = filepath.Join(tmp, "wal.ndjson")
 			c.checkpointDir = tmp
 		}, "require -live"},
+		{"valid live telemetry", func(c *daemonConfig) {
+			*c = validLive()
+			c.pprofEnabled = true
+			c.flight = 4096
+			c.traceSample = 8
+			c.profile = true
+		}, ""},
+		{"valid step pprof", func(c *daemonConfig) { c.pprofEnabled = true }, ""},
+		{"negative flight", func(c *daemonConfig) {
+			*c = validLive()
+			c.flight = -1
+		}, "-flight"},
+		{"zero trace sample", func(c *daemonConfig) {
+			*c = validLive()
+			c.traceSample = 0
+		}, "-trace-sample"},
+		{"trace sample without flight", func(c *daemonConfig) {
+			*c = validLive()
+			c.traceSample = 4
+		}, "requires -flight"},
+		{"flight without live", func(c *daemonConfig) { c.flight = 1024 }, "-flight requires -live"},
+		{"profile without live", func(c *daemonConfig) { c.profile = true }, "-profile requires -live"},
+		{"replay with pprof", func(c *daemonConfig) {
+			c.replay = filepath.Join(tmp, "wal.ndjson")
+			c.pprofEnabled = true
+		}, "drop them for -replay"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

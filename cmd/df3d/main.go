@@ -36,6 +36,7 @@ import (
 	"io/fs"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -46,6 +47,7 @@ import (
 	"df3/internal/checkpoint"
 	"df3/internal/city"
 	"df3/internal/metrics"
+	"df3/internal/obs"
 	"df3/internal/sim"
 )
 
@@ -70,6 +72,10 @@ func main() {
 	flag.StringVar(&cfg.checkpointDir, "checkpoint-dir", "", "directory for crash-safe checkpoints; enables recovery on restart (live mode, needs -arrival-log)")
 	flag.Float64Var(&cfg.checkpointEvery, "checkpoint-every", defaultCheckpointEvery, "simulated seconds between checkpoints (live mode)")
 	flag.BoolVar(&cfg.walFsync, "wal-fsync", false, "fsync the arrival log on every record, not just at checkpoints (live mode)")
+	flag.BoolVar(&cfg.pprofEnabled, "pprof", false, "expose Go profiling under /debug/pprof/ (serving modes)")
+	flag.IntVar(&cfg.flight, "flight", 0, "flight recorder ring capacity per span source; serves GET /v1/traces (live mode, 0 disables)")
+	flag.IntVar(&cfg.traceSample, "trace-sample", 1, "keep 1 in N trace spans in the flight recorder (live mode)")
+	flag.BoolVar(&cfg.profile, "profile", false, "account per-shard busy/idle wall time and barrier limiters (live mode)")
 	flag.StringVar(&cfg.replay, "replay", "", "offline mode: replay a recorded arrival log and print the federation checksum")
 	flag.Parse()
 
@@ -147,9 +153,26 @@ func runReplay(cfg daemonConfig, ccfg city.Config) {
 	fmt.Printf(checksumLine, f.Checksum())
 }
 
+// withPprof mounts the Go profiling handlers beside the API — explicit
+// registrations on a private mux, so nothing leaks through the default
+// mux and the surface only exists behind -pprof. Profiling endpoints
+// bypass the API's JSON-error hardening deliberately: pprof speaks its
+// own content types.
+func withPprof(next http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", next)
+	return mux
+}
+
 // runStep hosts the step-driven single-city laboratory.
 func runStep(cfg daemonConfig, ccfg city.Config) {
 	c := city.Build(ccfg)
+	obs.RegisterRuntime(c.Observability())
 	fmt.Printf("df3d: %d buildings × %d rooms (%d boiler plants), %d DF machines, listening on %s\n",
 		cfg.buildings, cfg.rooms, cfg.boilers, len(c.Fleet.Machines), cfg.addr)
 	hint := cfg.addr
@@ -157,7 +180,11 @@ func runStep(cfg daemonConfig, ccfg city.Config) {
 		hint = "localhost" + hint
 	}
 	fmt.Println("advance time with: curl -X POST " + hint + "/v1/step -d '{\"seconds\":3600}'")
-	serve(cfg.addr, api.NewServer(c), func() *metrics.Registry { return c.Observability() }, nil, nil)
+	var handler http.Handler = api.NewServer(c)
+	if cfg.pprofEnabled {
+		handler = withPprof(handler)
+	}
+	serve(cfg.addr, handler, func() *metrics.Registry { return c.Observability() }, nil, nil)
 }
 
 // runLive hosts the paced serving plane. With -checkpoint-dir it is
@@ -195,7 +222,24 @@ func runLive(cfg daemonConfig, ccfg city.Config) {
 		}
 		lcfg.ArrivalLog = logFile
 	}
+	if cfg.flight > 0 {
+		// One sampling policy governs both planes: the per-city recorder
+		// rings and the ingest request recorder. City rings attach before
+		// NewLive (which attaches "ingest" itself, then registers the
+		// flight series) so Flight.Register sees every source.
+		pol := obs.Policy{Default: cfg.traceSample}
+		fl := obs.NewFlight(cfg.flight, pol)
+		f.EnableTracing(cfg.flight)
+		f.AttachFlight(fl)
+		lcfg.Flight = fl
+		lcfg.TracePolicy = pol
+		lcfg.TraceCapacity = cfg.flight
+	}
+	if cfg.profile {
+		f.Kernel.EnableProfile()
+	}
 	live := api.NewLive(f, lcfg)
+	obs.RegisterRuntime(live.Registry())
 	machines := 0
 	for _, c := range f.Cities {
 		machines += len(c.Fleet.Machines)
@@ -220,7 +264,11 @@ func runLive(cfg daemonConfig, ccfg city.Config) {
 			}
 		}
 	}()
-	serve(cfg.addr, api.NewLiveServer(live), func() *metrics.Registry { return live.Registry() }, abort, func() {
+	var handler http.Handler = api.NewLiveServer(live)
+	if cfg.pprofEnabled {
+		handler = withPprof(handler)
+	}
+	serve(cfg.addr, handler, func() *metrics.Registry { return live.Registry() }, abort, func() {
 		if err := live.Stop(); err != nil {
 			fmt.Fprintln(os.Stderr, "df3d: arrival log:", err)
 		}

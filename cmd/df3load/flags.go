@@ -26,7 +26,8 @@ type loadConfig struct {
 	deadS   float64
 	frames  int
 
-	report string // write the SLO report here instead of stdout
+	report      string // write the SLO report here instead of stdout
+	summaryJSON string // also write a machine-readable summary ("-" = stdout)
 
 	// Retry and readiness: the chaos harness drives load across a df3d
 	// restart, so transient refusals must not poison the outcome table.
@@ -102,6 +103,11 @@ func (c loadConfig) validate() error {
 	if c.report != "" {
 		if err := cliutil.CheckWritableFile(c.report); err != nil {
 			return fmt.Errorf("-report: %w", err)
+		}
+	}
+	if c.summaryJSON != "" && c.summaryJSON != "-" {
+		if err := cliutil.CheckWritableFile(c.summaryJSON); err != nil {
+			return fmt.Errorf("-summary-json: %w", err)
 		}
 	}
 	if !c.retry {

@@ -317,6 +317,7 @@ func main() {
 	flag.Float64Var(&cfg.deadS, "deadline", 1, "edge deadline in simulated seconds (0 = none)")
 	flag.IntVar(&cfg.frames, "frames", 8, "mean frames per batch job")
 	flag.StringVar(&cfg.report, "report", "", "write the SLO report to this file instead of stdout")
+	flag.StringVar(&cfg.summaryJSON, "summary-json", "", "also write a machine-readable run summary to this file (\"-\" = stdout)")
 	flag.BoolVar(&cfg.retry, "retry", false, "retry 429/503/connection-refused with jittered backoff")
 	flag.IntVar(&cfg.retryMax, "retry-max", defaultRetryMax, "retries per request (needs -retry)")
 	flag.DurationVar(&cfg.retryBase, "retry-base", defaultRetryBase, "first backoff step (needs -retry)")
@@ -375,4 +376,20 @@ func main() {
 		out = f
 	}
 	writeReport(out, &cfg, elapsed, t, scraped)
+	if cfg.summaryJSON != "" {
+		sink := os.Stdout
+		if cfg.summaryJSON != "-" {
+			f, err := os.Create(cfg.summaryJSON)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "df3load:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			sink = f
+		}
+		if err := writeSummaryJSON(sink, buildSummary(&cfg, elapsed, t, scraped)); err != nil {
+			fmt.Fprintln(os.Stderr, "df3load: summary:", err)
+			os.Exit(1)
+		}
+	}
 }

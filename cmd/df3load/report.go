@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -82,6 +83,92 @@ func writeReport(w io.Writer, cfg *loadConfig, elapsed time.Duration, t *tally, 
 			fmtSecs(quantileOf(scraped, "df3_ingest_sim_seconds", class, "0.9")),
 			fmtSecs(quantileOf(scraped, "df3_ingest_sim_seconds", class, "0.99")))
 	}
+}
+
+// jsonSummary is the -summary-json document: the same facts as the text
+// report, shaped for CI assertions (jq-friendly, stable keys).
+type jsonSummary struct {
+	Mode        string  `json:"mode"` // "open" or "closed"
+	Profile     string  `json:"profile"`
+	DurationS   float64 `json:"duration_s"`
+	Sent        int64   `json:"requests_sent"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	// Client is the wire view: HTTP outcome label → count.
+	Client map[string]int64 `json:"client_outcomes"`
+	// ClientWallS holds the client latency quantiles ("p50","p90","p99").
+	ClientWallS map[string]float64 `json:"client_wall_quantiles_s"`
+	// ScrapeOK is false when /metrics was unreachable; the server maps
+	// are then empty, and CI must treat assertions on them as failed.
+	ScrapeOK bool `json:"scrape_ok"`
+	// Server is the simulation's verdict: class → outcome → count.
+	Server map[string]map[string]float64 `json:"server_requests,omitempty"`
+	// ServerWallS is class → quantile name → seconds.
+	ServerWallS map[string]map[string]float64 `json:"server_wall_quantiles_s,omitempty"`
+}
+
+// buildSummary folds the run into the machine-readable summary. Pure
+// given its inputs, which keeps -summary-json unit-testable.
+func buildSummary(cfg *loadConfig, elapsed time.Duration, t *tally, scraped map[string]float64) jsonSummary {
+	t.mu.Lock()
+	sent := t.sent
+	client := make(map[string]int64, len(t.byOutcome))
+	for k, v := range t.byOutcome {
+		client[k] = v
+	}
+	t.mu.Unlock()
+
+	mode := "open"
+	if cfg.conns > 0 {
+		mode = "closed"
+	}
+	s := jsonSummary{
+		Mode:      mode,
+		Profile:   cfg.profile,
+		DurationS: elapsed.Seconds(),
+		Sent:      sent,
+		Client:    client,
+		ClientWallS: map[string]float64{
+			"p50": t.latency.Quantile(0.5),
+			"p90": t.latency.Quantile(0.9),
+			"p99": t.latency.Quantile(0.99),
+		},
+		ScrapeOK: len(scraped) > 0,
+	}
+	if elapsed > 0 {
+		s.AchievedRPS = float64(sent) / elapsed.Seconds()
+	}
+	if !s.ScrapeOK {
+		return s
+	}
+	s.Server = map[string]map[string]float64{}
+	s.ServerWallS = map[string]map[string]float64{}
+	for _, class := range ingestClasses {
+		counts := map[string]float64{}
+		var total float64
+		for _, outcome := range ingestOutcomes {
+			if n := scraped[requestsKey(class, outcome)]; n > 0 {
+				counts[outcome] = n
+				total += n
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		s.Server[class] = counts
+		s.ServerWallS[class] = map[string]float64{
+			"p50": quantileOf(scraped, "df3_ingest_wall_seconds", class, "0.5"),
+			"p90": quantileOf(scraped, "df3_ingest_wall_seconds", class, "0.9"),
+			"p99": quantileOf(scraped, "df3_ingest_wall_seconds", class, "0.99"),
+		}
+	}
+	return s
+}
+
+// writeSummaryJSON emits the summary as one indented JSON document.
+func writeSummaryJSON(w io.Writer, s jsonSummary) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
 }
 
 func requestsKey(class, outcome string) string {

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// cannedScrape mimics a live df3d /metrics after a short run.
+func cannedScrape() map[string]float64 {
+	return map[string]float64{
+		requestsKey("edge", "served"):                           90,
+		requestsKey("edge", "rejected"):                         5,
+		requestsKey("edge", "shed"):                             5,
+		requestsKey("dcc", "done"):                              10,
+		`df3_ingest_wall_seconds{class="edge",quantile="0.5"}`:  0.02,
+		`df3_ingest_wall_seconds{class="edge",quantile="0.9"}`:  0.08,
+		`df3_ingest_wall_seconds{class="edge",quantile="0.99"}`: 0.2,
+		`df3_ingest_wall_seconds{class="dcc",quantile="0.99"}`:  3.5,
+	}
+}
+
+func tallyOf(outcomes map[string]int64, latencies ...float64) *tally {
+	t := newTally()
+	for k, v := range outcomes {
+		t.byOutcome[k] = v
+		t.sent += v
+	}
+	for _, l := range latencies {
+		t.latency.Observe(l)
+	}
+	return t
+}
+
+func TestBuildSummary(t *testing.T) {
+	cfg := &loadConfig{rate: 50, profile: "steady"}
+	tl := tallyOf(map[string]int64{"served": 90, "shed": 10}, 0.01, 0.02, 0.03, 0.04, 0.05)
+	s := buildSummary(cfg, 2*time.Second, tl, cannedScrape())
+
+	if s.Mode != "open" || s.Profile != "steady" {
+		t.Fatalf("mode/profile = %s/%s", s.Mode, s.Profile)
+	}
+	if s.Sent != 100 || s.AchievedRPS != 50 {
+		t.Fatalf("sent %d rps %.1f, want 100 at 50/s", s.Sent, s.AchievedRPS)
+	}
+	if s.Client["served"] != 90 || s.Client["shed"] != 10 {
+		t.Fatalf("client outcomes %v", s.Client)
+	}
+	if s.ClientWallS["p50"] <= 0 {
+		t.Fatalf("client p50 %v", s.ClientWallS)
+	}
+	if !s.ScrapeOK {
+		t.Fatal("scrape marked failed")
+	}
+	if s.Server["edge"]["served"] != 90 || s.Server["edge"]["rejected"] != 5 {
+		t.Fatalf("server edge counts %v", s.Server["edge"])
+	}
+	if s.Server["dcc"]["done"] != 10 {
+		t.Fatalf("server dcc counts %v", s.Server["dcc"])
+	}
+	if s.ServerWallS["edge"]["p99"] != 0.2 {
+		t.Fatalf("server edge p99 %v", s.ServerWallS["edge"])
+	}
+	// Zero-count outcomes are omitted, not zero-valued.
+	if _, ok := s.Server["edge"]["timeout"]; ok {
+		t.Fatal("zero outcome should be absent")
+	}
+}
+
+func TestBuildSummaryScrapeUnavailable(t *testing.T) {
+	cfg := &loadConfig{conns: 4, profile: "ramp"}
+	s := buildSummary(cfg, time.Second, tallyOf(map[string]int64{"served": 3}), nil)
+	if s.Mode != "closed" {
+		t.Fatalf("mode %s", s.Mode)
+	}
+	if s.ScrapeOK || s.Server != nil || s.ServerWallS != nil {
+		t.Fatalf("failed scrape must leave server maps empty: %+v", s)
+	}
+}
+
+// TestSummaryJSONRoundTrip: the emitted document decodes back with the
+// keys CI asserts on.
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	cfg := &loadConfig{rate: 10, profile: "steady"}
+	s := buildSummary(cfg, time.Second, tallyOf(map[string]int64{"served": 7}), cannedScrape())
+	var buf bytes.Buffer
+	if err := writeSummaryJSON(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"mode", "requests_sent", "client_outcomes", "scrape_ok", "server_requests"} {
+		if _, ok := decoded[key]; !ok {
+			t.Errorf("summary JSON missing %q:\n%s", key, buf.String())
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Command df3top is a terminal dashboard for a running df3d: it polls
+// /metrics and /healthz and renders a live SLO / ingest / recovery view,
+// with rates computed from scrape deltas.
+//
+//	df3top -url http://localhost:8080 -interval 2s
+//	df3top -once   # one snapshot, no screen clearing — for scripts
+//
+// The dashboard is read-only and resilient: a scrape failure (daemon
+// restarting, recovery in progress behind a dead listener) renders as an
+// error banner and polling continues.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"df3/internal/metrics"
+)
+
+// clearScreen is the ANSI home+erase prefix for each live frame.
+const clearScreen = "\x1b[H\x1b[2J"
+
+func main() {
+	url := flag.String("url", "http://localhost:8080", "df3d base URL")
+	interval := flag.Duration("interval", 2*time.Second, "poll period (also the rate window)")
+	once := flag.Bool("once", false, "print one snapshot and exit (no screen clearing)")
+	flag.Parse()
+	if *url == "" {
+		fmt.Fprintln(os.Stderr, "df3top: -url must not be empty")
+		os.Exit(2)
+	}
+	if *interval <= 0 {
+		fmt.Fprintln(os.Stderr, "df3top: -interval must be positive")
+		os.Exit(2)
+	}
+
+	client := &http.Client{Timeout: *interval}
+	var prev map[string]float64
+	for {
+		cur, health := scrape(client, *url)
+		frame := render(*url, prev, cur, health, *interval)
+		if *once {
+			fmt.Print(frame)
+			if health.Err != "" {
+				os.Exit(1)
+			}
+			return
+		}
+		fmt.Print(clearScreen + frame)
+		prev = cur
+		time.Sleep(*interval)
+	}
+}
+
+// scrape polls both surfaces. A failed metrics scrape yields a nil map
+// and an error banner in healthInfo; /healthz is decoded even on 503 —
+// a recovering daemon answers 503 with a JSON state body.
+func scrape(client *http.Client, base string) (map[string]float64, healthInfo) {
+	var h healthInfo
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		h.Err = err.Error()
+	} else {
+		err = json.NewDecoder(resp.Body).Decode(&h)
+		resp.Body.Close()
+		if err != nil {
+			h.Err = "healthz: " + err.Error()
+		}
+	}
+	mresp, err := client.Get(base + "/metrics")
+	if err != nil {
+		if h.Err == "" {
+			h.Err = err.Error()
+		}
+		return nil, h
+	}
+	defer mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		if h.Err == "" {
+			h.Err = fmt.Sprintf("metrics: HTTP %d", mresp.StatusCode)
+		}
+		return nil, h
+	}
+	m, err := metrics.ParsePrometheus(mresp.Body)
+	if err != nil {
+		if h.Err == "" {
+			h.Err = err.Error()
+		}
+		return nil, h
+	}
+	return m, h
+}

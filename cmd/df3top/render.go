@@ -1,0 +1,228 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// healthInfo is the decoded /healthz body, plus any scrape error. The
+// zero value renders as "unknown" — a daemon that never answered.
+type healthInfo struct {
+	OK      bool    `json:"ok"`
+	State   string  `json:"state"`
+	SimTime float64 `json:"sim_time_s"`
+	// Err is a transport or parse failure; the dashboard shows it as a
+	// banner and keeps polling.
+	Err string `json:"-"`
+}
+
+// metricVal returns one series by its exact exposition id (name plus
+// rendered label set), 0 when absent.
+func metricVal(m map[string]float64, id string) float64 { return m[id] }
+
+// metricSum folds every series of one family: the bare name and any
+// labeled variant. Histogram _sum/_count families are distinct names, so
+// they never alias their quantile series.
+func metricSum(m map[string]float64, name string) float64 {
+	if v, ok := m[name]; ok {
+		return v
+	}
+	var total float64
+	prefix := name + "{"
+	//df3:unordered-ok display-only rollup; FP association error is far below render precision
+	for id, v := range m {
+		if strings.HasPrefix(id, prefix) {
+			total += v
+		}
+	}
+	return total
+}
+
+// metricRate is the per-second family delta between two scrapes, clamped
+// at zero (a restarted daemon resets its counters).
+func metricRate(prev, cur map[string]float64, name string, interval time.Duration) float64 {
+	if prev == nil || interval <= 0 {
+		return 0
+	}
+	d := metricSum(cur, name) - metricSum(prev, name)
+	if d < 0 {
+		return 0
+	}
+	return d / interval.Seconds()
+}
+
+// has reports whether any series of the family is present — the gate for
+// optional dashboard sections (WAL, flight, shards).
+func has(m map[string]float64, name string) bool {
+	if _, ok := m[name]; ok {
+		return true
+	}
+	prefix := name + "{"
+	//df3:unordered-ok pure existence test; any matching series answers the same
+	for id := range m {
+		if strings.HasPrefix(id, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// fmtBytes renders a byte count with a binary-ish human unit.
+func fmtBytes(v float64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", v/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", v/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", v/(1<<10))
+	default:
+		return fmt.Sprintf("%.0f B", v)
+	}
+}
+
+// ingestLine renders one request class: terminal outcome counts with a
+// completion rate, plus the wall-latency p99 when observed.
+func ingestLine(prev, cur map[string]float64, interval time.Duration, class, done string, outcomes []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %-7s", class)
+	for _, o := range outcomes {
+		id := fmt.Sprintf(`df3_ingest_requests_total{class=%q,outcome=%q}`, class, o)
+		fmt.Fprintf(&b, " %s %.0f", o, metricVal(cur, id))
+		if o == done {
+			doneID := id
+			r := 0.0
+			if prev != nil {
+				if d := metricVal(cur, doneID) - metricVal(prev, doneID); d > 0 {
+					r = d / interval.Seconds()
+				}
+			}
+			fmt.Fprintf(&b, " (%.1f/s)", r)
+		}
+	}
+	p99 := fmt.Sprintf(`df3_ingest_wall_seconds{class=%q,quantile="0.99"}`, class)
+	if v, ok := cur[p99]; ok && metricVal(cur, fmt.Sprintf(`df3_ingest_wall_seconds_count{class=%q}`, class)) > 0 {
+		fmt.Fprintf(&b, "   wall p99 %.3fs", v)
+	}
+	return b.String()
+}
+
+// render composes one dashboard frame from two consecutive scrapes. It
+// is a pure function of its inputs, which is what makes the dashboard
+// unit-testable against canned exposition text.
+func render(url string, prev, cur map[string]float64, health healthInfo, interval time.Duration) string {
+	var b strings.Builder
+	state := health.State
+	if state == "" {
+		state = "unknown"
+	}
+	fmt.Fprintf(&b, "df3top  %s   state %s", url, state)
+	if health.SimTime > 0 {
+		fmt.Fprintf(&b, "   sim %.1f s", health.SimTime)
+	}
+	b.WriteByte('\n')
+	if health.Err != "" {
+		fmt.Fprintf(&b, "!! scrape error: %s\n", health.Err)
+	}
+	if cur == nil {
+		return b.String()
+	}
+	b.WriteByte('\n')
+
+	if has(cur, "df3_paced_slices_total") {
+		fmt.Fprintf(&b, "paced     lag %.3fs   slices %.0f (%.1f/s)   last slice %.1f sim-s\n",
+			metricVal(cur, "df3_paced_lag_seconds"),
+			metricVal(cur, "df3_paced_slices_total"),
+			metricRate(prev, cur, "df3_paced_slices_total", interval),
+			metricVal(cur, "df3_paced_last_slice_sim_time_s"))
+	}
+	if has(cur, "df3_ingest_requests_total") {
+		fmt.Fprintf(&b, "ingest    inflight %.0f   queue %.0f\n",
+			metricSum(cur, "df3_ingest_inflight"),
+			metricVal(cur, "df3_ingest_queue_depth"))
+		b.WriteString(ingestLine(prev, cur, interval, "edge", "served",
+			[]string{"served", "rejected", "shed", "timeout"}) + "\n")
+		b.WriteString(ingestLine(prev, cur, interval, "dcc", "done",
+			[]string{"done", "lost", "shed", "timeout"}) + "\n")
+	}
+	if has(cur, "df3_recovery_active") {
+		fmt.Fprintf(&b, "recovery  active %.0f   replayed %.0f records (%.0f rec/s)   duration %.2fs\n",
+			metricVal(cur, "df3_recovery_active"),
+			metricVal(cur, "df3_recovery_replayed_records_total"),
+			metricVal(cur, "df3_recovery_replay_records_per_second"),
+			metricVal(cur, "df3_recovery_duration_seconds"))
+	}
+	if has(cur, "df3_checkpoint_writes_total") {
+		fmt.Fprintf(&b, "ckpt      writes %.0f   errors %.0f",
+			metricVal(cur, "df3_checkpoint_writes_total"),
+			metricVal(cur, "df3_checkpoint_errors_total"))
+		if has(cur, "df3_checkpoint_age_sim_seconds") {
+			fmt.Fprintf(&b, "   age %.0f sim-s", metricVal(cur, "df3_checkpoint_age_sim_seconds"))
+		}
+		b.WriteByte('\n')
+	}
+	if has(cur, "df3_wal_written_bytes") {
+		fmt.Fprintf(&b, "wal       written %s   durable %s   lag %s\n",
+			fmtBytes(metricVal(cur, "df3_wal_written_bytes")),
+			fmtBytes(metricVal(cur, "df3_wal_durable_bytes")),
+			fmtBytes(metricVal(cur, "df3_wal_lag_bytes")))
+	}
+	if has(cur, "df3_flight_spans_kept_total") {
+		fmt.Fprintf(&b, "flight    kept %.0f (%.1f/s)   sampled out %.0f   evicted %.0f   sources %.0f\n",
+			metricSum(cur, "df3_flight_spans_kept_total"),
+			metricRate(prev, cur, "df3_flight_spans_kept_total", interval),
+			metricSum(cur, "df3_flight_spans_sampled_out_total"),
+			metricSum(cur, "df3_flight_spans_evicted_total"),
+			metricVal(cur, "df3_flight_sources"))
+	}
+	if has(cur, "df3_go_goroutines") {
+		fmt.Fprintf(&b, "runtime   goroutines %.0f   heap %s   gc cycles %.0f   gc pause p99 %.2fms\n",
+			metricVal(cur, "df3_go_goroutines"),
+			fmtBytes(metricVal(cur, "df3_go_heap_objects_bytes")),
+			metricVal(cur, "df3_go_gc_cycles_total"),
+			1e3*metricVal(cur, `df3_go_gc_pause_seconds{quantile="0.99"}`))
+	}
+	if shards := shardLines(cur); shards != "" {
+		b.WriteString(shards)
+	}
+	return b.String()
+}
+
+// shardLines renders per-shard busy/idle utilization when the kernel
+// profiler is on (all-zero series mean profiling is off — omit them).
+func shardLines(cur map[string]float64) string {
+	type sh struct {
+		id         int
+		busy, idle float64
+	}
+	var shards []sh
+	//df3:unordered-ok collected entries are fully sorted by shard id before use
+	for id, v := range cur {
+		var s int
+		if n, _ := fmt.Sscanf(id, `df3_shard_busy_seconds{shard="%d"}`, &s); n == 1 {
+			idle := cur[fmt.Sprintf(`df3_shard_idle_seconds{shard="%d"}`, s)]
+			shards = append(shards, sh{id: s, busy: v, idle: idle})
+		}
+	}
+	sort.Slice(shards, func(i, j int) bool { return shards[i].id < shards[j].id })
+	var total float64
+	for _, s := range shards {
+		total += s.busy + s.idle
+	}
+	if len(shards) == 0 || total == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("shards   ")
+	for _, s := range shards {
+		util := 0.0
+		if w := s.busy + s.idle; w > 0 {
+			util = 100 * s.busy / w
+		}
+		fmt.Fprintf(&b, " %d: busy %.2fs idle %.2fs (%.0f%%)", s.id, s.busy, s.idle, util)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

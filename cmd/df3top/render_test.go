@@ -1,0 +1,151 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"df3/internal/metrics"
+)
+
+// canned is a trimmed /metrics exposition of a live df3d with the
+// flight recorder, checkpointing and the shard profiler all on.
+const canned = `# TYPE df3_paced_lag_seconds gauge
+df3_paced_lag_seconds 0.012
+# TYPE df3_paced_slices_total counter
+df3_paced_slices_total 400
+df3_paced_last_slice_sim_time_s 8123.5
+# TYPE df3_ingest_requests_total counter
+df3_ingest_requests_total{class="edge",outcome="served"} 1200
+df3_ingest_requests_total{class="edge",outcome="rejected"} 3
+df3_ingest_requests_total{class="edge",outcome="shed"} 7
+df3_ingest_requests_total{class="edge",outcome="timeout"} 0
+df3_ingest_requests_total{class="dcc",outcome="done"} 88
+df3_ingest_requests_total{class="dcc",outcome="lost"} 1
+df3_ingest_requests_total{class="dcc",outcome="shed"} 0
+df3_ingest_requests_total{class="dcc",outcome="timeout"} 0
+df3_ingest_wall_seconds{class="edge",quantile="0.99"} 0.25
+df3_ingest_wall_seconds_count{class="edge"} 1203
+df3_ingest_inflight{class="edge"} 14
+df3_ingest_inflight{class="dcc"} 2
+df3_ingest_queue_depth 3
+df3_recovery_active 0
+df3_recovery_replayed_records_total 512
+df3_recovery_replay_records_per_second 0
+df3_recovery_duration_seconds 1.25
+df3_checkpoint_writes_total 3
+df3_checkpoint_errors_total 0
+df3_checkpoint_age_sim_seconds 512
+df3_wal_written_bytes 2097152
+df3_wal_durable_bytes 2097152
+df3_wal_lag_bytes 0
+df3_flight_sources 3
+df3_flight_spans_kept_total{src="city-0"} 500
+df3_flight_spans_kept_total{src="ingest"} 534
+df3_flight_spans_sampled_out_total{src="ingest"} 4021
+df3_flight_spans_evicted_total{src="city-0"} 100
+df3_go_goroutines 24
+df3_go_heap_objects_bytes 12582912
+df3_go_gc_cycles_total 12
+df3_go_gc_pause_seconds{quantile="0.99"} 0.0008
+df3_shard_busy_seconds{shard="0"} 1.5
+df3_shard_busy_seconds{shard="1"} 1.2
+df3_shard_idle_seconds{shard="0"} 0.5
+df3_shard_idle_seconds{shard="1"} 0.8
+`
+
+func parse(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	m, err := metrics.ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRenderFullFrame(t *testing.T) {
+	cur := parse(t, canned)
+	// prev differs only in the rate-bearing counters: 2s apart, 100 more
+	// edge served and 10 more slices now.
+	prevText := strings.NewReplacer(
+		`outcome="served"} 1200`, `outcome="served"} 1100`,
+		"df3_paced_slices_total 400", "df3_paced_slices_total 390",
+	).Replace(canned)
+	prev := parse(t, prevText)
+
+	out := render("http://h:1", prev, cur, healthInfo{OK: true, State: "serving", SimTime: 8123.5}, 2*time.Second)
+	for _, want := range []string{
+		"state serving",
+		"sim 8123.5 s",
+		"lag 0.012s",
+		"slices 400 (5.0/s)",
+		"served 1200 (50.0/s)",
+		"rejected 3",
+		"wall p99 0.250s",
+		"done 88",
+		"inflight 16",
+		"queue 3",
+		"replayed 512 records",
+		"writes 3",
+		"age 512 sim-s",
+		"written 2.00 MiB",
+		"lag 0 B",
+		"kept 1034",
+		"sampled out 4021",
+		"sources 3",
+		"goroutines 24",
+		"heap 12.00 MiB",
+		"gc pause p99 0.80ms",
+		"0: busy 1.50s idle 0.50s (75%)",
+		"1: busy 1.20s idle 0.80s (60%)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderFirstScrapeHasZeroRates(t *testing.T) {
+	cur := parse(t, canned)
+	out := render("u", nil, cur, healthInfo{State: "serving"}, time.Second)
+	if !strings.Contains(out, "served 1200 (0.0/s)") {
+		t.Errorf("first frame should render zero rates\n%s", out)
+	}
+}
+
+func TestRenderScrapeError(t *testing.T) {
+	out := render("u", nil, nil, healthInfo{Err: "connection refused"}, time.Second)
+	if !strings.Contains(out, "state unknown") || !strings.Contains(out, "connection refused") {
+		t.Errorf("error frame wrong:\n%s", out)
+	}
+	if strings.Contains(out, "paced") {
+		t.Errorf("error frame should carry no sections:\n%s", out)
+	}
+}
+
+func TestRenderOmitsAbsentSections(t *testing.T) {
+	// A step-mode daemon: no paced driver, no WAL, no flight recorder,
+	// profiler series present but all zero (profiling off).
+	cur := parse(t, `df3_go_goroutines 8
+df3_shard_busy_seconds{shard="0"} 0
+df3_shard_idle_seconds{shard="0"} 0
+`)
+	out := render("u", nil, cur, healthInfo{State: "serving"}, time.Second)
+	for _, not := range []string{"paced", "wal", "flight", "ingest", "shards"} {
+		if strings.Contains(out, not) {
+			t.Errorf("step frame should omit %q:\n%s", not, out)
+		}
+	}
+	if !strings.Contains(out, "goroutines 8") {
+		t.Errorf("runtime section missing:\n%s", out)
+	}
+}
+
+func TestRenderCounterResetClampsRate(t *testing.T) {
+	cur := parse(t, "df3_paced_lag_seconds 0\ndf3_paced_slices_total 5\n")
+	prev := parse(t, "df3_paced_lag_seconds 0\ndf3_paced_slices_total 400\n")
+	out := render("u", prev, cur, healthInfo{State: "serving"}, time.Second)
+	if !strings.Contains(out, "slices 5 (0.0/s)") {
+		t.Errorf("restart should clamp the rate at zero:\n%s", out)
+	}
+}

@@ -25,6 +25,34 @@ var SpanendAnalyzer = &Analyzer{
 
 const tracePkgPath = "df3/internal/trace"
 
+// obsPkgPath hosts obs.Sampled, the head-sampling facade whose span ids
+// obey the same begin/end discipline as the raw recorder's — the
+// analyzer tracks both, so sampled call sites need no suppressions.
+const obsPkgPath = "df3/internal/obs"
+
+// isSpanBegin matches the calls that mint a locally-owned span id.
+func isSpanBegin(fn *types.Func) bool {
+	return FuncIs(fn, tracePkgPath, "Recorder.BeginSpan") ||
+		FuncIs(fn, obsPkgPath, "Sampled.BeginRoot") ||
+		FuncIs(fn, obsPkgPath, "Sampled.BeginSpan")
+}
+
+// isSpanEnd matches the calls that discharge the end obligation.
+func isSpanEnd(fn *types.Func) bool {
+	return FuncIs(fn, tracePkgPath, "Recorder.EndSpan") ||
+		FuncIs(fn, tracePkgPath, "Recorder.EndSpanDetail") ||
+		FuncIs(fn, obsPkgPath, "Sampled.EndSpan") ||
+		FuncIs(fn, obsPkgPath, "Sampled.EndSpanDetail")
+}
+
+// isSpanLifecycle matches every call a span id may flow into without
+// escaping: begins (as the parent argument), ends, and instants.
+func isSpanLifecycle(fn *types.Func) bool {
+	return isSpanBegin(fn) || isSpanEnd(fn) ||
+		FuncIs(fn, tracePkgPath, "Recorder.Instant") ||
+		FuncIs(fn, obsPkgPath, "Sampled.Instant")
+}
+
 func runSpanend(pass *Pass) error {
 	pass.Inspect(func(n ast.Node) bool {
 		var body *ast.BlockStmt
@@ -89,7 +117,7 @@ func spanDefine(pass *Pass, s ast.Stmt) types.Object {
 	if !ok {
 		return nil
 	}
-	if fn := pass.CalleeFunc(call); !FuncIs(fn, tracePkgPath, "Recorder.BeginSpan") {
+	if fn := pass.CalleeFunc(call); !isSpanBegin(fn) {
 		return nil
 	}
 	id, ok := asg.Lhs[0].(*ast.Ident)
@@ -141,16 +169,7 @@ func spanUseAllowed(pass *Pass, body *ast.BlockStmt, id *ast.Ident, def ast.Stmt
 	for i := len(path) - 1; i >= 0; i-- {
 		switch p := path[i].(type) {
 		case *ast.CallExpr:
-			fn := pass.CalleeFunc(p)
-			switch {
-			case FuncIs(fn, tracePkgPath, "Recorder.EndSpan"),
-				FuncIs(fn, tracePkgPath, "Recorder.EndSpanDetail"),
-				FuncIs(fn, tracePkgPath, "Recorder.BeginSpan"),
-				FuncIs(fn, tracePkgPath, "Recorder.Instant"):
-				return true
-			default:
-				return false
-			}
+			return isSpanLifecycle(pass.CalleeFunc(p))
 		case *ast.BinaryExpr:
 			// comparisons like x != 0 don't move the id anywhere
 			if p.Op == token.EQL || p.Op == token.NEQ {
@@ -334,8 +353,7 @@ func (w *spanWalk) isEndCall(e ast.Expr) bool {
 	if !ok {
 		return false
 	}
-	fn := w.pass.CalleeFunc(call)
-	if !FuncIs(fn, tracePkgPath, "Recorder.EndSpan") && !FuncIs(fn, tracePkgPath, "Recorder.EndSpanDetail") {
+	if !isSpanEnd(w.pass.CalleeFunc(call)) {
 		return false
 	}
 	for _, arg := range call.Args {

@@ -73,9 +73,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.handler.ServeHTTP(w, r)
 }
 
+// Canonical Content-Type values, shared by the step and live servers so
+// the two planes answer identically for the same endpoint shape.
+const (
+	contentTypeJSON = "application/json; charset=utf-8"
+	contentTypeProm = "text/plain; version=0.0.4; charset=utf-8"
+)
+
 // writeJSON emits v with status 200 (or the given code).
 func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", contentTypeJSON)
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(v)
 }
@@ -307,7 +314,7 @@ func (s *Server) getMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) getPrometheus(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Header().Set("Content-Type", contentTypeProm)
 	_ = s.city.Observability().WritePrometheus(w)
 }
 

@@ -125,20 +125,31 @@ func applyArrival(f *city.Federation, rec ArrivalRecord, onEdge func(core.EdgeOu
 // goroutine, but Flush/Sync (shutdown, checkpoints) come from other
 // paths, so a mutex guards the buffer.
 type arrivalWriter struct {
-	mu  sync.Mutex
-	w   io.Writer // underlying sink, for fsync
-	bw  *bufio.Writer
-	off int64 // absolute log length including buffered bytes
-	err error
+	mu      sync.Mutex
+	w       io.Writer // underlying sink, for fsync
+	bw      *bufio.Writer
+	off     int64 // absolute log length including buffered bytes
+	durable int64 // absolute length known fsynced — off−durable is the crash-loss window
+	err     error
 	// syncEach makes every record durable as it is written — zero
 	// acknowledged-but-lost window, one fsync per arrival.
 	syncEach bool
 }
 
 // newArrivalWriter wraps w. base is the byte offset w already holds —
-// non-zero when a recovered daemon reopens its log in append mode.
+// non-zero when a recovered daemon reopened its log in append mode (a
+// reopened prefix is durable by definition: recovery just replayed it).
 func newArrivalWriter(w io.Writer, base int64) *arrivalWriter {
-	return &arrivalWriter{w: w, bw: bufio.NewWriter(w), off: base}
+	return &arrivalWriter{w: w, bw: bufio.NewWriter(w), off: base, durable: base}
+}
+
+// Offsets reports (written, durable) byte offsets — the live WAL lag
+// gauges. Written includes buffered bytes; durable is the last fsynced
+// length.
+func (a *arrivalWriter) Offsets() (written, durable int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.off, a.durable
 }
 
 func (a *arrivalWriter) write(rec ArrivalRecord) {
@@ -164,6 +175,9 @@ func (a *arrivalWriter) write(rec ArrivalRecord) {
 		}
 		if s, ok := a.w.(interface{ Sync() error }); ok {
 			a.err = s.Sync()
+		}
+		if a.err == nil {
+			a.durable = a.off
 		}
 	}
 }
@@ -198,6 +212,7 @@ func (a *arrivalWriter) Sync() (int64, error) {
 			return a.off, err
 		}
 	}
+	a.durable = a.off
 	return a.off, nil
 }
 

@@ -51,7 +51,7 @@ func (j *jsonErrorWriter) WriteHeader(code int) {
 			if code == http.StatusMethodNotAllowed {
 				j.body = "method not allowed"
 			}
-			j.Header().Set("Content-Type", "application/json")
+			j.Header().Set("Content-Type", contentTypeJSON)
 		}
 	}
 	j.ResponseWriter.WriteHeader(code)

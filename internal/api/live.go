@@ -9,13 +9,16 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"df3/internal/checkpoint"
 	"df3/internal/city"
 	"df3/internal/core"
 	"df3/internal/metrics"
+	"df3/internal/obs"
 	"df3/internal/sim"
+	"df3/internal/trace"
 )
 
 // LiveConfig parameterises a live serving session.
@@ -75,6 +78,16 @@ type LiveConfig struct {
 	VerifySnapshot *checkpoint.Snapshot
 	// VerifyAfter is the Resume record count covered by VerifySnapshot.
 	VerifyAfter int
+
+	// Flight, when set, is the always-on flight recorder: the session
+	// opens a span per sampled ingest request into a dedicated recorder
+	// hooked into it, and GET /v1/traces streams its rings. The flight
+	// plane has its own locks — it works mid-slice and during recovery.
+	Flight *obs.Flight
+	// TracePolicy samples ingest request spans (zero value: keep all).
+	TracePolicy obs.Policy
+	// TraceCapacity bounds the ingest span recorder (default 4096).
+	TraceCapacity int
 }
 
 // Live runs a federation in paced real time behind an ingest plane:
@@ -106,6 +119,20 @@ type Live struct {
 	simHist    map[string]*metrics.Histogram
 	ckptWrites *metrics.SharedCounter
 	ckptErrors *metrics.SharedCounter
+
+	// Flight tracing: sampled wraps a dedicated ingest recorder whose
+	// completed spans flow into cfg.Flight. Driven only from the driver
+	// goroutine (inject apply + outcome callbacks).
+	flight  *obs.Flight
+	sampled *obs.Sampled
+
+	// Recovery and checkpoint telemetry, atomics because scrape-time
+	// GaugeFuncs read them from handler goroutines while the driver
+	// goroutine writes them.
+	recoveryStartNs   atomic.Int64  // wall ns recovery began (0: never)
+	recoveryDurNs     atomic.Int64  // wall ns of the finished recovery
+	recoveryReplayed  atomic.Uint64 // WAL records replayed so far
+	lastCkptSimMicros atomic.Int64  // sim µs of the last durable checkpoint
 }
 
 // Ingest verdicts (the outcome label of df3_ingest_requests_total).
@@ -144,6 +171,7 @@ func NewLive(f *city.Federation, cfg LiveConfig) *Live {
 		health: newHealthState(StateRecovering),
 	}
 	l.adm = newAdmission(cfg.Admission, l.queue.Len)
+	l.lastCkptSimMicros.Store(-1) // no checkpoint written yet
 	l.paced = &sim.Paced{
 		Speed:    cfg.Speed,
 		MaxSlice: cfg.MaxSlice,
@@ -154,6 +182,17 @@ func NewLive(f *city.Federation, cfg LiveConfig) *Live {
 	if cfg.ArrivalLog != nil {
 		l.logw = newArrivalWriter(cfg.ArrivalLog, cfg.ArrivalLogOffset)
 		l.logw.syncEach = cfg.WALFsyncEach
+	}
+	if cfg.Flight != nil {
+		l.flight = cfg.Flight
+		capacity := cfg.TraceCapacity
+		if capacity <= 0 {
+			capacity = 4096
+		}
+		rec := trace.NewRecorder(capacity)
+		rec.BeginProcess("ingest")
+		l.flight.Attach("ingest", rec)
+		l.sampled = obs.NewSampled(rec, cfg.TracePolicy)
 	}
 	checkpointing := cfg.CheckpointEvery > 0 && cfg.CheckpointDir != ""
 	if l.logw != nil || checkpointing {
@@ -213,6 +252,83 @@ func (l *Live) registerMetrics() {
 		"checkpoints durably written", nil)
 	l.ckptErrors = r.Counter("df3_checkpoint_errors_total",
 		"checkpoint attempts that failed (WAL sync or write error)", nil)
+
+	// Paced-driver health. These read the driver's lock-free atomics, not
+	// Sync: the registry evaluates read-throughs while the scrape already
+	// holds the paced mutex, so a Sync here would self-deadlock.
+	r.GaugeFunc("df3_paced_lag_seconds",
+		"simulated seconds the wall-clock pacing target is ahead of the sim clock",
+		nil, l.paced.LagSeconds)
+	r.CounterFunc("df3_paced_slices_total", "paced slices executed",
+		nil, func() int64 { return int64(l.paced.Slices()) })
+	r.GaugeFunc("df3_paced_last_slice_sim_time_s", "sim time of the last slice boundary",
+		nil, func() float64 { return float64(l.paced.LastSliceReached()) })
+
+	// WAL durability: written vs durable offsets and the crash-loss gap.
+	if l.logw != nil {
+		r.GaugeFunc("df3_wal_written_bytes", "arrival log bytes written (including buffered)",
+			nil, func() float64 { w, _ := l.logw.Offsets(); return float64(w) })
+		r.GaugeFunc("df3_wal_durable_bytes", "arrival log bytes known fsynced",
+			nil, func() float64 { _, d := l.logw.Offsets(); return float64(d) })
+		r.GaugeFunc("df3_wal_lag_bytes", "acknowledged-but-not-durable arrival log bytes",
+			nil, func() float64 { w, d := l.logw.Offsets(); return float64(w - d) })
+	}
+
+	// Recovery progress: phase, records replayed, wall duration and rate.
+	r.GaugeFunc("df3_recovery_active", "1 while WAL replay/verify is in progress",
+		nil, func() float64 {
+			if l.health.get() == StateRecovering {
+				return 1
+			}
+			return 0
+		})
+	r.CounterFunc("df3_recovery_replayed_records_total", "WAL records replayed during recovery",
+		nil, func() int64 { return int64(l.recoveryReplayed.Load()) })
+	r.GaugeFunc("df3_recovery_duration_seconds", "wall time of the last (or ongoing) recovery",
+		nil, func() float64 { return l.recoveryDuration().Seconds() })
+	r.GaugeFunc("df3_recovery_replay_records_per_second", "WAL replay throughput",
+		nil, func() float64 {
+			d := l.recoveryDuration().Seconds()
+			if d <= 0 {
+				return 0
+			}
+			return float64(l.recoveryReplayed.Load()) / d
+		})
+
+	// Checkpoint freshness: how much simulated time the newest durable
+	// snapshot trails the clock — the replay bound a crash right now pays.
+	if l.cfg.CheckpointEvery > 0 && l.cfg.CheckpointDir != "" {
+		r.GaugeFunc("df3_checkpoint_age_sim_seconds",
+			"sim seconds since the last durable checkpoint (0 until one is written)",
+			nil, func() float64 {
+				last := l.lastCkptSimMicros.Load()
+				if last < 0 {
+					return 0
+				}
+				return float64(l.fed.Now()) - float64(last)/1e6
+			})
+	}
+
+	// Flight-plane sampling verdicts for the ingest recorder.
+	if l.sampled != nil {
+		r.CounterFunc("df3_trace_ingest_admitted_total", "ingest requests given a trace",
+			nil, func() int64 { return int64(l.sampled.Admitted()) })
+		r.CounterFunc("df3_trace_ingest_sampled_out_total", "ingest requests sampled out of tracing",
+			nil, func() int64 { return int64(l.sampled.SampledOut()) })
+		l.flight.Register(r)
+	}
+}
+
+// recoveryDuration is the wall time of the last recovery — still ticking
+// while one is in progress, 0 when none ever ran.
+func (l *Live) recoveryDuration() time.Duration {
+	if d := l.recoveryDurNs.Load(); d > 0 {
+		return time.Duration(d)
+	}
+	if start := l.recoveryStartNs.Load(); start > 0 {
+		return time.Duration(l.clock.Now().UnixNano() - start)
+	}
+	return 0
 }
 
 // Start launches the session on its own goroutine: crash recovery first
@@ -245,21 +361,40 @@ func (l *Live) recover() error {
 	if len(l.cfg.Resume) == 0 && l.cfg.VerifySnapshot == nil {
 		return nil
 	}
+	l.recoveryStartNs.Store(l.clock.Now().UnixNano())
+	defer func() {
+		l.recoveryDurNs.Store(l.clock.Now().UnixNano() - l.recoveryStartNs.Load())
+	}()
 	l.fed.Driver = nil
 	defer func() { l.fed.Driver = l.paced }()
 	n := l.cfg.VerifyAfter
 	if n < 0 || n > len(l.cfg.Resume) {
 		return fmt.Errorf("recover: VerifyAfter %d outside resume log of %d records", n, len(l.cfg.Resume))
 	}
-	ReplayRecords(l.fed, l.cfg.Resume[:n])
+	l.replayCounted(l.cfg.Resume[:n])
 	if s := l.cfg.VerifySnapshot; s != nil {
 		if err := checkpoint.Verify(l.fed, s, l.cfg.BuildConfig); err != nil {
 			return fmt.Errorf("recover: %w", err)
 		}
 	}
-	ReplayRecords(l.fed, l.cfg.Resume[n:])
+	l.replayCounted(l.cfg.Resume[n:])
 	l.queue.ResumeAt(l.cfg.ResumeSeq)
 	return nil
+}
+
+// replayCounted is ReplayRecords with per-record progress accounting, so
+// the recovery gauges show replay advancing while /metrics itself is
+// still 503ing (df3top reads them through the final exposition or the
+// flight plane's unsynced endpoints once serving).
+func (l *Live) replayCounted(recs []ArrivalRecord) {
+	for _, rec := range recs {
+		if rec.Kind == "advance" {
+			l.fed.Run(rec.At)
+		} else {
+			applyArrival(l.fed, rec, nil, nil)
+		}
+		l.recoveryReplayed.Add(1)
+	}
 }
 
 // RecoverErr reports why recovery failed, once Done is closed without the
@@ -284,6 +419,7 @@ func (l *Live) writeCheckpoint() {
 		return
 	}
 	l.ckptWrites.Inc()
+	l.lastCkptSimMicros.Store(int64(float64(l.fed.Now()) * 1e6))
 }
 
 // capture fsyncs the WAL and seals the federation state into a snapshot.
@@ -381,9 +517,18 @@ func (l *Live) ingest(rec ArrivalRecord) ingestResult {
 	}
 	start := l.clock.Now()
 	ch := make(chan ingestResult, 1)
+	// span is the request's flight-recorder root: begun on the driver
+	// goroutine when the arrival applies, ended (possibly from a shard
+	// worker — Sampled serialises) when the outcome settles. spanAt is
+	// the begin time, so the end lands at spanAt + SimLatency without
+	// reading a mid-window clock. Zero span (sampled out, tracing off)
+	// makes every call below a no-op.
+	var span trace.SpanID
+	var spanAt sim.Time
 	onEdge := func(o core.EdgeOutcome) {
-		// Driver goroutine, engine quiescent. Release before reporting so
-		// a waiting spike slot frees at the simulated settle instant.
+		// Shard-worker context (or driver goroutine on 1 shard). Release
+		// before reporting so a waiting spike slot frees at the simulated
+		// settle instant. Everything touched here is concurrency-safe.
 		l.adm.Release(ClassEdge)
 		verdict := outcomeServed
 		if !o.Served {
@@ -391,6 +536,7 @@ func (l *Live) ingest(rec ArrivalRecord) ingestResult {
 		}
 		l.requests[ClassEdge][verdict].Inc()
 		l.simHist[ClassEdge].Observe(float64(o.SimLatency))
+		l.sampled.EndSpanDetail(spanAt+o.SimLatency, span, verdict)
 		ch <- ingestResult{
 			Outcome:   verdict,
 			Escalated: o.Escalated,
@@ -406,6 +552,7 @@ func (l *Live) ingest(rec ArrivalRecord) ingestResult {
 		}
 		l.requests[ClassDCC][verdict].Inc()
 		l.simHist[ClassDCC].Observe(float64(o.SimLatency))
+		l.sampled.EndSpanDetail(spanAt+o.SimLatency, span, verdict)
 		ch <- ingestResult{
 			Outcome: verdict,
 			Tasks:   o.Tasks,
@@ -418,6 +565,8 @@ func (l *Live) ingest(rec ArrivalRecord) ingestResult {
 		if l.logw != nil {
 			l.logw.write(rec)
 		}
+		spanAt = l.fed.Now()
+		span = l.sampled.BeginRoot(spanAt, "ingest:"+rec.Kind, class, rec.Tenant, seq+1)
 		applyArrival(l.fed, rec, onEdge, onDCC)
 	})
 	if !ok {
@@ -463,6 +612,7 @@ func NewLiveServer(l *Live) *LiveServer {
 	mux.HandleFunc("POST /v1/ingest", s.postIngest)
 	mux.HandleFunc("GET /metrics", s.getPrometheus)
 	mux.HandleFunc("GET /v1/metrics", s.getSummary)
+	mux.HandleFunc("GET /v1/traces", s.getTraces)
 	mux.HandleFunc("GET /healthz", s.getHealth)
 	mux.HandleFunc("GET /readyz", s.getReady)
 	s.handler = harden(mux)
@@ -592,25 +742,49 @@ func (s *LiveServer) getPrometheus(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "scrape: %v", err)
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Header().Set("Content-Type", contentTypeProm)
 	_, _ = w.Write(buf.Bytes())
 }
 
+// getTraces streams the flight recorder as NDJSON (one FlightSpan per
+// line), or — with ?summary=1 — the online roll-up: per-stage latency
+// statistics, the slowest retained root's critical path and per-source
+// sampling counters. Deliberately NOT syncSafe-guarded and never touching
+// the paced mutex: the flight rings carry their own locks, so recent
+// telemetry stays readable mid-slice and during recovery, when /metrics
+// is still 503ing.
+func (s *LiveServer) getTraces(w http.ResponseWriter, r *http.Request) {
+	f := s.live.flight
+	if f == nil {
+		httpError(w, http.StatusNotFound, "flight recorder not enabled (df3d -flight)")
+		return
+	}
+	if r.URL.Query().Get("summary") != "" {
+		writeJSON(w, http.StatusOK, f.Summary())
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = f.WriteNDJSON(w)
+}
+
 // getSummary answers the federation's headline counters as JSON, plus
-// the determinism checksum a replay or recovered run must reproduce.
+// the determinism checksum a replay or recovered run must reproduce and
+// the crash-safety ledgers (checkpoint writes/errors and WAL offsets) so
+// live mode exposes the same durability facts the exposition does.
 func (s *LiveServer) getSummary(w http.ResponseWriter, r *http.Request) {
 	if !s.syncSafe(w) {
 		return
 	}
+	l := s.live
 	var sum city.Summary
 	var now sim.Time
 	var sumHash uint64
-	s.live.Sync(func() {
-		sum = s.live.fed.Summarize()
-		now = s.live.fed.Now()
-		sumHash = s.live.fed.Checksum()
+	l.Sync(func() {
+		sum = l.fed.Summarize()
+		now = l.fed.Now()
+		sumHash = l.fed.Checksum()
 	})
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"sim_time_s":     float64(now),
 		"checksum":       fmt.Sprintf("0x%016x", sumHash),
 		"cities":         sum.Cities,
@@ -621,7 +795,30 @@ func (s *LiveServer) getSummary(w http.ResponseWriter, r *http.Request) {
 		"jobs_lost":      sum.JobsLost,
 		"work_done_s":    sum.WorkDone,
 		"events_fired":   sum.EventsFired,
-	})
+		"checkpoint": map[string]any{
+			"writes": l.ckptWrites.Value(),
+			"errors": l.ckptErrors.Value(),
+			"last_sim_time_s": func() float64 {
+				if us := l.lastCkptSimMicros.Load(); us >= 0 {
+					return float64(us) / 1e6
+				}
+				return -1
+			}(),
+		},
+		"recovery": map[string]any{
+			"replayed_records": l.recoveryReplayed.Load(),
+			"duration_s":       l.recoveryDuration().Seconds(),
+		},
+	}
+	if l.logw != nil {
+		written, durable := l.logw.Offsets()
+		body["wal"] = map[string]any{
+			"written_bytes": written,
+			"durable_bytes": durable,
+			"lag_bytes":     written - durable,
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // getHealth is the liveness probe: 200 while the session is recovering or

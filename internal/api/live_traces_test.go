@@ -1,0 +1,204 @@
+package api
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"df3/internal/obs"
+)
+
+// readBody drains and closes a response body, returning it as a string.
+func readBody(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestLiveTracesNDJSON: with a flight recorder configured, /v1/traces
+// streams completed ingest spans as NDJSON and ?summary=1 answers the
+// online rollup — all without pausing the paced driver.
+func TestLiveTracesNDJSON(t *testing.T) {
+	_, ts := newLiveRig(t, LiveConfig{Flight: obs.NewFlight(1024, obs.Policy{})})
+
+	var res ingestResult
+	postJSON(t, ts.URL+"/v1/edge",
+		map[string]any{"tenant": 3, "work_s": 0.05, "deadline_s": 1}, &res)
+	if res.Outcome != "served" {
+		t.Fatalf("edge outcome %q, want served", res.Outcome)
+	}
+	postJSON(t, ts.URL+"/v1/dcc",
+		map[string]any{"tenant": 1, "frame_work_s": []float64{5, 10}}, &res)
+	if res.Outcome != "done" {
+		t.Fatalf("dcc outcome %q, want done", res.Outcome)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type %q, want application/x-ndjson", ct)
+	}
+	lines := 0
+	sawIngest := false
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var span obs.FlightSpan
+		if err := json.Unmarshal(sc.Bytes(), &span); err != nil {
+			t.Fatalf("line %d: %v: %s", lines+1, err, sc.Text())
+		}
+		if span.Src == "" {
+			t.Fatalf("line %d: empty src: %s", lines+1, sc.Text())
+		}
+		sawIngest = sawIngest || span.Src == "ingest"
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Fatal("no spans streamed after served traffic")
+	}
+	if !sawIngest {
+		t.Fatal("no span from the ingest recorder in the stream")
+	}
+
+	var sum obs.FlightSummary
+	resp2 := getJSON(t, ts.URL+"/v1/traces?summary=1", &sum)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("summary status %d, want 200", resp2.StatusCode)
+	}
+	if sum.Spans == 0 {
+		t.Fatal("summary reports zero spans")
+	}
+	if len(sum.Sinks) == 0 {
+		t.Fatal("summary reports no sinks")
+	}
+	if len(sum.Stages) == 0 {
+		t.Fatal("summary reports no stage latencies")
+	}
+}
+
+// TestLiveTracesDisabled: without -flight the endpoint is an honest 404,
+// not an empty stream.
+func TestLiveTracesDisabled(t *testing.T) {
+	_, ts := newLiveRig(t, LiveConfig{})
+	resp, err := http.Get(ts.URL + "/v1/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+	if !strings.Contains(body, "flight recorder not enabled") {
+		t.Fatalf("body %q should explain how to enable the recorder", body)
+	}
+}
+
+// TestMetricsContentTypeConsistency: the step and live servers advertise
+// the same Content-Type per endpoint — Prometheus exposition on /metrics,
+// JSON on /v1/metrics — so scrapers need not care which mode answered.
+func TestMetricsContentTypeConsistency(t *testing.T) {
+	_, stepTS, _ := newTestServer(t)
+	_, liveTS := newLiveRig(t, LiveConfig{})
+
+	for _, tc := range []struct {
+		name, url, want string
+	}{
+		{"step /metrics", stepTS.URL + "/metrics", contentTypeProm},
+		{"live /metrics", liveTS.URL + "/metrics", contentTypeProm},
+		{"step /v1/metrics", stepTS.URL + "/v1/metrics", contentTypeJSON},
+		{"live /v1/metrics", liveTS.URL + "/v1/metrics", contentTypeJSON},
+	} {
+		resp, err := http.Get(tc.url)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		readBody(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d, want 200", tc.name, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != tc.want {
+			t.Errorf("%s: Content-Type %q, want %q", tc.name, ct, tc.want)
+		}
+	}
+}
+
+// TestLiveSummaryLedgers: /v1/metrics carries the crash-safety ledgers —
+// checkpoint writes/errors with the -1 "never" sentinel, recovery
+// counters, and WAL offsets once an arrival log is configured.
+func TestLiveSummaryLedgers(t *testing.T) {
+	var logBuf bytes.Buffer
+	_, ts := newLiveRig(t, LiveConfig{ArrivalLog: &logBuf})
+
+	var res ingestResult
+	postJSON(t, ts.URL+"/v1/edge",
+		map[string]any{"tenant": 2, "work_s": 0.05, "deadline_s": 1}, &res)
+	if res.Outcome != "served" {
+		t.Fatalf("edge outcome %q, want served", res.Outcome)
+	}
+
+	var body struct {
+		Checkpoint struct {
+			Writes       float64 `json:"writes"`
+			Errors       float64 `json:"errors"`
+			LastSimTimeS float64 `json:"last_sim_time_s"`
+		} `json:"checkpoint"`
+		Recovery struct {
+			ReplayedRecords float64 `json:"replayed_records"`
+			DurationS       float64 `json:"duration_s"`
+		} `json:"recovery"`
+		WAL *struct {
+			WrittenBytes float64 `json:"written_bytes"`
+			DurableBytes float64 `json:"durable_bytes"`
+			LagBytes     float64 `json:"lag_bytes"`
+		} `json:"wal"`
+	}
+	resp := getJSON(t, ts.URL+"/v1/metrics", &body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if body.Checkpoint.Writes != 0 || body.Checkpoint.Errors != 0 {
+		t.Fatalf("checkpoint ledger %+v, want zero writes/errors without -checkpoint", body.Checkpoint)
+	}
+	if body.Checkpoint.LastSimTimeS != -1 {
+		t.Fatalf("last_sim_time_s %v, want the -1 never-checkpointed sentinel", body.Checkpoint.LastSimTimeS)
+	}
+	if body.Recovery.ReplayedRecords != 0 {
+		t.Fatalf("replayed_records %v on a fresh boot, want 0", body.Recovery.ReplayedRecords)
+	}
+	if body.WAL == nil {
+		t.Fatal("wal ledger absent despite a configured arrival log")
+	}
+	if body.WAL.WrittenBytes <= 0 {
+		t.Fatalf("wal written_bytes %v after served traffic, want > 0", body.WAL.WrittenBytes)
+	}
+	if got := body.WAL.WrittenBytes - body.WAL.DurableBytes; body.WAL.LagBytes != got {
+		t.Fatalf("wal lag_bytes %v, want written-durable = %v", body.WAL.LagBytes, got)
+	}
+}
+
+// TestLiveSummaryOmitsWALWithoutLog: no arrival log, no wal object —
+// absence, not zeros, marks the feature off.
+func TestLiveSummaryOmitsWALWithoutLog(t *testing.T) {
+	_, ts := newLiveRig(t, LiveConfig{})
+	var body map[string]any
+	getJSON(t, ts.URL+"/v1/metrics", &body)
+	if _, ok := body["wal"]; ok {
+		t.Fatal("wal ledger present without an arrival log")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"df3/internal/metrics"
 	"df3/internal/network"
+	"df3/internal/obs"
 	"df3/internal/rng"
 	"df3/internal/shard"
 	"df3/internal/sim"
@@ -233,6 +234,22 @@ func (f *Federation) EnableTracing(capacity int) {
 	}
 }
 
+// AttachFlight streams every city recorder's completed spans into the
+// flight recorder, one ring per city (EnableTracing must have been called
+// first — it creates the recorders). The sink fires on the recording
+// goroutine, i.e. the city's shard worker; Flight gives each source its
+// own ring, so workers never contend. Attaching is pure observation: a
+// run with a flight recorder is byte-identical to one without
+// (checksum-asserted in tests).
+func (f *Federation) AttachFlight(fl *obs.Flight) {
+	if f.recs == nil {
+		panic("city: AttachFlight before EnableTracing")
+	}
+	for i, rec := range f.recs {
+		fl.Attach(fmt.Sprintf("city-%d", i), rec)
+	}
+}
+
 // MergedTrace merges the per-city recorders, in city order, into one
 // recorder for export. It returns nil when tracing was never enabled.
 func (f *Federation) MergedTrace() *trace.Recorder {
@@ -343,6 +360,12 @@ func (f *Federation) Observability() *metrics.Registry {
 				}
 				return total
 			})
+		// Profiler read-throughs report 0 until Kernel.EnableProfile; the
+		// kernel's barrier orders worker writes before a quiescent scrape.
+		r.GaugeFunc("df3_shard_busy_seconds", "profiled wall time advancing this shard's engines",
+			labels, func() float64 { return f.Kernel.BusySeconds(s) })
+		r.GaugeFunc("df3_shard_idle_seconds", "profiled barrier-idle wall time for this shard",
+			labels, func() float64 { return f.Kernel.IdleSeconds(s) })
 	}
 	for i, c := range f.Cities {
 		i, c := i, c

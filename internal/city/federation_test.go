@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"df3/internal/obs"
 	"df3/internal/sim"
 )
 
@@ -98,6 +99,53 @@ func TestFederationTracingMerge(t *testing.T) {
 	}
 }
 
+// TestFlightAndProfilePureObservation is the live-telemetry determinism
+// contract: a federation with the flight recorder streaming every city's
+// spans AND the kernel profiler accounting busy/idle/limiters reaches a
+// checksum byte-identical to a bare run of the same config.
+func TestFlightAndProfilePureObservation(t *testing.T) {
+	const horizon = 4 * sim.Hour
+	bare := smallFederation(4, 2)
+	runFederation(bare, horizon)
+	want := bare.Checksum()
+
+	obsd := smallFederation(4, 2)
+	obsd.EnableTracing(0)
+	fl := obs.NewFlight(256, obs.Policy{Default: 2})
+	obsd.AttachFlight(fl)
+	obsd.Kernel.EnableProfile()
+	runFederation(obsd, horizon)
+
+	if got := obsd.Checksum(); got != want {
+		t.Fatalf("observed run checksum %x, want %x (bare)", got, want)
+	}
+	if len(fl.Snapshot()) == 0 {
+		t.Fatal("flight recorder retained no spans; purity test is vacuous")
+	}
+	rep, ok := obsd.Kernel.ProfileReport()
+	if !ok || rep.Windows == 0 {
+		t.Fatalf("profiler produced no report (ok=%v windows=%d)", ok, rep.Windows)
+	}
+	var sampledOut uint64
+	for _, st := range fl.Stats() {
+		sampledOut += st.SampledOut
+	}
+	if sampledOut == 0 {
+		t.Fatal("sampling policy rejected nothing at rate 2; sampling untested")
+	}
+}
+
+// TestAttachFlightRequiresTracing: attaching before EnableTracing is a
+// programming error, not a silent no-op.
+func TestAttachFlightRequiresTracing(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AttachFlight without EnableTracing did not panic")
+		}
+	}()
+	smallFederation(2, 1).AttachFlight(obs.NewFlight(16, obs.Policy{}))
+}
+
 // TestFederationObservability: the registry exposes shard-labeled series
 // and per-city ledgers that match the live counters.
 func TestFederationObservability(t *testing.T) {
@@ -113,6 +161,8 @@ func TestFederationObservability(t *testing.T) {
 		`df3_city_edge_served_total{city="2",shard="1"}`,
 		`df3_shard_cross_shard_messages_total`,
 		`df3_shard_boundary_bytes_total{shard="0"}`,
+		`df3_shard_busy_seconds{shard="1"}`,
+		`df3_shard_idle_seconds{shard="0"}`,
 		`df3_backbone_messages_total`,
 	} {
 		if !strings.Contains(text, want) {

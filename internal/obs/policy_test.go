@@ -1,0 +1,63 @@
+package obs
+
+import "testing"
+
+func TestPolicyTiers(t *testing.T) {
+	p := Policy{
+		Default: -1, // drop unless overridden
+		Class:   map[string]int{"edge": 1, "dcc": -1},
+		Tenant:  map[uint64]int{7: 1},
+	}
+	cases := []struct {
+		class  string
+		tenant uint64
+		key    uint64
+		want   bool
+	}{
+		{"edge", 1, 10, true},   // class rate 1 keeps all
+		{"dcc", 1, 10, false},   // class rate -1 drops all
+		{"dcc", 7, 10, true},    // tenant override wins over class
+		{"other", 1, 10, false}, // default -1 drops
+		{"other", 7, 10, true},  // tenant override wins over default
+	}
+	for _, c := range cases {
+		if got := p.KeepTenant(c.class, c.tenant, c.key); got != c.want {
+			t.Errorf("KeepTenant(%q, %d, %d) = %v, want %v", c.class, c.tenant, c.key, got, c.want)
+		}
+	}
+}
+
+func TestPolicyZeroValueKeepsAll(t *testing.T) {
+	var p Policy
+	for key := uint64(0); key < 100; key++ {
+		if !p.Keep("anything", key) {
+			t.Fatalf("zero policy dropped key %d", key)
+		}
+	}
+}
+
+func TestPolicyDeterministicAndRoughlyUniform(t *testing.T) {
+	p := Policy{Default: 10}
+	kept := 0
+	for key := uint64(1); key <= 10000; key++ {
+		a, b := p.Keep("c", key), p.Keep("c", key)
+		if a != b {
+			t.Fatalf("key %d: verdict not deterministic", key)
+		}
+		if a {
+			kept++
+		}
+	}
+	// 1-in-10 over 10k sequential keys: expect ~1000, allow wide slack.
+	if kept < 600 || kept > 1500 {
+		t.Errorf("kept %d of 10000 at rate 10", kept)
+	}
+}
+
+func TestPolicyZeroKeyFallsBackToClassHash(t *testing.T) {
+	p := Policy{Default: 2}
+	// With key 0 the verdict must still be deterministic per class.
+	if p.Keep("class-a", 0) != p.Keep("class-a", 0) {
+		t.Error("key-0 verdict unstable")
+	}
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+
+	df3metrics "df3/internal/metrics"
+)
+
+// Runtime metric names bridged into the registry. Each scrape reads the
+// sample fresh (runtime/metrics.Read is cheap for single samples), so the
+// exposition always reflects the process now — GC pressure during WAL
+// replay, goroutine growth under ingest load — without a collector
+// goroutine.
+const (
+	rmGoroutines = "/sched/goroutines:goroutines"
+	rmHeapBytes  = "/memory/classes/heap/objects:bytes"
+	rmTotalBytes = "/memory/classes/total:bytes"
+	rmGCCycles   = "/gc/cycles/total:gc-cycles"
+	rmGCPauses   = "/gc/pauses:seconds"
+)
+
+// RegisterRuntime bridges the Go runtime's own metrics into reg under
+// df3_go_* names: live goroutines, heap object bytes, total runtime
+// memory, completed GC cycles, and the p50/p99/max of the GC
+// stop-the-world pause distribution. These are process facts, not
+// simulation facts — they sit outside the determinism boundary and are
+// exported read-through, evaluated at scrape time.
+func RegisterRuntime(reg *df3metrics.Registry) {
+	reg.GaugeFunc("df3_go_goroutines", "live goroutines", nil,
+		func() float64 { return readUint(rmGoroutines) })
+	reg.GaugeFunc("df3_go_heap_objects_bytes", "bytes of live heap objects", nil,
+		func() float64 { return readUint(rmHeapBytes) })
+	reg.GaugeFunc("df3_go_memory_total_bytes", "total bytes of memory mapped by the Go runtime", nil,
+		func() float64 { return readUint(rmTotalBytes) })
+	reg.CounterFunc("df3_go_gc_cycles_total", "completed GC cycles", nil,
+		func() int64 { return int64(readUint(rmGCCycles)) })
+	for _, q := range []struct {
+		label string
+		p     float64
+	}{{"0.5", 0.5}, {"0.99", 0.99}, {"1", 1}} {
+		q := q
+		reg.GaugeFunc("df3_go_gc_pause_seconds",
+			"GC stop-the-world pause quantiles since process start",
+			df3metrics.Labels{"quantile": q.label},
+			func() float64 { return pauseQuantile(q.p) })
+	}
+}
+
+// readUint reads one runtime metric, tolerating metrics absent from the
+// running toolchain (KindBad → 0).
+func readUint(name string) float64 {
+	s := [1]metrics.Sample{{Name: name}}
+	metrics.Read(s[:])
+	if s[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return float64(s[0].Value.Uint64())
+}
+
+// pauseQuantile extracts quantile p from the runtime's GC pause
+// histogram. Buckets are cumulative-counted from Counts/Buckets; the
+// returned value is the upper bound of the bucket holding the quantile.
+func pauseQuantile(p float64) float64 {
+	s := [1]metrics.Sample{{Name: rmGCPauses}}
+	metrics.Read(s[:])
+	if s[0].Value.Kind() != metrics.KindFloat64Histogram {
+		return 0
+	}
+	h := s[0].Value.Float64Histogram()
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	want := uint64(p * float64(total))
+	if want >= total {
+		want = total - 1
+	}
+	var seen uint64
+	for i, c := range h.Counts {
+		seen += c
+		if seen > want {
+			// Bucket i spans (Buckets[i], Buckets[i+1]]; report the finite
+			// upper edge (the last bucket's upper edge may be +Inf — fall
+			// back to its lower edge).
+			up := h.Buckets[i+1]
+			if math.IsInf(up, 1) {
+				return h.Buckets[i]
+			}
+			return up
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}

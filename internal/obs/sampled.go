@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"df3/internal/sim"
+	"df3/internal/trace"
+)
+
+// Sampled is a head-sampling facade over a trace.Recorder for the live
+// ingest path, where the arrival names its class ("edge", "dcc") and
+// tenant. BeginRoot consults the policy once, at the root: a sampled-out
+// request gets span id 0, and — because the whole trace API treats id 0
+// as a no-op — every child begin, end and instant downstream vanishes
+// without the call sites checking anything. The decision is a
+// deterministic hash, so a replayed WAL samples the same requests.
+//
+// Unlike the recorder it wraps, Sampled is concurrency-safe: live ingest
+// begins spans on the driver goroutine (arrivals apply between slices)
+// but outcome callbacks fire from whichever shard worker settles the
+// request mid-window, so every span operation takes the wrapper's mutex.
+// The recorder must stay private to the wrapper for that to hold.
+type Sampled struct {
+	mu     sync.Mutex
+	rec    *trace.Recorder
+	policy Policy
+
+	admitted   atomic.Uint64
+	sampledOut atomic.Uint64
+}
+
+// NewSampled wraps rec (nil is allowed: every method no-ops, mirroring
+// the nil-recorder contract of the trace package).
+func NewSampled(rec *trace.Recorder, policy Policy) *Sampled {
+	return &Sampled{rec: rec, policy: policy}
+}
+
+// Recorder returns the wrapped recorder (nil when tracing is off). Only
+// touch it when no spans can be in flight — after shutdown, for export.
+func (s *Sampled) Recorder() *trace.Recorder {
+	if s == nil {
+		return nil
+	}
+	return s.rec
+}
+
+// BeginRoot opens a request root span, or returns 0 when the policy
+// samples the request out.
+func (s *Sampled) BeginRoot(t sim.Time, stage, class string, tenant, traceID uint64) trace.SpanID {
+	if s == nil || s.rec == nil {
+		return 0
+	}
+	if !s.policy.KeepTenant(class, tenant, traceID) {
+		s.sampledOut.Add(1)
+		return 0
+	}
+	s.admitted.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec.BeginSpan(t, stage, traceID, 0)
+}
+
+// BeginSpan opens a child span under parent. A zero parent means the
+// root was sampled out (or tracing is off), so the child is too.
+func (s *Sampled) BeginSpan(t sim.Time, stage string, traceID uint64, parent trace.SpanID) trace.SpanID {
+	if s == nil || s.rec == nil || parent == 0 {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec.BeginSpan(t, stage, traceID, parent)
+}
+
+// EndSpan closes an open span; id 0 is a no-op.
+func (s *Sampled) EndSpan(t sim.Time, id trace.SpanID) { s.EndSpanDetail(t, id, "") }
+
+// EndSpanDetail is EndSpan with an annotation.
+func (s *Sampled) EndSpanDetail(t sim.Time, id trace.SpanID, detail string) {
+	if s == nil || s.rec == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rec.EndSpanDetail(t, id, detail)
+}
+
+// Instant records a point annotation under parent; sampled-out parents
+// (id 0) record nothing.
+func (s *Sampled) Instant(t sim.Time, stage string, traceID uint64, parent trace.SpanID, detail string) {
+	if s == nil || s.rec == nil || parent == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rec.Instant(t, stage, traceID, parent, detail)
+}
+
+// Admitted returns how many roots passed sampling.
+func (s *Sampled) Admitted() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.admitted.Load()
+}
+
+// SampledOut returns how many roots the policy rejected.
+func (s *Sampled) SampledOut() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.sampledOut.Load()
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	df3metrics "df3/internal/metrics"
+	"df3/internal/trace"
+)
+
+func TestSampledRootDecisionPropagates(t *testing.T) {
+	rec := trace.NewRecorder(0)
+	s := NewSampled(rec, Policy{Class: map[string]int{"edge": -1, "dcc": 1}})
+
+	// Sampled-out root: everything downstream must vanish.
+	root := s.BeginRoot(0, "ingest:edge", "edge", 3, 100)
+	if root != 0 {
+		t.Fatalf("edge root sampled in despite drop policy: id %d", root)
+	}
+	child := s.BeginSpan(1, "apply", 100, root)
+	if child != 0 {
+		t.Fatalf("child of sampled-out root got id %d", child)
+	}
+	s.Instant(1, "outcome", 100, root, "served")
+	s.EndSpan(2, root)
+	if got := len(rec.Spans()); got != 0 {
+		t.Fatalf("recorder holds %d spans after sampled-out request", got)
+	}
+	if rec.UnmatchedEnds() != 0 || rec.OrphanBegins() != 0 {
+		t.Fatalf("hygiene counters moved: unmatched %d orphans %d",
+			rec.UnmatchedEnds(), rec.OrphanBegins())
+	}
+
+	// Admitted root: the full tree records.
+	root = s.BeginRoot(0, "ingest:dcc", "dcc", 3, 101)
+	if root == 0 {
+		t.Fatal("dcc root sampled out despite keep policy")
+	}
+	child = s.BeginSpan(1, "apply", 0, root)
+	s.EndSpan(2, child)
+	s.Instant(2, "outcome", 0, root, "served")
+	s.EndSpan(3, root)
+	if got := len(rec.Spans()); got != 3 {
+		t.Fatalf("recorder holds %d spans, want 3", got)
+	}
+	if s.Admitted() != 1 || s.SampledOut() != 1 {
+		t.Errorf("admitted %d sampled-out %d, want 1 and 1", s.Admitted(), s.SampledOut())
+	}
+}
+
+func TestSampledNilSafe(t *testing.T) {
+	var s *Sampled
+	if id := s.BeginRoot(0, "x", "edge", 1, 1); id != 0 {
+		t.Fatal("nil Sampled returned a span id")
+	}
+	s.EndSpan(1, 0)
+	s.Instant(1, "x", 0, 0, "")
+	if s.Admitted() != 0 || s.SampledOut() != 0 {
+		t.Fatal("nil Sampled counted something")
+	}
+	// Nil recorder inside a non-nil wrapper.
+	s2 := NewSampled(nil, Policy{})
+	if id := s2.BeginRoot(0, "x", "edge", 1, 1); id != 0 {
+		t.Fatal("nil-recorder Sampled returned a span id")
+	}
+	if s2.Recorder() != nil {
+		t.Fatal("Recorder() should be nil")
+	}
+}
+
+func TestRegisterRuntimeExports(t *testing.T) {
+	reg := df3metrics.NewRegistry()
+	RegisterRuntime(reg)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{
+		"df3_go_goroutines",
+		"df3_go_heap_objects_bytes",
+		"df3_go_memory_total_bytes",
+		"df3_go_gc_cycles_total",
+		`df3_go_gc_pause_seconds{quantile="0.99"}`,
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("exposition missing %s:\n%s", name, out)
+		}
+	}
+	// A live process always has goroutines.
+	parsed, err := df3metrics.ParsePrometheus(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed["df3_go_goroutines"] < 1 {
+		t.Errorf("df3_go_goroutines = %v, want >= 1", parsed["df3_go_goroutines"])
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"df3/internal/sim"
 	"df3/internal/units"
@@ -76,6 +77,7 @@ type message struct {
 	src, dst int
 	seq      uint64
 	size     float64
+	delay    sim.Time
 	fn       func()
 }
 
@@ -85,6 +87,12 @@ type PairTraffic struct {
 	SrcShard, DstShard int
 	Messages           int64
 	Bytes              float64
+	// MinDelay is the smallest message delay observed on this pair — the
+	// delay that would bind if the kernel lookahead were raised. A pair
+	// whose MinDelay equals the lookahead is the binding constraint on
+	// window width (profiler stall attribution); a pair with slack could
+	// tolerate a larger lookahead and fewer barriers.
+	MinDelay sim.Time
 }
 
 // Stats is the kernel's execution accounting after Run.
@@ -124,6 +132,10 @@ type Kernel struct {
 	boundary  map[[2]int]*PairTraffic
 	// perShard is scratch for per-window event counts.
 	perShard []uint64
+	// prof, when non-nil, accumulates busy/idle wall time and barrier
+	// stall attribution (profile.go). Nil on unprofiled runs: the hot path
+	// pays one pointer test per window, no clock reads.
+	prof *kernelProfile
 }
 
 // NewKernel returns a kernel with the given worker count and lookahead.
@@ -249,7 +261,7 @@ func (k *Kernel) Send(src, dst *LP, delay sim.Time, size units.Byte, fn func()) 
 	}
 	src.outbox = append(src.outbox, message{
 		at: src.Engine.Now() + delay, src: src.ID, dst: dst.ID,
-		seq: src.seq, size: float64(size), fn: fn,
+		seq: src.seq, size: float64(size), delay: delay, fn: fn,
 	})
 	src.seq++
 }
@@ -319,6 +331,7 @@ func (k *Kernel) nextBarrier(until sim.Time) (sim.Time, bool) {
 	}
 	next := until
 	any := false
+	limiter := -1
 	for _, lp := range k.lps {
 		if lp.done {
 			continue
@@ -326,10 +339,20 @@ func (k *Kernel) nextBarrier(until sim.Time) (sim.Time, bool) {
 		if t, ok := lp.Engine.NextEventTime(); ok && t <= lp.Until && t < next {
 			next = t
 			any = true
+			limiter = lp.ID
 		}
 	}
 	if !any {
 		return 0, false
+	}
+	if k.prof != nil && limiter >= 0 {
+		// This LP's min-next-event set the barrier: every other shard will
+		// idle once its own work inside the window drains.
+		for len(k.prof.limiter) <= limiter {
+			k.prof.limiter = append(k.prof.limiter, 0)
+		}
+		k.prof.limiter[limiter]++
+		k.prof.limitedWindows++
 	}
 	end := next + k.lookahead
 	if end > until {
@@ -354,6 +377,13 @@ func (k *Kernel) runWindow(end sim.Time) {
 		k.perShard[i] = 0
 	}
 	runShard := func(s int) {
+		// Busy time is measured inside the worker: wall clock spent
+		// advancing this shard's LPs. Only shard s writes busy[s], so the
+		// workers never contend; the coordinator reads after the barrier.
+		var t0 time.Time
+		if k.prof != nil {
+			t0 = k.prof.now()
+		}
 		for _, lp := range k.lps {
 			if lp.shard != s || lp.done {
 				continue
@@ -369,6 +399,13 @@ func (k *Kernel) runWindow(end sim.Time) {
 				lp.done = true
 			}
 		}
+		if k.prof != nil {
+			k.prof.busy[s] += k.prof.now().Sub(t0)
+		}
+	}
+	var w0 time.Time
+	if k.prof != nil {
+		w0 = k.prof.now()
 	}
 	if k.shards == 1 {
 		runShard(0)
@@ -382,6 +419,9 @@ func (k *Kernel) runWindow(end sim.Time) {
 			}(s)
 		}
 		wg.Wait()
+	}
+	if k.prof != nil {
+		k.prof.wall += k.prof.now().Sub(w0)
 	}
 	for _, lp := range k.lps {
 		d := lp.Engine.Fired() - lp.fired
@@ -436,6 +476,9 @@ func (k *Kernel) flush(end sim.Time) {
 		}
 		pt.Messages++
 		pt.Bytes += m.size
+		if pt.Messages == 1 || m.delay < pt.MinDelay {
+			pt.MinDelay = m.delay
+		}
 		if src.shard != dst.shard {
 			k.stats.CrossShard++
 		}

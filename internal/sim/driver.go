@@ -96,6 +96,35 @@ type Paced struct {
 
 	mu      sync.Mutex
 	stopped atomic.Bool
+
+	// Health telemetry, updated every loop iteration and read by metric
+	// scrapes. These are atomics, not mu-guarded state, deliberately: a
+	// scrape-time GaugeFunc already runs inside Sync (the registry
+	// evaluates read-throughs under its own lock while the driver mutex is
+	// held), so a gauge that called Sync again would self-deadlock.
+	// Lock-free reads keep driver health observable from any goroutine —
+	// including mid-slice, when the driver is busy.
+	lagMicros    atomic.Int64 // wall-target minus sim clock, µs of sim time
+	slices       atomic.Uint64
+	lastSliceSim atomic.Int64 // last reached boundary, µs of sim time
+}
+
+// LagSeconds reports how far the simulation currently trails the pacing
+// target: target sim time implied by the wall clock minus the target's
+// actual clock, in simulated seconds. Near zero when healthy; growing
+// when slices can't keep up with real time (host overload, GC stalls).
+// Negative values mean the clamp (MaxSlice/horizon) has the sim ahead.
+func (p *Paced) LagSeconds() float64 {
+	return float64(p.lagMicros.Load()) / 1e6
+}
+
+// Slices reports how many slices Drive has executed.
+func (p *Paced) Slices() uint64 { return p.slices.Load() }
+
+// LastSliceReached reports the simulated time of the most recent slice
+// boundary (0 before the first).
+func (p *Paced) LastSliceReached() Time {
+	return Time(p.lastSliceSim.Load()) / 1e6
 }
 
 // Stop makes Drive return after the slice currently executing. Safe from
@@ -144,6 +173,7 @@ func (p *Paced) Drive(t Target, until Time) {
 		if target > until {
 			target = until
 		}
+		wallTarget := target
 		if lim := t.Now() + slice; target > lim {
 			target = lim
 		}
@@ -153,8 +183,14 @@ func (p *Paced) Drive(t Target, until Time) {
 			if p.OnAdvance != nil {
 				p.OnAdvance(target)
 			}
+			p.slices.Add(1)
+			p.lastSliceSim.Store(int64(target * 1e6))
 			advanced = true
 		}
+		// Lag is measured after the slice: how much simulated time the
+		// wall-clock target is still owed. Persistently positive lag means
+		// the host cannot keep up at this Speed.
+		p.lagMicros.Store(int64((wallTarget - t.Now()) * 1e6))
 		done := t.Now() >= until
 		p.mu.Unlock()
 		if done {

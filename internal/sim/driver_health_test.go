@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPacedHealthCounters(t *testing.T) {
+	e := New()
+	for i := 0; i < 20; i++ {
+		at := Time(i) * 2
+		e.At(at, func() {})
+	}
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	p := &Paced{Speed: 10, MaxSlice: 5, Tick: 100 * time.Millisecond, Clock: clk}
+	p.Drive(e, 50)
+	if p.Slices() == 0 {
+		t.Fatal("no slices counted")
+	}
+	if got := p.LastSliceReached(); got != 50 {
+		t.Fatalf("last slice reached %v, want 50", got)
+	}
+	// Drained to the horizon: the sim cannot still be behind the target.
+	if lag := p.LagSeconds(); lag > 0 {
+		t.Fatalf("lag %v after reaching horizon", lag)
+	}
+}
+
+// TestPacedSyncConcurrentScrapes is the live scrape path under -race:
+// while a paced drive advances and drains injections, scraper goroutines
+// both enter Sync (the quiescent read path /metrics uses) and read the
+// lock-free health counters (the path GaugeFuncs use from inside a
+// scrape, where taking Sync again would self-deadlock).
+func TestPacedSyncConcurrentScrapes(t *testing.T) {
+	e := New()
+	var fired int
+	var tick func()
+	tick = func() {
+		fired++
+		if e.Now() < 200 {
+			e.AtTransient(e.Now()+0.5, tick)
+		}
+	}
+	e.At(0, tick)
+
+	q := NewInjectQueue()
+	clk := &fakeClock{now: time.Unix(0, 0)}
+	p := &Paced{Speed: 50, MaxSlice: 5, Tick: 10 * time.Millisecond, Clock: clk, Queue: q}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.Drive(e, 200)
+	}()
+
+	var wg sync.WaitGroup
+	injected := 0
+	var injMu sync.Mutex
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				// The /metrics path: a quiescent read at a slice boundary.
+				var nowAt Time
+				p.Sync(func() { nowAt = e.Now() })
+				if nowAt < 0 || nowAt > 200 {
+					t.Errorf("sync saw clock %v outside [0,200]", nowAt)
+					return
+				}
+				// The GaugeFunc path: lock-free health reads, mid-slice.
+				_ = p.LagSeconds()
+				_ = p.Slices()
+				_ = p.LastSliceReached()
+				// Keep injections flowing so drains and scrapes interleave.
+				q.Inject(func(seq uint64) {
+					injMu.Lock()
+					injected++
+					injMu.Unlock()
+				})
+			}
+		}()
+	}
+	<-done
+	wg.Wait()
+	if e.Now() != 200 {
+		t.Fatalf("drive finished at %v, want 200", e.Now())
+	}
+	if fired == 0 {
+		t.Fatal("no events fired")
+	}
+	if p.Slices() == 0 {
+		t.Fatal("no slices recorded")
+	}
+}

@@ -147,8 +147,25 @@ func (r *Recorder) Instant(t sim.Time, stage string, traceID uint64, parent Span
 	r.EndSpanDetail(t, id, detail)
 }
 
+// SetSink installs a hook invoked with a copy of every completed span, in
+// completion order, before the span enters the bounded ring. A sink sees
+// spans the ring later evicts, which is what lets an always-on flight
+// recorder ride a small-capacity recorder without losing recency. The sink
+// runs on the recording goroutine and must be pure observation: it must not
+// call back into the recorder or touch simulation state. Nil recorders and
+// a nil fn are no-ops.
+func (r *Recorder) SetSink(fn func(Span)) {
+	if r == nil {
+		return
+	}
+	r.sink = fn
+}
+
 // pushSpan appends a completed span, evicting the oldest at capacity.
 func (r *Recorder) pushSpan(sp Span) {
+	if r.sink != nil {
+		r.sink(sp)
+	}
 	if r.cap > 0 && len(r.spans) == r.cap {
 		r.spans[r.spHead] = sp
 		r.spHead++

@@ -46,6 +46,7 @@ type Recorder struct {
 	orphanBegins  int64
 	procs         []string
 	curProc       int
+	sink          func(Span)
 }
 
 // Record appends one event, evicting the oldest at capacity.
