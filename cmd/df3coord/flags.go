@@ -1,0 +1,113 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"df3/internal/city"
+	"df3/internal/cliutil"
+)
+
+// coordConfig is the parsed flag set, separated from main so the
+// validation rules are unit-testable.
+type coordConfig struct {
+	workers string // comma-separated worker addresses; empty = in-process mode
+	nodes   int    // in-process partitions when no workers are given
+	shards  int    // shard workers per node
+
+	// Scenario (the sealed recipe every node builds).
+	seed                     uint64
+	cities, buildings, rooms int
+	boilers                  int
+	days                     float64
+	edgeRate, dccRate        float64
+	intercity                float64
+
+	timeout     time.Duration
+	metricsPath string
+	tracePath   string
+}
+
+// workerList splits -workers into dial targets.
+func (c coordConfig) workerList() []string {
+	if strings.TrimSpace(c.workers) == "" {
+		return nil
+	}
+	var out []string
+	for _, w := range strings.Split(c.workers, ",") {
+		out = append(out, strings.TrimSpace(w))
+	}
+	return out
+}
+
+// nodeCount is the number of partitions the run is split into: one per
+// worker, or -nodes in in-process mode.
+func (c coordConfig) nodeCount() int {
+	if ws := c.workerList(); len(ws) > 0 {
+		return len(ws)
+	}
+	return c.nodes
+}
+
+// spec seals the scenario flags into the recipe every node builds from.
+func (c coordConfig) spec() city.Spec {
+	return city.Spec{
+		Seed: c.seed, Cities: c.cities, Buildings: c.buildings,
+		Rooms: c.rooms, Boilers: c.boilers, Days: c.days,
+		EdgeRate: c.edgeRate, DCCRate: c.dccRate, InterCity: c.intercity,
+	}
+}
+
+// validate rejects invalid values before anything dials or builds, so a
+// fleet of workers is never assigned a scenario the run would die on.
+func (c coordConfig) validate() error {
+	if err := c.spec().Validate(); err != nil {
+		return err
+	}
+	ws := c.workerList()
+	for _, w := range ws {
+		if w == "" {
+			return fmt.Errorf("-workers has an empty address")
+		}
+		if _, err := cliutil.CheckListenAddr(w); err != nil {
+			return fmt.Errorf("-workers: %w", err)
+		}
+	}
+	if len(ws) == 0 && c.nodes < 1 {
+		return fmt.Errorf("-nodes %d: need at least one partition", c.nodes)
+	}
+	nodes := c.nodeCount()
+	if nodes > c.cities {
+		return fmt.Errorf("%d nodes for %d cities: every node needs at least one city", nodes, c.cities)
+	}
+	if c.shards < 1 {
+		return fmt.Errorf("-shards %d: need at least one shard worker per node", c.shards)
+	}
+	if c.timeout <= 0 {
+		return fmt.Errorf("-timeout %v: need a positive wall bound", c.timeout)
+	}
+	if c.metricsPath != "" {
+		if err := cliutil.CheckWritableFile(c.metricsPath); err != nil {
+			return fmt.Errorf("-metrics: %w", err)
+		}
+	}
+	if c.tracePath != "" {
+		if len(ws) == 0 {
+			return fmt.Errorf("-trace gathers worker trace chunks; it needs -workers (and df3node -trace)")
+		}
+		if err := cliutil.CheckWritableFile(c.tracePath); err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+	}
+	return nil
+}
+
+// dialTarget splits a worker address into the (network, addr) pair for
+// wire.Dial.
+func dialTarget(w string) (network, addr string) {
+	if path, ok := strings.CutPrefix(w, "unix:"); ok {
+		return "unix", path
+	}
+	return "tcp", w
+}

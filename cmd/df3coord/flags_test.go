@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func validConfig() coordConfig {
+	return coordConfig{
+		nodes: 2, shards: 2, cities: 8, buildings: 4, rooms: 6,
+		days: 1, edgeRate: 1, dccRate: 6, intercity: 2,
+		timeout: time.Minute,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*coordConfig)
+		ok     bool
+	}{
+		{"default in-process", func(c *coordConfig) {}, true},
+		{"remote workers", func(c *coordConfig) { c.workers = "127.0.0.1:9401, 127.0.0.1:9402" }, true},
+		{"unix workers", func(c *coordConfig) { c.workers = "unix:/tmp/df3-0.sock" }, true},
+		{"zero cities", func(c *coordConfig) { c.cities = 0 }, false},
+		{"zero nodes", func(c *coordConfig) { c.nodes = 0 }, false},
+		{"more nodes than cities", func(c *coordConfig) { c.nodes = 9 }, false},
+		{"more workers than cities", func(c *coordConfig) {
+			c.cities = 1
+			c.workers = "127.0.0.1:9401,127.0.0.1:9402"
+		}, false},
+		{"zero shards", func(c *coordConfig) { c.shards = 0 }, false},
+		{"negative days", func(c *coordConfig) { c.days = -1 }, false},
+		{"negative rate", func(c *coordConfig) { c.intercity = -1 }, false},
+		{"zero timeout", func(c *coordConfig) { c.timeout = 0 }, false},
+		{"empty worker entry", func(c *coordConfig) { c.workers = "127.0.0.1:9401,," }, false},
+		{"bad worker port", func(c *coordConfig) { c.workers = "127.0.0.1:99999" }, false},
+		{"trace without workers", func(c *coordConfig) { c.tracePath = "/tmp/t.jsonl" }, false},
+		{"metrics to missing dir", func(c *coordConfig) { c.metricsPath = "/nope/missing/m.txt" }, false},
+	}
+	for _, c := range cases {
+		cfg := validConfig()
+		c.mutate(&cfg)
+		err := cfg.validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestWorkerListAndNodes(t *testing.T) {
+	cfg := validConfig()
+	cfg.workers = " 127.0.0.1:9401 ,unix:/tmp/w.sock "
+	ws := cfg.workerList()
+	if len(ws) != 2 || ws[0] != "127.0.0.1:9401" || ws[1] != "unix:/tmp/w.sock" {
+		t.Errorf("workerList = %v", ws)
+	}
+	if cfg.nodeCount() != 2 {
+		t.Errorf("nodeCount = %d, want 2 (one per worker)", cfg.nodeCount())
+	}
+	cfg.workers = ""
+	if cfg.nodeCount() != cfg.nodes {
+		t.Errorf("nodeCount = %d, want -nodes %d", cfg.nodeCount(), cfg.nodes)
+	}
+}
+
+func TestDialTarget(t *testing.T) {
+	if n, a := dialTarget("127.0.0.1:9401"); n != "tcp" || a != "127.0.0.1:9401" {
+		t.Errorf("tcp target = %s %s", n, a)
+	}
+	if n, a := dialTarget("unix:/tmp/w.sock"); n != "unix" || a != "/tmp/w.sock" {
+		t.Errorf("unix target = %s %s", n, a)
+	}
+}
+
+func TestSpecSealsScenario(t *testing.T) {
+	cfg := validConfig()
+	spec := cfg.spec()
+	if spec.Cities != cfg.cities || spec.Days != cfg.days || spec.InterCity != cfg.intercity {
+		t.Errorf("spec %+v does not mirror config %+v", spec, cfg)
+	}
+	if !strings.Contains(string(spec.Marshal()), `"cities":8`) {
+		t.Errorf("recipe %s", spec.Marshal())
+	}
+}

@@ -49,8 +49,12 @@ const defaultCheckpointEvery = 3600.0
 // before the scenario is built. Live-only knobs on a step-driven daemon
 // are configuration errors, not silent no-ops.
 func (c daemonConfig) validate() error {
-	if c.addr == "" {
-		return fmt.Errorf("-addr must not be empty")
+	la, err := cliutil.CheckListenAddr(c.addr)
+	if err != nil {
+		return fmt.Errorf("-addr: %w", err)
+	}
+	if la.Network != "tcp" {
+		return fmt.Errorf("-addr %q: df3d serves HTTP over TCP (df3node accepts unix sockets)", c.addr)
 	}
 	if c.buildings < 1 || c.rooms < 1 {
 		return fmt.Errorf("need at least 1 building and 1 room (have %d×%d)", c.buildings, c.rooms)

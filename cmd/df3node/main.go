@@ -1,0 +1,100 @@
+// Command df3node hosts one partition of a df3 federation as a worker
+// process. It listens on TCP or a unix socket, accepts one coordinator
+// connection, and speaks the wire protocol: the coordinator ships the
+// sealed build recipe and the contiguous city block this node owns, the
+// node rebuilds the complete federation from the recipe (so every node
+// provably runs the same scenario) restricted to its partition, and then
+// executes window after window under the coordinator's conservative
+// barrier until a clean Bye.
+//
+//	df3node -addr 127.0.0.1:9401
+//	df3node -addr unix:/tmp/df3-0.sock
+//
+// The first stdout line is "df3node listening on <addr>" with the bound
+// address (useful with -addr :0); harnesses wait for it, or for the port
+// itself, before pointing df3coord at the worker. A worker serves one
+// run and exits: 0 after a clean shutdown, 1 on any transport, protocol
+// or scenario failure — a dead coordinator is detected by the session
+// deadline, so an orphaned worker does not linger.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"df3/internal/cliutil"
+	"df3/internal/wire"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":9401", "listen address (host:port or unix:/path)")
+		timeout = flag.Duration("timeout", wire.DefaultTimeout, "wall bound on each coordinator request")
+		traceN  = flag.Int("trace", 0, "span-trace ring capacity; enables the trace chunk frames (0 disables)")
+	)
+	flag.Parse()
+
+	la, err := cliutil.CheckListenAddr(*addr)
+	if err != nil {
+		usageErr("-addr: %v", err)
+	}
+	if *timeout <= 0 {
+		usageErr("-timeout %v: need a positive wall bound", *timeout)
+	}
+	if *traceN < 0 {
+		usageErr("-trace %d must be non-negative", *traceN)
+	}
+
+	ln, err := net.Listen(la.Network, la.Addr)
+	if err != nil {
+		fatal("listen: %v", err)
+	}
+	if la.Network == "unix" {
+		defer os.Remove(la.Addr)
+	}
+	fmt.Printf("df3node listening on %s\n", ln.Addr())
+
+	// One coordinator per run, but connections that die before a valid
+	// hello — port scanners, harness readiness probes — don't count:
+	// keep listening until a real session runs.
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			fatal("accept: %v", err)
+		}
+		err = wire.Serve(conn, wire.ServeOptions{
+			Timeout:       *timeout,
+			TraceCapacity: *traceN,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "df3node: "+format+"\n", args...)
+			},
+		})
+		conn.Close()
+		var hs *wire.HandshakeError
+		switch {
+		case err == nil:
+			ln.Close()
+			fmt.Println("df3node: clean shutdown")
+			return
+		case errors.As(err, &hs):
+			fmt.Fprintf(os.Stderr, "df3node: ignoring pre-handshake connection: %v\n", err)
+		default:
+			ln.Close()
+			fatal("session: %v", err)
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "df3node: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// usageErr is flag validation's exit: 2, like every df3 CLI.
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "df3node: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -125,6 +125,69 @@ func WaitReady(base string, timeout time.Duration) error {
 	}
 }
 
+// WaitPort polls a TCP address until something accepts a connection or
+// the timeout passes — the readiness probe for wire-protocol workers
+// (df3node), which have no HTTP surface to GET.
+func WaitPort(addr string, timeout time.Duration) error {
+	deadline := wallNow().Add(timeout)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err == nil {
+			return conn.Close()
+		}
+		if !wallNow().Before(deadline) {
+			return fmt.Errorf("%s not accepting after %v: %w", addr, timeout, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// Group manages a fleet of children started together — a coordinator's
+// workers, typically — so a failing test can always reap everything it
+// spawned.
+type Group struct {
+	procs []*Proc
+	names []string
+}
+
+// Start launches one more member and tracks it.
+func (g *Group) Start(name string, args ...string) (*Proc, error) {
+	p, err := Start(name, args...)
+	if err != nil {
+		return nil, err
+	}
+	g.procs = append(g.procs, p)
+	g.names = append(g.names, name)
+	return p, nil
+}
+
+// Procs returns the members in start order.
+func (g *Group) Procs() []*Proc { return g.procs }
+
+// KillAll SIGKILLs and reaps every member still running; safe to defer
+// alongside individual kills (killing a reaped process is a no-op error
+// that is ignored).
+func (g *Group) KillAll() {
+	for _, p := range g.procs {
+		select {
+		case <-p.waited:
+		default:
+			_ = p.Kill9()
+		}
+	}
+}
+
+// WaitAll waits for every member, returning the first failure with the
+// member's name and output attached.
+func (g *Group) WaitAll(timeout time.Duration) error {
+	for i, p := range g.procs {
+		if err := p.Wait(timeout); err != nil {
+			return fmt.Errorf("%s: %w\n%s", g.names[i], err, p.Output())
+		}
+	}
+	return nil
+}
+
 // FreePort reserves an ephemeral localhost TCP port and releases it for
 // the child to bind. The close-to-bind window is a real race, acceptable
 // in tests.
@@ -137,14 +200,24 @@ func FreePort() (int, error) {
 	return port, l.Close()
 }
 
-// Checksum extracts the "# df3d federation checksum:" fingerprint from a
-// process's output — the one number two runs are compared by.
-func Checksum(output string) (string, bool) {
-	const prefix = "# df3d federation checksum: "
+// Fingerprint extracts the value of the first output line with the given
+// prefix — the shape of every df3 checksum line.
+func Fingerprint(output, prefix string) (string, bool) {
 	for _, line := range strings.Split(output, "\n") {
 		if strings.HasPrefix(line, prefix) {
 			return strings.TrimSpace(strings.TrimPrefix(line, prefix)), true
 		}
 	}
 	return "", false
+}
+
+// Checksum extracts the "# df3d federation checksum:" fingerprint from a
+// process's output — the one number two runs are compared by.
+func Checksum(output string) (string, bool) {
+	return Fingerprint(output, "# df3d federation checksum: ")
+}
+
+// CoordChecksum extracts df3coord's federation checksum line.
+func CoordChecksum(output string) (string, bool) {
+	return Fingerprint(output, "# df3coord federation checksum: ")
 }

@@ -1,0 +1,176 @@
+package chaoskit
+
+import (
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildMultiNode compiles df3node and df3coord into tmp and returns
+// their paths.
+func buildMultiNode(t *testing.T) (df3node, df3coord string) {
+	t.Helper()
+	tmp := t.TempDir()
+	df3node = filepath.Join(tmp, "df3node")
+	df3coord = filepath.Join(tmp, "df3coord")
+	for _, b := range []struct{ bin, pkg string }{
+		{df3node, "df3/cmd/df3node"},
+		{df3coord, "df3/cmd/df3coord"},
+	} {
+		cmd := exec.Command("go", "build", "-o", b.bin, b.pkg)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", b.pkg, err, out)
+		}
+	}
+	return df3node, df3coord
+}
+
+// startWorkers boots n df3node processes on ephemeral ports and waits
+// for each to accept, returning the worker addresses.
+func startWorkers(t *testing.T, g *Group, df3node string, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		port, err := FreePort()
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = fmt.Sprintf("127.0.0.1:%d", port)
+		if _, err := g.Start(df3node, "-addr", addrs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, addr := range addrs {
+		if err := WaitPort(addr, 30*time.Second); err != nil {
+			t.Fatalf("worker %d: %v\n%s", i, err, g.Procs()[i].Output())
+		}
+	}
+	return addrs
+}
+
+// TestMultiNodeChecksumMatchesSerial is the cross-process determinism
+// contract with real binaries: a coordinator driving two df3node worker
+// processes must print byte-identical output (tables and checksum line)
+// to the same coordinator running its partitions in-process.
+func TestMultiNodeChecksumMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process e2e (builds binaries, real sockets); skipped in -short")
+	}
+	df3node, df3coord := buildMultiNode(t)
+	scenario := []string{"-cities", "4", "-days", "0.5", "-shards", "2",
+		"-buildings", "3", "-rooms", "4", "-intercity", "4"}
+
+	var g Group
+	defer g.KillAll()
+	addrs := startWorkers(t, &g, df3node, 2)
+
+	coord, err := Start(df3coord, append([]string{"-workers", strings.Join(addrs, ",")}, scenario...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Kill9()
+	if err := coord.Wait(3 * time.Minute); err != nil {
+		t.Fatalf("df3coord: %v\n%s", err, coord.Output())
+	}
+	if err := g.WaitAll(30 * time.Second); err != nil {
+		t.Fatalf("worker exit: %v", err)
+	}
+	for i, p := range g.Procs() {
+		if !strings.Contains(p.Output(), "clean shutdown") {
+			t.Errorf("worker %d did not shut down cleanly:\n%s", i, p.Output())
+		}
+	}
+
+	serial, err := Start(df3coord, append([]string{"-nodes", "2"}, scenario...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serial.Wait(3 * time.Minute); err != nil {
+		t.Fatalf("df3coord -nodes 2: %v\n%s", err, serial.Output())
+	}
+
+	// stdout must match line for line; stderr carries wall timings and
+	// worker logs and legitimately differs. Proc captures both streams,
+	// so compare the deterministic subset: table lines + checksum.
+	remoteSum, ok := CoordChecksum(coord.Output())
+	if !ok {
+		t.Fatalf("no checksum in remote output:\n%s", coord.Output())
+	}
+	serialSum, ok := CoordChecksum(serial.Output())
+	if !ok {
+		t.Fatalf("no checksum in serial output:\n%s", serial.Output())
+	}
+	if remoteSum != serialSum {
+		t.Fatalf("remote checksum %s != serial %s\n--- remote ---\n%s\n--- serial ---\n%s",
+			remoteSum, serialSum, coord.Output(), serial.Output())
+	}
+	for _, metric := range []string{"edge served", "dcc jobs done", "events fired", "cross-node messages"} {
+		r, s := tableLine(coord.Output(), metric), tableLine(serial.Output(), metric)
+		if r == "" || r != s {
+			t.Errorf("table line %q: remote %q != serial %q", metric, r, s)
+		}
+	}
+	t.Logf("2-process checksum %s matches in-process run", remoteSum)
+}
+
+// tableLine finds the first report line containing the metric name.
+func tableLine(output, metric string) string {
+	for _, line := range strings.Split(output, "\n") {
+		if strings.Contains(line, metric) {
+			return strings.TrimSpace(line)
+		}
+	}
+	return ""
+}
+
+// TestMultiNodeWorkerDeathFailsFast: SIGKILL one worker mid-run; the
+// coordinator must exit non-zero promptly (the dead TCP peer surfaces as
+// a read error, not a hung barrier), and must not print a checksum.
+func TestMultiNodeWorkerDeathFailsFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process e2e (builds binaries, kills processes); skipped in -short")
+	}
+	df3node, df3coord := buildMultiNode(t)
+
+	var g Group
+	defer g.KillAll()
+	// A scenario big enough to still be mid-run when the kill lands.
+	addrs := startWorkers(t, &g, df3node, 2)
+	coord, err := Start(df3coord, "-workers", strings.Join(addrs, ","),
+		"-cities", "6", "-days", "30", "-shards", "2", "-timeout", "1m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Kill9()
+
+	// Wait until the run is actually underway (both workers assigned),
+	// then crash one.
+	deadline := wallNow().Add(30 * time.Second)
+	for !strings.Contains(g.Procs()[1].Output(), "assigned") {
+		if !wallNow().Before(deadline) {
+			t.Fatalf("worker 1 never assigned\ncoord:\n%s\nworker:\n%s",
+				coord.Output(), g.Procs()[1].Output())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := g.Procs()[1].Kill9(); err != nil {
+		t.Fatal(err)
+	}
+
+	err = coord.Wait(30 * time.Second)
+	if err == nil {
+		t.Fatalf("coordinator exited 0 after losing a worker:\n%s", coord.Output())
+	}
+	if _, ok := err.(*exec.ExitError); !ok {
+		t.Fatalf("coordinator did not exit on its own: %v\n%s", err, coord.Output())
+	}
+	if _, ok := CoordChecksum(coord.Output()); ok {
+		t.Fatalf("coordinator printed a checksum for a broken run:\n%s", coord.Output())
+	}
+	if !strings.Contains(coord.Output(), "worker") {
+		t.Errorf("failure does not name the worker:\n%s", coord.Output())
+	}
+}

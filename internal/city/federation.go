@@ -93,6 +93,10 @@ func BuildFederation(cfg FederationConfig) *Federation {
 	k.Partition(assign)
 	bb.AssignShards(assign)
 	f.partition = assign
+	// Inter-city traffic travels as (kind, payload) messages so a
+	// federation partitioned across processes behaves identically to an
+	// in-process one (remote.go holds the codec).
+	k.SetDecoder(f.decodeMsg)
 	return f
 }
 
@@ -194,17 +198,14 @@ func (f *Federation) StartInterCityDCC(until sim.Time, jobsPerHour float64) {
 
 // submitRemote ships one batch job src→dst across the backbone: accounting
 // and delay at the boundary link, delivery through the kernel mailbox into
-// the destination city's middleware.
+// the destination city's middleware. The job goes as a serialisable
+// payload (decoded by decodeMsg on the owning node), so the same path
+// serves in-process shards and cross-process workers identically.
 func (f *Federation) submitRemote(srcCity, dstCity int, job workload.BatchJob) {
 	size := units.Byte(float64(job.Input) * float64(len(job.TaskWork)))
 	delay := f.Backbone.Account(srcCity, dstCity, size)
 	f.exported[srcCity]++
-	dst := f.Cities[dstCity]
-	f.Kernel.Send(f.lps[srcCity], f.lps[dstCity], delay, size, func() {
-		f.imported[dstCity]++
-		b := dst.Buildings[int(job.ID%uint64(len(dst.Buildings)))]
-		dst.MW.SubmitDCC(b.Cluster, dst.Operator, job)
-	})
+	f.Kernel.SendMsg(f.lps[srcCity], f.lps[dstCity], delay, size, MsgKindInterCityJob, encodeJob(job))
 }
 
 // Now returns the federation's global clock (see shard.Kernel.Now).
@@ -279,28 +280,85 @@ type Summary struct {
 	EventsFired                       uint64
 }
 
-// Summarize folds every city's ledgers into one Summary.
-func (f *Federation) Summarize() Summary {
-	s := Summary{Cities: len(f.Cities)}
-	for i, c := range f.Cities {
-		s.EdgeSubmitted += c.MW.Edge.Submitted.Value()
-		s.EdgeServed += c.MW.Edge.Served.Value()
-		s.JobsSubmitted += c.MW.DCC.JobsSubmitted.Value()
-		s.JobsDone += c.MW.DCC.JobsDone.Value()
-		s.JobsLost += c.MW.DCC.JobsLost.Value()
-		s.WorkDone += c.MW.DCC.WorkDone
-		s.Exported += f.exported[i]
-		s.Imported += f.imported[i]
-		s.EventsFired += c.Engine.Fired()
+// CityState is one city's observable outcome: every ledger, clock and
+// counter that Summary and Checksum fold over. It is the unit of result
+// merging for a multi-node run — each worker reports the CityStates of
+// the cities it owns, and the coordinator reassembles the exact Summary
+// and Checksum a single-process run computes, because both are defined
+// as pure functions of these records (SummarizeStates, ChecksumStates).
+type CityState struct {
+	City            int
+	EdgeSubmitted   int64
+	EdgeServed      int64
+	EdgeRejected    int64
+	JobsSubmitted   int64
+	JobsDone        int64
+	JobsLost        int64
+	TasksDone       int64
+	WorkDone        float64
+	EdgeLatencyMean float64
+	EventsFired     uint64
+	SimTime         sim.Time
+	Exported        int64
+	Imported        int64
+}
+
+// CityState reads city i's observable outcome. Call it only on the node
+// that owns city i (elsewhere the city never ran).
+func (f *Federation) CityState(i int) CityState {
+	c := f.Cities[i]
+	return CityState{
+		City:            i,
+		EdgeSubmitted:   c.MW.Edge.Submitted.Value(),
+		EdgeServed:      c.MW.Edge.Served.Value(),
+		EdgeRejected:    c.MW.Edge.Rejected.Value(),
+		JobsSubmitted:   c.MW.DCC.JobsSubmitted.Value(),
+		JobsDone:        c.MW.DCC.JobsDone.Value(),
+		JobsLost:        c.MW.DCC.JobsLost.Value(),
+		TasksDone:       c.MW.DCC.TasksDone.Value(),
+		WorkDone:        c.MW.DCC.WorkDone,
+		EdgeLatencyMean: c.MW.Edge.Latency.Mean(),
+		EventsFired:     c.Engine.Fired(),
+		SimTime:         c.Engine.Now(),
+		Exported:        f.exported[i],
+		Imported:        f.imported[i],
+	}
+}
+
+// CityStates reads every city's observable outcome, in city order.
+func (f *Federation) CityStates() []CityState {
+	out := make([]CityState, len(f.Cities))
+	for i := range f.Cities {
+		out[i] = f.CityState(i)
+	}
+	return out
+}
+
+// SummarizeStates folds per-city records into one Summary.
+func SummarizeStates(states []CityState) Summary {
+	s := Summary{Cities: len(states)}
+	for _, cs := range states {
+		s.EdgeSubmitted += cs.EdgeSubmitted
+		s.EdgeServed += cs.EdgeServed
+		s.JobsSubmitted += cs.JobsSubmitted
+		s.JobsDone += cs.JobsDone
+		s.JobsLost += cs.JobsLost
+		s.WorkDone += cs.WorkDone
+		s.Exported += cs.Exported
+		s.Imported += cs.Imported
+		s.EventsFired += cs.EventsFired
 	}
 	return s
 }
 
-// Checksum folds every city's observable outcome — ledgers, latency sums,
-// event counts, clocks — into one FNV-1a digest, in city order. Two runs of
-// the same federation are equivalent iff their checksums match; E19 and the
-// equivalence tests compare it across shard counts.
-func (f *Federation) Checksum() uint64 {
+// Summarize folds every city's ledgers into one Summary.
+func (f *Federation) Summarize() Summary {
+	return SummarizeStates(f.CityStates())
+}
+
+// ChecksumStates folds per-city records — which must be in city order;
+// the fold is deliberately order-sensitive — into the federation digest.
+func ChecksumStates(states []CityState) uint64 {
 	const prime = 1099511628211
 	h := uint64(14695981039346656037)
 	mix := func(v uint64) {
@@ -308,22 +366,31 @@ func (f *Federation) Checksum() uint64 {
 		h *= prime
 	}
 	mixF := func(v float64) { mix(math.Float64bits(v)) }
-	for i, c := range f.Cities {
-		mix(uint64(i))
-		mix(uint64(c.MW.Edge.Submitted.Value()))
-		mix(uint64(c.MW.Edge.Served.Value()))
-		mix(uint64(c.MW.Edge.Rejected.Value()))
-		mix(uint64(c.MW.DCC.JobsSubmitted.Value()))
-		mix(uint64(c.MW.DCC.JobsDone.Value()))
-		mix(uint64(c.MW.DCC.TasksDone.Value()))
-		mixF(c.MW.DCC.WorkDone)
-		mixF(c.MW.Edge.Latency.Mean())
-		mix(c.Engine.Fired())
-		mixF(c.Engine.Now())
-		mix(uint64(f.exported[i]))
-		mix(uint64(f.imported[i]))
+	for _, cs := range states {
+		mix(uint64(cs.City))
+		mix(uint64(cs.EdgeSubmitted))
+		mix(uint64(cs.EdgeServed))
+		mix(uint64(cs.EdgeRejected))
+		mix(uint64(cs.JobsSubmitted))
+		mix(uint64(cs.JobsDone))
+		mix(uint64(cs.TasksDone))
+		mixF(cs.WorkDone)
+		mixF(cs.EdgeLatencyMean)
+		mix(cs.EventsFired)
+		mixF(float64(cs.SimTime))
+		mix(uint64(cs.Exported))
+		mix(uint64(cs.Imported))
 	}
 	return h
+}
+
+// Checksum folds every city's observable outcome — ledgers, latency sums,
+// event counts, clocks — into one FNV-1a digest, in city order. Two runs of
+// the same federation are equivalent iff their checksums match; E19, the
+// equivalence tests and the multi-node coordinator compare it across
+// shard counts, node counts and process boundaries.
+func (f *Federation) Checksum() uint64 {
+	return ChecksumStates(f.CityStates())
 }
 
 // Observability builds (once) the federation's labeled registry: kernel and

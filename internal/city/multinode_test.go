@@ -1,0 +1,130 @@
+package city
+
+import (
+	"testing"
+
+	"df3/internal/shard"
+	"df3/internal/units"
+	"df3/internal/workload"
+)
+
+func testSpec() Spec {
+	return Spec{
+		Seed: 11, Cities: 5, Buildings: 4, Rooms: 3, Boilers: 1,
+		Days: 0.25, EdgeRate: 0.5, DCCRate: 2, InterCity: 6,
+	}
+}
+
+// TestMultiNodeMatchesSerial is the federation-level determinism proof:
+// N nodes (each a full federation restricted to a contiguous city block)
+// driven by the Sync barrier loop must reproduce the serial run's
+// checksum, summary and per-city records exactly.
+func TestMultiNodeMatchesSerial(t *testing.T) {
+	spec := testSpec()
+	serial := spec.Build(1)
+	serial.Run(spec.Until())
+	wantSum := serial.Checksum()
+	wantStates := serial.CityStates()
+
+	for _, tc := range []struct{ nodes, shards int }{
+		{1, 1}, {2, 1}, {2, 2}, {3, 2}, {5, 1},
+	} {
+		assign := shard.PartitionContiguous(spec.Cities, tc.nodes, nil)
+		feds := make([]*Federation, tc.nodes)
+		parts := make([]shard.Part, tc.nodes)
+		for p := 0; p < tc.nodes; p++ {
+			f := spec.Build(tc.shards)
+			var owned []int
+			for ci, a := range assign {
+				if a == p {
+					owned = append(owned, ci)
+				}
+			}
+			f.Restrict(owned)
+			feds[p] = f
+			parts[p] = f.Kernel
+		}
+		sy, err := shard.NewSync(feds[0].Backbone.MinDelay(), parts)
+		if err != nil {
+			t.Fatalf("nodes=%d shards=%d: %v", tc.nodes, tc.shards, err)
+		}
+		if err := sy.Run(spec.Until()); err != nil {
+			t.Fatalf("nodes=%d shards=%d: %v", tc.nodes, tc.shards, err)
+		}
+		// Merge per-city records from their owners, in city order — the
+		// coordinator's gather path.
+		states := make([]CityState, spec.Cities)
+		for ci := 0; ci < spec.Cities; ci++ {
+			states[ci] = feds[assign[ci]].CityState(ci)
+		}
+		if got := ChecksumStates(states); got != wantSum {
+			t.Errorf("nodes=%d shards=%d: checksum %#016x, want %#016x",
+				tc.nodes, tc.shards, got, wantSum)
+		}
+		for ci := range states {
+			if states[ci] != wantStates[ci] {
+				t.Errorf("nodes=%d shards=%d: city %d state\n got %+v\nwant %+v",
+					tc.nodes, tc.shards, ci, states[ci], wantStates[ci])
+			}
+		}
+		if got, want := SummarizeStates(states), serial.Summarize(); got != want {
+			t.Errorf("nodes=%d shards=%d: summary %+v, want %+v", tc.nodes, tc.shards, got, want)
+		}
+	}
+}
+
+// TestSpecRoundTrip: the sealed recipe parses back to itself, and
+// tampered recipes are rejected rather than half-parsed.
+func TestSpecRoundTrip(t *testing.T) {
+	spec := testSpec()
+	got, err := ParseSpec(spec.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != spec {
+		t.Errorf("round trip %+v, want %+v", got, spec)
+	}
+	if _, err := ParseSpec([]byte(`{"seed":1,"cities":2,"bogus":3}`)); err == nil {
+		t.Error("ParseSpec accepted an unknown field")
+	}
+	if _, err := ParseSpec([]byte(`{"seed":1,"cities":0}`)); err == nil {
+		t.Error("ParseSpec accepted zero cities")
+	}
+	if _, err := ParseSpec([]byte(`not json`)); err == nil {
+		t.Error("ParseSpec accepted garbage")
+	}
+}
+
+// TestJobCodecRoundTrip: a decoded job is indistinguishable from the
+// job the sender held.
+func TestJobCodecRoundTrip(t *testing.T) {
+	w := workload.BatchJob{
+		ID:       42,
+		Input:    units.Byte(1.5e9),
+		Output:   units.Byte(0.25e9),
+		TaskWork: []float64{3.5e12, 1.25e11, 7.75e13},
+	}
+	enc := encodeJob(w)
+	dec, err := decodeJob(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.ID != w.ID || dec.Input != w.Input || dec.Output != w.Output ||
+		len(dec.TaskWork) != len(w.TaskWork) {
+		t.Errorf("round trip %+v, want %+v", dec, w)
+	}
+	for i := range w.TaskWork {
+		if dec.TaskWork[i] != w.TaskWork[i] {
+			t.Errorf("task %d work %v, want %v", i, dec.TaskWork[i], w.TaskWork[i])
+		}
+	}
+	// Truncations and length lies must error, never panic or misparse.
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := decodeJob(enc[:cut]); err == nil {
+			t.Errorf("decodeJob accepted a %d-byte truncation", cut)
+		}
+	}
+	if _, err := decodeJob(append(append([]byte{}, enc...), 0)); err == nil {
+		t.Error("decodeJob accepted trailing bytes")
+	}
+}

@@ -1,0 +1,87 @@
+package cliutil
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// ListenAddr is a validated -addr flag value: the (network, address)
+// pair to hand net.Listen.
+type ListenAddr struct {
+	// Network is "tcp" or "unix".
+	Network string
+	// Addr is the host:port (tcp) or socket path (unix).
+	Addr string
+}
+
+// String renders the address the way the flag accepted it.
+func (l ListenAddr) String() string {
+	if l.Network == "unix" {
+		return "unix:" + l.Addr
+	}
+	return l.Addr
+}
+
+// CheckListenAddr validates a listen-address flag before anything heavy
+// starts, the same fail-fast bar as CheckWritableFile: "host:port" or
+// ":port" listens on TCP (port 0 asks the kernel for an ephemeral port);
+// "unix:/path/to.sock" listens on a unix socket whose parent directory
+// must already exist and be writable. df3d and df3node share these
+// rules, so a worker fleet and a server reject the same typos the same
+// way.
+func CheckListenAddr(s string) (ListenAddr, error) {
+	if s == "" {
+		return ListenAddr{}, fmt.Errorf("empty listen address")
+	}
+	if path, ok := strings.CutPrefix(s, "unix:"); ok {
+		if path == "" {
+			return ListenAddr{}, fmt.Errorf("unix listen address %q has no socket path", s)
+		}
+		if info, err := os.Stat(path); err == nil && info.IsDir() {
+			return ListenAddr{}, fmt.Errorf("unix socket path %s is a directory", path)
+		}
+		dir := filepath.Dir(path)
+		info, err := os.Stat(dir)
+		if err != nil {
+			return ListenAddr{}, fmt.Errorf("unix socket directory %s: %w", dir, err)
+		}
+		if !info.IsDir() {
+			return ListenAddr{}, fmt.Errorf("unix socket directory %s is not a directory", dir)
+		}
+		probe, err := os.CreateTemp(dir, ".df3-listen-probe-*")
+		if err != nil {
+			return ListenAddr{}, fmt.Errorf("unix socket directory not writable: %w", err)
+		}
+		probe.Close()
+		os.Remove(probe.Name())
+		return ListenAddr{Network: "unix", Addr: path}, nil
+	}
+	host, port, err := net.SplitHostPort(s)
+	if err != nil {
+		return ListenAddr{}, fmt.Errorf("listen address %q: %w", s, err)
+	}
+	n, err := strconv.Atoi(port)
+	if err != nil {
+		return ListenAddr{}, fmt.Errorf("listen address %q: port %q is not a number", s, port)
+	}
+	if n < 0 || n > 65535 {
+		return ListenAddr{}, fmt.Errorf("listen address %q: port %d out of range 0..65535", s, n)
+	}
+	if host != "" {
+		if ip := net.ParseIP(host); ip == nil {
+			// Hostnames are allowed (resolved at bind time), but a host
+			// that cannot even be a hostname — spaces, empty labels —
+			// is a typo worth rejecting now.
+			for _, label := range strings.Split(host, ".") {
+				if label == "" || strings.ContainsAny(label, " \t") {
+					return ListenAddr{}, fmt.Errorf("listen address %q: bad host %q", s, host)
+				}
+			}
+		}
+	}
+	return ListenAddr{Network: "tcp", Addr: s}, nil
+}

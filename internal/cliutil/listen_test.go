@@ -1,0 +1,73 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCheckListenAddr(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "sub")
+	if err := os.Mkdir(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		addr    string
+		ok      bool
+		network string
+	}{
+		{"port only", ":8080", true, "tcp"},
+		{"host and port", "127.0.0.1:9090", true, "tcp"},
+		{"hostname and port", "worker-3.local:9090", true, "tcp"},
+		{"ipv6 and port", "[::1]:9090", true, "tcp"},
+		{"ephemeral port", "127.0.0.1:0", true, "tcp"},
+		{"max port", ":65535", true, "tcp"},
+		{"unix socket in existing dir", "unix:" + filepath.Join(dir, "df3.sock"), true, "unix"},
+		{"empty", "", false, ""},
+		{"no port", "127.0.0.1", false, ""},
+		{"port out of range", ":65536", false, ""},
+		{"negative port", ":-1", false, ""},
+		{"non-numeric port", ":http", false, ""},
+		{"bad host", "bad host:80", false, ""},
+		{"empty host label", "a..b:80", false, ""},
+		{"unix with no path", "unix:", false, ""},
+		{"unix in missing dir", "unix:" + filepath.Join(dir, "nope", "df3.sock"), false, ""},
+		{"unix path is a directory", "unix:" + sub, false, ""},
+	}
+	for _, c := range cases {
+		la, err := CheckListenAddr(c.addr)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: CheckListenAddr(%q) = %v, want ok=%v", c.name, c.addr, err, c.ok)
+			continue
+		}
+		if c.ok && la.Network != c.network {
+			t.Errorf("%s: network %q, want %q", c.name, la.Network, c.network)
+		}
+	}
+}
+
+func TestCheckListenAddrUnwritableDir(t *testing.T) {
+	if os.Getuid() == 0 {
+		t.Skip("root ignores directory permissions")
+	}
+	dir := t.TempDir()
+	locked := filepath.Join(dir, "locked")
+	if err := os.Mkdir(locked, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CheckListenAddr("unix:" + filepath.Join(locked, "df3.sock")); err == nil {
+		t.Error("expected error for read-only socket directory")
+	}
+}
+
+func TestListenAddrString(t *testing.T) {
+	if got := (ListenAddr{Network: "tcp", Addr: ":80"}).String(); got != ":80" {
+		t.Errorf("tcp String = %q", got)
+	}
+	if got := (ListenAddr{Network: "unix", Addr: "/tmp/s"}).String(); got != "unix:/tmp/s" {
+		t.Errorf("unix String = %q", got)
+	}
+}

@@ -71,7 +71,10 @@ type LP struct {
 // Shard reports the shard the LP is assigned to.
 func (lp *LP) Shard() int { return lp.shard }
 
-// message is one cross-LP event: run fn on dst's engine at time at.
+// message is one cross-LP event: run fn on dst's engine at time at. A
+// message sent with SendMsg carries (kind, payload) instead of fn and is
+// resolved through the kernel's Decoder at delivery — the only form that
+// can cross a process boundary.
 type message struct {
 	at       sim.Time
 	src, dst int
@@ -79,6 +82,8 @@ type message struct {
 	size     float64
 	delay    sim.Time
 	fn       func()
+	kind     uint32
+	payload  []byte
 }
 
 // PairTraffic accounts messages and bytes that crossed one (src shard, dst
@@ -132,6 +137,14 @@ type Kernel struct {
 	boundary  map[[2]int]*PairTraffic
 	// perShard is scratch for per-window event counts.
 	perShard []uint64
+	// decoder resolves (kind, payload) messages into event closures.
+	decoder Decoder
+	// owned, when non-nil, restricts execution to the marked LPs: this
+	// kernel is one partition of a multi-node federation and runs under a
+	// Sync instead of Run. Unowned LPs exist (the whole scenario is built
+	// everywhere, proving every node runs the same recipe) but never
+	// advance; their traffic arrives through Deliver.
+	owned []bool
 	// prof, when non-nil, accumulates busy/idle wall time and barrier
 	// stall attribution (profile.go). Nil on unprofiled runs: the hot path
 	// pays one pointer test per window, no clock reads.
@@ -177,6 +190,9 @@ func (k *Kernel) Lookahead() sim.Time { return k.lookahead }
 func (k *Kernel) AddLP(name string, e *sim.Engine, until sim.Time) *LP {
 	if k.ran {
 		panic("shard: AddLP after Run")
+	}
+	if k.owned != nil {
+		panic("shard: AddLP after Own")
 	}
 	if e.Now() != 0 {
 		panic(fmt.Sprintf("shard: LP %q joins at t=%v, want 0", name, e.Now()))
@@ -244,6 +260,33 @@ func PartitionContiguous(n, shards int, weights []float64) []int {
 	return assign
 }
 
+// Own restricts execution to the given LPs: this kernel becomes one
+// partition of a larger federation, run under a Sync. Unowned LPs keep
+// their engines (built, never advanced); messages addressed to them leave
+// through RunWindow instead of being delivered locally. Call before any
+// window runs.
+func (k *Kernel) Own(ids []int) {
+	if k.ran {
+		panic("shard: Own after Run")
+	}
+	k.owned = make([]bool, len(k.lps))
+	for _, id := range ids {
+		if id < 0 || id >= len(k.lps) {
+			panic(fmt.Sprintf("shard: Own of LP %d, kernel has %d", id, len(k.lps)))
+		}
+		k.owned[id] = true
+	}
+}
+
+// owns reports whether this kernel executes the LP (always true without a
+// partition restriction).
+func (k *Kernel) owns(lp *LP) bool { return k.owned == nil || k.owned[lp.ID] }
+
+// SetDecoder registers the resolver for (kind, payload) messages — the
+// scenario's message codec. Required before any SendMsg traffic is
+// delivered; shared verbatim by every node of a federation.
+func (k *Kernel) SetDecoder(d Decoder) { k.decoder = d }
+
 // Send queues fn to run on dst's engine `delay` seconds after src's current
 // time, carrying `size` accounting bytes over the shard boundary. It must
 // be called from within src's own event callbacks (that is the only context
@@ -251,7 +294,21 @@ func PartitionContiguous(n, shards int, weights []float64) []int {
 // panic: they would let a message arrive inside an already-running window,
 // which is exactly the causality violation conservative synchronization
 // exists to rule out.
+//
+// A closure message cannot leave the process; scenarios that may run
+// partitioned use SendMsg instead.
 func (k *Kernel) Send(src, dst *LP, delay sim.Time, size units.Byte, fn func()) {
+	k.send(src, dst, delay, size, message{fn: fn})
+}
+
+// SendMsg queues a (kind, payload) message — the serialisable form of
+// Send, resolved by the kernel's Decoder at delivery time. Same clock and
+// lookahead contract as Send.
+func (k *Kernel) SendMsg(src, dst *LP, delay sim.Time, size units.Byte, kind uint32, payload []byte) {
+	k.send(src, dst, delay, size, message{kind: kind, payload: payload})
+}
+
+func (k *Kernel) send(src, dst *LP, delay sim.Time, size units.Byte, m message) {
 	if k.lookahead == Infinite {
 		panic("shard: Send on a kernel with Infinite lookahead (no channels declared)")
 	}
@@ -259,10 +316,12 @@ func (k *Kernel) Send(src, dst *LP, delay sim.Time, size units.Byte, fn func()) 
 		panic(fmt.Sprintf("shard: %q→%q delay %v violates lookahead %v",
 			src.Name, dst.Name, delay, k.lookahead))
 	}
-	src.outbox = append(src.outbox, message{
-		at: src.Engine.Now() + delay, src: src.ID, dst: dst.ID,
-		seq: src.seq, size: float64(size), delay: delay, fn: fn,
-	})
+	m.at = src.Engine.Now() + delay
+	m.src, m.dst = src.ID, dst.ID
+	m.seq = src.seq
+	m.size = float64(size)
+	m.delay = delay
+	src.outbox = append(src.outbox, m)
 	src.seq++
 }
 
@@ -299,7 +358,7 @@ func (k *Kernel) Run(until sim.Time) {
 			break
 		}
 		k.runWindow(end)
-		k.flush(end)
+		k.flush()
 		k.now = end
 		k.stats.Windows++
 		if end >= until {
@@ -312,7 +371,7 @@ func (k *Kernel) Run(until sim.Time) {
 	// left at min(until, its horizon) — exactly as a serial
 	// Engine.Run(until) per LP would leave it.
 	k.runWindow(until)
-	k.flush(until)
+	k.flush()
 	if k.now < until {
 		k.now = until
 	}
@@ -333,7 +392,7 @@ func (k *Kernel) nextBarrier(until sim.Time) (sim.Time, bool) {
 	any := false
 	limiter := -1
 	for _, lp := range k.lps {
-		if lp.done {
+		if lp.done || !k.owns(lp) {
 			continue
 		}
 		if t, ok := lp.Engine.NextEventTime(); ok && t <= lp.Until && t < next {
@@ -385,7 +444,7 @@ func (k *Kernel) runWindow(end sim.Time) {
 			t0 = k.prof.now()
 		}
 		for _, lp := range k.lps {
-			if lp.shard != s || lp.done {
+			if lp.shard != s || lp.done || !k.owns(lp) {
 				continue
 			}
 			h := lp.Until
@@ -441,14 +500,25 @@ func (k *Kernel) runWindow(end sim.Time) {
 // flush drains every outbox, sorts the messages into their global
 // deterministic order and schedules them onto the destination engines.
 // Delivery happens on the coordinating goroutine, strictly between windows.
-func (k *Kernel) flush(end sim.Time) {
+func (k *Kernel) flush() {
 	var batch []message
 	for _, lp := range k.lps {
 		batch = append(batch, lp.outbox...)
 		lp.outbox = lp.outbox[:0]
 	}
+	if err := k.deliverBatch(batch); err != nil {
+		// On the serial path a message that cannot be resolved is a
+		// scenario bug, exactly like a lookahead violation.
+		panic(err)
+	}
+}
+
+// deliverBatch sorts a message batch into (at, src, seq) order, resolves
+// payload messages through the decoder and schedules every message onto
+// its destination engine, with boundary-traffic accounting.
+func (k *Kernel) deliverBatch(batch []message) error {
 	if len(batch) == 0 {
-		return
+		return nil
 	}
 	sort.Slice(batch, func(i, j int) bool {
 		a, b := batch[i], batch[j]
@@ -483,10 +553,114 @@ func (k *Kernel) flush(end sim.Time) {
 			k.stats.CrossShard++
 		}
 		fn := m.fn
+		if fn == nil {
+			if k.decoder == nil {
+				return fmt.Errorf("shard: message kind %d for %q but no decoder registered", m.kind, dst.Name)
+			}
+			var err error
+			fn, err = k.decoder(dst, m.kind, m.payload)
+			if err != nil {
+				return fmt.Errorf("shard: decode message kind %d for %q: %w", m.kind, dst.Name, err)
+			}
+		}
 		dst.Engine.At(m.at, fn)
 		// A delivered message can revive a drained LP.
 		if m.at <= dst.Until {
 			dst.done = false
 		}
 	}
+	return nil
+}
+
+// The Part implementation: a kernel, usually restricted by Own, as one
+// partition under a Sync coordinator. The methods run strictly between
+// windows on the coordinator's goroutine (or a worker's session loop).
+
+// OwnedLPs returns the IDs of the LPs this kernel executes.
+func (k *Kernel) OwnedLPs() ([]int, error) {
+	ids := make([]int, 0, len(k.lps))
+	for _, lp := range k.lps {
+		if k.owns(lp) {
+			ids = append(ids, lp.ID)
+		}
+	}
+	return ids, nil
+}
+
+// NextEvent returns the earliest pending event across the kernel's live
+// owned LPs — its barrier proposal to the coordinator.
+func (k *Kernel) NextEvent() (sim.Time, bool, error) {
+	best, any := sim.Time(0), false
+	for _, lp := range k.lps {
+		if lp.done || !k.owns(lp) {
+			continue
+		}
+		if t, ok := lp.Engine.NextEventTime(); ok && t <= lp.Until && (!any || t < best) {
+			best, any = t, true
+		}
+	}
+	return best, any, nil
+}
+
+// RunWindow advances the owned LPs to `end` (parallel across the kernel's
+// local shards), delivers partition-internal messages, and returns the
+// boundary messages plus the window's execution accounting. Partition-
+// internal delivery happens here rather than at the coordinator, but in
+// the same (at, src, seq) order the global sort would have given those
+// messages — per-engine delivery order, the only order an engine can
+// observe, is identical either way.
+func (k *Kernel) RunWindow(end sim.Time) (WindowResult, error) {
+	k.ran = true
+	k.runWindow(end)
+	res := WindowResult{PerShard: append([]uint64(nil), k.perShard...)}
+	sent0, cross0 := k.stats.Sent, k.stats.CrossShard
+	var local []message
+	for _, lp := range k.lps {
+		for _, m := range lp.outbox {
+			if k.owns(k.lps[m.dst]) {
+				local = append(local, m)
+				continue
+			}
+			if m.fn != nil {
+				return WindowResult{}, fmt.Errorf(
+					"shard: closure message %q→%q cannot cross a partition boundary (use SendMsg)",
+					k.lps[m.src].Name, k.lps[m.dst].Name)
+			}
+			res.Msgs = append(res.Msgs, Msg{
+				At: m.at, Src: m.src, Dst: m.dst, Seq: m.seq,
+				Size: m.size, Delay: m.delay, Kind: m.kind, Payload: m.payload,
+			})
+		}
+		lp.outbox = lp.outbox[:0]
+	}
+	if err := k.deliverBatch(local); err != nil {
+		return WindowResult{}, err
+	}
+	res.Sent = k.stats.Sent - sent0
+	res.CrossShard = k.stats.CrossShard - cross0
+	if k.now < end {
+		k.now = end
+	}
+	return res, nil
+}
+
+// Deliver schedules partition-bound messages (already globally sorted by
+// the coordinator; re-sorting locally is a no-op on sorted input) onto
+// the owned destination engines.
+func (k *Kernel) Deliver(batch []Msg) error {
+	k.ran = true
+	msgs := make([]message, len(batch))
+	for i, m := range batch {
+		if m.Dst < 0 || m.Dst >= len(k.lps) {
+			return fmt.Errorf("shard: delivery for LP %d, kernel has %d", m.Dst, len(k.lps))
+		}
+		if !k.owns(k.lps[m.Dst]) {
+			return fmt.Errorf("shard: delivery for LP %d, which this partition does not own", m.Dst)
+		}
+		msgs[i] = message{
+			at: m.At, src: m.Src, dst: m.Dst, seq: m.Seq,
+			size: m.Size, delay: m.Delay, kind: m.Kind, payload: m.Payload,
+		}
+	}
+	return k.deliverBatch(msgs)
 }

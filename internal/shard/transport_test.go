@@ -1,0 +1,211 @@
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"testing"
+
+	"df3/internal/sim"
+)
+
+// pingScenario builds n LPs that exchange payload messages: each LP
+// ticks every second until horizon, and every 5th tick sends a counter
+// increment to the next LP with the kernel's lookahead delay. The
+// observable outcome (per-LP counters, fired counts, clocks) is a pure
+// function of the message stream, so any partitioning must reproduce it.
+type pingScenario struct {
+	k        *Kernel
+	lps      []*LP
+	counters []uint64
+	horizon  sim.Time
+}
+
+func buildPing(shards, n int, horizon sim.Time) *pingScenario {
+	const lookahead sim.Time = 3
+	s := &pingScenario{k: NewKernel(shards, lookahead), horizon: horizon}
+	s.counters = make([]uint64, n)
+	s.k.SetDecoder(func(dst *LP, kind uint32, payload []byte) (func(), error) {
+		if kind != 7 {
+			return nil, fmt.Errorf("unknown kind %d", kind)
+		}
+		inc := binary.LittleEndian.Uint64(payload)
+		id := dst.ID
+		return func() { s.counters[id] += inc }, nil
+	})
+	for i := 0; i < n; i++ {
+		i := i
+		e := sim.New()
+		lp := s.k.AddLP(fmt.Sprintf("lp-%d", i), e, horizon)
+		s.lps = append(s.lps, lp)
+		tick := 0
+		var schedule func()
+		schedule = func() {
+			e.AfterTransient(1, func() {
+				tick++
+				s.counters[i]++
+				if tick%5 == 0 {
+					var p [8]byte
+					binary.LittleEndian.PutUint64(p[:], uint64(tick))
+					dst := s.lps[(i+1)%n]
+					s.k.SendMsg(lp, dst, 3, 8, 7, p[:])
+				}
+				if e.Now() < horizon-1 {
+					schedule()
+				}
+			})
+		}
+		schedule()
+	}
+	return s
+}
+
+func (s *pingScenario) fingerprint() string {
+	var b strings.Builder
+	for i, lp := range s.lps {
+		fmt.Fprintf(&b, "%d:%d:%d:%v;", i, s.counters[i], lp.Engine.Fired(), lp.Engine.Now())
+	}
+	return b.String()
+}
+
+// TestSyncMatchesKernelRun: the Sync loop over partitioned kernels (the
+// multi-node shape, in process) must be byte-identical to Kernel.Run.
+func TestSyncMatchesKernelRun(t *testing.T) {
+	const n, horizon = 7, 50
+	ref := buildPing(1, n, horizon)
+	ref.k.Run(horizon)
+	want := ref.fingerprint()
+	wantEvents := ref.k.Stats().TotalEvents
+
+	for _, nodes := range []int{1, 2, 3} {
+		// Each "node" builds the full scenario and owns a contiguous block,
+		// exactly as df3node does.
+		assign := PartitionContiguous(n, nodes, nil)
+		scens := make([]*pingScenario, nodes)
+		parts := make([]Part, nodes)
+		for p := 0; p < nodes; p++ {
+			scens[p] = buildPing(2, n, horizon)
+			var owned []int
+			for i, a := range assign {
+				if a == p {
+					owned = append(owned, i)
+				}
+			}
+			scens[p].k.Own(owned)
+			parts[p] = scens[p].k
+		}
+		sy, err := NewSync(3, parts)
+		if err != nil {
+			t.Fatalf("nodes=%d: %v", nodes, err)
+		}
+		if err := sy.Run(horizon); err != nil {
+			t.Fatalf("nodes=%d: %v", nodes, err)
+		}
+		// Merge the per-node views: every LP is read from its owner.
+		merged := &pingScenario{horizon: horizon}
+		for i := 0; i < n; i++ {
+			owner := scens[assign[i]]
+			merged.lps = append(merged.lps, owner.lps[i])
+			merged.counters = append(merged.counters, owner.counters[i])
+		}
+		if got := merged.fingerprint(); got != want {
+			t.Errorf("nodes=%d: fingerprint\n got %s\nwant %s", nodes, got, want)
+		}
+		if got := sy.Stats().TotalEvents; got != wantEvents {
+			t.Errorf("nodes=%d: TotalEvents %d, want %d", nodes, got, wantEvents)
+		}
+		if sy.Now() != horizon {
+			t.Errorf("nodes=%d: Now() %v, want %v", nodes, sy.Now(), horizon)
+		}
+	}
+}
+
+// TestSyncSingleKernelStats: one unrestricted kernel under Sync reports
+// the same windows/messages/critical path as Kernel.Run would.
+func TestSyncSingleKernelStats(t *testing.T) {
+	const n, horizon = 5, 40
+	ref := buildPing(2, n, horizon)
+	ref.k.Run(horizon)
+
+	under := buildPing(2, n, horizon)
+	sy, err := NewSync(3, []Part{under.k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sy.Run(horizon); err != nil {
+		t.Fatal(err)
+	}
+	got, want := sy.Stats(), ref.k.Stats()
+	if got.Windows != want.Windows || got.TotalEvents != want.TotalEvents ||
+		got.CriticalEvents != want.CriticalEvents || got.Sent != want.Sent {
+		t.Errorf("stats %+v, want %+v", got, want)
+	}
+	if under.fingerprint() != ref.fingerprint() {
+		t.Errorf("fingerprint %s, want %s", under.fingerprint(), ref.fingerprint())
+	}
+}
+
+// TestClosureCannotCrossPartition: a closure message whose destination is
+// unowned must fail the window, not be silently dropped or misdelivered.
+func TestClosureCannotCrossPartition(t *testing.T) {
+	k := NewKernel(1, 3)
+	a := k.AddLP("a", sim.New(), 100)
+	b := k.AddLP("b", sim.New(), 100)
+	a.Engine.AtTransient(1, func() {
+		k.Send(a, b, 3, 0, func() {})
+	})
+	k.Own([]int{0})
+	if _, _, err := k.NextEvent(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := k.RunWindow(10)
+	if err == nil || !strings.Contains(err.Error(), "closure") {
+		t.Fatalf("RunWindow error = %v, want closure-crossing error", err)
+	}
+}
+
+// TestDeliverRejectsUnowned: delivery addressed outside the partition is
+// a routing bug and must be refused.
+func TestDeliverRejectsUnowned(t *testing.T) {
+	k := NewKernel(1, 3)
+	k.AddLP("a", sim.New(), 100)
+	k.AddLP("b", sim.New(), 100)
+	k.Own([]int{0})
+	err := k.Deliver([]Msg{{At: 5, Src: 0, Dst: 1, Kind: 1}})
+	if err == nil || !strings.Contains(err.Error(), "own") {
+		t.Fatalf("Deliver error = %v, want ownership error", err)
+	}
+	if err := k.Deliver([]Msg{{At: 5, Src: 0, Dst: 9, Kind: 1}}); err == nil {
+		t.Fatal("Deliver accepted an out-of-range LP")
+	}
+}
+
+// TestSyncRejectsOverlap: two partitions claiming one LP is a partition
+// bug the coordinator must catch at wiring time.
+func TestSyncRejectsOverlap(t *testing.T) {
+	s1 := buildPing(1, 3, 10)
+	s2 := buildPing(1, 3, 10)
+	s1.k.Own([]int{0, 1})
+	s2.k.Own([]int{1, 2})
+	if _, err := NewSync(3, []Part{s1.k, s2.k}); err == nil {
+		t.Fatal("NewSync accepted overlapping partitions")
+	}
+}
+
+// TestDecoderErrors: missing decoder and unknown kinds surface as
+// errors, not panics, on the delivery path.
+func TestDecoderErrors(t *testing.T) {
+	k := NewKernel(1, 3)
+	k.AddLP("a", sim.New(), 100)
+	if err := k.Deliver([]Msg{{At: 1, Src: 0, Dst: 0, Kind: 9}}); err == nil {
+		t.Fatal("delivery without a decoder succeeded")
+	}
+	k2 := NewKernel(1, 3)
+	k2.AddLP("a", sim.New(), 100)
+	k2.SetDecoder(func(dst *LP, kind uint32, payload []byte) (func(), error) {
+		return nil, fmt.Errorf("unknown kind %d", kind)
+	})
+	if err := k2.Deliver([]Msg{{At: 1, Src: 0, Dst: 0, Kind: 9}}); err == nil {
+		t.Fatal("decode error did not fail delivery")
+	}
+}

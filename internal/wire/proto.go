@@ -1,0 +1,422 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"df3/internal/city"
+	"df3/internal/shard"
+	"df3/internal/sim"
+)
+
+// Frame kinds. The coordinator sends requests (Assign, Propose, Window,
+// Deliver, States, Metrics, Trace, Bye); the worker answers each with
+// exactly one reply (Ready, Next, Result, DeliverOK, StatesReply,
+// MetricsReply, TraceReply, ByeOK) or FrameError carrying the reason the
+// request failed.
+const (
+	FrameAssign uint32 = iota + 1
+	FrameReady
+	FramePropose
+	FrameNext
+	FrameWindow
+	FrameResult
+	FrameDeliver
+	FrameDeliverOK
+	FrameStates
+	FrameStatesReply
+	FrameMetrics
+	FrameMetricsReply
+	FrameTrace
+	FrameTraceReply
+	FrameBye
+	FrameByeOK
+	FrameError
+)
+
+// enc builds a little-endian payload.
+type enc struct{ buf []byte }
+
+func (e *enc) u32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *enc) u64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *enc) i64(v int64)  { e.u64(uint64(v)) }
+func (e *enc) f64(v float64) {
+	e.u64(math.Float64bits(v))
+}
+func (e *enc) bytes(b []byte) {
+	e.u32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// dec parses a little-endian payload. Every read is bounds-checked
+// against the remaining buffer before it happens, and length prefixes
+// are validated against what is actually present, so corrupt counts
+// fail cleanly instead of allocating or panicking. After the first
+// error all further reads return zero values; call err() once at the end.
+type dec struct {
+	buf  []byte
+	off  int
+	fail error
+}
+
+func (d *dec) need(n int) bool {
+	if d.fail != nil {
+		return false
+	}
+	if len(d.buf)-d.off < n {
+		d.fail = fmt.Errorf("%w: payload needs %d more bytes at offset %d of %d", ErrCorrupt, n, d.off, len(d.buf))
+		return false
+	}
+	return true
+}
+
+func (d *dec) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *dec) i64() int64   { return int64(d.u64()) }
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *dec) bytes() []byte {
+	n := int(d.u32())
+	if !d.need(n) {
+		return nil
+	}
+	b := d.buf[d.off : d.off+n : d.off+n]
+	d.off += n
+	return b
+}
+
+// count reads a length prefix for items of at least itemSize bytes each,
+// rejecting counts the remaining payload cannot possibly hold.
+func (d *dec) count(itemSize int) int {
+	n := int(d.u32())
+	if d.fail == nil && n*itemSize > len(d.buf)-d.off {
+		d.fail = fmt.Errorf("%w: count %d × %d bytes exceeds remaining payload %d", ErrCorrupt, n, itemSize, len(d.buf)-d.off)
+		return 0
+	}
+	return n
+}
+
+// err reports the first decode failure, or ErrCorrupt if the payload has
+// trailing bytes a complete parse should have consumed.
+func (d *dec) err() error {
+	if d.fail != nil {
+		return d.fail
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(d.buf)-d.off)
+	}
+	return nil
+}
+
+// Assign carries everything a worker needs to become one partition of a
+// federation run: the sealed build recipe (the same canonical bytes every
+// other worker gets), the worker's local shard count, and the global city
+// IDs it owns.
+type Assign struct {
+	Recipe []byte
+	Shards int
+	Owned  []int
+}
+
+// EncodeAssign serialises an Assign payload.
+func EncodeAssign(a Assign) []byte {
+	var e enc
+	e.bytes(a.Recipe)
+	e.u32(uint32(a.Shards))
+	e.u32(uint32(len(a.Owned)))
+	for _, id := range a.Owned {
+		e.u32(uint32(id))
+	}
+	return e.buf
+}
+
+// DecodeAssign is EncodeAssign's strict inverse.
+func DecodeAssign(p []byte) (Assign, error) {
+	d := dec{buf: p}
+	var a Assign
+	a.Recipe = d.bytes()
+	a.Shards = int(d.u32())
+	n := d.count(4)
+	a.Owned = make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		a.Owned = append(a.Owned, int(d.u32()))
+	}
+	return a, d.err()
+}
+
+// Ready is the worker's acceptance of an Assign: it echoes the owned set
+// it built (the coordinator cross-checks it) and the federation's
+// checksum-relevant lookahead so a backbone config skew is caught before
+// the first window.
+type Ready struct {
+	Owned     []int
+	Lookahead sim.Time
+}
+
+// EncodeReady serialises a Ready payload.
+func EncodeReady(r Ready) []byte {
+	var e enc
+	e.u32(uint32(len(r.Owned)))
+	for _, id := range r.Owned {
+		e.u32(uint32(id))
+	}
+	e.f64(float64(r.Lookahead))
+	return e.buf
+}
+
+// DecodeReady is EncodeReady's strict inverse.
+func DecodeReady(p []byte) (Ready, error) {
+	d := dec{buf: p}
+	var r Ready
+	n := d.count(4)
+	r.Owned = make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		r.Owned = append(r.Owned, int(d.u32()))
+	}
+	r.Lookahead = sim.Time(d.f64())
+	return r, d.err()
+}
+
+// Next is the worker's window-barrier proposal: its earliest pending
+// event, if it has one.
+type Next struct {
+	Has bool
+	T   sim.Time
+}
+
+// EncodeNext serialises a Next payload.
+func EncodeNext(n Next) []byte {
+	var e enc
+	if n.Has {
+		e.u32(1)
+	} else {
+		e.u32(0)
+	}
+	e.f64(float64(n.T))
+	return e.buf
+}
+
+// DecodeNext is EncodeNext's strict inverse.
+func DecodeNext(p []byte) (Next, error) {
+	d := dec{buf: p}
+	var n Next
+	switch v := d.u32(); v {
+	case 0, 1:
+		n.Has = v == 1
+	default:
+		if d.fail == nil {
+			d.fail = fmt.Errorf("%w: Next.Has is %d, want 0 or 1", ErrCorrupt, v)
+		}
+	}
+	n.T = sim.Time(d.f64())
+	return n, d.err()
+}
+
+// EncodeWindow serialises a Window request: run until end.
+func EncodeWindow(end sim.Time) []byte {
+	var e enc
+	e.f64(float64(end))
+	return e.buf
+}
+
+// DecodeWindow is EncodeWindow's strict inverse.
+func DecodeWindow(p []byte) (sim.Time, error) {
+	d := dec{buf: p}
+	end := sim.Time(d.f64())
+	return end, d.err()
+}
+
+// msgWireSize is the fixed prefix of an encoded shard.Msg (everything
+// but the payload bytes).
+const msgWireSize = 8 + 4 + 4 + 8 + 8 + 8 + 4 + 4
+
+func encodeMsg(e *enc, m shard.Msg) {
+	e.f64(float64(m.At))
+	e.u32(uint32(m.Src))
+	e.u32(uint32(m.Dst))
+	e.u64(m.Seq)
+	e.f64(float64(m.Size))
+	e.f64(float64(m.Delay))
+	e.u32(m.Kind)
+	e.bytes(m.Payload)
+}
+
+func decodeMsg(d *dec) shard.Msg {
+	var m shard.Msg
+	m.At = sim.Time(d.f64())
+	m.Src = int(d.u32())
+	m.Dst = int(d.u32())
+	m.Seq = d.u64()
+	m.Size = d.f64()
+	m.Delay = sim.Time(d.f64())
+	m.Kind = d.u32()
+	m.Payload = d.bytes()
+	return m
+}
+
+// EncodeMsgs serialises a cross-partition mailbox batch (a Deliver
+// request, or the Msgs half of a window result).
+func EncodeMsgs(msgs []shard.Msg) []byte {
+	var e enc
+	e.u32(uint32(len(msgs)))
+	for _, m := range msgs {
+		encodeMsg(&e, m)
+	}
+	return e.buf
+}
+
+// DecodeMsgs is EncodeMsgs' strict inverse.
+func DecodeMsgs(p []byte) ([]shard.Msg, error) {
+	d := dec{buf: p}
+	msgs := decodeMsgs(&d)
+	return msgs, d.err()
+}
+
+func decodeMsgs(d *dec) []shard.Msg {
+	n := d.count(msgWireSize)
+	msgs := make([]shard.Msg, 0, n)
+	for i := 0; i < n; i++ {
+		msgs = append(msgs, decodeMsg(d))
+	}
+	return msgs
+}
+
+// EncodeResult serialises a window result: the boundary messages the
+// window produced plus the stats the coordinator folds.
+func EncodeResult(r shard.WindowResult) []byte {
+	var e enc
+	e.u32(uint32(len(r.Msgs)))
+	for _, m := range r.Msgs {
+		encodeMsg(&e, m)
+	}
+	e.u32(uint32(len(r.PerShard)))
+	for _, v := range r.PerShard {
+		e.u64(v)
+	}
+	e.i64(r.Sent)
+	e.i64(r.CrossShard)
+	return e.buf
+}
+
+// DecodeResult is EncodeResult's strict inverse.
+func DecodeResult(p []byte) (shard.WindowResult, error) {
+	d := dec{buf: p}
+	var r shard.WindowResult
+	r.Msgs = decodeMsgs(&d)
+	n := d.count(8)
+	r.PerShard = make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		r.PerShard = append(r.PerShard, d.u64())
+	}
+	r.Sent = d.i64()
+	r.CrossShard = d.i64()
+	return r, d.err()
+}
+
+const cityStateWireSize = 14 * 8
+
+func encodeCityState(e *enc, cs city.CityState) {
+	e.i64(int64(cs.City))
+	e.i64(cs.EdgeSubmitted)
+	e.i64(cs.EdgeServed)
+	e.i64(cs.EdgeRejected)
+	e.i64(cs.JobsSubmitted)
+	e.i64(cs.JobsDone)
+	e.i64(cs.JobsLost)
+	e.i64(cs.TasksDone)
+	e.f64(cs.WorkDone)
+	e.f64(cs.EdgeLatencyMean)
+	e.u64(cs.EventsFired)
+	e.f64(float64(cs.SimTime))
+	e.i64(cs.Exported)
+	e.i64(cs.Imported)
+}
+
+func decodeCityState(d *dec) city.CityState {
+	var cs city.CityState
+	cs.City = int(d.i64())
+	cs.EdgeSubmitted = d.i64()
+	cs.EdgeServed = d.i64()
+	cs.EdgeRejected = d.i64()
+	cs.JobsSubmitted = d.i64()
+	cs.JobsDone = d.i64()
+	cs.JobsLost = d.i64()
+	cs.TasksDone = d.i64()
+	cs.WorkDone = d.f64()
+	cs.EdgeLatencyMean = d.f64()
+	cs.EventsFired = d.u64()
+	cs.SimTime = sim.Time(d.f64())
+	cs.Exported = d.i64()
+	cs.Imported = d.i64()
+	return cs
+}
+
+// EncodeStates serialises the per-city result records a worker reports
+// for the cities it owns. The encoding is bit-exact (float64s as IEEE
+// bits) because the coordinator folds these records into the federation
+// checksum: a lossy transport would break the equivalence proof.
+func EncodeStates(states []city.CityState) []byte {
+	var e enc
+	e.u32(uint32(len(states)))
+	for _, cs := range states {
+		encodeCityState(&e, cs)
+	}
+	return e.buf
+}
+
+// DecodeStates is EncodeStates' strict inverse.
+func DecodeStates(p []byte) ([]city.CityState, error) {
+	d := dec{buf: p}
+	n := d.count(cityStateWireSize)
+	states := make([]city.CityState, 0, n)
+	for i := 0; i < n; i++ {
+		states = append(states, decodeCityState(&d))
+	}
+	return states, d.err()
+}
+
+// EncodeError serialises a worker-side failure reason.
+func EncodeError(msg string) []byte {
+	var e enc
+	e.bytes([]byte(msg))
+	return e.buf
+}
+
+// DecodeError is EncodeError's strict inverse.
+func DecodeError(p []byte) (string, error) {
+	d := dec{buf: p}
+	msg := string(d.bytes())
+	return msg, d.err()
+}
+
+// EncodeChunk serialises an opaque byte chunk (metrics text, trace
+// JSONL).
+func EncodeChunk(b []byte) []byte {
+	var e enc
+	e.bytes(b)
+	return e.buf
+}
+
+// DecodeChunk is EncodeChunk's strict inverse.
+func DecodeChunk(p []byte) ([]byte, error) {
+	d := dec{buf: p}
+	b := d.bytes()
+	return b, d.err()
+}
