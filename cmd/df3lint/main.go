@@ -5,18 +5,34 @@
 //
 //	df3lint ./...
 //	df3lint -analyzers maporder,detrand ./internal/city
+//	df3lint -json ./...
+//	df3lint -write-baseline lint_baseline.json ./...
+//	df3lint -baseline lint_baseline.json ./...
 //
 // or as a vet tool, which runs the same suite through the build cache:
 //
 //	go vet -vettool=$(which df3lint) ./...
 //
-// Exit status: 0 clean, 1 findings, 2 operational error.
+// The suite is interprocedural: packages are analyzed in dependency
+// order, and per-function fact summaries flow across package boundaries
+// in both modes. The baseline mechanism makes the contracts a ratchet:
+// -write-baseline records the accepted findings and every reasoned
+// //df3: suppression, -baseline fails on anything not in that record, and
+// CI additionally requires the committed baseline to be byte-identical to
+// a fresh regen — so findings and suppressions can only be added
+// deliberately, in a reviewed diff.
+//
+// Exit status: 0 clean, 1 findings (or baseline drift), 2 operational
+// error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"df3/internal/analysis"
@@ -32,11 +48,14 @@ func main() {
 	}
 
 	var (
-		names = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
-		list  = flag.Bool("list", false, "list analyzers and exit")
+		names         = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+		list          = flag.Bool("list", false, "list analyzers and exit")
+		jsonOut       = flag.Bool("json", false, "emit findings and suppressions as JSON on stdout")
+		baselinePath  = flag.String("baseline", "", "compare against a baseline file; fail only on findings or suppressions not recorded there")
+		writeBaseline = flag.String("write-baseline", "", "write the canonical baseline file and exit")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: df3lint [-analyzers a,b] packages...\n\nAnalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: df3lint [-analyzers a,b] [-json] [-baseline file | -write-baseline file] packages...\n\nAnalyzers:\n")
 		for _, a := range analysis.Analyzers() {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -61,33 +80,216 @@ func main() {
 		os.Exit(2)
 	}
 
-	loader := load.NewLoader("")
-	pkgs, err := loader.Load(patterns...)
+	rep, err := runSuite(patterns, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "df3lint:", err)
 		os.Exit(2)
 	}
 
-	found := false
+	if *writeBaseline != "" {
+		if err := os.WriteFile(*writeBaseline, rep.canonical(), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "df3lint:", err)
+			os.Exit(2)
+		}
+		return
+	}
+	if *jsonOut {
+		os.Stdout.Write(rep.canonical())
+	}
+
+	if *baselinePath != "" {
+		ok, err := compareBaseline(rep, *baselinePath, !*jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "df3lint:", err)
+			os.Exit(2)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if !*jsonOut {
+		for _, f := range rep.Findings {
+			fmt.Printf("%s:%d:%d: %s [%s]\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+		}
+	}
+	if len(rep.Findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// report is the canonical structured output shared by -json,
+// -write-baseline and -baseline.
+type report struct {
+	Findings     []reportFinding     `json:"findings"`
+	Suppressions []reportSuppression `json:"suppressions"`
+}
+
+type reportFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+type reportSuppression struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Reason   string `json:"reason"`
+}
+
+// canonical renders the report deterministically: sorted entries,
+// two-space indent, trailing newline — so a fresh regen of a clean tree
+// is byte-identical to the committed baseline.
+func (r *report) canonical() []byte {
+	if r.Findings == nil {
+		r.Findings = []reportFinding{}
+	}
+	if r.Suppressions == nil {
+		r.Suppressions = []reportSuppression{}
+	}
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic(err) // plain structs cannot fail to marshal
+	}
+	return append(out, '\n')
+}
+
+// runSuite analyzes the patterns in dependency order, threading one facts
+// store through every module package, and returns the merged report with
+// module-relative paths.
+func runSuite(patterns []string, analyzers []*analysis.Analyzer) (*report, error) {
+	loader := load.NewLoader("")
+	pkgs, err := loader.LoadDeps(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	facts := analysis.NewFacts()
+	rep := &report{}
 	for _, p := range pkgs {
-		findings, err := analysis.RunPackage(analysis.Unit{
+		u := analysis.Unit{
 			Fset:  loader.Fset(),
 			Files: p.Files,
 			Pkg:   p.Types,
 			Info:  p.Info,
-		}, analyzers)
+			Facts: facts,
+		}
+		if p.DepOnly {
+			// Dependency of the named patterns: its facts must exist for
+			// the packages above it, but it is not itself under review.
+			if err := analysis.ComputeFacts(u, facts); err != nil {
+				return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
+			}
+			continue
+		}
+		findings, sups, err := analysis.RunPackage(u, analyzers)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "df3lint: %s: %v\n", p.ImportPath, err)
-			os.Exit(2)
+			return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
 		}
 		for _, f := range findings {
-			found = true
-			fmt.Printf("%s: %s [%s]\n", f.Posn, f.Message, f.Analyzer)
+			rep.Findings = append(rep.Findings, reportFinding{
+				File:     relPath(f.Posn.Filename),
+				Line:     f.Posn.Line,
+				Col:      f.Posn.Column,
+				Analyzer: f.Analyzer,
+				Message:  f.Message,
+			})
+		}
+		for _, s := range sups {
+			rep.Suppressions = append(rep.Suppressions, reportSuppression{
+				File:     relPath(s.File),
+				Line:     s.Line,
+				Analyzer: s.Analyzer,
+				Reason:   s.Reason,
+			})
 		}
 	}
-	if found {
-		os.Exit(1)
+	sort.Slice(rep.Findings, func(i, j int) bool {
+		a, b := rep.Findings[i], rep.Findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	sort.Slice(rep.Suppressions, func(i, j int) bool {
+		a, b := rep.Suppressions[i], rep.Suppressions[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return rep, nil
+}
+
+// relPath renders a path relative to the working directory (the module
+// root in CI) so baselines are stable across checkouts.
+func relPath(name string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return name
 	}
+	rel, err := filepath.Rel(wd, name)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return name
+	}
+	return filepath.ToSlash(rel)
+}
+
+// compareBaseline fails on findings or suppressions absent from the
+// baseline. Entries are matched without line numbers, so pure code motion
+// does not fail the compare (the CI byte-identity check still forces a
+// regen); a new finding, or a suppression with a new file/analyzer/reason
+// combination, does.
+func compareBaseline(rep *report, path string, print bool) (bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, fmt.Errorf("reading baseline: %v", err)
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return false, fmt.Errorf("parsing baseline %s: %v", path, err)
+	}
+	knownF := map[string]bool{}
+	for _, f := range base.Findings {
+		knownF[f.File+"\x00"+f.Analyzer+"\x00"+f.Message] = true
+	}
+	knownS := map[string]bool{}
+	for _, s := range base.Suppressions {
+		knownS[s.File+"\x00"+s.Analyzer+"\x00"+s.Reason] = true
+	}
+	ok := true
+	for _, f := range rep.Findings {
+		if !knownF[f.File+"\x00"+f.Analyzer+"\x00"+f.Message] {
+			ok = false
+			if print {
+				fmt.Printf("%s:%d:%d: new finding not in baseline: %s [%s]\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+			}
+		}
+	}
+	for _, s := range rep.Suppressions {
+		if !knownS[s.File+"\x00"+s.Analyzer+"\x00"+s.Reason] {
+			ok = false
+			if print {
+				fmt.Printf("%s:%d: new suppression not in baseline: //df3:allow(%s) %s\n", s.File, s.Line, s.Analyzer, s.Reason)
+			}
+		}
+	}
+	if !ok && print {
+		fmt.Printf("df3lint: baseline %s is stale: fix the findings, or regenerate with -write-baseline and justify the diff in review\n", path)
+	}
+	return ok, nil
 }
 
 // selectAnalyzers resolves the -analyzers flag.

@@ -8,6 +8,9 @@ import (
 	"go/types"
 	"io"
 	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
 	"strings"
 
 	"df3/internal/analysis"
@@ -43,8 +46,10 @@ func runAsVetTool(args []string) bool {
 	}
 	switch {
 	case strings.HasPrefix(args[0], "-V"):
-		// Build-cache tool identity probe.
-		fmt.Printf("df3lint version df3-analysis-suite-v1\n")
+		// Build-cache tool identity probe. Bumping the version invalidates
+		// every cached vetx, which matters whenever the facts format or
+		// the fact-producing analyses change.
+		fmt.Printf("df3lint version df3-analysis-suite-v3\n")
 		return true
 	case args[0] == "-flags":
 		// The tool exposes no pass-through flags.
@@ -58,6 +63,15 @@ func runAsVetTool(args []string) bool {
 }
 
 // unitCheck analyzes one package unit described by a vet config file.
+//
+// Facts cross package boundaries through the unitchecker protocol: each
+// unit's .vetx output is the JSON-encoded accumulated facts store — its
+// dependencies' stores (read from PackageVetx) merged with its own
+// summaries. Because every unit re-exports everything it has seen,
+// merging direct dependencies yields the transitive closure, exactly the
+// view the standalone `go list -deps` walk builds. The driver schedules
+// dependency units (VetxOnly) before their importers, so the store is
+// complete when a unit is analyzed — the same post-order as standalone.
 func unitCheck(cfgPath string) {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -67,14 +81,33 @@ func unitCheck(cfgPath string) {
 	if err := json.Unmarshal(data, cfg); err != nil {
 		fatalf("parsing %s: %v", cfgPath, err)
 	}
-	// The driver expects a facts file for every unit, even though this
-	// suite exports no cross-package facts.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			fatalf("writing %s: %v", cfg.VetxOutput, err)
+
+	facts := analysis.NewFacts()
+	deps := make([]string, 0, len(cfg.PackageVetx))
+	for path := range cfg.PackageVetx {
+		deps = append(deps, path)
+	}
+	sort.Strings(deps)
+	for _, path := range deps {
+		vetx, err := os.ReadFile(cfg.PackageVetx[path])
+		if err != nil {
+			fatalf("reading facts of %s: %v", path, err)
+		}
+		if err := facts.Merge(vetx); err != nil {
+			fatalf("facts of %s: %v", path, err)
 		}
 	}
-	if cfg.VetxOnly {
+
+	// Standard-library units contribute no df3 facts — the module boundary
+	// is the taint boundary, exactly as in standalone mode, where LoadDeps
+	// drops lp.Standard packages before the driver walk. (Flagging every
+	// log.Fatalf caller because the logger timestamps its output would bury
+	// the real findings.) The cfg's Standard map only describes the unit's
+	// *dependencies*, never the unit itself, so stdlib-ness of this unit is
+	// decided the way `go list` does: its directory lives under GOROOT/src.
+	// Re-export the merged store without the cost of type-checking.
+	if inGoroot(cfg.Dir) {
+		writeVetx(cfg, facts)
 		return
 	}
 
@@ -116,20 +149,58 @@ func unitCheck(cfgPath string) {
 		fatalf("type-checking %s: %v", cfg.ImportPath, err)
 	}
 
-	findings, err := analysis.RunPackage(analysis.Unit{
+	u := analysis.Unit{
 		Fset:  fset,
 		Files: files,
 		Pkg:   pkg,
 		Info:  info,
-	}, analysis.Analyzers())
+		Facts: facts,
+	}
+	if cfg.VetxOnly {
+		// A dependency of the vetted patterns: summarize, export, done.
+		if err := analysis.ComputeFacts(u, facts); err != nil {
+			fatalf("%s: %v", cfg.ImportPath, err)
+		}
+		writeVetx(cfg, facts)
+		return
+	}
+
+	findings, _, err := analysis.RunPackage(u, analysis.Analyzers())
 	if err != nil {
 		fatalf("%s: %v", cfg.ImportPath, err)
 	}
+	writeVetx(cfg, facts)
 	for _, f := range findings {
 		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", f.Posn, f.Message, f.Analyzer)
 	}
 	if len(findings) > 0 {
 		os.Exit(2)
+	}
+}
+
+// inGoroot reports whether dir is inside GOROOT/src. The binary is built
+// by the same toolchain that invokes it through `go vet`, so the baked-in
+// (or GOROOT-env-overridden) root is the right one to compare against.
+func inGoroot(dir string) bool {
+	root := runtime.GOROOT()
+	if root == "" || dir == "" {
+		return false
+	}
+	src := filepath.Join(root, "src")
+	return dir == src || strings.HasPrefix(dir, src+string(filepath.Separator))
+}
+
+// writeVetx exports the accumulated facts store as the unit's vetx file.
+func writeVetx(cfg *vetConfig, facts *analysis.Facts) {
+	if cfg.VetxOutput == "" {
+		return
+	}
+	data, err := facts.Encode()
+	if err != nil {
+		fatalf("encoding facts of %s: %v", cfg.ImportPath, err)
+	}
+	if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
+		fatalf("writing %s: %v", cfg.VetxOutput, err)
 	}
 }
 

@@ -16,7 +16,17 @@
 //	unitsafe    no cross-dimension units conversions or raw-float leaks
 //	spanend     every locally-scoped trace span is ended on all paths
 //	lockedblock no blocking operation while holding a mutex
+//	wirepair    encode/decode parity for wire frames and shard messages
+//	statefp     checkpoint/fingerprint structs keep all fields covered
+//	atomicmix   a field accessed atomically anywhere is atomic everywhere
 //	df3directive suppression directives are well-formed
+//
+// The suite is interprocedural: the drivers walk packages in dependency
+// (post-)order, computing per-function fact summaries (see facts.go) that
+// flow across package boundaries — standalone over `go list -deps`, under
+// `go vet -vettool` through the unitchecker .vetx facts files. detrand and
+// lockedblock consult the facts to see through wrappers; wirepair, statefp
+// and atomicmix are built on them.
 //
 // The API deliberately mirrors golang.org/x/tools/go/analysis (Analyzer,
 // Pass, Diagnostic) so the suite could migrate to the real framework if the
@@ -59,6 +69,11 @@ type Pass struct {
 	// ReadFile returns the source of a file in the pass (the directive
 	// checker re-scans comments from raw source).
 	ReadFile func(string) ([]byte, error)
+
+	// Facts is the cross-package store, already holding summaries for this
+	// package and for every dependency the driver analyzed before it. Never
+	// nil when the pass comes through RunPackage.
+	Facts *Facts
 }
 
 // Reportf reports a formatted diagnostic at pos.

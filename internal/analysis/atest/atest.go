@@ -12,14 +12,30 @@
 // expectation on its line and every expectation must be matched by exactly
 // one finding, so fixtures pin both the flagging and the non-flagging cases.
 //
-// Before the fixture is parsed the want comments are blanked in place
-// (byte-for-byte, so positions hold): a want comment trailing a //df3:
-// directive would otherwise be read as the directive's reason.
+// A fixture directory may instead hold sub-directories, each one package
+// of a multi-package fixture — the shape interprocedural facts need,
+// since they only matter across package boundaries. Sub-packages are
+// loaded in sorted name order (name dependencies "a", consumers "b") with
+// import paths "df3lint/fixture/<dir>/<sub>", share one facts store, and
+// may import earlier sub-packages. Fact summaries are asserted with a
+// wantfact marker on the function's declaration line:
+//
+//	func leaks() time.Time { ... } // wantfact WallClock
+//	func clean() int { ... }       // wantfact -
+//
+// naming the expected fact bits in declaration order (WallClock, MathRand,
+// Blocks, Locks), comma-separated, or "-" for none.
+//
+// Before the fixture is parsed the want and wantfact comments are blanked
+// in place (byte-for-byte, so positions hold): a want comment trailing a
+// //df3: directive would otherwise be read as the directive's reason.
 package atest
 
 import (
 	"fmt"
+	"go/ast"
 	"go/token"
+	"go/types"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -45,7 +61,10 @@ func sharedLoader() *load.Loader {
 	return loader
 }
 
-const wantMarker = "// want "
+const (
+	wantMarker     = "// want " // trailing space: no collision with wantfact
+	wantfactMarker = "// wantfact "
+)
 
 // expectation is one compiled want pattern awaiting a finding.
 type expectation struct {
@@ -55,54 +74,102 @@ type expectation struct {
 	matched bool
 }
 
-// Run loads the fixture package in dir, applies the analyzers, and reports
-// any mismatch between findings and want expectations as test errors.
+// factExpectation asserts the fact bits of the function declared on line.
+type factExpectation struct {
+	file string
+	line int
+	want string // FuncFacts.String() form: "WallClock,Blocks" or "-"
+}
+
+// Run loads the fixture in dir — one package of *.go files, or sorted
+// sub-directory packages sharing a facts store — applies the analyzers to
+// every package, and reports any mismatch between findings and want
+// expectations, or between computed facts and wantfact assertions, as
+// test errors.
 func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
 	t.Helper()
-	paths, err := filepath.Glob(filepath.Join(dir, "*.go"))
-	if err != nil || len(paths) == 0 {
-		t.Fatalf("no fixture files in %s (%v)", dir, err)
+	pkgDirs, err := fixturePackages(dir)
+	if err != nil {
+		t.Fatal(err)
 	}
-	sort.Strings(paths)
 
 	var (
-		srcs    [][]byte
-		wants   []*expectation
-		sources = map[string][]byte{}
+		wants     []*expectation
+		factWants []*factExpectation
+		findings  []analysis.Finding
+		declFacts = map[string]*analysis.FuncFacts{} // "file:line" -> summary
 	)
-	for _, path := range paths {
-		src, err := os.ReadFile(path)
-		if err != nil {
-			t.Fatal(err)
+	facts := analysis.NewFacts()
+	deps := map[string]*types.Package{}
+	for _, pkgDir := range pkgDirs {
+		paths, err := filepath.Glob(filepath.Join(pkgDir, "*.go"))
+		if err != nil || len(paths) == 0 {
+			t.Fatalf("no fixture files in %s (%v)", pkgDir, err)
 		}
-		sanitized, ws, err := extractWants(path, src)
-		if err != nil {
-			t.Fatal(err)
-		}
-		srcs = append(srcs, sanitized)
-		sources[path] = sanitized
-		wants = append(wants, ws...)
-	}
+		sort.Strings(paths)
 
-	pkg, err := sharedLoader().CheckSource("df3lint/fixture/"+filepath.Base(dir), paths, srcs)
-	if err != nil {
-		t.Fatalf("loading fixture %s: %v", dir, err)
-	}
-	findings, err := analysis.RunPackage(analysis.Unit{
-		Fset:  sharedLoader().Fset(),
-		Files: pkg.Files,
-		Pkg:   pkg.Types,
-		Info:  pkg.Info,
-		ReadFile: func(name string) ([]byte, error) {
-			src, ok := sources[name]
-			if !ok {
-				return nil, fmt.Errorf("atest: no source for %s", name)
+		var (
+			srcs    [][]byte
+			sources = map[string][]byte{}
+		)
+		for _, path := range paths {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
 			}
-			return src, nil
-		},
-	}, analyzers)
-	if err != nil {
-		t.Fatalf("running analyzers on %s: %v", dir, err)
+			sanitized, ws, fws, err := extractWants(path, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			srcs = append(srcs, sanitized)
+			sources[path] = sanitized
+			wants = append(wants, ws...)
+			factWants = append(factWants, fws...)
+		}
+
+		importPath := "df3lint/fixture/" + filepath.ToSlash(filepath.Base(dir))
+		if pkgDir != dir {
+			importPath += "/" + filepath.Base(pkgDir)
+		}
+		pkg, err := sharedLoader().CheckSourceWith(importPath, paths, srcs, deps)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", pkgDir, err)
+		}
+		deps[importPath] = pkg.Types
+
+		got, _, err := analysis.RunPackage(analysis.Unit{
+			Fset:  sharedLoader().Fset(),
+			Files: pkg.Files,
+			Pkg:   pkg.Types,
+			Info:  pkg.Info,
+			Facts: facts,
+			ReadFile: func(name string) ([]byte, error) {
+				src, ok := sources[name]
+				if !ok {
+					return nil, fmt.Errorf("atest: no source for %s", name)
+				}
+				return src, nil
+			},
+		}, analyzers)
+		if err != nil {
+			t.Fatalf("running analyzers on %s: %v", pkgDir, err)
+		}
+		findings = append(findings, got...)
+
+		fset := sharedLoader().Fset()
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if key := analysis.FuncKey(obj); key != "" {
+					posn := fset.Position(fd.Pos())
+					declFacts[fmt.Sprintf("%s:%d", posn.Filename, posn.Line)] = facts.Lookup(key)
+				}
+			}
+		}
 	}
 
 	for _, f := range findings {
@@ -115,6 +182,40 @@ func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
 			t.Errorf("%s:%d: no finding matched %q", w.file, w.line, w.re)
 		}
 	}
+	for _, fw := range factWants {
+		ff, ok := declFacts[fmt.Sprintf("%s:%d", fw.file, fw.line)]
+		if !ok {
+			t.Errorf("%s:%d: wantfact is not on a function declaration line", fw.file, fw.line)
+			continue
+		}
+		if got := ff.String(); got != fw.want {
+			t.Errorf("%s:%d: facts %s, wantfact %s", fw.file, fw.line, got, fw.want)
+		}
+	}
+}
+
+// fixturePackages resolves dir to its package directories: the sorted
+// sub-directories containing Go files, or dir itself.
+func fixturePackages(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("reading fixture %s: %v", dir, err)
+	}
+	var subs []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		sub := filepath.Join(dir, e.Name())
+		if m, _ := filepath.Glob(filepath.Join(sub, "*.go")); len(m) > 0 {
+			subs = append(subs, sub)
+		}
+	}
+	if len(subs) == 0 {
+		return []string{dir}, nil
+	}
+	sort.Strings(subs)
+	return subs, nil
 }
 
 // claim marks the first unmatched expectation covering (posn, message).
@@ -128,11 +229,13 @@ func claim(wants []*expectation, posn token.Position, message string) bool {
 	return false
 }
 
-// extractWants pulls the want expectations out of src and returns a copy
-// with each want comment overwritten by spaces, preserving every offset.
-func extractWants(path string, src []byte) ([]byte, []*expectation, error) {
+// extractWants pulls the want and wantfact expectations out of src and
+// returns a copy with each marker comment overwritten by spaces,
+// preserving every offset.
+func extractWants(path string, src []byte) ([]byte, []*expectation, []*factExpectation, error) {
 	out := append([]byte(nil), src...)
 	var wants []*expectation
+	var factWants []*factExpectation
 	line := 0
 	for start := 0; start < len(out); {
 		line++
@@ -144,16 +247,25 @@ func extractWants(path string, src []byte) ([]byte, []*expectation, error) {
 		if idx := strings.Index(text, wantMarker); idx >= 0 {
 			ws, err := parseWants(path, line, text[idx+len(wantMarker):])
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 			wants = append(wants, ws...)
+			for i := start + idx; i < end; i++ {
+				out[i] = ' '
+			}
+		} else if idx := strings.Index(text, wantfactMarker); idx >= 0 {
+			want := strings.TrimSpace(text[idx+len(wantfactMarker):])
+			if want == "" {
+				return nil, nil, nil, fmt.Errorf("%s:%d: empty wantfact (use - for no facts)", path, line)
+			}
+			factWants = append(factWants, &factExpectation{file: path, line: line, want: want})
 			for i := start + idx; i < end; i++ {
 				out[i] = ' '
 			}
 		}
 		start = end + 1
 	}
-	return out, wants, nil
+	return out, wants, factWants, nil
 }
 
 // parseWants compiles the quoted patterns after a want marker.

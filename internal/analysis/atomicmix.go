@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicmixAnalyzer enforces all-or-nothing atomicity per field: a struct
+// field passed to the function-style sync/atomic operations anywhere in
+// the module must be accessed through them everywhere. One plain read of
+// an atomically-written gauge is a data race the race detector only
+// catches when the interleaving happens in a test; the analyzer catches
+// it from the access sites alone, across package boundaries — the facts
+// layer carries each field's example atomic and plain sites, so whichever
+// package closes the mix reports it. (Fields of the atomic.Int64 family
+// cannot mix by construction and are out of scope.)
+var AtomicmixAnalyzer = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "a field accessed via sync/atomic anywhere must be accessed atomically everywhere",
+	Run:  runAtomicmix,
+}
+
+// atomicFuncs are the function-style sync/atomic operations whose first
+// argument is the address of the shared word.
+var atomicFuncs = map[string]bool{
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true, "LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true, "StoreUintptr": true, "StorePointer": true,
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true, "SwapUintptr": true, "SwapPointer": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true, "CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+}
+
+// fieldSite is one access to a struct field.
+type fieldSite struct {
+	key  string // fieldKey: pkgpath.Type.Field
+	pos  ast.Node
+	site string // rendered position, for cross-package examples
+}
+
+// collectAtomics records the package's atomic and plain field-access
+// sites as facts. Only fields that could plausibly be atomic words
+// (integer, uintptr, unsafe.Pointer kinds) on module-defined structs are
+// tracked, bounding fact size; the first site per field wins, keeping the
+// store deterministic.
+func collectAtomics(pass *Pass, fx *Facts) {
+	atomics, plains := scanFieldAccesses(pass, fx)
+	for _, s := range atomics {
+		if _, ok := fx.atomicFields[s.key]; !ok {
+			fx.atomicFields[s.key] = s.site
+		}
+	}
+	for _, s := range plains {
+		if _, ok := fx.plainFields[s.key]; !ok {
+			fx.plainFields[s.key] = s.site
+		}
+	}
+}
+
+// scanFieldAccesses walks the package once, splitting candidate field
+// accesses into atomic sites (&x.F as a sync/atomic first argument) and
+// plain sites (every other selector access), in source order.
+func scanFieldAccesses(pass *Pass, fx *Facts) (atomics, plains []fieldSite) {
+	// Selectors consumed as atomic arguments must not double as plain
+	// accesses; collect them first.
+	atomicArgs := map[*ast.SelectorExpr]bool{}
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := pass.CalleeFunc(call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" ||
+			sigOf(fn).Recv() != nil || !atomicFuncs[fn.Name()] || len(call.Args) == 0 {
+			return true
+		}
+		ue, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if key := candidateFieldKey(pass, fx, sel); key != "" {
+			atomicArgs[sel] = true
+			atomics = append(atomics, fieldSite{key: key, pos: call, site: shortPos(pass.Fset.Position(call.Pos()))})
+		}
+		return true
+	})
+	pass.Inspect(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || atomicArgs[sel] {
+			return true
+		}
+		if key := candidateFieldKey(pass, fx, sel); key != "" {
+			plains = append(plains, fieldSite{key: key, pos: sel, site: shortPos(pass.Fset.Position(sel.Pos()))})
+		}
+		return true
+	})
+	return atomics, plains
+}
+
+// candidateFieldKey returns the fieldKey when sel is an access to an
+// atomic-word-kind field of a struct defined in an analyzed module
+// package, else "".
+func candidateFieldKey(pass *Pass, fx *Facts, sel *ast.SelectorExpr) string {
+	s := pass.TypesInfo.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return ""
+	}
+	if !isAtomicWordKind(s.Obj().Type()) {
+		return ""
+	}
+	t := types.Unalias(s.Recv())
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	ownerPath := named.Obj().Pkg().Path()
+	if ownerPath != pass.Pkg.Path() && !fx.HasPackage(ownerPath) {
+		return "" // stdlib / unanalyzed struct: not ours to police
+	}
+	return fieldKey(named, sel.Sel.Name)
+}
+
+// isAtomicWordKind reports whether t could be a sync/atomic word:
+// integer, uintptr, or unsafe.Pointer kinds.
+func isAtomicWordKind(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&types.IsInteger != 0 || b.Kind() == types.UnsafePointer
+}
+
+func runAtomicmix(pass *Pass) error {
+	if pass.Pkg == nil {
+		return nil
+	}
+	atomics, plains := scanFieldAccesses(pass, pass.Facts)
+	localPlain := map[string]bool{}
+	for _, s := range plains {
+		localPlain[s.key] = true
+	}
+	// A plain access to a field the store knows is atomic: report at the
+	// plain site — it is the racing read.
+	for _, s := range plains {
+		if at, ok := pass.Facts.atomicFields[s.key]; ok {
+			pass.Reportf(s.pos.Pos(),
+				"non-atomic access of %s, which is accessed atomically at %s: mixed access races — use sync/atomic here too",
+				shortKey(s.key), at)
+		}
+	}
+	// An atomic access to a field some *other* package reads plainly:
+	// report at the atomic site (local plain sites were reported above).
+	for _, s := range atomics {
+		if localPlain[s.key] {
+			continue
+		}
+		if at, ok := pass.Facts.plainFields[s.key]; ok {
+			pass.Reportf(s.pos.Pos(),
+				"atomic access of %s, which is accessed non-atomically at %s: mixed access races — make every access atomic",
+				shortKey(s.key), at)
+		}
+	}
+	return nil
+}

@@ -54,13 +54,37 @@ func runDetrand(pass *Pass) error {
 			return true
 		}
 		fn := pass.CalleeFunc(call)
-		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+		if fn == nil || fn.Pkg() == nil {
 			return true
 		}
-		if sigOf(fn).Recv() == nil && detrandBannedFuncs[fn.Name()] {
+		if fn.Pkg().Path() == "time" {
+			if sigOf(fn).Recv() == nil && detrandBannedFuncs[fn.Name()] {
+				pass.Reportf(call.Pos(),
+					"time.%s reads the wall clock: sim code must derive time from the engine (sim.Time) so runs replay byte-identically",
+					fn.Name())
+			}
+			return true
+		}
+		// Interprocedural: a cross-package call to a function whose facts
+		// say it (transitively) reads the wall clock or draws from
+		// math/rand is flagged at the callsite. In-package calls are not:
+		// the root site is already reported in this same package, and one
+		// finding per taint is enough. A //df3:allow at the root or at any
+		// propagating callsite stopped the taint during fact computation,
+		// so sanctioned reporting-only wrappers arrive here clean.
+		if pass.Pkg != nil && fn.Pkg() == pass.Pkg {
+			return true
+		}
+		ff := pass.Facts.Lookup(FuncKey(fn))
+		if ff.Has(FactWallClock) {
 			pass.Reportf(call.Pos(),
-				"time.%s reads the wall clock: sim code must derive time from the engine (sim.Time) so runs replay byte-identically",
-				fn.Name())
+				"call to %s reads the wall clock (via %s): sim code must derive time from the engine (sim.Time)",
+				shortKey(FuncKey(fn)), ff.via(FactWallClock))
+		}
+		if ff.Has(FactMathRand) {
+			pass.Reportf(call.Pos(),
+				"call to %s draws nondeterministic randomness (via %s): use a df3/internal/rng Stream forked from the scenario seed",
+				shortKey(FuncKey(fn)), ff.via(FactMathRand))
 		}
 		return true
 	})

@@ -1,0 +1,606 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file implements the cross-package facts layer that turns the suite
+// from single-function AST checks into a module-wide interprocedural
+// engine. The driver walks packages in `go list -deps` post-order (every
+// package after all of its dependencies), computes per-function summaries
+// for each module package, and accumulates them in one Facts store that
+// later packages' passes consult. Under `go vet -vettool` the same store
+// survives the unitchecker protocol: each unit writes its accumulated
+// store to the .vetx facts file and imports its dependencies' stores from
+// theirs.
+//
+// Four per-function bits are tracked (plus the structures the wirepair,
+// statefp and atomicmix analyzers need):
+//
+//	WallClock  the function (transitively) reads the wall clock
+//	MathRand   the function (transitively) draws from math/rand et al.
+//	Blocks     the function may block (channels, WaitGroup.Wait, run loops)
+//	Locks      the function acquires a sync.Mutex/RWMutex
+//
+// Taint stops at sanctioned boundaries: a root operation or a propagating
+// callsite covered by the matching //df3:allow directive contributes
+// nothing, so one reasoned suppression on a reporting-only wrapper clears
+// every caller instead of forcing a directive per call.
+
+// FactBit identifies one boolean per-function fact.
+type FactBit uint8
+
+const (
+	// FactWallClock marks functions that transitively call time.Now,
+	// time.Since or time.Until.
+	FactWallClock FactBit = 1 << iota
+	// FactMathRand marks functions that transitively draw from math/rand,
+	// math/rand/v2 or crypto/rand.
+	FactMathRand
+	// FactBlocks marks functions that may block: channel operations,
+	// selects without default, and the known-blocking call list.
+	FactBlocks
+	// FactLocks marks functions that acquire a sync.Mutex or sync.RWMutex.
+	FactLocks
+)
+
+// factNames maps bits to the names used by String, the fixture
+// `// wantfact` assertions, and the -facts debug dump.
+var factNames = []struct {
+	bit  FactBit
+	name string
+}{
+	{FactWallClock, "WallClock"},
+	{FactMathRand, "MathRand"},
+	{FactBlocks, "Blocks"},
+	{FactLocks, "Locks"},
+}
+
+// FactBitByName resolves a fact name ("WallClock") to its bit, or 0.
+func FactBitByName(name string) FactBit {
+	for _, fn := range factNames {
+		if fn.name == name {
+			return fn.bit
+		}
+	}
+	return 0
+}
+
+// FuncFacts is one function's interprocedural summary.
+type FuncFacts struct {
+	Bits FactBit
+	// WallVia, RandVia and BlockVia describe one path from the function to
+	// the root operation that set the corresponding bit — diagnostics quote
+	// them so a finding two hops from its root still names the root.
+	WallVia  string
+	RandVia  string
+	BlockVia string
+}
+
+// Has reports whether the summary carries bit.
+func (ff *FuncFacts) Has(bit FactBit) bool { return ff != nil && ff.Bits&bit != 0 }
+
+// String lists the set bits in declaration order, "-" when none are set.
+func (ff *FuncFacts) String() string {
+	if ff == nil || ff.Bits == 0 {
+		return "-"
+	}
+	var names []string
+	for _, fn := range factNames {
+		if ff.Bits&fn.bit != 0 {
+			names = append(names, fn.name)
+		}
+	}
+	return strings.Join(names, ",")
+}
+
+// via returns the path string for bit.
+func (ff *FuncFacts) via(bit FactBit) string {
+	switch bit {
+	case FactWallClock:
+		return ff.WallVia
+	case FactMathRand:
+		return ff.RandVia
+	case FactBlocks:
+		return ff.BlockVia
+	}
+	return ""
+}
+
+func (ff *FuncFacts) setVia(bit FactBit, via string) {
+	switch bit {
+	case FactWallClock:
+		ff.WallVia = via
+	case FactMathRand:
+		ff.RandVia = via
+	case FactBlocks:
+		ff.BlockVia = via
+	}
+}
+
+// Contract is one statefp field-coverage contract, declared by a
+// //df3:statefp directive on a struct type: every listed function must
+// mention every field of the struct, so adding a field without updating
+// the encoder, the decoder and the fingerprint digest is a finding. The
+// package of the last listed function is the contract's home: it is the
+// deepest dependent, so when it is analyzed every other listed function
+// has already been summarized, and the home pass additionally checks that
+// each listed function was actually seen somewhere.
+type Contract struct {
+	Struct string   // structKey: pkgpath.TypeName
+	Fields []string // field names in declaration order
+	Funcs  []string // demanded function keys, in directive order
+	Decl   string   // declaration site, for diagnostics
+}
+
+// Home returns the import path of the contract's home package.
+func (c *Contract) Home() string {
+	if len(c.Funcs) == 0 {
+		return ""
+	}
+	return keyPkg(c.Funcs[len(c.Funcs)-1])
+}
+
+// Facts is the accumulated cross-package store. It is not safe for
+// concurrent use; the drivers run packages sequentially in dependency
+// order.
+type Facts struct {
+	packages     map[string]bool                // module packages summarized
+	funcs        map[string]*FuncFacts          // funcKey -> summary
+	coverage     map[string]map[string][]string // structKey -> funcKey -> fields mentioned
+	contracts    map[string]*Contract           // structKey -> contract
+	atomicFields map[string]string              // fieldKey -> example atomic site
+	plainFields  map[string]string              // fieldKey -> example plain site
+	handledKinds map[string]string              // constKey -> decoder funcKey
+}
+
+// NewFacts returns an empty store.
+func NewFacts() *Facts {
+	return &Facts{
+		packages:     map[string]bool{},
+		funcs:        map[string]*FuncFacts{},
+		coverage:     map[string]map[string][]string{},
+		contracts:    map[string]*Contract{},
+		atomicFields: map[string]string{},
+		plainFields:  map[string]string{},
+		handledKinds: map[string]string{},
+	}
+}
+
+// Lookup returns the summary for a function key, or nil.
+func (fx *Facts) Lookup(key string) *FuncFacts { return fx.funcs[key] }
+
+// HasPackage reports whether the package's facts are already in the store.
+func (fx *Facts) HasPackage(path string) bool { return fx.packages[path] }
+
+// FuncKeys returns every summarized function key, sorted.
+func (fx *Facts) FuncKeys() []string {
+	keys := make([]string, 0, len(fx.funcs))
+	for k := range fx.funcs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// HandledKind returns the key of the Decoder-shaped function handling a
+// message-kind constant ("pkgpath.ConstName"), if any.
+func (fx *Facts) HandledKind(constKey string) (string, bool) {
+	fk, ok := fx.handledKinds[constKey]
+	return fk, ok
+}
+
+// FuncKey returns the stable cross-package key for a function: pkgpath.Name
+// for functions, pkgpath.Recv.Name for methods (pointer receivers
+// stripped). Empty when f has no package (builtins).
+func FuncKey(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path() + "." + funcKey(f)
+}
+
+// keyPkg splits the package path back out of a function key produced by
+// FuncKey or written in a //df3:statefp directive.
+func keyPkg(key string) string {
+	// The package path is everything before the first dot that follows the
+	// last slash ("df3/internal/sim.Engine.Snapshot" -> "df3/internal/sim").
+	slash := strings.LastIndexByte(key, '/')
+	dot := strings.IndexByte(key[slash+1:], '.')
+	if dot < 0 {
+		return key
+	}
+	return key[:slash+1+dot]
+}
+
+// fieldKey identifies a struct field across packages: pkgpath.Type.Field.
+func fieldKey(named *types.Named, field string) string {
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path() + "." + obj.Name() + "." + field
+}
+
+// factsJSON is the serialized form written to .vetx files.
+type factsJSON struct {
+	Packages     []string                       `json:"packages"`
+	Funcs        map[string]funcFactsJSON       `json:"funcs,omitempty"`
+	Coverage     map[string]map[string][]string `json:"coverage,omitempty"`
+	Contracts    map[string]contractJSON        `json:"contracts,omitempty"`
+	AtomicFields map[string]string              `json:"atomic_fields,omitempty"`
+	PlainFields  map[string]string              `json:"plain_fields,omitempty"`
+	HandledKinds map[string]string              `json:"handled_kinds,omitempty"`
+}
+
+type funcFactsJSON struct {
+	Bits     FactBit `json:"bits"`
+	WallVia  string  `json:"wall_via,omitempty"`
+	RandVia  string  `json:"rand_via,omitempty"`
+	BlockVia string  `json:"block_via,omitempty"`
+}
+
+type contractJSON struct {
+	Fields []string `json:"fields"`
+	Funcs  []string `json:"funcs"`
+	Decl   string   `json:"decl"`
+}
+
+// sortedKeys returns m's keys in sorted order, so every walk over a store
+// map is deterministic — the analyzers must pass their own maporder check.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Encode serializes the store deterministically (JSON object keys sort).
+func (fx *Facts) Encode() ([]byte, error) {
+	out := factsJSON{
+		Funcs:        map[string]funcFactsJSON{},
+		Coverage:     fx.coverage,
+		Contracts:    map[string]contractJSON{},
+		AtomicFields: fx.atomicFields,
+		PlainFields:  fx.plainFields,
+		HandledKinds: fx.handledKinds,
+	}
+	for _, p := range sortedKeys(fx.packages) {
+		out.Packages = append(out.Packages, p)
+	}
+	for _, k := range sortedKeys(fx.funcs) {
+		ff := fx.funcs[k]
+		out.Funcs[k] = funcFactsJSON{Bits: ff.Bits, WallVia: ff.WallVia, RandVia: ff.RandVia, BlockVia: ff.BlockVia}
+	}
+	for _, k := range sortedKeys(fx.contracts) {
+		c := fx.contracts[k]
+		out.Contracts[k] = contractJSON{Fields: c.Fields, Funcs: c.Funcs, Decl: c.Decl}
+	}
+	return json.Marshal(out)
+}
+
+// Merge decodes a serialized store (a dependency's .vetx file) into fx.
+// Existing entries win, so merge order cannot flip an example site.
+func (fx *Facts) Merge(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var in factsJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("analysis: decoding facts: %v", err)
+	}
+	for _, p := range in.Packages {
+		fx.packages[p] = true
+	}
+	for _, k := range sortedKeys(in.Funcs) {
+		if _, ok := fx.funcs[k]; !ok {
+			ff := in.Funcs[k]
+			fx.funcs[k] = &FuncFacts{Bits: ff.Bits, WallVia: ff.WallVia, RandVia: ff.RandVia, BlockVia: ff.BlockVia}
+		}
+	}
+	for _, sk := range sortedKeys(in.Coverage) {
+		m := fx.coverage[sk]
+		if m == nil {
+			m = map[string][]string{}
+			fx.coverage[sk] = m
+		}
+		cov := in.Coverage[sk]
+		for _, fk := range sortedKeys(cov) {
+			if _, ok := m[fk]; !ok {
+				m[fk] = cov[fk]
+			}
+		}
+	}
+	for _, sk := range sortedKeys(in.Contracts) {
+		if _, ok := fx.contracts[sk]; !ok {
+			c := in.Contracts[sk]
+			fx.contracts[sk] = &Contract{Struct: sk, Fields: c.Fields, Funcs: c.Funcs, Decl: c.Decl}
+		}
+	}
+	for _, k := range sortedKeys(in.AtomicFields) {
+		if _, ok := fx.atomicFields[k]; !ok {
+			fx.atomicFields[k] = in.AtomicFields[k]
+		}
+	}
+	for _, k := range sortedKeys(in.PlainFields) {
+		if _, ok := fx.plainFields[k]; !ok {
+			fx.plainFields[k] = in.PlainFields[k]
+		}
+	}
+	for _, k := range sortedKeys(in.HandledKinds) {
+		if _, ok := fx.handledKinds[k]; !ok {
+			fx.handledKinds[k] = in.HandledKinds[k]
+		}
+	}
+	return nil
+}
+
+// ComputeFacts summarizes one package into the store: per-function fact
+// bits (with fixpoint propagation through the package's internal call
+// graph and inheritance from dependency summaries already in the store),
+// statefp contracts and coverage, atomic/plain field access sets, and
+// handled message kinds. Idempotent per package path.
+func ComputeFacts(u Unit, fx *Facts) error {
+	if u.Pkg == nil || fx.HasPackage(u.Pkg.Path()) {
+		return nil
+	}
+	readFile := u.ReadFile
+	if readFile == nil {
+		readFile = os.ReadFile
+	}
+	ix := newSuppressionIndex()
+	for _, f := range u.Files {
+		tf := u.Fset.File(f.Pos())
+		if tf == nil {
+			continue
+		}
+		src, err := readFile(tf.Name())
+		if err != nil {
+			return err
+		}
+		ix.addFile(tf, f, tf.Name(), src)
+	}
+	computeFacts(u, ix, fx)
+	return nil
+}
+
+// callRef is one static call out of a function body, with the suppression
+// directives covering its line (a suppressed callsite is a sanctioned
+// boundary: no taint crosses it).
+type callRef struct {
+	key          string
+	posn         token.Position
+	allowDetrand bool
+	allowLocked  bool
+}
+
+// fnInfo is the per-function scratch state of the fixpoint.
+type fnInfo struct {
+	key   string
+	decl  *ast.FuncDecl
+	facts *FuncFacts
+	calls []callRef
+}
+
+// computeFacts does the real work once the suppression index exists.
+func computeFacts(u Unit, ix *suppressionIndex, fx *Facts) {
+	pass := &Pass{Fset: u.Fset, Files: u.Files, Pkg: u.Pkg, TypesInfo: u.Info}
+	fx.packages[u.Pkg.Path()] = true
+
+	// Contracts first: coverage below needs the ones declared here.
+	collectContracts(pass, fx)
+
+	var fns []*fnInfo
+	for _, file := range u.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := u.Info.Defs[fd.Name].(*types.Func)
+			key := FuncKey(obj)
+			if key == "" {
+				continue
+			}
+			fi := &fnInfo{key: key, decl: fd, facts: &FuncFacts{}}
+			scanRoots(pass, ix, fi)
+			fns = append(fns, fi)
+			fx.funcs[key] = fi.facts
+		}
+	}
+
+	// Fixpoint: inherit bits through unsuppressed callsites until stable.
+	// Cross-package callees are immutable during this loop; local ones
+	// converge in at most len(fns) rounds.
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range fns {
+			for _, cr := range fi.calls {
+				callee := fx.funcs[cr.key]
+				if callee == nil {
+					continue
+				}
+				for _, fn := range factNames {
+					if fn.bit == FactLocks {
+						continue // lock acquisition is not inherited: the callee releases it
+					}
+					if !callee.Has(fn.bit) || fi.facts.Has(fn.bit) {
+						continue
+					}
+					if (fn.bit == FactWallClock || fn.bit == FactMathRand) && cr.allowDetrand {
+						continue
+					}
+					if fn.bit == FactBlocks && cr.allowLocked {
+						continue
+					}
+					fi.facts.Bits |= fn.bit
+					fi.facts.setVia(fn.bit, shortKey(cr.key)+" → "+callee.via(fn.bit))
+					changed = true
+				}
+			}
+		}
+	}
+
+	for _, fi := range fns {
+		collectCoverage(pass, fx, fi)
+	}
+	collectAtomics(pass, fx)
+	collectKinds(pass, fx)
+}
+
+// scanRoots records fi's direct fact roots and outgoing calls. Function
+// literals are skipped (they run on their own goroutine's schedule), as
+// are `go` statements (the spawned call does not block or taint the
+// spawner's own execution path — the literal's body is summarized when the
+// callee itself is).
+func scanRoots(pass *Pass, ix *suppressionIndex, fi *fnInfo) {
+	commOps := selectCommOps(fi.decl.Body)
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			return false
+		case *ast.SendStmt:
+			if !commOps[n] {
+				blockRoot(pass, ix, fi, n.Arrow, "channel send")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !commOps[n] {
+				blockRoot(pass, ix, fi, n.OpPos, "channel receive")
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				blockRoot(pass, ix, fi, n.Pos(), "select without default")
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					blockRoot(pass, ix, fi, n.Pos(), "range over channel")
+				}
+			}
+		case *ast.CallExpr:
+			scanCall(pass, ix, fi, n)
+		}
+		return true
+	})
+}
+
+// selectCommOps collects the channel operations that are a select's own
+// comm arms. They are not independent blocking roots: the select blocks
+// (or not, with a default case) as a whole, and is judged as one root.
+func selectCommOps(body ast.Node) map[ast.Node]bool {
+	ops := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, cc := range sel.Body.List {
+			clause, ok := cc.(*ast.CommClause)
+			if !ok || clause.Comm == nil {
+				continue
+			}
+			switch comm := clause.Comm.(type) {
+			case *ast.SendStmt:
+				ops[comm] = true
+			case *ast.ExprStmt:
+				if ue, ok := ast.Unparen(comm.X).(*ast.UnaryExpr); ok {
+					ops[ue] = true
+				}
+			case *ast.AssignStmt:
+				if len(comm.Rhs) == 1 {
+					if ue, ok := ast.Unparen(comm.Rhs[0]).(*ast.UnaryExpr); ok {
+						ops[ue] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return ops
+}
+
+// blockRoot sets FactBlocks unless the site carries //df3:allow(lockedblock).
+func blockRoot(pass *Pass, ix *suppressionIndex, fi *fnInfo, pos token.Pos, what string) {
+	posn := pass.Fset.Position(pos)
+	if ix.suppressed(LockedblockAnalyzer.Name, posn) {
+		return
+	}
+	if !fi.facts.Has(FactBlocks) {
+		fi.facts.Bits |= FactBlocks
+		fi.facts.BlockVia = fmt.Sprintf("%s at %s", what, shortPos(posn))
+	}
+}
+
+// scanCall classifies one call: a detrand root, a blocking root, a lock
+// acquisition, or an outgoing edge to another summarized function.
+func scanCall(pass *Pass, ix *suppressionIndex, fi *fnInfo, call *ast.CallExpr) {
+	fn := pass.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	posn := pass.Fset.Position(call.Pos())
+	pkgPath := fn.Pkg().Path()
+
+	switch pkgPath {
+	case "time":
+		if sigOf(fn).Recv() == nil && detrandBannedFuncs[fn.Name()] &&
+			!ix.suppressed(DetrandAnalyzer.Name, posn) && !fi.facts.Has(FactWallClock) {
+			fi.facts.Bits |= FactWallClock
+			fi.facts.WallVia = fmt.Sprintf("time.%s at %s", fn.Name(), shortPos(posn))
+		}
+	case "math/rand", "math/rand/v2", "crypto/rand":
+		if !ix.suppressed(DetrandAnalyzer.Name, posn) && !fi.facts.Has(FactMathRand) {
+			fi.facts.Bits |= FactMathRand
+			fi.facts.RandVia = fmt.Sprintf("%s.%s at %s", pkgPath, fn.Name(), shortPos(posn))
+		}
+	case "sync":
+		if recv, isLock, _ := mutexOp(pass, call); recv != "" && isLock {
+			fi.facts.Bits |= FactLocks
+		}
+	}
+	if byName, ok := lockedBlockingFuncs[pkgPath]; ok {
+		if why, ok := byName[funcKey(fn)]; ok && !ix.suppressed(LockedblockAnalyzer.Name, posn) && !fi.facts.Has(FactBlocks) {
+			fi.facts.Bits |= FactBlocks
+			fi.facts.BlockVia = fmt.Sprintf("%s at %s", why, shortPos(posn))
+		}
+	}
+
+	fi.calls = append(fi.calls, callRef{
+		key:          FuncKey(fn),
+		posn:         posn,
+		allowDetrand: ix.suppressed(DetrandAnalyzer.Name, posn),
+		allowLocked:  ix.suppressed(LockedblockAnalyzer.Name, posn),
+	})
+}
+
+// shortKey trims the module path prefix from a function key for messages.
+func shortKey(key string) string {
+	if i := strings.LastIndexByte(key, '/'); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}
+
+// shortPos renders a position with the filename relative to the working
+// directory when possible — diagnostics stay stable across checkouts.
+func shortPos(posn token.Position) string {
+	name := posn.Filename
+	if wd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+	}
+	return fmt.Sprintf("%s:%d", name, posn.Line)
+}

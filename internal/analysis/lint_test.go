@@ -23,6 +23,11 @@ func TestAnalyzers(t *testing.T) {
 		{"spanend", []*analysis.Analyzer{analysis.SpanendAnalyzer}},
 		{"lockedblock", []*analysis.Analyzer{analysis.LockedblockAnalyzer}},
 		{"df3directive", []*analysis.Analyzer{analysis.DirectiveAnalyzer, analysis.MaporderAnalyzer}},
+		{"wirepair", []*analysis.Analyzer{analysis.WirepairAnalyzer}},
+		{"statefp", []*analysis.Analyzer{analysis.StatefpAnalyzer}},
+		{"atomicmix", []*analysis.Analyzer{analysis.AtomicmixAnalyzer}},
+		{"detrand_interproc", []*analysis.Analyzer{analysis.DetrandAnalyzer}},
+		{"lockedblock_interproc", []*analysis.Analyzer{analysis.LockedblockAnalyzer}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

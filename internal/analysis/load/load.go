@@ -105,6 +105,32 @@ func (l *Loader) load(patterns ...string) ([]*Package, error) {
 	return named, nil
 }
 
+// LoadDeps lists the packages matching patterns and type-checks them with
+// their dependencies, returning every non-standard package in the `go
+// list -deps` stream order — depth-first post-order, each package after
+// all of its dependencies. The interprocedural driver walks this slice
+// forward, computing facts for DepOnly packages and analyzing the named
+// ones, so cross-package summaries always exist before their consumers.
+func (l *Loader) LoadDeps(patterns ...string) ([]*Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	listed, err := l.goList(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, lp := range listed {
+		p, err := l.check(lp)
+		if err != nil {
+			return nil, err
+		}
+		if !lp.Standard {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
 // goList runs `go list -json -deps` and decodes the package stream.
 func (l *Loader) goList(patterns ...string) ([]*listPackage, error) {
 	args := append([]string{"list", "-e", "-json", "-deps", "--"}, patterns...)
@@ -216,6 +242,14 @@ func (l *Loader) importLocked(path string) (*types.Package, error) {
 // files are not read from disk. The result is not cached: fixtures may
 // reuse an import path across calls.
 func (l *Loader) CheckSource(importPath string, filenames []string, srcs [][]byte) (*Package, error) {
+	return l.CheckSourceWith(importPath, filenames, srcs, nil)
+}
+
+// CheckSourceWith is CheckSource with extra in-memory dependencies: deps
+// maps import paths to already-checked packages (earlier sub-packages of
+// a multi-package fixture) consulted before the module/standard-library
+// cache.
+func (l *Loader) CheckSourceWith(importPath string, filenames []string, srcs [][]byte, deps map[string]*types.Package) (*Package, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	p := &Package{ImportPath: importPath, GoFiles: filenames}
@@ -227,7 +261,7 @@ func (l *Loader) CheckSource(importPath string, filenames []string, srcs [][]byt
 		p.Files = append(p.Files, f)
 	}
 	conf := types.Config{
-		Importer:    &mapImporter{loader: l},
+		Importer:    &mapImporter{loader: l, extra: deps},
 		Error:       func(err error) { p.Errors = append(p.Errors, err) },
 		GoVersion:   version.Lang(runtime.Version()),
 		FakeImportC: true,
@@ -248,9 +282,13 @@ func (l *Loader) CheckSource(importPath string, filenames []string, srcs [][]byt
 type mapImporter struct {
 	loader    *Loader
 	importMap map[string]string
+	extra     map[string]*types.Package // in-memory fixture sub-packages
 }
 
 func (m *mapImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.extra[path]; ok {
+		return p, nil
+	}
 	if mapped, ok := m.importMap[path]; ok {
 		path = mapped
 	}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -143,7 +144,16 @@ func reportBlocking(pass *Pass, stmt ast.Node, held map[string]token.Pos) {
 			if byName, ok := lockedBlockingFuncs[fn.Pkg().Path()]; ok {
 				if why, ok := byName[funcKey(fn)]; ok {
 					reportHeld(pass, n.Pos(), held, why)
+					return true
 				}
+			}
+			// Interprocedural: the callee's facts say it may block — a
+			// channel operation or a blocking call anywhere down its call
+			// tree. The known-blocking list above is checked first so its
+			// hand-written explanations win for direct calls.
+			if ff := pass.Facts.Lookup(FuncKey(fn)); ff.Has(FactBlocks) {
+				reportHeld(pass, n.Pos(), held,
+					fmt.Sprintf("%s may block (via %s)", shortKey(FuncKey(fn)), ff.via(FactBlocks)))
 			}
 		}
 		return true

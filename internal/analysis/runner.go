@@ -19,6 +19,10 @@ type Unit struct {
 	// ReadFile returns a source file's content; nil means os.ReadFile.
 	// The suppression index and the directive checker consult it.
 	ReadFile func(string) ([]byte, error)
+	// Facts is the shared cross-package store, pre-populated with the
+	// summaries of every dependency analyzed before this unit. Nil means a
+	// fresh store (single-package analysis still gets intra-package facts).
+	Facts *Facts
 }
 
 // Finding is one surviving diagnostic, resolved to a position.
@@ -28,10 +32,22 @@ type Finding struct {
 	Message  string
 }
 
-// RunPackage applies the analyzers to one package, filters findings through
-// the //df3: suppression directives, and returns the survivors sorted by
-// position. Analyzer errors (not findings) abort the run.
-func RunPackage(u Unit, analyzers []*Analyzer) ([]Finding, error) {
+// Suppression is one valid //df3: directive in the analyzed package — the
+// baseline records them so CI can fail when a suppression appears or loses
+// its reason without the baseline being regenerated deliberately.
+type Suppression struct {
+	File     string
+	Line     int
+	Analyzer string
+	Reason   string
+}
+
+// RunPackage computes the package's interprocedural facts into u.Facts,
+// applies the analyzers, filters findings through the //df3: suppression
+// directives, and returns the survivors sorted by position along with the
+// package's valid suppressions. Analyzer errors (not findings) abort the
+// run.
+func RunPackage(u Unit, analyzers []*Analyzer) ([]Finding, []Suppression, error) {
 	readFile := u.ReadFile
 	if readFile == nil {
 		readFile = os.ReadFile
@@ -44,9 +60,17 @@ func RunPackage(u Unit, analyzers []*Analyzer) ([]Finding, error) {
 		}
 		src, err := readFile(tf.Name())
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		ix.addFile(tf, f, tf.Name(), src)
+	}
+
+	facts := u.Facts
+	if facts == nil {
+		facts = NewFacts()
+	}
+	if u.Pkg != nil && !facts.HasPackage(u.Pkg.Path()) {
+		computeFacts(u, ix, facts)
 	}
 
 	var out []Finding
@@ -58,6 +82,7 @@ func RunPackage(u Unit, analyzers []*Analyzer) ([]Finding, error) {
 			Pkg:       u.Pkg,
 			TypesInfo: u.Info,
 			ReadFile:  readFile,
+			Facts:     facts,
 		}
 		name := a.Name
 		pass.Report = func(d Diagnostic) {
@@ -68,7 +93,7 @@ func RunPackage(u Unit, analyzers []*Analyzer) ([]Finding, error) {
 			out = append(out, Finding{Analyzer: name, Posn: posn, Message: d.Message})
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -84,5 +109,23 @@ func RunPackage(u Unit, analyzers []*Analyzer) ([]Finding, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out, nil
+
+	var sups []Suppression
+	for _, d := range ix.all {
+		if d.Problem != "" || d.Declaration {
+			continue // declarations are contracts, not accepted exceptions
+		}
+		sups = append(sups, Suppression{File: d.File, Line: d.Line, Analyzer: d.Analyzer, Reason: d.Reason})
+	}
+	sort.Slice(sups, func(i, j int) bool {
+		a, b := sups[i], sups[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, sups, nil
 }

@@ -1,0 +1,290 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// StatefpAnalyzer kills the worst silent-divergence class in crash
+// recovery: a struct serialized into a checkpoint section or folded into
+// a state fingerprint grows a field, and one of the writer, the reader,
+// or the digest is not updated — every restore then silently forks
+// history. A struct opts in with a declaration directive in its doc
+// comment:
+//
+//	//df3:statefp pkg.Encoder pkg.Decoder pkg.Digest
+//	type State struct { ... }
+//
+// naming every function (as pkgpath.Name or pkgpath.Recv.Name) that must
+// cover the struct exhaustively. The facts layer records, per declared
+// contract, which fields each named function mentions (selector accesses
+// and composite-literal keys; a positional literal covers all fields
+// because Go requires it to). Each package then self-checks the named
+// functions it defines, and the contract's home package — the one
+// defining the last-listed function, by construction the deepest
+// dependent — additionally checks that every named function was actually
+// seen, so a deleted or renamed encoder cannot quietly drop out of the
+// contract.
+var StatefpAnalyzer = &Analyzer{
+	Name: "statefp",
+	Doc:  "structs under a df3:statefp contract keep every field covered by their encoder, decoder and fingerprint functions",
+	Run:  runStatefp,
+}
+
+// collectContracts records the //df3:statefp declarations sitting on
+// struct type declarations in this package.
+func collectContracts(pass *Pass, fx *Facts) {
+	forEachStatefpDecl(pass, func(ts *ast.TypeSpec, d *Directive) {
+		obj, _ := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+		if obj == nil || obj.Pkg() == nil {
+			return
+		}
+		st, ok := obj.Type().Underlying().(*types.Struct)
+		if !ok {
+			return // statefp analyzer reports the misplacement
+		}
+		key := obj.Pkg().Path() + "." + obj.Name()
+		if _, exists := fx.contracts[key]; exists {
+			return
+		}
+		c := &Contract{Struct: key, Funcs: strings.Fields(d.Reason), Decl: shortPos(pass.Fset.Position(d.Pos()))}
+		for i := 0; i < st.NumFields(); i++ {
+			c.Fields = append(c.Fields, st.Field(i).Name())
+		}
+		fx.contracts[key] = c
+	})
+}
+
+// forEachStatefpDecl visits every statefp directive attached to a type
+// spec (via the GenDecl doc or the spec's own doc).
+func forEachStatefpDecl(pass *Pass, fn func(*ast.TypeSpec, *Directive)) {
+	for _, f := range pass.Files {
+		tf := pass.Fset.File(f.Pos())
+		if tf == nil {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				for _, doc := range []*ast.CommentGroup{gd.Doc, ts.Doc} {
+					if doc == nil {
+						continue
+					}
+					for _, c := range doc.List {
+						if !strings.HasPrefix(c.Text, directiveMarker) {
+							continue
+						}
+						d := &Directive{pos: c.Slash}
+						posn := tf.Position(c.Slash)
+						d.File, d.Line, d.Col = posn.Filename, posn.Line, posn.Column
+						parseDirectiveBody(d, strings.TrimSuffix(strings.TrimPrefix(c.Text, directiveMarker), "\r"))
+						if d.Declaration && d.Problem == "" {
+							fn(ts, d)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// collectCoverage records which contract-struct fields fi mentions, when
+// some contract in the store demands fi.
+func collectCoverage(pass *Pass, fx *Facts, fi *fnInfo) {
+	var demanded []*Contract
+	for _, sk := range sortedContractKeys(fx) {
+		c := fx.contracts[sk]
+		for _, fk := range c.Funcs {
+			if fk == fi.key {
+				demanded = append(demanded, c)
+			}
+		}
+	}
+	if len(demanded) == 0 {
+		return
+	}
+	for _, c := range demanded {
+		fields := map[string]bool{}
+		ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				sel := pass.TypesInfo.Selections[n]
+				if sel == nil || sel.Kind() != types.FieldVal {
+					return true
+				}
+				if structKeyOf(sel.Recv()) == c.Struct {
+					fields[n.Sel.Name] = true
+				}
+			case *ast.CompositeLit:
+				t := pass.TypeOf(n)
+				if t == nil || structKeyOf(t) != c.Struct {
+					return true
+				}
+				keyed := false
+				for _, el := range n.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						keyed = true
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							fields[id.Name] = true
+						}
+					}
+				}
+				if !keyed && len(n.Elts) > 0 {
+					// Positional literal: the language requires every field.
+					for _, f := range c.Fields {
+						fields[f] = true
+					}
+				}
+			}
+			return true
+		})
+		list := make([]string, 0, len(fields))
+		for f := range fields {
+			list = append(list, f)
+		}
+		sort.Strings(list)
+		m := fx.coverage[c.Struct]
+		if m == nil {
+			m = map[string][]string{}
+			fx.coverage[c.Struct] = m
+		}
+		if _, exists := m[fi.key]; !exists {
+			m[fi.key] = list
+		}
+	}
+}
+
+// structKeyOf returns the pkgpath.TypeName key of t after pointer/alias
+// stripping, or "".
+func structKeyOf(t types.Type) string {
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}
+
+func runStatefp(pass *Pass) error {
+	if pass.Pkg == nil {
+		return nil
+	}
+	pkgPath := pass.Pkg.Path()
+
+	// A statefp declaration that is not sitting on a struct type is dead:
+	// no contract was recorded for it.
+	consumed := map[string]bool{}
+	forEachStatefpDecl(pass, func(ts *ast.TypeSpec, d *Directive) {
+		obj, _ := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+		if obj == nil {
+			return
+		}
+		if _, ok := obj.Type().Underlying().(*types.Struct); ok {
+			consumed[posKey(d.File, d.Line)] = true
+		}
+	})
+	for _, f := range pass.Files {
+		tf := pass.Fset.File(f.Pos())
+		if tf == nil {
+			continue
+		}
+		src, err := pass.ReadFile(tf.Name())
+		if err != nil {
+			return err
+		}
+		for _, d := range ParseDirectives(tf, f, src) {
+			if d.Declaration && d.Problem == "" && !consumed[posKey(d.File, d.Line)] {
+				pass.Reportf(d.Pos(), "df3:statefp must sit in the doc comment of a struct type declaration")
+			}
+		}
+	}
+
+	// Local declaration positions, for anchoring diagnostics.
+	declPos := map[string]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func); obj != nil {
+					declPos[FuncKey(obj)] = fd
+				}
+			}
+		}
+	}
+
+	for _, sk := range sortedContractKeys(pass.Facts) {
+		c := pass.Facts.contracts[sk]
+		cov := pass.Facts.coverage[sk]
+		for _, fk := range c.Funcs {
+			if keyPkg(fk) != pkgPath {
+				continue
+			}
+			fd, local := declPos[fk]
+			if !local {
+				continue // the home completeness check below names it
+			}
+			fields, seen := cov[fk]
+			if !seen {
+				fields = nil
+			}
+			covered := map[string]bool{}
+			for _, f := range fields {
+				covered[f] = true
+			}
+			var missing []string
+			for _, f := range c.Fields {
+				if !covered[f] {
+					missing = append(missing, f)
+				}
+			}
+			if len(missing) > 0 {
+				pass.Reportf(fd.Pos(),
+					"%s does not cover field %s of %s (df3:statefp contract at %s): a snapshot taken here silently drops state",
+					shortKey(fk), strings.Join(missing, ", "), shortKey(sk), c.Decl)
+			}
+		}
+		if c.Home() == pkgPath {
+			for _, fk := range c.Funcs {
+				if _, seen := cov[fk]; seen {
+					continue
+				}
+				if _, local := declPos[fk]; local {
+					continue // just checked above
+				}
+				at := pass.Files[0].Pos()
+				if fd, ok := declPos[c.Funcs[len(c.Funcs)-1]]; ok {
+					at = fd.Pos()
+				}
+				pass.Reportf(at,
+					"df3:statefp contract on %s (declared at %s) names %s, but no analyzed package defines it — update the directive or restore the function",
+					shortKey(sk), c.Decl, shortKey(fk))
+			}
+		}
+	}
+	return nil
+}
+
+func sortedContractKeys(fx *Facts) []string {
+	keys := make([]string, 0, len(fx.contracts))
+	for k := range fx.contracts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func posKey(file string, line int) string {
+	return fmt.Sprintf("%s:%d", file, line)
+}

@@ -11,6 +11,9 @@ func Analyzers() []*Analyzer {
 		UnitsafeAnalyzer,
 		SpanendAnalyzer,
 		LockedblockAnalyzer,
+		WirepairAnalyzer,
+		StatefpAnalyzer,
+		AtomicmixAnalyzer,
 		DirectiveAnalyzer,
 	}
 }

@@ -7,26 +7,31 @@ import (
 	"strings"
 )
 
-// Directive is one //df3: suppression comment.
+// Directive is one //df3: comment.
 //
-// Two forms are accepted:
+// Three forms are accepted:
 //
 //	//df3:allow(<analyzer>) <reason>
 //	//df3:unordered-ok <reason>        (shorthand for allow(maporder))
+//	//df3:statefp <func> <func> ...    (declaration, on a struct's doc)
 //
-// A directive on the same line as a finding — or on its own line directly
-// above it — suppresses that analyzer's findings there. The reason is
-// mandatory: a suppression without one is itself a finding (df3directive),
-// and a malformed directive suppresses nothing.
+// The first two are suppressions: on the same line as a finding — or on
+// their own line directly above it — they suppress that analyzer's
+// findings there. The reason is mandatory: a suppression without one is
+// itself a finding (df3directive), and a malformed directive suppresses
+// nothing. The statefp form is not a suppression at all: it declares a
+// field-coverage contract (see StatefpAnalyzer), naming each function as
+// pkgpath.Name or pkgpath.Recv.Name.
 type Directive struct {
-	File       string
-	Line       int
-	Col        int // 1-based column of the "//"
-	Analyzer   string
-	Reason     string
-	Standalone bool   // nothing but whitespace before the comment
-	Problem    string // non-empty: why the directive is malformed
-	pos        token.Pos
+	File        string
+	Line        int
+	Col         int // 1-based column of the "//"
+	Analyzer    string
+	Reason      string
+	Standalone  bool   // nothing but whitespace before the comment
+	Declaration bool   // statefp contract declaration, not a suppression
+	Problem     string // non-empty: why the directive is malformed
+	pos         token.Pos
 }
 
 // Pos returns the directive's position.
@@ -70,6 +75,19 @@ func parseDirectiveBody(d *Directive, body string) {
 	case strings.HasPrefix(body, "unordered-ok"):
 		d.Analyzer = "maporder"
 		d.Reason = strings.TrimSpace(strings.TrimPrefix(body, "unordered-ok"))
+	case strings.HasPrefix(body, "statefp"):
+		d.Analyzer = "statefp"
+		d.Declaration = true
+		d.Reason = strings.TrimSpace(strings.TrimPrefix(body, "statefp"))
+		if d.Reason == "" {
+			d.Problem = "df3:statefp declares no functions: list the encoder, decoder and fingerprint functions as pkgpath.Name or pkgpath.Recv.Name"
+		}
+		for _, fk := range strings.Fields(d.Reason) {
+			if keyPkg(fk) == fk {
+				d.Problem = fmt.Sprintf("df3:statefp entry %q is not a function key (want pkgpath.Name or pkgpath.Recv.Name)", fk)
+			}
+		}
+		return
 	case strings.HasPrefix(body, "allow("):
 		rest := strings.TrimPrefix(body, "allow(")
 		close := strings.IndexByte(rest, ')')
@@ -120,8 +138,8 @@ func (ix *suppressionIndex) addFile(tf *token.File, f *ast.File, filename string
 	ix.files[filename] = tf
 	for _, d := range ParseDirectives(tf, f, src) {
 		ix.all = append(ix.all, d)
-		if d.Problem != "" {
-			continue // malformed directives suppress nothing
+		if d.Problem != "" || d.Declaration {
+			continue // malformed directives and declarations suppress nothing
 		}
 		key := fmt.Sprintf("%s:%d", filename, d.Line)
 		ix.byLine[key] = append(ix.byLine[key], d)

@@ -1,0 +1,25 @@
+// Fixture for atomicmix, package a: the gauge struct and its writers.
+package a
+
+import "sync/atomic"
+
+// Gauge is updated concurrently by workers.
+type Gauge struct {
+	Jobs  int64
+	Done  int64
+	Mixed int64
+	Plain int64
+}
+
+// Account bumps the counters atomically.
+func Account(g *Gauge, n int64) {
+	atomic.AddInt64(&g.Jobs, n)
+	atomic.AddInt64(&g.Done, n)
+}
+
+// Reset writes Mixed and Plain without atomics; package b closes the mix
+// on Mixed.
+func Reset(g *Gauge) {
+	g.Mixed = 0
+	g.Plain = 0
+}

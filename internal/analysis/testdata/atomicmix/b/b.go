@@ -1,0 +1,31 @@
+// Fixture for atomicmix, package b: consumers that mix access modes
+// across the package boundary.
+package b
+
+import (
+	"sync/atomic"
+
+	"df3lint/fixture/atomicmix/a"
+)
+
+// Jobs reads an atomically-updated field without atomics: the racing
+// read is flagged where it happens.
+func Jobs(g *a.Gauge) int64 {
+	return g.Jobs // want `non-atomic access of a\.Gauge\.Jobs, which is accessed atomically at`
+}
+
+// Done loads atomically, matching every other access: clean.
+func Done(g *a.Gauge) int64 {
+	return atomic.LoadInt64(&g.Done)
+}
+
+// Mix is the other direction: an atomic access to a field package a
+// writes plainly is flagged at the atomic site.
+func Mix(g *a.Gauge) int64 {
+	return atomic.LoadInt64(&g.Mixed) // want `atomic access of a\.Gauge\.Mixed, which is accessed non-atomically at`
+}
+
+// Plain is read plainly everywhere: clean.
+func Plain(g *a.Gauge) int64 {
+	return g.Plain
+}

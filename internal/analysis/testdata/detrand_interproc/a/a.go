@@ -1,0 +1,26 @@
+// Fixture for the interprocedural detrand facts, package a: the
+// wall-clock and math/rand roots.
+package a
+
+import (
+	"math/rand" // want `import of math/rand is nondeterministic`
+	"time"
+)
+
+// Stamp reads the wall clock; callers in other packages inherit the
+// taint through its fact summary.
+func Stamp() time.Time { // wantfact WallClock
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+// Pick draws from the process-global generator.
+func Pick(n int) int { // wantfact MathRand
+	return rand.Intn(n)
+}
+
+// BootTime is a sanctioned boundary: the suppression stops the taint,
+// so cross-package callers arrive clean.
+func BootTime() time.Time { // wantfact -
+	//df3:allow(detrand) boot banner timestamp, never enters simulation state
+	return time.Now()
+}

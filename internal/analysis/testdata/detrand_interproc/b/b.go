@@ -1,0 +1,20 @@
+// Fixture for the interprocedural detrand checks, package b:
+// cross-package calls to tainted functions are findings at the callsite.
+package b
+
+import "df3lint/fixture/detrand_interproc/a"
+
+// Epoch inherits the wall-clock taint through a.Stamp.
+func Epoch() int64 { // wantfact WallClock
+	return a.Stamp().Unix() // want `call to a\.Stamp reads the wall clock \(via time\.Now at`
+}
+
+// Roll inherits the math/rand taint through a.Pick.
+func Roll() int { // wantfact MathRand
+	return a.Pick(6) // want `call to a\.Pick draws nondeterministic randomness \(via math/rand\.Intn at`
+}
+
+// Boot calls the sanctioned boundary: clean.
+func Boot() int64 { // wantfact -
+	return a.BootTime().Unix()
+}

@@ -1,0 +1,19 @@
+// Fixture for the interprocedural lockedblock facts, package a: the
+// blocking root and the non-blocking polling variant.
+package a
+
+// Wait blocks on the channel until a sender arrives.
+func Wait(ch chan int) int { // wantfact Blocks
+	return <-ch
+}
+
+// Poll never blocks: the receive is a select arm and the select has a
+// default case.
+func Poll(ch chan int) int { // wantfact -
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,29 @@
+// Fixture for the interprocedural lockedblock checks, package b:
+// calling a transitively-blocking function while holding a mutex is the
+// shard-barrier deadlock shape.
+package b
+
+import (
+	"sync"
+
+	"df3lint/fixture/lockedblock_interproc/a"
+)
+
+type Box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// Get calls the blocking a.Wait with the mutex held: flagged.
+func (b *Box) Get() int { // wantfact Blocks,Locks
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return a.Wait(b.ch) // want `a\.Wait may block \(via channel receive at`
+}
+
+// Peek polls instead: a.Poll cannot block, holding the mutex is fine.
+func (b *Box) Peek() int { // wantfact Locks
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return a.Poll(b.ch)
+}

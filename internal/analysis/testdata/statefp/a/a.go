@@ -1,0 +1,29 @@
+// Fixture for statefp, package a: the contract-declaring structs and the
+// local snapshot function.
+package a
+
+// State is checkpointed by the three functions the directive names; each
+// of them must mention every field.
+//
+//df3:statefp df3lint/fixture/statefp/a.Snapshot df3lint/fixture/statefp/b.Write df3lint/fixture/statefp/b.Read
+type State struct {
+	Now   int64
+	Seq   uint64
+	Fired int64
+}
+
+// Snapshot covers every field: clean.
+func Snapshot(s *State) []uint64 {
+	return []uint64{uint64(s.Now), s.Seq, uint64(s.Fired)}
+}
+
+// Ghost's contract names a function no analyzed package defines; the
+// contract's home package (b, where Digest lives) reports it.
+//
+//df3:statefp df3lint/fixture/statefp/b.Gone df3lint/fixture/statefp/b.Digest
+type Ghost struct {
+	X int64
+}
+
+//df3:statefp df3lint/fixture/statefp/a.Snapshot // want `df3:statefp must sit in the doc comment of a struct type declaration`
+type Num int64

@@ -1,0 +1,20 @@
+// Fixture for statefp, package b: the home package of both contracts.
+package b
+
+import "df3lint/fixture/statefp/a"
+
+// Write covers every field: clean.
+func Write(s *a.State) []uint64 {
+	return []uint64{uint64(s.Now), s.Seq, uint64(s.Fired)}
+}
+
+// Read drifted: it never restores Fired.
+func Read(words []uint64) a.State { // want `b\.Read does not cover field Fired of a\.State`
+	return a.State{Now: int64(words[0]), Seq: words[1]}
+}
+
+// Digest anchors the home completeness check: the Ghost contract also
+// names b.Gone, which nothing defines.
+func Digest(g *a.Ghost) uint64 { // want `names b\.Gone, but no analyzed package defines it`
+	return uint64(g.X)
+}

@@ -1,0 +1,84 @@
+// Fixture for wirepair, package a: codec pairs (one deliberately
+// drifted) and the Decoder-shaped function whose switch cases are the
+// handled message kinds.
+package a
+
+import "df3/internal/shard"
+
+// Message kinds of the fixture protocol. KindJob is handled by
+// DecodeFrame below; KindLost is not, so sending it is a finding.
+const (
+	KindJob  uint32 = 1
+	KindLost uint32 = 2
+)
+
+type enc struct{ buf []byte }
+
+func (e *enc) u32(v uint32) {
+	e.buf = append(e.buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+func (e *enc) u64(v uint64) {
+	e.u32(uint32(v))
+	e.u32(uint32(v >> 32))
+}
+func (e *enc) f64(v float64) { e.u64(uint64(v)) }
+
+type dec struct {
+	buf []byte
+	off int
+}
+
+func (d *dec) u32() uint32 {
+	v := uint32(d.buf[d.off]) | uint32(d.buf[d.off+1])<<8 | uint32(d.buf[d.off+2])<<16 | uint32(d.buf[d.off+3])<<24
+	d.off += 4
+	return v
+}
+func (d *dec) u64() uint64  { return uint64(d.u32()) | uint64(d.u32())<<32 }
+func (d *dec) f64() float64 { return float64(d.u64()) }
+
+// Job is the fixture's wire message.
+type Job struct {
+	ID       uint64
+	Deadline float64
+	Sizes    []uint32
+}
+
+// EncodeJob and DecodeJob mirror each other exactly: clean.
+func EncodeJob(e *enc, j *Job) {
+	e.u64(j.ID)
+	e.f64(j.Deadline)
+	e.u32(uint32(len(j.Sizes)))
+	for _, s := range j.Sizes {
+		e.u32(s)
+	}
+}
+
+func DecodeJob(d *dec) *Job {
+	j := &Job{ID: d.u64(), Deadline: d.f64()}
+	n := d.u32()
+	for i := uint32(0); i < n; i++ {
+		j.Sizes = append(j.Sizes, d.u32())
+	}
+	return j
+}
+
+// EncodeAck writes a u32 then an f64; DecodeAck drifted to reading a
+// u64 where the f64 should be.
+func EncodeAck(e *enc, code uint32, rtt float64) {
+	e.u32(code)
+	e.f64(rtt)
+}
+
+func DecodeAck(d *dec) (uint32, float64) { // want `DecodeAck does not mirror EncodeAck: decoder reads \[u32 u64\], encoder writes \[u32 f64\]`
+	return d.u32(), float64(d.u64())
+}
+
+// DecodeFrame matches the shard.Decoder shape, so the facts layer
+// records its switch cases as the handled kinds.
+func DecodeFrame(dst *shard.LP, kind uint32, payload []byte) (func(), error) {
+	switch kind {
+	case KindJob:
+		return func() {}, nil
+	}
+	return nil, nil
+}

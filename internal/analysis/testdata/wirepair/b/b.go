@@ -1,0 +1,19 @@
+// Fixture for wirepair, package b: SendMsg kinds are checked against
+// the Decoder cases package a's facts recorded.
+package b
+
+import (
+	"df3/internal/shard"
+
+	"df3lint/fixture/wirepair/a"
+)
+
+// SendJob sends a kind DecodeFrame handles: clean.
+func SendJob(k *shard.Kernel, src, dst *shard.LP, payload []byte) {
+	k.SendMsg(src, dst, 0, 0, a.KindJob, payload)
+}
+
+// SendLost sends a kind no Decoder case resolves.
+func SendLost(k *shard.Kernel, src, dst *shard.LP, payload []byte) {
+	k.SendMsg(src, dst, 0, 0, a.KindLost, payload) // want `message kind a\.KindLost is sent but no shard\.Decoder case handles it`
+}

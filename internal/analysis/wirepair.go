@@ -1,0 +1,615 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// WirepairAnalyzer enforces encode/decode parity for the wire protocol.
+// A frame codec is a pair of package-level functions (E|e)ncodeX /
+// (D|d)ecodeX; the analyzer extracts each side's primitive-operation
+// sequence (u32/u64/i64/f64/length-prefixed bytes, length-prefix+loop)
+// and reports when the reader's sequence diverges from the writer's —
+// the classic silent killer in multi-process protocols, caught before a
+// byte crosses a socket. It understands both codec styles in the tree:
+// enc/dec helper methods (internal/wire) and raw
+// binary.LittleEndian.AppendUintXX / UintXX with math.Float64bits
+// (internal/city). Functions whose shape it cannot prove (data-dependent
+// branching with unequal arms, dynamic calls) are skipped, never guessed.
+//
+// It also closes the (kind, payload) loop: a message kind constant passed
+// to shard SendMsg must be handled by a case in some Decoder-shaped
+// function ((..., uint32, []byte) (func(), error)) — the facts layer
+// records handled kinds across packages, so sending a kind no decoder
+// resolves is a finding at the send site.
+var WirepairAnalyzer = &Analyzer{
+	Name: "wirepair",
+	Doc:  "wire codec pairs stay symmetric and every sent message kind reaches a Decoder case",
+	Run:  runWirepair,
+}
+
+// wop is one primitive wire operation in a codec's shape. Length
+// prefixes (count reads, uint32(len(x)) writes) normalize to u32: the
+// bytes are identical, only intent differs. Loops carry their body.
+type wop struct {
+	class string // "u32", "u64", "i64", "f64", "bytes", "loop"
+	body  []wop  // loop only
+}
+
+func (w wop) String() string {
+	if w.class != "loop" {
+		return w.class
+	}
+	parts := make([]string, len(w.body))
+	for i, b := range w.body {
+		parts[i] = b.String()
+	}
+	return "loop{" + strings.Join(parts, " ") + "}"
+}
+
+func wopsString(ops []wop) string {
+	parts := make([]string, len(ops))
+	for i, o := range ops {
+		parts[i] = o.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+func wopsEqual(a, b []wop) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].class != b[i].class || !wopsEqual(a[i].body, b[i].body) {
+			return false
+		}
+	}
+	return true
+}
+
+func runWirepair(pass *Pass) error {
+	decls := map[string]*ast.FuncDecl{} // name -> package-level func
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Body != nil {
+				decls[fd.Name.Name] = fd
+			}
+		}
+	}
+
+	// Pair check: for every encoder with a matching decoder, shapes must
+	// agree. Same-case counterparts pair first (EncodeX↔DecodeX,
+	// encodeX↔decodeX) so an exported codec never pairs against an
+	// internal helper with the same suffix.
+	names := make([]string, 0, len(decls))
+	for name := range decls {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		var suffix string
+		var decNames []string
+		switch {
+		case strings.HasPrefix(name, "Encode") && len(name) > len("Encode"):
+			suffix = name[len("Encode"):]
+			decNames = []string{"Decode" + suffix, "decode" + suffix}
+		case strings.HasPrefix(name, "encode") && len(name) > len("encode"):
+			suffix = name[len("encode"):]
+			decNames = []string{"decode" + suffix, "Decode" + suffix}
+		default:
+			continue
+		}
+		var decFn *ast.FuncDecl
+		for _, dn := range decNames {
+			if fd, ok := decls[dn]; ok {
+				decFn = fd
+				break
+			}
+		}
+		if decFn == nil {
+			continue
+		}
+		ex := &wopExtract{pass: pass, decls: decls, active: map[*ast.FuncDecl]bool{}}
+		encOps, encOK := ex.stmts(decls[name].Body.List)
+		decOps, decOK := ex.stmts(decFn.Body.List)
+		if !encOK || !decOK {
+			continue // unprovable shape: skip, never guess
+		}
+		if !wopsEqual(encOps, decOps) {
+			pass.Reportf(decFn.Pos(),
+				"%s does not mirror %s: decoder reads [%s], encoder writes [%s] — wire drift corrupts every frame after the divergence",
+				decFn.Name.Name, name, wopsString(decOps), wopsString(encOps))
+		}
+	}
+
+	// Kind check: a named constant passed as SendMsg's kind must be handled
+	// by some Decoder case, here or in an already-analyzed package.
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := pass.CalleeFunc(call)
+		if !FuncIs(fn, "df3/internal/shard", "Kernel.SendMsg") || len(call.Args) != 6 {
+			return true
+		}
+		kindArg := call.Args[4]
+		key := constKeyOf(pass, kindArg)
+		if key == "" {
+			return true // untyped literal or computed kind: out of scope
+		}
+		if _, ok := pass.Facts.HandledKind(key); !ok {
+			pass.Reportf(kindArg.Pos(),
+				"message kind %s is sent but no shard.Decoder case handles it: the receiving node will reject the message",
+				shortKey(key))
+		}
+		return true
+	})
+	return nil
+}
+
+// constKeyOf resolves an expression to a named constant's key
+// ("pkgpath.Name"), or "".
+func constKeyOf(pass *Pass, e ast.Expr) string {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return ""
+	}
+	c, ok := pass.ObjectOf(id).(*types.Const)
+	if !ok || c.Pkg() == nil {
+		return ""
+	}
+	return c.Pkg().Path() + "." + c.Name()
+}
+
+// collectKinds records, as facts, every message-kind constant handled by a
+// Decoder-shaped function: params containing a uint32 and a []byte,
+// results exactly (func(), error).
+func collectKinds(pass *Pass, fx *Facts) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if obj == nil || !isDecoderShape(sigOf(obj)) {
+				continue
+			}
+			key := FuncKey(obj)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok {
+					return true
+				}
+				for _, cc := range sw.Body.List {
+					clause, ok := cc.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range clause.List {
+						if ck := constKeyOf(pass, e); ck != "" {
+							if _, seen := fx.handledKinds[ck]; !seen {
+								fx.handledKinds[ck] = key
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isDecoderShape reports whether sig matches the shard.Decoder contract.
+func isDecoderShape(sig *types.Signature) bool {
+	if sig == nil || sig.Results().Len() != 2 {
+		return false
+	}
+	var hasKind, hasPayload bool
+	for i := 0; i < sig.Params().Len(); i++ {
+		t := sig.Params().At(i).Type()
+		if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.Uint32 {
+			hasKind = true
+		}
+		if s, ok := t.Underlying().(*types.Slice); ok {
+			if b, ok := s.Elem().Underlying().(*types.Basic); ok && b.Kind() == types.Uint8 {
+				hasPayload = true
+			}
+		}
+	}
+	if !hasKind || !hasPayload {
+		return false
+	}
+	r0, ok := sig.Results().At(0).Type().Underlying().(*types.Signature)
+	if !ok || r0.Params().Len() != 0 || r0.Results().Len() != 0 {
+		return false
+	}
+	named, ok := sig.Results().At(1).Type().(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// wopExtract walks codec bodies extracting primitive-op sequences.
+type wopExtract struct {
+	pass   *Pass
+	decls  map[string]*ast.FuncDecl
+	active map[*ast.FuncDecl]bool // recursion guard
+}
+
+// stmts extracts the ops of a statement list in execution order. The
+// second result is false when the shape cannot be proven.
+func (ex *wopExtract) stmts(list []ast.Stmt) ([]wop, bool) {
+	var ops []wop
+	for _, s := range list {
+		got, ok := ex.stmt(s)
+		if !ok {
+			return nil, false
+		}
+		ops = append(ops, got...)
+	}
+	return ops, true
+}
+
+func (ex *wopExtract) stmt(s ast.Stmt) ([]wop, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		return ex.expr(s.X)
+	case *ast.AssignStmt:
+		var ops []wop
+		for _, e := range s.Rhs {
+			got, ok := ex.expr(e)
+			if !ok {
+				return nil, false
+			}
+			ops = append(ops, got...)
+		}
+		return ops, true
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return nil, true
+		}
+		var ops []wop
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, e := range vs.Values {
+				got, ok := ex.expr(e)
+				if !ok {
+					return nil, false
+				}
+				ops = append(ops, got...)
+			}
+		}
+		return ops, true
+	case *ast.ReturnStmt:
+		var ops []wop
+		for _, e := range s.Results {
+			got, ok := ex.expr(e)
+			if !ok {
+				return nil, false
+			}
+			ops = append(ops, got...)
+		}
+		return ops, true
+	case *ast.IfStmt:
+		ops, ok := ex.initCond(s.Init, s.Cond)
+		if !ok {
+			return nil, false
+		}
+		thenOps, ok := ex.stmts(s.Body.List)
+		if !ok {
+			return nil, false
+		}
+		var elseOps []wop
+		if s.Else != nil {
+			elseOps, ok = ex.stmt(s.Else)
+			if !ok {
+				return nil, false
+			}
+		}
+		// Equal arms collapse to one copy — validation guards (`if bad {
+		// return err }`) have op-free arms on both sides, and symmetric
+		// writers (`if has { e.u32(1) } else { e.u32(0) }`) match exactly.
+		// Unequal arms make the shape data-dependent: unprovable.
+		if !wopsEqual(thenOps, elseOps) {
+			return nil, false
+		}
+		return append(ops, thenOps...), true
+	case *ast.SwitchStmt:
+		ops, ok := ex.initCond(s.Init, s.Tag)
+		if !ok {
+			return nil, false
+		}
+		var arms [][]wop
+		for _, cc := range s.Body.List {
+			clause, ok := cc.(*ast.CaseClause)
+			if !ok {
+				return nil, false
+			}
+			arm, ok := ex.stmts(clause.Body)
+			if !ok {
+				return nil, false
+			}
+			arms = append(arms, arm)
+		}
+		for _, arm := range arms[1:] {
+			if !wopsEqual(arms[0], arm) {
+				return nil, false
+			}
+		}
+		if len(arms) > 0 {
+			ops = append(ops, arms[0]...)
+		}
+		return ops, true
+	case *ast.ForStmt:
+		ops, ok := ex.initCond(s.Init, s.Cond)
+		if !ok {
+			return nil, false
+		}
+		body, ok := ex.stmts(s.Body.List)
+		if !ok {
+			return nil, false
+		}
+		if len(body) > 0 {
+			ops = append(ops, wop{class: "loop", body: body})
+		}
+		return ops, true
+	case *ast.RangeStmt:
+		ops, ok := ex.expr(s.X)
+		if !ok {
+			return nil, false
+		}
+		body, ok := ex.stmts(s.Body.List)
+		if !ok {
+			return nil, false
+		}
+		if len(body) > 0 {
+			ops = append(ops, wop{class: "loop", body: body})
+		}
+		return ops, true
+	case *ast.BlockStmt:
+		return ex.stmts(s.List)
+	case *ast.BranchStmt, *ast.IncDecStmt, *ast.EmptyStmt:
+		return nil, true
+	default:
+		// Unmodeled control flow (select, go, defer, type switch): fine as
+		// long as no wire op hides inside it.
+		if ex.hasOps(s) {
+			return nil, false
+		}
+		return nil, true
+	}
+}
+
+func (ex *wopExtract) initCond(init ast.Stmt, cond ast.Expr) ([]wop, bool) {
+	var ops []wop
+	if init != nil {
+		got, ok := ex.stmt(init)
+		if !ok {
+			return nil, false
+		}
+		ops = append(ops, got...)
+	}
+	if cond != nil {
+		got, ok := ex.expr(cond)
+		if !ok {
+			return nil, false
+		}
+		ops = append(ops, got...)
+	}
+	return ops, true
+}
+
+// expr extracts ops from one expression in evaluation order.
+func (ex *wopExtract) expr(e ast.Expr) ([]wop, bool) {
+	if e == nil {
+		return nil, true
+	}
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		return ex.call(e)
+	case *ast.ParenExpr:
+		return ex.expr(e.X)
+	case *ast.UnaryExpr:
+		return ex.expr(e.X)
+	case *ast.StarExpr:
+		return ex.expr(e.X)
+	case *ast.BinaryExpr:
+		l, ok := ex.expr(e.X)
+		if !ok {
+			return nil, false
+		}
+		r, ok := ex.expr(e.Y)
+		if !ok {
+			return nil, false
+		}
+		return append(l, r...), true
+	case *ast.IndexExpr:
+		return ex.exprs(e.X, e.Index)
+	case *ast.SliceExpr:
+		return ex.exprs(e.X, e.Low, e.High, e.Max)
+	case *ast.SelectorExpr:
+		return ex.expr(e.X)
+	case *ast.KeyValueExpr:
+		return ex.expr(e.Value)
+	case *ast.CompositeLit:
+		var ops []wop
+		for _, el := range e.Elts {
+			got, ok := ex.expr(el)
+			if !ok {
+				return nil, false
+			}
+			ops = append(ops, got...)
+		}
+		return ops, true
+	case *ast.FuncLit:
+		// A literal's body runs later, if at all: unprovable when it
+		// carries ops.
+		if ex.hasOps(e.Body) {
+			return nil, false
+		}
+		return nil, true
+	default:
+		return nil, true
+	}
+}
+
+func (ex *wopExtract) exprs(list ...ast.Expr) ([]wop, bool) {
+	var ops []wop
+	for _, e := range list {
+		got, ok := ex.expr(e)
+		if !ok {
+			return nil, false
+		}
+		ops = append(ops, got...)
+	}
+	return ops, true
+}
+
+// call classifies one call. Recognized primitives emit an op and consume
+// their sub-pattern; local functions and methods inline; everything else
+// is transparent (its arguments are still scanned).
+func (ex *wopExtract) call(call *ast.CallExpr) ([]wop, bool) {
+	// Conversions: T(x) — scan x.
+	if _, isConv := isTypeConversion(ex.pass, call); isConv {
+		return ex.exprs(call.Args...)
+	}
+	fn := ex.pass.CalleeFunc(call)
+	if fn == nil {
+		// Builtin (len, append, make) or dynamic call: scan arguments; a
+		// dynamic call that could hide ops has none to find statically.
+		return ex.exprs(call.Args...)
+	}
+	pkgPath := ""
+	if fn.Pkg() != nil {
+		pkgPath = fn.Pkg().Path()
+	}
+
+	// Raw style: math.Float64frombits(binary.LittleEndian.Uint64(...)) is
+	// one f64 read; the inner Uint64 is consumed, not a second op.
+	if pkgPath == "math" && fn.Name() == "Float64frombits" && len(call.Args) == 1 {
+		return []wop{{class: "f64"}}, true
+	}
+	if pkgPath == "encoding/binary" && sigOf(fn).Recv() != nil {
+		switch fn.Name() {
+		case "Uint32":
+			return []wop{{class: "u32"}}, true
+		case "Uint64":
+			return []wop{{class: "u64"}}, true
+		case "AppendUint32":
+			return []wop{{class: "u32"}}, true
+		case "AppendUint64":
+			if len(call.Args) == 2 && isFloatBitsCall(ex.pass, call.Args[1]) {
+				return []wop{{class: "f64"}}, true
+			}
+			return []wop{{class: "u64"}}, true
+		}
+	}
+
+	// Helper-method style: enc/dec primitives by method name.
+	if sigOf(fn).Recv() != nil {
+		switch fn.Name() {
+		case "u32", "count", "len32":
+			return []wop{{class: "u32"}}, true
+		case "u64":
+			if len(call.Args) == 1 && isFloatBitsCall(ex.pass, call.Args[0]) {
+				return []wop{{class: "f64"}}, true
+			}
+			return []wop{{class: "u64"}}, true
+		case "i64":
+			return []wop{{class: "i64"}}, true
+		case "f64":
+			return []wop{{class: "f64"}}, true
+		case "bytes":
+			return []wop{{class: "bytes"}}, true
+		}
+	}
+
+	// Same-package callee with a body in this package: inline its shape
+	// (argument ops first — they evaluate before the call).
+	if fn.Pkg() == ex.pass.Pkg {
+		if fd := ex.declOf(fn); fd != nil {
+			if ex.active[fd] {
+				return nil, false // recursive codec: unprovable
+			}
+			argOps, ok := ex.exprs(call.Args...)
+			if !ok {
+				return nil, false
+			}
+			ex.active[fd] = true
+			body, ok := ex.stmts(fd.Body.List)
+			delete(ex.active, fd)
+			if !ok {
+				return nil, false
+			}
+			return append(argOps, body...), true
+		}
+	}
+	// Foreign call (fmt.Errorf, error wrapping, …): transparent.
+	return ex.exprs(call.Args...)
+}
+
+// declOf finds fn's declaration in the package under analysis.
+func (ex *wopExtract) declOf(fn *types.Func) *ast.FuncDecl {
+	if fd, ok := ex.decls[fn.Name()]; ok {
+		if obj, _ := ex.pass.TypesInfo.Defs[fd.Name].(*types.Func); obj == fn {
+			return fd
+		}
+	}
+	// Methods (dec.need, dec.err, …) are not in the package-level map.
+	for _, f := range ex.pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, _ := ex.pass.TypesInfo.Defs[fd.Name].(*types.Func); obj == fn {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// hasOps reports whether any recognizable wire op hides under n.
+func (ex *wopExtract) hasOps(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		fn := ex.pass.CalleeFunc(call)
+		if fn == nil {
+			return true
+		}
+		if sigOf(fn).Recv() != nil {
+			switch fn.Name() {
+			case "u32", "u64", "i64", "f64", "bytes", "count", "len32",
+				"Uint32", "Uint64", "AppendUint32", "AppendUint64":
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isFloatBitsCall(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := pass.CalleeFunc(call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "math" && fn.Name() == "Float64bits"
+}

@@ -8,7 +8,11 @@ import (
 	"df3/internal/sim"
 )
 
-// Meta is the fixed-size header block of a snapshot.
+// Meta is the fixed-size header block of a snapshot. The statefp
+// contract keeps Encode and Read covering every field, so a new header
+// field cannot ship with a reader that silently drops it.
+//
+//df3:statefp df3/internal/checkpoint.Snapshot.Encode df3/internal/checkpoint.Read
 type Meta struct {
 	// SimTime is the federation clock at capture.
 	SimTime sim.Time

@@ -286,6 +286,11 @@ type Summary struct {
 // the cities it owns, and the coordinator reassembles the exact Summary
 // and Checksum a single-process run computes, because both are defined
 // as pure functions of these records (SummarizeStates, ChecksumStates).
+// The statefp contract pins the reader, the checksum and the wire codec
+// to this field set: adding a field without extending all four is a
+// df3lint finding.
+//
+//df3:statefp df3/internal/city.Federation.CityState df3/internal/city.ChecksumStates df3/internal/wire.encodeCityState df3/internal/wire.decodeCityState
 type CityState struct {
 	City            int
 	EdgeSubmitted   int64
@@ -373,6 +378,7 @@ func ChecksumStates(states []CityState) uint64 {
 		mix(uint64(cs.EdgeRejected))
 		mix(uint64(cs.JobsSubmitted))
 		mix(uint64(cs.JobsDone))
+		mix(uint64(cs.JobsLost))
 		mix(uint64(cs.TasksDone))
 		mixF(cs.WorkDone)
 		mixF(cs.EdgeLatencyMean)

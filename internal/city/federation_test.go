@@ -1,6 +1,7 @@
 package city
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -43,6 +44,38 @@ func TestFederationShardEquivalence(t *testing.T) {
 		}
 		if f.Kernel.Stats().CrossShard == 0 {
 			t.Errorf("shards=%d: no cross-shard messages; partition degenerate", shards)
+		}
+	}
+}
+
+// TestChecksumCoversEveryField: perturbing any single CityState field must
+// change ChecksumStates. This is the runtime half of the df3:statefp
+// contract on CityState; it caught JobsLost being skipped by the digest,
+// which let a run that lost jobs checksum-match one that did not.
+func TestChecksumCoversEveryField(t *testing.T) {
+	base := []CityState{{
+		City: 1, EdgeSubmitted: 2, EdgeServed: 3, EdgeRejected: 4,
+		JobsSubmitted: 5, JobsDone: 6, JobsLost: 7, TasksDone: 8,
+		WorkDone: 9.5, EdgeLatencyMean: 10.5, EventsFired: 11,
+		SimTime: 12 * sim.Hour, Exported: 13, Imported: 14,
+	}}
+	want := ChecksumStates(base)
+	rt := reflect.TypeOf(base[0])
+	for i := 0; i < rt.NumField(); i++ {
+		mutated := base[0]
+		fv := reflect.ValueOf(&mutated).Elem().Field(i)
+		switch fv.Kind() {
+		case reflect.Int, reflect.Int64:
+			fv.SetInt(fv.Int() + 1)
+		case reflect.Uint64:
+			fv.SetUint(fv.Uint() + 1)
+		case reflect.Float64:
+			fv.SetFloat(fv.Float() + 1)
+		default:
+			t.Fatalf("field %s has kind %v; teach this test to mutate it", rt.Field(i).Name, fv.Kind())
+		}
+		if got := ChecksumStates([]CityState{mutated}); got == want {
+			t.Errorf("changing %s did not change the checksum: the digest silently drops it", rt.Field(i).Name)
 		}
 	}
 }

@@ -24,7 +24,12 @@ import (
 
 // EngineState is the copyable kernel-visible state of an Engine. It is a
 // plain value: comparable, serialisable, and cheap to capture (O(pending)
-// for the heap digest, allocation-light).
+// for the heap digest, allocation-light). The statefp contract keeps the
+// capture, the restore proof and the checkpoint codec covering every
+// field: growing the struct without updating all four is a df3lint
+// finding.
+//
+//df3:statefp df3/internal/sim.Engine.Snapshot df3/internal/sim.RestoreEngine df3/internal/checkpoint.Snapshot.Encode df3/internal/checkpoint.Read
 type EngineState struct {
 	// Now is the engine clock.
 	Now Time
